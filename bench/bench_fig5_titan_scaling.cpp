@@ -1,0 +1,53 @@
+// Fig. 5: CUDA strong scaling on Titan, 1–8192 nodes (K20x + Gemini).
+// Measures the real iteration structure of CG-1 and PPCG-1/4/8/16 on a
+// laptop-scale crooked pipe, projects it to the paper's 4000² mesh and
+// replays the communication/computation trace on the Titan model.
+// Expected shape (paper): CPPCG scales far beyond CG, deeper halos keep
+// improving through depth 16, and the curve knees at ~1k nodes where
+// only ~15k cells remain per GPU.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "io/csv.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tealeaf;
+  using namespace tealeaf::bench;
+  const Args args(argc, argv);
+  const int measure_n = args.get_int("mesh", 96);
+  const int project_n = args.get_int("project-mesh", 4000);
+  const int steps = args.get_int("steps", 10);
+
+  std::printf("Fig. 5 reproduction: CUDA strong scaling on Titan\n");
+  std::printf("(structure measured at %d^2, projected to %d^2, %d "
+              "timesteps)\n\n", measure_n, project_n, steps);
+
+  const ScalingModel model(machines::titan(),
+                           GlobalMesh2D(project_n, project_n, 0, 10, 0, 10),
+                           steps);
+  std::vector<ScalingSeries> series;
+  for (const auto& [label, cfg] : cuda_fig_configs()) {
+    const SolverRunSummary run =
+        project_to_mesh(measure_crooked_pipe(measure_n, cfg), project_n);
+    series.push_back(model.sweep(run, label, node_axis(8192)));
+  }
+  print_series(series);
+
+  io::CsvWriter csv(args.get("csv", "fig5_titan_scaling.csv"));
+  csv.header({"nodes", "label", "seconds"});
+  for (const auto& s : series)
+    for (const auto& p : s.points) csv.row(p.nodes, s.label, p.seconds);
+
+  const ScalingSeries& cg = series.front();
+  const ScalingSeries& ppcg16 = series.back();
+  const double t8192 = ppcg16.points.back().seconds;
+  std::printf("\nPPCG-16 at 8192 nodes: %.2f s (paper: 4.26 s)\n", t8192);
+  std::printf("CG-1 / PPCG-16 at 8192 nodes: %.1fx slower\n",
+              cg.points.back().seconds / t8192);
+  const ScalingPoint knee = best_point(ppcg16);
+  std::printf("PPCG-16 scaling knee: best time %.2f s at %d nodes "
+              "(paper: plateau from ~1024)\n", knee.seconds, knee.nodes);
+  return 0;
+}

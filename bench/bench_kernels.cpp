@@ -1,0 +1,152 @@
+// Google-benchmark microbenchmarks of the computational kernels — the
+// C++ analogue of Listing 1 and the other per-iteration sweeps.  These
+// are the building blocks whose bytes/cell constants feed the
+// performance model (model/scaling.cpp).
+
+#include <benchmark/benchmark.h>
+
+#include "comm/sim_comm.hpp"
+#include "ops/kernels2d.hpp"
+#include "precon/preconditioner.hpp"
+#include "util/numeric.hpp"
+
+namespace {
+
+using namespace tealeaf;
+
+std::unique_ptr<SimCluster2D> make_chunk(int n) {
+  auto cl = std::make_unique<SimCluster2D>(
+      GlobalMesh2D(n, n, 0.0, 10.0, 0.0, 10.0), 1, 2);
+  Chunk2D& c = cl->chunk(0);
+  SplitMix64 rng(42);
+  c.density().fill(1.0);
+  for (int k = -2; k < n + 2; ++k)
+    for (int j = -2; j < n + 2; ++j)
+      c.density()(j, k) = rng.next_double(0.5, 4.0);
+  c.energy().fill(1.0);
+  kernels::init_u_u0(c);
+  kernels::init_conduction(c, kernels::Coefficient::kConductivity, 4.0, 4.0);
+  kernels::block_jacobi_init(c);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j) {
+      c.p()(j, k) = rng.next_double(-1.0, 1.0);
+      c.r()(j, k) = rng.next_double(-1.0, 1.0);
+    }
+  return cl;
+}
+
+void BM_Smvp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto cl = make_chunk(n);
+  Chunk2D& c = cl->chunk(0);
+  for (auto _ : state) {
+    kernels::smvp(c, FieldId::kP, FieldId::kW, interior_bounds(c));
+    benchmark::DoNotOptimize(c.w()(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+  state.SetBytesProcessed(state.iterations() * n * n * 32);
+}
+BENCHMARK(BM_Smvp)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_SmvpDotFused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto cl = make_chunk(n);
+  Chunk2D& c = cl->chunk(0);
+  for (auto _ : state) {
+    const double pw =
+        kernels::smvp_dot(c, FieldId::kP, FieldId::kW, interior_bounds(c));
+    benchmark::DoNotOptimize(pw);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SmvpDotFused)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_SmvpExtendedBounds(benchmark::State& state) {
+  // The matrix-powers redundant-compute sweep: same kernel, bigger range.
+  const int n = static_cast<int>(state.range(0));
+  const int ext = static_cast<int>(state.range(1));
+  auto cl = std::make_unique<SimCluster2D>(GlobalMesh2D(2 * n, n), 2,
+                                           std::max(2, ext + 1));
+  Chunk2D& c = cl->chunk(0);
+  c.density().fill(1.0);
+  cl->exchange({FieldId::kDensity}, std::max(2, ext + 1));
+  kernels::init_conduction(c, kernels::Coefficient::kConductivity, 4.0, 4.0);
+  for (auto _ : state) {
+    kernels::smvp(c, FieldId::kP, FieldId::kW, extended_bounds(c, ext));
+    benchmark::DoNotOptimize(c.w()(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          extended_bounds(c, ext).cells());
+}
+BENCHMARK(BM_SmvpExtendedBounds)
+    ->Args({256, 0})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Args({256, 16});
+
+void BM_ChebyFusedUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto cl = make_chunk(n);
+  Chunk2D& c = cl->chunk(0);
+  kernels::smvp(c, FieldId::kP, FieldId::kW, interior_bounds(c));
+  for (auto _ : state) {
+    kernels::cheby_fused_update(c, FieldId::kRtemp, FieldId::kSd,
+                                FieldId::kZ, 0.5, 0.1, true,
+                                interior_bounds(c));
+    benchmark::DoNotOptimize(c.z()(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ChebyFusedUpdate)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_BlockJacobiSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto cl = make_chunk(n);
+  Chunk2D& c = cl->chunk(0);
+  for (auto _ : state) {
+    kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+    benchmark::DoNotOptimize(c.z()(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_BlockJacobiSolve)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_DiagSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto cl = make_chunk(n);
+  Chunk2D& c = cl->chunk(0);
+  for (auto _ : state) {
+    kernels::diag_solve(c, FieldId::kR, FieldId::kZ, interior_bounds(c));
+    benchmark::DoNotOptimize(c.z()(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_DiagSolve)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_HaloExchange(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int depth = static_cast<int>(state.range(1));
+  SimCluster2D cl(GlobalMesh2D(n, n), 4, std::max(2, depth));
+  for (auto _ : state) {
+    cl.exchange({FieldId::kSd}, depth);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HaloExchange)
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Args({256, 16});
+
+void BM_JacobiSweep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto cl = make_chunk(n);
+  Chunk2D& c = cl->chunk(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::jacobi_iterate(c));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_JacobiSweep)->Arg(64)->Arg(256);
+
+}  // namespace

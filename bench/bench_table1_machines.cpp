@@ -1,0 +1,27 @@
+// Table I: test setup specifications — the machine roster behind the
+// strong-scaling study, as encoded in the performance model.
+
+#include <cstdio>
+
+#include "model/machine.hpp"
+
+int main() {
+  using namespace tealeaf;
+  std::printf("Table I: test setup specifications (modelled)\n\n");
+  std::printf("%-38s %-8s %-6s %-9s %-9s %-9s %-10s\n", "system", "device",
+              "ranks", "mem GB/s", "net a us", "net GB/s", "red a us");
+  for (const MachineSpec& m :
+       {machines::spruce_mpi(), machines::spruce_hybrid(), machines::titan(),
+        machines::piz_daint()}) {
+    std::printf("%-38s %-8s %-6d %-9.1f %-9.2f %-9.2f %-10.2f\n",
+                m.name.c_str(), m.is_gpu ? "K20x" : "E5-2680",
+                m.ranks_per_node, m.mem_bw_gbs, m.net_alpha_us, m.net_bw_gbs,
+                m.reduce_alpha_us);
+  }
+  std::printf(
+      "\npaper Table I: Spruce = E5-2680v2 + SGI ICE-X (40,080 cores),\n"
+      "Titan = K20x + Cray Gemini (560,640 cores), Piz Daint = K20x +\n"
+      "Cray Aries (115,984 cores).  Constants above are the calibrated\n"
+      "model parameters standing in for that hardware (DESIGN.md §2.2).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Design-space exploration in miniature (the paper's purpose for
+// TeaLeaf): run the same diffusion problem with every solver and
+// preconditioner combination and compare iterations, operator
+// applications and — crucially — global reductions.
+//
+// Run:  ./examples/solver_comparison [--mesh 96] [--ranks 4]
+
+#include <cstdio>
+
+#include "driver/decks.hpp"
+#include "driver/tealeaf_app.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+void run_case(const tealeaf::InputDeck& base, int ranks, const char* label,
+              tealeaf::SolverType type, tealeaf::PreconType precon,
+              int halo_depth) {
+  tealeaf::InputDeck deck = base;
+  deck.solver.type = type;
+  deck.solver.precon = precon;
+  deck.solver.halo_depth = halo_depth;
+  deck.solver.max_iters = 200000;
+  tealeaf::TeaLeafApp app(deck, ranks);
+  const tealeaf::SolveStats st = app.step();
+  const auto& cs = app.cluster().stats();
+  std::printf("%-24s %7d %9lld %11lld %10lld %10lld  %s\n", label,
+              st.outer_iters, st.spmv_applies,
+              static_cast<long long>(cs.reductions),
+              static_cast<long long>(cs.exchange_calls),
+              static_cast<long long>(cs.message_bytes / 1024),
+              st.converged ? "ok" : "FAILED");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tealeaf::Args args(argc, argv);
+  const int n = args.get_int("mesh", 96);
+  const int ranks = args.get_int("ranks", 4);
+
+  const tealeaf::InputDeck base = tealeaf::decks::layered_material(n, 1);
+  std::printf("one timestep of the layered-material problem, %dx%d, %d "
+              "ranks\n\n", n, n, ranks);
+  std::printf("%-24s %7s %9s %11s %10s %10s\n", "solver", "iters", "spmv",
+              "reductions", "exchanges", "KB moved");
+
+  using tealeaf::PreconType;
+  using tealeaf::SolverType;
+  run_case(base, ranks, "jacobi", SolverType::kJacobi, PreconType::kNone, 1);
+  run_case(base, ranks, "cg", SolverType::kCG, PreconType::kNone, 1);
+  run_case(base, ranks, "cg + diag", SolverType::kCG,
+           PreconType::kJacobiDiag, 1);
+  run_case(base, ranks, "cg + block", SolverType::kCG,
+           PreconType::kJacobiBlock, 1);
+  run_case(base, ranks, "chebyshev", SolverType::kChebyshev,
+           PreconType::kNone, 1);
+  run_case(base, ranks, "ppcg - 1", SolverType::kPPCG, PreconType::kNone, 1);
+  run_case(base, ranks, "ppcg - 4", SolverType::kPPCG, PreconType::kNone, 4);
+  run_case(base, ranks, "ppcg - 8", SolverType::kPPCG, PreconType::kNone, 8);
+  run_case(base, ranks, "ppcg - 16 (GPU sweet spot)", SolverType::kPPCG,
+           PreconType::kNone, 16);
+
+  std::printf(
+      "\nNote how PPCG cuts reductions by ~inner_steps× versus CG, and\n"
+      "deeper matrix-powers halos cut exchange rounds at the same maths.\n");
+  return 0;
+}

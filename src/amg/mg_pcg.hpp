@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+
+#include "amg/multigrid.hpp"
+#include "mesh/chunk.hpp"
+
+namespace tealeaf {
+
+/// Result of one multigrid-preconditioned CG solve.
+struct MGPCGResult {
+  bool converged = false;
+  int iterations = 0;
+  double initial_norm = 0.0;
+  double final_norm = 0.0;
+  double setup_seconds = 0.0;  ///< hierarchy construction (AMG setup cost)
+  double solve_seconds = 0.0;
+};
+
+/// CG preconditioned with one multigrid V-cycle per application — the
+/// reproduction's functional substitute for "PETSc CG + Hypre BoomerAMG"
+/// (paper §V-A, Fig. 7).  It exhibits the two behaviours the paper
+/// contrasts against CPPCG: near mesh-independent iteration counts and an
+/// expensive setup phase.
+///
+/// Runs on the undecomposed global grid; its distributed communication
+/// cost is modelled analytically in src/model (DESIGN.md §2.3).
+class MGPreconditionedCG {
+ public:
+  struct Options {
+    double eps = 1e-10;
+    int max_iters = 1000;
+    Multigrid2D::Options mg;
+  };
+
+  /// Build from face-coefficient fields (same convention as Multigrid2D).
+  MGPreconditionedCG(const Field2D<double>& kx, const Field2D<double>& ky,
+                     int nx, int ny, const Options& opt);
+  MGPreconditionedCG(const Field2D<double>& kx, const Field2D<double>& ky,
+                     int nx, int ny);
+
+  /// Convenience: build from a single-rank TeaLeaf chunk whose Kx/Ky have
+  /// been initialised by kernels::init_conduction.
+  static MGPreconditionedCG from_chunk(const Chunk2D& chunk,
+                                       const Options& opt);
+  static MGPreconditionedCG from_chunk(const Chunk2D& chunk);
+
+  /// Solve A·u = rhs; `u` provides the initial guess and receives the
+  /// solution (interior-indexed fine-grid fields, halo >= 1).
+  MGPCGResult solve(const Field2D<double>& rhs, Field2D<double>& u);
+
+  [[nodiscard]] const Multigrid2D& hierarchy() const { return *mg_; }
+  [[nodiscard]] double setup_seconds() const { return setup_seconds_; }
+
+ private:
+  int nx_;
+  int ny_;
+  Options opt_;
+  std::unique_ptr<Multigrid2D> mg_;
+  double setup_seconds_ = 0.0;
+};
+
+}  // namespace tealeaf

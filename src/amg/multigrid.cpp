@@ -1,0 +1,162 @@
+#include "amg/multigrid.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+namespace {
+
+MGLevel make_level(int nx, int ny) {
+  MGLevel lv;
+  lv.nx = nx;
+  lv.ny = ny;
+  lv.u = Field2D<double>(nx, ny, 1, 0.0);
+  lv.rhs = Field2D<double>(nx, ny, 1, 0.0);
+  lv.res = Field2D<double>(nx, ny, 1, 0.0);
+  lv.kx = Field2D<double>(nx, ny, 1, 0.0);
+  lv.ky = Field2D<double>(nx, ny, 1, 0.0);
+  return lv;
+}
+
+int coarsen(int n) { return (n + 1) / 2; }
+
+}  // namespace
+
+double Multigrid2D::apply_stencil(const MGLevel& lv,
+                                  const Field2D<double>& src, int j, int k) {
+  const auto& kx = lv.kx;
+  const auto& ky = lv.ky;
+  return (1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k))) *
+             src(j, k) -
+         (ky(j, k + 1) * src(j, k + 1) + ky(j, k) * src(j, k - 1)) -
+         (kx(j + 1, k) * src(j + 1, k) + kx(j, k) * src(j - 1, k));
+}
+
+Multigrid2D::Multigrid2D(const Field2D<double>& kx_fine,
+                         const Field2D<double>& ky_fine, int nx, int ny)
+    : Multigrid2D(kx_fine, ky_fine, nx, ny, Options{}) {}
+
+Multigrid2D::Multigrid2D(const Field2D<double>& kx_fine,
+                         const Field2D<double>& ky_fine, int nx, int ny,
+                         const Options& opt)
+    : opt_(opt) {
+  TEA_REQUIRE(nx >= 2 && ny >= 2, "multigrid needs at least a 2x2 grid");
+  TEA_REQUIRE(kx_fine.halo() >= 1 && ky_fine.halo() >= 1,
+              "coefficient fields need a halo for the +1 face row/column");
+  MGLevel fine = make_level(nx, ny);
+  // Copy the fine coefficients including the face at index nx/ny, which a
+  // halo-1 field addresses as its first ghost column/row.
+  for (int k = 0; k < ny; ++k)
+    for (int j = 0; j <= nx; ++j) fine.kx(j, k) = kx_fine(j, k);
+  for (int k = 0; k <= ny; ++k)
+    for (int j = 0; j < nx; ++j) fine.ky(j, k) = ky_fine(j, k);
+  levels_.push_back(std::move(fine));
+
+  while (static_cast<int>(levels_.size()) < opt_.max_levels) {
+    const MGLevel& f = levels_.back();
+    if (std::min(f.nx, f.ny) <= opt_.min_coarse) break;
+    const int cnx = coarsen(f.nx);
+    const int cny = coarsen(f.ny);
+    MGLevel c = make_level(cnx, cny);
+    // Coarse x-face jc sits on fine face 2·jc; average the (up to two)
+    // fine rows it spans and rescale by 1/4 for the doubled spacing.
+    for (int kc = 0; kc < cny; ++kc) {
+      const int k0 = 2 * kc;
+      const int k1 = std::min(2 * kc + 1, f.ny - 1);
+      for (int jc = 0; jc <= cnx; ++jc) {
+        const int jf = std::min(2 * jc, f.nx);
+        const double avg = 0.5 * (f.kx(jf, k0) + f.kx(jf, k1));
+        c.kx(jc, kc) = 0.25 * avg;
+      }
+    }
+    for (int kc = 0; kc <= cny; ++kc) {
+      const int kf = std::min(2 * kc, f.ny);
+      for (int jc = 0; jc < cnx; ++jc) {
+        const int j0 = 2 * jc;
+        const int j1 = std::min(2 * jc + 1, f.nx - 1);
+        const double avg = 0.5 * (f.ky(j0, kf) + f.ky(j1, kf));
+        c.ky(jc, kc) = 0.25 * avg;
+      }
+    }
+    levels_.push_back(std::move(c));
+  }
+}
+
+void Multigrid2D::smooth(MGLevel& lv, int sweeps) {
+  for (int s = 0; s < sweeps; ++s) {
+    // Damped Jacobi: u += ω·(rhs − A·u)/diag, using res as the old-u copy
+    // so the sweep is a true simultaneous update.
+    for (int k = 0; k < lv.ny; ++k)
+      for (int j = 0; j < lv.nx; ++j) lv.res(j, k) = lv.u(j, k);
+    for (int k = 0; k < lv.ny; ++k) {
+      for (int j = 0; j < lv.nx; ++j) {
+        const double diag = 1.0 + (lv.ky(j, k + 1) + lv.ky(j, k)) +
+                            (lv.kx(j + 1, k) + lv.kx(j, k));
+        const double r = lv.rhs(j, k) - apply_stencil(lv, lv.res, j, k);
+        lv.u(j, k) = lv.res(j, k) + opt_.omega * r / diag;
+      }
+    }
+  }
+}
+
+void Multigrid2D::compute_residual(MGLevel& lv) {
+  for (int k = 0; k < lv.ny; ++k)
+    for (int j = 0; j < lv.nx; ++j)
+      lv.res(j, k) = lv.rhs(j, k) - apply_stencil(lv, lv.u, j, k);
+}
+
+void Multigrid2D::restrict_residual(const MGLevel& fine, MGLevel& coarse) {
+  for (int kc = 0; kc < coarse.ny; ++kc) {
+    const int k0 = 2 * kc;
+    const int k1 = std::min(2 * kc + 1, fine.ny - 1);
+    for (int jc = 0; jc < coarse.nx; ++jc) {
+      const int j0 = 2 * jc;
+      const int j1 = std::min(2 * jc + 1, fine.nx - 1);
+      // Average of the (up to four) children — together with piecewise-
+      // constant prolongation this keeps R = c·Pᵀ (symmetric V-cycle).
+      coarse.rhs(jc, kc) = 0.25 * (fine.res(j0, k0) + fine.res(j1, k0) +
+                                   fine.res(j0, k1) + fine.res(j1, k1));
+      coarse.u(jc, kc) = 0.0;
+    }
+  }
+}
+
+void Multigrid2D::prolong_add(const MGLevel& coarse, MGLevel& fine) {
+  for (int kf = 0; kf < fine.ny; ++kf) {
+    const int kc = std::min(kf / 2, coarse.ny - 1);
+    for (int jf = 0; jf < fine.nx; ++jf) {
+      const int jc = std::min(jf / 2, coarse.nx - 1);
+      fine.u(jf, kf) += coarse.u(jc, kc);
+    }
+  }
+}
+
+void Multigrid2D::v_cycle(const Field2D<double>& rhs, Field2D<double>& out) {
+  MGLevel& top = levels_.front();
+  TEA_REQUIRE(rhs.nx() == top.nx && rhs.ny() == top.ny,
+              "rhs shape must match the fine grid");
+  for (int k = 0; k < top.ny; ++k)
+    for (int j = 0; j < top.nx; ++j) {
+      top.rhs(j, k) = rhs(j, k);
+      top.u(j, k) = 0.0;
+    }
+
+  const int nl = num_levels();
+  for (int l = 0; l < nl - 1; ++l) {
+    smooth(levels_[l], opt_.nu_pre);
+    compute_residual(levels_[l]);
+    restrict_residual(levels_[l], levels_[l + 1]);
+  }
+  smooth(levels_[nl - 1], opt_.coarse_sweeps);
+  for (int l = nl - 2; l >= 0; --l) {
+    prolong_add(levels_[l + 1], levels_[l]);
+    smooth(levels_[l], opt_.nu_post);
+  }
+
+  for (int k = 0; k < top.ny; ++k)
+    for (int j = 0; j < top.nx; ++j) out(j, k) = top.u(j, k);
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace tealeaf {
+
+/// Byte-exact accounting of the communication a solver run would perform
+/// on a real distributed machine.  Filled in by SimCluster2D; consumed by
+/// the performance model (src/model) and validated against the analytic
+/// TraceBuilder in tests.
+///
+/// Conventions (matching upstream TeaLeaf's MPI layer):
+///  * One halo exchange packs all requested fields per direction into a
+///    single message, so an exchange contributes at most 4 messages per
+///    rank (left/right in phase 1, bottom/top in phase 2).
+///  * `messages` counts sends; a matching receive is implied.
+///  * A global reduction counts once per allreduce call regardless of
+///    rank count (the model expands it to a log-tree cost).
+struct CommStats {
+  std::int64_t exchange_calls = 0;   ///< halo-exchange invocations
+  std::int64_t messages = 0;         ///< point-to-point sends
+  std::int64_t message_bytes = 0;    ///< payload bytes over all sends
+  std::int64_t reductions = 0;       ///< global allreduce calls
+
+  /// Sends broken down by halo depth (matrix-powers analysis).
+  std::map<int, std::int64_t> messages_by_depth;
+  /// Payload bytes broken down by halo depth.
+  std::map<int, std::int64_t> bytes_by_depth;
+
+  void reset() { *this = CommStats{}; }
+
+  CommStats& operator+=(const CommStats& o) {
+    exchange_calls += o.exchange_calls;
+    messages += o.messages;
+    message_bytes += o.message_bytes;
+    reductions += o.reductions;
+    for (const auto& [d, n] : o.messages_by_depth) messages_by_depth[d] += n;
+    for (const auto& [d, n] : o.bytes_by_depth) bytes_by_depth[d] += n;
+    return *this;
+  }
+};
+
+}  // namespace tealeaf

@@ -1,0 +1,32 @@
+#include "comm/gather.hpp"
+
+namespace tealeaf {
+
+Field2D<double> gather_field(const SimCluster2D& cl, FieldId id) {
+  const GlobalMesh2D& mesh = cl.mesh();
+  Field2D<double> global(mesh.nx, mesh.ny, 0, 0.0);
+  for (int r = 0; r < cl.nranks(); ++r) {
+    const Chunk2D& c = cl.chunk(r);
+    const Field2D<double>& f = c.field(id);
+    const ChunkExtent& e = c.extent();
+    for (int k = 0; k < c.ny(); ++k)
+      for (int j = 0; j < c.nx(); ++j)
+        global(e.x0 + j, e.y0 + k) = f(j, k);
+  }
+  return global;
+}
+
+void scatter_field(SimCluster2D& cl, FieldId id,
+                   const Field2D<double>& global) {
+  TEA_REQUIRE(global.nx() == cl.mesh().nx && global.ny() == cl.mesh().ny,
+              "global field shape must match the mesh");
+  cl.for_each_chunk([&](int, Chunk2D& c) {
+    Field2D<double>& f = c.field(id);
+    const ChunkExtent& e = c.extent();
+    for (int k = 0; k < c.ny(); ++k)
+      for (int j = 0; j < c.nx(); ++j)
+        f(j, k) = global(e.x0 + j, e.y0 + k);
+  });
+}
+
+}  // namespace tealeaf

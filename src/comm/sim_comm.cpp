@@ -1,0 +1,141 @@
+#include "comm/sim_comm.hpp"
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+SimCluster2D::SimCluster2D(const GlobalMesh2D& mesh, int nranks,
+                           int halo_depth)
+    : mesh_(mesh),
+      decomp_(Decomposition2D::create(nranks, mesh)),
+      halo_depth_(halo_depth) {
+  TEA_REQUIRE(halo_depth >= 1, "halo depth must be >= 1");
+  chunks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    chunks_.push_back(
+        std::make_unique<Chunk2D>(decomp_.extent(r), mesh, halo_depth));
+  }
+}
+
+void SimCluster2D::exchange(std::initializer_list<FieldId> fields,
+                            int depth) {
+  exchange(std::vector<FieldId>(fields), depth);
+}
+
+void SimCluster2D::exchange(const std::vector<FieldId>& fields, int depth) {
+  TEA_REQUIRE(depth >= 1 && depth <= halo_depth_,
+              "exchange depth exceeds allocated halo");
+  if (fields.empty()) return;
+  ++stats_.exchange_calls;
+  // Phase ordering matters: x completes for all ranks before y starts so
+  // that the y messages carry fresh corner columns (see class comment).
+  exchange_x(fields, depth);
+  exchange_y(fields, depth);
+}
+
+void SimCluster2D::exchange_x(const std::vector<FieldId>& fields,
+                              int depth) {
+  const int nf = static_cast<int>(fields.size());
+  // Each rank "sends" its edge columns into the neighbour's halo.  In the
+  // simulation the copy is done by the receiving side reading the
+  // neighbour's interior, which is bitwise the same data motion.
+  parallel_for(0, nranks(), [&](std::int64_t r) {
+    Chunk2D& me = *chunks_[r];
+    for (const Face face : {Face::kLeft, Face::kRight}) {
+      const int nb = decomp_.neighbor(static_cast<int>(r), face);
+      if (nb < 0) continue;
+      Chunk2D& other = *chunks_[nb];
+      TEA_ASSERT(other.ny() == me.ny(), "x-neighbours must share rows");
+      for (const FieldId id : fields) {
+        Field2D<double>& dst = me.field(id);
+        const Field2D<double>& src = other.field(id);
+        for (int d = 0; d < depth; ++d) {
+          // Halo column -1-d maps to the right edge of the left neighbour;
+          // column nx+d maps to the left edge of the right neighbour.
+          const int dst_j = (face == Face::kLeft) ? -1 - d : me.nx() + d;
+          const int src_j =
+              (face == Face::kLeft) ? other.nx() - 1 - d : d;
+          for (int k = 0; k < me.ny(); ++k) dst(dst_j, k) = src(src_j, k);
+        }
+      }
+    }
+  });
+  // Accounting: one send per rank per populated direction; all fields
+  // share the message.  Payload: depth columns of ny cells per field.
+  for (int r = 0; r < nranks(); ++r) {
+    const Chunk2D& me = *chunks_[r];
+    for (const Face face : {Face::kLeft, Face::kRight}) {
+      if (decomp_.neighbor(r, face) < 0) continue;
+      const std::int64_t bytes = static_cast<std::int64_t>(depth) * me.ny() *
+                                 nf * static_cast<std::int64_t>(sizeof(double));
+      ++stats_.messages;
+      stats_.message_bytes += bytes;
+      ++stats_.messages_by_depth[depth];
+      stats_.bytes_by_depth[depth] += bytes;
+    }
+  }
+}
+
+void SimCluster2D::exchange_y(const std::vector<FieldId>& fields,
+                              int depth) {
+  const int nf = static_cast<int>(fields.size());
+  parallel_for(0, nranks(), [&](std::int64_t r) {
+    Chunk2D& me = *chunks_[r];
+    for (const Face face : {Face::kBottom, Face::kTop}) {
+      const int nb = decomp_.neighbor(static_cast<int>(r), face);
+      if (nb < 0) continue;
+      Chunk2D& other = *chunks_[nb];
+      TEA_ASSERT(other.nx() == me.nx(), "y-neighbours must share columns");
+      for (const FieldId id : fields) {
+        Field2D<double>& dst = me.field(id);
+        const Field2D<double>& src = other.field(id);
+        for (int d = 0; d < depth; ++d) {
+          const int dst_k = (face == Face::kBottom) ? -1 - d : me.ny() + d;
+          const int src_k =
+              (face == Face::kBottom) ? other.ny() - 1 - d : d;
+          // Rows travel with their x-halo columns so corners propagate.
+          for (int j = -depth; j < me.nx() + depth; ++j) {
+            dst(j, dst_k) = src(j, src_k);
+          }
+        }
+      }
+    }
+  });
+  for (int r = 0; r < nranks(); ++r) {
+    const Chunk2D& me = *chunks_[r];
+    for (const Face face : {Face::kBottom, Face::kTop}) {
+      if (decomp_.neighbor(r, face) < 0) continue;
+      const std::int64_t row_len = me.nx() + 2LL * depth;
+      const std::int64_t bytes = static_cast<std::int64_t>(depth) * row_len *
+                                 nf * static_cast<std::int64_t>(sizeof(double));
+      ++stats_.messages;
+      stats_.message_bytes += bytes;
+      ++stats_.messages_by_depth[depth];
+      stats_.bytes_by_depth[depth] += bytes;
+    }
+  }
+}
+
+double SimCluster2D::reduce_sum(const std::vector<double>& partials) {
+  TEA_REQUIRE(static_cast<int>(partials.size()) == nranks(),
+              "one partial per rank required");
+  ++stats_.reductions;
+  double total = 0.0;
+  for (const double p : partials) total += p;
+  return total;
+}
+
+std::pair<double, double> SimCluster2D::reduce_sum2(
+    const std::vector<std::pair<double, double>>& partials) {
+  TEA_REQUIRE(static_cast<int>(partials.size()) == nranks(),
+              "one partial per rank required");
+  ++stats_.reductions;
+  double a = 0.0, b = 0.0;
+  for (const auto& [pa, pb] : partials) {
+    a += pa;
+    b += pb;
+  }
+  return {a, b};
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "comm/comm_stats.hpp"
+#include "mesh/chunk.hpp"
+#include "mesh/decomposition.hpp"
+#include "mesh/mesh.hpp"
+#include "util/parallel.hpp"
+
+namespace tealeaf {
+
+/// Simulated distributed-memory cluster: the substitution for MPI
+/// documented in DESIGN.md §2.1.
+///
+/// The global mesh is block-decomposed over `nranks` simulated ranks, one
+/// Chunk2D each.  Solvers drive the chunks SPMD-style through
+/// `for_each_chunk` / `sum_over_chunks`, and all inter-rank data motion
+/// goes through `exchange` (halo swap, real byte copies) and `reduce_sum`
+/// (global reduction over ordered per-rank partials).  Every message and
+/// byte is recorded in CommStats so the performance model can replay the
+/// run on a modelled machine.
+///
+/// Halo exchange is two-phase (x first, then y carrying the x-halo
+/// columns), which propagates corner data exactly as upstream TeaLeaf's
+/// staged MPI exchange does — required for matrix-powers halo depths > 1.
+class SimCluster2D {
+ public:
+  /// Decompose `mesh` over `nranks` ranks, allocating every chunk with
+  /// `halo_depth` ghost layers (>= the deepest exchange to be requested).
+  SimCluster2D(const GlobalMesh2D& mesh, int nranks, int halo_depth);
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(chunks_.size()); }
+  [[nodiscard]] int halo_depth() const { return halo_depth_; }
+  [[nodiscard]] const GlobalMesh2D& mesh() const { return mesh_; }
+  [[nodiscard]] const Decomposition2D& decomposition() const {
+    return decomp_;
+  }
+  [[nodiscard]] Chunk2D& chunk(int rank) { return *chunks_[rank]; }
+  [[nodiscard]] const Chunk2D& chunk(int rank) const {
+    return *chunks_[rank];
+  }
+
+  /// Swap `depth` halo layers of each listed field with all face
+  /// neighbours.  All fields travel in one message per direction.
+  void exchange(std::initializer_list<FieldId> fields, int depth);
+  void exchange(const std::vector<FieldId>& fields, int depth);
+
+  /// Global sum of one partial value per rank, accumulated in rank order
+  /// (deterministic).  Counts one allreduce.
+  double reduce_sum(const std::vector<double>& partials);
+
+  /// Fused global sum of two values per rank in a single allreduce (the
+  /// MPI_Allreduce-of-a-vector the paper's §VII future work proposes for
+  /// combining CG's dot products).  Counts ONE reduction.
+  std::pair<double, double> reduce_sum2(
+      const std::vector<std::pair<double, double>>& partials);
+
+  /// Run `body(rank, chunk)` for every rank, parallelised over ranks.
+  template <class Body>
+  void for_each_chunk(Body&& body) {
+    parallel_for(0, nranks(), [&](std::int64_t r) {
+      body(static_cast<int>(r), *chunks_[r]);
+    });
+  }
+
+  /// Evaluate `body(rank, chunk) -> double` on every rank and globally
+  /// reduce the partials (counts one allreduce).
+  template <class Body>
+  double sum_over_chunks(Body&& body) {
+    std::vector<double> partials(static_cast<std::size_t>(nranks()), 0.0);
+    parallel_for(0, nranks(), [&](std::int64_t r) {
+      partials[r] = body(static_cast<int>(r), *chunks_[r]);
+    });
+    return reduce_sum(partials);
+  }
+
+  [[nodiscard]] CommStats& stats() { return stats_; }
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  void exchange_x(const std::vector<FieldId>& fields, int depth);
+  void exchange_y(const std::vector<FieldId>& fields, int depth);
+
+  GlobalMesh2D mesh_;
+  Decomposition2D decomp_;
+  int halo_depth_;
+  std::vector<std::unique_ptr<Chunk2D>> chunks_;
+  CommStats stats_;
+};
+
+}  // namespace tealeaf

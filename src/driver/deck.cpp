@@ -1,0 +1,287 @@
+#include "driver/deck.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+bool StateDef::contains(double x, double y, double dx, double dy) const {
+  switch (geometry) {
+    case Geometry::kBackground:
+      return true;
+    case Geometry::kRectangle:
+      return x >= xmin && x < xmax && y >= ymin && y < ymax;
+    case Geometry::kCircle: {
+      const double ddx = x - cx;
+      const double ddy = y - cy;
+      return ddx * ddx + ddy * ddy <= radius * radius;
+    }
+    case Geometry::kPoint:
+      // The cell whose centre is nearest the point (within half a cell).
+      return std::fabs(x - px) <= 0.5 * dx && std::fabs(y - py) <= 0.5 * dy;
+  }
+  return false;
+}
+
+namespace {
+
+/// Split "key=value" tokens of a state line into a map.
+std::map<std::string, std::string> tokenize_kv(std::istringstream& line) {
+  std::map<std::string, std::string> kv;
+  std::string tok;
+  while (line >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      kv[tok] = "";
+    } else {
+      kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+  }
+  return kv;
+}
+
+double to_double(const std::string& s, const std::string& key) {
+  try {
+    return std::stod(s);
+  } catch (const std::exception&) {
+    throw TeaError("deck: bad numeric value for " + key + ": '" + s + "'");
+  }
+}
+
+StateDef parse_state(std::istringstream& line) {
+  int index = 0;
+  line >> index;
+  TEA_REQUIRE(index >= 1, "deck: state index must be >= 1");
+  StateDef st;
+  st.geometry = (index == 1) ? StateDef::Geometry::kBackground
+                             : StateDef::Geometry::kRectangle;
+  const auto kv = tokenize_kv(line);
+  for (const auto& [key, value] : kv) {
+    if (key == "density") {
+      st.density = to_double(value, key);
+    } else if (key == "energy") {
+      st.energy = to_double(value, key);
+    } else if (key == "geometry") {
+      if (value == "rectangle") {
+        st.geometry = StateDef::Geometry::kRectangle;
+      } else if (value == "circle" || value == "circular") {
+        st.geometry = StateDef::Geometry::kCircle;
+      } else if (value == "point") {
+        st.geometry = StateDef::Geometry::kPoint;
+      } else {
+        throw TeaError("deck: unknown geometry '" + value + "'");
+      }
+    } else if (key == "xmin") {
+      st.xmin = to_double(value, key);
+    } else if (key == "xmax") {
+      st.xmax = to_double(value, key);
+    } else if (key == "ymin") {
+      st.ymin = to_double(value, key);
+    } else if (key == "ymax") {
+      st.ymax = to_double(value, key);
+    } else if (key == "xcentre" || key == "xcenter") {
+      st.cx = to_double(value, key);
+    } else if (key == "ycentre" || key == "ycenter") {
+      st.cy = to_double(value, key);
+    } else if (key == "radius") {
+      st.radius = to_double(value, key);
+    } else if (key == "x") {
+      st.px = to_double(value, key);
+    } else if (key == "y") {
+      st.py = to_double(value, key);
+    } else {
+      throw TeaError("deck: unknown state key '" + key + "'");
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+InputDeck InputDeck::parse(std::istream& in) {
+  InputDeck deck;
+  deck.states.clear();
+  std::string raw;
+  bool in_block = false;
+  while (std::getline(in, raw)) {
+    // Strip comments (! and # start a comment, as in upstream decks).
+    const auto cpos = raw.find_first_of("!#");
+    if (cpos != std::string::npos) raw = raw.substr(0, cpos);
+    std::istringstream line(raw);
+    std::string key;
+    if (!(line >> key)) continue;
+    if (key == "*tea") {
+      in_block = true;
+      continue;
+    }
+    if (key == "*endtea") break;
+    if (!in_block) continue;
+
+    // `key=value` single-token form.
+    std::string value;
+    const auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+    } else {
+      line >> value;  // `key value` form (may be empty for flags)
+    }
+
+    if (key == "state") {
+      std::istringstream full(raw);
+      std::string skip;
+      full >> skip;  // consume "state"
+      deck.states.push_back(parse_state(full));
+    } else if (key == "x_cells") {
+      deck.x_cells = static_cast<int>(to_double(value, key));
+    } else if (key == "y_cells") {
+      deck.y_cells = static_cast<int>(to_double(value, key));
+    } else if (key == "xmin") {
+      deck.xmin = to_double(value, key);
+    } else if (key == "xmax") {
+      deck.xmax = to_double(value, key);
+    } else if (key == "ymin") {
+      deck.ymin = to_double(value, key);
+    } else if (key == "ymax") {
+      deck.ymax = to_double(value, key);
+    } else if (key == "initial_timestep") {
+      deck.initial_timestep = to_double(value, key);
+    } else if (key == "end_time") {
+      deck.end_time = to_double(value, key);
+    } else if (key == "end_step") {
+      deck.end_step = static_cast<int>(to_double(value, key));
+    } else if (key == "tl_max_iters") {
+      deck.solver.max_iters = static_cast<int>(to_double(value, key));
+    } else if (key == "tl_eps") {
+      deck.solver.eps = to_double(value, key);
+    } else if (key == "tl_use_jacobi") {
+      deck.solver.type = SolverType::kJacobi;
+    } else if (key == "tl_use_cg") {
+      deck.solver.type = SolverType::kCG;
+    } else if (key == "tl_use_chebyshev") {
+      deck.solver.type = SolverType::kChebyshev;
+    } else if (key == "tl_use_ppcg") {
+      deck.solver.type = SolverType::kPPCG;
+    } else if (key == "tl_preconditioner_type") {
+      if (value == "none") {
+        deck.solver.precon = PreconType::kNone;
+      } else if (value == "jac_diag") {
+        deck.solver.precon = PreconType::kJacobiDiag;
+      } else if (value == "jac_block") {
+        deck.solver.precon = PreconType::kJacobiBlock;
+      } else {
+        throw TeaError("deck: unknown preconditioner '" + value + "'");
+      }
+    } else if (key == "tl_ppcg_inner_steps") {
+      deck.solver.inner_steps = static_cast<int>(to_double(value, key));
+    } else if (key == "tl_eigen_cg_iters" || key == "tl_cheby_presteps") {
+      deck.solver.eigen_cg_iters = static_cast<int>(to_double(value, key));
+    } else if (key == "tl_halo_depth") {
+      deck.solver.halo_depth = static_cast<int>(to_double(value, key));
+    } else if (key == "tl_cg_fuse_reductions") {
+      deck.solver.fuse_cg_reductions = true;
+    } else if (key == "tl_coefficient") {
+      if (value == "conductivity") {
+        deck.coefficient = kernels::Coefficient::kConductivity;
+      } else if (value == "recip_conductivity") {
+        deck.coefficient = kernels::Coefficient::kRecipConductivity;
+      } else {
+        throw TeaError("deck: unknown coefficient '" + value + "'");
+      }
+    } else {
+      throw TeaError("deck: unknown key '" + key + "'");
+    }
+  }
+  deck.validate();
+  return deck;
+}
+
+InputDeck InputDeck::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+std::string InputDeck::to_string() const {
+  std::ostringstream os;
+  os << "*tea\n";
+  os << "x_cells=" << x_cells << "\n";
+  os << "y_cells=" << y_cells << "\n";
+  os << "xmin=" << xmin << "\nxmax=" << xmax << "\nymin=" << ymin
+     << "\nymax=" << ymax << "\n";
+  os << "initial_timestep=" << initial_timestep << "\n";
+  if (end_time > 0.0) os << "end_time=" << end_time << "\n";
+  if (end_step > 0) os << "end_step=" << end_step << "\n";
+  os << "tl_max_iters=" << solver.max_iters << "\n";
+  os << "tl_eps=" << solver.eps << "\n";
+  switch (solver.type) {
+    case SolverType::kJacobi: os << "tl_use_jacobi\n"; break;
+    case SolverType::kCG: os << "tl_use_cg\n"; break;
+    case SolverType::kChebyshev: os << "tl_use_chebyshev\n"; break;
+    case SolverType::kPPCG: os << "tl_use_ppcg\n"; break;
+  }
+  os << "tl_preconditioner_type=" << tealeaf::to_string(solver.precon)
+     << "\n";
+  os << "tl_ppcg_inner_steps=" << solver.inner_steps << "\n";
+  os << "tl_eigen_cg_iters=" << solver.eigen_cg_iters << "\n";
+  os << "tl_halo_depth=" << solver.halo_depth << "\n";
+  if (solver.fuse_cg_reductions) os << "tl_cg_fuse_reductions\n";
+  os << "tl_coefficient="
+     << (coefficient == kernels::Coefficient::kConductivity
+             ? "conductivity"
+             : "recip_conductivity")
+     << "\n";
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const StateDef& st = states[i];
+    os << "state " << (i + 1) << " density=" << st.density
+       << " energy=" << st.energy;
+    switch (st.geometry) {
+      case StateDef::Geometry::kBackground:
+        break;
+      case StateDef::Geometry::kRectangle:
+        os << " geometry=rectangle xmin=" << st.xmin << " xmax=" << st.xmax
+           << " ymin=" << st.ymin << " ymax=" << st.ymax;
+        break;
+      case StateDef::Geometry::kCircle:
+        os << " geometry=circle xcentre=" << st.cx << " ycentre=" << st.cy
+           << " radius=" << st.radius;
+        break;
+      case StateDef::Geometry::kPoint:
+        os << " geometry=point x=" << st.px << " y=" << st.py;
+        break;
+    }
+    os << "\n";
+  }
+  os << "*endtea\n";
+  return os.str();
+}
+
+int InputDeck::num_steps() const {
+  int steps = end_step;
+  if (end_time > 0.0) {
+    const int by_time = static_cast<int>(
+        std::ceil(end_time / initial_timestep - 1e-9));
+    steps = (steps > 0) ? std::min(steps, by_time) : by_time;
+  }
+  return steps;
+}
+
+void InputDeck::validate() const {
+  TEA_REQUIRE(x_cells > 0 && y_cells > 0, "deck: cell counts must be > 0");
+  TEA_REQUIRE(xmax > xmin && ymax > ymin, "deck: domain must be non-empty");
+  TEA_REQUIRE(initial_timestep > 0.0, "deck: timestep must be positive");
+  TEA_REQUIRE(end_time > 0.0 || end_step > 0,
+              "deck: need end_time or end_step");
+  TEA_REQUIRE(!states.empty(), "deck: need at least the background state");
+  TEA_REQUIRE(states.front().geometry == StateDef::Geometry::kBackground,
+              "deck: state 1 must be the background");
+  for (const StateDef& st : states) {
+    TEA_REQUIRE(st.density > 0.0, "deck: densities must be positive");
+    TEA_REQUIRE(st.energy >= 0.0, "deck: energies must be non-negative");
+  }
+  solver.validate();
+}
+
+}  // namespace tealeaf

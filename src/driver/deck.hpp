@@ -1,0 +1,70 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ops/kernels2d.hpp"
+#include "solvers/solver_config.hpp"
+
+namespace tealeaf {
+
+/// One material/energy region, equivalent to a `state` line in an
+/// upstream tea.in deck.  State 1 is the background; later states
+/// overwrite cells whose centres fall inside their geometry.
+struct StateDef {
+  enum class Geometry { kBackground, kRectangle, kCircle, kPoint };
+
+  double density = 1.0;
+  double energy = 1.0;
+  Geometry geometry = Geometry::kBackground;
+
+  // kRectangle: [xmin,xmax] × [ymin,ymax].
+  double xmin = 0.0, xmax = 0.0, ymin = 0.0, ymax = 0.0;
+  // kCircle: centre + radius.
+  double cx = 0.0, cy = 0.0, radius = 0.0;
+  // kPoint: the cell containing (px_, py_).
+  double px = 0.0, py = 0.0;
+
+  [[nodiscard]] bool contains(double x, double y, double dx,
+                              double dy) const;
+};
+
+/// Complete description of a TeaLeaf run: mesh, physics, timestep control,
+/// material states and the solver configuration.  Parsed from a tea.in
+/// style text deck or built programmatically (see decks.hpp).
+struct InputDeck {
+  int x_cells = 10;
+  int y_cells = 10;
+  double xmin = 0.0, xmax = 10.0, ymin = 0.0, ymax = 10.0;
+
+  double initial_timestep = 0.04;  ///< fixed dt (paper §V-B: 0.04 µs)
+  double end_time = 0.0;           ///< stop at this simulated time (if > 0)
+  int end_step = 0;                ///< stop after this many steps (if > 0)
+
+  kernels::Coefficient coefficient = kernels::Coefficient::kConductivity;
+  SolverConfig solver;
+  std::vector<StateDef> states;  ///< states[0] is the background
+
+  /// Parse a tea.in-style deck.  Recognised keys (one per line between
+  /// `*tea` and `*endtea`): x_cells, y_cells, xmin/xmax/ymin/ymax,
+  /// initial_timestep, end_time, end_step, tl_max_iters, tl_eps,
+  /// tl_use_jacobi / tl_use_cg / tl_use_chebyshev / tl_use_ppcg,
+  /// tl_preconditioner_type (none|jac_diag|jac_block), tl_ppcg_inner_steps,
+  /// tl_eigen_cg_iters, tl_halo_depth (matrix powers),
+  /// tl_coefficient (conductivity|recip_conductivity) and `state` lines:
+  ///   state <n> density=<v> energy=<v> [geometry=rectangle|circle|point
+  ///     xmin= xmax= ymin= ymax= | xcentre= ycentre= radius= | x= y=]
+  static InputDeck parse(std::istream& in);
+  static InputDeck parse_string(const std::string& text);
+
+  /// Serialise back to deck text (round-trips through parse).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Number of timesteps the run will take.
+  [[nodiscard]] int num_steps() const;
+
+  void validate() const;
+};
+
+}  // namespace tealeaf

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "driver/deck.hpp"
+
+namespace tealeaf::decks {
+
+/// The paper's evaluation problem (§V-B, Fig. 3): a dense low-conduction
+/// material crossed by a crooked pipe of low-density, high-conduction
+/// material with a hot source at the pipe inlet.  Domain 10×10, fixed
+/// dt = 0.04 µs, end time 15 µs.  `n` is the square mesh resolution
+/// (paper: 4000); `steps` overrides the step count (0 = run to 15 µs).
+[[nodiscard]] InputDeck crooked_pipe(int n, int steps = 0);
+
+/// A simple square hot-block benchmark in a uniform cold medium
+/// (tea_bm-style), convenient for convergence studies and tests.
+[[nodiscard]] InputDeck hot_block(int n, int steps = 1);
+
+/// Smoothly varying material (two density bands + circular inclusion):
+/// exercises non-trivial coefficients without the crooked pipe's extreme
+/// contrast.  Used by property tests and the quickstart example.
+[[nodiscard]] InputDeck layered_material(int n, int steps = 1);
+
+}  // namespace tealeaf::decks

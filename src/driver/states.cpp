@@ -1,0 +1,27 @@
+#include "driver/states.hpp"
+
+namespace tealeaf {
+
+void apply_states(SimCluster2D& cl, const InputDeck& deck) {
+  const double dx = cl.mesh().dx();
+  const double dy = cl.mesh().dy();
+  cl.for_each_chunk([&](int, Chunk2D& c) {
+    auto& density = c.density();
+    auto& energy = c.energy();
+    for (int k = 0; k < c.ny(); ++k) {
+      for (int j = 0; j < c.nx(); ++j) {
+        const double x = c.cell_x(j);
+        const double y = c.cell_y(k);
+        for (const StateDef& st : deck.states) {
+          if (st.contains(x, y, dx, dy)) {
+            density(j, k) = st.density;
+            energy(j, k) = st.energy;
+          }
+        }
+      }
+    }
+    c.energy0().copy_interior_from(energy);
+  });
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "comm/sim_comm.hpp"
+#include "driver/deck.hpp"
+
+namespace tealeaf {
+
+/// Initialise density and energy on every chunk from the deck's states:
+/// the background state fills everything, later states overwrite the
+/// cells whose centres fall inside their geometry (upstream
+/// generate_chunk semantics, without sub-cell volume fractions).
+void apply_states(SimCluster2D& cl, const InputDeck& deck);
+
+}  // namespace tealeaf

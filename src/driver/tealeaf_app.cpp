@@ -1,0 +1,106 @@
+#include "driver/tealeaf_app.hpp"
+
+#include <algorithm>
+
+#include "driver/states.hpp"
+#include "ops/kernels2d.hpp"
+#include "solvers/solver.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace tealeaf {
+
+TeaLeafApp::TeaLeafApp(const InputDeck& deck, int nranks) : deck_(deck) {
+  deck_.validate();
+  const GlobalMesh2D mesh(deck_.x_cells, deck_.y_cells, deck_.xmin,
+                          deck_.xmax, deck_.ymin, deck_.ymax);
+  // Upstream allocates at least two halo layers; matrix powers needs the
+  // full configured depth.
+  const int halo = std::max(2, deck_.solver.halo_depth);
+  cluster_ = std::make_unique<SimCluster2D>(mesh, nranks, halo);
+  apply_states(*cluster_, deck_);
+  // Seed u = ρ·e so a pre-step field_summary reports the initial state.
+  cluster_->for_each_chunk(
+      [](int, Chunk2D& c) { kernels::init_u_u0(c); });
+}
+
+SolveStats TeaLeafApp::step() {
+  SimCluster2D& cl = *cluster_;
+  const double dt = deck_.initial_timestep;
+  const double rx = dt / (cl.mesh().dx() * cl.mesh().dx());
+  const double ry = dt / (cl.mesh().dy() * cl.mesh().dy());
+
+  // The matrix-powers extended sweeps and the face-coefficient build both
+  // read material fields deep into the halo: one full-depth exchange.
+  cl.exchange({FieldId::kDensity, FieldId::kEnergy1}, cl.halo_depth());
+  cl.for_each_chunk([&](int, Chunk2D& c) {
+    kernels::init_u_u0(c);
+    kernels::init_conduction(c, deck_.coefficient, rx, ry);
+  });
+
+  SolveStats stats = solve_linear_system(cl, deck_.solver);
+
+  // Recover specific energy from the temperature solution.
+  cl.for_each_chunk([](int, Chunk2D& c) {
+    auto& energy = c.energy();
+    const auto& u = c.u();
+    const auto& density = c.density();
+    for (int k = 0; k < c.ny(); ++k)
+      for (int j = 0; j < c.nx(); ++j)
+        energy(j, k) = u(j, k) / density(j, k);
+  });
+
+  sim_time_ += dt;
+  ++steps_taken_;
+  history_.push_back(stats);
+  return stats;
+}
+
+RunResult TeaLeafApp::run() {
+  Timer timer;
+  RunResult result;
+  const int steps = deck_.num_steps();
+  for (int s = 0; s < steps; ++s) {
+    const SolveStats st = step();
+    result.all_converged = result.all_converged && st.converged;
+    result.total_outer_iters += st.outer_iters;
+    result.total_inner_steps += st.inner_steps;
+    result.total_spmv += st.spmv_applies;
+    if (log::level() <= log::Level::kDebug) {
+      log::debug() << "step " << steps_taken_ << " t=" << sim_time_
+                   << " iters=" << st.outer_iters
+                   << " norm=" << st.final_norm
+                   << (st.converged ? "" : " (NOT CONVERGED)");
+    }
+  }
+  result.steps = steps_taken_;
+  result.sim_time = sim_time_;
+  result.final_summary = field_summary();
+  result.wall_seconds = timer.elapsed_s();
+  return result;
+}
+
+FieldSummary TeaLeafApp::field_summary() {
+  SimCluster2D& cl = *cluster_;
+  const double cell_area = cl.mesh().cell_area();
+  FieldSummary fs;
+  fs.volume = cl.sum_over_chunks([&](int, const Chunk2D& c) {
+    return cell_area * static_cast<double>(c.nx()) * c.ny();
+  });
+  fs.mass = cl.sum_over_chunks([&](int, Chunk2D& c) {
+    return cell_area * c.density().sum_interior();
+  });
+  fs.ie = cl.sum_over_chunks([&](int, Chunk2D& c) {
+    double acc = 0.0;
+    for (int k = 0; k < c.ny(); ++k)
+      for (int j = 0; j < c.nx(); ++j)
+        acc += c.density()(j, k) * c.energy()(j, k);
+    return acc * cell_area;
+  });
+  fs.temp = cl.sum_over_chunks([&](int, Chunk2D& c) {
+    return cell_area * c.u().sum_interior();
+  });
+  return fs;
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/sim_comm.hpp"
+#include "driver/deck.hpp"
+
+namespace tealeaf {
+
+/// Volume-weighted diagnostics over the whole domain (upstream
+/// field_summary kernel).
+struct FieldSummary {
+  double volume = 0.0;    ///< Σ cell areas
+  double mass = 0.0;      ///< Σ ρ·dA
+  double ie = 0.0;        ///< Σ ρ·e·dA (internal energy)
+  double temp = 0.0;      ///< Σ u·dA
+  /// Domain-average temperature (the quantity of Fig. 4).
+  [[nodiscard]] double avg_temp() const {
+    return volume > 0.0 ? temp / volume : 0.0;
+  }
+};
+
+/// Aggregate outcome of a full run.
+struct RunResult {
+  int steps = 0;
+  double sim_time = 0.0;
+  bool all_converged = true;
+  long long total_outer_iters = 0;
+  long long total_inner_steps = 0;
+  long long total_spmv = 0;
+  double wall_seconds = 0.0;
+  FieldSummary final_summary;
+};
+
+/// The TeaLeaf application driver: owns the simulated cluster, applies
+/// the deck's material states and marches the implicit heat-conduction
+/// solve through time (upstream diffuse()/timestep loop).
+class TeaLeafApp {
+ public:
+  /// Build the cluster (decomposed over `nranks` simulated ranks) and
+  /// initialise fields from the deck.  Halo depth is sized for the
+  /// solver's matrix-powers configuration.
+  TeaLeafApp(const InputDeck& deck, int nranks);
+
+  /// Advance one timestep: u0 = ρ·e, rebuild conduction coefficients,
+  /// solve A·u = u0, update e = u/ρ.  Returns the solve statistics.
+  SolveStats step();
+
+  /// Run `deck.num_steps()` steps (or until end_time).
+  RunResult run();
+
+  [[nodiscard]] FieldSummary field_summary();
+
+  [[nodiscard]] SimCluster2D& cluster() { return *cluster_; }
+  [[nodiscard]] const InputDeck& deck() const { return deck_; }
+  [[nodiscard]] double sim_time() const { return sim_time_; }
+  [[nodiscard]] int steps_taken() const { return steps_taken_; }
+  [[nodiscard]] const std::vector<SolveStats>& history() const {
+    return history_;
+  }
+
+ private:
+  InputDeck deck_;
+  std::unique_ptr<SimCluster2D> cluster_;
+  double sim_time_ = 0.0;
+  int steps_taken_ = 0;
+  std::vector<SolveStats> history_;
+};
+
+}  // namespace tealeaf

@@ -1,0 +1,3 @@
+// CsvWriter is header-only; this TU anchors the library and keeps the
+// build layout uniform (one .cpp per io component).
+#include "io/csv.hpp"

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tealeaf::io {
+
+/// Small CSV emitter used by the benchmark harnesses to dump the series
+/// behind each figure (readable by any plotting tool).  Also mirrors rows
+/// to an in-memory buffer so tests can assert on the output.
+class CsvWriter {
+ public:
+  /// Open `path` for writing; pass an empty path for in-memory only.
+  explicit CsvWriter(const std::string& path) {
+    if (!path.empty()) {
+      file_.open(path);
+      TEA_REQUIRE(file_.is_open(), "cannot open CSV output: " + path);
+    }
+  }
+
+  void header(const std::vector<std::string>& columns) { emit(columns); }
+
+  template <class... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    (cells.push_back(to_cell(values)), ...);
+    emit(cells);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+
+ private:
+  template <class T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  void emit(const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) line += ",";
+      line += cells[i];
+    }
+    lines_.push_back(line);
+    if (file_.is_open()) file_ << line << "\n";
+  }
+
+  std::ofstream file_;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace tealeaf::io

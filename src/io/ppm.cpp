@@ -1,0 +1,76 @@
+#include "io/ppm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tealeaf::io {
+
+Rgb heat_colour(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Piecewise-linear "jet"-like palette: dark blue → cyan → yellow → red.
+  const auto lerp = [](double a, double b, double s) {
+    return a + (b - a) * s;
+  };
+  double r = 0.0, g = 0.0, b = 0.0;
+  if (t < 0.25) {
+    const double s = t / 0.25;
+    r = 0.0;
+    g = lerp(0.0, 1.0, s);
+    b = 1.0;
+  } else if (t < 0.5) {
+    const double s = (t - 0.25) / 0.25;
+    r = 0.0;
+    g = 1.0;
+    b = lerp(1.0, 0.0, s);
+  } else if (t < 0.75) {
+    const double s = (t - 0.5) / 0.25;
+    r = lerp(0.0, 1.0, s);
+    g = 1.0;
+    b = 0.0;
+  } else {
+    const double s = (t - 0.75) / 0.25;
+    r = 1.0;
+    g = lerp(1.0, 0.0, s);
+    b = 0.0;
+  }
+  return Rgb{static_cast<unsigned char>(r * 255.0 + 0.5),
+             static_cast<unsigned char>(g * 255.0 + 0.5),
+             static_cast<unsigned char>(b * 255.0 + 0.5)};
+}
+
+void write_ppm(const Field2D<double>& field, const std::string& path,
+               double lo, double hi) {
+  if (lo == hi) {
+    lo = field(0, 0);
+    hi = field(0, 0);
+    for (int k = 0; k < field.ny(); ++k) {
+      for (int j = 0; j < field.nx(); ++j) {
+        lo = std::min(lo, field(j, k));
+        hi = std::max(hi, field(j, k));
+      }
+    }
+    if (hi == lo) hi = lo + 1.0;
+  }
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  TEA_REQUIRE(f != nullptr, "cannot open PPM output: " + path);
+  std::fprintf(f.get(), "P6\n%d %d\n255\n", field.nx(), field.ny());
+  std::vector<unsigned char> row(static_cast<std::size_t>(field.nx()) * 3);
+  for (int k = field.ny() - 1; k >= 0; --k) {
+    for (int j = 0; j < field.nx(); ++j) {
+      const double t = (field(j, k) - lo) / (hi - lo);
+      const Rgb c = heat_colour(t);
+      row[3 * static_cast<std::size_t>(j)] = c.r;
+      row[3 * static_cast<std::size_t>(j) + 1] = c.g;
+      row[3 * static_cast<std::size_t>(j) + 2] = c.b;
+    }
+    std::fwrite(row.data(), 1, row.size(), f.get());
+  }
+}
+
+}  // namespace tealeaf::io

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+
+#include "mesh/field2d.hpp"
+
+namespace tealeaf::io {
+
+/// Write a field as a binary PPM heat map (blue = cold → red = hot, the
+/// palette of the paper's Fig. 3).  Values are normalised to
+/// [lo, hi]; pass lo == hi to auto-range from the data.  Row k = 0 is the
+/// bottom of the image (y axis points up, as in the figure).
+void write_ppm(const Field2D<double>& field, const std::string& path,
+               double lo = 0.0, double hi = 0.0);
+
+/// The colour map used by write_ppm, exposed for tests: maps t ∈ [0,1]
+/// to RGB.
+struct Rgb {
+  unsigned char r = 0, g = 0, b = 0;
+};
+[[nodiscard]] Rgb heat_colour(double t);
+
+}  // namespace tealeaf::io

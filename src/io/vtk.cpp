@@ -1,0 +1,35 @@
+#include "io/vtk.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace tealeaf::io {
+
+void write_vtk(const GlobalMesh2D& mesh,
+               const std::map<std::string, const Field2D<double>*>& fields,
+               const std::string& path) {
+  std::ofstream f(path);
+  TEA_REQUIRE(f.is_open(), "cannot open VTK output: " + path);
+  f << "# vtk DataFile Version 3.0\n";
+  f << "TeaLeaf++ field dump\n";
+  f << "ASCII\n";
+  f << "DATASET STRUCTURED_POINTS\n";
+  f << "DIMENSIONS " << mesh.nx << " " << mesh.ny << " 1\n";
+  f << "ORIGIN " << mesh.cell_x(0) << " " << mesh.cell_y(0) << " 0\n";
+  f << "SPACING " << mesh.dx() << " " << mesh.dy() << " 1\n";
+  f << "POINT_DATA " << (static_cast<long long>(mesh.nx) * mesh.ny) << "\n";
+  for (const auto& [name, field] : fields) {
+    TEA_REQUIRE(field->nx() == mesh.nx && field->ny() == mesh.ny,
+                "field shape must match the mesh: " + name);
+    f << "SCALARS " << name << " double 1\n";
+    f << "LOOKUP_TABLE default\n";
+    for (int k = 0; k < mesh.ny; ++k) {
+      for (int j = 0; j < mesh.nx; ++j) {
+        f << (*field)(j, k) << "\n";
+      }
+    }
+  }
+}
+
+}  // namespace tealeaf::io

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mesh/field2d.hpp"
+#include "mesh/mesh.hpp"
+
+namespace tealeaf::io {
+
+/// Write one or more global cell fields as a legacy-VTK structured-points
+/// file (loadable in ParaView/VisIt), matching upstream TeaLeaf's
+/// visit-dump capability.
+void write_vtk(const GlobalMesh2D& mesh,
+               const std::map<std::string, const Field2D<double>*>& fields,
+               const std::string& path);
+
+}  // namespace tealeaf::io

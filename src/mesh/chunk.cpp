@@ -1,0 +1,31 @@
+#include "mesh/chunk.hpp"
+
+namespace tealeaf {
+
+Chunk2D::Chunk2D(const ChunkExtent& extent, const GlobalMesh2D& mesh,
+                 int halo_depth)
+    : extent_(extent), mesh_(mesh), halo_depth_(halo_depth) {
+  TEA_REQUIRE(extent.nx > 0 && extent.ny > 0, "chunk must own cells");
+  TEA_REQUIRE(halo_depth >= 1, "solvers need at least one halo layer");
+  for (auto& f : fields_) {
+    f = Field2D<double>(extent.nx, extent.ny, halo_depth, 0.0);
+  }
+}
+
+Field2D<double>& Chunk2D::field(FieldId id) { return fields_[idx(id)]; }
+
+const Field2D<double>& Chunk2D::field(FieldId id) const {
+  return fields_[idx(id)];
+}
+
+bool Chunk2D::at_boundary(Face face) const {
+  switch (face) {
+    case Face::kLeft: return extent_.x0 == 0;
+    case Face::kRight: return extent_.x0 + extent_.nx == mesh_.nx;
+    case Face::kBottom: return extent_.y0 == 0;
+    case Face::kTop: return extent_.y0 + extent_.ny == mesh_.ny;
+  }
+  TEA_ASSERT(false, "invalid face");
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <array>
+
+#include "mesh/decomposition.hpp"
+#include "mesh/field2d.hpp"
+#include "mesh/mesh.hpp"
+
+namespace tealeaf {
+
+/// Identifiers for the per-chunk solver fields (mirrors the field set of
+/// upstream TeaLeaf's `chunk_type`).  Used to select fields for halo
+/// exchanges and generic access.
+enum class FieldId : int {
+  kDensity = 0,  ///< material density ρ
+  kEnergy0,      ///< specific energy at step start
+  kEnergy1,      ///< specific energy being advanced
+  kU,            ///< solution vector (temperature ρ·e)
+  kU0,           ///< right-hand side (initial temperature)
+  kP,            ///< CG search direction
+  kR,            ///< residual
+  kW,            ///< operator application scratch (w = A p)
+  kZ,            ///< preconditioned residual / inner-solve accumulator
+  kSd,           ///< Chebyshev / PPCG step direction
+  kRtemp,        ///< PPCG inner residual
+  kKx,           ///< x-face conduction coefficient (scaled by rx)
+  kKy,           ///< y-face conduction coefficient (scaled by ry)
+  kCp,           ///< block-Jacobi Thomas forward coefficients
+  kBfp,          ///< block-Jacobi Thomas back-substitution factors
+};
+
+inline constexpr int kNumFieldIds = 15;
+
+/// One simulated rank's subdomain: geometry plus the full set of solver
+/// fields, each allocated with `halo_depth` ghost layers.
+///
+/// `halo_depth` must be at least the deepest matrix-powers halo the solver
+/// configuration will request (upstream: 2 by default, up to 16 for the
+/// communication-avoiding PPCG on GPUs).
+class Chunk2D {
+ public:
+  Chunk2D(const ChunkExtent& extent, const GlobalMesh2D& mesh,
+          int halo_depth);
+
+  [[nodiscard]] int nx() const { return extent_.nx; }
+  [[nodiscard]] int ny() const { return extent_.ny; }
+  [[nodiscard]] int halo_depth() const { return halo_depth_; }
+  [[nodiscard]] const ChunkExtent& extent() const { return extent_; }
+  [[nodiscard]] const GlobalMesh2D& mesh() const { return mesh_; }
+
+  /// Global cell-centre coordinates of local cell (j, k).
+  [[nodiscard]] double cell_x(int j) const {
+    return mesh_.cell_x(extent_.x0 + j);
+  }
+  [[nodiscard]] double cell_y(int k) const {
+    return mesh_.cell_y(extent_.y0 + k);
+  }
+
+  [[nodiscard]] Field2D<double>& field(FieldId id);
+  [[nodiscard]] const Field2D<double>& field(FieldId id) const;
+
+  // Named accessors for readability in kernels.
+  Field2D<double>& density() { return fields_[idx(FieldId::kDensity)]; }
+  Field2D<double>& energy0() { return fields_[idx(FieldId::kEnergy0)]; }
+  Field2D<double>& energy() { return fields_[idx(FieldId::kEnergy1)]; }
+  Field2D<double>& u() { return fields_[idx(FieldId::kU)]; }
+  Field2D<double>& u0() { return fields_[idx(FieldId::kU0)]; }
+  Field2D<double>& p() { return fields_[idx(FieldId::kP)]; }
+  Field2D<double>& r() { return fields_[idx(FieldId::kR)]; }
+  Field2D<double>& w() { return fields_[idx(FieldId::kW)]; }
+  Field2D<double>& z() { return fields_[idx(FieldId::kZ)]; }
+  Field2D<double>& sd() { return fields_[idx(FieldId::kSd)]; }
+  Field2D<double>& rtemp() { return fields_[idx(FieldId::kRtemp)]; }
+  Field2D<double>& kx() { return fields_[idx(FieldId::kKx)]; }
+  Field2D<double>& ky() { return fields_[idx(FieldId::kKy)]; }
+  Field2D<double>& cp() { return fields_[idx(FieldId::kCp)]; }
+  Field2D<double>& bfp() { return fields_[idx(FieldId::kBfp)]; }
+
+  const Field2D<double>& density() const {
+    return fields_[idx(FieldId::kDensity)];
+  }
+  const Field2D<double>& u() const { return fields_[idx(FieldId::kU)]; }
+  const Field2D<double>& u0() const { return fields_[idx(FieldId::kU0)]; }
+  const Field2D<double>& r() const { return fields_[idx(FieldId::kR)]; }
+  const Field2D<double>& kx() const { return fields_[idx(FieldId::kKx)]; }
+  const Field2D<double>& ky() const { return fields_[idx(FieldId::kKy)]; }
+
+  /// True when this chunk touches the physical domain boundary on `face`.
+  [[nodiscard]] bool at_boundary(Face face) const;
+
+ private:
+  static std::size_t idx(FieldId id) { return static_cast<std::size_t>(id); }
+
+  ChunkExtent extent_;
+  GlobalMesh2D mesh_;
+  int halo_depth_;
+  std::array<Field2D<double>, kNumFieldIds> fields_;
+};
+
+}  // namespace tealeaf

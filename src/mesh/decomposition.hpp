@@ -1,0 +1,66 @@
+#pragma once
+
+#include <vector>
+
+#include "mesh/mesh.hpp"
+
+namespace tealeaf {
+
+/// Faces of a 2-D chunk, used to address neighbours and halo exchanges.
+enum class Face : int { kLeft = 0, kRight = 1, kBottom = 2, kTop = 3 };
+
+inline constexpr int kNumFaces2D = 4;
+
+/// Opposite face (left<->right, bottom<->top).
+[[nodiscard]] Face opposite(Face f);
+
+/// Extent of one rank's subdomain in global cell coordinates.
+struct ChunkExtent {
+  int x0 = 0;  ///< global index of first owned cell in x
+  int y0 = 0;  ///< global index of first owned cell in y
+  int nx = 0;  ///< owned cells in x
+  int ny = 0;  ///< owned cells in y
+};
+
+/// Block decomposition of a global mesh over `nranks` simulated MPI ranks,
+/// reproducing upstream TeaLeaf's `tea_decompose`: the ranks are arranged
+/// in a px × py Cartesian grid chosen so chunks are as square as possible
+/// (minimising halo-exchange surface), with remainder cells distributed to
+/// the low-index rows/columns.
+class Decomposition2D {
+ public:
+  /// Build the decomposition.  Requires nranks >= 1 and a mesh with at
+  /// least one cell per rank along each split axis.
+  static Decomposition2D create(int nranks, const GlobalMesh2D& mesh);
+
+  [[nodiscard]] int nranks() const { return px_ * py_; }
+  [[nodiscard]] int px() const { return px_; }
+  [[nodiscard]] int py() const { return py_; }
+
+  /// Cartesian coordinates of a rank in the process grid.
+  [[nodiscard]] int coord_x(int rank) const { return rank % px_; }
+  [[nodiscard]] int coord_y(int rank) const { return rank / px_; }
+  [[nodiscard]] int rank_at(int cx, int cy) const { return cy * px_ + cx; }
+
+  /// Neighbour rank across `face`, or -1 at a physical boundary.
+  [[nodiscard]] int neighbor(int rank, Face face) const;
+
+  /// Subdomain extent (global offsets + owned size) for a rank.
+  [[nodiscard]] const ChunkExtent& extent(int rank) const {
+    return extents_[static_cast<std::size_t>(rank)];
+  }
+
+  /// Largest chunk dimensions over all ranks (used for sizing the
+  /// communication model's worst-case messages).
+  [[nodiscard]] int max_chunk_nx() const { return max_nx_; }
+  [[nodiscard]] int max_chunk_ny() const { return max_ny_; }
+
+ private:
+  int px_ = 1;
+  int py_ = 1;
+  int max_nx_ = 0;
+  int max_ny_ = 0;
+  std::vector<ChunkExtent> extents_;
+};
+
+}  // namespace tealeaf

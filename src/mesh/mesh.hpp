@@ -1,0 +1,39 @@
+#pragma once
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+/// Geometry of the global 2-D problem domain: a regular grid of
+/// nx × ny square-ish cells over [xmin,xmax] × [ymin,ymax].
+/// Temperatures live at cell centres (paper §II).
+struct GlobalMesh2D {
+  int nx = 0;
+  int ny = 0;
+  double xmin = 0.0;
+  double xmax = 1.0;
+  double ymin = 0.0;
+  double ymax = 1.0;
+
+  GlobalMesh2D() = default;
+  GlobalMesh2D(int nx_, int ny_, double xmin_ = 0.0, double xmax_ = 1.0,
+               double ymin_ = 0.0, double ymax_ = 1.0)
+      : nx(nx_), ny(ny_), xmin(xmin_), xmax(xmax_), ymin(ymin_), ymax(ymax_) {
+    TEA_REQUIRE(nx > 0 && ny > 0, "mesh dims must be positive");
+    TEA_REQUIRE(xmax > xmin && ymax > ymin, "mesh extents must be positive");
+  }
+
+  [[nodiscard]] double dx() const { return (xmax - xmin) / nx; }
+  [[nodiscard]] double dy() const { return (ymax - ymin) / ny; }
+
+  /// Cell-centre coordinates of global cell (j, k).
+  [[nodiscard]] double cell_x(int j) const { return xmin + (j + 0.5) * dx(); }
+  [[nodiscard]] double cell_y(int k) const { return ymin + (k + 0.5) * dy(); }
+
+  [[nodiscard]] double cell_area() const { return dx() * dy(); }
+  [[nodiscard]] long long cell_count() const {
+    return static_cast<long long>(nx) * ny;
+  }
+};
+
+}  // namespace tealeaf

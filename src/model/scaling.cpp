@@ -1,0 +1,357 @@
+#include "model/scaling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mesh/chunk.hpp"
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+std::vector<double> scaling_efficiency(const ScalingSeries& series) {
+  std::vector<double> eff;
+  eff.reserve(series.points.size());
+  if (series.points.empty()) return eff;
+  const double base =
+      series.points.front().seconds * series.points.front().nodes;
+  for (const ScalingPoint& p : series.points) {
+    eff.push_back(base / (p.seconds * p.nodes));
+  }
+  return eff;
+}
+
+/// Per-node-count cost accumulator.  All recipes below mirror the solver
+/// implementations sweep-for-sweep and exchange-for-exchange.
+class ScalingModel::Cost {
+ public:
+  Cost(const MachineSpec& spec, const GlobalMesh2D& mesh, int nodes)
+      : spec_(spec), nodes_(nodes) {
+    const long long want_ranks =
+        static_cast<long long>(nodes) * spec.ranks_per_node;
+    // The decomposition cannot exceed one cell per rank per axis; clamp
+    // like a user would by leaving excess ranks idle (pure overhead).
+    ranks_ = static_cast<int>(
+        std::min<long long>(want_ranks,
+                            static_cast<long long>(mesh.nx) * mesh.ny));
+    const Decomposition2D decomp = Decomposition2D::create(ranks_, mesh);
+    cnx_ = decomp.max_chunk_nx();
+    cny_ = decomp.max_chunk_ny();
+
+    const double cells_per_node =
+        static_cast<double>(cnx_) * cny_ * spec.ranks_per_node;
+    const double working_set_bytes = cells_per_node * kNumFieldIds * 8.0;
+    const bool in_cache = spec.cache_mb > 0.0 &&
+                          working_set_bytes < spec.cache_mb * 1.0e6;
+    // Each rank owns an equal share of the node's (possibly cache-boosted)
+    // bandwidth.
+    rank_bw_ = spec.mem_bw_gbs * 1.0e9 / spec.ranks_per_node;
+    if (in_cache) rank_bw_ *= spec.cache_bw_mult;
+  }
+
+  /// One kernel sweep over every cell (with `ext` halo extension).
+  void sweep(double bytes_per_cell, int ext = 0) {
+    const double cells =
+        static_cast<double>(cnx_ + 2 * ext) * (cny_ + 2 * ext);
+    seconds_ += spec_.kernel_launch_us * 1.0e-6 +
+                cells * bytes_per_cell / rank_bw_;
+  }
+
+  /// One halo exchange of `nfields` fields at `depth` (two phases).
+  void exchange(int depth, int nfields) {
+    const double bx = static_cast<double>(depth) * cny_ * 8.0 * nfields;
+    const double by =
+        static_cast<double>(depth) * (cnx_ + 2.0 * depth) * 8.0 * nfields;
+    for (const double bytes : {bx, by}) {
+      // Pack + unpack both directions through node memory.
+      seconds_ += 4.0 * bytes / rank_bw_;
+      if (spec_.is_gpu) {
+        seconds_ += 2.0 * spec_.kernel_launch_us * 1.0e-6;  // pack/unpack
+        seconds_ += 2.0 * bytes / (spec_.stage_bw_gbs * 1.0e9) +
+                    2.0 * spec_.stage_lat_us * 1.0e-6;
+      }
+      // Left/right (or up/down) sends overlap; flat MPI pays extra
+      // per-message software latency for the ranks sharing a node edge.
+      const double alpha_factor =
+          std::sqrt(static_cast<double>(spec_.ranks_per_node));
+      seconds_ += spec_.net_alpha_us * 1.0e-6 * alpha_factor +
+                  bytes / (spec_.net_bw_gbs * 1.0e9);
+    }
+  }
+
+  /// One global allreduce over all ranks.
+  void reduce() {
+    const double hops = std::ceil(
+        std::log2(std::max(2.0, static_cast<double>(ranks_))));
+    seconds_ += 2.0 * hops * spec_.reduce_alpha_us * 1.0e-6;
+    if (spec_.is_gpu) {
+      // Device-side partial reduction + result staging.
+      seconds_ += spec_.kernel_launch_us * 1.0e-6 +
+                  spec_.stage_lat_us * 1.0e-6;
+    }
+  }
+
+  /// Add a raw cost (used by the AMG model's coarse-graph latency term).
+  void add_seconds(double s) { seconds_ += s; }
+
+  [[nodiscard]] double seconds() const { return seconds_; }
+  [[nodiscard]] int cnx() const { return cnx_; }
+  [[nodiscard]] int cny() const { return cny_; }
+
+ private:
+  const MachineSpec& spec_;
+  int nodes_;
+  int ranks_ = 1;
+  int cnx_ = 1;
+  int cny_ = 1;
+  double rank_bw_ = 1.0;
+  double seconds_ = 0.0;
+};
+
+ScalingModel::ScalingModel(MachineSpec spec, GlobalMesh2D mesh,
+                           int timesteps)
+    : spec_(std::move(spec)), mesh_(mesh), timesteps_(timesteps) {
+  TEA_REQUIRE(timesteps >= 1, "need at least one timestep");
+}
+
+namespace {
+
+// Bytes per cell per kernel sweep (8-byte doubles; neighbour reads of the
+// same field amortise through cache).  Keep in sync with ops/kernels2d.
+constexpr double kBytesSmvp = 32.0;       // p, w, kx, ky
+constexpr double kBytesResidual = 48.0;   // u, u0, w, r, kx, ky
+constexpr double kBytesCalcUr = 48.0;     // u, r rw; p, w reads
+constexpr double kBytesXpby = 24.0;       // p rw; z read
+constexpr double kBytesCopy = 16.0;
+constexpr double kBytesDot = 16.0;
+constexpr double kBytesDiagApply = 32.0;  // r, z, kx, ky
+constexpr double kBytesBlockApply = 40.0; // src, dst, ky, cp, bfp
+constexpr double kBytesChebyInit = 16.0;  // res, dir (+16 with diag)
+constexpr double kBytesChebyFused = 56.0; // res rw, w, dir rw, acc rw
+constexpr double kBytesJacobi = 56.0;     // copy sweep + main sweep
+
+}  // namespace
+
+double ScalingModel::run_seconds(const SolverRunSummary& run,
+                                 int nodes) const {
+  Cost cost(spec_, mesh_, nodes);
+  const bool diag = run.precon == PreconType::kJacobiDiag;
+  const bool block = run.precon == PreconType::kJacobiBlock;
+  const double precon_bytes = block ? kBytesBlockApply : kBytesDiagApply;
+
+  // --- per-timestep field setup (driver): exchange materials at full
+  // halo depth + u/u0 init + conduction build.
+  cost.exchange(std::max(2, run.halo_depth), 2);
+  cost.sweep(32.0);  // init_u_u0: density, energy, u, u0
+  cost.sweep(24.0);  // init_conduction: density read, kx, ky writes
+
+  // --- solver setup: exchange(u,1); residual (+ precon init/apply) ------
+  cost.exchange(1, 1);
+  cost.sweep(kBytesResidual);
+  if (block) cost.sweep(40.0);  // block_jacobi_init
+  if (diag || block) {
+    cost.sweep(precon_bytes);
+    cost.sweep(kBytesCopy);  // p = z
+  } else {
+    cost.sweep(kBytesCopy);  // p = r (dot fused in residual sweep)
+  }
+  cost.reduce();
+
+  const auto cg_iteration = [&] {
+    cost.exchange(1, 1);
+    cost.sweep(kBytesSmvp);
+    cost.reduce();  // pw
+    cost.sweep(kBytesCalcUr);
+    if (diag || block) cost.sweep(precon_bytes);
+    cost.reduce();  // rrn (dot fused with the precon/update sweep)
+    cost.sweep(kBytesXpby);
+  };
+
+  switch (run.type) {
+    case SolverType::kJacobi: {
+      for (int i = 0; i < run.outer_iters; ++i) {
+        cost.exchange(1, 1);
+        cost.sweep(kBytesJacobi);
+        cost.reduce();
+      }
+      break;
+    }
+    case SolverType::kCG: {
+      if (run.fused_cg) {
+        // Chronopoulos-Gear: z = M⁻¹r, exchange(z), w = A·z with both
+        // dots fused into one reduction, then the paired vector updates.
+        const auto fused_iteration = [&] {
+          cost.sweep(24.0);  // u += αp
+          cost.sweep(24.0);  // r −= αs
+          cost.sweep(precon_bytes);
+          cost.exchange(1, 1);
+          cost.sweep(kBytesSmvp + 16.0);  // A·z with fused dots
+          cost.reduce();
+          cost.sweep(kBytesXpby);  // p update
+          cost.sweep(kBytesXpby);  // s update
+        };
+        for (int i = 0; i < run.outer_iters; ++i) fused_iteration();
+        break;
+      }
+      for (int i = 0; i < run.outer_iters; ++i) cg_iteration();
+      break;
+    }
+    case SolverType::kChebyshev: {
+      cost.reduce();  // ‖r‖² baseline
+      for (int i = 0; i < run.eigen_cg_iters; ++i) cg_iteration();
+      cost.sweep(kBytesChebyInit + (diag ? 16.0 : 0.0));  // bootstrap
+      for (int i = 0; i < run.outer_iters; ++i) {
+        cost.exchange(1, 1);
+        cost.sweep(kBytesSmvp);
+        cost.sweep(kBytesChebyFused + (diag ? 16.0 : 0.0));
+        if ((i + 1) % run.cheby_check_interval == 0) cost.reduce();
+      }
+      break;
+    }
+    case SolverType::kPPCG: {
+      for (int i = 0; i < run.eigen_cg_iters; ++i) cg_iteration();
+      const int d = run.halo_depth;
+      const auto apply_inner = [&] {
+        cost.sweep(kBytesCopy);  // rtemp = r
+        if (d > 1) cost.exchange(d, 1);
+        int ext = d - 1;
+        cost.sweep(kBytesChebyInit + (diag ? 16.0 : 0.0), ext);
+        cost.sweep(kBytesCopy, ext);  // z = sd
+        for (int s = 1; s <= run.inner_steps; ++s) {
+          if (ext == 0) {
+            cost.exchange(d, d == 1 ? 1 : 2);
+            ext = d;
+          }
+          --ext;
+          cost.sweep(kBytesSmvp, ext);
+          if (block) {
+            cost.sweep(24.0, ext);        // rtemp -= w
+            cost.sweep(kBytesBlockApply); // block solve (interior only)
+            cost.sweep(24.0, ext);        // sd update
+            cost.sweep(24.0, ext);        // z += sd
+          } else {
+            cost.sweep(kBytesChebyFused + (diag ? 16.0 : 0.0), ext);
+          }
+        }
+      };
+      apply_inner();
+      cost.sweep(kBytesDot);
+      cost.reduce();  // rro
+      cost.sweep(kBytesCopy);  // p = z
+      for (int i = 0; i < run.outer_iters; ++i) {
+        cost.exchange(1, 1);
+        cost.sweep(kBytesSmvp);
+        cost.reduce();  // pw
+        cost.sweep(kBytesCalcUr);
+        apply_inner();
+        cost.sweep(kBytesDot);
+        cost.reduce();  // rrn
+        cost.sweep(kBytesXpby);
+      }
+      break;
+    }
+  }
+
+  // Energy recovery sweep at the end of the step.
+  cost.sweep(24.0);
+  return cost.seconds() * timesteps_;
+}
+
+ScalingSeries ScalingModel::sweep(const SolverRunSummary& run,
+                                  const std::string& label,
+                                  const std::vector<int>& node_counts) const {
+  ScalingSeries series;
+  series.label = label;
+  for (const int n : node_counts) {
+    series.points.push_back({n, run_seconds(run, n)});
+  }
+  return series;
+}
+
+double ScalingModel::amg_run_seconds(int pcg_iters, int nodes,
+                                     double setup_vcycles) const {
+  Cost cost(spec_, mesh_, nodes);
+
+  // Per-step field setup, as for the native solvers.
+  cost.exchange(2, 2);
+  cost.sweep(32.0);
+  cost.sweep(24.0);
+
+  // One V-cycle across the level hierarchy.  Level sizes follow the
+  // multigrid coarsening in amg/multigrid.cpp; per level the smoothers,
+  // residual and transfer each cost a sweep plus a halo exchange.  Two
+  // effects make the baseline flatten early (paper §VIII):
+  //  * message payloads shrink with the level, so coarse levels are pure
+  //    latency;
+  //  * AMG coarse-grid operators densify (Galerkin RAP stencil growth),
+  //    so the number of neighbours — and hence α-costs per exchange —
+  //    grows with depth.  This is the well-documented "coarse-grid
+  //    communication problem" of parallel AMG.
+  const double vcycle = [&] {
+    Cost vc(spec_, mesh_, nodes);
+    const double total_ranks =
+        static_cast<double>(nodes) * spec_.ranks_per_node;
+    int n = std::max(mesh_.nx, mesh_.ny);
+    const double full = static_cast<double>(mesh_.nx) * mesh_.ny;
+    int level = 0;
+    while (n > 4) {
+      const double frac =
+          (static_cast<double>(n) * n) / full;  // level/fine cell ratio
+      // Communication-graph densification: the Galerkin coarse operators
+      // couple geometrically more ranks per level (≈4× per coarsening)
+      // until saturating at the ranks that still own coarse points.
+      // Each extra graph neighbour costs one α per level visit.  This is
+      // the calibrated stand-in for BoomerAMG's coarse-grid
+      // communication problem; it is what pins the baseline's scaling
+      // peak to tens of nodes (paper Fig. 7 / §VIII).
+      const double active_ranks =
+          std::min(total_ranks, static_cast<double>(n) * n);
+      const double graph_neighbors =
+          std::min(active_ranks, std::pow(4.0, level));
+      const double level_alpha_s =
+          2.0 * graph_neighbors * spec_.net_alpha_us * 1.0e-6;
+      // 2 pre + 2 post smooths (copy + update each), residual, restrict,
+      // prolong: scale the sweep cost by the level's relative size.
+      for (int s = 0; s < 4; ++s) {
+        vc.sweep(16.0 * frac);
+        vc.sweep(40.0 * frac);
+        vc.exchange(1, 1);  // halo for the next simultaneous sweep
+      }
+      vc.sweep(32.0 * frac);  // residual
+      vc.exchange(1, 1);
+      vc.sweep(8.0 * frac);   // restriction
+      vc.sweep(16.0 * frac);  // prolongation + correction
+      vc.exchange(1, 1);
+      vc.add_seconds(level_alpha_s);
+      n = (n + 1) / 2;
+      ++level;
+    }
+    return vc.seconds();
+  }();
+
+  double seconds = cost.seconds();
+  seconds += setup_vcycles * vcycle;  // AMG setup (per step: fresh matrix)
+  for (int i = 0; i < pcg_iters; ++i) {
+    Cost it(spec_, mesh_, nodes);
+    it.exchange(1, 1);
+    it.sweep(kBytesSmvp);
+    it.reduce();
+    it.sweep(kBytesCalcUr);
+    it.reduce();
+    it.sweep(kBytesXpby);
+    seconds += it.seconds() + vcycle;
+  }
+  return seconds * timesteps_;
+}
+
+ScalingSeries ScalingModel::amg_sweep(int pcg_iters, const std::string& label,
+                                      const std::vector<int>& node_counts,
+                                      double setup_vcycles) const {
+  ScalingSeries series;
+  series.label = label;
+  for (const int n : node_counts) {
+    series.points.push_back({n, amg_run_seconds(pcg_iters, n, setup_vcycles)});
+  }
+  return series;
+}
+
+}  // namespace tealeaf

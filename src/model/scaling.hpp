@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/decomposition.hpp"
+#include "model/machine.hpp"
+#include "model/trace.hpp"
+
+namespace tealeaf {
+
+/// One point of a strong-scaling curve.
+struct ScalingPoint {
+  int nodes = 0;
+  double seconds = 0.0;
+};
+
+/// A labelled curve, e.g. "PPCG - 16" on Titan (Figs. 5-7).
+struct ScalingSeries {
+  std::string label;
+  std::vector<ScalingPoint> points;
+};
+
+/// Strong-scaling efficiency per point relative to the first point of the
+/// series: eff(P) = T(P₀)·P₀ / (T(P)·P)  (Fig. 8; > 1 means super-linear).
+[[nodiscard]] std::vector<double> scaling_efficiency(
+    const ScalingSeries& series);
+
+/// Projects a measured solver run onto a modelled machine across node
+/// counts (DESIGN.md §2.2).  Kernel cost is memory-bandwidth bound with a
+/// per-sweep launch overhead and an LLC capacity boost (CPU); halo
+/// exchanges pay pack/unpack memory traffic, optional PCIe staging and an
+/// α-β wire cost; reductions pay a per-hop latency over a binary tree of
+/// all ranks.  The per-iteration kernel/exchange recipes mirror the
+/// solver implementations exactly (see trace.cpp for the validated
+/// communication counts).
+class ScalingModel {
+ public:
+  ScalingModel(MachineSpec spec, GlobalMesh2D mesh, int timesteps);
+
+  /// Modelled wall-clock of the full run (timesteps × one solve of the
+  /// given structure + per-step field setup) on `nodes` nodes.
+  [[nodiscard]] double run_seconds(const SolverRunSummary& run,
+                                   int nodes) const;
+
+  [[nodiscard]] ScalingSeries sweep(const SolverRunSummary& run,
+                                    const std::string& label,
+                                    const std::vector<int>& node_counts) const;
+
+  /// The BoomerAMG-substitute baseline (Fig. 7): MG-preconditioned CG
+  /// with `pcg_iters` iterations per solve and a per-step setup cost of
+  /// `setup_vcycles` V-cycle equivalents (AMG setup is expensive —
+  /// paper §VIII).
+  [[nodiscard]] double amg_run_seconds(int pcg_iters, int nodes,
+                                       double setup_vcycles = 25.0) const;
+
+  [[nodiscard]] ScalingSeries amg_sweep(int pcg_iters,
+                                        const std::string& label,
+                                        const std::vector<int>& node_counts,
+                                        double setup_vcycles = 25.0) const;
+
+  [[nodiscard]] const MachineSpec& spec() const { return spec_; }
+  [[nodiscard]] const GlobalMesh2D& mesh() const { return mesh_; }
+
+ private:
+  class Cost;
+
+  MachineSpec spec_;
+  GlobalMesh2D mesh_;
+  int timesteps_;
+};
+
+}  // namespace tealeaf

@@ -1,0 +1,146 @@
+#include "model/trace.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+SolverRunSummary SolverRunSummary::from(const SolverConfig& cfg,
+                                        const SolveStats& stats, int mesh_n) {
+  SolverRunSummary run;
+  run.type = cfg.type;
+  run.precon = cfg.precon;
+  run.halo_depth = cfg.halo_depth;
+  run.inner_steps = cfg.inner_steps;
+  run.cheby_check_interval = cfg.cheby_check_interval;
+  run.fused_cg = cfg.fuse_cg_reductions;
+  run.eigen_cg_iters = stats.eigen_cg_iters;
+  run.outer_iters = stats.outer_iters - stats.eigen_cg_iters;
+  run.mesh_n = mesh_n;
+  return run;
+}
+
+SolverRunSummary project_to_mesh(SolverRunSummary run, int target_n) {
+  TEA_REQUIRE(run.mesh_n > 0, "run summary lacks its measured mesh size");
+  if (target_n == run.mesh_n) return run;
+  // κ(A) grows ∝ n² for this operator at fixed dt (rx = dt/dx²), so CG-
+  // family iteration counts grow ∝ √κ ∝ n.  The eigenvalue presteps are a
+  // fixed configuration cost and do not scale.
+  const double s = static_cast<double>(target_n) / run.mesh_n;
+  run.outer_iters =
+      std::max(1, static_cast<int>(std::lround(run.outer_iters * s)));
+  run.mesh_n = target_n;
+  return run;
+}
+
+CommCounts exchange_counts(const Decomposition2D& decomp, int depth,
+                           int nfields) {
+  CommCounts cc;
+  cc.exchange_calls = 1;
+  for (int r = 0; r < decomp.nranks(); ++r) {
+    const ChunkExtent& e = decomp.extent(r);
+    for (const Face face : {Face::kLeft, Face::kRight}) {
+      if (decomp.neighbor(r, face) < 0) continue;
+      ++cc.messages;
+      cc.message_bytes += static_cast<std::int64_t>(depth) * e.ny * nfields *
+                          static_cast<std::int64_t>(sizeof(double));
+    }
+    for (const Face face : {Face::kBottom, Face::kTop}) {
+      if (decomp.neighbor(r, face) < 0) continue;
+      ++cc.messages;
+      cc.message_bytes += static_cast<std::int64_t>(depth) *
+                          (e.nx + 2LL * depth) * nfields *
+                          static_cast<std::int64_t>(sizeof(double));
+    }
+  }
+  return cc;
+}
+
+InnerExchangePlan ppcg_inner_exchange_plan(int inner_steps, int halo_depth) {
+  TEA_REQUIRE(inner_steps >= 1 && halo_depth >= 1, "invalid inner plan");
+  InnerExchangePlan plan;
+  if (halo_depth == 1) {
+    plan.single_field_rounds = inner_steps;  // {sd} before every step
+  } else {
+    plan.single_field_rounds = 1;  // initial {rtemp} at depth d
+    plan.dual_field_rounds = inner_steps / halo_depth;  // {sd, rtemp}
+  }
+  return plan;
+}
+
+namespace {
+
+void add(CommCounts& total, const CommCounts& part, std::int64_t times = 1) {
+  total.exchange_calls += part.exchange_calls * times;
+  total.messages += part.messages * times;
+  total.message_bytes += part.message_bytes * times;
+}
+
+}  // namespace
+
+CommCounts predict_comm_counts(const SolverRunSummary& run,
+                               const Decomposition2D& decomp,
+                               const GlobalMesh2D& mesh) {
+  (void)mesh;
+  CommCounts total;
+  const CommCounts ex1 = exchange_counts(decomp, 1, 1);
+
+  switch (run.type) {
+    case SolverType::kJacobi: {
+      // Per sweep: exchange(u,1) + error reduction.
+      add(total, ex1, run.outer_iters);
+      total.reductions = run.outer_iters;
+      return total;
+    }
+    case SolverType::kCG: {
+      if (run.fused_cg) {
+        // Chronopoulos-Gear: setup exchanges u and z with one fused
+        // reduction; every iteration re-exchanges z and fuses both dot
+        // products into a single allreduce.
+        add(total, ex1, 2 + run.outer_iters);
+        total.reductions = 1 + run.outer_iters;
+        return total;
+      }
+      // Setup: exchange(u,1) + rro reduction; per iteration:
+      // exchange(p,1) + {pw, rrn} reductions.
+      add(total, ex1, 1 + run.outer_iters);
+      total.reductions = 1 + 2LL * run.outer_iters;
+      return total;
+    }
+    case SolverType::kChebyshev: {
+      // Setup: exchange(u,1), rro + ‖r‖² reductions.  Presteps are CG
+      // iterations.  Chebyshev steps exchange p only, with a reduction
+      // every check interval.
+      const std::int64_t steps = run.outer_iters;
+      add(total, ex1, 1 + run.eigen_cg_iters + steps);
+      total.reductions = 2 + 2LL * run.eigen_cg_iters +
+                         steps / run.cheby_check_interval;
+      return total;
+    }
+    case SolverType::kPPCG: {
+      // Setup + presteps as Chebyshev (minus the ‖r‖² baseline), then one
+      // inner application up front and (p-exchange + inner + 2 reductions)
+      // per outer iteration.
+      add(total, ex1, 1 + run.eigen_cg_iters + run.outer_iters);
+      total.reductions = 1 + 2LL * run.eigen_cg_iters + 1 +
+                         2LL * run.outer_iters;
+
+      const InnerExchangePlan plan =
+          ppcg_inner_exchange_plan(run.inner_steps, run.halo_depth);
+      const std::int64_t applies = 1 + run.outer_iters;
+      if (run.halo_depth == 1) {
+        add(total, ex1, plan.single_field_rounds * applies);
+      } else {
+        const CommCounts exd1 = exchange_counts(decomp, run.halo_depth, 1);
+        const CommCounts exd2 = exchange_counts(decomp, run.halo_depth, 2);
+        add(total, exd1, plan.single_field_rounds * applies);
+        add(total, exd2, plan.dual_field_rounds * applies);
+      }
+      return total;
+    }
+  }
+  TEA_ASSERT(false, "invalid solver type");
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "mesh/chunk.hpp"
+
+namespace tealeaf {
+
+/// Half-open loop bounds for a kernel sweep over a chunk:
+/// j ∈ [jlo, jhi), k ∈ [klo, khi) in local cell coordinates.
+struct Bounds {
+  int jlo = 0;
+  int jhi = 0;
+  int klo = 0;
+  int khi = 0;
+
+  [[nodiscard]] long long cells() const {
+    return static_cast<long long>(jhi - jlo) * (khi - klo);
+  }
+  [[nodiscard]] bool contains(int j, int k) const {
+    return j >= jlo && j < jhi && k >= klo && k < khi;
+  }
+};
+
+/// Bounds covering exactly the owned cells of a chunk.
+[[nodiscard]] inline Bounds interior_bounds(const Chunk2D& c) {
+  return Bounds{0, c.nx(), 0, c.ny()};
+}
+
+/// Bounds extended `ext` cells into the halo on every face that borders a
+/// neighbouring chunk; faces on the physical domain boundary are clamped
+/// to the interior (there is no data beyond the domain).  This is the loop
+/// range of the matrix-powers kernel (paper §IV-C2, Fig. 2): after a halo
+/// exchange of depth d, sweeps run at ext = d-1, d-2, …, 0, performing
+/// redundant work in the overlap so the exchange happens once per d
+/// operator applications.
+[[nodiscard]] inline Bounds extended_bounds(const Chunk2D& c, int ext) {
+  TEA_ASSERT(ext >= 0 && ext <= c.halo_depth(), "invalid extension");
+  Bounds b = interior_bounds(c);
+  if (!c.at_boundary(Face::kLeft)) b.jlo -= ext;
+  if (!c.at_boundary(Face::kRight)) b.jhi += ext;
+  if (!c.at_boundary(Face::kBottom)) b.klo -= ext;
+  if (!c.at_boundary(Face::kTop)) b.khi += ext;
+  return b;
+}
+
+}  // namespace tealeaf

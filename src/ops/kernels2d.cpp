@@ -1,0 +1,251 @@
+#include "ops/kernels2d.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tealeaf::kernels {
+
+void init_u_u0(Chunk2D& c) {
+  auto& u = c.u();
+  auto& u0 = c.u0();
+  const auto& density = c.density();
+  const auto& energy = c.energy();
+  const int h = c.halo_depth();
+  // Fill the halo-extended region too: the first operator application
+  // (residual bootstrap) happens before any halo exchange of u in the
+  // driver, and extended sweeps may read u in the overlap.
+  for (int k = -h; k < c.ny() + h; ++k) {
+    for (int j = -h; j < c.nx() + h; ++j) {
+      const double t = energy(j, k) * density(j, k);
+      u(j, k) = t;
+      u0(j, k) = t;
+    }
+  }
+  for (const FieldId f : {FieldId::kP, FieldId::kR, FieldId::kW, FieldId::kZ,
+                          FieldId::kSd, FieldId::kRtemp}) {
+    c.field(f).fill(0.0);
+  }
+}
+
+void init_conduction(Chunk2D& c, Coefficient coef, double rx, double ry) {
+  auto& kx = c.kx();
+  auto& ky = c.ky();
+  const auto& density = c.density();
+  const int h = c.halo_depth();
+  kx.fill(0.0);
+  ky.fill(0.0);
+
+  const auto face_coeff = [&](int ja, int ka, int jb, int kb) {
+    const double da = density(ja, ka);
+    const double db = density(jb, kb);
+    const double ca =
+        (coef == Coefficient::kConductivity) ? da : 1.0 / da;
+    const double cb =
+        (coef == Coefficient::kConductivity) ? db : 1.0 / db;
+    // Upstream tea_leaf_common_init: (Ka+Kb)/(2·Ka·Kb) — the reciprocal
+    // of the harmonic mean, keeping flux continuous across the face.
+    return (ca + cb) / (2.0 * ca * cb);
+  };
+
+  // Face index j couples cells (j-1,k) and (j,k).  Faces on the physical
+  // boundary are skipped and stay zero (Neumann condition); faces between
+  // chunks use the density halo, which the driver exchanges to full depth
+  // beforehand.
+  const int jlo_x = c.at_boundary(Face::kLeft) ? 1 : -h + 1;
+  const int jhi_x = c.at_boundary(Face::kRight) ? c.nx() : c.nx() + h;
+  const int klo_x = c.at_boundary(Face::kBottom) ? 0 : -h;
+  const int khi_x = c.at_boundary(Face::kTop) ? c.ny() : c.ny() + h;
+  for (int k = klo_x; k < khi_x; ++k) {
+    for (int j = jlo_x; j < jhi_x; ++j) {
+      kx(j, k) = rx * face_coeff(j - 1, k, j, k);
+    }
+  }
+
+  const int jlo_y = c.at_boundary(Face::kLeft) ? 0 : -h;
+  const int jhi_y = c.at_boundary(Face::kRight) ? c.nx() : c.nx() + h;
+  const int klo_y = c.at_boundary(Face::kBottom) ? 1 : -h + 1;
+  const int khi_y = c.at_boundary(Face::kTop) ? c.ny() : c.ny() + h;
+  for (int k = klo_y; k < khi_y; ++k) {
+    for (int j = jlo_y; j < jhi_y; ++j) {
+      ky(j, k) = ry * face_coeff(j, k - 1, j, k);
+    }
+  }
+}
+
+namespace {
+
+/// Core of Listing 1: dst = A·src at one cell.
+inline double apply_stencil(const Chunk2D& c, const Field2D<double>& src,
+                            int j, int k) {
+  const auto& kx = c.kx();
+  const auto& ky = c.ky();
+  return (1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k))) *
+             src(j, k) -
+         (ky(j, k + 1) * src(j, k + 1) + ky(j, k) * src(j, k - 1)) -
+         (kx(j + 1, k) * src(j + 1, k) + kx(j, k) * src(j - 1, k));
+}
+
+}  // namespace
+
+void smvp(Chunk2D& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  for (int k = b.klo; k < b.khi; ++k) {
+    for (int j = b.jlo; j < b.jhi; ++j) {
+      dst(j, k) = apply_stencil(c, src, j, k);
+    }
+  }
+}
+
+double smvp_dot(Chunk2D& c, FieldId src_id, FieldId dst_id,
+                const Bounds& b) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  const Bounds in = interior_bounds(c);
+  double acc = 0.0;
+  for (int k = b.klo; k < b.khi; ++k) {
+    const bool k_in = (k >= in.klo && k < in.khi);
+    for (int j = b.jlo; j < b.jhi; ++j) {
+      const double w = apply_stencil(c, src, j, k);
+      dst(j, k) = w;
+      if (k_in && j >= in.jlo && j < in.jhi) acc += src(j, k) * w;
+    }
+  }
+  return acc;
+}
+
+void copy(Chunk2D& c, FieldId dst_id, FieldId src_id, const Bounds& b) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  for (int k = b.klo; k < b.khi; ++k)
+    for (int j = b.jlo; j < b.jhi; ++j) dst(j, k) = src(j, k);
+}
+
+void fill(Chunk2D& c, FieldId f, double value, const Bounds& b) {
+  auto& dst = c.field(f);
+  for (int k = b.klo; k < b.khi; ++k)
+    for (int j = b.jlo; j < b.jhi; ++j) dst(j, k) = value;
+}
+
+void axpy(Chunk2D& c, FieldId y_id, double a, FieldId x_id,
+          const Bounds& b) {
+  auto& y = c.field(y_id);
+  const auto& x = c.field(x_id);
+  for (int k = b.klo; k < b.khi; ++k)
+    for (int j = b.jlo; j < b.jhi; ++j) y(j, k) += a * x(j, k);
+}
+
+void xpby(Chunk2D& c, FieldId y_id, FieldId x_id, double bcoef,
+          const Bounds& b) {
+  auto& y = c.field(y_id);
+  const auto& x = c.field(x_id);
+  for (int k = b.klo; k < b.khi; ++k)
+    for (int j = b.jlo; j < b.jhi; ++j) y(j, k) = x(j, k) + bcoef * y(j, k);
+}
+
+void axpby(Chunk2D& c, FieldId y_id, double a, double b, FieldId x_id,
+           const Bounds& bnd) {
+  auto& y = c.field(y_id);
+  const auto& x = c.field(x_id);
+  for (int k = bnd.klo; k < bnd.khi; ++k)
+    for (int j = bnd.jlo; j < bnd.jhi; ++j)
+      y(j, k) = a * y(j, k) + b * x(j, k);
+}
+
+double dot(const Chunk2D& c, FieldId a_id, FieldId b_id) {
+  const auto& a = c.field(a_id);
+  const auto& b = c.field(b_id);
+  double acc = 0.0;
+  for (int k = 0; k < c.ny(); ++k)
+    for (int j = 0; j < c.nx(); ++j) acc += a(j, k) * b(j, k);
+  return acc;
+}
+
+double norm2_sq(const Chunk2D& c, FieldId f_id) { return dot(c, f_id, f_id); }
+
+double calc_residual(Chunk2D& c) {
+  const auto& u = c.u();
+  const auto& u0 = c.u0();
+  auto& w = c.w();
+  auto& r = c.r();
+  double acc = 0.0;
+  for (int k = 0; k < c.ny(); ++k) {
+    for (int j = 0; j < c.nx(); ++j) {
+      w(j, k) = apply_stencil(c, u, j, k);
+      r(j, k) = u0(j, k) - w(j, k);
+      acc += r(j, k) * r(j, k);
+    }
+  }
+  return acc;
+}
+
+void cg_calc_ur(Chunk2D& c, double alpha) {
+  auto& u = c.u();
+  auto& r = c.r();
+  const auto& p = c.p();
+  const auto& w = c.w();
+  for (int k = 0; k < c.ny(); ++k) {
+    for (int j = 0; j < c.nx(); ++j) {
+      u(j, k) += alpha * p(j, k);
+      r(j, k) -= alpha * w(j, k);
+    }
+  }
+}
+
+double jacobi_iterate(Chunk2D& c) {
+  auto& u = c.u();
+  auto& r = c.r();
+  const auto& u0 = c.u0();
+  const auto& kx = c.kx();
+  const auto& ky = c.ky();
+  const int h = 1;
+  // Save the previous iterate (halo included: neighbours' u arrives there).
+  for (int k = -h; k < c.ny() + h; ++k)
+    for (int j = -h; j < c.nx() + h; ++j) r(j, k) = u(j, k);
+  double err = 0.0;
+  for (int k = 0; k < c.ny(); ++k) {
+    for (int j = 0; j < c.nx(); ++j) {
+      const double diag =
+          1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k));
+      u(j, k) = (u0(j, k) +
+                 (ky(j, k + 1) * r(j, k + 1) + ky(j, k) * r(j, k - 1)) +
+                 (kx(j + 1, k) * r(j + 1, k) + kx(j, k) * r(j - 1, k))) /
+                diag;
+      err += std::fabs(u(j, k) - r(j, k));
+    }
+  }
+  return err;
+}
+
+void cheby_init_dir(Chunk2D& c, FieldId res_id, FieldId dir_id, double theta,
+                    bool diag_precon, const Bounds& b) {
+  const auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  const double theta_inv = 1.0 / theta;
+  for (int k = b.klo; k < b.khi; ++k) {
+    for (int j = b.jlo; j < b.jhi; ++j) {
+      const double m_inv = diag_precon ? 1.0 / diag_at(c, j, k) : 1.0;
+      dir(j, k) = m_inv * res(j, k) * theta_inv;
+    }
+  }
+}
+
+void cheby_fused_update(Chunk2D& c, FieldId res_id, FieldId dir_id,
+                        FieldId acc_id, double alpha, double beta,
+                        bool diag_precon, const Bounds& b) {
+  auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  auto& acc = c.field(acc_id);
+  const auto& w = c.w();
+  for (int k = b.klo; k < b.khi; ++k) {
+    for (int j = b.jlo; j < b.jhi; ++j) {
+      res(j, k) -= w(j, k);
+      const double m_inv = diag_precon ? 1.0 / diag_at(c, j, k) : 1.0;
+      dir(j, k) = alpha * dir(j, k) + beta * m_inv * res(j, k);
+      acc(j, k) += dir(j, k);
+    }
+  }
+}
+
+}  // namespace tealeaf::kernels

@@ -1,0 +1,121 @@
+#pragma once
+
+#include "mesh/chunk.hpp"
+#include "ops/bounds.hpp"
+
+/// Matrix-free computational kernels for the 2-D heat-conduction system,
+/// a C++ port of upstream TeaLeaf's `tea_leaf_*_kernel` routines and of
+/// Listing 1 in the paper.
+///
+/// The linear system is A·u = u0 with
+///   (A u)(j,k) = [1 + (Ky(j,k+1)+Ky(j,k)) + (Kx(j+1,k)+Kx(j,k))]·u(j,k)
+///                − Ky(j,k+1)·u(j,k+1) − Ky(j,k)·u(j,k−1)
+///                − Kx(j+1,k)·u(j+1,k) − Kx(j,k)·u(j−1,k)
+/// where Kx/Ky are the face conduction coefficients pre-scaled by
+/// rx = dt/dx², ry = dt/dy².  A is symmetric positive definite and
+/// strictly diagonally dominant.  Physical (Neumann) boundaries are
+/// imposed by zero face coefficients, which is algebraically identical to
+/// upstream's reflective halo updates.
+///
+/// Every kernel takes explicit loop `Bounds` so the same code serves the
+/// classic depth-1 solver and the matrix-powers extended sweeps.
+/// Reductions are always over the chunk interior only, regardless of the
+/// sweep bounds, so redundant overlap computation never double-counts.
+namespace tealeaf::kernels {
+
+/// Which material property becomes the conduction coefficient
+/// (upstream `CONDUCTIVITY` / `RECIP_CONDUCTIVITY`).
+enum class Coefficient : int {
+  kConductivity = 1,       ///< coefficient = density
+  kRecipConductivity = 2,  ///< coefficient = 1/density
+};
+
+/// Diagonal of A at cell (j,k): 1 + ΣK over the four faces.
+[[nodiscard]] inline double diag_at(const Chunk2D& c, int j, int k) {
+  const auto& kx = c.kx();
+  const auto& ky = c.ky();
+  return 1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k));
+}
+
+/// u = energy · density (temperature), u0 = u; also clears the solver
+/// work vectors.  Upstream: tea_leaf_common_init (first half).
+void init_u_u0(Chunk2D& c);
+
+/// Compute the face coefficient fields Kx, Ky from density over the full
+/// halo-extended region (density must be exchanged to the chunk's halo
+/// depth first).  Faces on the physical boundary stay zero — this encodes
+/// the Neumann condition.  Upstream: tea_leaf_common_init (second half).
+void init_conduction(Chunk2D& c, Coefficient coef, double rx, double ry);
+
+/// dst = A·src over `bounds`.  Upstream: tea_leaf_kernel smvp macro.
+void smvp(Chunk2D& c, FieldId src, FieldId dst, const Bounds& bounds);
+
+/// dst = A·src over `bounds`; returns Σ src·dst over the interior
+/// (the fused form of Listing 1 in the paper).
+[[nodiscard]] double smvp_dot(Chunk2D& c, FieldId src, FieldId dst,
+                              const Bounds& bounds);
+
+// ---- generic vector kernels -------------------------------------------
+
+/// dst = src over `bounds`.
+void copy(Chunk2D& c, FieldId dst, FieldId src, const Bounds& bounds);
+
+/// f = value over `bounds`.
+void fill(Chunk2D& c, FieldId f, double value, const Bounds& bounds);
+
+/// y = y + a·x over `bounds`.
+void axpy(Chunk2D& c, FieldId y, double a, FieldId x, const Bounds& bounds);
+
+/// y = x + b·y over `bounds`  (CG direction update p = z + β·p).
+void xpby(Chunk2D& c, FieldId y, FieldId x, double b, const Bounds& bounds);
+
+/// y = a·y + b·x over `bounds`  (Chebyshev direction update with a
+/// non-fusable preconditioner, e.g. block Jacobi).
+void axpby(Chunk2D& c, FieldId y, double a, double b, FieldId x,
+           const Bounds& bounds);
+
+/// Σ a·b over the interior.
+[[nodiscard]] double dot(const Chunk2D& c, FieldId a, FieldId b);
+
+/// Σ f² over the interior.
+[[nodiscard]] double norm2_sq(const Chunk2D& c, FieldId f);
+
+// ---- CG kernels (upstream tea_leaf_cg_kernel) --------------------------
+
+/// w = A·u, r = u0 − w over the interior.  Residual bootstrap; the caller
+/// must have exchanged u to depth 1.  Returns Σ r·r.
+double calc_residual(Chunk2D& c);
+
+/// u += α·p and r −= α·w over the interior.  Upstream: cg_calc_ur.
+void cg_calc_ur(Chunk2D& c, double alpha);
+
+// ---- Jacobi kernel (upstream tea_leaf_jacobi_solve_kernel) -------------
+
+/// One Jacobi sweep: saves u into r (old iterate scratch), then
+/// u = (u0 + ΣK·u_old(neighbours)) / diag over the interior.
+/// Returns Σ|u_new − u_old|.
+double jacobi_iterate(Chunk2D& c);
+
+// ---- Chebyshev / PPCG shared kernels -----------------------------------
+// The Chebyshev acceleration recurrence (paper §III-C, Saad) is:
+//   dir_1 = M⁻¹·res / θ;       acc += dir_1
+//   j ≥ 1: res −= A·dir_j
+//          dir_{j+1} = α_j·dir_j + β_j·M⁻¹·res
+//          acc += dir_{j+1}
+// For the standalone Chebyshev solver (res, dir, acc) = (r, sd, u); for
+// the CPPCG inner preconditioner they are (rtemp, sd, z).  The fused
+// update kernels below implement one recurrence step for local
+// (identity/diagonal) inner preconditioners; the block-Jacobi path is
+// composed separately because its strips couple cells (see precon/).
+
+/// dir = M⁻¹·res / θ over `bounds` (M⁻¹ local: identity or diagonal).
+void cheby_init_dir(Chunk2D& c, FieldId res, FieldId dir, double theta,
+                    bool diag_precon, const Bounds& bounds);
+
+/// res −= w;  dir = α·dir + β·M⁻¹·res;  acc += dir, over `bounds`.
+/// `w` must already hold A·dir (from smvp over the same bounds).
+void cheby_fused_update(Chunk2D& c, FieldId res, FieldId dir, FieldId acc,
+                        double alpha, double beta, bool diag_precon,
+                        const Bounds& bounds);
+
+}  // namespace tealeaf::kernels

@@ -1,0 +1,98 @@
+#include "precon/preconditioner.hpp"
+
+#include <algorithm>
+
+#include "ops/kernels2d.hpp"
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+const char* to_string(PreconType t) {
+  switch (t) {
+    case PreconType::kNone: return "none";
+    case PreconType::kJacobiDiag: return "jac_diag";
+    case PreconType::kJacobiBlock: return "jac_block";
+  }
+  return "?";
+}
+
+namespace kernels {
+
+void block_jacobi_init(Chunk2D& c) {
+  auto& cp = c.cp();
+  auto& bfp = c.bfp();
+  const auto& ky = c.ky();
+  // Per column j, factorise each 4-cell tridiagonal block:
+  //   sub(k)  = -Ky(j,k)     (coupling to the cell below, within-strip only)
+  //   diag(k) = 1 + ΣK faces (full operator diagonal)
+  //   sup(k)  = -Ky(j,k+1)
+  // bfp(k) stores the inverted pivot 1/(diag - sub·cp(k-1)); cp(k) stores
+  // sup·bfp(k).  Strip truncation at the chunk top falls out naturally.
+  for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
+    const int k1 = std::min(k0 + kJacBlockSize, c.ny());
+    for (int j = 0; j < c.nx(); ++j) {
+      double prev_cp = 0.0;
+      for (int k = k0; k < k1; ++k) {
+        const double sub = (k == k0) ? 0.0 : -ky(j, k);
+        const double sup = (k == k1 - 1) ? 0.0 : -ky(j, k + 1);
+        const double pivot = diag_at(c, j, k) - sub * prev_cp;
+        bfp(j, k) = 1.0 / pivot;
+        cp(j, k) = sup * bfp(j, k);
+        prev_cp = cp(j, k);
+      }
+    }
+  }
+}
+
+void block_jacobi_solve(Chunk2D& c, FieldId src_id, FieldId dst_id) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  const auto& cp = c.cp();
+  const auto& bfp = c.bfp();
+  const auto& ky = c.ky();
+  for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
+    const int k1 = std::min(k0 + kJacBlockSize, c.ny());
+    for (int j = 0; j < c.nx(); ++j) {
+      // Thomas forward sweep: y_k = (b_k − sub_k·y_{k−1})·bfp_k.
+      double prev = 0.0;
+      for (int k = k0; k < k1; ++k) {
+        const double sub = (k == k0) ? 0.0 : -ky(j, k);
+        prev = (src(j, k) - sub * prev) * bfp(j, k);
+        dst(j, k) = prev;
+      }
+      // Back substitution: x_k = y_k − cp_k·x_{k+1}.
+      for (int k = k1 - 2; k >= k0; --k) {
+        dst(j, k) -= cp(j, k) * dst(j, k + 1);
+      }
+    }
+  }
+}
+
+void diag_solve(Chunk2D& c, FieldId src_id, FieldId dst_id,
+                const Bounds& b) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  for (int k = b.klo; k < b.khi; ++k)
+    for (int j = b.jlo; j < b.jhi; ++j)
+      dst(j, k) = src(j, k) / diag_at(c, j, k);
+}
+
+void apply_preconditioner(Chunk2D& c, PreconType type, FieldId src,
+                          FieldId dst) {
+  switch (type) {
+    case PreconType::kNone:
+      copy(c, dst, src, interior_bounds(c));
+      return;
+    case PreconType::kJacobiDiag:
+      diag_solve(c, src, dst, interior_bounds(c));
+      return;
+    case PreconType::kJacobiBlock:
+      block_jacobi_solve(c, src, dst);
+      return;
+  }
+  TEA_ASSERT(false, "invalid preconditioner type");
+}
+
+}  // namespace kernels
+
+}  // namespace tealeaf

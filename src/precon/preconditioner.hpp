@@ -1,0 +1,46 @@
+#pragma once
+
+#include "mesh/chunk.hpp"
+#include "ops/bounds.hpp"
+
+namespace tealeaf {
+
+/// Preconditioner selection, mirroring upstream TeaLeaf's
+/// `tl_preconditioner_type` deck option.
+enum class PreconType : int {
+  kNone = 0,         ///< identity (plain CG)
+  kJacobiDiag = 1,   ///< point-Jacobi: M = diag(A)
+  kJacobiBlock = 2,  ///< block-Jacobi: 4×1 strips, tridiagonal blocks
+                     ///< solved by the Thomas algorithm (paper §IV-C1)
+};
+
+[[nodiscard]] const char* to_string(PreconType t);
+
+/// Height of the block-Jacobi strips (upstream `jac_block_size`).  Strips
+/// at the top of a chunk are truncated to 3/2/1 cells; because strips
+/// never cross chunk boundaries the preconditioner needs no communication.
+inline constexpr int kJacBlockSize = 4;
+
+namespace kernels {
+
+/// Precompute the Thomas-factorisation coefficient fields cp/bfp for the
+/// block-Jacobi preconditioner from the current Kx/Ky.  Must be re-run
+/// whenever the conduction coefficients change (once per timestep).
+/// Upstream: tea_block_init.
+void block_jacobi_init(Chunk2D& c);
+
+/// dst = M⁻¹·src over the chunk interior, where M is the block-tridiagonal
+/// approximation of A over 4×1 vertical strips.  Upstream: tea_block_solve.
+void block_jacobi_solve(Chunk2D& c, FieldId src, FieldId dst);
+
+/// dst = diag(A)⁻¹·src over `bounds`.
+void diag_solve(Chunk2D& c, FieldId src, FieldId dst, const Bounds& bounds);
+
+/// Dispatch: dst = M⁻¹·src over the chunk interior for any PreconType
+/// (kNone copies).  Block-Jacobi requires interior bounds by construction.
+void apply_preconditioner(Chunk2D& c, PreconType type, FieldId src,
+                          FieldId dst);
+
+}  // namespace kernels
+
+}  // namespace tealeaf

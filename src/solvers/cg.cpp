@@ -1,0 +1,187 @@
+#include "solvers/cg.hpp"
+
+#include <cmath>
+
+#include "ops/kernels2d.hpp"
+#include "precon/preconditioner.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace tealeaf {
+
+double cg_setup(SimCluster2D& cl, PreconType precon) {
+  cl.exchange({FieldId::kU}, 1);
+  if (precon == PreconType::kNone) {
+    // r = u0 − A·u, p = r; rro = ⟨r,r⟩ folded into the residual sweep.
+    return cl.sum_over_chunks([](int, Chunk2D& c) {
+      const double rr = kernels::calc_residual(c);
+      kernels::copy(c, FieldId::kP, FieldId::kR, interior_bounds(c));
+      return rr;
+    });
+  }
+  cl.for_each_chunk([&](int, Chunk2D& c) {
+    kernels::calc_residual(c);
+    if (precon == PreconType::kJacobiBlock) kernels::block_jacobi_init(c);
+    kernels::apply_preconditioner(c, precon, FieldId::kR, FieldId::kZ);
+    kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
+  });
+  return cl.sum_over_chunks([](int, const Chunk2D& c) {
+    return kernels::dot(c, FieldId::kR, FieldId::kZ);
+  });
+}
+
+double cg_iteration(SimCluster2D& cl, PreconType precon, double rro,
+                    CGRecurrence* rec) {
+  cl.exchange({FieldId::kP}, 1);
+  const double pw = cl.sum_over_chunks([](int, Chunk2D& c) {
+    return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
+                             interior_bounds(c));
+  });
+  TEA_REQUIRE(pw > 0.0, "CG breakdown: ⟨p, A·p⟩ <= 0 (operator not SPD?)");
+  const double alpha = rro / pw;
+
+  double rrn;
+  if (precon == PreconType::kNone) {
+    rrn = cl.sum_over_chunks([&](int, Chunk2D& c) {
+      kernels::cg_calc_ur(c, alpha);
+      return kernels::norm2_sq(c, FieldId::kR);
+    });
+  } else {
+    cl.for_each_chunk([&](int, Chunk2D& c) {
+      kernels::cg_calc_ur(c, alpha);
+      kernels::apply_preconditioner(c, precon, FieldId::kR, FieldId::kZ);
+    });
+    rrn = cl.sum_over_chunks([](int, const Chunk2D& c) {
+      return kernels::dot(c, FieldId::kR, FieldId::kZ);
+    });
+  }
+
+  const double beta = rrn / rro;
+  const FieldId zsrc =
+      (precon == PreconType::kNone) ? FieldId::kR : FieldId::kZ;
+  cl.for_each_chunk([&](int, Chunk2D& c) {
+    kernels::xpby(c, FieldId::kP, zsrc, beta, interior_bounds(c));
+  });
+
+  if (rec != nullptr) {
+    rec->alphas.push_back(alpha);
+    rec->betas.push_back(beta);
+  }
+  return rrn;
+}
+
+SolveStats CGSolver::solve_fused(SimCluster2D& cl,
+                                 const SolverConfig& cfg) {
+  // Chronopoulos-Gear CG: recurrences reordered so that ⟨r,z⟩ and
+  // ⟨w,z⟩ are computed back-to-back and travel in ONE allreduce —
+  // the §VII future-work "multiple dot products combined into a single
+  // communication step".  Field roles: z = M⁻¹r, sd = A·p (the "s"
+  // vector), w = A·z.
+  Timer timer;
+  SolveStats st;
+
+  const auto precon_and_w = [&] {
+    // z = M⁻¹·r; exchange z; w = A·z; return fused partials (⟨r,z⟩,⟨w,z⟩).
+    cl.for_each_chunk([&](int, Chunk2D& c) {
+      kernels::apply_preconditioner(c, cfg.precon, FieldId::kR, FieldId::kZ);
+    });
+    cl.exchange({FieldId::kZ}, 1);
+    std::vector<std::pair<double, double>> partials(
+        static_cast<std::size_t>(cl.nranks()));
+    cl.for_each_chunk([&](int r, Chunk2D& c) {
+      kernels::smvp(c, FieldId::kZ, FieldId::kW, interior_bounds(c));
+      partials[r] = {kernels::dot(c, FieldId::kR, FieldId::kZ),
+                     kernels::dot(c, FieldId::kW, FieldId::kZ)};
+    });
+    return cl.reduce_sum2(partials);
+  };
+
+  // Bootstrap: r = u0 − A·u, then the first fused preconditioned step.
+  cl.exchange({FieldId::kU}, 1);
+  cl.for_each_chunk([&](int, Chunk2D& c) {
+    kernels::calc_residual(c);
+    if (cfg.precon == PreconType::kJacobiBlock) kernels::block_jacobi_init(c);
+  });
+  auto [gamma, delta] = precon_and_w();
+  ++st.spmv_applies;
+  st.initial_norm = std::sqrt(std::fabs(gamma));
+  if (st.initial_norm == 0.0) {
+    st.converged = true;
+    st.solve_seconds = timer.elapsed_s();
+    return st;
+  }
+  const double target = cfg.eps * st.initial_norm;
+
+  // p = z, s(=sd) = w.
+  cl.for_each_chunk([](int, Chunk2D& c) {
+    kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
+    kernels::copy(c, FieldId::kSd, FieldId::kW, interior_bounds(c));
+  });
+  TEA_REQUIRE(delta > 0.0, "fused CG breakdown: ⟨A·z, z⟩ <= 0");
+  double alpha = gamma / delta;
+
+  while (st.outer_iters < cfg.max_iters) {
+    // x += α·p, r −= α·s.
+    cl.for_each_chunk([&](int, Chunk2D& c) {
+      const Bounds in = interior_bounds(c);
+      kernels::axpy(c, FieldId::kU, alpha, FieldId::kP, in);
+      kernels::axpy(c, FieldId::kR, -alpha, FieldId::kSd, in);
+    });
+    const auto [gamma_new, delta_new] = precon_and_w();
+    ++st.spmv_applies;
+    ++st.outer_iters;
+    if (std::sqrt(std::fabs(gamma_new)) <= target) {
+      st.converged = true;
+      gamma = gamma_new;
+      break;
+    }
+    const double beta = gamma_new / gamma;
+    alpha = gamma_new / (delta_new - beta * gamma_new / alpha);
+    TEA_REQUIRE(std::isfinite(alpha), "fused CG recurrence breakdown");
+    // p = z + β·p, s = w + β·s.
+    cl.for_each_chunk([&](int, Chunk2D& c) {
+      const Bounds in = interior_bounds(c);
+      kernels::xpby(c, FieldId::kP, FieldId::kZ, beta, in);
+      kernels::xpby(c, FieldId::kSd, FieldId::kW, beta, in);
+    });
+    gamma = gamma_new;
+  }
+  st.final_norm = std::sqrt(std::fabs(gamma));
+  st.solve_seconds = timer.elapsed_s();
+  return st;
+}
+
+SolveStats CGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
+  cfg.validate();
+  if (cfg.fuse_cg_reductions) return solve_fused(cl, cfg);
+  Timer timer;
+  SolveStats st;
+
+  double rro = cg_setup(cl, cfg.precon);
+  ++st.spmv_applies;
+  st.initial_norm = std::sqrt(std::fabs(rro));
+  if (st.initial_norm == 0.0) {
+    // Zero right-hand side: the initial guess is already exact.
+    st.converged = true;
+    st.solve_seconds = timer.elapsed_s();
+    return st;
+  }
+  const double target = cfg.eps * st.initial_norm;
+
+  double rrn = rro;
+  while (st.outer_iters < cfg.max_iters) {
+    rrn = cg_iteration(cl, cfg.precon, rro, nullptr);
+    rro = rrn;
+    ++st.outer_iters;
+    ++st.spmv_applies;
+    if (std::sqrt(std::fabs(rrn)) <= target) {
+      st.converged = true;
+      break;
+    }
+  }
+  st.final_norm = std::sqrt(std::fabs(rrn));
+  st.solve_seconds = timer.elapsed_s();
+  return st;
+}
+
+}  // namespace tealeaf

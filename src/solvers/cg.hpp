@@ -1,0 +1,39 @@
+#pragma once
+
+#include "comm/sim_comm.hpp"
+#include "solvers/eigen_estimate.hpp"
+#include "solvers/solver_config.hpp"
+
+namespace tealeaf {
+
+/// Bootstrap the Krylov state on every chunk.  Preconditions: u = u0 =
+/// initial temperature on the interiors, Kx/Ky built (init_conduction).
+/// Performs: exchange(u,1); w = A·u; r = u0 − w; block-Jacobi setup when
+/// selected; z = M⁻¹r; p = z (or r).  Returns rro = ⟨r, M⁻¹r⟩ (one global
+/// reduction).  Upstream: tea_leaf_cg_init_kernel.
+double cg_setup(SimCluster2D& cl, PreconType precon);
+
+/// One CG iteration (upstream tea_leaf_cg_calc_* kernels):
+///   exchange(p,1); w = A·p; pw = ⟨p,w⟩;  α = rro/pw
+///   u += α·p; r −= α·w; z = M⁻¹r; rrn = ⟨r,z⟩;  β = rrn/rro;  p = z + β·p
+/// Two global reductions.  Appends (α, β) to `rec` when non-null (used by
+/// the Chebyshev/PPCG eigenvalue presteps).  Returns rrn.
+double cg_iteration(SimCluster2D& cl, PreconType precon, double rro,
+                    CGRecurrence* rec);
+
+/// The standard conjugate-gradient solver (paper §III-A): the baseline
+/// whose strong-scaling is limited by the two global dot products per
+/// iteration.
+class CGSolver {
+ public:
+  /// Solve A·u = u0 in place on the cluster's chunks.  Convergence is
+  /// declared when √|⟨r,M⁻¹r⟩| falls below eps × its initial value.
+  /// With cfg.fuse_cg_reductions the Chronopoulos-Gear recurrence is
+  /// used instead: one fused allreduce per iteration (paper §VII).
+  static SolveStats solve(SimCluster2D& cl, const SolverConfig& cfg);
+
+ private:
+  static SolveStats solve_fused(SimCluster2D& cl, const SolverConfig& cfg);
+};
+
+}  // namespace tealeaf

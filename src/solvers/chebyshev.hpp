@@ -1,0 +1,19 @@
+#pragma once
+
+#include "comm/sim_comm.hpp"
+#include "solvers/solver_config.hpp"
+
+namespace tealeaf {
+
+/// Stand-alone Chebyshev acceleration (paper §III-C; upstream
+/// tea_leaf_cheby_kernel).  Runs `eigen_cg_iters` CG presteps to estimate
+/// the extreme eigenvalues via the Lanczos tridiagonal, then iterates the
+/// shifted/scaled Chebyshev recurrence, which needs **no** per-iteration
+/// global reduction — the residual norm is checked only every
+/// `cheby_check_interval` iterations.
+class ChebyshevSolver {
+ public:
+  static SolveStats solve(SimCluster2D& cl, const SolverConfig& cfg);
+};
+
+}  // namespace tealeaf

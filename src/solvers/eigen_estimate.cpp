@@ -1,0 +1,39 @@
+#include "solvers/eigen_estimate.hpp"
+
+#include <cmath>
+
+#include "solvers/tridiag_eigen.hpp"
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+EigenEstimate estimate_eigenvalues(const CGRecurrence& rec, double safety_lo,
+                                   double safety_hi) {
+  const int n = rec.steps();
+  TEA_REQUIRE(n >= 2, "need at least two CG steps for eigenvalue estimates");
+  TEA_REQUIRE(static_cast<int>(rec.betas.size()) >= n - 1,
+              "need n-1 beta coefficients");
+
+  std::vector<double> diag(static_cast<std::size_t>(n));
+  std::vector<double> off(static_cast<std::size_t>(n - 1));
+  for (int i = 0; i < n; ++i) {
+    TEA_REQUIRE(rec.alphas[i] != 0.0, "CG produced a zero alpha");
+    diag[i] = 1.0 / rec.alphas[i];
+    if (i > 0) diag[i] += rec.betas[i - 1] / rec.alphas[i - 1];
+    if (i < n - 1) {
+      TEA_REQUIRE(rec.betas[i] >= 0.0, "CG produced a negative beta");
+      off[i] = std::sqrt(rec.betas[i]) / rec.alphas[i];
+    }
+  }
+
+  const auto eigs = tridiag_eigenvalues(std::move(diag), std::move(off));
+  EigenEstimate est;
+  est.eigmin = eigs.front() * safety_lo;
+  est.eigmax = eigs.back() * safety_hi;
+  est.lanczos_steps = n;
+  TEA_REQUIRE(est.eigmin > 0.0, "estimated spectrum not positive: "
+                                "operator not SPD or CG breakdown");
+  return est;
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+namespace tealeaf {
+
+/// The (α_i, β_i) scalars produced by a run of CG iterations; via the
+/// Lanczos connection they define a tridiagonal matrix whose eigenvalues
+/// approximate the extreme eigenvalues of the system matrix.
+struct CGRecurrence {
+  std::vector<double> alphas;
+  std::vector<double> betas;
+
+  [[nodiscard]] int steps() const { return static_cast<int>(alphas.size()); }
+};
+
+/// Extreme-eigenvalue estimates recovered from CG coefficients.
+struct EigenEstimate {
+  double eigmin = 0.0;
+  double eigmax = 0.0;
+  int lanczos_steps = 0;
+};
+
+/// Build the Lanczos tridiagonal
+///   T_ii     = 1/α_i + β_{i-1}/α_{i-1}   (β_{-1} := 0)
+///   T_i,i+1  = √β_i / α_i
+/// from the CG recurrence, solve it (tridiag_eigenvalues), and widen the
+/// extreme values by the safety factors — upstream tea_calc_eigenvalues.
+/// Requires at least 2 recorded steps.
+[[nodiscard]] EigenEstimate estimate_eigenvalues(const CGRecurrence& rec,
+                                                 double safety_lo,
+                                                 double safety_hi);
+
+}  // namespace tealeaf

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "comm/sim_comm.hpp"
+#include "solvers/solver_config.hpp"
+
+namespace tealeaf {
+
+/// Point-Jacobi relaxation (upstream tea_leaf_jacobi_solve_kernel): the
+/// simplest solver in TeaLeaf's design space.  One halo exchange and one
+/// global reduction (the Σ|Δu| error) per sweep; converges slowly but is
+/// embarrassingly parallel — retained as the design-space anchor.
+class JacobiSolver {
+ public:
+  static SolveStats solve(SimCluster2D& cl, const SolverConfig& cfg);
+};
+
+}  // namespace tealeaf

@@ -1,0 +1,166 @@
+#include "solvers/ppcg.hpp"
+
+#include <cmath>
+
+#include "ops/kernels2d.hpp"
+#include "precon/preconditioner.hpp"
+#include "solvers/cg.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace tealeaf {
+
+void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
+                             const ChebyCoefs& cc, SolveStats* st) {
+  const int d = cfg.halo_depth;
+  const bool diag = (cfg.precon == PreconType::kJacobiDiag);
+  const bool block = (cfg.precon == PreconType::kJacobiBlock);
+  TEA_ASSERT(!block || d == 1,
+             "block-Jacobi with matrix powers rejected by validate()");
+
+  // Inner residual starts as a copy of the outer residual.  For matrix
+  // powers the first extended sweep needs it valid through the overlap,
+  // which costs one depth-d exchange; at depth 1 no exchange is needed
+  // because the bootstrap touches only the interior.
+  cl.for_each_chunk([](int, Chunk2D& c) {
+    kernels::copy(c, FieldId::kRtemp, FieldId::kR, interior_bounds(c));
+  });
+  if (d > 1) cl.exchange({FieldId::kRtemp}, d);
+
+  // Bootstrap (the degree-0 term): sd = M⁻¹·rtemp/θ, z = sd, computed on
+  // bounds extended d-1 cells so the following sweeps can shrink.
+  int ext = d - 1;
+  cl.for_each_chunk([&](int, Chunk2D& c) {
+    const Bounds b = extended_bounds(c, ext);
+    if (block) {
+      kernels::block_jacobi_solve(c, FieldId::kRtemp, FieldId::kW);
+      kernels::cheby_init_dir(c, FieldId::kW, FieldId::kSd, cc.theta,
+                              /*diag_precon=*/false, b);
+    } else {
+      kernels::cheby_init_dir(c, FieldId::kRtemp, FieldId::kSd, cc.theta,
+                              diag, b);
+    }
+    kernels::copy(c, FieldId::kZ, FieldId::kSd, b);
+  });
+
+  for (int step = 1; step <= cfg.inner_steps; ++step) {
+    if (ext == 0) {
+      // All overlap layers consumed: swap a fresh depth-d halo.  At depth
+      // 1 only sd travels (rtemp's halo is never read); deeper powers
+      // also need the inner residual through the overlap.
+      if (d == 1) {
+        cl.exchange({FieldId::kSd}, 1);
+      } else {
+        cl.exchange({FieldId::kSd, FieldId::kRtemp}, d);
+      }
+      ext = d;
+    }
+    --ext;
+    const double alpha = cc.alphas[static_cast<std::size_t>(step - 1)];
+    const double beta = cc.betas[static_cast<std::size_t>(step - 1)];
+    cl.for_each_chunk([&](int, Chunk2D& c) {
+      const Bounds b = extended_bounds(c, ext);
+      kernels::smvp(c, FieldId::kSd, FieldId::kW, b);
+      if (block) {
+        kernels::axpy(c, FieldId::kRtemp, -1.0, FieldId::kW, b);
+        kernels::block_jacobi_solve(c, FieldId::kRtemp, FieldId::kW);
+        kernels::axpby(c, FieldId::kSd, alpha, beta, FieldId::kW, b);
+        kernels::axpy(c, FieldId::kZ, 1.0, FieldId::kSd, b);
+      } else {
+        kernels::cheby_fused_update(c, FieldId::kRtemp, FieldId::kSd,
+                                    FieldId::kZ, alpha, beta, diag, b);
+      }
+    });
+  }
+  if (st != nullptr) {
+    st->spmv_applies += cfg.inner_steps;
+    st->inner_steps += cfg.inner_steps;
+  }
+}
+
+SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
+  cfg.validate();
+  TEA_REQUIRE(cfg.halo_depth <= cl.halo_depth(),
+              "cluster halo allocation too shallow for matrix-powers depth");
+  Timer timer;
+  SolveStats st;
+
+  double rro = cg_setup(cl, cfg.precon);
+  ++st.spmv_applies;
+  st.initial_norm = std::sqrt(std::fabs(rro));
+  if (st.initial_norm == 0.0) {
+    st.converged = true;
+    st.solve_seconds = timer.elapsed_s();
+    return st;
+  }
+  const double target = cfg.eps * st.initial_norm;
+
+  // --- CG presteps: eigenvalue estimation (paper §III-D) ----------------
+  CGRecurrence rec;
+  for (int i = 0; i < cfg.eigen_cg_iters; ++i) {
+    rro = cg_iteration(cl, cfg.precon, rro, &rec);
+    ++st.spmv_applies;
+    ++st.eigen_cg_iters;
+    if (std::sqrt(std::fabs(rro)) <= target) {
+      st.outer_iters = st.eigen_cg_iters;
+      st.converged = true;
+      st.final_norm = std::sqrt(std::fabs(rro));
+      st.solve_seconds = timer.elapsed_s();
+      return st;
+    }
+  }
+  const EigenEstimate est =
+      estimate_eigenvalues(rec, cfg.eig_safety_lo, cfg.eig_safety_hi);
+  st.eigmin = est.eigmin;
+  st.eigmax = est.eigmax;
+  const ChebyCoefs cc =
+      chebyshev_coefficients(est.eigmin, est.eigmax, cfg.inner_steps);
+
+  // --- restart the outer PCG with the polynomial preconditioner ---------
+  apply_inner(cl, cfg, cc, &st);
+  rro = cl.sum_over_chunks([](int, const Chunk2D& c) {
+    return kernels::dot(c, FieldId::kR, FieldId::kZ);
+  });
+  cl.for_each_chunk([](int, Chunk2D& c) {
+    kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
+  });
+
+  double rrn = rro;
+  while (st.eigen_cg_iters + st.outer_iters < cfg.max_iters) {
+    cl.exchange({FieldId::kP}, 1);
+    const double pw = cl.sum_over_chunks([](int, Chunk2D& c) {
+      return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
+                               interior_bounds(c));
+    });
+    ++st.spmv_applies;
+    TEA_REQUIRE(pw > 0.0, "PPCG breakdown: ⟨p, A·p⟩ <= 0");
+    const double alpha = rro / pw;
+    cl.for_each_chunk(
+        [&](int, Chunk2D& c) { kernels::cg_calc_ur(c, alpha); });
+
+    apply_inner(cl, cfg, cc, &st);
+    rrn = cl.sum_over_chunks([](int, const Chunk2D& c) {
+      return kernels::dot(c, FieldId::kR, FieldId::kZ);
+    });
+    const double beta = rrn / rro;
+    cl.for_each_chunk([&](int, Chunk2D& c) {
+      kernels::xpby(c, FieldId::kP, FieldId::kZ, beta, interior_bounds(c));
+    });
+    rro = rrn;
+    ++st.outer_iters;
+    if (std::sqrt(std::fabs(rrn)) <= target) {
+      st.converged = true;
+      break;
+    }
+  }
+  st.outer_iters += st.eigen_cg_iters;
+  st.final_norm = std::sqrt(std::fabs(rrn));
+  st.solve_seconds = timer.elapsed_s();
+  if (!st.converged) {
+    log::warn() << "PPCG hit max_iters with metric " << st.final_norm;
+  }
+  return st;
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "comm/sim_comm.hpp"
+#include "solvers/cheby_coef.hpp"
+#include "solvers/solver_config.hpp"
+
+namespace tealeaf {
+
+/// CPPCG — the paper's primary contribution (§III): conjugate gradients
+/// polynomially preconditioned with a shifted/scaled Chebyshev polynomial.
+///
+/// Each outer PCG iteration applies z = B(A)·r via `inner_steps` Chebyshev
+/// recurrence steps.  The outer loop keeps CG's two global reductions, but
+/// they now amortise over `inner_steps+1` operator applications — the
+/// communication-avoiding property that drives the strong-scaling results
+/// of Figs. 5-7.
+///
+/// With `halo_depth` (matrix powers, §IV-C2) > 1, the inner loop exchanges
+/// a depth-d halo once per d operator applications and performs the
+/// intermediate sweeps on bounds extended into the overlap, recomputing
+/// the overlap redundantly instead of communicating.
+class PPCGSolver {
+ public:
+  static SolveStats solve(SimCluster2D& cl, const SolverConfig& cfg);
+
+  /// Apply the inner Chebyshev preconditioner: z = B(A)·r on every chunk.
+  /// Exposed for tests (depth-equivalence and trace validation).
+  /// Updates `spmv_applies`/`inner_steps` counters in `st` when non-null.
+  static void apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
+                          const ChebyCoefs& cc, SolveStats* st);
+};
+
+}  // namespace tealeaf

@@ -1,0 +1,21 @@
+#include "solvers/solver.hpp"
+
+#include "solvers/cg.hpp"
+#include "solvers/chebyshev.hpp"
+#include "solvers/jacobi.hpp"
+#include "solvers/ppcg.hpp"
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+SolveStats solve_linear_system(SimCluster2D& cl, const SolverConfig& cfg) {
+  switch (cfg.type) {
+    case SolverType::kJacobi: return JacobiSolver::solve(cl, cfg);
+    case SolverType::kCG: return CGSolver::solve(cl, cfg);
+    case SolverType::kChebyshev: return ChebyshevSolver::solve(cl, cfg);
+    case SolverType::kPPCG: return PPCGSolver::solve(cl, cfg);
+  }
+  TEA_ASSERT(false, "invalid solver type");
+}
+
+}  // namespace tealeaf

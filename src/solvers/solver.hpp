@@ -1,0 +1,18 @@
+#pragma once
+
+#include "comm/sim_comm.hpp"
+#include "solvers/solver_config.hpp"
+
+namespace tealeaf {
+
+/// Dispatch facade: run the configured solver on A·u = u0.
+///
+/// Preconditions (normally established by the driver's timestep):
+///  * u = u0 = initial temperature on chunk interiors,
+///  * Kx/Ky built by kernels::init_conduction after a full-depth density
+///    exchange.
+/// Postcondition: u holds the converged solution on chunk interiors.
+[[nodiscard]] SolveStats solve_linear_system(SimCluster2D& cl,
+                                             const SolverConfig& cfg);
+
+}  // namespace tealeaf

@@ -1,0 +1,49 @@
+#include "solvers/solver_config.hpp"
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+const char* to_string(SolverType t) {
+  switch (t) {
+    case SolverType::kJacobi: return "jacobi";
+    case SolverType::kCG: return "cg";
+    case SolverType::kChebyshev: return "chebyshev";
+    case SolverType::kPPCG: return "ppcg";
+  }
+  return "?";
+}
+
+SolverType solver_type_from_string(const std::string& s) {
+  if (s == "jacobi") return SolverType::kJacobi;
+  if (s == "cg") return SolverType::kCG;
+  if (s == "chebyshev" || s == "cheby") return SolverType::kChebyshev;
+  if (s == "ppcg" || s == "cppcg") return SolverType::kPPCG;
+  throw TeaError("unknown solver type: " + s);
+}
+
+void SolverConfig::validate() const {
+  TEA_REQUIRE(max_iters > 0, "max_iters must be positive");
+  TEA_REQUIRE(eps > 0.0, "eps must be positive");
+  TEA_REQUIRE(halo_depth >= 1, "matrix-powers halo depth must be >= 1");
+  TEA_REQUIRE(eigen_cg_iters >= 2,
+              "eigenvalue estimation needs at least two CG steps");
+  TEA_REQUIRE(inner_steps >= 1, "PPCG needs at least one inner step");
+  TEA_REQUIRE(eig_safety_lo > 0.0 && eig_safety_lo <= 1.0,
+              "eig_safety_lo must be in (0, 1]");
+  TEA_REQUIRE(eig_safety_hi >= 1.0, "eig_safety_hi must be >= 1");
+  TEA_REQUIRE(cheby_check_interval >= 1, "check interval must be >= 1");
+  if (halo_depth > 1) {
+    TEA_REQUIRE(type == SolverType::kPPCG,
+                "matrix-powers halo depth > 1 only applies to PPCG");
+    TEA_REQUIRE(precon != PreconType::kJacobiBlock,
+                "block-Jacobi cannot be combined with the matrix-powers "
+                "kernel (paper §IV-C2)");
+  }
+  if (fuse_cg_reductions) {
+    TEA_REQUIRE(type == SolverType::kCG,
+                "fused reductions are a CG-only restructuring");
+  }
+}
+
+}  // namespace tealeaf

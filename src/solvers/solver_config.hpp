@@ -1,0 +1,77 @@
+#pragma once
+
+#include <string>
+
+#include "precon/preconditioner.hpp"
+
+namespace tealeaf {
+
+/// The four stand-alone solvers TeaLeaf integrates (paper §II).
+enum class SolverType : int {
+  kJacobi = 0,
+  kCG = 1,
+  kChebyshev = 2,
+  kPPCG = 3,  ///< CPPCG: CG polynomially preconditioned with Chebyshev
+};
+
+[[nodiscard]] const char* to_string(SolverType t);
+[[nodiscard]] SolverType solver_type_from_string(const std::string& s);
+
+/// Full configuration of one linear solve; mirrors the `tl_*` options of
+/// an upstream tea.in deck.
+struct SolverConfig {
+  SolverType type = SolverType::kCG;
+  PreconType precon = PreconType::kNone;
+
+  int max_iters = 10000;   ///< outer-iteration cap (tl_max_iters)
+  double eps = 1e-10;      ///< relative convergence tolerance (tl_eps)
+
+  /// Matrix-powers halo depth (paper §IV-C2).  1 = classic exchange per
+  /// operator application; n > 1 = one depth-n exchange per n inner
+  /// applications.  Only the PPCG inner loop uses depths > 1.
+  int halo_depth = 1;
+
+  /// CG iterations run up-front to estimate the extreme eigenvalues via
+  /// the Lanczos connection (paper §III-D; upstream tl_*_presteps).
+  int eigen_cg_iters = 20;
+
+  /// Chebyshev steps per PPCG outer iteration (polynomial degree;
+  /// upstream tl_ppcg_inner_steps).
+  int inner_steps = 10;
+
+  /// Safety widening applied to the eigenvalue estimates.
+  double eig_safety_lo = 0.95;
+  double eig_safety_hi = 1.05;
+
+  /// The stand-alone Chebyshev solver has no per-iteration reduction;
+  /// it checks the residual norm every this many iterations.
+  int cheby_check_interval = 20;
+
+  /// CG only: use the Chronopoulos-Gear recurrence, which fuses the two
+  /// dot products of each iteration into a single allreduce — the §VII
+  /// future-work restructuring ("multiple dot products combined into a
+  /// single communication step").  Slightly less numerically robust than
+  /// classic CG; off by default.
+  bool fuse_cg_reductions = false;
+
+  /// Throws TeaError on inconsistent combinations, e.g. block-Jacobi with
+  /// matrix-powers depth > 1 (the strips would need fresh whole-block
+  /// data every inner step — paper §IV-C2 last paragraph).
+  void validate() const;
+};
+
+/// Outcome of one linear solve.
+struct SolveStats {
+  bool converged = false;
+  int outer_iters = 0;           ///< CG/PPCG outer or Jacobi/Cheby iterations
+  long long inner_steps = 0;     ///< PPCG inner Chebyshev steps in total
+  long long spmv_applies = 0;    ///< total A·x applications (any bounds)
+  int eigen_cg_iters = 0;        ///< CG presteps used for eigen estimation
+  double eigmin = 0.0;           ///< widened eigenvalue estimates (0 if n/a)
+  double eigmax = 0.0;
+  double initial_norm = 0.0;     ///< sqrt of the initial convergence metric
+  double final_norm = 0.0;       ///< sqrt of the final convergence metric
+  double solve_seconds = 0.0;    ///< wall-clock of the simulated solve
+};
+
+}  // namespace tealeaf

@@ -1,0 +1,71 @@
+#include "solvers/tridiag_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+std::vector<double> tridiag_eigenvalues(std::vector<double> d,
+                                        std::vector<double> e) {
+  const int n = static_cast<int>(d.size());
+  TEA_REQUIRE(n >= 1, "matrix must be non-empty");
+  TEA_REQUIRE(static_cast<int>(e.size()) == n - 1,
+              "need n-1 off-diagonal entries");
+  if (n == 1) return d;
+
+  // Shift the off-diagonals up one slot and append 0, the classic tqli
+  // storage convention: e[i] couples rows i-1 and i after this.
+  e.push_back(0.0);
+
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m;
+    do {
+      // Find the first decoupled (numerically zero) off-diagonal at or
+      // after l.
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        TEA_REQUIRE(++iter <= 50, "tridiagonal QL failed to converge");
+        // Form the implicit Wilkinson-like shift from the 2x2 block at l.
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (int i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            // Recover from underflow: deflate and restart this row.
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          if (i == l) {
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+          }
+        }
+      }
+    } while (m != l);
+  }
+
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <vector>
+
+namespace tealeaf {
+
+/// Eigenvalues of a symmetric tridiagonal matrix, ascending.
+///
+/// `diag` holds the n diagonal entries; `off` the n-1 off-diagonal
+/// entries (off[i] couples rows i and i+1).  Implicit-shift QL iteration
+/// without eigenvector accumulation — the same scheme as upstream
+/// TeaLeaf's `tqli` in tea_leaf_cheby.f90 (after Numerical Recipes).
+/// Throws TeaError if any eigenvalue fails to converge in 50 sweeps.
+[[nodiscard]] std::vector<double> tridiag_eigenvalues(
+    std::vector<double> diag, std::vector<double> off);
+
+}  // namespace tealeaf

@@ -1,0 +1,28 @@
+#include "tea3d/chunk3d.hpp"
+
+namespace tealeaf {
+
+Chunk3D::Chunk3D(const ChunkExtent3D& extent, const GlobalMesh3D& mesh,
+                 int halo_depth)
+    : extent_(extent), mesh_(mesh), halo_depth_(halo_depth) {
+  TEA_REQUIRE(extent.nx > 0 && extent.ny > 0 && extent.nz > 0,
+              "chunk must own cells");
+  TEA_REQUIRE(halo_depth >= 1, "solvers need at least one halo layer");
+  for (auto& f : fields_) {
+    f = Field3D<double>(extent.nx, extent.ny, extent.nz, halo_depth, 0.0);
+  }
+}
+
+bool Chunk3D::at_boundary(Face3D face) const {
+  switch (face) {
+    case Face3D::kLeft: return extent_.x0 == 0;
+    case Face3D::kRight: return extent_.x0 + extent_.nx == mesh_.nx;
+    case Face3D::kBottom: return extent_.y0 == 0;
+    case Face3D::kTop: return extent_.y0 + extent_.ny == mesh_.ny;
+    case Face3D::kBack: return extent_.z0 == 0;
+    case Face3D::kFront: return extent_.z0 + extent_.nz == mesh_.nz;
+  }
+  TEA_ASSERT(false, "invalid face");
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <array>
+
+#include "tea3d/decomposition3d.hpp"
+#include "tea3d/field3d.hpp"
+
+namespace tealeaf {
+
+/// Per-chunk solver fields for the 3-D mini-app (upstream TeaLeaf3D).
+/// Compared to 2-D there is an additional face-coefficient field Kz; the
+/// block-Jacobi workspace is omitted (the 3-D code supports identity and
+/// diagonal preconditioning, as the TeaLeaf3D release did).
+enum class FieldId3D : int {
+  kDensity = 0,
+  kEnergy1,
+  kU,
+  kU0,
+  kP,
+  kR,
+  kW,
+  kZ,
+  kSd,
+  kRtemp,
+  kKx,
+  kKy,
+  kKz,
+};
+
+inline constexpr int kNumFieldIds3D = 13;
+
+/// One simulated rank's 3-D subdomain.
+class Chunk3D {
+ public:
+  Chunk3D(const ChunkExtent3D& extent, const GlobalMesh3D& mesh,
+          int halo_depth);
+
+  [[nodiscard]] int nx() const { return extent_.nx; }
+  [[nodiscard]] int ny() const { return extent_.ny; }
+  [[nodiscard]] int nz() const { return extent_.nz; }
+  [[nodiscard]] int halo_depth() const { return halo_depth_; }
+  [[nodiscard]] const ChunkExtent3D& extent() const { return extent_; }
+  [[nodiscard]] const GlobalMesh3D& mesh() const { return mesh_; }
+
+  [[nodiscard]] Field3D<double>& field(FieldId3D id) {
+    return fields_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const Field3D<double>& field(FieldId3D id) const {
+    return fields_[static_cast<std::size_t>(id)];
+  }
+
+  Field3D<double>& density() { return field(FieldId3D::kDensity); }
+  Field3D<double>& energy() { return field(FieldId3D::kEnergy1); }
+  Field3D<double>& u() { return field(FieldId3D::kU); }
+  Field3D<double>& u0() { return field(FieldId3D::kU0); }
+  Field3D<double>& p() { return field(FieldId3D::kP); }
+  Field3D<double>& r() { return field(FieldId3D::kR); }
+  Field3D<double>& w() { return field(FieldId3D::kW); }
+  Field3D<double>& z() { return field(FieldId3D::kZ); }
+  Field3D<double>& sd() { return field(FieldId3D::kSd); }
+  Field3D<double>& rtemp() { return field(FieldId3D::kRtemp); }
+  Field3D<double>& kx() { return field(FieldId3D::kKx); }
+  Field3D<double>& ky() { return field(FieldId3D::kKy); }
+  Field3D<double>& kz() { return field(FieldId3D::kKz); }
+  const Field3D<double>& kx() const { return field(FieldId3D::kKx); }
+  const Field3D<double>& ky() const { return field(FieldId3D::kKy); }
+  const Field3D<double>& kz() const { return field(FieldId3D::kKz); }
+
+  [[nodiscard]] bool at_boundary(Face3D face) const;
+
+ private:
+  ChunkExtent3D extent_;
+  GlobalMesh3D mesh_;
+  int halo_depth_;
+  std::array<Field3D<double>, kNumFieldIds3D> fields_;
+};
+
+}  // namespace tealeaf

@@ -1,0 +1,77 @@
+#include "tea3d/decomposition3d.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace tealeaf {
+
+Decomposition3D Decomposition3D::create(int nranks,
+                                        const GlobalMesh3D& mesh) {
+  TEA_REQUIRE(nranks >= 1, "need at least one rank");
+  Decomposition3D d;
+  double best_surface = std::numeric_limits<double>::infinity();
+  for (int pz = 1; pz <= nranks; ++pz) {
+    if (nranks % pz != 0) continue;
+    const int rest = nranks / pz;
+    for (int py = 1; py <= rest; ++py) {
+      if (rest % py != 0) continue;
+      const int px = rest / py;
+      if (px > mesh.nx || py > mesh.ny || pz > mesh.nz) continue;
+      const double cx = static_cast<double>(mesh.nx) / px;
+      const double cy = static_cast<double>(mesh.ny) / py;
+      const double cz = static_cast<double>(mesh.nz) / pz;
+      const double surface = 2.0 * (cx * cy + cy * cz + cx * cz);
+      if (surface < best_surface) {
+        best_surface = surface;
+        d.px_ = px;
+        d.py_ = py;
+        d.pz_ = pz;
+      }
+    }
+  }
+  TEA_REQUIRE(std::isfinite(best_surface),
+              "mesh too small for requested rank count");
+
+  const auto split = [](int cells, int parts, std::vector<int>& offs,
+                        std::vector<int>& sizes) {
+    offs.resize(static_cast<std::size_t>(parts));
+    sizes.resize(static_cast<std::size_t>(parts));
+    const int base = cells / parts;
+    const int extra = cells % parts;
+    int off = 0;
+    for (int i = 0; i < parts; ++i) {
+      offs[i] = off;
+      sizes[i] = base + (i < extra ? 1 : 0);
+      off += sizes[i];
+    }
+  };
+  std::vector<int> x0, xn, y0, yn, z0, zn;
+  split(mesh.nx, d.px_, x0, xn);
+  split(mesh.ny, d.py_, y0, yn);
+  split(mesh.nz, d.pz_, z0, zn);
+
+  d.extents_.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    const int cx = d.coord_x(r), cy = d.coord_y(r), cz = d.coord_z(r);
+    d.extents_[r] = ChunkExtent3D{x0[cx], y0[cy], z0[cz],
+                                  xn[cx], yn[cy], zn[cz]};
+  }
+  return d;
+}
+
+int Decomposition3D::neighbor(int rank, Face3D face) const {
+  const int cx = coord_x(rank), cy = coord_y(rank), cz = coord_z(rank);
+  switch (face) {
+    case Face3D::kLeft: return cx > 0 ? rank_at(cx - 1, cy, cz) : -1;
+    case Face3D::kRight:
+      return cx < px_ - 1 ? rank_at(cx + 1, cy, cz) : -1;
+    case Face3D::kBottom: return cy > 0 ? rank_at(cx, cy - 1, cz) : -1;
+    case Face3D::kTop: return cy < py_ - 1 ? rank_at(cx, cy + 1, cz) : -1;
+    case Face3D::kBack: return cz > 0 ? rank_at(cx, cy, cz - 1) : -1;
+    case Face3D::kFront:
+      return cz < pz_ - 1 ? rank_at(cx, cy, cz + 1) : -1;
+  }
+  TEA_ASSERT(false, "invalid face");
+}
+
+}  // namespace tealeaf

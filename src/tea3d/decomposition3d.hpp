@@ -1,0 +1,78 @@
+#pragma once
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+/// Geometry of the global 3-D problem domain (upstream TeaLeaf3D).
+struct GlobalMesh3D {
+  int nx = 0, ny = 0, nz = 0;
+  double xmin = 0.0, xmax = 1.0;
+  double ymin = 0.0, ymax = 1.0;
+  double zmin = 0.0, zmax = 1.0;
+
+  GlobalMesh3D() = default;
+  GlobalMesh3D(int nx_, int ny_, int nz_, double len = 10.0)
+      : nx(nx_), ny(ny_), nz(nz_), xmax(len), ymax(len), zmax(len) {
+    TEA_REQUIRE(nx > 0 && ny > 0 && nz > 0, "mesh dims must be positive");
+  }
+
+  [[nodiscard]] double dx() const { return (xmax - xmin) / nx; }
+  [[nodiscard]] double dy() const { return (ymax - ymin) / ny; }
+  [[nodiscard]] double dz() const { return (zmax - zmin) / nz; }
+  [[nodiscard]] long long cell_count() const {
+    return static_cast<long long>(nx) * ny * nz;
+  }
+};
+
+/// Faces of a 3-D chunk.
+enum class Face3D : int {
+  kLeft = 0,
+  kRight = 1,
+  kBottom = 2,
+  kTop = 3,
+  kBack = 4,
+  kFront = 5,
+};
+inline constexpr int kNumFaces3D = 6;
+
+/// One rank's subdomain in global cell coordinates.
+struct ChunkExtent3D {
+  int x0 = 0, y0 = 0, z0 = 0;
+  int nx = 0, ny = 0, nz = 0;
+};
+
+/// Block decomposition of the 3-D mesh over nranks ranks: chooses the
+/// px·py·pz factorisation with minimal total chunk surface (the 3-D
+/// generalisation of tea_decompose).
+class Decomposition3D {
+ public:
+  static Decomposition3D create(int nranks, const GlobalMesh3D& mesh);
+
+  [[nodiscard]] int nranks() const { return px_ * py_ * pz_; }
+  [[nodiscard]] int px() const { return px_; }
+  [[nodiscard]] int py() const { return py_; }
+  [[nodiscard]] int pz() const { return pz_; }
+
+  [[nodiscard]] int coord_x(int rank) const { return rank % px_; }
+  [[nodiscard]] int coord_y(int rank) const { return (rank / px_) % py_; }
+  [[nodiscard]] int coord_z(int rank) const { return rank / (px_ * py_); }
+  [[nodiscard]] int rank_at(int cx, int cy, int cz) const {
+    return (cz * py_ + cy) * px_ + cx;
+  }
+
+  /// Neighbour across `face`, or -1 at a physical boundary.
+  [[nodiscard]] int neighbor(int rank, Face3D face) const;
+
+  [[nodiscard]] const ChunkExtent3D& extent(int rank) const {
+    return extents_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  int px_ = 1, py_ = 1, pz_ = 1;
+  std::vector<ChunkExtent3D> extents_;
+};
+
+}  // namespace tealeaf

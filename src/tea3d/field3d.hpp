@@ -1,0 +1,77 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+/// Dense 3-D field over (nx × ny × nz) cells with a halo of depth `halo`
+/// on every face — the 3-D analogue of Field2D, mirroring upstream
+/// TeaLeaf3D's Fortran arrays.  Indexing f(j,k,l) with j the unit-stride
+/// axis; each index ranges over [-halo, n+halo).
+template <class T = double>
+class Field3D {
+ public:
+  Field3D() = default;
+
+  Field3D(int nx, int ny, int nz, int halo, T init = T{})
+      : nx_(nx), ny_(ny), nz_(nz), halo_(halo),
+        stride_j_(nx + 2 * halo),
+        stride_k_(static_cast<std::int64_t>(nx + 2 * halo) *
+                  (ny + 2 * halo)),
+        data_(static_cast<std::size_t>(nx + 2 * halo) * (ny + 2 * halo) *
+                  (nz + 2 * halo),
+              init) {
+    TEA_REQUIRE(nx > 0 && ny > 0 && nz > 0, "field dims must be positive");
+    TEA_REQUIRE(halo >= 0, "halo depth must be non-negative");
+  }
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] int halo() const { return halo_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] T& operator()(int j, int k, int l) {
+    return data_[index(j, k, l)];
+  }
+  [[nodiscard]] const T& operator()(int j, int k, int l) const {
+    return data_[index(j, k, l)];
+  }
+
+  [[nodiscard]] std::size_t index(int j, int k, int l) const {
+    return static_cast<std::size_t>(l + halo_) * stride_k_ +
+           static_cast<std::size_t>(k + halo_) * stride_j_ +
+           static_cast<std::size_t>(j + halo_);
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  void fill_interior(T value) {
+    for (int l = 0; l < nz_; ++l)
+      for (int k = 0; k < ny_; ++k)
+        for (int j = 0; j < nx_; ++j) (*this)(j, k, l) = value;
+  }
+
+  [[nodiscard]] T sum_interior() const {
+    T total{};
+    for (int l = 0; l < nz_; ++l)
+      for (int k = 0; k < ny_; ++k)
+        for (int j = 0; j < nx_; ++j) total += (*this)(j, k, l);
+    return total;
+  }
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  int nz_ = 0;
+  int halo_ = 0;
+  std::int64_t stride_j_ = 0;
+  std::int64_t stride_k_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace tealeaf

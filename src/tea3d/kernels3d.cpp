@@ -1,0 +1,274 @@
+#include "tea3d/kernels3d.hpp"
+
+#include <cmath>
+
+namespace tealeaf::kernels3d {
+
+Bounds3D interior_bounds(const Chunk3D& c) {
+  return Bounds3D{0, c.nx(), 0, c.ny(), 0, c.nz()};
+}
+
+Bounds3D extended_bounds(const Chunk3D& c, int ext) {
+  TEA_ASSERT(ext >= 0 && ext <= c.halo_depth(), "invalid extension");
+  Bounds3D b = interior_bounds(c);
+  if (!c.at_boundary(Face3D::kLeft)) b.jlo -= ext;
+  if (!c.at_boundary(Face3D::kRight)) b.jhi += ext;
+  if (!c.at_boundary(Face3D::kBottom)) b.klo -= ext;
+  if (!c.at_boundary(Face3D::kTop)) b.khi += ext;
+  if (!c.at_boundary(Face3D::kBack)) b.llo -= ext;
+  if (!c.at_boundary(Face3D::kFront)) b.lhi += ext;
+  return b;
+}
+
+double diag_at(const Chunk3D& c, int j, int k, int l) {
+  const auto& kx = c.kx();
+  const auto& ky = c.ky();
+  const auto& kz = c.kz();
+  return 1.0 + (kx(j + 1, k, l) + kx(j, k, l)) +
+         (ky(j, k + 1, l) + ky(j, k, l)) +
+         (kz(j, k, l + 1) + kz(j, k, l));
+}
+
+void init_u_u0(Chunk3D& c) {
+  const int h = c.halo_depth();
+  auto& u = c.u();
+  auto& u0 = c.u0();
+  const auto& density = c.density();
+  const auto& energy = c.energy();
+  for (int l = -h; l < c.nz() + h; ++l)
+    for (int k = -h; k < c.ny() + h; ++k)
+      for (int j = -h; j < c.nx() + h; ++j) {
+        const double t = energy(j, k, l) * density(j, k, l);
+        u(j, k, l) = t;
+        u0(j, k, l) = t;
+      }
+  for (const FieldId3D f : {FieldId3D::kP, FieldId3D::kR, FieldId3D::kW,
+                            FieldId3D::kZ, FieldId3D::kSd,
+                            FieldId3D::kRtemp}) {
+    c.field(f).fill(0.0);
+  }
+}
+
+void init_conduction(Chunk3D& c, kernels::Coefficient coef, double rx,
+                     double ry, double rz) {
+  const int h = c.halo_depth();
+  const auto& density = c.density();
+  const auto face = [&](int ja, int ka, int la, int jb, int kb, int lb) {
+    const double da = density(ja, ka, la);
+    const double db = density(jb, kb, lb);
+    const double ca =
+        (coef == kernels::Coefficient::kConductivity) ? da : 1.0 / da;
+    const double cb =
+        (coef == kernels::Coefficient::kConductivity) ? db : 1.0 / db;
+    return (ca + cb) / (2.0 * ca * cb);
+  };
+
+  c.kx().fill(0.0);
+  c.ky().fill(0.0);
+  c.kz().fill(0.0);
+
+  const int jlo = c.at_boundary(Face3D::kLeft) ? 1 : -h + 1;
+  const int jhi = c.at_boundary(Face3D::kRight) ? c.nx() : c.nx() + h;
+  const int klo = c.at_boundary(Face3D::kBottom) ? 1 : -h + 1;
+  const int khi = c.at_boundary(Face3D::kTop) ? c.ny() : c.ny() + h;
+  const int llo = c.at_boundary(Face3D::kBack) ? 1 : -h + 1;
+  const int lhi = c.at_boundary(Face3D::kFront) ? c.nz() : c.nz() + h;
+  // Orthogonal ranges clamp to wherever density is valid.
+  const int ojlo = c.at_boundary(Face3D::kLeft) ? 0 : -h;
+  const int ojhi = c.at_boundary(Face3D::kRight) ? c.nx() : c.nx() + h;
+  const int oklo = c.at_boundary(Face3D::kBottom) ? 0 : -h;
+  const int okhi = c.at_boundary(Face3D::kTop) ? c.ny() : c.ny() + h;
+  const int ollo = c.at_boundary(Face3D::kBack) ? 0 : -h;
+  const int olhi = c.at_boundary(Face3D::kFront) ? c.nz() : c.nz() + h;
+
+  auto& kx = c.kx();
+  for (int l = ollo; l < olhi; ++l)
+    for (int k = oklo; k < okhi; ++k)
+      for (int j = jlo; j < jhi; ++j)
+        kx(j, k, l) = rx * face(j - 1, k, l, j, k, l);
+  auto& ky = c.ky();
+  for (int l = ollo; l < olhi; ++l)
+    for (int k = klo; k < khi; ++k)
+      for (int j = ojlo; j < ojhi; ++j)
+        ky(j, k, l) = ry * face(j, k - 1, l, j, k, l);
+  auto& kz = c.kz();
+  for (int l = llo; l < lhi; ++l)
+    for (int k = oklo; k < okhi; ++k)
+      for (int j = ojlo; j < ojhi; ++j)
+        kz(j, k, l) = rz * face(j, k, l - 1, j, k, l);
+}
+
+namespace {
+
+inline double apply_stencil(const Chunk3D& c, const Field3D<double>& s,
+                            int j, int k, int l) {
+  const auto& kx = c.kx();
+  const auto& ky = c.ky();
+  const auto& kz = c.kz();
+  return diag_at(c, j, k, l) * s(j, k, l) -
+         (kx(j + 1, k, l) * s(j + 1, k, l) + kx(j, k, l) * s(j - 1, k, l)) -
+         (ky(j, k + 1, l) * s(j, k + 1, l) + ky(j, k, l) * s(j, k - 1, l)) -
+         (kz(j, k, l + 1) * s(j, k, l + 1) + kz(j, k, l) * s(j, k, l - 1));
+}
+
+}  // namespace
+
+void smvp(Chunk3D& c, FieldId3D src_id, FieldId3D dst_id,
+          const Bounds3D& b) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  for (int l = b.llo; l < b.lhi; ++l)
+    for (int k = b.klo; k < b.khi; ++k)
+      for (int j = b.jlo; j < b.jhi; ++j)
+        dst(j, k, l) = apply_stencil(c, src, j, k, l);
+}
+
+double smvp_dot(Chunk3D& c, FieldId3D src_id, FieldId3D dst_id,
+                const Bounds3D& b) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  const Bounds3D in = interior_bounds(c);
+  double acc = 0.0;
+  for (int l = b.llo; l < b.lhi; ++l) {
+    const bool l_in = l >= in.llo && l < in.lhi;
+    for (int k = b.klo; k < b.khi; ++k) {
+      const bool kl_in = l_in && k >= in.klo && k < in.khi;
+      for (int j = b.jlo; j < b.jhi; ++j) {
+        const double w = apply_stencil(c, src, j, k, l);
+        dst(j, k, l) = w;
+        if (kl_in && j >= in.jlo && j < in.jhi) acc += src(j, k, l) * w;
+      }
+    }
+  }
+  return acc;
+}
+
+void copy(Chunk3D& c, FieldId3D dst_id, FieldId3D src_id,
+          const Bounds3D& b) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  for (int l = b.llo; l < b.lhi; ++l)
+    for (int k = b.klo; k < b.khi; ++k)
+      for (int j = b.jlo; j < b.jhi; ++j) dst(j, k, l) = src(j, k, l);
+}
+
+void axpy(Chunk3D& c, FieldId3D y_id, double a, FieldId3D x_id,
+          const Bounds3D& b) {
+  auto& y = c.field(y_id);
+  const auto& x = c.field(x_id);
+  for (int l = b.llo; l < b.lhi; ++l)
+    for (int k = b.klo; k < b.khi; ++k)
+      for (int j = b.jlo; j < b.jhi; ++j) y(j, k, l) += a * x(j, k, l);
+}
+
+void xpby(Chunk3D& c, FieldId3D y_id, FieldId3D x_id, double beta,
+          const Bounds3D& b) {
+  auto& y = c.field(y_id);
+  const auto& x = c.field(x_id);
+  for (int l = b.llo; l < b.lhi; ++l)
+    for (int k = b.klo; k < b.khi; ++k)
+      for (int j = b.jlo; j < b.jhi; ++j)
+        y(j, k, l) = x(j, k, l) + beta * y(j, k, l);
+}
+
+double dot(const Chunk3D& c, FieldId3D a_id, FieldId3D b_id) {
+  const auto& a = c.field(a_id);
+  const auto& b = c.field(b_id);
+  double acc = 0.0;
+  for (int l = 0; l < c.nz(); ++l)
+    for (int k = 0; k < c.ny(); ++k)
+      for (int j = 0; j < c.nx(); ++j) acc += a(j, k, l) * b(j, k, l);
+  return acc;
+}
+
+double calc_residual(Chunk3D& c) {
+  const auto& u = c.u();
+  const auto& u0 = c.u0();
+  auto& w = c.w();
+  auto& r = c.r();
+  double acc = 0.0;
+  for (int l = 0; l < c.nz(); ++l) {
+    for (int k = 0; k < c.ny(); ++k) {
+      for (int j = 0; j < c.nx(); ++j) {
+        w(j, k, l) = apply_stencil(c, u, j, k, l);
+        r(j, k, l) = u0(j, k, l) - w(j, k, l);
+        acc += r(j, k, l) * r(j, k, l);
+      }
+    }
+  }
+  return acc;
+}
+
+void cg_calc_ur(Chunk3D& c, double alpha) {
+  auto& u = c.u();
+  auto& r = c.r();
+  const auto& p = c.p();
+  const auto& w = c.w();
+  for (int l = 0; l < c.nz(); ++l)
+    for (int k = 0; k < c.ny(); ++k)
+      for (int j = 0; j < c.nx(); ++j) {
+        u(j, k, l) += alpha * p(j, k, l);
+        r(j, k, l) -= alpha * w(j, k, l);
+      }
+}
+
+double jacobi_iterate(Chunk3D& c) {
+  auto& u = c.u();
+  auto& r = c.r();
+  const auto& u0 = c.u0();
+  const auto& kx = c.kx();
+  const auto& ky = c.ky();
+  const auto& kz = c.kz();
+  for (int l = -1; l < c.nz() + 1; ++l)
+    for (int k = -1; k < c.ny() + 1; ++k)
+      for (int j = -1; j < c.nx() + 1; ++j) r(j, k, l) = u(j, k, l);
+  double err = 0.0;
+  for (int l = 0; l < c.nz(); ++l) {
+    for (int k = 0; k < c.ny(); ++k) {
+      for (int j = 0; j < c.nx(); ++j) {
+        const double num =
+            u0(j, k, l) +
+            kx(j + 1, k, l) * r(j + 1, k, l) + kx(j, k, l) * r(j - 1, k, l) +
+            ky(j, k + 1, l) * r(j, k + 1, l) + ky(j, k, l) * r(j, k - 1, l) +
+            kz(j, k, l + 1) * r(j, k, l + 1) + kz(j, k, l) * r(j, k, l - 1);
+        u(j, k, l) = num / diag_at(c, j, k, l);
+        err += std::fabs(u(j, k, l) - r(j, k, l));
+      }
+    }
+  }
+  return err;
+}
+
+void cheby_init_dir(Chunk3D& c, FieldId3D res_id, FieldId3D dir_id,
+                    double theta, bool diag_precon, const Bounds3D& b) {
+  const auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  const double theta_inv = 1.0 / theta;
+  for (int l = b.llo; l < b.lhi; ++l)
+    for (int k = b.klo; k < b.khi; ++k)
+      for (int j = b.jlo; j < b.jhi; ++j) {
+        const double m_inv =
+            diag_precon ? 1.0 / diag_at(c, j, k, l) : 1.0;
+        dir(j, k, l) = m_inv * res(j, k, l) * theta_inv;
+      }
+}
+
+void cheby_fused_update(Chunk3D& c, FieldId3D res_id, FieldId3D dir_id,
+                        FieldId3D acc_id, double alpha, double beta,
+                        bool diag_precon, const Bounds3D& b) {
+  auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  auto& acc = c.field(acc_id);
+  const auto& w = c.w();
+  for (int l = b.llo; l < b.lhi; ++l)
+    for (int k = b.klo; k < b.khi; ++k)
+      for (int j = b.jlo; j < b.jhi; ++j) {
+        res(j, k, l) -= w(j, k, l);
+        const double m_inv =
+            diag_precon ? 1.0 / diag_at(c, j, k, l) : 1.0;
+        dir(j, k, l) = alpha * dir(j, k, l) + beta * m_inv * res(j, k, l);
+        acc(j, k, l) += dir(j, k, l);
+      }
+}
+
+}  // namespace tealeaf::kernels3d

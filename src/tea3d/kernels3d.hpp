@@ -1,0 +1,70 @@
+#pragma once
+
+#include "ops/kernels2d.hpp"  // Coefficient enum (shared with 2-D)
+#include "tea3d/chunk3d.hpp"
+
+/// Matrix-free kernels for the 3-D heat-conduction system: the 7-point
+/// stencil counterpart of ops/kernels2d (paper §II: "five and seven point
+/// finite difference stencils"; upstream TeaLeaf3D).
+///
+///   (A u)(j,k,l) = [1 + ΣK]·u − Σ_faces K_face·u_neighbour
+///
+/// with Kx/Ky/Kz scaled by rx/ry/rz = dt/dx² etc. and zero coefficients
+/// on physical boundary faces (Neumann).
+namespace tealeaf::kernels3d {
+
+/// Half-open sweep bounds in 3-D.
+struct Bounds3D {
+  int jlo = 0, jhi = 0, klo = 0, khi = 0, llo = 0, lhi = 0;
+  [[nodiscard]] long long cells() const {
+    return static_cast<long long>(jhi - jlo) * (khi - klo) * (lhi - llo);
+  }
+};
+
+[[nodiscard]] Bounds3D interior_bounds(const Chunk3D& c);
+
+/// Bounds extended `ext` cells into the halo towards neighbouring chunks
+/// only (matrix-powers sweeps), clamped at physical boundaries.
+[[nodiscard]] Bounds3D extended_bounds(const Chunk3D& c, int ext);
+
+[[nodiscard]] double diag_at(const Chunk3D& c, int j, int k, int l);
+
+/// u = energy·density everywhere (halo included), u0 = u; clears work
+/// vectors.
+void init_u_u0(Chunk3D& c);
+
+/// Build Kx/Ky/Kz from density over the halo-extended region; physical
+/// boundary faces stay zero.
+void init_conduction(Chunk3D& c, kernels::Coefficient coef, double rx,
+                     double ry, double rz);
+
+void smvp(Chunk3D& c, FieldId3D src, FieldId3D dst, const Bounds3D& b);
+[[nodiscard]] double smvp_dot(Chunk3D& c, FieldId3D src, FieldId3D dst,
+                              const Bounds3D& b);
+
+void copy(Chunk3D& c, FieldId3D dst, FieldId3D src, const Bounds3D& b);
+void axpy(Chunk3D& c, FieldId3D y, double a, FieldId3D x,
+          const Bounds3D& b);
+void xpby(Chunk3D& c, FieldId3D y, FieldId3D x, double beta,
+          const Bounds3D& b);
+[[nodiscard]] double dot(const Chunk3D& c, FieldId3D a, FieldId3D b);
+
+/// w = A·u, r = u0 − w; returns Σ r·r over the interior.
+double calc_residual(Chunk3D& c);
+
+/// u += α·p, r −= α·w over the interior.
+void cg_calc_ur(Chunk3D& c, double alpha);
+
+/// One Jacobi sweep; returns Σ|Δu|.
+double jacobi_iterate(Chunk3D& c);
+
+/// dir = M⁻¹·res/θ over `b` (identity or diagonal M).
+void cheby_init_dir(Chunk3D& c, FieldId3D res, FieldId3D dir, double theta,
+                    bool diag_precon, const Bounds3D& b);
+
+/// res −= w; dir = α·dir + β·M⁻¹·res; acc += dir over `b`.
+void cheby_fused_update(Chunk3D& c, FieldId3D res, FieldId3D dir,
+                        FieldId3D acc, double alpha, double beta,
+                        bool diag_precon, const Bounds3D& b);
+
+}  // namespace tealeaf::kernels3d

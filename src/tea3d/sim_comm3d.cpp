@@ -1,0 +1,119 @@
+#include "tea3d/sim_comm3d.hpp"
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+SimCluster3D::SimCluster3D(const GlobalMesh3D& mesh, int nranks,
+                           int halo_depth)
+    : mesh_(mesh),
+      decomp_(Decomposition3D::create(nranks, mesh)),
+      halo_depth_(halo_depth) {
+  TEA_REQUIRE(halo_depth >= 1, "halo depth must be >= 1");
+  chunks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    chunks_.push_back(
+        std::make_unique<Chunk3D>(decomp_.extent(r), mesh, halo_depth));
+  }
+}
+
+void SimCluster3D::exchange(std::initializer_list<FieldId3D> fields,
+                            int depth) {
+  TEA_REQUIRE(depth >= 1 && depth <= halo_depth_,
+              "exchange depth exceeds allocated halo");
+  const std::vector<FieldId3D> fs(fields);
+  if (fs.empty()) return;
+  ++stats_.exchange_calls;
+  // Phase order x → y → z; later phases carry earlier phases' halos so
+  // edges and corners arrive fresh (3-D analogue of the 2-D scheme).
+  exchange_axis(fs, depth, Axis::kX);
+  exchange_axis(fs, depth, Axis::kY);
+  exchange_axis(fs, depth, Axis::kZ);
+}
+
+void SimCluster3D::exchange_axis(const std::vector<FieldId3D>& fields,
+                                 int depth, Axis axis) {
+  const int nf = static_cast<int>(fields.size());
+  const Face3D lo_face = axis == Axis::kX   ? Face3D::kLeft
+                         : axis == Axis::kY ? Face3D::kBottom
+                                            : Face3D::kBack;
+  const Face3D hi_face = axis == Axis::kX   ? Face3D::kRight
+                         : axis == Axis::kY ? Face3D::kTop
+                                            : Face3D::kFront;
+
+  parallel_for(0, nranks(), [&](std::int64_t r) {
+    Chunk3D& me = *chunks_[r];
+    // Orthogonal ranges include the halos of axes exchanged in earlier
+    // phases: y rows carry x-halos, z slabs carry x- and y-halos.
+    const int jext = (axis == Axis::kX) ? 0 : depth;
+    const int kext = (axis == Axis::kZ) ? depth : 0;
+    const int jlo = -jext, jhi = me.nx() + jext;
+    const int klo = -kext, khi = me.ny() + kext;
+
+    for (const Face3D face : {lo_face, hi_face}) {
+      const int nb = decomp_.neighbor(static_cast<int>(r), face);
+      if (nb < 0) continue;
+      Chunk3D& other = *chunks_[nb];
+      for (const FieldId3D id : fields) {
+        Field3D<double>& dst = me.field(id);
+        const Field3D<double>& src = other.field(id);
+        for (int d = 0; d < depth; ++d) {
+          if (axis == Axis::kX) {
+            const int dst_j = (face == lo_face) ? -1 - d : me.nx() + d;
+            const int src_j = (face == lo_face) ? other.nx() - 1 - d : d;
+            for (int l = 0; l < me.nz(); ++l)
+              for (int k = 0; k < me.ny(); ++k)
+                dst(dst_j, k, l) = src(src_j, k, l);
+          } else if (axis == Axis::kY) {
+            const int dst_k = (face == lo_face) ? -1 - d : me.ny() + d;
+            const int src_k = (face == lo_face) ? other.ny() - 1 - d : d;
+            for (int l = 0; l < me.nz(); ++l)
+              for (int j = jlo; j < jhi; ++j)
+                dst(j, dst_k, l) = src(j, src_k, l);
+          } else {
+            const int dst_l = (face == lo_face) ? -1 - d : me.nz() + d;
+            const int src_l = (face == lo_face) ? other.nz() - 1 - d : d;
+            for (int k = klo; k < khi; ++k)
+              for (int j = jlo; j < jhi; ++j)
+                dst(j, k, dst_l) = src(j, k, src_l);
+          }
+        }
+      }
+    }
+  });
+
+  // Accounting mirrors the data motion above.
+  for (int r = 0; r < nranks(); ++r) {
+    const Chunk3D& me = *chunks_[r];
+    for (const Face3D face : {lo_face, hi_face}) {
+      if (decomp_.neighbor(r, face) < 0) continue;
+      std::int64_t cells_per_layer = 0;
+      if (axis == Axis::kX) {
+        cells_per_layer = static_cast<std::int64_t>(me.ny()) * me.nz();
+      } else if (axis == Axis::kY) {
+        cells_per_layer =
+            static_cast<std::int64_t>(me.nx() + 2LL * depth) * me.nz();
+      } else {
+        cells_per_layer = static_cast<std::int64_t>(me.nx() + 2LL * depth) *
+                          (me.ny() + 2LL * depth);
+      }
+      const std::int64_t bytes = cells_per_layer * depth * nf *
+                                 static_cast<std::int64_t>(sizeof(double));
+      ++stats_.messages;
+      stats_.message_bytes += bytes;
+      ++stats_.messages_by_depth[depth];
+      stats_.bytes_by_depth[depth] += bytes;
+    }
+  }
+}
+
+double SimCluster3D::reduce_sum(const std::vector<double>& partials) {
+  TEA_REQUIRE(static_cast<int>(partials.size()) == nranks(),
+              "one partial per rank required");
+  ++stats_.reductions;
+  double total = 0.0;
+  for (const double p : partials) total += p;
+  return total;
+}
+
+}  // namespace tealeaf

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "comm/comm_stats.hpp"
+#include "tea3d/chunk3d.hpp"
+#include "util/parallel.hpp"
+
+namespace tealeaf {
+
+/// Simulated 3-D cluster: the TeaLeaf3D counterpart of SimCluster2D.
+/// Halo exchange is three-phase (x, then y carrying x-halos, then z
+/// carrying xy-halos) so edge and corner data propagate for the
+/// matrix-powers extended sweeps.
+class SimCluster3D {
+ public:
+  SimCluster3D(const GlobalMesh3D& mesh, int nranks, int halo_depth);
+
+  [[nodiscard]] int nranks() const { return static_cast<int>(chunks_.size()); }
+  [[nodiscard]] int halo_depth() const { return halo_depth_; }
+  [[nodiscard]] const GlobalMesh3D& mesh() const { return mesh_; }
+  [[nodiscard]] const Decomposition3D& decomposition() const {
+    return decomp_;
+  }
+  [[nodiscard]] Chunk3D& chunk(int rank) { return *chunks_[rank]; }
+  [[nodiscard]] const Chunk3D& chunk(int rank) const {
+    return *chunks_[rank];
+  }
+
+  void exchange(std::initializer_list<FieldId3D> fields, int depth);
+
+  double reduce_sum(const std::vector<double>& partials);
+
+  template <class Body>
+  void for_each_chunk(Body&& body) {
+    parallel_for(0, nranks(), [&](std::int64_t r) {
+      body(static_cast<int>(r), *chunks_[r]);
+    });
+  }
+
+  template <class Body>
+  double sum_over_chunks(Body&& body) {
+    std::vector<double> partials(static_cast<std::size_t>(nranks()), 0.0);
+    parallel_for(0, nranks(), [&](std::int64_t r) {
+      partials[r] = body(static_cast<int>(r), *chunks_[r]);
+    });
+    return reduce_sum(partials);
+  }
+
+  [[nodiscard]] CommStats& stats() { return stats_; }
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  enum class Axis { kX, kY, kZ };
+  void exchange_axis(const std::vector<FieldId3D>& fields, int depth,
+                     Axis axis);
+
+  GlobalMesh3D mesh_;
+  Decomposition3D decomp_;
+  int halo_depth_;
+  std::vector<std::unique_ptr<Chunk3D>> chunks_;
+  CommStats stats_;
+};
+
+}  // namespace tealeaf

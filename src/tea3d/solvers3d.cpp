@@ -1,0 +1,298 @@
+#include "tea3d/solvers3d.hpp"
+
+#include <cmath>
+
+#include "solvers/cheby_coef.hpp"
+#include "tea3d/kernels3d.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace tealeaf {
+
+namespace {
+
+using kernels3d::Bounds3D;
+
+/// dst = M⁻¹·src for the supported 3-D preconditioners (identity/diag).
+/// Implemented via cheby_init_dir with θ = 1, which is exactly a scaled
+/// preconditioner application.
+void apply_precon_3d(Chunk3D& c, PreconType precon, FieldId3D src,
+                     FieldId3D dst) {
+  TEA_REQUIRE(precon != PreconType::kJacobiBlock,
+              "block-Jacobi strips are 2-D only (TeaLeaf3D parity)");
+  kernels3d::cheby_init_dir(c, src, dst, 1.0,
+                            precon == PreconType::kJacobiDiag,
+                            kernels3d::interior_bounds(c));
+}
+
+}  // namespace
+
+double cg_setup_3d(SimCluster3D& cl, PreconType precon) {
+  cl.exchange({FieldId3D::kU}, 1);
+  if (precon == PreconType::kNone) {
+    return cl.sum_over_chunks([](int, Chunk3D& c) {
+      const double rr = kernels3d::calc_residual(c);
+      kernels3d::copy(c, FieldId3D::kP, FieldId3D::kR,
+                      kernels3d::interior_bounds(c));
+      return rr;
+    });
+  }
+  cl.for_each_chunk([&](int, Chunk3D& c) {
+    kernels3d::calc_residual(c);
+    apply_precon_3d(c, precon, FieldId3D::kR, FieldId3D::kZ);
+    kernels3d::copy(c, FieldId3D::kP, FieldId3D::kZ,
+                    kernels3d::interior_bounds(c));
+  });
+  return cl.sum_over_chunks([](int, const Chunk3D& c) {
+    return kernels3d::dot(c, FieldId3D::kR, FieldId3D::kZ);
+  });
+}
+
+double cg_iteration_3d(SimCluster3D& cl, PreconType precon, double rro,
+                       CGRecurrence* rec) {
+  cl.exchange({FieldId3D::kP}, 1);
+  const double pw = cl.sum_over_chunks([](int, Chunk3D& c) {
+    return kernels3d::smvp_dot(c, FieldId3D::kP, FieldId3D::kW,
+                               kernels3d::interior_bounds(c));
+  });
+  TEA_REQUIRE(pw > 0.0, "CG3D breakdown: ⟨p, A·p⟩ <= 0");
+  const double alpha = rro / pw;
+
+  double rrn;
+  if (precon == PreconType::kNone) {
+    rrn = cl.sum_over_chunks([&](int, Chunk3D& c) {
+      kernels3d::cg_calc_ur(c, alpha);
+      return kernels3d::dot(c, FieldId3D::kR, FieldId3D::kR);
+    });
+  } else {
+    cl.for_each_chunk([&](int, Chunk3D& c) {
+      kernels3d::cg_calc_ur(c, alpha);
+      apply_precon_3d(c, precon, FieldId3D::kR, FieldId3D::kZ);
+    });
+    rrn = cl.sum_over_chunks([](int, const Chunk3D& c) {
+      return kernels3d::dot(c, FieldId3D::kR, FieldId3D::kZ);
+    });
+  }
+
+  const double beta = rrn / rro;
+  const FieldId3D zsrc =
+      (precon == PreconType::kNone) ? FieldId3D::kR : FieldId3D::kZ;
+  cl.for_each_chunk([&](int, Chunk3D& c) {
+    kernels3d::xpby(c, FieldId3D::kP, zsrc, beta,
+                    kernels3d::interior_bounds(c));
+  });
+  if (rec != nullptr) {
+    rec->alphas.push_back(alpha);
+    rec->betas.push_back(beta);
+  }
+  return rrn;
+}
+
+SolveStats CGSolver3D::solve(SimCluster3D& cl, const SolverConfig& cfg) {
+  cfg.validate();
+  Timer timer;
+  SolveStats st;
+  double rro = cg_setup_3d(cl, cfg.precon);
+  ++st.spmv_applies;
+  st.initial_norm = std::sqrt(std::fabs(rro));
+  if (st.initial_norm == 0.0) {
+    st.converged = true;
+    st.solve_seconds = timer.elapsed_s();
+    return st;
+  }
+  const double target = cfg.eps * st.initial_norm;
+  double rrn = rro;
+  while (st.outer_iters < cfg.max_iters) {
+    rrn = cg_iteration_3d(cl, cfg.precon, rro, nullptr);
+    rro = rrn;
+    ++st.outer_iters;
+    ++st.spmv_applies;
+    if (std::sqrt(std::fabs(rrn)) <= target) {
+      st.converged = true;
+      break;
+    }
+  }
+  st.final_norm = std::sqrt(std::fabs(rrn));
+  st.solve_seconds = timer.elapsed_s();
+  return st;
+}
+
+SolveStats JacobiSolver3D::solve(SimCluster3D& cl,
+                                 const SolverConfig& cfg) {
+  cfg.validate();
+  Timer timer;
+  SolveStats st;
+  double initial_err = 0.0;
+  while (st.outer_iters < cfg.max_iters) {
+    cl.exchange({FieldId3D::kU}, 1);
+    const double err = cl.sum_over_chunks(
+        [](int, Chunk3D& c) { return kernels3d::jacobi_iterate(c); });
+    ++st.outer_iters;
+    ++st.spmv_applies;
+    if (st.outer_iters == 1) {
+      initial_err = err;
+      st.initial_norm = err;
+      if (err == 0.0) {
+        st.converged = true;
+        break;
+      }
+    }
+    st.final_norm = err;
+    if (err <= cfg.eps * initial_err) {
+      st.converged = true;
+      break;
+    }
+  }
+  st.solve_seconds = timer.elapsed_s();
+  return st;
+}
+
+namespace {
+
+/// z = B(A)·r via the inner Chebyshev recurrence with matrix-powers
+/// bounds — the 3-D mirror of PPCGSolver::apply_inner.
+void apply_inner_3d(SimCluster3D& cl, const SolverConfig& cfg,
+                    const ChebyCoefs& cc, SolveStats* st) {
+  const int d = cfg.halo_depth;
+  const bool diag = (cfg.precon == PreconType::kJacobiDiag);
+
+  cl.for_each_chunk([](int, Chunk3D& c) {
+    kernels3d::copy(c, FieldId3D::kRtemp, FieldId3D::kR,
+                    kernels3d::interior_bounds(c));
+  });
+  if (d > 1) cl.exchange({FieldId3D::kRtemp}, d);
+
+  int ext = d - 1;
+  cl.for_each_chunk([&](int, Chunk3D& c) {
+    const Bounds3D b = kernels3d::extended_bounds(c, ext);
+    kernels3d::cheby_init_dir(c, FieldId3D::kRtemp, FieldId3D::kSd,
+                              cc.theta, diag, b);
+    kernels3d::copy(c, FieldId3D::kZ, FieldId3D::kSd, b);
+  });
+
+  for (int step = 1; step <= cfg.inner_steps; ++step) {
+    if (ext == 0) {
+      if (d == 1) {
+        cl.exchange({FieldId3D::kSd}, 1);
+      } else {
+        cl.exchange({FieldId3D::kSd, FieldId3D::kRtemp}, d);
+      }
+      ext = d;
+    }
+    --ext;
+    const double alpha = cc.alphas[static_cast<std::size_t>(step - 1)];
+    const double beta = cc.betas[static_cast<std::size_t>(step - 1)];
+    cl.for_each_chunk([&](int, Chunk3D& c) {
+      const Bounds3D b = kernels3d::extended_bounds(c, ext);
+      kernels3d::smvp(c, FieldId3D::kSd, FieldId3D::kW, b);
+      kernels3d::cheby_fused_update(c, FieldId3D::kRtemp, FieldId3D::kSd,
+                                    FieldId3D::kZ, alpha, beta, diag, b);
+    });
+  }
+  if (st != nullptr) {
+    st->spmv_applies += cfg.inner_steps;
+    st->inner_steps += cfg.inner_steps;
+  }
+}
+
+}  // namespace
+
+SolveStats PPCGSolver3D::solve(SimCluster3D& cl, const SolverConfig& cfg) {
+  cfg.validate();
+  TEA_REQUIRE(cfg.halo_depth <= cl.halo_depth(),
+              "cluster halo allocation too shallow for matrix-powers depth");
+  Timer timer;
+  SolveStats st;
+
+  double rro = cg_setup_3d(cl, cfg.precon);
+  ++st.spmv_applies;
+  st.initial_norm = std::sqrt(std::fabs(rro));
+  if (st.initial_norm == 0.0) {
+    st.converged = true;
+    st.solve_seconds = timer.elapsed_s();
+    return st;
+  }
+  const double target = cfg.eps * st.initial_norm;
+
+  CGRecurrence rec;
+  for (int i = 0; i < cfg.eigen_cg_iters; ++i) {
+    rro = cg_iteration_3d(cl, cfg.precon, rro, &rec);
+    ++st.spmv_applies;
+    ++st.eigen_cg_iters;
+    if (std::sqrt(std::fabs(rro)) <= target) {
+      st.outer_iters = st.eigen_cg_iters;
+      st.converged = true;
+      st.final_norm = std::sqrt(std::fabs(rro));
+      st.solve_seconds = timer.elapsed_s();
+      return st;
+    }
+  }
+  const EigenEstimate est =
+      estimate_eigenvalues(rec, cfg.eig_safety_lo, cfg.eig_safety_hi);
+  st.eigmin = est.eigmin;
+  st.eigmax = est.eigmax;
+  const ChebyCoefs cc =
+      chebyshev_coefficients(est.eigmin, est.eigmax, cfg.inner_steps);
+
+  apply_inner_3d(cl, cfg, cc, &st);
+  rro = cl.sum_over_chunks([](int, const Chunk3D& c) {
+    return kernels3d::dot(c, FieldId3D::kR, FieldId3D::kZ);
+  });
+  cl.for_each_chunk([](int, Chunk3D& c) {
+    kernels3d::copy(c, FieldId3D::kP, FieldId3D::kZ,
+                    kernels3d::interior_bounds(c));
+  });
+
+  double rrn = rro;
+  while (st.eigen_cg_iters + st.outer_iters < cfg.max_iters) {
+    cl.exchange({FieldId3D::kP}, 1);
+    const double pw = cl.sum_over_chunks([](int, Chunk3D& c) {
+      return kernels3d::smvp_dot(c, FieldId3D::kP, FieldId3D::kW,
+                                 kernels3d::interior_bounds(c));
+    });
+    ++st.spmv_applies;
+    TEA_REQUIRE(pw > 0.0, "PPCG3D breakdown: ⟨p, A·p⟩ <= 0");
+    const double alpha = rro / pw;
+    cl.for_each_chunk(
+        [&](int, Chunk3D& c) { kernels3d::cg_calc_ur(c, alpha); });
+
+    apply_inner_3d(cl, cfg, cc, &st);
+    rrn = cl.sum_over_chunks([](int, const Chunk3D& c) {
+      return kernels3d::dot(c, FieldId3D::kR, FieldId3D::kZ);
+    });
+    const double beta = rrn / rro;
+    cl.for_each_chunk([&](int, Chunk3D& c) {
+      kernels3d::xpby(c, FieldId3D::kP, FieldId3D::kZ, beta,
+                      kernels3d::interior_bounds(c));
+    });
+    rro = rrn;
+    ++st.outer_iters;
+    if (std::sqrt(std::fabs(rrn)) <= target) {
+      st.converged = true;
+      break;
+    }
+  }
+  st.outer_iters += st.eigen_cg_iters;
+  st.final_norm = std::sqrt(std::fabs(rrn));
+  st.solve_seconds = timer.elapsed_s();
+  if (!st.converged) {
+    log::warn() << "PPCG3D hit max_iters with metric " << st.final_norm;
+  }
+  return st;
+}
+
+SolveStats solve_linear_system_3d(SimCluster3D& cl,
+                                  const SolverConfig& cfg) {
+  switch (cfg.type) {
+    case SolverType::kJacobi: return JacobiSolver3D::solve(cl, cfg);
+    case SolverType::kCG: return CGSolver3D::solve(cl, cfg);
+    case SolverType::kPPCG: return PPCGSolver3D::solve(cl, cfg);
+    case SolverType::kChebyshev:
+      throw TeaError(
+          "the stand-alone Chebyshev driver is 2-D only; use PPCG in 3-D");
+  }
+  TEA_ASSERT(false, "invalid solver type");
+}
+
+}  // namespace tealeaf

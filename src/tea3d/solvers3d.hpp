@@ -1,0 +1,42 @@
+#pragma once
+
+#include "solvers/eigen_estimate.hpp"
+#include "solvers/solver_config.hpp"
+#include "tea3d/sim_comm3d.hpp"
+
+namespace tealeaf {
+
+/// 3-D solver drivers (upstream TeaLeaf3D): CG, Jacobi and CPPCG with the
+/// matrix-powers kernel, sharing SolverConfig/SolveStats with the 2-D
+/// code.  Preconditioning supports identity and diagonal Jacobi (the
+/// block-tridiagonal strips are a 2-D-only feature, as in the release
+/// version of TeaLeaf3D).
+///
+/// Preconditions as in 2-D: u = u0 = ρ·e on chunk interiors; Kx/Ky/Kz
+/// built by kernels3d::init_conduction after a full-depth density
+/// exchange.
+class CGSolver3D {
+ public:
+  static SolveStats solve(SimCluster3D& cl, const SolverConfig& cfg);
+};
+
+class JacobiSolver3D {
+ public:
+  static SolveStats solve(SimCluster3D& cl, const SolverConfig& cfg);
+};
+
+class PPCGSolver3D {
+ public:
+  static SolveStats solve(SimCluster3D& cl, const SolverConfig& cfg);
+};
+
+/// Dispatch facade over the three 3-D solvers.
+[[nodiscard]] SolveStats solve_linear_system_3d(SimCluster3D& cl,
+                                                const SolverConfig& cfg);
+
+/// Shared CG machinery (exposed for the eigenvalue presteps and tests).
+double cg_setup_3d(SimCluster3D& cl, PreconType precon);
+double cg_iteration_3d(SimCluster3D& cl, PreconType precon, double rro,
+                       CGRecurrence* rec);
+
+}  // namespace tealeaf

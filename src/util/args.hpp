@@ -1,0 +1,41 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tealeaf {
+
+/// Minimal command-line parser for the examples and benchmark harnesses.
+///
+/// Accepted forms:  `--key value`, `--key=value`, `--flag` (boolean true),
+/// and bare positional arguments.  Unknown keys are retained so harnesses
+/// can layer their own options.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if `--name` was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Name of the executable (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tealeaf

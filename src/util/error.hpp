@@ -1,0 +1,42 @@
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tealeaf {
+
+/// Exception thrown for violated preconditions / invariants in the library.
+/// Carries the source location of the failed requirement.
+class TeaError : public std::runtime_error {
+ public:
+  explicit TeaError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_require(
+    const char* expr, const std::string& msg,
+    const std::source_location loc = std::source_location::current()) {
+  std::ostringstream os;
+  os << loc.file_name() << ":" << loc.line() << ": requirement failed: `"
+     << expr << "`";
+  if (!msg.empty()) os << " — " << msg;
+  throw TeaError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace tealeaf
+
+/// Precondition check that is always active (release builds included).
+/// HPC codes die loudly on contract violations instead of corrupting data.
+#define TEA_REQUIRE(expr, msg)                          \
+  do {                                                  \
+    if (!(expr)) ::tealeaf::detail::fail_require(#expr, (msg)); \
+  } while (0)
+
+/// Internal-consistency check; same behaviour as TEA_REQUIRE but documents
+/// that the failure indicates a library bug, not user error.
+#define TEA_ASSERT(expr, msg) TEA_REQUIRE(expr, msg)

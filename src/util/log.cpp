@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace tealeaf::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex g_emit_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level message_level, const std::string& message) {
+  if (message_level < level()) return;
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now();
+  const auto secs = std::chrono::time_point_cast<std::chrono::seconds>(now);
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - secs)
+          .count();
+  const std::time_t t = Clock::to_time_t(now);
+  std::tm tm_buf{};
+  localtime_r(&t, &tm_buf);
+
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%02d:%02d:%02d.%03d] %s %s\n", tm_buf.tm_hour,
+               tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(ms),
+               level_name(message_level), message.c_str());
+}
+
+}  // namespace tealeaf::log

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tealeaf::log {
+
+/// Severity levels, lowest to highest.
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global log threshold; messages below it are dropped.
+void set_level(Level level);
+
+/// Current global log threshold.
+Level level();
+
+/// Emit one formatted line (`[HH:MM:SS.mmm] LEVEL message`) to stderr.
+/// Thread-safe: lines from concurrent threads do not interleave.
+void emit(Level level, const std::string& message);
+
+namespace detail {
+
+class LineStream {
+ public:
+  explicit LineStream(Level level) : level_(level) {}
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+  ~LineStream() { emit(level_, os_.str()); }
+
+  template <class T>
+  LineStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+/// Streaming helpers: `log::info() << "solved in " << n << " iters";`
+inline detail::LineStream debug() { return detail::LineStream(Level::kDebug); }
+inline detail::LineStream info() { return detail::LineStream(Level::kInfo); }
+inline detail::LineStream warn() { return detail::LineStream(Level::kWarn); }
+inline detail::LineStream error() { return detail::LineStream(Level::kError); }
+
+}  // namespace tealeaf::log

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace tealeaf {
+
+/// Relative difference |a-b| / max(|a|,|b|,floor); 0 when both are tiny.
+inline double rel_diff(double a, double b, double floor = 1e-300) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), floor});
+  return std::fabs(a - b) / scale;
+}
+
+/// True when a and b agree to within `tol` relative (and `abs_tol` absolute
+/// for values near zero).
+inline bool almost_equal(double a, double b, double tol = 1e-12,
+                         double abs_tol = 1e-300) {
+  return std::fabs(a - b) <= std::max(abs_tol, tol * std::max(std::fabs(a),
+                                                              std::fabs(b)));
+}
+
+/// n evenly spaced samples over [lo, hi] inclusive (n >= 2).
+inline std::vector<double> linspace(double lo, double hi, int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                           static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+/// Integer ceil-division for non-negative values.
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Round x up to the next multiple of m (m > 0).
+inline std::int64_t round_up(std::int64_t x, std::int64_t m) {
+  return ceil_div(x, m) * m;
+}
+
+/// Deterministic xorshift-based pseudo-random generator for reproducible
+/// test fixtures (no global state, stable across platforms).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace tealeaf

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+#if defined(TEALEAF_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace tealeaf {
+
+/// Number of worker threads the kernels will use.
+inline int num_threads() {
+#if defined(TEALEAF_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Parallel loop over [begin, end).  `body(i)` must be safe to run
+/// concurrently for distinct i.  Falls back to serial without OpenMP.
+template <class Body>
+void parallel_for(std::int64_t begin, std::int64_t end, const Body& body) {
+#if defined(TEALEAF_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = begin; i < end; ++i) body(i);
+#else
+  for (std::int64_t i = begin; i < end; ++i) body(i);
+#endif
+}
+
+/// Parallel sum-reduction over [begin, end): returns Σ body(i).
+/// Deterministic per thread count; kernels that must be bitwise
+/// decomposition-independent should reduce ordered partials instead
+/// (see comm::SimCluster2D::reduce_sum).
+template <class Body>
+double parallel_reduce_sum(std::int64_t begin, std::int64_t end,
+                           const Body& body) {
+  double sum = 0.0;
+#if defined(TEALEAF_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+  for (std::int64_t i = begin; i < end; ++i) sum += body(i);
+#else
+  for (std::int64_t i = begin; i < end; ++i) sum += body(i);
+#endif
+  return sum;
+}
+
+}  // namespace tealeaf

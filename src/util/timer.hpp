@@ -1,0 +1,60 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tealeaf {
+
+/// Monotonic wall-clock stopwatch.  `elapsed_s()` may be read while running.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Reset the start point to now.
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds since construction or last restart().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds since construction or last restart().
+  [[nodiscard]] std::int64_t elapsed_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates the total of several timed sections, e.g. per-kernel cost
+/// attribution in the driver ("tea_profile" in upstream TeaLeaf).
+class SectionTimer {
+ public:
+  /// RAII guard: adds the guarded duration to the owner on destruction.
+  class Scope {
+   public:
+    explicit Scope(SectionTimer& owner) : owner_(owner) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { owner_.total_s_ += timer_.elapsed_s(); ++owner_.count_; }
+
+   private:
+    SectionTimer& owner_;
+    Timer timer_;
+  };
+
+  [[nodiscard]] Scope scope() { return Scope(*this); }
+  [[nodiscard]] double total_s() const { return total_s_; }
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  void reset() { total_s_ = 0.0; count_ = 0; }
+
+ private:
+  double total_s_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+}  // namespace tealeaf

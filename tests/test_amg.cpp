@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amg/mg_pcg.hpp"
+#include "amg/multigrid.hpp"
+#include "comm/sim_comm.hpp"
+#include "ops/kernels2d.hpp"
+#include "solvers/cg.hpp"
+#include "test_helpers.hpp"
+
+namespace tealeaf {
+namespace {
+
+using testing::make_test_problem;
+
+/// Build a single-chunk problem and return (cluster, chunk&) with kx/ky
+/// initialised — the MG solvers take their coefficients from the chunk.
+std::unique_ptr<SimCluster2D> mg_problem(int n, double rx_ry = 8.0) {
+  return make_test_problem(n, 1, 2, rx_ry);
+}
+
+TEST(Multigrid, HierarchyShrinksToCoarseFloor) {
+  auto cl = mg_problem(64);
+  const Chunk2D& c = cl->chunk(0);
+  Multigrid2D mg(c.kx(), c.ky(), c.nx(), c.ny());
+  ASSERT_GE(mg.num_levels(), 4);
+  EXPECT_EQ(mg.level(0).nx, 64);
+  EXPECT_EQ(mg.level(1).nx, 32);
+  EXPECT_LE(mg.level(mg.num_levels() - 1).nx, 4);
+  // Coefficients restrict positively and shrink by the 1/4 rescale.
+  EXPECT_GT(mg.level(1).kx(1, 1), 0.0);
+  EXPECT_LT(mg.level(1).kx(1, 1), mg.level(0).kx(2, 2) * 2.0);
+}
+
+TEST(Multigrid, VCycleContractsResidual) {
+  auto cl = mg_problem(64);
+  const Chunk2D& c = cl->chunk(0);
+  Multigrid2D mg(c.kx(), c.ky(), c.nx(), c.ny());
+  const MGLevel& lv = mg.level(0);
+
+  Field2D<double> rhs(64, 64, 1, 0.0);
+  for (int k = 0; k < 64; ++k)
+    for (int j = 0; j < 64; ++j)
+      rhs(j, k) = std::sin(0.2 * j) * std::cos(0.15 * k);
+  Field2D<double> u(64, 64, 1, 0.0);
+
+  const auto resnorm = [&] {
+    double rr = 0.0;
+    for (int k = 0; k < 64; ++k) {
+      for (int j = 0; j < 64; ++j) {
+        const double r = rhs(j, k) - Multigrid2D::apply_stencil(lv, u, j, k);
+        rr += r * r;
+      }
+    }
+    return std::sqrt(rr);
+  };
+
+  const double r0 = resnorm();
+  Field2D<double> z(64, 64, 1, 0.0);
+  mg.v_cycle(rhs, z);
+  for (int k = 0; k < 64; ++k)
+    for (int j = 0; j < 64; ++j) u(j, k) += z(j, k);
+  const double r1 = resnorm();
+  EXPECT_LT(r1, 0.5 * r0) << "one V-cycle must contract the residual";
+}
+
+TEST(MGPCG, SolvesToTolerance) {
+  auto cl = mg_problem(48);
+  Chunk2D& c = cl->chunk(0);
+  auto solver = MGPreconditionedCG::from_chunk(c);
+  Field2D<double> u(48, 48, 1, 0.0);
+  c.u0().copy_interior_from(c.u());  // u0 = ρe from the fixture
+  Field2D<double> rhs(48, 48, 0, 0.0);
+  for (int k = 0; k < 48; ++k)
+    for (int j = 0; j < 48; ++j) rhs(j, k) = c.u0()(j, k);
+  const MGPCGResult res = solver.solve(rhs, u);
+  EXPECT_TRUE(res.converged);
+  // Independent residual check.
+  Multigrid2D mg(c.kx(), c.ky(), 48, 48);
+  double rr = 0.0, bb = 0.0;
+  for (int k = 0; k < 48; ++k) {
+    for (int j = 0; j < 48; ++j) {
+      const double r =
+          rhs(j, k) - Multigrid2D::apply_stencil(mg.level(0), u, j, k);
+      rr += r * r;
+      bb += rhs(j, k) * rhs(j, k);
+    }
+  }
+  EXPECT_LT(std::sqrt(rr / bb), 1e-8);
+}
+
+TEST(MGPCG, MatchesTeaLeafCGSolution) {
+  auto cl = mg_problem(40, 16.0);
+  Chunk2D& c = cl->chunk(0);
+  Field2D<double> rhs(40, 40, 0, 0.0);
+  for (int k = 0; k < 40; ++k)
+    for (int j = 0; j < 40; ++j) rhs(j, k) = c.u0()(j, k);
+
+  auto mg_solver = MGPreconditionedCG::from_chunk(c);
+  Field2D<double> u_mg(40, 40, 1, 0.0);
+  ASSERT_TRUE(mg_solver.solve(rhs, u_mg).converged);
+
+  SolverConfig cfg;
+  cfg.type = SolverType::kCG;
+  cfg.eps = 1e-12;
+  ASSERT_TRUE(CGSolver::solve(*cl, cfg).converged);
+  for (int k = 0; k < 40; ++k)
+    for (int j = 0; j < 40; ++j)
+      EXPECT_NEAR(u_mg(j, k), c.u()(j, k), 1e-6) << j << "," << k;
+}
+
+TEST(MGPCG, NearMeshIndependentIterations) {
+  // The property that makes AMG the low-node-count winner (paper §VIII):
+  // iteration counts barely grow with resolution, unlike plain CG.
+  int iters32 = 0, iters64 = 0, cg32 = 0, cg64 = 0;
+  for (const int n : {32, 64}) {
+    auto cl = mg_problem(n, 16.0);
+    Chunk2D& c = cl->chunk(0);
+    Field2D<double> rhs(n, n, 0, 0.0);
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j) rhs(j, k) = c.u0()(j, k);
+    auto solver = MGPreconditionedCG::from_chunk(c);
+    Field2D<double> u(n, n, 1, 0.0);
+    const MGPCGResult res = solver.solve(rhs, u);
+    ASSERT_TRUE(res.converged);
+    SolverConfig cfg;
+    cfg.type = SolverType::kCG;
+    cfg.eps = 1e-10;
+    const SolveStats st = CGSolver::solve(*cl, cfg);
+    ASSERT_TRUE(st.converged);
+    (n == 32 ? iters32 : iters64) = res.iterations;
+    (n == 32 ? cg32 : cg64) = st.outer_iters;
+  }
+  EXPECT_LE(iters64, iters32 + 6) << "MG-PCG should be ~mesh independent";
+  EXPECT_GT(cg64, cg32) << "plain CG iterations must grow with n";
+  EXPECT_LT(iters64, cg64 / 2) << "MG-PCG should need far fewer iterations";
+}
+
+TEST(MGPCG, OddSizedGridsWork) {
+  auto cl = mg_problem(37, 4.0);
+  Chunk2D& c = cl->chunk(0);
+  Field2D<double> rhs(37, 37, 0, 0.0);
+  for (int k = 0; k < 37; ++k)
+    for (int j = 0; j < 37; ++j) rhs(j, k) = c.u0()(j, k);
+  auto solver = MGPreconditionedCG::from_chunk(c);
+  Field2D<double> u(37, 37, 1, 0.0);
+  EXPECT_TRUE(solver.solve(rhs, u).converged);
+}
+
+TEST(MGPCG, SetupCostIsRecorded) {
+  auto cl = mg_problem(32);
+  auto solver = MGPreconditionedCG::from_chunk(cl->chunk(0));
+  EXPECT_GE(solver.setup_seconds(), 0.0);
+  EXPECT_GE(solver.hierarchy().num_levels(), 3);
+}
+
+}  // namespace
+}  // namespace tealeaf

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/gather.hpp"
+#include "driver/decks.hpp"
+#include "driver/tealeaf_app.hpp"
+
+namespace tealeaf {
+namespace {
+
+TEST(App, OneStepConvergesAndUpdatesEnergy) {
+  TeaLeafApp app(decks::hot_block(24, 1), 2);
+  const FieldSummary before = app.field_summary();
+  const SolveStats st = app.step();
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(app.steps_taken(), 1);
+  const FieldSummary after = app.field_summary();
+  // Diffusion conserves total internal energy (Neumann boundaries and the
+  // operator's unit column sums): Σρe·dA is invariant.
+  EXPECT_NEAR(after.ie, before.ie, 1e-8 * std::fabs(before.ie));
+  EXPECT_NEAR(after.temp, before.temp, 1e-8 * std::fabs(before.temp));
+  // Mass and volume are untouched by the solve.
+  EXPECT_DOUBLE_EQ(after.mass, before.mass);
+  EXPECT_DOUBLE_EQ(after.volume, before.volume);
+}
+
+TEST(App, HeatFlowsFromHotBlockOutward) {
+  TeaLeafApp app(decks::hot_block(24, 4), 1);
+  const Field2D<double> u0 = gather_field(app.cluster(), FieldId::kU);
+  app.run();
+  const Field2D<double> u1 = gather_field(app.cluster(), FieldId::kU);
+  // Hot centre (block is [2,4]² of a 10×10 domain → cells ~[5..9])
+  EXPECT_LT(u1(7, 7), u0(7, 7));      // hot spot cools
+  EXPECT_GT(u1(20, 20), u0(20, 20));  // far corner warms
+}
+
+TEST(App, MaxPrincipleHolds) {
+  // The implicit diffusion update is an M-matrix solve: the solution must
+  // stay within the initial min/max.
+  TeaLeafApp app(decks::layered_material(32, 3), 4);
+  const Field2D<double> u0 = gather_field(app.cluster(), FieldId::kU);
+  double lo = u0(0, 0), hi = u0(0, 0);
+  for (int k = 0; k < u0.ny(); ++k)
+    for (int j = 0; j < u0.nx(); ++j) {
+      lo = std::min(lo, u0(j, k));
+      hi = std::max(hi, u0(j, k));
+    }
+  app.run();
+  const Field2D<double> u1 = gather_field(app.cluster(), FieldId::kU);
+  for (int k = 0; k < u1.ny(); ++k)
+    for (int j = 0; j < u1.nx(); ++j) {
+      EXPECT_GE(u1(j, k), lo - 1e-9);
+      EXPECT_LE(u1(j, k), hi + 1e-9);
+    }
+}
+
+TEST(App, RunHonoursStepCountAndHistory) {
+  TeaLeafApp app(decks::hot_block(16, 5), 1);
+  const RunResult rr = app.run();
+  EXPECT_EQ(rr.steps, 5);
+  EXPECT_TRUE(rr.all_converged);
+  EXPECT_EQ(app.history().size(), 5u);
+  EXPECT_NEAR(rr.sim_time, 5 * 0.04, 1e-12);
+  EXPECT_GT(rr.total_outer_iters, 0);
+}
+
+TEST(App, DecompositionInvariantPhysics) {
+  InputDeck deck = decks::layered_material(30, 2);
+  TeaLeafApp ref(deck, 1);
+  ref.run();
+  const Field2D<double> u_ref = gather_field(ref.cluster(), FieldId::kU);
+  for (const int nranks : {2, 5, 6}) {
+    TeaLeafApp app(deck, nranks);
+    app.run();
+    const Field2D<double> u = gather_field(app.cluster(), FieldId::kU);
+    double worst = 0.0;
+    for (int k = 0; k < u.ny(); ++k)
+      for (int j = 0; j < u.nx(); ++j)
+        worst = std::max(worst, std::fabs(u(j, k) - u_ref(j, k)));
+    EXPECT_LT(worst, 1e-8) << nranks << " ranks";
+  }
+}
+
+TEST(App, SolverChoiceDoesNotChangePhysics) {
+  InputDeck deck = decks::layered_material(24, 2);
+  deck.solver.eps = 1e-12;
+  deck.solver.type = SolverType::kCG;
+  TeaLeafApp cg(deck, 2);
+  cg.run();
+  deck.solver.type = SolverType::kPPCG;
+  deck.solver.halo_depth = 3;
+  TeaLeafApp pp(deck, 2);
+  pp.run();
+  const Field2D<double> a = gather_field(cg.cluster(), FieldId::kU);
+  const Field2D<double> b = gather_field(pp.cluster(), FieldId::kU);
+  for (int k = 0; k < a.ny(); ++k)
+    for (int j = 0; j < a.nx(); ++j)
+      EXPECT_NEAR(a(j, k), b(j, k), 1e-7);
+}
+
+TEST(App, CrookedPipeHeatStaysInPipeEarly) {
+  // After a few steps the pipe must be far hotter than the dense material
+  // away from the inlet (conduction contrast ~1000×).
+  InputDeck deck = decks::crooked_pipe(64, 5);
+  TeaLeafApp app(deck, 2);
+  const RunResult rr = app.run();
+  EXPECT_TRUE(rr.all_converged);
+  const Field2D<double> u = gather_field(app.cluster(), FieldId::kU);
+  const GlobalMesh2D mesh(64, 64, 0, 10, 0, 10);
+  const auto cell = [&](double x, double y) {
+    return u(static_cast<int>(x / mesh.dx()), static_cast<int>(y / mesh.dy()));
+  };
+  const double pipe_mid = cell(2.5, 7.5);   // inside first segment
+  const double dense_far = cell(5.0, 9.0);  // background, away from pipe
+  EXPECT_GT(pipe_mid, 10.0 * dense_far);
+}
+
+TEST(App, SummaryMatchesHandComputedInitialState) {
+  // 16×16 mesh of a 10×10 domain: background ρ=1, e=0.01 plus a [2,4]²
+  // block at e=10.
+  TeaLeafApp app(decks::hot_block(16, 1), 1);
+  const FieldSummary fs = app.field_summary();
+  EXPECT_NEAR(fs.volume, 100.0, 1e-12);
+  EXPECT_NEAR(fs.mass, 100.0, 1e-12);  // ρ = 1 everywhere
+  // Block covers cells with centres in [2,4)²: with dx = 0.625 that is
+  // cells 4..6 in each axis ⇒ 3×3 cells? centre(j) = (j+0.5)·0.625.
+  int inside = 0;
+  for (int j = 0; j < 16; ++j) {
+    const double x = (j + 0.5) * 0.625;
+    if (x >= 2.0 && x < 4.0) ++inside;
+  }
+  const double cell_area = 0.625 * 0.625;
+  const double expect_ie =
+      (256 - inside * inside) * 0.01 * cell_area +
+      static_cast<double>(inside) * inside * 10.0 * cell_area;
+  EXPECT_NEAR(fs.ie, expect_ie, 1e-9 * expect_ie);
+}
+
+}  // namespace
+}  // namespace tealeaf

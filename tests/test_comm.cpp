@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "comm/gather.hpp"
+#include "comm/sim_comm.hpp"
+
+namespace tealeaf {
+namespace {
+
+/// Fill a field on every chunk with a function of the *global* cell index
+/// so halo correctness can be checked against the analytic value.
+void fill_global(SimCluster2D& cl, FieldId id, double scale = 1.0) {
+  cl.for_each_chunk([&](int, Chunk2D& c) {
+    auto& f = c.field(id);
+    f.fill(-999.0);  // poison halos so stale reads are caught
+    for (int k = 0; k < c.ny(); ++k)
+      for (int j = 0; j < c.nx(); ++j)
+        f(j, k) = scale * (1000.0 * (c.extent().y0 + k) +
+                           (c.extent().x0 + j));
+  });
+}
+
+double expected_global(const Chunk2D& c, int j, int k, double scale = 1.0) {
+  return scale *
+         (1000.0 * (c.extent().y0 + k) + (c.extent().x0 + j));
+}
+
+class ExchangeTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ExchangeTest, HaloMatchesGlobalFunctionEverywhere) {
+  const auto [nranks, depth] = GetParam();
+  const GlobalMesh2D mesh(48, 48);
+  SimCluster2D cl(mesh, nranks, depth);
+  fill_global(cl, FieldId::kU);
+  cl.exchange({FieldId::kU}, depth);
+
+  for (int r = 0; r < cl.nranks(); ++r) {
+    const Chunk2D& c = cl.chunk(r);
+    const auto& f = c.field(FieldId::kU);
+    // Every halo cell that lies inside the physical domain must hold the
+    // neighbour's value, including corner cells (two-phase propagation).
+    for (int k = -depth; k < c.ny() + depth; ++k) {
+      for (int j = -depth; j < c.nx() + depth; ++j) {
+        const int gj = c.extent().x0 + j;
+        const int gk = c.extent().y0 + k;
+        if (gj < 0 || gj >= mesh.nx || gk < 0 || gk >= mesh.ny) continue;
+        EXPECT_DOUBLE_EQ(f(j, k), expected_global(c, j, k))
+            << "rank " << r << " cell (" << j << "," << k << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DepthsAndDecompositions, ExchangeTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 6, 9, 16),
+                       ::testing::Values(1, 2, 3, 8)),
+    [](const auto& info) {
+      return "ranks" + std::to_string(std::get<0>(info.param)) + "_depth" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Exchange, MultipleFieldsTravelTogether) {
+  const GlobalMesh2D mesh(24, 24);
+  SimCluster2D cl(mesh, 4, 2);
+  fill_global(cl, FieldId::kP, 1.0);
+  fill_global(cl, FieldId::kSd, 3.0);
+  cl.exchange({FieldId::kP, FieldId::kSd}, 2);
+  const Chunk2D& c = cl.chunk(0);  // bottom-left chunk; right halo valid
+  EXPECT_DOUBLE_EQ(c.field(FieldId::kP)(c.nx(), 0),
+                   expected_global(c, c.nx(), 0, 1.0));
+  EXPECT_DOUBLE_EQ(c.field(FieldId::kSd)(c.nx(), 0),
+                   expected_global(c, c.nx(), 0, 3.0));
+  // One exchange call, messages count fields once (packed together).
+  EXPECT_EQ(cl.stats().exchange_calls, 1);
+}
+
+TEST(Exchange, MessageAndByteAccounting2x2) {
+  const GlobalMesh2D mesh(16, 16);
+  SimCluster2D cl(mesh, 4, 2);  // 2x2 ranks, 8x8 chunks
+  cl.exchange({FieldId::kU}, 2);
+  // Each rank has exactly one x-neighbour and one y-neighbour.
+  EXPECT_EQ(cl.stats().messages, 8);
+  // x message: depth·ny·8 = 2*8*8 = 128 B; y: depth·(nx+2d)·8 = 2*12*8 = 192.
+  EXPECT_EQ(cl.stats().message_bytes, 4 * 128 + 4 * 192);
+  EXPECT_EQ(cl.stats().messages_by_depth.at(2), 8);
+  EXPECT_EQ(cl.stats().exchange_calls, 1);
+}
+
+TEST(Exchange, DepthGreaterThanAllocationThrows) {
+  const GlobalMesh2D mesh(16, 16);
+  SimCluster2D cl(mesh, 4, 2);
+  EXPECT_THROW(cl.exchange({FieldId::kU}, 3), TeaError);
+}
+
+TEST(Reduce, SumsPartialsInRankOrder) {
+  const GlobalMesh2D mesh(16, 16);
+  SimCluster2D cl(mesh, 4, 1);
+  const double got = cl.reduce_sum({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(got, 10.0);
+  EXPECT_EQ(cl.stats().reductions, 1);
+  EXPECT_THROW(cl.reduce_sum({1.0}), TeaError);
+}
+
+TEST(Reduce, SumOverChunksCountsOneReduction) {
+  const GlobalMesh2D mesh(12, 12);
+  SimCluster2D cl(mesh, 9, 1);
+  const double total = cl.sum_over_chunks(
+      [](int, const Chunk2D& c) { return 1.0 * c.nx() * c.ny(); });
+  EXPECT_DOUBLE_EQ(total, 144.0);
+  EXPECT_EQ(cl.stats().reductions, 1);
+}
+
+TEST(GatherScatter, RoundTripsThroughGlobalView) {
+  const GlobalMesh2D mesh(20, 14);
+  SimCluster2D cl(mesh, 6, 1);
+  Field2D<double> global(20, 14, 0);
+  for (int k = 0; k < 14; ++k)
+    for (int j = 0; j < 20; ++j) global(j, k) = j * 0.5 + k * 7.0;
+  scatter_field(cl, FieldId::kEnergy1, global);
+  const Field2D<double> back = gather_field(cl, FieldId::kEnergy1);
+  for (int k = 0; k < 14; ++k)
+    for (int j = 0; j < 20; ++j)
+      EXPECT_DOUBLE_EQ(back(j, k), global(j, k));
+}
+
+TEST(Stats, ResetClearsEverything) {
+  const GlobalMesh2D mesh(16, 16);
+  SimCluster2D cl(mesh, 4, 1);
+  cl.exchange({FieldId::kU}, 1);
+  cl.reduce_sum({0, 0, 0, 0});
+  cl.reset_stats();
+  EXPECT_EQ(cl.stats().messages, 0);
+  EXPECT_EQ(cl.stats().reductions, 0);
+  EXPECT_EQ(cl.stats().exchange_calls, 0);
+  EXPECT_TRUE(cl.stats().messages_by_depth.empty());
+}
+
+}  // namespace
+}  // namespace tealeaf

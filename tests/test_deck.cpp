@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "driver/deck.hpp"
+#include "driver/decks.hpp"
+
+namespace tealeaf {
+namespace {
+
+constexpr const char* kSampleDeck = R"(
+! A tea.in-style deck
+*tea
+x_cells=64
+y_cells=48
+xmin=0.0
+xmax=8.0
+ymin=0.0
+ymax=6.0
+initial_timestep=0.02
+end_step=5
+tl_use_ppcg
+tl_max_iters=1234
+tl_eps=1e-9
+tl_ppcg_inner_steps=12
+tl_eigen_cg_iters=25
+tl_halo_depth=4
+tl_preconditioner_type=jac_diag
+tl_coefficient=recip_conductivity
+state 1 density=100.0 energy=0.0001
+state 2 density=0.1 energy=25.0 geometry=rectangle xmin=1.0 xmax=2.0 ymin=1.0 ymax=2.0
+state 3 density=2.0 energy=0.5 geometry=circle xcentre=4.0 ycentre=3.0 radius=1.5
+state 4 density=3.0 energy=0.7 geometry=point x=7.0 y=5.0
+*endtea
+)";
+
+TEST(Deck, ParsesEveryRecognisedKey) {
+  const InputDeck deck = InputDeck::parse_string(kSampleDeck);
+  EXPECT_EQ(deck.x_cells, 64);
+  EXPECT_EQ(deck.y_cells, 48);
+  EXPECT_DOUBLE_EQ(deck.xmax, 8.0);
+  EXPECT_DOUBLE_EQ(deck.initial_timestep, 0.02);
+  EXPECT_EQ(deck.end_step, 5);
+  EXPECT_EQ(deck.solver.type, SolverType::kPPCG);
+  EXPECT_EQ(deck.solver.max_iters, 1234);
+  EXPECT_DOUBLE_EQ(deck.solver.eps, 1e-9);
+  EXPECT_EQ(deck.solver.inner_steps, 12);
+  EXPECT_EQ(deck.solver.eigen_cg_iters, 25);
+  EXPECT_EQ(deck.solver.halo_depth, 4);
+  EXPECT_EQ(deck.solver.precon, PreconType::kJacobiDiag);
+  EXPECT_EQ(deck.coefficient, kernels::Coefficient::kRecipConductivity);
+  ASSERT_EQ(deck.states.size(), 4u);
+  EXPECT_EQ(deck.states[0].geometry, StateDef::Geometry::kBackground);
+  EXPECT_EQ(deck.states[1].geometry, StateDef::Geometry::kRectangle);
+  EXPECT_EQ(deck.states[2].geometry, StateDef::Geometry::kCircle);
+  EXPECT_EQ(deck.states[3].geometry, StateDef::Geometry::kPoint);
+  EXPECT_DOUBLE_EQ(deck.states[2].radius, 1.5);
+}
+
+TEST(Deck, RoundTripsThroughToString) {
+  const InputDeck a = InputDeck::parse_string(kSampleDeck);
+  const InputDeck b = InputDeck::parse_string(a.to_string());
+  EXPECT_EQ(b.x_cells, a.x_cells);
+  EXPECT_EQ(b.solver.type, a.solver.type);
+  EXPECT_EQ(b.solver.halo_depth, a.solver.halo_depth);
+  EXPECT_EQ(b.states.size(), a.states.size());
+  EXPECT_DOUBLE_EQ(b.states[2].cx, a.states[2].cx);
+  EXPECT_EQ(b.coefficient, a.coefficient);
+}
+
+TEST(Deck, NumStepsFromTimeOrStep) {
+  InputDeck d = decks::hot_block(16, 7);
+  EXPECT_EQ(d.num_steps(), 7);
+  d.end_step = 0;
+  d.end_time = 1.0;
+  d.initial_timestep = 0.04;
+  EXPECT_EQ(d.num_steps(), 25);
+  d.end_step = 10;  // both set: the earlier one wins
+  EXPECT_EQ(d.num_steps(), 10);
+}
+
+TEST(Deck, RejectsMalformedInput) {
+  EXPECT_THROW(InputDeck::parse_string("*tea\nbogus_key=1\n*endtea\n"),
+               TeaError);
+  EXPECT_THROW(
+      InputDeck::parse_string("*tea\nx_cells=4\ny_cells=4\nend_step=1\n"
+                              "state 1 density=nope energy=1\n*endtea\n"),
+      TeaError);
+  // No states at all.
+  EXPECT_THROW(
+      InputDeck::parse_string("*tea\nx_cells=4\ny_cells=4\nend_step=1\n"
+                              "*endtea\n"),
+      TeaError);
+}
+
+TEST(Deck, CommentsAndBlankLinesIgnored) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\n"
+      "# full-line comment\n"
+      "x_cells=8   ! trailing comment\n"
+      "y_cells=8\n\n"
+      "end_step=1\n"
+      "state 1 density=1.0 energy=1.0\n"
+      "*endtea\n");
+  EXPECT_EQ(deck.x_cells, 8);
+}
+
+TEST(StateGeometry, ContainsSemantics) {
+  StateDef rect;
+  rect.geometry = StateDef::Geometry::kRectangle;
+  rect.xmin = 1.0;
+  rect.xmax = 2.0;
+  rect.ymin = 1.0;
+  rect.ymax = 2.0;
+  EXPECT_TRUE(rect.contains(1.5, 1.5, 0.1, 0.1));
+  EXPECT_FALSE(rect.contains(2.5, 1.5, 0.1, 0.1));
+  EXPECT_TRUE(rect.contains(1.0, 1.0, 0.1, 0.1));   // inclusive low edge
+  EXPECT_FALSE(rect.contains(2.0, 1.5, 0.1, 0.1));  // exclusive high edge
+
+  StateDef circ;
+  circ.geometry = StateDef::Geometry::kCircle;
+  circ.cx = 0.0;
+  circ.cy = 0.0;
+  circ.radius = 1.0;
+  EXPECT_TRUE(circ.contains(0.5, 0.5, 0.1, 0.1));
+  EXPECT_FALSE(circ.contains(0.9, 0.9, 0.1, 0.1));
+
+  StateDef pt;
+  pt.geometry = StateDef::Geometry::kPoint;
+  pt.px = 3.0;
+  pt.py = 3.0;
+  EXPECT_TRUE(pt.contains(3.04, 2.96, 0.1, 0.1));
+  EXPECT_FALSE(pt.contains(3.2, 3.0, 0.1, 0.1));
+}
+
+TEST(BuiltinDecks, CrookedPipeShapeIsSane) {
+  const InputDeck deck = decks::crooked_pipe(400);
+  deck.validate();
+  EXPECT_EQ(deck.x_cells, 400);
+  EXPECT_DOUBLE_EQ(deck.initial_timestep, 0.04);
+  EXPECT_DOUBLE_EQ(deck.end_time, 15.0);
+  EXPECT_EQ(deck.num_steps(), 375);  // the paper's configuration
+  ASSERT_GE(deck.states.size(), 6u);
+  // Background is dense; pipe states are light.
+  EXPECT_DOUBLE_EQ(deck.states[0].density, 100.0);
+  for (std::size_t i = 1; i < deck.states.size(); ++i) {
+    EXPECT_DOUBLE_EQ(deck.states[i].density, 0.1);
+  }
+  // The hot inlet is the last state so it overrides the pipe energy.
+  EXPECT_DOUBLE_EQ(deck.states.back().energy, 25.0);
+
+  // The pipe must be a connected path from x=0 to x=10: spot-check a
+  // cell from every segment.
+  const auto in_pipe = [&](double x, double y) {
+    for (std::size_t i = 1; i < deck.states.size(); ++i) {
+      if (deck.states[i].contains(x, y, 0.025, 0.025)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(in_pipe(0.5, 7.5));   // inlet segment
+  EXPECT_TRUE(in_pipe(2.5, 5.0));   // first descender
+  EXPECT_TRUE(in_pipe(5.0, 2.5));   // bottom run
+  EXPECT_TRUE(in_pipe(7.5, 4.5));   // riser
+  EXPECT_TRUE(in_pipe(9.5, 5.5));   // outlet
+  EXPECT_FALSE(in_pipe(5.0, 8.5));  // dense background
+}
+
+TEST(BuiltinDecks, StepOverrideSkipsEndTime) {
+  const InputDeck deck = decks::crooked_pipe(100, 3);
+  EXPECT_EQ(deck.num_steps(), 3);
+}
+
+TEST(BuiltinDecks, OthersValidate) {
+  decks::hot_block(32, 2).validate();
+  decks::layered_material(32, 2).validate();
+}
+
+}  // namespace
+}  // namespace tealeaf

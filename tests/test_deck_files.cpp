@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "driver/deck.hpp"
+#include "driver/tealeaf_app.hpp"
+
+namespace tealeaf {
+namespace {
+
+/// End-to-end validation of the tea.in files shipped in decks/: they
+/// must parse, validate, and (coarsened) run a converged step — so the
+/// samples users start from can never rot.
+InputDeck load_deck(const std::string& name) {
+  const std::string path = std::string(TEALEAF_DECKS_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  return InputDeck::parse(in);
+}
+
+/// Shrink a deck so the smoke-run stays fast regardless of its shipped
+/// resolution.
+InputDeck coarsen(InputDeck deck, int n, int steps) {
+  deck.x_cells = n;
+  deck.y_cells = n;
+  deck.end_time = 0.0;
+  deck.end_step = steps;
+  deck.solver.eps = 1e-8;
+  return deck;
+}
+
+TEST(DeckFiles, CrookedPipeParsesToPaperConfiguration) {
+  const InputDeck deck = load_deck("tea_bm_crooked_pipe.in");
+  EXPECT_DOUBLE_EQ(deck.initial_timestep, 0.04);  // paper §V-B
+  EXPECT_DOUBLE_EQ(deck.end_time, 15.0);
+  EXPECT_EQ(deck.solver.type, SolverType::kPPCG);
+  EXPECT_EQ(deck.solver.halo_depth, 4);
+  ASSERT_EQ(deck.states.size(), 7u);
+  EXPECT_DOUBLE_EQ(deck.states[0].density, 100.0);
+  EXPECT_DOUBLE_EQ(deck.states.back().energy, 25.0);
+}
+
+TEST(DeckFiles, CrookedPipeRunsConverged) {
+  TeaLeafApp app(coarsen(load_deck("tea_bm_crooked_pipe.in"), 48, 2), 2);
+  const RunResult rr = app.run();
+  EXPECT_TRUE(rr.all_converged);
+  EXPECT_EQ(rr.steps, 2);
+}
+
+TEST(DeckFiles, ShortBenchmarkRunsConverged) {
+  const InputDeck deck = load_deck("tea_bm_short.in");
+  EXPECT_EQ(deck.solver.type, SolverType::kCG);
+  TeaLeafApp app(coarsen(deck, 32, 3), 2);
+  EXPECT_TRUE(app.run().all_converged);
+}
+
+TEST(DeckFiles, BlockJacobiDeckUsesThomasStrips) {
+  const InputDeck deck = load_deck("tea_bm_block_jacobi.in");
+  EXPECT_EQ(deck.solver.precon, PreconType::kJacobiBlock);
+  ASSERT_EQ(deck.states.size(), 4u);
+  EXPECT_EQ(deck.states[3].geometry, StateDef::Geometry::kPoint);
+  TeaLeafApp app(coarsen(deck, 32, 2), 4);
+  EXPECT_TRUE(app.run().all_converged);
+}
+
+TEST(DeckFiles, FusedCGDeckHalvesReductions) {
+  const InputDeck deck = load_deck("tea_bm_fused_cg.in");
+  EXPECT_TRUE(deck.solver.fuse_cg_reductions);
+  TeaLeafApp app(coarsen(deck, 32, 1), 2);
+  const SolveStats st = app.step();
+  EXPECT_TRUE(st.converged);
+  // One fused allreduce per iteration (+1 at setup).
+  EXPECT_EQ(app.cluster().stats().reductions,
+            1 + static_cast<long long>(st.outer_iters));
+}
+
+TEST(DeckFiles, AllShippedDecksValidate) {
+  for (const char* name :
+       {"tea_bm_crooked_pipe.in", "tea_bm_short.in",
+        "tea_bm_block_jacobi.in", "tea_bm_fused_cg.in"}) {
+    EXPECT_NO_THROW(load_deck(name).validate()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace tealeaf

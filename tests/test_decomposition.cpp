@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mesh/decomposition.hpp"
+
+namespace tealeaf {
+namespace {
+
+TEST(Decomposition, SingleRankOwnsEverything) {
+  const GlobalMesh2D mesh(64, 32);
+  const auto d = Decomposition2D::create(1, mesh);
+  EXPECT_EQ(d.nranks(), 1);
+  const ChunkExtent& e = d.extent(0);
+  EXPECT_EQ(e.x0, 0);
+  EXPECT_EQ(e.y0, 0);
+  EXPECT_EQ(e.nx, 64);
+  EXPECT_EQ(e.ny, 32);
+  for (const Face f :
+       {Face::kLeft, Face::kRight, Face::kBottom, Face::kTop}) {
+    EXPECT_EQ(d.neighbor(0, f), -1);
+  }
+}
+
+TEST(Decomposition, TilesPartitionTheMeshExactly) {
+  const GlobalMesh2D mesh(37, 23);  // awkward remainders on purpose
+  for (const int nranks : {2, 3, 4, 6, 8, 12, 16}) {
+    const auto d = Decomposition2D::create(nranks, mesh);
+    std::vector<std::vector<bool>> covered(
+        37, std::vector<bool>(23, false));
+    long long cells = 0;
+    for (int r = 0; r < d.nranks(); ++r) {
+      const ChunkExtent& e = d.extent(r);
+      EXPECT_GT(e.nx, 0);
+      EXPECT_GT(e.ny, 0);
+      cells += static_cast<long long>(e.nx) * e.ny;
+      for (int k = e.y0; k < e.y0 + e.ny; ++k) {
+        for (int j = e.x0; j < e.x0 + e.nx; ++j) {
+          EXPECT_FALSE(covered[j][k]) << "cell covered twice";
+          covered[j][k] = true;
+        }
+      }
+    }
+    EXPECT_EQ(cells, mesh.cell_count());
+  }
+}
+
+TEST(Decomposition, PrefersSquareChunks) {
+  const GlobalMesh2D square(100, 100);
+  const auto d = Decomposition2D::create(16, square);
+  EXPECT_EQ(d.px(), 4);
+  EXPECT_EQ(d.py(), 4);
+
+  const GlobalMesh2D wide(400, 100);
+  const auto dw = Decomposition2D::create(16, wide);
+  EXPECT_EQ(dw.px(), 8);
+  EXPECT_EQ(dw.py(), 2);
+}
+
+TEST(Decomposition, NeighborsAreMutual) {
+  const GlobalMesh2D mesh(48, 48);
+  const auto d = Decomposition2D::create(12, mesh);
+  for (int r = 0; r < d.nranks(); ++r) {
+    for (const Face f :
+         {Face::kLeft, Face::kRight, Face::kBottom, Face::kTop}) {
+      const int nb = d.neighbor(r, f);
+      if (nb < 0) continue;
+      EXPECT_EQ(d.neighbor(nb, opposite(f)), r);
+    }
+  }
+}
+
+TEST(Decomposition, ChunkSizesDifferByAtMostOne) {
+  const GlobalMesh2D mesh(101, 67);
+  const auto d = Decomposition2D::create(12, mesh);
+  std::set<int> nxs, nys;
+  for (int r = 0; r < d.nranks(); ++r) {
+    nxs.insert(d.extent(r).nx);
+    nys.insert(d.extent(r).ny);
+  }
+  EXPECT_LE(*nxs.rbegin() - *nxs.begin(), 1);
+  EXPECT_LE(*nys.rbegin() - *nys.begin(), 1);
+  EXPECT_EQ(d.max_chunk_nx(), *nxs.rbegin());
+  EXPECT_EQ(d.max_chunk_ny(), *nys.rbegin());
+}
+
+TEST(Decomposition, PrimeRankCountsFallBackToStrips) {
+  const GlobalMesh2D mesh(70, 70);
+  const auto d = Decomposition2D::create(7, mesh);
+  EXPECT_EQ(d.nranks(), 7);
+  EXPECT_TRUE((d.px() == 7 && d.py() == 1) || (d.px() == 1 && d.py() == 7));
+}
+
+TEST(Decomposition, RejectsImpossibleSplits) {
+  const GlobalMesh2D tiny(2, 2);
+  EXPECT_THROW(Decomposition2D::create(64, tiny), TeaError);
+  EXPECT_THROW(Decomposition2D::create(0, tiny), TeaError);
+}
+
+TEST(Decomposition, CoordsRoundTrip) {
+  const GlobalMesh2D mesh(64, 64);
+  const auto d = Decomposition2D::create(8, mesh);
+  for (int r = 0; r < d.nranks(); ++r) {
+    EXPECT_EQ(d.rank_at(d.coord_x(r), d.coord_y(r)), r);
+  }
+}
+
+}  // namespace
+}  // namespace tealeaf

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "comm/gather.hpp"
+#include "comm/sim_comm.hpp"
+#include "ops/kernels2d.hpp"
+#include "util/numeric.hpp"
+
+namespace tealeaf::testing {
+
+/// Deterministic, decomposition-independent material: density and energy
+/// are functions of the *global* cell index (smooth bands plus a hashed
+/// perturbation), so any rank layout sees exactly the same problem.
+inline double test_density(int gj, int gk) {
+  SplitMix64 h(static_cast<std::uint64_t>(gj) * 2654435761u +
+               static_cast<std::uint64_t>(gk) * 40503u + 17u);
+  const double bump = 0.5 * h.next_double();
+  return 1.0 + 0.5 * std::sin(0.3 * gj) * std::cos(0.2 * gk) + bump;
+}
+
+inline double test_energy(int gj, int gk) {
+  return 1.0 + 0.8 * std::exp(-0.01 * ((gj - 10) * (gj - 10) +
+                                       (gk - 12) * (gk - 12)));
+}
+
+/// Build a cluster over an n×n mesh, fill the material fields with the
+/// deterministic test problem, exchange them and initialise u/u0/Kx/Ky —
+/// ready for any solver.  `rx_ry` controls the conditioning (larger =
+/// harder).
+inline std::unique_ptr<SimCluster2D> make_test_problem(
+    int n, int nranks, int halo_depth, double rx_ry = 4.0) {
+  const GlobalMesh2D mesh(n, n, 0.0, 10.0, 0.0, 10.0);
+  auto cl = std::make_unique<SimCluster2D>(mesh, nranks, halo_depth);
+  cl->for_each_chunk([&](int, Chunk2D& c) {
+    for (int k = 0; k < c.ny(); ++k) {
+      for (int j = 0; j < c.nx(); ++j) {
+        const int gj = c.extent().x0 + j;
+        const int gk = c.extent().y0 + k;
+        c.density()(j, k) = test_density(gj, gk);
+        c.energy()(j, k) = test_energy(gj, gk);
+      }
+    }
+  });
+  cl->exchange({FieldId::kDensity, FieldId::kEnergy1}, halo_depth);
+  cl->for_each_chunk([&](int, Chunk2D& c) {
+    kernels::init_u_u0(c);
+    kernels::init_conduction(c, kernels::Coefficient::kConductivity, rx_ry,
+                             rx_ry);
+  });
+  cl->reset_stats();
+  return cl;
+}
+
+/// Relative residual ‖u0 − A·u‖ / ‖u0‖ over the whole cluster, computed
+/// from scratch (independent of any solver-internal bookkeeping).
+inline double relative_residual(SimCluster2D& cl) {
+  cl.exchange({FieldId::kU}, 1);
+  const double rr = cl.sum_over_chunks(
+      [](int, Chunk2D& c) { return kernels::calc_residual(c); });
+  const double bb = cl.sum_over_chunks([](int, const Chunk2D& c) {
+    return kernels::norm2_sq(c, FieldId::kU0);
+  });
+  return std::sqrt(rr / bb);
+}
+
+/// Max |a − b| over the global views of a field on two clusters.
+inline double max_field_diff(const SimCluster2D& a, const SimCluster2D& b,
+                             FieldId id) {
+  const Field2D<double> fa = gather_field(a, id);
+  const Field2D<double> fb = gather_field(b, id);
+  double worst = 0.0;
+  for (int k = 0; k < fa.ny(); ++k)
+    for (int j = 0; j < fa.nx(); ++j)
+      worst = std::max(worst, std::fabs(fa(j, k) - fb(j, k)));
+  return worst;
+}
+
+}  // namespace tealeaf::testing
