@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "util/args.hpp"
 #include "util/error.hpp"
 
 namespace tealeaf {
@@ -166,15 +167,7 @@ InputDeck InputDeck::parse(std::istream& in) {
     } else if (key == "tl_use_ppcg") {
       deck.solver.type = SolverType::kPPCG;
     } else if (key == "tl_preconditioner_type") {
-      if (value == "none") {
-        deck.solver.precon = PreconType::kNone;
-      } else if (value == "jac_diag") {
-        deck.solver.precon = PreconType::kJacobiDiag;
-      } else if (value == "jac_block") {
-        deck.solver.precon = PreconType::kJacobiBlock;
-      } else {
-        throw TeaError("deck: unknown preconditioner '" + value + "'");
-      }
+      deck.solver.precon = precon_type_from_string(value);
     } else if (key == "tl_ppcg_inner_steps") {
       deck.solver.inner_steps = static_cast<int>(to_double(value, key));
     } else if (key == "tl_eigen_cg_iters" || key == "tl_cheby_presteps") {
@@ -183,6 +176,21 @@ InputDeck InputDeck::parse(std::istream& in) {
       deck.solver.halo_depth = static_cast<int>(to_double(value, key));
     } else if (key == "tl_cg_fuse_reductions") {
       deck.solver.fuse_cg_reductions = true;
+    } else if (key == "sweep_solvers") {
+      deck.sweep.solvers = split_list(value, key);
+    } else if (key == "sweep_precons") {
+      deck.sweep.precons.clear();
+      for (const std::string& s : split_list(value, key)) {
+        deck.sweep.precons.push_back(precon_type_from_string(s));
+      }
+    } else if (key == "sweep_halo_depths") {
+      deck.sweep.halo_depths = split_int_list(value, key);
+    } else if (key == "sweep_mesh_sizes") {
+      deck.sweep.mesh_sizes = split_int_list(value, key);
+    } else if (key == "sweep_threads") {
+      deck.sweep.thread_counts = split_int_list(value, key);
+    } else if (key == "sweep_ranks") {
+      deck.sweep.ranks = static_cast<int>(to_double(value, key));
     } else if (key == "tl_coefficient") {
       if (value == "conductivity") {
         deck.coefficient = kernels::Coefficient::kConductivity;
@@ -228,6 +236,27 @@ std::string InputDeck::to_string() const {
   os << "tl_eigen_cg_iters=" << solver.eigen_cg_iters << "\n";
   os << "tl_halo_depth=" << solver.halo_depth << "\n";
   if (solver.fuse_cg_reductions) os << "tl_cg_fuse_reductions\n";
+  if (sweep.requested()) {
+    const auto join = [&os](const char* key, const auto& items,
+                            const auto& format) {
+      os << key << "=";
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i) os << ",";
+        os << format(items[i]);
+      }
+      os << "\n";
+    };
+    join("sweep_solvers", sweep.solvers,
+         [](const std::string& s) { return s; });
+    join("sweep_precons", sweep.precons,
+         [](PreconType p) { return tealeaf::to_string(p); });
+    join("sweep_halo_depths", sweep.halo_depths, [](int d) { return d; });
+    if (!sweep.mesh_sizes.empty()) {
+      join("sweep_mesh_sizes", sweep.mesh_sizes, [](int n) { return n; });
+    }
+    join("sweep_threads", sweep.thread_counts, [](int t) { return t; });
+    os << "sweep_ranks=" << sweep.ranks << "\n";
+  }
   os << "tl_coefficient="
      << (coefficient == kernels::Coefficient::kConductivity
              ? "conductivity"
@@ -282,6 +311,7 @@ void InputDeck::validate() const {
     TEA_REQUIRE(st.energy >= 0.0, "deck: energies must be non-negative");
   }
   solver.validate();
+  if (sweep.requested()) sweep.validate();
 }
 
 }  // namespace tealeaf

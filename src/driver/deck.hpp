@@ -44,6 +44,9 @@ struct InputDeck {
 
   kernels::Coefficient coefficient = kernels::Coefficient::kConductivity;
   SolverConfig solver;
+  /// Optional design-space sweep over this deck (driver/sweep.hpp runs
+  /// it); populated by the `sweep_*` keys, empty for single-solve decks.
+  SweepSpec sweep;
   std::vector<StateDef> states;  ///< states[0] is the background
 
   /// Parse a tea.in-style deck.  Recognised keys (one per line between
@@ -52,7 +55,10 @@ struct InputDeck {
   /// tl_use_jacobi / tl_use_cg / tl_use_chebyshev / tl_use_ppcg,
   /// tl_preconditioner_type (none|jac_diag|jac_block), tl_ppcg_inner_steps,
   /// tl_eigen_cg_iters, tl_halo_depth (matrix powers),
-  /// tl_coefficient (conductivity|recip_conductivity) and `state` lines:
+  /// tl_coefficient (conductivity|recip_conductivity), the sweep section
+  /// (comma-separated axis lists): sweep_solvers, sweep_precons,
+  /// sweep_halo_depths, sweep_mesh_sizes, sweep_threads, sweep_ranks,
+  /// and `state` lines:
   ///   state <n> density=<v> energy=<v> [geometry=rectangle|circle|point
   ///     xmin= xmax= ymin= ymax= | xcentre= ycentre= radius= | x= y=]
   static InputDeck parse(std::istream& in);

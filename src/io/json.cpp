@@ -1,0 +1,379 @@
+#include "io/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace tealeaf::io {
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  TEA_REQUIRE(kind_ == Kind::kBool, "json: value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  TEA_REQUIRE(kind_ == Kind::kNumber, "json: value is not a number");
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  TEA_REQUIRE(kind_ == Kind::kString, "json: value is not a string");
+  return str_;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  TEA_REQUIRE(kind_ == Kind::kArray, "json: push_back on non-array");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t JsonValue::size() const {
+  return kind_ == Kind::kArray ? arr_.size() : obj_.size();
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  TEA_REQUIRE(kind_ == Kind::kArray, "json: index into non-array");
+  TEA_REQUIRE(i < arr_.size(), "json: array index out of range");
+  return arr_[i];
+}
+
+void JsonValue::set(const std::string& key, JsonValue v) {
+  TEA_REQUIRE(kind_ == Kind::kObject, "json: set on non-object");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  if (kind_ != Kind::kObject) return false;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  TEA_REQUIRE(kind_ == Kind::kObject, "json: member access on non-object");
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  throw TeaError("json: no member '" + key + "'");
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  TEA_REQUIRE(kind_ == Kind::kObject, "json: members() on non-object");
+  return obj_;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  TEA_REQUIRE(std::isfinite(v), "json: cannot serialise non-finite number");
+  // Integers print exactly; everything else round-trips via %.17g.
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* kv_sep = indent > 0 ? ": " : ":";
+  // Only containers need the padding strings; scalars skip the allocation.
+  const auto pad = [&] {
+    return std::string(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+  };
+  const auto close_pad = [&] {
+    return std::string(static_cast<std::size_t>(indent) * depth, ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: append_number(out, num_); break;
+    case Kind::kString: append_escaped(out, str_); break;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      const std::string item_pad = pad();
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        out += (i ? "," : "");
+        out += nl;
+        out += item_pad;
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad();
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      const std::string item_pad = pad();
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        out += (i ? "," : "");
+        out += nl;
+        out += item_pad;
+        append_escaped(out, obj_[i].first);
+        out += kv_sep;
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      out += nl;
+      out += close_pad();
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    TEA_REQUIRE(pos_ == text_.size(), "json: trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw TeaError("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue();
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      expect(':');
+      obj.set(key, parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Our emitter only escapes control characters; decode the BMP
+          // code point as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    // JSON numbers start with a digit or '-' (no leading '+').
+    if (!std::isdigit(static_cast<unsigned char>(token[0])) &&
+        token[0] != '-') {
+      fail("expected a value");
+    }
+    // std::stod alone would accept a valid prefix ("1.2.3" → 1.2); require
+    // the whole token to parse so malformed documents are rejected.
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(token, &used);
+      if (used != token.size()) fail("bad number");
+      return JsonValue(v);
+    } catch (const TeaError&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace tealeaf::io

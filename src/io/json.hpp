@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tealeaf::io {
+
+/// Minimal JSON document model for the result tables the harnesses emit
+/// (sweep reports, machine descriptions).  Supports the full value grammar
+/// needed to round-trip our own output: objects, arrays, strings, numbers,
+/// booleans and null.  Object keys keep insertion order so dumps are
+/// deterministic and diff-friendly.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double v) : kind_(Kind::kNumber), num_(v) {}
+  JsonValue(int v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(long long v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  [[nodiscard]] static JsonValue array();
+  [[nodiscard]] static JsonValue object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; throw TeaError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  // --- arrays --------------------------------------------------------------
+  void push_back(JsonValue v);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const JsonValue& at(std::size_t i) const;
+
+  // --- objects -------------------------------------------------------------
+  /// Insert or overwrite a member (insertion order preserved).
+  void set(const std::string& key, JsonValue v);
+  [[nodiscard]] bool contains(const std::string& key) const;
+  /// Member access; throws TeaError if absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const;
+
+  /// Serialise.  `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits the compact single-line form.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; throws TeaError on malformed input
+  /// or trailing garbage.
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+}  // namespace tealeaf::io

@@ -20,6 +20,27 @@ std::vector<double> scaling_efficiency(const ScalingSeries& series) {
   return eff;
 }
 
+std::vector<double> relative_speedups(const std::vector<double>& seconds) {
+  double best = 0.0;
+  for (const double s : seconds) {
+    if (s > 0.0 && (best == 0.0 || s < best)) best = s;
+  }
+  std::vector<double> speedups;
+  speedups.reserve(seconds.size());
+  for (const double s : seconds) {
+    speedups.push_back(s > 0.0 && best > 0.0 ? best / s : 0.0);
+  }
+  return speedups;
+}
+
+ScalingSeries measured_series(std::string label,
+                              const std::vector<ScalingPoint>& points) {
+  ScalingSeries series;
+  series.label = std::move(label);
+  series.points = points;
+  return series;
+}
+
 /// Per-node-count cost accumulator.  All recipes below mirror the solver
 /// implementations sweep-for-sweep and exchange-for-exchange.
 class ScalingModel::Cost {

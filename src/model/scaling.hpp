@@ -26,6 +26,18 @@ struct ScalingSeries {
 [[nodiscard]] std::vector<double> scaling_efficiency(
     const ScalingSeries& series);
 
+/// Cross-run speedups for a set of measured times (the design-space
+/// sweep's ranking axis): speedup[i] = min(seconds) / seconds[i], so the
+/// fastest run scores 1 and everything else < 1.  Non-positive entries
+/// (failed runs) score 0.
+[[nodiscard]] std::vector<double> relative_speedups(
+    const std::vector<double>& seconds);
+
+/// Wrap per-thread-count (or per-node) sweep measurements as a
+/// ScalingSeries so scaling_efficiency applies to measured data too.
+[[nodiscard]] ScalingSeries measured_series(
+    std::string label, const std::vector<ScalingPoint>& points);
+
 /// Projects a measured solver run onto a modelled machine across node
 /// counts (DESIGN.md §2.2).  Kernel cost is memory-bandwidth bound with a
 /// per-sweep launch overhead and an LLC capacity boost (CPU); halo

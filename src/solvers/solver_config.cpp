@@ -22,6 +22,38 @@ SolverType solver_type_from_string(const std::string& s) {
   throw TeaError("unknown solver type: " + s);
 }
 
+PreconType precon_type_from_string(const std::string& s) {
+  if (s == "none") return PreconType::kNone;
+  if (s == "jac_diag") return PreconType::kJacobiDiag;
+  if (s == "jac_block") return PreconType::kJacobiBlock;
+  throw TeaError("unknown preconditioner type: " + s);
+}
+
+std::size_t SweepSpec::num_cases() const {
+  const std::size_t meshes = mesh_sizes.empty() ? 1 : mesh_sizes.size();
+  return solvers.size() * precons.size() * halo_depths.size() * meshes *
+         thread_counts.size();
+}
+
+void SweepSpec::validate() const {
+  for (const std::string& name : solvers) {
+    if (name != "mg-pcg") solver_type_from_string(name);  // throws if unknown
+  }
+  TEA_REQUIRE(!precons.empty(), "sweep: preconditioner axis must be non-empty");
+  TEA_REQUIRE(!halo_depths.empty(), "sweep: halo-depth axis must be non-empty");
+  TEA_REQUIRE(!thread_counts.empty(), "sweep: thread axis must be non-empty");
+  for (const int d : halo_depths) {
+    TEA_REQUIRE(d >= 1, "sweep: halo depths must be >= 1");
+  }
+  for (const int n : mesh_sizes) {
+    TEA_REQUIRE(n >= 4, "sweep: mesh sizes must be >= 4");
+  }
+  for (const int t : thread_counts) {
+    TEA_REQUIRE(t >= 0, "sweep: thread counts must be >= 0");
+  }
+  TEA_REQUIRE(ranks >= 1, "sweep: need at least one simulated rank");
+}
+
 void SolverConfig::validate() const {
   TEA_REQUIRE(max_iters > 0, "max_iters must be positive");
   TEA_REQUIRE(eps > 0.0, "eps must be positive");

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "precon/preconditioner.hpp"
 
@@ -16,6 +17,7 @@ enum class SolverType : int {
 
 [[nodiscard]] const char* to_string(SolverType t);
 [[nodiscard]] SolverType solver_type_from_string(const std::string& s);
+[[nodiscard]] PreconType precon_type_from_string(const std::string& s);
 
 /// Full configuration of one linear solve; mirrors the `tl_*` options of
 /// an upstream tea.in deck.
@@ -57,6 +59,31 @@ struct SolverConfig {
   /// Throws TeaError on inconsistent combinations, e.g. block-Jacobi with
   /// matrix-powers depth > 1 (the strips would need fresh whole-block
   /// data every inner step — paper §IV-C2 last paragraph).
+  void validate() const;
+};
+
+/// Declarative design-space sweep axes: the deck's `sweep_*` section
+/// (paper title: "enable design-space explorations").  Each axis lists
+/// the values to visit; driver/sweep runs the full cross-product
+/// solver × preconditioner × matrix-powers depth × mesh size × threads.
+/// An empty `solvers` list means the deck does not request a sweep.
+struct SweepSpec {
+  /// Solver axis by name: the four SolverType solvers plus "mg-pcg"
+  /// (the multigrid-preconditioned CG baseline of paper Fig. 7).
+  std::vector<std::string> solvers;
+  std::vector<PreconType> precons = {PreconType::kNone};
+  std::vector<int> halo_depths = {1};    ///< matrix-powers depth (PPCG)
+  std::vector<int> mesh_sizes;           ///< empty = the base deck's mesh
+  std::vector<int> thread_counts = {0};  ///< 0 = runtime default threads
+  int ranks = 4;                         ///< simulated ranks per run
+
+  [[nodiscard]] bool requested() const { return !solvers.empty(); }
+
+  /// Total number of cross-product cells (invalid combinations included;
+  /// the sweep engine reports those as skipped).
+  [[nodiscard]] std::size_t num_cases() const;
+
+  /// Throws TeaError on unknown solver names or non-positive axis values.
   void validate() const;
 };
 

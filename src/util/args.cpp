@@ -1,6 +1,7 @@
 #include "util/args.hpp"
 
 #include <cstdlib>
+#include <sstream>
 
 #include "util/error.hpp"
 
@@ -58,6 +59,37 @@ bool Args::get_bool(const std::string& name, bool fallback) const {
   if (it->second.empty()) return true;  // bare flag
   return it->second == "1" || it->second == "true" || it->second == "yes" ||
          it->second == "on";
+}
+
+std::vector<std::string> split_list(const std::string& value,
+                                    const std::string& context) {
+  std::vector<std::string> items;
+  std::string item;
+  std::istringstream in(value);
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  TEA_REQUIRE(!items.empty(), "empty list for " + context);
+  return items;
+}
+
+std::vector<int> split_int_list(const std::string& value,
+                                const std::string& context) {
+  std::vector<int> items;
+  for (const std::string& s : split_list(value, context)) {
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(s, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != s.size()) {
+      throw TeaError("bad numeric value for " + context + ": '" + s + "'");
+    }
+    items.push_back(static_cast<int>(v));
+  }
+  return items;
 }
 
 }  // namespace tealeaf

@@ -38,4 +38,16 @@ class Args {
   std::vector<std::string> positional_;
 };
 
+/// Split a comma-separated list ("cg,ppcg" / "1,4,8").  `context` names
+/// the option/deck key in the TeaError thrown for an empty list.  Shared
+/// by the deck parser's sweep_* keys and the harness --axis flags so both
+/// accept exactly the same inputs.
+[[nodiscard]] std::vector<std::string> split_list(const std::string& value,
+                                                  const std::string& context);
+
+/// As split_list, but every item must parse fully as a number (integral
+/// values may be written as "4" or "4.0"); throws TeaError otherwise.
+[[nodiscard]] std::vector<int> split_int_list(const std::string& value,
+                                              const std::string& context);
+
 }  // namespace tealeaf

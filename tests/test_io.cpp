@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "io/csv.hpp"
+#include "io/json.hpp"
 #include "io/ppm.hpp"
 #include "io/vtk.hpp"
 
@@ -113,6 +114,52 @@ TEST(Vtk, RejectsMismatchedShapes) {
   EXPECT_THROW(
       io::write_vtk(mesh, {{"u", &wrong}}, tmp_path("bad.vtk")),
       TeaError);
+}
+
+TEST(Json, BuildsAndDumpsDeterministically) {
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("name", "sweep");
+  doc.set("cells", 3);
+  doc.set("ok", true);
+  io::JsonValue arr = io::JsonValue::array();
+  arr.push_back(1.5);
+  arr.push_back(io::JsonValue());  // null
+  doc.set("values", std::move(arr));
+  EXPECT_EQ(doc.dump(),
+            R"({"name":"sweep","cells":3,"ok":true,"values":[1.5,null]})");
+  // Insertion order is preserved, so repeated dumps are identical.
+  EXPECT_EQ(doc.dump(), doc.dump());
+}
+
+TEST(Json, ParsesItsOwnOutputExactly) {
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("label", "line1\nline2 \"quoted\" \\ tab\t");
+  doc.set("tiny", 5.7338617125237919e-07);
+  doc.set("negative", -42);
+  const io::JsonValue back = io::JsonValue::parse(doc.dump(2));
+  EXPECT_EQ(back.at("label").as_string(), doc.at("label").as_string());
+  EXPECT_DOUBLE_EQ(back.at("tiny").as_number(), 5.7338617125237919e-07);
+  EXPECT_DOUBLE_EQ(back.at("negative").as_number(), -42.0);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(io::JsonValue::parse("{"), TeaError);
+  EXPECT_THROW(io::JsonValue::parse("[1, 2,]"), TeaError);
+  EXPECT_THROW(io::JsonValue::parse("{\"a\": 1} trailing"), TeaError);
+  EXPECT_THROW(io::JsonValue::parse("\"unterminated"), TeaError);
+  EXPECT_THROW(io::JsonValue::parse("nope"), TeaError);
+  // Numbers must consume their whole token — no valid-prefix parses.
+  EXPECT_THROW(io::JsonValue::parse("[1.2.3]"), TeaError);
+  EXPECT_THROW(io::JsonValue::parse("1-2"), TeaError);
+  EXPECT_THROW(io::JsonValue::parse("+1"), TeaError);
+}
+
+TEST(Json, TypedAccessorsEnforceKinds) {
+  const io::JsonValue v = io::JsonValue::parse(R"({"a": [1, 2]})");
+  EXPECT_THROW(v.as_number(), TeaError);
+  EXPECT_THROW(v.at("missing"), TeaError);
+  EXPECT_EQ(v.at("a").size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("a").at(1).as_number(), 2.0);
 }
 
 }  // namespace

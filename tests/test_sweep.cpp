@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "driver/decks.hpp"
+#include "driver/sweep.hpp"
+#include "model/scaling.hpp"
+
+namespace tealeaf {
+namespace {
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.solvers = {"cg", "ppcg"};
+  spec.precons = {PreconType::kNone, PreconType::kJacobiDiag};
+  spec.halo_depths = {1, 4};
+  spec.mesh_sizes = {16, 24};
+  spec.ranks = 2;
+  return spec;
+}
+
+TEST(SweepEnumeration, FullCrossProductInDeclaredOrder) {
+  const SweepSpec spec = small_spec();
+  const std::vector<SweepCase> cases = enumerate_cases(spec, 48);
+  ASSERT_EQ(cases.size(), spec.num_cases());
+  ASSERT_EQ(cases.size(), 2u * 2u * 2u * 2u * 1u);
+
+  // Axis nesting: solver outermost, threads innermost.
+  EXPECT_EQ(cases[0].label(), "cg/none/d1/n16/t0");
+  EXPECT_EQ(cases[1].label(), "cg/none/d1/n24/t0");
+  EXPECT_EQ(cases[2].label(), "cg/none/d4/n16/t0");
+  EXPECT_EQ(cases[4].label(), "cg/jac_diag/d1/n16/t0");
+  EXPECT_EQ(cases[8].label(), "ppcg/none/d1/n16/t0");
+  EXPECT_EQ(cases.back().label(), "ppcg/jac_diag/d4/n24/t0");
+
+  // Enumeration is deterministic: a second call yields identical cells.
+  const std::vector<SweepCase> again = enumerate_cases(spec, 48);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(cases[i].label(), again[i].label());
+  }
+}
+
+TEST(SweepEnumeration, EmptyMeshAxisUsesBaseMesh) {
+  SweepSpec spec;
+  spec.solvers = {"jacobi"};
+  const std::vector<SweepCase> cases = enumerate_cases(spec, 40);
+  ASSERT_EQ(cases.size(), 1u);
+  EXPECT_EQ(cases[0].mesh_n, 40);
+}
+
+TEST(SweepEnumeration, RejectsBadAxes) {
+  SweepSpec spec;
+  spec.solvers = {"warp-drive"};
+  EXPECT_THROW(enumerate_cases(spec, 32), TeaError);
+  spec = small_spec();
+  spec.halo_depths = {0};
+  EXPECT_THROW(spec.validate(), TeaError);
+  spec = small_spec();
+  spec.ranks = 0;
+  EXPECT_THROW(spec.validate(), TeaError);
+}
+
+TEST(SweepDeck, ParsesAndRoundTripsSweepSection) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\n"
+      "x_cells=32\ny_cells=32\nend_step=1\n"
+      "sweep_solvers=cg,ppcg,mg-pcg\n"
+      "sweep_precons=none,jac_diag\n"
+      "sweep_halo_depths=1,4,8\n"
+      "sweep_mesh_sizes=16,32\n"
+      "sweep_threads=0,2\n"
+      "sweep_ranks=2\n"
+      "state 1 density=1.0 energy=1.0\n"
+      "*endtea\n");
+  ASSERT_TRUE(deck.sweep.requested());
+  EXPECT_EQ(deck.sweep.solvers,
+            (std::vector<std::string>{"cg", "ppcg", "mg-pcg"}));
+  EXPECT_EQ(deck.sweep.precons,
+            (std::vector<PreconType>{PreconType::kNone,
+                                     PreconType::kJacobiDiag}));
+  EXPECT_EQ(deck.sweep.halo_depths, (std::vector<int>{1, 4, 8}));
+  EXPECT_EQ(deck.sweep.mesh_sizes, (std::vector<int>{16, 32}));
+  EXPECT_EQ(deck.sweep.thread_counts, (std::vector<int>{0, 2}));
+  EXPECT_EQ(deck.sweep.ranks, 2);
+  EXPECT_EQ(deck.sweep.num_cases(), 3u * 2u * 3u * 2u * 2u);
+
+  const InputDeck back = InputDeck::parse_string(deck.to_string());
+  EXPECT_EQ(back.sweep.solvers, deck.sweep.solvers);
+  EXPECT_EQ(back.sweep.precons, deck.sweep.precons);
+  EXPECT_EQ(back.sweep.halo_depths, deck.sweep.halo_depths);
+  EXPECT_EQ(back.sweep.mesh_sizes, deck.sweep.mesh_sizes);
+  EXPECT_EQ(back.sweep.thread_counts, deck.sweep.thread_counts);
+  EXPECT_EQ(back.sweep.ranks, deck.sweep.ranks);
+}
+
+TEST(SweepDeck, NonSweepDecksStayNonSweep) {
+  const InputDeck deck = decks::hot_block(16, 1);
+  EXPECT_FALSE(deck.sweep.requested());
+  const InputDeck back = InputDeck::parse_string(deck.to_string());
+  EXPECT_FALSE(back.sweep.requested());
+}
+
+TEST(SweepDeck, RejectsUnknownSweepValues) {
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+                   "sweep_solvers=cg\nsweep_precons=ilu\n"
+                   "state 1 density=1 energy=1\n*endtea\n"),
+               TeaError);
+}
+
+/// Shared fixture: one executed 2-solver × 2-mesh sweep (plus one invalid
+/// combination) reused by the end-to-end and round-trip tests.
+class SweepRun : public ::testing::Test {
+ protected:
+  static const SweepReport& report() {
+    static const SweepReport rep = [] {
+      InputDeck base = decks::hot_block(16, 1);
+      base.solver.eps = 1e-8;
+      SweepSpec spec;
+      spec.solvers = {"cg", "ppcg"};
+      spec.precons = {PreconType::kNone, PreconType::kJacobiBlock};
+      spec.halo_depths = {1, 4};
+      spec.mesh_sizes = {16, 24};
+      spec.ranks = 2;
+      return run_sweep(base, spec);
+    }();
+    return rep;
+  }
+};
+
+TEST_F(SweepRun, EndToEndAllValidCellsConverge) {
+  const SweepReport& rep = report();
+  ASSERT_EQ(rep.cells.size(), 16u);
+  EXPECT_EQ(rep.ranks, 2);
+  EXPECT_EQ(rep.steps, 1);
+
+  int converged = 0, skipped = 0;
+  for (const SweepOutcome& c : rep.cells) {
+    if (c.skipped) {
+      ++skipped;
+      EXPECT_FALSE(c.skip_reason.empty());
+      continue;
+    }
+    EXPECT_TRUE(c.converged) << c.config.label();
+    ++converged;
+    EXPECT_GT(c.iterations, 0) << c.config.label();
+    EXPECT_GT(c.spmv, 0) << c.config.label();
+    EXPECT_GT(c.reductions, 0) << c.config.label();
+    EXPECT_GT(c.solve_seconds, 0.0) << c.config.label();
+    EXPECT_GT(c.comm_seconds, 0.0) << c.config.label();
+    EXPECT_LT(c.final_norm, 1e-8 * 1e3) << c.config.label();
+  }
+  // Skipped: cg × d4 (2 precons × 2 meshes) and ppcg × jac_block × d4
+  // (2 meshes) — the matrix-powers contract of SolverConfig::validate.
+  EXPECT_EQ(skipped, 6);
+  EXPECT_EQ(converged, 10);
+
+  // Ranking covers exactly the converged cells, fastest first.
+  const std::vector<int> order = rep.ranking();
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(rep.cells[order[i - 1]].solve_seconds,
+              rep.cells[order[i]].solve_seconds);
+  }
+  EXPECT_EQ(rep.best(), order.front());
+
+  // Speedups: exactly one cell at 1.0 (the best), the rest in (0, 1].
+  const std::vector<double> speedup = rep.speedups();
+  EXPECT_DOUBLE_EQ(speedup[rep.best()], 1.0);
+  for (std::size_t i = 0; i < speedup.size(); ++i) {
+    if (rep.cells[i].skipped) {
+      EXPECT_DOUBLE_EQ(speedup[i], 0.0);
+    } else {
+      EXPECT_GT(speedup[i], 0.0);
+      EXPECT_LE(speedup[i], 1.0);
+    }
+  }
+}
+
+TEST(SweepDesignQuestions, PPCGCutsReductionsAndDepthCutsExchanges) {
+  // The design questions the sweep exists to answer (paper §II): PPCG
+  // trades global reductions for inner Chebyshev steps, and matrix-powers
+  // halo depth trades exchange rounds for deeper halos.  Use a problem
+  // hard enough that the iteration counts are not prestep-dominated.
+  InputDeck base = decks::layered_material(32, 1);
+  SweepSpec spec;
+  spec.solvers = {"cg", "ppcg"};
+  spec.halo_depths = {1, 4};
+  spec.ranks = 2;
+  const SweepReport rep = run_sweep(base, spec);
+
+  const auto cell = [&](const std::string& label) -> const SweepOutcome& {
+    for (const SweepOutcome& c : rep.cells) {
+      if (c.config.label() == label) return c;
+    }
+    throw TeaError("no cell " + label);
+  };
+  const SweepOutcome& cg = cell("cg/none/d1/n32/t0");
+  const SweepOutcome& ppcg1 = cell("ppcg/none/d1/n32/t0");
+  const SweepOutcome& ppcg4 = cell("ppcg/none/d4/n32/t0");
+  ASSERT_TRUE(cg.converged && ppcg1.converged && ppcg4.converged);
+  EXPECT_LT(ppcg1.reductions, cg.reductions);
+  EXPECT_LT(ppcg4.exchanges, ppcg1.exchanges);
+}
+
+TEST_F(SweepRun, CsvRoundTrips) {
+  const SweepReport& rep = report();
+  const std::vector<std::string> lines = rep.to_csv_lines();
+  ASSERT_EQ(lines.size(), rep.cells.size() + 1);  // header + one per cell
+
+  const SweepReport back = SweepReport::from_csv_lines(lines);
+  ASSERT_EQ(back.cells.size(), rep.cells.size());
+  EXPECT_EQ(back.ranks, rep.ranks);
+  EXPECT_EQ(back.steps, rep.steps);
+  for (std::size_t i = 0; i < rep.cells.size(); ++i) {
+    const SweepOutcome& a = rep.cells[i];
+    const SweepOutcome& b = back.cells[i];
+    EXPECT_EQ(a.config.label(), b.config.label());
+    EXPECT_EQ(a.skipped, b.skipped);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.inner_steps, b.inner_steps);
+    EXPECT_EQ(a.spmv, b.spmv);
+    EXPECT_EQ(a.reductions, b.reductions);
+    EXPECT_EQ(a.exchanges, b.exchanges);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.message_bytes, b.message_bytes);
+    EXPECT_DOUBLE_EQ(a.final_norm, b.final_norm);
+    EXPECT_DOUBLE_EQ(a.solve_seconds, b.solve_seconds);
+    EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+  }
+  // Derived views survive the trip bit-for-bit.
+  EXPECT_EQ(back.ranking(), rep.ranking());
+  EXPECT_EQ(back.best(), rep.best());
+
+  // Corrupt cells are rejected with the library's error type, not a raw
+  // std::invalid_argument.
+  std::vector<std::string> corrupt = lines;
+  corrupt[1].replace(corrupt[1].find(",1,"), 3, ",x,");
+  EXPECT_THROW(SweepReport::from_csv_lines(corrupt), TeaError);
+}
+
+TEST_F(SweepRun, JsonRoundTrips) {
+  const SweepReport& rep = report();
+  const std::string text = rep.to_json().dump(2);
+  const SweepReport back = SweepReport::from_json_string(text);
+  ASSERT_EQ(back.cells.size(), rep.cells.size());
+  EXPECT_EQ(back.ranks, rep.ranks);
+  EXPECT_EQ(back.steps, rep.steps);
+  for (std::size_t i = 0; i < rep.cells.size(); ++i) {
+    const SweepOutcome& a = rep.cells[i];
+    const SweepOutcome& b = back.cells[i];
+    EXPECT_EQ(a.config.label(), b.config.label());
+    EXPECT_EQ(a.skipped, b.skipped);
+    EXPECT_EQ(a.skip_reason, b.skip_reason);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.message_bytes, b.message_bytes);
+    EXPECT_DOUBLE_EQ(a.final_norm, b.final_norm);
+    EXPECT_DOUBLE_EQ(a.solve_seconds, b.solve_seconds);
+    EXPECT_DOUBLE_EQ(a.comm_seconds, b.comm_seconds);
+  }
+  EXPECT_EQ(back.ranking(), rep.ranking());
+
+  // The document also carries the ranking and best-cell identification
+  // for consumers that read the JSON directly.
+  const io::JsonValue doc = io::JsonValue::parse(text);
+  ASSERT_TRUE(doc.contains("ranking"));
+  EXPECT_EQ(static_cast<int>(doc.at("best").as_number()), rep.best());
+  EXPECT_EQ(doc.at("best_label").as_string(),
+            rep.cells[rep.best()].config.label());
+}
+
+TEST(SweepMgPcg, RunsAsFifthSolverAxis) {
+  InputDeck base = decks::hot_block(16, 1);
+  base.solver.eps = 1e-8;
+  SweepSpec spec;
+  spec.solvers = {"cg", "mg-pcg"};
+  spec.ranks = 2;
+  const SweepReport rep = run_sweep(base, spec);
+  ASSERT_EQ(rep.cells.size(), 2u);
+  for (const SweepOutcome& c : rep.cells) {
+    EXPECT_FALSE(c.skipped) << c.config.label();
+    EXPECT_TRUE(c.converged) << c.config.label();
+  }
+  // MG-PCG converges in far fewer (mesh-independent) iterations.
+  EXPECT_LT(rep.cells[1].iterations, rep.cells[0].iterations);
+}
+
+TEST(SweepDeckDriven, DeckSweepSectionDrivesRun) {
+  InputDeck base = decks::hot_block(16, 1);
+  base.solver.eps = 1e-8;
+  base.sweep.solvers = {"cg", "jacobi"};
+  base.sweep.mesh_sizes = {12, 16};
+  base.sweep.ranks = 2;
+  const SweepReport rep = run_sweep(base);
+  ASSERT_EQ(rep.cells.size(), 4u);
+  for (const SweepOutcome& c : rep.cells) {
+    EXPECT_TRUE(c.converged) << c.config.label();
+  }
+}
+
+TEST(SweepScalingBridge, SpeedupsComeFromScalingModelHelper) {
+  EXPECT_EQ(relative_speedups({}).size(), 0u);
+  const std::vector<double> s = relative_speedups({2.0, 1.0, 0.0, 4.0});
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[0], 0.5);
+  EXPECT_DOUBLE_EQ(s[1], 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);  // failed run
+  EXPECT_DOUBLE_EQ(s[3], 0.25);
+
+  const ScalingSeries series =
+      measured_series("threads", {{1, 8.0}, {2, 4.0}, {4, 4.0}});
+  const std::vector<double> eff = scaling_efficiency(series);
+  ASSERT_EQ(eff.size(), 3u);
+  EXPECT_DOUBLE_EQ(eff[0], 1.0);
+  EXPECT_DOUBLE_EQ(eff[1], 1.0);
+  EXPECT_DOUBLE_EQ(eff[2], 0.5);
+}
+
+}  // namespace
+}  // namespace tealeaf
