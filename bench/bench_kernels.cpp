@@ -1,18 +1,46 @@
-// Google-benchmark microbenchmarks of the computational kernels — the
-// C++ analogue of Listing 1 and the other per-iteration sweeps.  These
-// are the building blocks whose bytes/cell constants feed the
-// performance model (model/scaling.cpp).
+// Kernel and execution-engine benchmarks — the C++ analogue of Listing 1
+// and the other per-iteration sweeps.
+//
+// Two layers:
+//  * A fused-vs-unfused execution-engine comparison that times whole
+//    solver iterations both ways (same problem, same iteration counts —
+//    the engine is bitwise-equivalent) and writes the result as
+//    BENCH_PR2.json, the first point of the repo's recorded perf
+//    trajectory.  Always available; needs no external library.
+//       ./bench/bench_kernels [--mesh 48] [--ranks 8] [--reps 5]
+//                             [--steps 1] [--out BENCH_PR2.json]
+//  * Google-benchmark microbenchmarks of the individual kernels whose
+//    bytes/cell constants feed the performance model (model/scaling.cpp).
+//    Built only where the library exists; run with --gbench (extra
+//    --benchmark_* flags pass through).
 
-#include <benchmark/benchmark.h>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "comm/sim_comm.hpp"
+#include "driver/decks.hpp"
+#include "driver/tealeaf_app.hpp"
+#include "io/json.hpp"
 #include "ops/kernels2d.hpp"
 #include "precon/preconditioner.hpp"
+#include "solvers/solver.hpp"
+#include "util/args.hpp"
 #include "util/numeric.hpp"
+#include "util/parallel.hpp"
+
+#if defined(TEALEAF_HAVE_BENCHMARK)
+#include <benchmark/benchmark.h>
+#endif
 
 namespace {
 
 using namespace tealeaf;
+
+#if defined(TEALEAF_HAVE_BENCHMARK)
 
 std::unique_ptr<SimCluster2D> make_chunk(int n) {
   auto cl = std::make_unique<SimCluster2D>(
@@ -99,6 +127,64 @@ void BM_ChebyFusedUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_ChebyFusedUpdate)->Arg(64)->Arg(256)->Arg(512);
 
+void BM_ChebyStepUnfusedPair(benchmark::State& state) {
+  // The unfused Chebyshev iteration body: smvp sweep + update sweep.
+  const int n = static_cast<int>(state.range(0));
+  auto cl = make_chunk(n);
+  Chunk2D& c = cl->chunk(0);
+  for (auto _ : state) {
+    kernels::smvp(c, FieldId::kSd, FieldId::kW, interior_bounds(c));
+    kernels::cheby_fused_update(c, FieldId::kRtemp, FieldId::kSd,
+                                FieldId::kZ, 0.5, 0.1, true,
+                                interior_bounds(c));
+    benchmark::DoNotOptimize(c.z()(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ChebyStepUnfusedPair)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_ChebyStepFused(benchmark::State& state) {
+  // The same iteration body as ONE row-lagged pass (fused engine).
+  const int n = static_cast<int>(state.range(0));
+  auto cl = make_chunk(n);
+  Chunk2D& c = cl->chunk(0);
+  for (auto _ : state) {
+    kernels::cheby_step(c, FieldId::kRtemp, FieldId::kSd, FieldId::kZ, 0.5,
+                        0.1, true, interior_bounds(c));
+    benchmark::DoNotOptimize(c.z()(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ChebyStepFused)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_CalcUrDotFused(benchmark::State& state) {
+  // Fused u/r update + diag preconditioner + ⟨r,z⟩: one pass vs three.
+  const int n = static_cast<int>(state.range(0));
+  auto cl = make_chunk(n);
+  Chunk2D& c = cl->chunk(0);
+  kernels::smvp(c, FieldId::kP, FieldId::kW, interior_bounds(c));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::calc_ur_dot(c, 1e-3, PreconType::kJacobiDiag));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CalcUrDotFused)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_CalcUrDotUnfusedTriple(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto cl = make_chunk(n);
+  Chunk2D& c = cl->chunk(0);
+  kernels::smvp(c, FieldId::kP, FieldId::kW, interior_bounds(c));
+  for (auto _ : state) {
+    kernels::cg_calc_ur(c, 1e-3);
+    kernels::diag_solve(c, FieldId::kR, FieldId::kZ, interior_bounds(c));
+    benchmark::DoNotOptimize(kernels::dot(c, FieldId::kR, FieldId::kZ));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_CalcUrDotUnfusedTriple)->Arg(64)->Arg(256)->Arg(512);
+
 void BM_BlockJacobiSolve(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   auto cl = make_chunk(n);
@@ -149,4 +235,149 @@ void BM_JacobiSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_JacobiSweep)->Arg(64)->Arg(256);
 
+#endif  // TEALEAF_HAVE_BENCHMARK
+
+// ---- fused-vs-unfused execution-engine comparison -----------------------
+
+struct EngineCase {
+  std::string name;
+  SolverConfig cfg;
+};
+
+struct EngineResult {
+  std::string name;
+  double unfused_seconds = 0.0;
+  double fused_seconds = 0.0;
+  int unfused_iters = 0;
+  int fused_iters = 0;
+  [[nodiscard]] double speedup() const {
+    return fused_seconds > 0.0 ? unfused_seconds / fused_seconds : 0.0;
+  }
+};
+
+std::vector<EngineCase> engine_cases() {
+  std::vector<EngineCase> cases;
+  SolverConfig cg;
+  cg.type = SolverType::kCG;
+  cg.eps = 1e-8;
+  cases.push_back({"cg", cg});
+  SolverConfig chrono = cg;
+  chrono.fuse_cg_reductions = true;
+  cases.push_back({"cg-chrono", chrono});
+  SolverConfig cheby;
+  cheby.type = SolverType::kChebyshev;
+  cheby.eps = 1e-8;
+  cases.push_back({"chebyshev", cheby});
+  SolverConfig ppcg;
+  ppcg.type = SolverType::kPPCG;
+  ppcg.eps = 1e-8;
+  cases.push_back({"ppcg", ppcg});
+  SolverConfig jacobi;
+  jacobi.type = SolverType::kJacobi;
+  jacobi.eps = 1e-4;
+  cases.push_back({"jacobi", jacobi});
+  return cases;
+}
+
+/// Best-of-`reps` timing of `steps` driver timesteps with one engine.
+/// A fresh app per repetition keeps every run solving the same problem.
+double time_solves(const InputDeck& deck, int ranks, int reps, int steps,
+                   int* iters) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    TeaLeafApp app(deck, ranks);
+    double seconds = 0.0;
+    int it = 0;
+    for (int s = 0; s < steps; ++s) {
+      const SolveStats st = app.step();
+      if (!st.converged) {
+        std::fprintf(stderr, "warning: %s did not converge\n",
+                     to_string(deck.solver.type));
+      }
+      seconds += st.solve_seconds;
+      it += st.outer_iters;
+    }
+    if (rep == 0 || seconds < best) best = seconds;
+    *iters = it;
+  }
+  return best;
+}
+
+int run_engine_comparison(const Args& args) {
+  const int mesh = args.get_int("mesh", 48);
+  const int ranks = args.get_int("ranks", 8);
+  const int reps = args.get_int("reps", 5);
+  const int steps = args.get_int("steps", 1);
+  const std::string out_path = args.get("out", "BENCH_PR2.json");
+
+  std::vector<EngineResult> results;
+  for (const EngineCase& ec : engine_cases()) {
+    InputDeck deck = decks::hot_block(mesh, steps);
+    deck.solver = ec.cfg;
+    EngineResult res;
+    res.name = ec.name;
+    deck.solver.fuse_kernels = false;
+    res.unfused_seconds =
+        time_solves(deck, ranks, reps, steps, &res.unfused_iters);
+    deck.solver.fuse_kernels = true;
+    res.fused_seconds = time_solves(deck, ranks, reps, steps, &res.fused_iters);
+    std::printf(
+        "%-10s unfused %.6fs  fused %.6fs  speedup %.2fx  iters %d/%d%s\n",
+        res.name.c_str(), res.unfused_seconds, res.fused_seconds,
+        res.speedup(), res.unfused_iters, res.fused_iters,
+        res.unfused_iters == res.fused_iters ? "" : "  MISMATCH");
+    results.push_back(res);
+  }
+
+  double best_speedup = 0.0;
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("benchmark", "fused-vs-unfused execution engine (PR2)");
+  doc.set("mesh", mesh);
+  doc.set("ranks", ranks);
+  doc.set("threads", num_threads());
+  doc.set("reps", reps);
+  doc.set("steps", steps);
+  io::JsonValue arr = io::JsonValue::array();
+  for (const EngineResult& r : results) {
+    io::JsonValue cell = io::JsonValue::object();
+    cell.set("solver", r.name);
+    cell.set("unfused_seconds", r.unfused_seconds);
+    cell.set("fused_seconds", r.fused_seconds);
+    cell.set("speedup", r.speedup());
+    cell.set("unfused_iters", r.unfused_iters);
+    cell.set("fused_iters", r.fused_iters);
+    cell.set("identical_iterations", r.unfused_iters == r.fused_iters);
+    arr.push_back(std::move(cell));
+    best_speedup = std::max(best_speedup, r.speedup());
+  }
+  doc.set("solvers", std::move(arr));
+  doc.set("max_speedup", best_speedup);
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("max speedup %.2fx at %d threads -> %s\n", best_speedup,
+              num_threads(), out_path.c_str());
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+#if defined(TEALEAF_HAVE_BENCHMARK)
+  if (Args(argc, argv).has("gbench")) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+#endif
+  try {
+    return run_engine_comparison(Args(argc, argv));
+  } catch (const TeaError& e) {
+    std::fprintf(stderr, "bench error: %s\n", e.what());
+    return 1;
+  }
+}

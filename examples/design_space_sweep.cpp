@@ -1,10 +1,11 @@
 // The paper's purpose, as one command: sweep the solver design space
-// (solver × preconditioner × matrix-powers depth × mesh size × threads)
-// over a deck and emit a ranked result table as CSV + JSON.
+// (solver × preconditioner × matrix-powers depth × mesh size × threads ×
+// execution engine) over a deck and emit a ranked result table as
+// CSV + JSON.
 //
 // Run:  ./examples/design_space_sweep [--mesh 48] [--ranks 4] [--steps 1]
 //           [--solvers cg,ppcg,chebyshev,mg-pcg] [--precons none,jac_diag]
-//           [--depths 1,4] [--meshes 32,48] [--threads 0]
+//           [--depths 1,4] [--meshes 32,48] [--threads 0] [--fused 0,1]
 //           [--deck path/to/tea.in] [--csv out.csv] [--json out.json]
 //
 // A deck passed via --deck that carries its own sweep_* section overrides
@@ -70,6 +71,7 @@ int run(const Args& args) {
         args.get("meshes", std::to_string(base.x_cells) + ",32"), "--meshes");
     spec.thread_counts = split_int_list(args.get("threads", "0"),
                                         "--threads");
+    spec.fused = split_int_list(args.get("fused", "0,1"), "--fused");
     spec.ranks = args.get_int("ranks", 4);
   }
 
@@ -80,11 +82,12 @@ int run(const Args& args) {
   opts.echo = true;
 
   std::printf("design-space sweep: %zu cells (%zu solvers x %zu precons x "
-              "%zu depths x %zu meshes x %zu thread counts), %d ranks\n\n",
+              "%zu depths x %zu meshes x %zu thread counts x %zu engines), "
+              "%d ranks\n\n",
               spec.num_cases(), spec.solvers.size(), spec.precons.size(),
               spec.halo_depths.size(),
               spec.mesh_sizes.empty() ? 1 : spec.mesh_sizes.size(),
-              spec.thread_counts.size(), spec.ranks);
+              spec.thread_counts.size(), spec.fused.size(), spec.ranks);
 
   const SweepReport report = run_sweep(base, spec, opts);
 

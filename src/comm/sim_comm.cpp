@@ -10,108 +10,167 @@ SimCluster2D::SimCluster2D(const GlobalMesh2D& mesh, int nranks,
       decomp_(Decomposition2D::create(nranks, mesh)),
       halo_depth_(halo_depth) {
   TEA_REQUIRE(halo_depth >= 1, "halo depth must be >= 1");
-  chunks_.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    chunks_.push_back(
-        std::make_unique<Chunk2D>(decomp_.extent(r), mesh, halo_depth));
-  }
+  chunks_.resize(static_cast<std::size_t>(nranks));
+  // NUMA first-touch: construct the chunks through Team::for_range — the
+  // exact rank→thread mapping every fused-engine worksharing loop uses —
+  // so the zero-fill of each chunk's fields (the first touch of those
+  // pages) happens on the thread, and hence the NUMA node, that will
+  // process the chunk for the rest of the run.
+  parallel_region([&](Team& t) {
+    t.for_range(0, nranks, [&](std::int64_t r) {
+      chunks_[static_cast<std::size_t>(r)] = std::make_unique<Chunk2D>(
+          decomp_.extent(static_cast<int>(r)), mesh, halo_depth);
+    });
+  });
+  team_partials_.assign(static_cast<std::size_t>(nranks), 0.0);
+  team_partials2_.assign(static_cast<std::size_t>(nranks), {0.0, 0.0});
 }
 
 void SimCluster2D::exchange(std::initializer_list<FieldId> fields,
                             int depth) {
-  exchange(std::vector<FieldId>(fields), depth);
+  exchange_impl(nullptr, fields.begin(), static_cast<int>(fields.size()),
+                depth);
 }
 
 void SimCluster2D::exchange(const std::vector<FieldId>& fields, int depth) {
-  TEA_REQUIRE(depth >= 1 && depth <= halo_depth_,
-              "exchange depth exceeds allocated halo");
-  if (fields.empty()) return;
-  ++stats_.exchange_calls;
-  // Phase ordering matters: x completes for all ranks before y starts so
-  // that the y messages carry fresh corner columns (see class comment).
-  exchange_x(fields, depth);
-  exchange_y(fields, depth);
+  exchange_impl(nullptr, fields.data(), static_cast<int>(fields.size()),
+                depth);
 }
 
-void SimCluster2D::exchange_x(const std::vector<FieldId>& fields,
-                              int depth) {
-  const int nf = static_cast<int>(fields.size());
+void SimCluster2D::exchange(const Team* team,
+                            std::initializer_list<FieldId> fields,
+                            int depth) {
+  exchange_impl(team, fields.begin(), static_cast<int>(fields.size()), depth);
+}
+
+void SimCluster2D::exchange(const Team* team,
+                            const std::vector<FieldId>& fields, int depth) {
+  exchange_impl(team, fields.data(), static_cast<int>(fields.size()), depth);
+}
+
+void SimCluster2D::exchange_impl(const Team* team, const FieldId* fields,
+                                 int nfields, int depth) {
+  // Contract check.  In the Team path this runs inside the hoisted
+  // region, where a throw would terminate the process (see
+  // parallel_region's docs) — callers must validate the depth before
+  // entering the region, as the solvers do via SolverConfig/halo checks.
+  TEA_REQUIRE(depth >= 1 && depth <= halo_depth_,
+              "exchange depth exceeds allocated halo");
+  if (nfields == 0) return;
+  // Phase ordering matters: x completes for all ranks before y starts so
+  // that the y messages carry fresh corner columns (see class comment).
+  if (team == nullptr) {
+    ++stats_.exchange_calls;
+    parallel_for(0, nranks(), [&](std::int64_t r) {
+      exchange_x_rank(static_cast<int>(r), fields, nfields, depth);
+    });
+    parallel_for(0, nranks(), [&](std::int64_t r) {
+      exchange_y_rank(static_cast<int>(r), fields, nfields, depth);
+    });
+    account_exchange(nfields, depth);
+    return;
+  }
+  // Team-aware path (hoisted region): explicit barriers replace the
+  // implicit joins — producers must finish before the x phase reads
+  // interiors, and the y phase carries the x phase's corner columns.
+  team->barrier();
+  team->for_range(0, nranks(), [&](std::int64_t r) {
+    exchange_x_rank(static_cast<int>(r), fields, nfields, depth);
+  });
+  team->barrier();
+  team->for_range(0, nranks(), [&](std::int64_t r) {
+    exchange_y_rank(static_cast<int>(r), fields, nfields, depth);
+  });
+  team->single([&] {
+    ++stats_.exchange_calls;
+    account_exchange(nfields, depth);
+  });
+  team->barrier();
+}
+
+void SimCluster2D::exchange_x_rank(int rank, const FieldId* fields,
+                                   int nfields, int depth) {
+  Chunk2D& me = *chunks_[static_cast<std::size_t>(rank)];
   // Each rank "sends" its edge columns into the neighbour's halo.  In the
   // simulation the copy is done by the receiving side reading the
   // neighbour's interior, which is bitwise the same data motion.
-  parallel_for(0, nranks(), [&](std::int64_t r) {
-    Chunk2D& me = *chunks_[r];
-    for (const Face face : {Face::kLeft, Face::kRight}) {
-      const int nb = decomp_.neighbor(static_cast<int>(r), face);
-      if (nb < 0) continue;
-      Chunk2D& other = *chunks_[nb];
-      TEA_ASSERT(other.ny() == me.ny(), "x-neighbours must share rows");
-      for (const FieldId id : fields) {
-        Field2D<double>& dst = me.field(id);
-        const Field2D<double>& src = other.field(id);
-        for (int d = 0; d < depth; ++d) {
-          // Halo column -1-d maps to the right edge of the left neighbour;
-          // column nx+d maps to the left edge of the right neighbour.
-          const int dst_j = (face == Face::kLeft) ? -1 - d : me.nx() + d;
-          const int src_j =
-              (face == Face::kLeft) ? other.nx() - 1 - d : d;
-          for (int k = 0; k < me.ny(); ++k) dst(dst_j, k) = src(src_j, k);
-        }
+  for (const Face face : {Face::kLeft, Face::kRight}) {
+    const int nb = decomp_.neighbor(rank, face);
+    if (nb < 0) continue;
+    Chunk2D& other = *chunks_[static_cast<std::size_t>(nb)];
+    TEA_ASSERT(other.ny() == me.ny(), "x-neighbours must share rows");
+    for (int f = 0; f < nfields; ++f) {
+      Field2D<double>& dst = me.field(fields[f]);
+      const Field2D<double>& src = other.field(fields[f]);
+      for (int d = 0; d < depth; ++d) {
+        // Halo column -1-d maps to the right edge of the left neighbour;
+        // column nx+d maps to the left edge of the right neighbour.
+        const int dst_j = (face == Face::kLeft) ? -1 - d : me.nx() + d;
+        const int src_j = (face == Face::kLeft) ? other.nx() - 1 - d : d;
+        for (int k = 0; k < me.ny(); ++k) dst(dst_j, k) = src(src_j, k);
       }
-    }
-  });
-  // Accounting: one send per rank per populated direction; all fields
-  // share the message.  Payload: depth columns of ny cells per field.
-  for (int r = 0; r < nranks(); ++r) {
-    const Chunk2D& me = *chunks_[r];
-    for (const Face face : {Face::kLeft, Face::kRight}) {
-      if (decomp_.neighbor(r, face) < 0) continue;
-      const std::int64_t bytes = static_cast<std::int64_t>(depth) * me.ny() *
-                                 nf * static_cast<std::int64_t>(sizeof(double));
-      ++stats_.messages;
-      stats_.message_bytes += bytes;
-      ++stats_.messages_by_depth[depth];
-      stats_.bytes_by_depth[depth] += bytes;
     }
   }
 }
 
-void SimCluster2D::exchange_y(const std::vector<FieldId>& fields,
-                              int depth) {
-  const int nf = static_cast<int>(fields.size());
-  parallel_for(0, nranks(), [&](std::int64_t r) {
-    Chunk2D& me = *chunks_[r];
-    for (const Face face : {Face::kBottom, Face::kTop}) {
-      const int nb = decomp_.neighbor(static_cast<int>(r), face);
-      if (nb < 0) continue;
-      Chunk2D& other = *chunks_[nb];
-      TEA_ASSERT(other.nx() == me.nx(), "y-neighbours must share columns");
-      for (const FieldId id : fields) {
-        Field2D<double>& dst = me.field(id);
-        const Field2D<double>& src = other.field(id);
-        for (int d = 0; d < depth; ++d) {
-          const int dst_k = (face == Face::kBottom) ? -1 - d : me.ny() + d;
-          const int src_k =
-              (face == Face::kBottom) ? other.ny() - 1 - d : d;
-          // Rows travel with their x-halo columns so corners propagate.
-          for (int j = -depth; j < me.nx() + depth; ++j) {
-            dst(j, dst_k) = src(j, src_k);
-          }
+void SimCluster2D::exchange_y_rank(int rank, const FieldId* fields,
+                                   int nfields, int depth) {
+  Chunk2D& me = *chunks_[static_cast<std::size_t>(rank)];
+  // Rows travel with their x-halo corner columns so corners propagate —
+  // but only columns that actually carry neighbour data: at a physical
+  // left/right boundary the x-halo holds no exchanged values, so it is
+  // neither copied nor charged to the message payload.
+  const bool has_left = decomp_.neighbor(rank, Face::kLeft) >= 0;
+  const bool has_right = decomp_.neighbor(rank, Face::kRight) >= 0;
+  const int jlo = has_left ? -depth : 0;
+  const int jhi = me.nx() + (has_right ? depth : 0);
+  for (const Face face : {Face::kBottom, Face::kTop}) {
+    const int nb = decomp_.neighbor(rank, face);
+    if (nb < 0) continue;
+    Chunk2D& other = *chunks_[static_cast<std::size_t>(nb)];
+    TEA_ASSERT(other.nx() == me.nx(), "y-neighbours must share columns");
+    for (int f = 0; f < nfields; ++f) {
+      Field2D<double>& dst = me.field(fields[f]);
+      const Field2D<double>& src = other.field(fields[f]);
+      for (int d = 0; d < depth; ++d) {
+        const int dst_k = (face == Face::kBottom) ? -1 - d : me.ny() + d;
+        const int src_k = (face == Face::kBottom) ? other.ny() - 1 - d : d;
+        for (int j = jlo; j < jhi; ++j) {
+          dst(j, dst_k) = src(j, src_k);
         }
       }
     }
-  });
+  }
+}
+
+void SimCluster2D::account_exchange(int nfields, int depth) {
+  const int nf = nfields;
+  const auto record = [&](std::int64_t bytes) {
+    ++stats_.messages;
+    stats_.message_bytes += bytes;
+    ++stats_.messages_by_depth[depth];
+    stats_.bytes_by_depth[depth] += bytes;
+  };
+  // One send per rank per populated direction; all fields share the
+  // message.  x payload: depth columns of ny cells per field.  y payload:
+  // depth rows of nx cells per field plus only the corner columns that
+  // carry neighbour data (a rank at a physical left/right boundary sends
+  // shorter rows — see exchange_y_rank).
   for (int r = 0; r < nranks(); ++r) {
-    const Chunk2D& me = *chunks_[r];
+    const Chunk2D& me = *chunks_[static_cast<std::size_t>(r)];
+    for (const Face face : {Face::kLeft, Face::kRight}) {
+      if (decomp_.neighbor(r, face) < 0) continue;
+      record(static_cast<std::int64_t>(depth) * me.ny() * nf *
+             static_cast<std::int64_t>(sizeof(double)));
+    }
+    const int xcorners = (decomp_.neighbor(r, Face::kLeft) >= 0 ? 1 : 0) +
+                         (decomp_.neighbor(r, Face::kRight) >= 0 ? 1 : 0);
+    const std::int64_t row_len =
+        me.nx() + static_cast<std::int64_t>(xcorners) * depth;
     for (const Face face : {Face::kBottom, Face::kTop}) {
       if (decomp_.neighbor(r, face) < 0) continue;
-      const std::int64_t row_len = me.nx() + 2LL * depth;
-      const std::int64_t bytes = static_cast<std::int64_t>(depth) * row_len *
-                                 nf * static_cast<std::int64_t>(sizeof(double));
-      ++stats_.messages;
-      stats_.message_bytes += bytes;
-      ++stats_.messages_by_depth[depth];
-      stats_.bytes_by_depth[depth] += bytes;
+      record(static_cast<std::int64_t>(depth) * row_len * nf *
+             static_cast<std::int64_t>(sizeof(double)));
     }
   }
 }

@@ -27,10 +27,21 @@ namespace tealeaf {
 /// Halo exchange is two-phase (x first, then y carrying the x-halo
 /// columns), which propagates corner data exactly as upstream TeaLeaf's
 /// staged MPI exchange does — required for matrix-powers halo depths > 1.
+///
+/// Every collective has two forms: the standalone form opens its own
+/// parallel region (one fork/join per call), and a Team-aware form that
+/// workshares inside an already-open `parallel_region` — the fused
+/// execution engine's path, which hoists one region around a whole solver
+/// iteration.  Team forms return/compute identical values (per-rank
+/// partials reduced in rank order) and record identical CommStats, so
+/// fused and unfused runs are bitwise comparable.
 class SimCluster2D {
  public:
   /// Decompose `mesh` over `nranks` ranks, allocating every chunk with
   /// `halo_depth` ghost layers (>= the deepest exchange to be requested).
+  /// Chunks are constructed in parallel with the same rank→thread block
+  /// mapping the kernels use, so each chunk's fields are first-touched —
+  /// and hence NUMA-placed — on the thread that will process them.
   SimCluster2D(const GlobalMesh2D& mesh, int nranks, int halo_depth);
 
   [[nodiscard]] int nranks() const { return static_cast<int>(chunks_.size()); }
@@ -48,6 +59,17 @@ class SimCluster2D {
   /// neighbours.  All fields travel in one message per direction.
   void exchange(std::initializer_list<FieldId> fields, int depth);
   void exchange(const std::vector<FieldId>& fields, int depth);
+
+  /// Team-aware halo exchange for use inside a hoisted parallel region:
+  /// same data motion and accounting as the standalone form, worksharing
+  /// over ranks through `team` with barriers between the x and y phases
+  /// (and entry/exit barriers so neighbouring kernel phases can skip
+  /// their own).  Pass team == nullptr to fall back to the standalone
+  /// form — lets one code path serve both execution modes.
+  void exchange(const Team* team, std::initializer_list<FieldId> fields,
+                int depth);
+  void exchange(const Team* team, const std::vector<FieldId>& fields,
+                int depth);
 
   /// Global sum of one partial value per rank, accumulated in rank order
   /// (deterministic).  Counts one allreduce.
@@ -67,6 +89,19 @@ class SimCluster2D {
     });
   }
 
+  /// Team-aware form: workshares the ranks through `team` (nullptr falls
+  /// back to the standalone form).  No implied barrier.
+  template <class Body>
+  void for_each_chunk(const Team* team, Body&& body) {
+    if (team == nullptr) {
+      for_each_chunk(std::forward<Body>(body));
+      return;
+    }
+    team->for_range(0, nranks(), [&](std::int64_t r) {
+      body(static_cast<int>(r), *chunks_[r]);
+    });
+  }
+
   /// Evaluate `body(rank, chunk) -> double` on every rank and globally
   /// reduce the partials (counts one allreduce).
   template <class Body>
@@ -78,19 +113,83 @@ class SimCluster2D {
     return reduce_sum(partials);
   }
 
+  /// Team-aware form: per-rank partials land in a shared buffer, then
+  /// every thread reduces them in rank order — all threads return the
+  /// same sum, bitwise equal to the standalone form.  Counts ONE
+  /// allreduce.  Implies barriers (before the reduce and before return).
+  template <class Body>
+  double sum_over_chunks(const Team* team, Body&& body) {
+    if (team == nullptr) return sum_over_chunks(std::forward<Body>(body));
+    team->for_range(0, nranks(), [&](std::int64_t r) {
+      team_partials_[static_cast<std::size_t>(r)] =
+          body(static_cast<int>(r), *chunks_[r]);
+    });
+    team->barrier();
+    double total = 0.0;
+    for (int r = 0; r < nranks(); ++r) {
+      total += team_partials_[static_cast<std::size_t>(r)];
+    }
+    team->single([&] { ++stats_.reductions; });
+    team->barrier();  // buffer is free for the next collective
+    return total;
+  }
+
+  /// Team-aware fused pair reduction: the Team analogue of reduce_sum2,
+  /// with `body(rank, chunk)` returning the two partials.  ONE allreduce.
+  template <class Body>
+  std::pair<double, double> sum2_over_chunks(const Team* team, Body&& body) {
+    if (team == nullptr) {
+      std::vector<std::pair<double, double>> partials(
+          static_cast<std::size_t>(nranks()));
+      parallel_for(0, nranks(), [&](std::int64_t r) {
+        partials[r] = body(static_cast<int>(r), *chunks_[r]);
+      });
+      return reduce_sum2(partials);
+    }
+    team->for_range(0, nranks(), [&](std::int64_t r) {
+      team_partials2_[static_cast<std::size_t>(r)] =
+          body(static_cast<int>(r), *chunks_[r]);
+    });
+    team->barrier();
+    double a = 0.0;
+    double b = 0.0;
+    for (int r = 0; r < nranks(); ++r) {
+      a += team_partials2_[static_cast<std::size_t>(r)].first;
+      b += team_partials2_[static_cast<std::size_t>(r)].second;
+    }
+    team->single([&] { ++stats_.reductions; });
+    team->barrier();
+    return {a, b};
+  }
+
   [[nodiscard]] CommStats& stats() { return stats_; }
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
  private:
-  void exchange_x(const std::vector<FieldId>& fields, int depth);
-  void exchange_y(const std::vector<FieldId>& fields, int depth);
+  /// Shared implementation of all exchange overloads.  Takes the field
+  /// list as pointer + count so the initializer_list forms forward their
+  /// backing array directly — no per-call (and in the Team path,
+  /// per-thread) vector allocation on the hot fused path.
+  void exchange_impl(const Team* team, const FieldId* fields, int nfields,
+                     int depth);
+  /// Per-rank copy bodies of the two exchange phases (shared by the
+  /// standalone and Team-aware forms).
+  void exchange_x_rank(int rank, const FieldId* fields, int nfields,
+                       int depth);
+  void exchange_y_rank(int rank, const FieldId* fields, int nfields,
+                       int depth);
+  /// Message/byte accounting of one exchange (both phases, all ranks).
+  void account_exchange(int nfields, int depth);
 
   GlobalMesh2D mesh_;
   Decomposition2D decomp_;
   int halo_depth_;
   std::vector<std::unique_ptr<Chunk2D>> chunks_;
   CommStats stats_;
+  /// Shared scratch for the Team-aware rank-ordered reductions.
+  std::vector<double> team_partials_;
+  std::vector<std::pair<double, double>> team_partials2_;
 };
 
 }  // namespace tealeaf

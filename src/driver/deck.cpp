@@ -176,6 +176,8 @@ InputDeck InputDeck::parse(std::istream& in) {
       deck.solver.halo_depth = static_cast<int>(to_double(value, key));
     } else if (key == "tl_cg_fuse_reductions") {
       deck.solver.fuse_cg_reductions = true;
+    } else if (key == "tl_fuse_kernels") {
+      deck.solver.fuse_kernels = true;
     } else if (key == "sweep_solvers") {
       deck.sweep.solvers = split_list(value, key);
     } else if (key == "sweep_precons") {
@@ -189,6 +191,8 @@ InputDeck InputDeck::parse(std::istream& in) {
       deck.sweep.mesh_sizes = split_int_list(value, key);
     } else if (key == "sweep_threads") {
       deck.sweep.thread_counts = split_int_list(value, key);
+    } else if (key == "sweep_fused") {
+      deck.sweep.fused = split_int_list(value, key);
     } else if (key == "sweep_ranks") {
       deck.sweep.ranks = static_cast<int>(to_double(value, key));
     } else if (key == "tl_coefficient") {
@@ -236,6 +240,7 @@ std::string InputDeck::to_string() const {
   os << "tl_eigen_cg_iters=" << solver.eigen_cg_iters << "\n";
   os << "tl_halo_depth=" << solver.halo_depth << "\n";
   if (solver.fuse_cg_reductions) os << "tl_cg_fuse_reductions\n";
+  if (solver.fuse_kernels) os << "tl_fuse_kernels\n";
   if (sweep.requested()) {
     const auto join = [&os](const char* key, const auto& items,
                             const auto& format) {
@@ -255,6 +260,7 @@ std::string InputDeck::to_string() const {
       join("sweep_mesh_sizes", sweep.mesh_sizes, [](int n) { return n; });
     }
     join("sweep_threads", sweep.thread_counts, [](int t) { return t; });
+    join("sweep_fused", sweep.fused, [](int f) { return f; });
     os << "sweep_ranks=" << sweep.ranks << "\n";
   }
   os << "tl_coefficient="

@@ -26,6 +26,7 @@ std::string SweepCase::label() const {
   std::ostringstream os;
   os << solver << "/" << to_string(precon) << "/d" << halo_depth << "/n"
      << mesh_n << "/t" << threads;
+  if (fused) os << "/fused";
   return os.str();
 }
 
@@ -42,7 +43,10 @@ std::vector<SweepCase> enumerate_cases(const SweepSpec& spec, int base_mesh) {
       for (const int depth : spec.halo_depths) {
         for (const int mesh : meshes) {
           for (const int threads : spec.thread_counts) {
-            cases.push_back({solver, precon, depth, mesh, threads});
+            for (const int fused : spec.fused) {
+              cases.push_back(
+                  {solver, precon, depth, mesh, threads, fused != 0});
+            }
           }
         }
       }
@@ -105,6 +109,13 @@ void run_native_cell(const InputDeck& deck, int ranks, int steps,
     out.spmv += st.spmv_applies;
     out.final_norm = st.final_norm;
     out.solve_seconds += st.solve_seconds;
+    if (st.breakdown) {
+      // Numerical breakdown: record the row as failed and stop this cell;
+      // the sweep moves on to the next configuration.
+      out.fail_reason = st.breakdown_reason;
+      out.converged = false;
+      break;
+    }
   }
   const CommStats& cs = app.cluster().stats();
   out.reductions = cs.reductions;
@@ -199,6 +210,7 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
     deck.end_step = steps;
     deck.solver.precon = cs.precon;
     deck.solver.halo_depth = cs.halo_depth;
+    deck.solver.fuse_kernels = cs.fused;
 
     const bool mg_pcg = cs.solver == "mg-pcg";
     if (mg_pcg) {
@@ -209,6 +221,9 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
       } else if (cs.halo_depth > 1) {
         out.skipped = true;
         out.skip_reason = "matrix-powers halo depth applies to PPCG only";
+      } else if (cs.fused) {
+        out.skipped = true;
+        out.skip_reason = "mg-pcg has no fused execution path";
       }
     } else {
       deck.solver.type = solver_type_from_string(cs.solver);
@@ -222,10 +237,17 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
 
     if (!out.skipped) {
       ThreadScope threads(cs.threads);
-      if (mg_pcg) {
-        run_mg_pcg_cell(deck, steps, out);
-      } else {
-        run_native_cell(deck, spec.ranks, steps, out);
+      try {
+        if (mg_pcg) {
+          run_mg_pcg_cell(deck, steps, out);
+        } else {
+          run_native_cell(deck, spec.ranks, steps, out);
+        }
+      } catch (const TeaError& e) {
+        // A solver contract violation mid-run fails this row only; the
+        // rest of the cross-product still runs.
+        out.fail_reason = e.what();
+        out.converged = false;
       }
       CommStats recorded;
       recorded.exchange_calls = out.exchanges;
@@ -238,6 +260,8 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
     if (opts.echo) {
       std::printf("%-28s %s\n", cs.label().c_str(),
                   out.skipped ? ("skipped: " + out.skip_reason).c_str()
+                  : !out.fail_reason.empty()
+                      ? ("FAILED: " + out.fail_reason).c_str()
                   : out.converged
                       ? ("ok, " + std::to_string(out.iterations) + " iters")
                             .c_str()
@@ -288,11 +312,11 @@ namespace {
 
 constexpr const char* kCsvColumns[] = {
     "solver",      "precon",        "halo_depth",  "mesh",
-    "threads",     "sweep_ranks",   "sweep_steps", "status",
-    "converged",   "iterations",    "inner_steps", "spmv",
-    "reductions",  "exchanges",     "messages",    "message_bytes",
-    "final_norm",  "solve_seconds", "comm_seconds", "speedup",
-    "rank"};
+    "threads",     "fused",         "sweep_ranks", "sweep_steps",
+    "status",      "converged",     "iterations",  "inner_steps",
+    "spmv",        "reductions",    "exchanges",   "messages",
+    "message_bytes", "final_norm",  "solve_seconds", "comm_seconds",
+    "speedup",     "rank"};
 
 /// Strict numeric cell parsers: the whole cell must convert, and failures
 /// surface as TeaError like every other malformed-input path.
@@ -339,13 +363,14 @@ std::vector<std::string> SweepReport::to_csv_lines() const {
   }
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const SweepOutcome& c = cells[i];
+    const char* status =
+        c.skipped ? "skipped" : (!c.fail_reason.empty() ? "failed" : "ok");
     csv.row(c.config.solver, to_string(c.config.precon), c.config.halo_depth,
-            c.config.mesh_n, c.config.threads, ranks, steps,
-            c.skipped ? "skipped" : "ok", c.converged ? 1 : 0, c.iterations,
-            c.inner_steps, c.spmv, c.reductions, c.exchanges, c.messages,
-            c.message_bytes, fmt_double(c.final_norm),
-            fmt_double(c.solve_seconds), fmt_double(c.comm_seconds),
-            fmt_double(speedup[i]), rank_of[i]);
+            c.config.mesh_n, c.config.threads, c.config.fused ? 1 : 0, ranks,
+            steps, status, c.converged ? 1 : 0, c.iterations, c.inner_steps,
+            c.spmv, c.reductions, c.exchanges, c.messages, c.message_bytes,
+            fmt_double(c.final_norm), fmt_double(c.solve_seconds),
+            fmt_double(c.comm_seconds), fmt_double(speedup[i]), rank_of[i]);
   }
   return csv.lines();
 }
@@ -381,20 +406,24 @@ SweepReport SweepReport::from_csv_lines(
     out.config.halo_depth = csv_int(f[2], "halo_depth");
     out.config.mesh_n = csv_int(f[3], "mesh");
     out.config.threads = csv_int(f[4], "threads");
-    report.ranks = csv_int(f[5], "sweep_ranks");
-    report.steps = csv_int(f[6], "sweep_steps");
-    out.skipped = f[7] == "skipped";
-    out.converged = csv_int(f[8], "converged") != 0;
-    out.iterations = csv_int(f[9], "iterations");
-    out.inner_steps = csv_ll(f[10], "inner_steps");
-    out.spmv = csv_ll(f[11], "spmv");
-    out.reductions = csv_ll(f[12], "reductions");
-    out.exchanges = csv_ll(f[13], "exchanges");
-    out.messages = csv_ll(f[14], "messages");
-    out.message_bytes = csv_ll(f[15], "message_bytes");
-    out.final_norm = csv_double(f[16], "final_norm");
-    out.solve_seconds = csv_double(f[17], "solve_seconds");
-    out.comm_seconds = csv_double(f[18], "comm_seconds");
+    out.config.fused = csv_int(f[5], "fused") != 0;
+    report.ranks = csv_int(f[6], "sweep_ranks");
+    report.steps = csv_int(f[7], "sweep_steps");
+    out.skipped = f[8] == "skipped";
+    // The CSV form reduces fail_reason to the status keyword (free-text
+    // reasons may contain commas); JSON carries the full text.
+    if (f[8] == "failed") out.fail_reason = "failed";
+    out.converged = csv_int(f[9], "converged") != 0;
+    out.iterations = csv_int(f[10], "iterations");
+    out.inner_steps = csv_ll(f[11], "inner_steps");
+    out.spmv = csv_ll(f[12], "spmv");
+    out.reductions = csv_ll(f[13], "reductions");
+    out.exchanges = csv_ll(f[14], "exchanges");
+    out.messages = csv_ll(f[15], "messages");
+    out.message_bytes = csv_ll(f[16], "message_bytes");
+    out.final_norm = csv_double(f[17], "final_norm");
+    out.solve_seconds = csv_double(f[18], "solve_seconds");
+    out.comm_seconds = csv_double(f[19], "comm_seconds");
     // The last two columns (speedup, rank) are derived; recomputed on
     // demand from the parsed cells.
     report.cells.push_back(std::move(out));
@@ -416,8 +445,10 @@ io::JsonValue SweepReport::to_json() const {
     cell.set("halo_depth", c.config.halo_depth);
     cell.set("mesh", c.config.mesh_n);
     cell.set("threads", c.config.threads);
+    cell.set("fused", c.config.fused);
     cell.set("skipped", c.skipped);
     if (c.skipped) cell.set("skip_reason", c.skip_reason);
+    if (!c.fail_reason.empty()) cell.set("fail_reason", c.fail_reason);
     cell.set("converged", c.converged);
     cell.set("iterations", c.iterations);
     cell.set("inner_steps", c.inner_steps);
@@ -461,9 +492,15 @@ SweepReport SweepReport::from_json(const io::JsonValue& doc) {
     out.config.halo_depth = static_cast<int>(cell.at("halo_depth").as_number());
     out.config.mesh_n = static_cast<int>(cell.at("mesh").as_number());
     out.config.threads = static_cast<int>(cell.at("threads").as_number());
+    if (cell.contains("fused")) {
+      out.config.fused = cell.at("fused").as_bool();
+    }
     out.skipped = cell.at("skipped").as_bool();
     if (cell.contains("skip_reason")) {
       out.skip_reason = cell.at("skip_reason").as_string();
+    }
+    if (cell.contains("fail_reason")) {
+      out.fail_reason = cell.at("fail_reason").as_string();
     }
     out.converged = cell.at("converged").as_bool();
     out.iterations = static_cast<int>(cell.at("iterations").as_number());

@@ -16,8 +16,10 @@ struct SweepCase {
   int halo_depth = 1;  ///< matrix-powers depth (PPCG)
   int mesh_n = 0;      ///< square mesh edge of this run
   int threads = 0;     ///< worker threads (0 = runtime default)
+  bool fused = false;  ///< run through the fused kernel execution engine
 
-  /// Compact identifier, e.g. "ppcg/jac_diag/d4/n64/t2".
+  /// Compact identifier, e.g. "ppcg/jac_diag/d4/n64/t2" (fused cells
+  /// carry a trailing "/fused").
   [[nodiscard]] std::string label() const;
 };
 
@@ -30,6 +32,13 @@ struct SweepOutcome {
   /// keeping the cross-product complete in the result table.
   bool skipped = false;
   std::string skip_reason;
+
+  /// Non-empty when the run failed mid-solve (numerical breakdown or a
+  /// thrown solver error): the row is recorded as failed — converged
+  /// stays false — and the sweep continues with the next cell instead of
+  /// aborting the cross-product.  Like skip_reason, carried by the JSON
+  /// form only (the CSV status column reduces it to "failed").
+  std::string fail_reason;
 
   bool converged = false;
   int iterations = 0;            ///< outer iterations over all steps

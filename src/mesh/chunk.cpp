@@ -7,6 +7,9 @@ Chunk2D::Chunk2D(const ChunkExtent& extent, const GlobalMesh2D& mesh,
     : extent_(extent), mesh_(mesh), halo_depth_(halo_depth) {
   TEA_REQUIRE(extent.nx > 0 && extent.ny > 0, "chunk must own cells");
   TEA_REQUIRE(halo_depth >= 1, "solvers need at least one halo layer");
+  // The zero-fill below is the first touch of every field's pages: run
+  // this constructor on the thread that owns the rank (see the parallel
+  // construction in SimCluster2D) and the fields are NUMA-local to it.
   for (auto& f : fields_) {
     f = Field2D<double>(extent.nx, extent.ny, halo_depth, 0.0);
   }

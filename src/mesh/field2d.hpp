@@ -16,6 +16,14 @@ namespace tealeaf {
 /// (0,0) is the first owned (interior) cell.  Storage is row-major with k
 /// as the slow axis, so inner loops over j are unit-stride — the layout
 /// the stencil kernels vectorize over.
+///
+/// NUMA placement: the constructor's zero-fill is the first touch of the
+/// backing pages, so whichever thread constructs the field determines the
+/// NUMA node its pages land on.  SimCluster2D exploits this by
+/// constructing chunks inside a worksharing loop with the same
+/// rank→thread mapping the kernels use — construct fields on the thread
+/// that will process them (first-touch placement), never on a serial
+/// setup thread.
 template <class T = double>
 class Field2D {
  public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "mesh/chunk.hpp"
 #include "util/error.hpp"
@@ -57,6 +58,8 @@ class ScalingModel::Cost {
     const Decomposition2D decomp = Decomposition2D::create(ranks_, mesh);
     cnx_ = decomp.max_chunk_nx();
     cny_ = decomp.max_chunk_ny();
+    px_ = decomp.px();
+    py_ = decomp.py();
 
     const double cells_per_node =
         static_cast<double>(cnx_) * cny_ * spec.ranks_per_node;
@@ -78,11 +81,20 @@ class ScalingModel::Cost {
   }
 
   /// One halo exchange of `nfields` fields at `depth` (two phases).
+  /// Models the critical-path rank: an interior rank when the process
+  /// grid has one, else the boundary rank.  y rows carry only the corner
+  /// columns that hold neighbour data (consistent with SimCluster2D's
+  /// accounting): px >= 3 gives both corners, px == 2 one, px == 1 none —
+  /// and a phase with no neighbours along its axis costs nothing.
   void exchange(int depth, int nfields) {
     const double bx = static_cast<double>(depth) * cny_ * 8.0 * nfields;
-    const double by =
-        static_cast<double>(depth) * (cnx_ + 2.0 * depth) * 8.0 * nfields;
-    for (const double bytes : {bx, by}) {
+    const int xcorners = std::min(px_ - 1, 2);
+    const double by = static_cast<double>(depth) *
+                      (cnx_ + static_cast<double>(xcorners) * depth) * 8.0 *
+                      nfields;
+    for (const auto& [active, bytes] :
+         {std::pair{px_ > 1, bx}, std::pair{py_ > 1, by}}) {
+      if (!active) continue;
       // Pack + unpack both directions through node memory.
       seconds_ += 4.0 * bytes / rank_bw_;
       if (spec_.is_gpu) {
@@ -124,6 +136,8 @@ class ScalingModel::Cost {
   int ranks_ = 1;
   int cnx_ = 1;
   int cny_ = 1;
+  int px_ = 1;
+  int py_ = 1;
   double rank_bw_ = 1.0;
   double seconds_ = 0.0;
 };

@@ -46,12 +46,17 @@ CommCounts exchange_counts(const Decomposition2D& decomp, int depth,
       cc.message_bytes += static_cast<std::int64_t>(depth) * e.ny * nfields *
                           static_cast<std::int64_t>(sizeof(double));
     }
+    // y rows carry only the corner columns that hold neighbour data: a
+    // rank at a physical left/right boundary sends shorter rows (matches
+    // SimCluster2D::exchange_y_rank / account_exchange).
+    const int xcorners = (decomp.neighbor(r, Face::kLeft) >= 0 ? 1 : 0) +
+                         (decomp.neighbor(r, Face::kRight) >= 0 ? 1 : 0);
     for (const Face face : {Face::kBottom, Face::kTop}) {
       if (decomp.neighbor(r, face) < 0) continue;
       ++cc.messages;
       cc.message_bytes += static_cast<std::int64_t>(depth) *
-                          (e.nx + 2LL * depth) * nfields *
-                          static_cast<std::int64_t>(sizeof(double));
+                          (e.nx + static_cast<std::int64_t>(xcorners) * depth) *
+                          nfields * static_cast<std::int64_t>(sizeof(double));
     }
   }
   return cc;

@@ -248,4 +248,123 @@ void cheby_fused_update(Chunk2D& c, FieldId res_id, FieldId dir_id,
   }
 }
 
+double calc_ur_dot(Chunk2D& c, double alpha, PreconType precon) {
+  auto& u = c.u();
+  auto& r = c.r();
+  const auto& p = c.p();
+  const auto& w = c.w();
+  double acc = 0.0;
+  switch (precon) {
+    case PreconType::kNone: {
+      for (int k = 0; k < c.ny(); ++k) {
+        for (int j = 0; j < c.nx(); ++j) {
+          u(j, k) += alpha * p(j, k);
+          const double rv = r(j, k) - alpha * w(j, k);
+          r(j, k) = rv;
+          acc += rv * rv;
+        }
+      }
+      return acc;
+    }
+    case PreconType::kJacobiDiag: {
+      auto& z = c.z();
+      for (int k = 0; k < c.ny(); ++k) {
+        for (int j = 0; j < c.nx(); ++j) {
+          u(j, k) += alpha * p(j, k);
+          const double rv = r(j, k) - alpha * w(j, k);
+          r(j, k) = rv;
+          const double zv = rv / diag_at(c, j, k);
+          z(j, k) = zv;
+          acc += rv * zv;
+        }
+      }
+      return acc;
+    }
+    case PreconType::kJacobiBlock: {
+      // The strip solve couples cells along k; the u/r update still fuses
+      // and the ⟨r,z⟩ accumulation folds into one pass after the solve.
+      cg_calc_ur(c, alpha);
+      block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+      return dot(c, FieldId::kR, FieldId::kZ);
+    }
+  }
+  TEA_ASSERT(false, "invalid preconditioner type");
+}
+
+void cheby_step(Chunk2D& c, FieldId res_id, FieldId dir_id, FieldId acc_id,
+                double alpha, double beta, bool diag_precon,
+                const Bounds& b) {
+  auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  auto& acc = c.field(acc_id);
+  auto& w = c.w();
+  const auto update_row = [&](int k) {
+    for (int j = b.jlo; j < b.jhi; ++j) {
+      res(j, k) -= w(j, k);
+      const double m_inv = diag_precon ? 1.0 / diag_at(c, j, k) : 1.0;
+      dir(j, k) = alpha * dir(j, k) + beta * m_inv * res(j, k);
+      acc(j, k) += dir(j, k);
+    }
+  };
+  // Row-lagged fusion: the stencil of row k reads dir rows k-1..k+1, so
+  // row k-1 may be updated as soon as w row k is in place — dir values
+  // feeding every stencil are pristine, as in the two-pass form.
+  for (int k = b.klo; k < b.khi; ++k) {
+    for (int j = b.jlo; j < b.jhi; ++j) {
+      w(j, k) = apply_stencil(c, dir, j, k);
+    }
+    if (k > b.klo) update_row(k - 1);
+  }
+  if (b.khi > b.klo) update_row(b.khi - 1);
+}
+
+void cg_chrono_update(Chunk2D& c, double alpha, double beta,
+                      PreconType precon) {
+  auto& u = c.u();
+  auto& r = c.r();
+  auto& p = c.p();
+  auto& sd = c.sd();
+  auto& z = c.z();
+  const auto& w = c.w();
+  const bool diag = (precon == PreconType::kJacobiDiag);
+  const bool local = (precon != PreconType::kJacobiBlock);
+  for (int k = 0; k < c.ny(); ++k) {
+    for (int j = 0; j < c.nx(); ++j) {
+      const double pv = z(j, k) + beta * p(j, k);
+      p(j, k) = pv;
+      const double sv = w(j, k) + beta * sd(j, k);
+      sd(j, k) = sv;
+      u(j, k) += alpha * pv;
+      r(j, k) -= alpha * sv;
+      if (local) {
+        z(j, k) = diag ? r(j, k) / diag_at(c, j, k) : r(j, k);
+      }
+    }
+  }
+  if (!local) block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+}
+
+std::pair<double, double> smvp_dot2(Chunk2D& c, FieldId src_id,
+                                    FieldId dst_id, FieldId other_id,
+                                    const Bounds& b) {
+  const auto& src = c.field(src_id);
+  const auto& other = c.field(other_id);
+  auto& dst = c.field(dst_id);
+  const Bounds in = interior_bounds(c);
+  double dot_other = 0.0;
+  double dot_dst = 0.0;
+  for (int k = b.klo; k < b.khi; ++k) {
+    const bool k_in = (k >= in.klo && k < in.khi);
+    for (int j = b.jlo; j < b.jhi; ++j) {
+      const double w = apply_stencil(c, src, j, k);
+      dst(j, k) = w;
+      if (k_in && j >= in.jlo && j < in.jhi) {
+        dot_other += other(j, k) * src(j, k);
+        dot_dst += w * src(j, k);
+      }
+    }
+  }
+  return {dot_other, dot_dst};
+}
+
 }  // namespace tealeaf::kernels

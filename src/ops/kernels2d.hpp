@@ -1,7 +1,10 @@
 #pragma once
 
+#include <utility>
+
 #include "mesh/chunk.hpp"
 #include "ops/bounds.hpp"
+#include "precon/preconditioner.hpp"
 
 /// Matrix-free computational kernels for the 2-D heat-conduction system,
 /// a C++ port of upstream TeaLeaf's `tea_leaf_*_kernel` routines and of
@@ -117,5 +120,48 @@ void cheby_init_dir(Chunk2D& c, FieldId res, FieldId dir, double theta,
 void cheby_fused_update(Chunk2D& c, FieldId res, FieldId dir, FieldId acc,
                         double alpha, double beta, bool diag_precon,
                         const Bounds& bounds);
+
+// ---- fused single-pass kernels (the fused execution engine) -------------
+// Each kernel below collapses a sequence of the sweeps above into one pass
+// over the fields, cell-for-cell in the same evaluation and accumulation
+// order — results are bitwise identical to the unfused composition, so the
+// sweep engine can A/B the two execution modes on speed alone.
+
+/// Fused CG update + preconditioner apply + ⟨r,z⟩ in ONE pass over the
+/// interior (unfused: cg_calc_ur, apply_preconditioner, dot — three
+/// sweeps):  u += α·p;  r −= α·w;  z = M⁻¹·r;  returns Σ r·z.
+/// kNone skips the z write and returns Σ r·r (z is never read in that
+/// mode); block-Jacobi keeps its strip solve as a separate pass because
+/// the strips couple cells vertically.
+[[nodiscard]] double calc_ur_dot(Chunk2D& c, double alpha, PreconType precon);
+
+/// Fused Chebyshev recurrence step in ONE row-lagged pass over `bounds`
+/// (unfused: smvp + cheby_fused_update — two sweeps):
+///   w = A·dir;  res −= w;  dir = α·dir + β·M⁻¹·res;  acc += dir.
+/// The stencil row k reads dir rows k−1..k+1, so the update of row k−1 is
+/// lagged one row behind the stencil sweep; dir values feeding every
+/// stencil are the pristine pre-update values, exactly as in the unfused
+/// two-pass form.  Only local preconditioners (identity/diagonal) fuse.
+void cheby_step(Chunk2D& c, FieldId res, FieldId dir, FieldId acc,
+                double alpha, double beta, bool diag_precon,
+                const Bounds& bounds);
+
+/// Fused Chronopoulos-Gear CG step, vector half: ONE pass doing the tail
+/// of iteration i−1 and the head of iteration i (unfused: two xpby, two
+/// axpy and a preconditioner sweep — five):
+///   p = z + β·p;  s(=sd) = w + β·s;  u += α·p;  r −= α·s;  z = M⁻¹·r.
+/// β = 0 reproduces the bootstrap (p = z, s = w).  Block-Jacobi applies
+/// its strip solve as a separate pass after the pointwise update.
+void cg_chrono_update(Chunk2D& c, double alpha, double beta,
+                      PreconType precon);
+
+/// Fused Chronopoulos-Gear CG step, operator half: dst = A·src over
+/// `bounds` with both dot products of the iteration folded into the same
+/// pass.  Returns (Σ other·src, Σ dst·src) over the interior — for
+/// src = z, dst = w, other = r this is (⟨r,z⟩, ⟨w,z⟩), the pair that
+/// travels in the single fused allreduce.
+[[nodiscard]] std::pair<double, double> smvp_dot2(Chunk2D& c, FieldId src,
+                                                  FieldId dst, FieldId other,
+                                                  const Bounds& bounds);
 
 }  // namespace tealeaf::kernels

@@ -9,6 +9,13 @@
 
 namespace tealeaf {
 
+namespace {
+
+constexpr const char* kPwBreakdown =
+    "CG breakdown: ⟨p, A·p⟩ <= 0 (operator not SPD?)";
+
+}  // namespace
+
 double cg_setup(SimCluster2D& cl, PreconType precon) {
   cl.exchange({FieldId::kU}, 1);
   if (precon == PreconType::kNone) {
@@ -31,13 +38,22 @@ double cg_setup(SimCluster2D& cl, PreconType precon) {
 }
 
 double cg_iteration(SimCluster2D& cl, PreconType precon, double rro,
-                    CGRecurrence* rec) {
+                    CGRecurrence* rec, bool* breakdown) {
   cl.exchange({FieldId::kP}, 1);
   const double pw = cl.sum_over_chunks([](int, Chunk2D& c) {
     return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
                              interior_bounds(c));
   });
-  TEA_REQUIRE(pw > 0.0, "CG breakdown: ⟨p, A·p⟩ <= 0 (operator not SPD?)");
+  if (!(pw > 0.0)) {
+    // Numerical breakdown (pw <= 0 or NaN).  Callers running inside a
+    // sweep pass a flag and record the failure; direct library use keeps
+    // the loud contract-violation behaviour.
+    if (breakdown != nullptr) {
+      *breakdown = true;
+      return rro;
+    }
+    TEA_REQUIRE(pw > 0.0, kPwBreakdown);
+  }
   const double alpha = rro / pw;
 
   double rrn;
@@ -117,7 +133,13 @@ SolveStats CGSolver::solve_fused(SimCluster2D& cl,
     kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
     kernels::copy(c, FieldId::kSd, FieldId::kW, interior_bounds(c));
   });
-  TEA_REQUIRE(delta > 0.0, "fused CG breakdown: ⟨A·z, z⟩ <= 0");
+  if (!(delta > 0.0)) {
+    st.breakdown = true;
+    st.breakdown_reason = "fused CG breakdown: ⟨A·z, z⟩ <= 0";
+    st.final_norm = st.initial_norm;
+    st.solve_seconds = timer.elapsed_s();
+    return st;
+  }
   double alpha = gamma / delta;
 
   while (st.outer_iters < cfg.max_iters) {
@@ -137,7 +159,12 @@ SolveStats CGSolver::solve_fused(SimCluster2D& cl,
     }
     const double beta = gamma_new / gamma;
     alpha = gamma_new / (delta_new - beta * gamma_new / alpha);
-    TEA_REQUIRE(std::isfinite(alpha), "fused CG recurrence breakdown");
+    if (!std::isfinite(alpha)) {
+      st.breakdown = true;
+      st.breakdown_reason = "fused CG recurrence breakdown";
+      gamma = gamma_new;
+      break;
+    }
     // p = z + β·p, s = w + β·s.
     cl.for_each_chunk([&](int, Chunk2D& c) {
       const Bounds in = interior_bounds(c);
@@ -151,9 +178,165 @@ SolveStats CGSolver::solve_fused(SimCluster2D& cl,
   return st;
 }
 
+SolveStats CGSolver::solve_chrono_fused_kernels(SimCluster2D& cl,
+                                                const SolverConfig& cfg) {
+  // The fused-execution-engine form of the Chronopoulos-Gear recurrence:
+  // one hoisted parallel region per iteration containing the single-pass
+  // vector update (cg_chrono_update), the team-aware z exchange and the
+  // operator apply with both dot products folded in (smvp_dot2).
+  // Arithmetic is bitwise identical to solve_fused.
+  Timer timer;
+  SolveStats st;
+
+  cl.exchange({FieldId::kU}, 1);
+  cl.for_each_chunk([&](int, Chunk2D& c) {
+    kernels::calc_residual(c);
+    if (cfg.precon == PreconType::kJacobiBlock) kernels::block_jacobi_init(c);
+  });
+  double gamma = 0.0;
+  double delta = 0.0;
+  parallel_region([&](Team& t) {
+    cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
+      kernels::apply_preconditioner(c, cfg.precon, FieldId::kR, FieldId::kZ);
+    });
+    cl.exchange(&t, {FieldId::kZ}, 1);
+    const auto gd = cl.sum2_over_chunks(&t, [](int, Chunk2D& c) {
+      return kernels::smvp_dot2(c, FieldId::kZ, FieldId::kW, FieldId::kR,
+                                interior_bounds(c));
+    });
+    t.single([&] {
+      gamma = gd.first;
+      delta = gd.second;
+    });
+  });
+  ++st.spmv_applies;
+  st.initial_norm = std::sqrt(std::fabs(gamma));
+  if (st.initial_norm == 0.0) {
+    st.converged = true;
+    st.solve_seconds = timer.elapsed_s();
+    return st;
+  }
+  const double target = cfg.eps * st.initial_norm;
+  if (!(delta > 0.0)) {
+    st.breakdown = true;
+    st.breakdown_reason = "fused CG breakdown: ⟨A·z, z⟩ <= 0";
+    st.final_norm = st.initial_norm;
+    st.solve_seconds = timer.elapsed_s();
+    return st;
+  }
+  double alpha = gamma / delta;
+  double beta = 0.0;  // first step: p = z, s = w
+
+  while (st.outer_iters < cfg.max_iters) {
+    double gamma_new = 0.0;
+    double delta_new = 0.0;
+    parallel_region([&](Team& t) {
+      cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
+        kernels::cg_chrono_update(c, alpha, beta, cfg.precon);
+      });
+      cl.exchange(&t, {FieldId::kZ}, 1);
+      const auto gd = cl.sum2_over_chunks(&t, [](int, Chunk2D& c) {
+        return kernels::smvp_dot2(c, FieldId::kZ, FieldId::kW, FieldId::kR,
+                                  interior_bounds(c));
+      });
+      t.single([&] {
+        gamma_new = gd.first;
+        delta_new = gd.second;
+      });
+    });
+    ++st.spmv_applies;
+    ++st.outer_iters;
+    if (std::sqrt(std::fabs(gamma_new)) <= target) {
+      st.converged = true;
+      gamma = gamma_new;
+      break;
+    }
+    beta = gamma_new / gamma;
+    alpha = gamma_new / (delta_new - beta * gamma_new / alpha);
+    if (!std::isfinite(alpha)) {
+      st.breakdown = true;
+      st.breakdown_reason = "fused CG recurrence breakdown";
+      gamma = gamma_new;
+      break;
+    }
+    gamma = gamma_new;
+  }
+  st.final_norm = std::sqrt(std::fabs(gamma));
+  st.solve_seconds = timer.elapsed_s();
+  return st;
+}
+
+SolveStats CGSolver::solve_classic_fused_kernels(SimCluster2D& cl,
+                                                 const SolverConfig& cfg) {
+  // Classic CG through the fused execution engine: the ~6 parallel
+  // regions per iteration (exchange phases, smvp+dot, update sweeps,
+  // direction update) collapse into ONE, and the update/precondition/dot
+  // triple runs as the single-pass calc_ur_dot kernel.
+  Timer timer;
+  SolveStats st;
+
+  double rro = cg_setup(cl, cfg.precon);
+  ++st.spmv_applies;
+  st.initial_norm = std::sqrt(std::fabs(rro));
+  if (st.initial_norm == 0.0) {
+    st.converged = true;
+    st.solve_seconds = timer.elapsed_s();
+    return st;
+  }
+  const double target = cfg.eps * st.initial_norm;
+
+  double rrn = rro;
+  while (st.outer_iters < cfg.max_iters) {
+    double pw_out = 0.0;
+    double rrn_out = 0.0;
+    parallel_region([&](Team& t) {
+      cl.exchange(&t, {FieldId::kP}, 1);
+      const double pw = cl.sum_over_chunks(&t, [](int, Chunk2D& c) {
+        return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
+                                 interior_bounds(c));
+      });
+      t.single([&] { pw_out = pw; });
+      // Every thread computed the same rank-ordered sum, so the breakdown
+      // branch is uniform across the team.
+      if (!(pw > 0.0)) return;
+      const double alpha = rro / pw;
+      const double rrn_t = cl.sum_over_chunks(&t, [&](int, Chunk2D& c) {
+        return kernels::calc_ur_dot(c, alpha, cfg.precon);
+      });
+      const double beta = rrn_t / rro;
+      const FieldId zsrc =
+          (cfg.precon == PreconType::kNone) ? FieldId::kR : FieldId::kZ;
+      cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
+        kernels::xpby(c, FieldId::kP, zsrc, beta, interior_bounds(c));
+      });
+      t.single([&] { rrn_out = rrn_t; });
+    });
+    ++st.spmv_applies;
+    if (!(pw_out > 0.0)) {
+      st.breakdown = true;
+      st.breakdown_reason = kPwBreakdown;
+      break;
+    }
+    rrn = rrn_out;
+    rro = rrn;
+    ++st.outer_iters;
+    if (std::sqrt(std::fabs(rrn)) <= target) {
+      st.converged = true;
+      break;
+    }
+  }
+  st.final_norm = std::sqrt(std::fabs(rrn));
+  st.solve_seconds = timer.elapsed_s();
+  return st;
+}
+
 SolveStats CGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
   cfg.validate();
-  if (cfg.fuse_cg_reductions) return solve_fused(cl, cfg);
+  if (cfg.fuse_cg_reductions) {
+    return cfg.fuse_kernels ? solve_chrono_fused_kernels(cl, cfg)
+                            : solve_fused(cl, cfg);
+  }
+  if (cfg.fuse_kernels) return solve_classic_fused_kernels(cl, cfg);
   Timer timer;
   SolveStats st;
 
@@ -170,10 +353,16 @@ SolveStats CGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
 
   double rrn = rro;
   while (st.outer_iters < cfg.max_iters) {
-    rrn = cg_iteration(cl, cfg.precon, rro, nullptr);
+    bool broke = false;
+    rrn = cg_iteration(cl, cfg.precon, rro, nullptr, &broke);
+    ++st.spmv_applies;
+    if (broke) {
+      st.breakdown = true;
+      st.breakdown_reason = kPwBreakdown;
+      break;
+    }
     rro = rrn;
     ++st.outer_iters;
-    ++st.spmv_applies;
     if (std::sqrt(std::fabs(rrn)) <= target) {
       st.converged = true;
       break;

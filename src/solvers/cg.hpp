@@ -18,8 +18,13 @@ double cg_setup(SimCluster2D& cl, PreconType precon);
 ///   u += α·p; r −= α·w; z = M⁻¹r; rrn = ⟨r,z⟩;  β = rrn/rro;  p = z + β·p
 /// Two global reductions.  Appends (α, β) to `rec` when non-null (used by
 /// the Chebyshev/PPCG eigenvalue presteps).  Returns rrn.
+///
+/// A numerical breakdown (⟨p, A·p⟩ <= 0 or NaN) is reported through
+/// `breakdown` when supplied — the iteration leaves u/r untouched and
+/// returns rro — so sweep-driven solves can record the failure and
+/// continue; with breakdown == nullptr it throws TeaError instead.
 double cg_iteration(SimCluster2D& cl, PreconType precon, double rro,
-                    CGRecurrence* rec);
+                    CGRecurrence* rec, bool* breakdown = nullptr);
 
 /// The standard conjugate-gradient solver (paper §III-A): the baseline
 /// whose strong-scaling is limited by the two global dot products per
@@ -30,10 +35,17 @@ class CGSolver {
   /// declared when √|⟨r,M⁻¹r⟩| falls below eps × its initial value.
   /// With cfg.fuse_cg_reductions the Chronopoulos-Gear recurrence is
   /// used instead: one fused allreduce per iteration (paper §VII).
+  /// With cfg.fuse_kernels either recurrence runs through the fused
+  /// execution engine — one hoisted parallel region and single-pass
+  /// kernels per iteration — with bitwise-identical numerics.
   static SolveStats solve(SimCluster2D& cl, const SolverConfig& cfg);
 
  private:
   static SolveStats solve_fused(SimCluster2D& cl, const SolverConfig& cfg);
+  static SolveStats solve_chrono_fused_kernels(SimCluster2D& cl,
+                                               const SolverConfig& cfg);
+  static SolveStats solve_classic_fused_kernels(SimCluster2D& cl,
+                                                const SolverConfig& cfg);
 };
 
 }  // namespace tealeaf

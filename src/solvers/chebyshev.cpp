@@ -51,6 +51,37 @@ void cheby_iteration(SimCluster2D& cl, PreconType precon, double alpha,
   });
 }
 
+/// The same iteration through the fused execution engine: one hoisted
+/// region containing the team exchange, the single-pass cheby_step (or
+/// the block-Jacobi composition) and — on check iterations — the team
+/// ‖r‖² reduction.  Returns the reduced norm² via `rr_out` when
+/// `check` is set.  Bitwise identical to cheby_iteration.
+void cheby_iteration_fused(SimCluster2D& cl, PreconType precon, double alpha,
+                           double beta, bool check, double* rr_out) {
+  parallel_region([&](Team& t) {
+    cl.exchange(&t, {FieldId::kP}, 1);
+    cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
+      const Bounds in = interior_bounds(c);
+      if (precon == PreconType::kJacobiBlock) {
+        kernels::smvp(c, FieldId::kP, FieldId::kW, in);
+        kernels::axpy(c, FieldId::kR, -1.0, FieldId::kW, in);
+        kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+        kernels::axpby(c, FieldId::kP, alpha, beta, FieldId::kZ, in);
+        kernels::axpy(c, FieldId::kU, 1.0, FieldId::kP, in);
+      } else {
+        kernels::cheby_step(c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
+                            beta, precon == PreconType::kJacobiDiag, in);
+      }
+    });
+    if (check) {
+      const double rr = cl.sum_over_chunks(&t, [](int, const Chunk2D& c) {
+        return kernels::norm2_sq(c, FieldId::kR);
+      });
+      t.single([&] { *rr_out = rr; });
+    }
+  });
+}
+
 }  // namespace
 
 SolveStats ChebyshevSolver::solve(SimCluster2D& cl,
@@ -79,8 +110,17 @@ SolveStats ChebyshevSolver::solve(SimCluster2D& cl,
   const double cg_target = cfg.eps * st.initial_norm;
   for (int i = 0; i < cfg.eigen_cg_iters && st.outer_iters + i < cfg.max_iters;
        ++i) {
-    rro = cg_iteration(cl, cfg.precon, rro, &rec);
+    bool broke = false;
+    rro = cg_iteration(cl, cfg.precon, rro, &rec, &broke);
     ++st.spmv_applies;
+    if (broke) {
+      st.breakdown = true;
+      st.breakdown_reason = "Chebyshev prestep breakdown: ⟨p, A·p⟩ <= 0";
+      st.outer_iters = st.eigen_cg_iters;
+      st.final_norm = std::sqrt(std::fabs(rro));
+      st.solve_seconds = timer.elapsed_s();
+      return st;
+    }
     ++st.eigen_cg_iters;
     if (std::sqrt(std::fabs(rro)) <= cg_target) {
       // Converged before Chebyshev even started.
@@ -104,17 +144,23 @@ SolveStats ChebyshevSolver::solve(SimCluster2D& cl,
   int step = 0;
   double rr = bb_rr;
   while (st.eigen_cg_iters + step < cfg.max_iters) {
-    cheby_iteration(cl, cfg.precon, cc.alphas[step], cc.betas[step]);
+    const bool check = (step + 1) % cfg.cheby_check_interval == 0;
+    if (cfg.fuse_kernels) {
+      cheby_iteration_fused(cl, cfg.precon, cc.alphas[step], cc.betas[step],
+                            check, &rr);
+    } else {
+      cheby_iteration(cl, cfg.precon, cc.alphas[step], cc.betas[step]);
+      if (check) {
+        rr = cl.sum_over_chunks([](int, const Chunk2D& c) {
+          return kernels::norm2_sq(c, FieldId::kR);
+        });
+      }
+    }
     ++step;
     ++st.spmv_applies;
-    if (step % cfg.cheby_check_interval == 0) {
-      rr = cl.sum_over_chunks([](int, const Chunk2D& c) {
-        return kernels::norm2_sq(c, FieldId::kR);
-      });
-      if (std::sqrt(rr) <= target_rr) {
-        st.converged = true;
-        break;
-      }
+    if (check && std::sqrt(rr) <= target_rr) {
+      st.converged = true;
+      break;
     }
   }
   st.outer_iters = st.eigen_cg_iters + step;

@@ -14,9 +14,23 @@ SolveStats JacobiSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
 
   double initial_err = 0.0;
   while (st.outer_iters < cfg.max_iters) {
-    cl.exchange({FieldId::kU}, 1);
-    const double err = cl.sum_over_chunks(
-        [](int, Chunk2D& c) { return kernels::jacobi_iterate(c); });
+    double err;
+    if (cfg.fuse_kernels) {
+      // Fused execution engine: ONE hoisted region per sweep (exchange,
+      // worksharing sweep and error reduction inside) instead of four.
+      double err_out = 0.0;
+      parallel_region([&](Team& t) {
+        cl.exchange(&t, {FieldId::kU}, 1);
+        const double e = cl.sum_over_chunks(
+            &t, [](int, Chunk2D& c) { return kernels::jacobi_iterate(c); });
+        t.single([&] { err_out = e; });
+      });
+      err = err_out;
+    } else {
+      cl.exchange({FieldId::kU}, 1);
+      err = cl.sum_over_chunks(
+          [](int, Chunk2D& c) { return kernels::jacobi_iterate(c); });
+    }
     ++st.outer_iters;
     ++st.spmv_applies;  // one operator-equivalent sweep
     if (st.outer_iters == 1) {

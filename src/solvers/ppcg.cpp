@@ -11,11 +11,25 @@
 
 namespace tealeaf {
 
+namespace {
+
+constexpr const char* kPwBreakdown = "PPCG breakdown: ⟨p, A·p⟩ <= 0";
+constexpr const char* kRzBreakdown =
+    "PPCG breakdown: ⟨r, M⁻¹r⟩ <= 0 (indefinite polynomial preconditioner — "
+    "eigenvalue estimates too tight?)";
+
+}  // namespace
+
 void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
-                             const ChebyCoefs& cc, SolveStats* st) {
+                             const ChebyCoefs& cc, SolveStats* st,
+                             const Team* team) {
   const int d = cfg.halo_depth;
   const bool diag = (cfg.precon == PreconType::kJacobiDiag);
   const bool block = (cfg.precon == PreconType::kJacobiBlock);
+  // With a Team the caller has already hoisted the parallel region and
+  // enabled the fused kernels; without one this is the seed's unfused
+  // path, region-per-kernel.
+  const bool fused = (team != nullptr);
   TEA_ASSERT(!block || d == 1,
              "block-Jacobi with matrix powers rejected by validate()");
 
@@ -23,15 +37,16 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
   // powers the first extended sweep needs it valid through the overlap,
   // which costs one depth-d exchange; at depth 1 no exchange is needed
   // because the bootstrap touches only the interior.
-  cl.for_each_chunk([](int, Chunk2D& c) {
+  cl.for_each_chunk(team, [](int, Chunk2D& c) {
     kernels::copy(c, FieldId::kRtemp, FieldId::kR, interior_bounds(c));
   });
-  if (d > 1) cl.exchange({FieldId::kRtemp}, d);
+  if (d > 1) cl.exchange(team, {FieldId::kRtemp}, d);
 
   // Bootstrap (the degree-0 term): sd = M⁻¹·rtemp/θ, z = sd, computed on
   // bounds extended d-1 cells so the following sweeps can shrink.
   int ext = d - 1;
-  cl.for_each_chunk([&](int, Chunk2D& c) {
+  if (team != nullptr && d == 1) team->barrier();  // rtemp copy visible
+  cl.for_each_chunk(team, [&](int, Chunk2D& c) {
     const Bounds b = extended_bounds(c, ext);
     if (block) {
       kernels::block_jacobi_solve(c, FieldId::kRtemp, FieldId::kW);
@@ -50,24 +65,33 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
       // 1 only sd travels (rtemp's halo is never read); deeper powers
       // also need the inner residual through the overlap.
       if (d == 1) {
-        cl.exchange({FieldId::kSd}, 1);
+        cl.exchange(team, {FieldId::kSd}, 1);
       } else {
-        cl.exchange({FieldId::kSd, FieldId::kRtemp}, d);
+        cl.exchange(team, {FieldId::kSd, FieldId::kRtemp}, d);
       }
       ext = d;
+    } else if (team != nullptr) {
+      // No exchange this step: the redundant-overlap sweeps still read
+      // one cell beyond their own block, so order against the previous
+      // extended sweep explicitly.
+      team->barrier();
     }
     --ext;
     const double alpha = cc.alphas[static_cast<std::size_t>(step - 1)];
     const double beta = cc.betas[static_cast<std::size_t>(step - 1)];
-    cl.for_each_chunk([&](int, Chunk2D& c) {
+    cl.for_each_chunk(team, [&](int, Chunk2D& c) {
       const Bounds b = extended_bounds(c, ext);
-      kernels::smvp(c, FieldId::kSd, FieldId::kW, b);
       if (block) {
+        kernels::smvp(c, FieldId::kSd, FieldId::kW, b);
         kernels::axpy(c, FieldId::kRtemp, -1.0, FieldId::kW, b);
         kernels::block_jacobi_solve(c, FieldId::kRtemp, FieldId::kW);
         kernels::axpby(c, FieldId::kSd, alpha, beta, FieldId::kW, b);
         kernels::axpy(c, FieldId::kZ, 1.0, FieldId::kSd, b);
+      } else if (fused) {
+        kernels::cheby_step(c, FieldId::kRtemp, FieldId::kSd, FieldId::kZ,
+                            alpha, beta, diag, b);
       } else {
+        kernels::smvp(c, FieldId::kSd, FieldId::kW, b);
         kernels::cheby_fused_update(c, FieldId::kRtemp, FieldId::kSd,
                                     FieldId::kZ, alpha, beta, diag, b);
       }
@@ -96,18 +120,31 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
   }
   const double target = cfg.eps * st.initial_norm;
 
+  const auto finish = [&](double metric) {
+    st.outer_iters += st.eigen_cg_iters;
+    st.final_norm = std::sqrt(std::fabs(metric));
+    st.solve_seconds = timer.elapsed_s();
+    if (!st.converged && !st.breakdown) {
+      log::warn() << "PPCG hit max_iters with metric " << st.final_norm;
+    }
+    return st;
+  };
+
   // --- CG presteps: eigenvalue estimation (paper §III-D) ----------------
   CGRecurrence rec;
   for (int i = 0; i < cfg.eigen_cg_iters; ++i) {
-    rro = cg_iteration(cl, cfg.precon, rro, &rec);
+    bool broke = false;
+    rro = cg_iteration(cl, cfg.precon, rro, &rec, &broke);
     ++st.spmv_applies;
+    if (broke) {
+      st.breakdown = true;
+      st.breakdown_reason = kPwBreakdown;
+      return finish(rro);
+    }
     ++st.eigen_cg_iters;
     if (std::sqrt(std::fabs(rro)) <= target) {
-      st.outer_iters = st.eigen_cg_iters;
       st.converged = true;
-      st.final_norm = std::sqrt(std::fabs(rro));
-      st.solve_seconds = timer.elapsed_s();
-      return st;
+      return finish(rro);
     }
   }
   const EigenEstimate est =
@@ -117,50 +154,101 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
   const ChebyCoefs cc =
       chebyshev_coefficients(est.eigmin, est.eigmax, cfg.inner_steps);
 
+  // One body serves both execution engines: team == nullptr runs the
+  // seed's standalone collectives (region per kernel); with a Team the
+  // same sequence workshares inside the caller's single hoisted region.
+  // `publish` hands a team-reduced value out of the region via thread 0.
+  const auto publish = [](const Team* t, double& slot, double value) {
+    if (t == nullptr) {
+      slot = value;
+    } else {
+      t->single([&] { slot = value; });
+    }
+  };
+
   // --- restart the outer PCG with the polynomial preconditioner ---------
-  apply_inner(cl, cfg, cc, &st);
-  rro = cl.sum_over_chunks([](int, const Chunk2D& c) {
-    return kernels::dot(c, FieldId::kR, FieldId::kZ);
-  });
-  cl.for_each_chunk([](int, Chunk2D& c) {
-    kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
-  });
+  double rro_out = 0.0;
+  const auto restart_body = [&](const Team* t) {
+    apply_inner(cl, cfg, cc, nullptr, t);
+    const double v = cl.sum_over_chunks(t, [](int, const Chunk2D& c) {
+      return kernels::dot(c, FieldId::kR, FieldId::kZ);
+    });
+    cl.for_each_chunk(t, [](int, Chunk2D& c) {
+      kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
+    });
+    publish(t, rro_out, v);
+  };
+  if (cfg.fuse_kernels) {
+    parallel_region([&](Team& t) { restart_body(&t); });
+  } else {
+    restart_body(nullptr);
+  }
+  st.spmv_applies += cfg.inner_steps;
+  st.inner_steps += cfg.inner_steps;
+  rro = rro_out;
+  if (!(rro > 0.0)) {
+    st.breakdown = true;
+    st.breakdown_reason = kRzBreakdown;
+    return finish(rro);
+  }
 
   double rrn = rro;
   while (st.eigen_cg_iters + st.outer_iters < cfg.max_iters) {
-    cl.exchange({FieldId::kP}, 1);
-    const double pw = cl.sum_over_chunks([](int, Chunk2D& c) {
-      return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
-                               interior_bounds(c));
-    });
+    // With fuse_kernels this whole body is ONE hoisted region: p
+    // exchange, fused smvp+dot, u/r update, the inner Chebyshev
+    // application (including its matrix-powers exchanges) and both
+    // reductions.
+    double pw = 0.0;
+    double rrn_out = 0.0;
+    const auto iteration_body = [&](const Team* t) {
+      cl.exchange(t, {FieldId::kP}, 1);
+      const double pw_t = cl.sum_over_chunks(t, [](int, Chunk2D& c) {
+        return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
+                                 interior_bounds(c));
+      });
+      publish(t, pw, pw_t);
+      // Uniform branch: every thread reduced the same rank-ordered sum.
+      if (!(pw_t > 0.0)) return;
+      const double alpha = rro / pw_t;
+      cl.for_each_chunk(
+          t, [&](int, Chunk2D& c) { kernels::cg_calc_ur(c, alpha); });
+      apply_inner(cl, cfg, cc, nullptr, t);
+      const double rrn_t = cl.sum_over_chunks(t, [](int, const Chunk2D& c) {
+        return kernels::dot(c, FieldId::kR, FieldId::kZ);
+      });
+      const double beta = rrn_t / rro;
+      cl.for_each_chunk(t, [&](int, Chunk2D& c) {
+        kernels::xpby(c, FieldId::kP, FieldId::kZ, beta, interior_bounds(c));
+      });
+      publish(t, rrn_out, rrn_t);
+    };
+    if (cfg.fuse_kernels) {
+      parallel_region([&](Team& t) { iteration_body(&t); });
+    } else {
+      iteration_body(nullptr);
+    }
     ++st.spmv_applies;
-    TEA_REQUIRE(pw > 0.0, "PPCG breakdown: ⟨p, A·p⟩ <= 0");
-    const double alpha = rro / pw;
-    cl.for_each_chunk(
-        [&](int, Chunk2D& c) { kernels::cg_calc_ur(c, alpha); });
-
-    apply_inner(cl, cfg, cc, &st);
-    rrn = cl.sum_over_chunks([](int, const Chunk2D& c) {
-      return kernels::dot(c, FieldId::kR, FieldId::kZ);
-    });
-    const double beta = rrn / rro;
-    cl.for_each_chunk([&](int, Chunk2D& c) {
-      kernels::xpby(c, FieldId::kP, FieldId::kZ, beta, interior_bounds(c));
-    });
+    if (!(pw > 0.0)) {
+      st.breakdown = true;
+      st.breakdown_reason = kPwBreakdown;
+      return finish(rrn);
+    }
+    st.spmv_applies += cfg.inner_steps;
+    st.inner_steps += cfg.inner_steps;
+    rrn = rrn_out;
     rro = rrn;
     ++st.outer_iters;
     if (std::sqrt(std::fabs(rrn)) <= target) {
       st.converged = true;
       break;
     }
+    if (!(rrn > 0.0)) {
+      st.breakdown = true;
+      st.breakdown_reason = kRzBreakdown;
+      break;
+    }
   }
-  st.outer_iters += st.eigen_cg_iters;
-  st.final_norm = std::sqrt(std::fabs(rrn));
-  st.solve_seconds = timer.elapsed_s();
-  if (!st.converged) {
-    log::warn() << "PPCG hit max_iters with metric " << st.final_norm;
-  }
-  return st;
+  return finish(rrn);
 }
 
 }  // namespace tealeaf

@@ -26,8 +26,12 @@ class PPCGSolver {
   /// Apply the inner Chebyshev preconditioner: z = B(A)·r on every chunk.
   /// Exposed for tests (depth-equivalence and trace validation).
   /// Updates `spmv_applies`/`inner_steps` counters in `st` when non-null.
+  /// With a Team the application workshares inside the caller's hoisted
+  /// parallel region and uses the fused cheby_step kernel (bitwise
+  /// identical results); with nullptr it runs standalone and unfused.
   static void apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
-                          const ChebyCoefs& cc, SolveStats* st);
+                          const ChebyCoefs& cc, SolveStats* st,
+                          const Team* team = nullptr);
 };
 
 }  // namespace tealeaf

@@ -32,7 +32,7 @@ PreconType precon_type_from_string(const std::string& s) {
 std::size_t SweepSpec::num_cases() const {
   const std::size_t meshes = mesh_sizes.empty() ? 1 : mesh_sizes.size();
   return solvers.size() * precons.size() * halo_depths.size() * meshes *
-         thread_counts.size();
+         thread_counts.size() * fused.size();
 }
 
 void SweepSpec::validate() const {
@@ -50,6 +50,10 @@ void SweepSpec::validate() const {
   }
   for (const int t : thread_counts) {
     TEA_REQUIRE(t >= 0, "sweep: thread counts must be >= 0");
+  }
+  TEA_REQUIRE(!fused.empty(), "sweep: fused axis must be non-empty");
+  for (const int f : fused) {
+    TEA_REQUIRE(f == 0 || f == 1, "sweep: fused axis values must be 0 or 1");
   }
   TEA_REQUIRE(ranks >= 1, "sweep: need at least one simulated rank");
 }

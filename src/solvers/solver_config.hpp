@@ -56,6 +56,14 @@ struct SolverConfig {
   /// classic CG; off by default.
   bool fuse_cg_reductions = false;
 
+  /// Run the solver through the fused kernel execution engine: ONE
+  /// hoisted parallel region per iteration (worksharing loops, team
+  /// reductions and team-aware halo exchanges inside) and single-pass
+  /// fused kernels (Listing 1's smvp+dot generalised to the whole
+  /// iteration).  Numerically bitwise identical to the unfused path —
+  /// the sweep engine A/Bs the two modes as a pure-speed design axis.
+  bool fuse_kernels = false;
+
   /// Throws TeaError on inconsistent combinations, e.g. block-Jacobi with
   /// matrix-powers depth > 1 (the strips would need fresh whole-block
   /// data every inner step — paper §IV-C2 last paragraph).
@@ -75,6 +83,9 @@ struct SweepSpec {
   std::vector<int> halo_depths = {1};    ///< matrix-powers depth (PPCG)
   std::vector<int> mesh_sizes;           ///< empty = the base deck's mesh
   std::vector<int> thread_counts = {0};  ///< 0 = runtime default threads
+  /// Execution-engine axis (0 = unfused, 1 = fused kernels): the sixth
+  /// design-space dimension, A/B-ing SolverConfig::fuse_kernels.
+  std::vector<int> fused = {0};
   int ranks = 4;                         ///< simulated ranks per run
 
   [[nodiscard]] bool requested() const { return !solvers.empty(); }
@@ -90,6 +101,12 @@ struct SweepSpec {
 /// Outcome of one linear solve.
 struct SolveStats {
   bool converged = false;
+  /// Numerical breakdown (e.g. ⟨p, A·p⟩ <= 0) stopped the solve early.
+  /// Breakdowns are reported, not thrown: a design-space sweep records
+  /// the configuration as failed and moves to the next cell instead of
+  /// aborting the whole cross-product.
+  bool breakdown = false;
+  std::string breakdown_reason;
   int outer_iters = 0;           ///< CG/PPCG outer or Jacobi/Cheby iterations
   long long inner_steps = 0;     ///< PPCG inner Chebyshev steps in total
   long long spmv_applies = 0;    ///< total A·x applications (any bounds)

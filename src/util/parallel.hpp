@@ -1,6 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+
+#include "util/error.hpp"
 
 #if defined(TEALEAF_HAVE_OPENMP)
 #include <omp.h>
@@ -17,12 +20,118 @@ inline int num_threads() {
 #endif
 }
 
+/// True while executing inside an active parallel region (a
+/// `parallel_region` body or any OpenMP parallel construct).
+inline bool in_parallel_region() {
+#if defined(TEALEAF_HAVE_OPENMP)
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
+/// Handle to one thread of a hoisted parallel region (the fused kernel
+/// execution engine).  A `parallel_region` body receives one Team per
+/// thread; worksharing and synchronisation go through it so a whole
+/// solver iteration — halo exchange, operator sweeps, reductions — runs
+/// inside a single fork/join instead of paying one per kernel.
+///
+/// Worksharing contract: `for_range` partitions [begin, end) into
+/// contiguous blocks, thread t owning block t.  The mapping is a pure
+/// function of (range, num_threads), so repeated calls over the same
+/// range land on the same thread — this is what makes NUMA first-touch
+/// placement stick (the thread that first touched a chunk's fields keeps
+/// processing that chunk).  There is NO implied barrier; call `barrier()`
+/// when a later phase reads what an earlier phase wrote.
+class Team {
+ public:
+  Team(int thread_id, int nthreads)
+      : tid_(thread_id), nthreads_(nthreads) {}
+
+  [[nodiscard]] int thread_id() const { return tid_; }
+  [[nodiscard]] int num_threads() const { return nthreads_; }
+
+  /// Workshare [begin, end): this thread runs its contiguous block.
+  /// Balanced partition (the first n % threads blocks get one extra
+  /// iteration — the same split mainstream OpenMP runtimes use for
+  /// schedule(static)), so tail threads are never left idle.  No implied
+  /// barrier.
+  template <class Body>
+  void for_range(std::int64_t begin, std::int64_t end,
+                 const Body& body) const {
+    const std::int64_t n = end - begin;
+    if (n <= 0) return;
+    const std::int64_t q = n / nthreads_;
+    const std::int64_t rem = n % nthreads_;
+    const std::int64_t tid = tid_;
+    const std::int64_t lo = begin + q * tid + std::min<std::int64_t>(tid, rem);
+    const std::int64_t hi = lo + q + (tid < rem ? 1 : 0);
+    for (std::int64_t i = lo; i < hi; ++i) body(i);
+  }
+
+  /// Team-wide barrier.  Orphaned OpenMP barriers bind to the innermost
+  /// enclosing parallel region, so this works from any call depth.
+  void barrier() const {
+#if defined(TEALEAF_HAVE_OPENMP)
+#pragma omp barrier
+#endif
+  }
+
+  /// Run `body` on thread 0 only (stats accounting, result publication).
+  /// No implied barrier — pair with `barrier()` if other threads read
+  /// the result.
+  template <class Body>
+  void single(const Body& body) const {
+    if (tid_ == 0) body();
+  }
+
+ private:
+  int tid_ = 0;
+  int nthreads_ = 1;
+};
+
+/// Open ONE parallel region and run `body(team)` on every thread.  This
+/// is the hoisted fork/join of the fused execution engine: kernels and
+/// exchanges inside the body workshare through the Team instead of each
+/// opening (and paying for) their own region.
+///
+/// `body` must be region-safe: all threads must take the same control
+/// path through barriers, and values derived from team reductions are
+/// computed identically on every thread (the reductions are rank-ordered
+/// and deterministic).  Exceptions must not escape `body` — an exception
+/// crossing an OpenMP region boundary terminates the process, which is
+/// why the solvers report numerical breakdown via flags, not throws.
+///
+/// Nesting is a contract violation: a region inside a region would either
+/// oversubscribe or silently serialise depending on the OpenMP runtime.
+template <class Body>
+void parallel_region(const Body& body) {
+  TEA_ASSERT(!in_parallel_region(),
+             "parallel_region must not nest inside an active region");
+#if defined(TEALEAF_HAVE_OPENMP)
+#pragma omp parallel
+  {
+    Team team(omp_get_thread_num(), omp_get_num_threads());
+    body(team);
+  }
+#else
+  Team team(0, 1);
+  body(team);
+#endif
+}
+
 /// Parallel loop over [begin, end).  `body(i)` must be safe to run
 /// concurrently for distinct i.  Falls back to serial without OpenMP.
+///
+/// Explicitly single-level: when called from inside an active parallel
+/// region (where a nested `omp parallel for` would oversubscribe or
+/// silently serialise depending on OMP_NESTED), the `if` clause forces a
+/// deterministic serial loop on the calling thread.  Code running inside
+/// a `parallel_region` should workshare through Team::for_range instead.
 template <class Body>
 void parallel_for(std::int64_t begin, std::int64_t end, const Body& body) {
 #if defined(TEALEAF_HAVE_OPENMP)
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (!omp_in_parallel())
   for (std::int64_t i = begin; i < end; ++i) body(i);
 #else
   for (std::int64_t i = begin; i < end; ++i) body(i);
@@ -32,13 +141,14 @@ void parallel_for(std::int64_t begin, std::int64_t end, const Body& body) {
 /// Parallel sum-reduction over [begin, end): returns Σ body(i).
 /// Deterministic per thread count; kernels that must be bitwise
 /// decomposition-independent should reduce ordered partials instead
-/// (see comm::SimCluster2D::reduce_sum).
+/// (see comm::SimCluster2D::reduce_sum).  Single-level like parallel_for.
 template <class Body>
 double parallel_reduce_sum(std::int64_t begin, std::int64_t end,
                            const Body& body) {
   double sum = 0.0;
 #if defined(TEALEAF_HAVE_OPENMP)
-#pragma omp parallel for schedule(static) reduction(+ : sum)
+#pragma omp parallel for schedule(static) reduction(+ : sum) \
+    if (!omp_in_parallel())
   for (std::int64_t i = begin; i < end; ++i) sum += body(i);
 #else
   for (std::int64_t i = begin; i < end; ++i) sum += body(i);

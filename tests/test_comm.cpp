@@ -80,10 +80,54 @@ TEST(Exchange, MessageAndByteAccounting2x2) {
   cl.exchange({FieldId::kU}, 2);
   // Each rank has exactly one x-neighbour and one y-neighbour.
   EXPECT_EQ(cl.stats().messages, 8);
-  // x message: depth·ny·8 = 2*8*8 = 128 B; y: depth·(nx+2d)·8 = 2*12*8 = 192.
-  EXPECT_EQ(cl.stats().message_bytes, 4 * 128 + 4 * 192);
+  // x message: depth·ny·8 = 2*8*8 = 128 B.  y rows carry corner columns
+  // only toward the single x-neighbour (the other side is the physical
+  // boundary and holds no exchanged data): depth·(nx+d)·8 = 2*10*8 = 160.
+  EXPECT_EQ(cl.stats().message_bytes, 4 * 128 + 4 * 160);
   EXPECT_EQ(cl.stats().messages_by_depth.at(2), 8);
   EXPECT_EQ(cl.stats().exchange_calls, 1);
+}
+
+TEST(Exchange, ColumnDecompositionChargesNoCornerColumns) {
+  // N×1 process grid (tall mesh → 1-wide column of ranks): every rank is
+  // at both physical x-boundaries, so y rows must be charged at exactly
+  // nx cells — the pre-fix accounting overcounted 2·depth per row.
+  const GlobalMesh2D mesh(8, 40);
+  SimCluster2D cl(mesh, 4, 2);  // 1x4 grid, 8x10 chunks
+  ASSERT_EQ(cl.decomposition().px(), 1);
+  ASSERT_EQ(cl.decomposition().py(), 4);
+  cl.exchange({FieldId::kU}, 2);
+  // 2 end ranks × 1 message + 2 middle ranks × 2 messages, no x traffic.
+  EXPECT_EQ(cl.stats().messages, 6);
+  EXPECT_EQ(cl.stats().message_bytes, 6 * 2 * 8 * 8);  // depth·nx·8 each
+}
+
+TEST(Exchange, RowDecompositionHasNoYTraffic) {
+  // 1×N process grid: only x messages, each depth·ny·8 bytes; physical
+  // top/bottom boundaries generate no messages at all.
+  const GlobalMesh2D mesh(40, 8);
+  SimCluster2D cl(mesh, 4, 3);  // 4x1 grid, 10x8 chunks
+  ASSERT_EQ(cl.decomposition().px(), 4);
+  ASSERT_EQ(cl.decomposition().py(), 1);
+  cl.exchange({FieldId::kU}, 3);
+  EXPECT_EQ(cl.stats().messages, 6);
+  EXPECT_EQ(cl.stats().message_bytes, 6 * 3 * 8 * 8);  // depth·ny·8 each
+}
+
+TEST(Exchange, InteriorRanksStillChargeBothCorners) {
+  // 3×3 grid: the centre rank has all four neighbours; its y rows carry
+  // both corner blocks, so the per-rank y payload is depth·(nx+2d)·8.
+  const GlobalMesh2D mesh(12, 12);
+  SimCluster2D cl(mesh, 9, 2);  // 3x3 grid, 4x4 chunks
+  ASSERT_EQ(cl.decomposition().px(), 3);
+  cl.exchange({FieldId::kU}, 1);
+  // x: 12 messages of 1·4·8 = 32 B.  y: 12 messages; rows of the left and
+  // right process columns carry one corner (4+1 cells), the centre column
+  // carries two (4+2 cells).
+  const std::int64_t x_bytes = 12 * 32;
+  const std::int64_t y_bytes = 8 * (4 + 1) * 8 + 4 * (4 + 2) * 8;
+  EXPECT_EQ(cl.stats().messages, 24);
+  EXPECT_EQ(cl.stats().message_bytes, x_bytes + y_bytes);
 }
 
 TEST(Exchange, DepthGreaterThanAllocationThrows) {

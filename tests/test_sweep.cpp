@@ -91,6 +91,22 @@ TEST(SweepDeck, ParsesAndRoundTripsSweepSection) {
   EXPECT_EQ(back.sweep.ranks, deck.sweep.ranks);
 }
 
+TEST(SweepDeck, FusedAxisAndEngineToggleRoundTrip) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\n"
+      "x_cells=16\ny_cells=16\nend_step=1\n"
+      "tl_fuse_kernels\n"
+      "sweep_solvers=cg\n"
+      "sweep_fused=0,1\n"
+      "state 1 density=1.0 energy=1.0\n"
+      "*endtea\n");
+  EXPECT_TRUE(deck.solver.fuse_kernels);
+  EXPECT_EQ(deck.sweep.fused, (std::vector<int>{0, 1}));
+  const InputDeck back = InputDeck::parse_string(deck.to_string());
+  EXPECT_TRUE(back.solver.fuse_kernels);
+  EXPECT_EQ(back.sweep.fused, deck.sweep.fused);
+}
+
 TEST(SweepDeck, NonSweepDecksStayNonSweep) {
   const InputDeck deck = decks::hot_block(16, 1);
   EXPECT_FALSE(deck.sweep.requested());
@@ -296,6 +312,109 @@ TEST(SweepDeckDriven, DeckSweepSectionDrivesRun) {
   for (const SweepOutcome& c : rep.cells) {
     EXPECT_TRUE(c.converged) << c.config.label();
   }
+}
+
+TEST(SweepFusedAxis, EnumeratesAsSixthInnermostAxis) {
+  SweepSpec spec;
+  spec.solvers = {"cg"};
+  spec.fused = {0, 1};
+  const std::vector<SweepCase> cases = enumerate_cases(spec, 16);
+  ASSERT_EQ(cases.size(), 2u);
+  ASSERT_EQ(spec.num_cases(), 2u);
+  EXPECT_EQ(cases[0].label(), "cg/none/d1/n16/t0");
+  EXPECT_EQ(cases[1].label(), "cg/none/d1/n16/t0/fused");
+  spec.fused = {2};
+  EXPECT_THROW(spec.validate(), TeaError);
+}
+
+TEST(SweepFusedAxis, FusedAndUnfusedCellsConvergeIdentically) {
+  InputDeck base = decks::hot_block(16, 1);
+  base.solver.eps = 1e-8;
+  SweepSpec spec;
+  spec.solvers = {"cg", "ppcg", "mg-pcg"};
+  spec.fused = {0, 1};
+  spec.ranks = 2;
+  const SweepReport rep = run_sweep(base, spec);
+  ASSERT_EQ(rep.cells.size(), 6u);
+
+  // mg-pcg has no fused path: its fused cell is skipped, not failed.
+  const SweepOutcome& mg_fused = rep.cells[5];
+  ASSERT_EQ(mg_fused.config.solver, "mg-pcg");
+  ASSERT_TRUE(mg_fused.config.fused);
+  EXPECT_TRUE(mg_fused.skipped);
+
+  // Native solvers: the engine is a pure-speed axis — identical
+  // iteration counts and communication per fused/unfused pair.
+  for (const std::size_t i : {0u, 2u}) {
+    const SweepOutcome& unfused = rep.cells[i];
+    const SweepOutcome& fused = rep.cells[i + 1];
+    ASSERT_FALSE(unfused.config.fused);
+    ASSERT_TRUE(fused.config.fused);
+    EXPECT_TRUE(unfused.converged) << unfused.config.label();
+    EXPECT_TRUE(fused.converged) << fused.config.label();
+    EXPECT_EQ(fused.iterations, unfused.iterations);
+    EXPECT_EQ(fused.inner_steps, unfused.inner_steps);
+    EXPECT_EQ(fused.reductions, unfused.reductions);
+    EXPECT_EQ(fused.message_bytes, unfused.message_bytes);
+  }
+
+  // The fused flag survives both serialisation round trips.
+  const SweepReport csv_back = SweepReport::from_csv_lines(rep.to_csv_lines());
+  const SweepReport json_back =
+      SweepReport::from_json_string(rep.to_json().dump(2));
+  for (std::size_t i = 0; i < rep.cells.size(); ++i) {
+    EXPECT_EQ(csv_back.cells[i].config.fused, rep.cells[i].config.fused);
+    EXPECT_EQ(json_back.cells[i].config.fused, rep.cells[i].config.fused);
+    EXPECT_EQ(csv_back.cells[i].config.label(), rep.cells[i].config.label());
+  }
+}
+
+TEST(SweepBreakdown, BreakdownRowFailsWithoutAbortingTheSweep) {
+  // A deck whose PPCG cells reliably break down (two presteps grossly
+  // underestimate the spectrum; the odd-degree Chebyshev polynomial goes
+  // negative beyond the estimated window → ⟨r, M⁻¹r⟩ <= 0).  The sweep
+  // must record those rows as failed and still run the CG cells.
+  InputDeck base = decks::crooked_pipe(32, 1);
+  base.initial_timestep *= 1000.0;
+  base.solver.eigen_cg_iters = 2;
+  base.solver.inner_steps = 11;
+  base.solver.eps = 1e-8;
+  base.solver.max_iters = 20000;
+  base.sweep.solvers = {"cg", "ppcg"};
+  base.sweep.fused = {0, 1};
+  base.sweep.ranks = 2;
+
+  const SweepReport rep = run_sweep(base);
+  ASSERT_EQ(rep.cells.size(), 4u);
+  int failed = 0, ok = 0;
+  for (const SweepOutcome& c : rep.cells) {
+    ASSERT_FALSE(c.skipped);
+    if (c.config.solver == "ppcg") {
+      EXPECT_FALSE(c.converged) << c.config.label();
+      EXPECT_FALSE(c.fail_reason.empty()) << c.config.label();
+      EXPECT_NE(c.fail_reason.find("breakdown"), std::string::npos);
+      ++failed;
+    } else {
+      EXPECT_TRUE(c.converged) << c.config.label();
+      EXPECT_TRUE(c.fail_reason.empty()) << c.config.label();
+      ++ok;
+    }
+  }
+  EXPECT_EQ(failed, 2);
+  EXPECT_EQ(ok, 2);
+
+  // Failed rows are excluded from the ranking but present in the table;
+  // the JSON form carries the reason, the CSV status says "failed".
+  EXPECT_EQ(rep.ranking().size(), 2u);
+  const SweepReport json_back =
+      SweepReport::from_json_string(rep.to_json().dump(2));
+  EXPECT_EQ(json_back.cells[1].fail_reason, rep.cells[1].fail_reason);
+  const std::vector<std::string> lines = rep.to_csv_lines();
+  int failed_rows = 0;
+  for (const std::string& line : lines) {
+    if (line.find(",failed,") != std::string::npos) ++failed_rows;
+  }
+  EXPECT_EQ(failed_rows, 2);
 }
 
 TEST(SweepScalingBridge, SpeedupsComeFromScalingModelHelper) {
