@@ -1,7 +1,7 @@
 // Kernel and execution-engine benchmarks — the C++ analogue of Listing 1
 // and the other per-iteration sweeps.
 //
-// Two layers:
+// Three layers:
 //  * A fused-vs-unfused execution-engine comparison that times whole
 //    solver iterations both ways (same problem, same iteration counts —
 //    the engine is bitwise-equivalent) and writes the result as
@@ -9,11 +9,19 @@
 //    trajectory.  Always available; needs no external library.
 //       ./bench/bench_kernels [--mesh 48] [--ranks 8] [--reps 5]
 //                             [--steps 1] [--out BENCH_PR2.json]
+//  * A tile-size scan of the tiled execution engine: fixed-iteration
+//    solves per solver at unfused / fused-untiled / fused-tiled for a
+//    ladder of row-block heights (plus the auto-derived one), emitting
+//    BENCH_PR3.json.  The Jacobi rows double as the batched-sweep
+//    numbers (its fused path hosts 16 sweeps per hoisted region).
+//       ./bench/bench_kernels --tile-scan [--mesh 1024] [--ranks 4]
+//                             [--reps 3] [--out BENCH_PR3.json]
 //  * Google-benchmark microbenchmarks of the individual kernels whose
 //    bytes/cell constants feed the performance model (model/scaling.cpp).
 //    Built only where the library exists; run with --gbench (extra
 //    --benchmark_* flags pass through).
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -25,10 +33,12 @@
 #include "driver/decks.hpp"
 #include "driver/tealeaf_app.hpp"
 #include "io/json.hpp"
+#include "model/machine.hpp"
 #include "ops/kernels2d.hpp"
 #include "precon/preconditioner.hpp"
 #include "solvers/solver.hpp"
 #include "util/args.hpp"
+#include "util/log.hpp"
 #include "util/numeric.hpp"
 #include "util/parallel.hpp"
 
@@ -364,6 +374,182 @@ int run_engine_comparison(const Args& args) {
   return 0;
 }
 
+// ---- tile-size scan (BENCH_PR3) -----------------------------------------
+
+/// Fixed-iteration solver configurations for the scan: eps is set far out
+/// of reach so every engine runs exactly the same, capped iteration count
+/// (the engines are bitwise identical, so the trajectories agree) and the
+/// comparison is pure execution speed over identical work.
+std::vector<EngineCase> tile_scan_cases() {
+  std::vector<EngineCase> cases;
+  SolverConfig cg;
+  cg.type = SolverType::kCG;
+  cg.eps = 1e-300;
+  cg.max_iters = 30;
+  cases.push_back({"cg", cg});
+  SolverConfig chrono = cg;
+  chrono.fuse_cg_reductions = true;
+  cases.push_back({"cg-chrono", chrono});
+  SolverConfig cheby;
+  cheby.type = SolverType::kChebyshev;
+  cheby.eps = 1e-300;
+  cheby.eigen_cg_iters = 10;
+  cheby.max_iters = 40;
+  cases.push_back({"chebyshev", cheby});
+  SolverConfig ppcg;
+  ppcg.type = SolverType::kPPCG;
+  ppcg.eps = 1e-300;
+  ppcg.eigen_cg_iters = 8;
+  ppcg.max_iters = 16;
+  cases.push_back({"ppcg", ppcg});
+  SolverConfig jacobi;
+  jacobi.type = SolverType::kJacobi;
+  jacobi.eps = 1e-300;
+  jacobi.max_iters = 200;
+  cases.push_back({"jacobi", jacobi});
+  return cases;
+}
+
+/// One timed fixed-iteration step (convergence is not expected — eps is
+/// unreachable by design).
+double time_fixed_once(const InputDeck& deck, int ranks, int* iters) {
+  TeaLeafApp app(deck, ranks);
+  const SolveStats st = app.step();
+  *iters = st.outer_iters;
+  return st.solve_seconds;
+}
+
+int run_tile_scan(const Args& args) {
+  // Fixed-iteration runs hit max_iters by design; the per-run warnings
+  // are noise here.
+  log::set_level(log::Level::kError);
+  const int mesh = args.get_int("mesh", 1024);
+  const int ranks = args.get_int("ranks", 4);
+  const int reps = args.get_int("reps", 3);
+  const std::string out_path = args.get("out", "BENCH_PR3.json");
+
+  const int chunk_n = mesh / std::max(1, static_cast<int>(
+                                             std::lround(std::sqrt(ranks))));
+  const int auto_rows =
+      auto_tile_rows(machines::spruce_hybrid(), chunk_n, 2);
+  // Ladder: small blocks (L2-sized and below), the auto-derived height,
+  // and the whole chunk (one block per rank — the pure 2-D-scheduling
+  // point, no blocking overhead).
+  std::vector<int> tiles = {8, 32, 128};
+  for (const int extra : {auto_rows, chunk_n}) {
+    if (std::find(tiles.begin(), tiles.end(), extra) == tiles.end()) {
+      tiles.push_back(extra);
+    }
+  }
+
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("benchmark", "tiled execution engine tile-size scan (PR3)");
+  doc.set("mesh", mesh);
+  doc.set("ranks", ranks);
+  doc.set("threads", num_threads());
+  doc.set("reps", reps);
+  doc.set("auto_tile_rows", auto_rows);
+  io::JsonValue arr = io::JsonValue::array();
+
+  double worst_tiled_vs_fused = 0.0;
+  double jacobi_fused_speedup = 0.0;
+  for (const EngineCase& ec : tile_scan_cases()) {
+    InputDeck deck = decks::hot_block(mesh, 1);
+    deck.solver = ec.cfg;
+
+    // Configurations of this solver: unfused, fused-untiled, the tile
+    // ladder.  Repetitions interleave round-robin so slow drift of the
+    // machine (thermals, co-tenants) biases no configuration.
+    struct Config {
+      bool fused;
+      int tile_rows;
+      double best = 0.0;
+      int iters = 0;
+    };
+    std::vector<Config> configs;
+    configs.push_back({false, 0});
+    configs.push_back({true, 0});
+    for (const int rows : tiles) configs.push_back({true, rows});
+    // One untimed warmup round, then best-of-reps.  Round-robin with the
+    // starting position rotated every rep, so neither slow machine drift
+    // nor any position-in-cycle effect biases one configuration.
+    for (int rep = -1; rep < reps; ++rep) {
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        Config& c = configs[(i + static_cast<std::size_t>(rep + 1)) %
+                            configs.size()];
+        deck.solver.fuse_kernels = c.fused;
+        deck.solver.tile_rows = c.tile_rows;
+        const double seconds = time_fixed_once(deck, ranks, &c.iters);
+        if (rep <= 0 || seconds < c.best) c.best = seconds;
+      }
+    }
+    const double unfused = configs[0].best;
+    const int unfused_iters = configs[0].iters;
+    const double fused = configs[1].best;
+    const int fused_iters = configs[1].iters;
+
+    io::JsonValue tile_arr = io::JsonValue::array();
+    double best_tiled = 0.0;
+    int best_tile = 0;
+    for (std::size_t ci = 2; ci < configs.size(); ++ci) {
+      const Config& c = configs[ci];
+      io::JsonValue cell = io::JsonValue::object();
+      cell.set("tile_rows", c.tile_rows);
+      cell.set("seconds", c.best);
+      cell.set("speedup_vs_fused", c.best > 0.0 ? fused / c.best : 0.0);
+      cell.set("identical_iterations", c.iters == fused_iters);
+      tile_arr.push_back(std::move(cell));
+      if (best_tile == 0 || c.best < best_tiled) {
+        best_tiled = c.best;
+        best_tile = c.tile_rows;
+      }
+    }
+
+    io::JsonValue entry = io::JsonValue::object();
+    entry.set("solver", ec.name);
+    entry.set("iters", unfused_iters);
+    entry.set("unfused_seconds", unfused);
+    entry.set("fused_untiled_seconds", fused);
+    entry.set("fused_speedup_vs_unfused",
+              fused > 0.0 ? unfused / fused : 0.0);
+    entry.set("tiles", std::move(tile_arr));
+    entry.set("best_tile_rows", best_tile);
+    entry.set("best_tiled_seconds", best_tiled);
+    entry.set("tiled_speedup_vs_fused",
+              best_tiled > 0.0 ? fused / best_tiled : 0.0);
+    entry.set("identical_iterations", fused_iters == unfused_iters);
+    arr.push_back(std::move(entry));
+
+    const double ratio = best_tiled > 0.0 ? fused / best_tiled : 0.0;
+    if (worst_tiled_vs_fused == 0.0 || ratio < worst_tiled_vs_fused) {
+      worst_tiled_vs_fused = ratio;
+    }
+    if (ec.name == "jacobi" && fused > 0.0) {
+      // The batched-sweep fix headline: the best fused configuration
+      // (batched, tiled or not) against the unfused baseline.
+      jacobi_fused_speedup = unfused / std::min(fused, best_tiled);
+    }
+    std::printf(
+        "%-10s unfused %.4fs  fused %.4fs  best tile b%-4d %.4fs  "
+        "(tiled/fused %.2fx, iters %d)\n",
+        ec.name.c_str(), unfused, fused, best_tile, best_tiled, ratio,
+        unfused_iters);
+  }
+  doc.set("solvers", std::move(arr));
+  doc.set("min_tiled_speedup_vs_fused", worst_tiled_vs_fused);
+  doc.set("jacobi_best_fused_speedup_vs_unfused", jacobi_fused_speedup);
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("jacobi batched fused vs unfused %.2fx -> %s\n",
+              jacobi_fused_speedup, out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -375,7 +561,9 @@ int main(int argc, char** argv) {
   }
 #endif
   try {
-    return run_engine_comparison(Args(argc, argv));
+    const Args args(argc, argv);
+    if (args.has("tile-scan")) return run_tile_scan(args);
+    return run_engine_comparison(args);
   } catch (const TeaError& e) {
     std::fprintf(stderr, "bench error: %s\n", e.what());
     return 1;

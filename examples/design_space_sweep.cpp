@@ -1,12 +1,13 @@
 // The paper's purpose, as one command: sweep the solver design space
 // (solver × preconditioner × matrix-powers depth × mesh size × threads ×
-// execution engine) over a deck and emit a ranked result table as
-// CSV + JSON.
+// execution engine × tile height) over a deck and emit a ranked result
+// table as CSV + JSON.
 //
 // Run:  ./examples/design_space_sweep [--mesh 48] [--ranks 4] [--steps 1]
 //           [--solvers cg,ppcg,chebyshev,mg-pcg] [--precons none,jac_diag]
 //           [--depths 1,4] [--meshes 32,48] [--threads 0] [--fused 0,1]
-//           [--deck path/to/tea.in] [--csv out.csv] [--json out.json]
+//           [--tiles 0,32] [--deck path/to/tea.in] [--csv out.csv]
+//           [--json out.json]
 //
 // A deck passed via --deck that carries its own sweep_* section overrides
 // the axis flags — sweeps are declarative deck content first.
@@ -72,6 +73,7 @@ int run(const Args& args) {
     spec.thread_counts = split_int_list(args.get("threads", "0"),
                                         "--threads");
     spec.fused = split_int_list(args.get("fused", "0,1"), "--fused");
+    spec.tile_rows = split_int_list(args.get("tiles", "0"), "--tiles");
     spec.ranks = args.get_int("ranks", 4);
   }
 
@@ -82,12 +84,13 @@ int run(const Args& args) {
   opts.echo = true;
 
   std::printf("design-space sweep: %zu cells (%zu solvers x %zu precons x "
-              "%zu depths x %zu meshes x %zu thread counts x %zu engines), "
-              "%d ranks\n\n",
+              "%zu depths x %zu meshes x %zu thread counts x %zu engines x "
+              "%zu tile heights), %d ranks\n\n",
               spec.num_cases(), spec.solvers.size(), spec.precons.size(),
               spec.halo_depths.size(),
               spec.mesh_sizes.empty() ? 1 : spec.mesh_sizes.size(),
-              spec.thread_counts.size(), spec.fused.size(), spec.ranks);
+              spec.thread_counts.size(), spec.fused.size(),
+              spec.tile_rows.size(), spec.ranks);
 
   const SweepReport report = run_sweep(base, spec, opts);
 

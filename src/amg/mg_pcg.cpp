@@ -1,11 +1,28 @@
 #include "amg/mg_pcg.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace tealeaf {
+
+namespace {
+
+/// Row-ordered dot product: per-row partials land in `row_sums`, then
+/// every thread sums the rows in row order — all threads return the same
+/// value, bitwise equal to the serial accumulation.
+double reduce_rows(const Team* team, int ny, std::vector<double>& row_sums) {
+  phase_barrier(team);
+  double total = 0.0;
+  for (int k = 0; k < ny; ++k) total += row_sums[k];
+  phase_barrier(team);  // row_sums free for the next reduction
+  return total;
+}
+
+}  // namespace
 
 MGPreconditionedCG::MGPreconditionedCG(const Field2D<double>& kx,
                                        const Field2D<double>& ky, int nx,
@@ -45,59 +62,114 @@ MGPCGResult MGPreconditionedCG::solve(const Field2D<double>& rhs,
   Field2D<double> z(nx_, ny_, 1, 0.0);
   Field2D<double> p(nx_, ny_, 1, 0.0);
   Field2D<double> w(nx_, ny_, 1, 0.0);
+  std::vector<double> row_sums(static_cast<std::size_t>(ny_), 0.0);
 
-  for (int k = 0; k < ny_; ++k)
-    for (int j = 0; j < nx_; ++j)
-      r(j, k) = rhs(j, k) - Multigrid2D::apply_stencil(lv, u, j, k);
+  // One body serves both engines (team == nullptr: serial, the Fig. 7
+  // baseline; with a Team: every row loop — V-cycle smoothers included —
+  // workshares inside one hoisted region per iteration).  All loop
+  // control derives from row-ordered reductions, uniform across the
+  // team.  Breakdown cannot throw from inside an OpenMP region, so it is
+  // flagged and rethrown outside.
+  bool breakdown = false;
+  int iters = 0;
+  bool converged = false;
+  double final_metric = 0.0;
+  const auto run = [&](const Team* team) {
+    for_rows(team, ny_, [&](int k) {
+      for (int j = 0; j < nx_; ++j)
+        r(j, k) = rhs(j, k) - Multigrid2D::apply_stencil(lv, u, j, k);
+    });
+    phase_barrier(team);
 
-  mg_->v_cycle(r, z);
-  for (int k = 0; k < ny_; ++k)
-    for (int j = 0; j < nx_; ++j) p(j, k) = z(j, k);
+    mg_->v_cycle(r, z, team);
+    for_rows(team, ny_, [&](int k) {
+      double acc = 0.0;
+      for (int j = 0; j < nx_; ++j) {
+        p(j, k) = z(j, k);
+        acc += r(j, k) * z(j, k);
+      }
+      row_sums[static_cast<std::size_t>(k)] = acc;
+    });
+    double rz = reduce_rows(team, ny_, row_sums);
+    const double initial_norm = std::sqrt(std::fabs(rz));
+    if (team == nullptr || team->thread_id() == 0) {
+      res.initial_norm = initial_norm;
+    }
+    if (initial_norm == 0.0) {
+      // Uniform branch; write the flag from one thread only.
+      if (team == nullptr || team->thread_id() == 0) converged = true;
+      return;
+    }
+    const double target = opt_.eps * initial_norm;
 
-  double rz = 0.0;
-  for (int k = 0; k < ny_; ++k)
-    for (int j = 0; j < nx_; ++j) rz += r(j, k) * z(j, k);
-  res.initial_norm = std::sqrt(std::fabs(rz));
-  if (res.initial_norm == 0.0) {
-    res.converged = true;
+    double metric = rz;
+    int it = 0;
+    bool conv = false;
+    while (it < opt_.max_iters) {
+      for_rows(team, ny_, [&](int k) {
+        double acc = 0.0;
+        for (int j = 0; j < nx_; ++j) {
+          w(j, k) = Multigrid2D::apply_stencil(lv, p, j, k);
+          acc += p(j, k) * w(j, k);
+        }
+        row_sums[static_cast<std::size_t>(k)] = acc;
+      });
+      const double pw = reduce_rows(team, ny_, row_sums);
+      if (!(pw > 0.0)) {
+        // Uniform: every thread saw the same pw; one writes the flag.
+        if (team == nullptr || team->thread_id() == 0) breakdown = true;
+        break;
+      }
+      const double alpha = rz / pw;
+      for_rows(team, ny_, [&](int k) {
+        for (int j = 0; j < nx_; ++j) {
+          u(j, k) += alpha * p(j, k);
+          r(j, k) -= alpha * w(j, k);
+        }
+      });
+      phase_barrier(team);
+      mg_->v_cycle(r, z, team);
+      for_rows(team, ny_, [&](int k) {
+        double acc = 0.0;
+        for (int j = 0; j < nx_; ++j) acc += r(j, k) * z(j, k);
+        row_sums[static_cast<std::size_t>(k)] = acc;
+      });
+      const double rz_new = reduce_rows(team, ny_, row_sums);
+      const double beta = rz_new / rz;
+      for_rows(team, ny_, [&](int k) {
+        for (int j = 0; j < nx_; ++j) p(j, k) = z(j, k) + beta * p(j, k);
+      });
+      phase_barrier(team);
+      rz = rz_new;
+      metric = rz_new;
+      ++it;
+      if (std::sqrt(std::fabs(metric)) <= target) {
+        conv = true;
+        break;
+      }
+    }
+    // Every thread computed the same scalars; publish from one.
+    if (team == nullptr || team->thread_id() == 0) {
+      iters = it;
+      converged = conv;
+      final_metric = metric;
+    }
+  };
+
+  if (opt_.fused) {
+    parallel_region([&](Team& t) { run(&t); });
+  } else {
+    run(nullptr);
+  }
+  TEA_REQUIRE(!breakdown, "MG-PCG breakdown: ⟨p, A·p⟩ <= 0");
+  res.iterations = iters;
+  res.converged = converged;
+  if (converged && iters == 0) {
+    // Zero right-hand side: final_norm stays 0 like the original path.
     res.solve_seconds = timer.elapsed_s();
     return res;
   }
-  const double target = opt_.eps * res.initial_norm;
-
-  double metric = rz;
-  while (res.iterations < opt_.max_iters) {
-    double pw = 0.0;
-    for (int k = 0; k < ny_; ++k) {
-      for (int j = 0; j < nx_; ++j) {
-        w(j, k) = Multigrid2D::apply_stencil(lv, p, j, k);
-        pw += p(j, k) * w(j, k);
-      }
-    }
-    TEA_REQUIRE(pw > 0.0, "MG-PCG breakdown: ⟨p, A·p⟩ <= 0");
-    const double alpha = rz / pw;
-    for (int k = 0; k < ny_; ++k) {
-      for (int j = 0; j < nx_; ++j) {
-        u(j, k) += alpha * p(j, k);
-        r(j, k) -= alpha * w(j, k);
-      }
-    }
-    mg_->v_cycle(r, z);
-    double rz_new = 0.0;
-    for (int k = 0; k < ny_; ++k)
-      for (int j = 0; j < nx_; ++j) rz_new += r(j, k) * z(j, k);
-    const double beta = rz_new / rz;
-    for (int k = 0; k < ny_; ++k)
-      for (int j = 0; j < nx_; ++j) p(j, k) = z(j, k) + beta * p(j, k);
-    rz = rz_new;
-    metric = rz_new;
-    ++res.iterations;
-    if (std::sqrt(std::fabs(metric)) <= target) {
-      res.converged = true;
-      break;
-    }
-  }
-  res.final_norm = std::sqrt(std::fabs(metric));
+  res.final_norm = std::sqrt(std::fabs(final_metric));
   res.solve_seconds = timer.elapsed_s();
   return res;
 }

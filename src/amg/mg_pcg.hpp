@@ -30,6 +30,13 @@ class MGPreconditionedCG {
   struct Options {
     double eps = 1e-10;
     int max_iters = 1000;
+    /// Run the solve through the fused execution engine: one hoisted
+    /// parallel region per CG iteration whose row loops (including every
+    /// V-cycle smoother sweep) workshare over the thread team.  Dot
+    /// products reduce per-row partials in row order, so the fused solve
+    /// is bitwise identical to the serial baseline — the design-space
+    /// sweep A/Bs the two on speed alone, like the native solvers.
+    bool fused = false;
     Multigrid2D::Options mg;
   };
 

@@ -84,31 +84,37 @@ Multigrid2D::Multigrid2D(const Field2D<double>& kx_fine,
   }
 }
 
-void Multigrid2D::smooth(MGLevel& lv, int sweeps) {
+void Multigrid2D::smooth(MGLevel& lv, int sweeps, const Team* team) {
   for (int s = 0; s < sweeps; ++s) {
     // Damped Jacobi: u += ω·(rhs − A·u)/diag, using res as the old-u copy
     // so the sweep is a true simultaneous update.
-    for (int k = 0; k < lv.ny; ++k)
+    for_rows(team, lv.ny, [&](int k) {
       for (int j = 0; j < lv.nx; ++j) lv.res(j, k) = lv.u(j, k);
-    for (int k = 0; k < lv.ny; ++k) {
+    });
+    phase_barrier(team);  // the update stencil reads res rows k±1
+    for_rows(team, lv.ny, [&](int k) {
       for (int j = 0; j < lv.nx; ++j) {
         const double diag = 1.0 + (lv.ky(j, k + 1) + lv.ky(j, k)) +
                             (lv.kx(j + 1, k) + lv.kx(j, k));
         const double r = lv.rhs(j, k) - apply_stencil(lv, lv.res, j, k);
         lv.u(j, k) = lv.res(j, k) + opt_.omega * r / diag;
       }
-    }
+    });
+    phase_barrier(team);  // the next sweep's copy reads the updated u
   }
 }
 
-void Multigrid2D::compute_residual(MGLevel& lv) {
-  for (int k = 0; k < lv.ny; ++k)
+void Multigrid2D::compute_residual(MGLevel& lv, const Team* team) {
+  for_rows(team, lv.ny, [&](int k) {
     for (int j = 0; j < lv.nx; ++j)
       lv.res(j, k) = lv.rhs(j, k) - apply_stencil(lv, lv.u, j, k);
+  });
+  phase_barrier(team);
 }
 
-void Multigrid2D::restrict_residual(const MGLevel& fine, MGLevel& coarse) {
-  for (int kc = 0; kc < coarse.ny; ++kc) {
+void Multigrid2D::restrict_residual(const MGLevel& fine, MGLevel& coarse,
+                                    const Team* team) {
+  for_rows(team, coarse.ny, [&](int kc) {
     const int k0 = 2 * kc;
     const int k1 = std::min(2 * kc + 1, fine.ny - 1);
     for (int jc = 0; jc < coarse.nx; ++jc) {
@@ -120,43 +126,51 @@ void Multigrid2D::restrict_residual(const MGLevel& fine, MGLevel& coarse) {
                                    fine.res(j0, k1) + fine.res(j1, k1));
       coarse.u(jc, kc) = 0.0;
     }
-  }
+  });
+  phase_barrier(team);
 }
 
-void Multigrid2D::prolong_add(const MGLevel& coarse, MGLevel& fine) {
-  for (int kf = 0; kf < fine.ny; ++kf) {
+void Multigrid2D::prolong_add(const MGLevel& coarse, MGLevel& fine,
+                              const Team* team) {
+  for_rows(team, fine.ny, [&](int kf) {
     const int kc = std::min(kf / 2, coarse.ny - 1);
     for (int jf = 0; jf < fine.nx; ++jf) {
       const int jc = std::min(jf / 2, coarse.nx - 1);
       fine.u(jf, kf) += coarse.u(jc, kc);
     }
-  }
+  });
+  phase_barrier(team);
 }
 
-void Multigrid2D::v_cycle(const Field2D<double>& rhs, Field2D<double>& out) {
+void Multigrid2D::v_cycle(const Field2D<double>& rhs, Field2D<double>& out,
+                          const Team* team) {
   MGLevel& top = levels_.front();
   TEA_REQUIRE(rhs.nx() == top.nx && rhs.ny() == top.ny,
               "rhs shape must match the fine grid");
-  for (int k = 0; k < top.ny; ++k)
+  for_rows(team, top.ny, [&](int k) {
     for (int j = 0; j < top.nx; ++j) {
       top.rhs(j, k) = rhs(j, k);
       top.u(j, k) = 0.0;
     }
+  });
+  phase_barrier(team);
 
   const int nl = num_levels();
   for (int l = 0; l < nl - 1; ++l) {
-    smooth(levels_[l], opt_.nu_pre);
-    compute_residual(levels_[l]);
-    restrict_residual(levels_[l], levels_[l + 1]);
+    smooth(levels_[l], opt_.nu_pre, team);
+    compute_residual(levels_[l], team);
+    restrict_residual(levels_[l], levels_[l + 1], team);
   }
-  smooth(levels_[nl - 1], opt_.coarse_sweeps);
+  smooth(levels_[nl - 1], opt_.coarse_sweeps, team);
   for (int l = nl - 2; l >= 0; --l) {
-    prolong_add(levels_[l + 1], levels_[l]);
-    smooth(levels_[l], opt_.nu_post);
+    prolong_add(levels_[l + 1], levels_[l], team);
+    smooth(levels_[l], opt_.nu_post, team);
   }
 
-  for (int k = 0; k < top.ny; ++k)
+  for_rows(team, top.ny, [&](int k) {
     for (int j = 0; j < top.nx; ++j) out(j, k) = top.u(j, k);
+  });
+  phase_barrier(team);
 }
 
 }  // namespace tealeaf

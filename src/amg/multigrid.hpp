@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "mesh/field2d.hpp"
+#include "util/parallel.hpp"
 
 namespace tealeaf {
 
@@ -51,7 +52,14 @@ class Multigrid2D {
 
   /// out ≈ A⁻¹·rhs via one V-cycle from a zero initial guess.
   /// `rhs`/`out` are interior-indexed fields of the fine grid shape.
-  void v_cycle(const Field2D<double>& rhs, Field2D<double>& out);
+  ///
+  /// With a Team (the fused mg-pcg path) every smoother/residual/transfer
+  /// row loop workshares over the team with barriers between dependent
+  /// phases; all threads of the region must call with the same arguments.
+  /// Bitwise identical to the serial form — the per-row arithmetic is
+  /// shared.
+  void v_cycle(const Field2D<double>& rhs, Field2D<double>& out,
+               const Team* team = nullptr);
 
   [[nodiscard]] int num_levels() const {
     return static_cast<int>(levels_.size());
@@ -64,10 +72,11 @@ class Multigrid2D {
                                             int j, int k);
 
  private:
-  void smooth(MGLevel& lv, int sweeps);
-  void compute_residual(MGLevel& lv);
-  void restrict_residual(const MGLevel& fine, MGLevel& coarse);
-  void prolong_add(const MGLevel& coarse, MGLevel& fine);
+  void smooth(MGLevel& lv, int sweeps, const Team* team);
+  void compute_residual(MGLevel& lv, const Team* team);
+  void restrict_residual(const MGLevel& fine, MGLevel& coarse,
+                         const Team* team);
+  void prolong_add(const MGLevel& coarse, MGLevel& fine, const Team* team);
 
   std::vector<MGLevel> levels_;
   Options opt_;

@@ -73,14 +73,30 @@ void SimCluster2D::exchange_impl(const Team* team, const FieldId* fields,
   // Team-aware path (hoisted region): explicit barriers replace the
   // implicit joins — producers must finish before the x phase reads
   // interiors, and the y phase carries the x phase's corner columns.
+  // With more threads than ranks each phase workshares (rank, face)
+  // pairs — the per-face copies touch disjoint halo regions.
   team->barrier();
-  team->for_range(0, nranks(), [&](std::int64_t r) {
-    exchange_x_rank(static_cast<int>(r), fields, nfields, depth);
-  });
-  team->barrier();
-  team->for_range(0, nranks(), [&](std::int64_t r) {
-    exchange_y_rank(static_cast<int>(r), fields, nfields, depth);
-  });
+  if (team->num_threads() > nranks()) {
+    team->for_range(0, 2 * nranks(), [&](std::int64_t i) {
+      exchange_x_rank_face(static_cast<int>(i >> 1),
+                           (i & 1) ? Face::kRight : Face::kLeft, fields,
+                           nfields, depth);
+    });
+    team->barrier();
+    team->for_range(0, 2 * nranks(), [&](std::int64_t i) {
+      exchange_y_rank_face(static_cast<int>(i >> 1),
+                           (i & 1) ? Face::kTop : Face::kBottom, fields,
+                           nfields, depth);
+    });
+  } else {
+    team->for_range(0, nranks(), [&](std::int64_t r) {
+      exchange_x_rank(static_cast<int>(r), fields, nfields, depth);
+    });
+    team->barrier();
+    team->for_range(0, nranks(), [&](std::int64_t r) {
+      exchange_y_rank(static_cast<int>(r), fields, nfields, depth);
+    });
+  }
   team->single([&] {
     ++stats_.exchange_calls;
     account_exchange(nfields, depth);
@@ -90,31 +106,43 @@ void SimCluster2D::exchange_impl(const Team* team, const FieldId* fields,
 
 void SimCluster2D::exchange_x_rank(int rank, const FieldId* fields,
                                    int nfields, int depth) {
+  exchange_x_rank_face(rank, Face::kLeft, fields, nfields, depth);
+  exchange_x_rank_face(rank, Face::kRight, fields, nfields, depth);
+}
+
+void SimCluster2D::exchange_x_rank_face(int rank, Face face,
+                                        const FieldId* fields, int nfields,
+                                        int depth) {
   Chunk2D& me = *chunks_[static_cast<std::size_t>(rank)];
   // Each rank "sends" its edge columns into the neighbour's halo.  In the
   // simulation the copy is done by the receiving side reading the
   // neighbour's interior, which is bitwise the same data motion.
-  for (const Face face : {Face::kLeft, Face::kRight}) {
-    const int nb = decomp_.neighbor(rank, face);
-    if (nb < 0) continue;
-    Chunk2D& other = *chunks_[static_cast<std::size_t>(nb)];
-    TEA_ASSERT(other.ny() == me.ny(), "x-neighbours must share rows");
-    for (int f = 0; f < nfields; ++f) {
-      Field2D<double>& dst = me.field(fields[f]);
-      const Field2D<double>& src = other.field(fields[f]);
-      for (int d = 0; d < depth; ++d) {
-        // Halo column -1-d maps to the right edge of the left neighbour;
-        // column nx+d maps to the left edge of the right neighbour.
-        const int dst_j = (face == Face::kLeft) ? -1 - d : me.nx() + d;
-        const int src_j = (face == Face::kLeft) ? other.nx() - 1 - d : d;
-        for (int k = 0; k < me.ny(); ++k) dst(dst_j, k) = src(src_j, k);
-      }
+  const int nb = decomp_.neighbor(rank, face);
+  if (nb < 0) return;
+  Chunk2D& other = *chunks_[static_cast<std::size_t>(nb)];
+  TEA_ASSERT(other.ny() == me.ny(), "x-neighbours must share rows");
+  for (int f = 0; f < nfields; ++f) {
+    Field2D<double>& dst = me.field(fields[f]);
+    const Field2D<double>& src = other.field(fields[f]);
+    for (int d = 0; d < depth; ++d) {
+      // Halo column -1-d maps to the right edge of the left neighbour;
+      // column nx+d maps to the left edge of the right neighbour.
+      const int dst_j = (face == Face::kLeft) ? -1 - d : me.nx() + d;
+      const int src_j = (face == Face::kLeft) ? other.nx() - 1 - d : d;
+      for (int k = 0; k < me.ny(); ++k) dst(dst_j, k) = src(src_j, k);
     }
   }
 }
 
 void SimCluster2D::exchange_y_rank(int rank, const FieldId* fields,
                                    int nfields, int depth) {
+  exchange_y_rank_face(rank, Face::kBottom, fields, nfields, depth);
+  exchange_y_rank_face(rank, Face::kTop, fields, nfields, depth);
+}
+
+void SimCluster2D::exchange_y_rank_face(int rank, Face face,
+                                        const FieldId* fields, int nfields,
+                                        int depth) {
   Chunk2D& me = *chunks_[static_cast<std::size_t>(rank)];
   // Rows travel with their x-halo corner columns so corners propagate —
   // but only columns that actually carry neighbour data: at a physical
@@ -124,20 +152,18 @@ void SimCluster2D::exchange_y_rank(int rank, const FieldId* fields,
   const bool has_right = decomp_.neighbor(rank, Face::kRight) >= 0;
   const int jlo = has_left ? -depth : 0;
   const int jhi = me.nx() + (has_right ? depth : 0);
-  for (const Face face : {Face::kBottom, Face::kTop}) {
-    const int nb = decomp_.neighbor(rank, face);
-    if (nb < 0) continue;
-    Chunk2D& other = *chunks_[static_cast<std::size_t>(nb)];
-    TEA_ASSERT(other.nx() == me.nx(), "y-neighbours must share columns");
-    for (int f = 0; f < nfields; ++f) {
-      Field2D<double>& dst = me.field(fields[f]);
-      const Field2D<double>& src = other.field(fields[f]);
-      for (int d = 0; d < depth; ++d) {
-        const int dst_k = (face == Face::kBottom) ? -1 - d : me.ny() + d;
-        const int src_k = (face == Face::kBottom) ? other.ny() - 1 - d : d;
-        for (int j = jlo; j < jhi; ++j) {
-          dst(j, dst_k) = src(j, src_k);
-        }
+  const int nb = decomp_.neighbor(rank, face);
+  if (nb < 0) return;
+  Chunk2D& other = *chunks_[static_cast<std::size_t>(nb)];
+  TEA_ASSERT(other.nx() == me.nx(), "y-neighbours must share columns");
+  for (int f = 0; f < nfields; ++f) {
+    Field2D<double>& dst = me.field(fields[f]);
+    const Field2D<double>& src = other.field(fields[f]);
+    for (int d = 0; d < depth; ++d) {
+      const int dst_k = (face == Face::kBottom) ? -1 - d : me.ny() + d;
+      const int src_k = (face == Face::kBottom) ? other.ny() - 1 - d : d;
+      for (int j = jlo; j < jhi; ++j) {
+        dst(j, dst_k) = src(j, src_k);
       }
     }
   }

@@ -9,6 +9,7 @@
 #include "mesh/chunk.hpp"
 #include "mesh/decomposition.hpp"
 #include "mesh/mesh.hpp"
+#include "ops/bounds.hpp"
 #include "util/parallel.hpp"
 
 namespace tealeaf {
@@ -102,6 +103,178 @@ class SimCluster2D {
     });
   }
 
+  // ---- tiled execution (cache-blocked fused kernels) ---------------------
+  // The tiling layer of the fused execution engine: sweeps cut into
+  // row-blocks of `tile_rows` rows (<= 0: whole chunk, one block per rank)
+  // so the per-block working set fits in L2.  Scheduling: with
+  // threads <= ranks each rank's blocks stay on the thread that owns the
+  // rank (the NUMA first-touch mapping); with threads > ranks the
+  // (rank, row-block) pairs spread over the whole team via
+  // Team::for_range_2d, so chunks larger than the rank count no longer
+  // leave cores idle.  Results are bitwise independent of both the tile
+  // height and the schedule: non-reducing sweeps are per-cell independent,
+  // and reducing sweeps deposit per-row partials that the engine always
+  // combines in row order, then rank order.
+
+  /// Number of row-blocks covering `rows` rows at height `tile_rows`.
+  [[nodiscard]] static int num_row_tiles(int rows, int tile_rows) {
+    if (rows <= 0) return 0;
+    if (tile_rows <= 0 || tile_rows >= rows) return 1;
+    return (rows + tile_rows - 1) / tile_rows;
+  }
+
+  /// Run `body(rank, chunk, tile)` for every row-block of every rank,
+  /// where `tile` is `bounds_of(rank, chunk)` with its k-range restricted
+  /// to one block.  `bounds_of` must be a pure function of (rank, chunk).
+  /// No implied barrier.
+  template <class BoundsFn, class Body>
+  void for_each_tile(const Team* team, int tile_rows, BoundsFn&& bounds_of,
+                     Body&& body) {
+    const auto run_tile = [&](int r, Chunk2D& c, const Bounds& b, int t) {
+      const int rows = b.khi - b.klo;
+      const int h = (tile_rows <= 0 || tile_rows >= rows) ? rows : tile_rows;
+      Bounds tb = b;
+      tb.klo = b.klo + t * h;
+      tb.khi = std::min(b.khi, tb.klo + h);
+      body(r, c, tb);
+    };
+    const auto run_rank = [&](int r) {
+      Chunk2D& c = *chunks_[static_cast<std::size_t>(r)];
+      const Bounds b = bounds_of(r, c);
+      const int nt = num_row_tiles(b.khi - b.klo, tile_rows);
+      for (int t = 0; t < nt; ++t) run_tile(r, c, b, t);
+    };
+    if (team == nullptr) {
+      parallel_for(0, nranks(), [&](std::int64_t r) {
+        run_rank(static_cast<int>(r));
+      });
+      return;
+    }
+    if (team->num_threads() <= nranks()) {
+      team->for_range(0, nranks(), [&](std::int64_t r) {
+        run_rank(static_cast<int>(r));
+      });
+      return;
+    }
+    team->for_range_2d(
+        nranks(),
+        [&](std::int64_t r) -> std::int64_t {
+          Chunk2D& c = *chunks_[static_cast<std::size_t>(r)];
+          const Bounds b = bounds_of(static_cast<int>(r), c);
+          return num_row_tiles(b.khi - b.klo, tile_rows);
+        },
+        [&](std::int64_t r, std::int64_t t) {
+          Chunk2D& c = *chunks_[static_cast<std::size_t>(r)];
+          const Bounds b = bounds_of(static_cast<int>(r), c);
+          run_tile(static_cast<int>(r), c, b, static_cast<int>(t));
+        });
+  }
+
+  /// Combine the per-row partials already deposited in every chunk's
+  /// `row_scratch()[k]` (one slot per interior row): each rank's rows sum
+  /// in row order, then the ranks in rank order — bitwise equal to the
+  /// untiled `sum_over_chunks` over kernels built on the same per-row
+  /// cores, whatever tiling or thread assignment produced the partials.
+  /// Counts ONE allreduce.  Implies barriers, including one on entry so
+  /// the deposits of a preceding (differently-scheduled) tile pass are
+  /// visible.
+  double combine_row_partials(const Team* team) {
+    const auto rank_total = [&](int r) {
+      const Chunk2D& c = *chunks_[static_cast<std::size_t>(r)];
+      double p = 0.0;
+      for (int k = 0; k < c.ny(); ++k) p += c.row_scratch()[k];
+      return p;
+    };
+    if (team == nullptr) {
+      double total = 0.0;
+      for (int r = 0; r < nranks(); ++r) total += rank_total(r);
+      ++stats_.reductions;
+      return total;
+    }
+    team->barrier();
+    team->for_range(0, nranks(), [&](std::int64_t r) {
+      team_partials_[static_cast<std::size_t>(r)] =
+          rank_total(static_cast<int>(r));
+    });
+    team->barrier();
+    double total = 0.0;
+    for (int r = 0; r < nranks(); ++r) {
+      total += team_partials_[static_cast<std::size_t>(r)];
+    }
+    team->single([&] { ++stats_.reductions; });
+    team->barrier();
+    return total;
+  }
+
+  /// Tiled team reduction: `body(rank, chunk, k0, k1)` sweeps interior
+  /// rows [k0, k1) and deposits one partial per row into the chunk's
+  /// `row_scratch()[k]`, then the partials combine via
+  /// combine_row_partials.  Counts ONE allreduce.  Implies barriers,
+  /// including one on entry so the sweep may read fields a preceding
+  /// (differently-scheduled) tile pass wrote.
+  template <class Body>
+  double sum_rows_over_chunks(const Team* team, int tile_rows, Body&& body) {
+    const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
+    const auto tile_body = [&](int r, Chunk2D& c, const Bounds& tb) {
+      body(r, c, tb.klo, tb.khi);
+    };
+    if (team != nullptr) team->barrier();
+    for_each_tile(team, tile_rows, interior, tile_body);
+    return combine_row_partials(team);
+  }
+
+  /// Tiled analogue of sum2_over_chunks: `body(rank, chunk, k0, k1)`
+  /// deposits the pair (row_scratch[2k], row_scratch[2k+1]) per row.
+  /// ONE allreduce.
+  template <class Body>
+  std::pair<double, double> sum2_rows_over_chunks(const Team* team,
+                                                  int tile_rows,
+                                                  Body&& body) {
+    const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
+    const auto tile_body = [&](int r, Chunk2D& c, const Bounds& tb) {
+      body(r, c, tb.klo, tb.khi);
+    };
+    const auto rank_pair = [&](int r) {
+      const Chunk2D& c = *chunks_[static_cast<std::size_t>(r)];
+      double a = 0.0;
+      double b = 0.0;
+      for (int k = 0; k < c.ny(); ++k) {
+        a += c.row_scratch()[2 * k];
+        b += c.row_scratch()[2 * k + 1];
+      }
+      return std::pair<double, double>{a, b};
+    };
+    if (team == nullptr) {
+      for_each_tile(nullptr, tile_rows, interior, tile_body);
+      double a = 0.0;
+      double b = 0.0;
+      for (int r = 0; r < nranks(); ++r) {
+        const auto [pa, pb] = rank_pair(r);
+        a += pa;
+        b += pb;
+      }
+      ++stats_.reductions;
+      return {a, b};
+    }
+    team->barrier();
+    for_each_tile(team, tile_rows, interior, tile_body);
+    team->barrier();
+    team->for_range(0, nranks(), [&](std::int64_t r) {
+      team_partials2_[static_cast<std::size_t>(r)] =
+          rank_pair(static_cast<int>(r));
+    });
+    team->barrier();
+    double a = 0.0;
+    double b = 0.0;
+    for (int r = 0; r < nranks(); ++r) {
+      a += team_partials2_[static_cast<std::size_t>(r)].first;
+      b += team_partials2_[static_cast<std::size_t>(r)].second;
+    }
+    team->single([&] { ++stats_.reductions; });
+    team->barrier();
+    return {a, b};
+  }
+
   /// Evaluate `body(rank, chunk) -> double` on every rank and globally
   /// reduce the partials (counts one allreduce).
   template <class Body>
@@ -174,11 +347,18 @@ class SimCluster2D {
   void exchange_impl(const Team* team, const FieldId* fields, int nfields,
                      int depth);
   /// Per-rank copy bodies of the two exchange phases (shared by the
-  /// standalone and Team-aware forms).
+  /// standalone and Team-aware forms).  The per-face splits are the unit
+  /// of 2-D worksharing: when the team has more threads than ranks the
+  /// phases workshare (rank, face) pairs instead of ranks, so the halo
+  /// copies of a wide-and-shallow decomposition also use the whole team.
   void exchange_x_rank(int rank, const FieldId* fields, int nfields,
                        int depth);
+  void exchange_x_rank_face(int rank, Face face, const FieldId* fields,
+                            int nfields, int depth);
   void exchange_y_rank(int rank, const FieldId* fields, int nfields,
                        int depth);
+  void exchange_y_rank_face(int rank, Face face, const FieldId* fields,
+                            int nfields, int depth);
   /// Message/byte accounting of one exchange (both phases, all ranks).
   void account_exchange(int nfields, int depth);
 

@@ -1,8 +1,10 @@
 #include "driver/deck.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <vector>
 
 #include "util/args.hpp"
 #include "util/error.hpp"
@@ -50,6 +52,72 @@ double to_double(const std::string& s, const std::string& key) {
   } catch (const std::exception&) {
     throw TeaError("deck: bad numeric value for " + key + ": '" + s + "'");
   }
+}
+
+/// Boolean tl_* flags: bare (`tl_fuse_kernels`) or explicit
+/// (`tl_fuse_kernels=0`).  A non-boolean value is an error — a mistyped
+/// value must not silently enable the knob.
+bool to_flag(const std::string& s, const std::string& key) {
+  if (s.empty() || s == "1" || s == "true" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "off") return false;
+  throw TeaError("deck: bad boolean value for " + key + ": '" + s + "'");
+}
+
+/// Every key the *tea block understands — the reference list for the
+/// unknown-key diagnostics below.
+constexpr const char* kKnownKeys[] = {
+    "state",          "x_cells",
+    "y_cells",        "xmin",
+    "xmax",           "ymin",
+    "ymax",           "initial_timestep",
+    "end_time",       "end_step",
+    "tl_max_iters",   "tl_eps",
+    "tl_use_jacobi",  "tl_use_cg",
+    "tl_use_chebyshev", "tl_use_ppcg",
+    "tl_preconditioner_type", "tl_ppcg_inner_steps",
+    "tl_eigen_cg_iters", "tl_cheby_presteps",
+    "tl_halo_depth",  "tl_cg_fuse_reductions",
+    "tl_fuse_kernels", "tl_tile_rows",
+    "tl_coefficient", "sweep_solvers",
+    "sweep_precons",  "sweep_halo_depths",
+    "sweep_mesh_sizes", "sweep_threads",
+    "sweep_fused",    "sweep_tile_rows",
+    "sweep_ranks"};
+
+/// Levenshtein distance, small-string edition (deck keys are short).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next =
+          std::min({row[j] + 1, row[j - 1] + 1,
+                    diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+/// Unknown-key error with a "did you mean" suggestion when a known key is
+/// within two edits — a mistyped tile/fuse knob must fail loudly, not
+/// silently leave the default in force.
+[[noreturn]] void throw_unknown_key(const std::string& key) {
+  std::string best;
+  std::size_t best_dist = 3;  // suggest only within two edits
+  for (const char* known : kKnownKeys) {
+    const std::size_t d = edit_distance(key, known);
+    if (d < best_dist) {
+      best_dist = d;
+      best = known;
+    }
+  }
+  std::string msg = "deck: unknown key '" + key + "'";
+  if (!best.empty()) msg += " (did you mean '" + best + "'?)";
+  throw TeaError(msg);
 }
 
 StateDef parse_state(std::istringstream& line) {
@@ -118,8 +186,23 @@ InputDeck InputDeck::parse(std::istream& in) {
       in_block = true;
       continue;
     }
-    if (key == "*endtea") break;
-    if (!in_block) continue;
+    if (key == "*endtea") {
+      // Keep scanning: a knob after *endtea must be rejected below, not
+      // silently dropped.
+      in_block = false;
+      continue;
+    }
+    if (!in_block) {
+      // Solver/sweep knobs outside the *tea…*endtea block would be
+      // silently lost; reject them so a misplaced tl_*/sweep_* key
+      // cannot vanish.
+      const std::string bare = key.substr(0, key.find('='));
+      if (bare.rfind("tl_", 0) == 0 || bare.rfind("sweep_", 0) == 0) {
+        throw TeaError("deck: key '" + bare +
+                       "' appears outside the *tea…*endtea block");
+      }
+      continue;
+    }
 
     // `key=value` single-token form.
     std::string value;
@@ -175,9 +258,12 @@ InputDeck InputDeck::parse(std::istream& in) {
     } else if (key == "tl_halo_depth") {
       deck.solver.halo_depth = static_cast<int>(to_double(value, key));
     } else if (key == "tl_cg_fuse_reductions") {
-      deck.solver.fuse_cg_reductions = true;
+      deck.solver.fuse_cg_reductions = to_flag(value, key);
     } else if (key == "tl_fuse_kernels") {
-      deck.solver.fuse_kernels = true;
+      deck.solver.fuse_kernels = to_flag(value, key);
+    } else if (key == "tl_tile_rows") {
+      deck.solver.tile_rows =
+          (value == "auto") ? -1 : static_cast<int>(to_double(value, key));
     } else if (key == "sweep_solvers") {
       deck.sweep.solvers = split_list(value, key);
     } else if (key == "sweep_precons") {
@@ -193,6 +279,8 @@ InputDeck InputDeck::parse(std::istream& in) {
       deck.sweep.thread_counts = split_int_list(value, key);
     } else if (key == "sweep_fused") {
       deck.sweep.fused = split_int_list(value, key);
+    } else if (key == "sweep_tile_rows") {
+      deck.sweep.tile_rows = split_int_list(value, key);
     } else if (key == "sweep_ranks") {
       deck.sweep.ranks = static_cast<int>(to_double(value, key));
     } else if (key == "tl_coefficient") {
@@ -204,7 +292,7 @@ InputDeck InputDeck::parse(std::istream& in) {
         throw TeaError("deck: unknown coefficient '" + value + "'");
       }
     } else {
-      throw TeaError("deck: unknown key '" + key + "'");
+      throw_unknown_key(key);
     }
   }
   deck.validate();
@@ -241,6 +329,15 @@ std::string InputDeck::to_string() const {
   os << "tl_halo_depth=" << solver.halo_depth << "\n";
   if (solver.fuse_cg_reductions) os << "tl_cg_fuse_reductions\n";
   if (solver.fuse_kernels) os << "tl_fuse_kernels\n";
+  if (solver.tile_rows != 0) {
+    os << "tl_tile_rows=";
+    if (solver.tile_rows < 0) {
+      os << "auto";
+    } else {
+      os << solver.tile_rows;
+    }
+    os << "\n";
+  }
   if (sweep.requested()) {
     const auto join = [&os](const char* key, const auto& items,
                             const auto& format) {
@@ -261,6 +358,7 @@ std::string InputDeck::to_string() const {
     }
     join("sweep_threads", sweep.thread_counts, [](int t) { return t; });
     join("sweep_fused", sweep.fused, [](int f) { return f; });
+    join("sweep_tile_rows", sweep.tile_rows, [](int t) { return t; });
     os << "sweep_ranks=" << sweep.ranks << "\n";
   }
   os << "tl_coefficient="

@@ -27,6 +27,7 @@ std::string SweepCase::label() const {
   os << solver << "/" << to_string(precon) << "/d" << halo_depth << "/n"
      << mesh_n << "/t" << threads;
   if (fused) os << "/fused";
+  if (tile_rows != 0) os << "/b" << tile_rows;
   return os.str();
 }
 
@@ -44,8 +45,10 @@ std::vector<SweepCase> enumerate_cases(const SweepSpec& spec, int base_mesh) {
         for (const int mesh : meshes) {
           for (const int threads : spec.thread_counts) {
             for (const int fused : spec.fused) {
-              cases.push_back(
-                  {solver, precon, depth, mesh, threads, fused != 0});
+              for (const int tile : spec.tile_rows) {
+                cases.push_back(
+                    {solver, precon, depth, mesh, threads, fused != 0, tile});
+              }
             }
           }
         }
@@ -128,7 +131,8 @@ void run_native_cell(const InputDeck& deck, int ranks, int steps,
 /// undecomposed grid (paper Fig. 7's PETSc+BoomerAMG stand-in), so the
 /// cell always runs on one simulated rank and records no halo traffic;
 /// its cost is dominated by the per-step hierarchy setup.
-void run_mg_pcg_cell(InputDeck deck, int steps, SweepOutcome& out) {
+void run_mg_pcg_cell(InputDeck deck, int steps, bool fused,
+                     SweepOutcome& out) {
   deck.solver.type = SolverType::kCG;  // only sizes the halo allocation
   deck.solver.halo_depth = 1;
   TeaLeafApp app(deck, /*nranks=*/1);
@@ -150,6 +154,7 @@ void run_mg_pcg_cell(InputDeck deck, int steps, SweepOutcome& out) {
     MGPreconditionedCG::Options opt;
     opt.eps = deck.solver.eps;
     opt.max_iters = deck.solver.max_iters;
+    opt.fused = fused;
     MGPreconditionedCG solver = MGPreconditionedCG::from_chunk(c, opt);
 
     Field2D<double> rhs(c.nx(), c.ny(), 0, 0.0);
@@ -211,19 +216,27 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
     deck.solver.precon = cs.precon;
     deck.solver.halo_depth = cs.halo_depth;
     deck.solver.fuse_kernels = cs.fused;
+    deck.solver.tile_rows = cs.tile_rows;
 
     const bool mg_pcg = cs.solver == "mg-pcg";
-    if (mg_pcg) {
-      // MG *is* the preconditioner and uses no matrix-powers halo.
+    if (cs.tile_rows != 0 && !cs.fused) {
+      // Row tiling is a layer of the fused engine; an unfused×tiled cell
+      // would silently measure the untiled path.
+      out.skipped = true;
+      out.skip_reason = "row tiling requires the fused execution engine";
+    } else if (mg_pcg) {
+      // MG *is* the preconditioner and uses no matrix-powers halo.  Its
+      // fused path hoists the V-cycle row loops into one team region per
+      // iteration (sweep_fused applies); row tiling does not.
       if (cs.precon != PreconType::kNone) {
         out.skipped = true;
         out.skip_reason = "mg-pcg embeds multigrid as its preconditioner";
       } else if (cs.halo_depth > 1) {
         out.skipped = true;
         out.skip_reason = "matrix-powers halo depth applies to PPCG only";
-      } else if (cs.fused) {
+      } else if (cs.tile_rows != 0) {
         out.skipped = true;
-        out.skip_reason = "mg-pcg has no fused execution path";
+        out.skip_reason = "mg-pcg's fused path does not row-tile";
       }
     } else {
       deck.solver.type = solver_type_from_string(cs.solver);
@@ -239,7 +252,7 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
       ThreadScope threads(cs.threads);
       try {
         if (mg_pcg) {
-          run_mg_pcg_cell(deck, steps, out);
+          run_mg_pcg_cell(deck, steps, cs.fused, out);
         } else {
           run_native_cell(deck, spec.ranks, steps, out);
         }
@@ -312,11 +325,11 @@ namespace {
 
 constexpr const char* kCsvColumns[] = {
     "solver",      "precon",        "halo_depth",  "mesh",
-    "threads",     "fused",         "sweep_ranks", "sweep_steps",
-    "status",      "converged",     "iterations",  "inner_steps",
-    "spmv",        "reductions",    "exchanges",   "messages",
-    "message_bytes", "final_norm",  "solve_seconds", "comm_seconds",
-    "speedup",     "rank"};
+    "threads",     "fused",         "tile_rows",   "sweep_ranks",
+    "sweep_steps", "status",        "converged",   "iterations",
+    "inner_steps", "spmv",          "reductions",  "exchanges",
+    "messages",    "message_bytes", "final_norm",  "solve_seconds",
+    "comm_seconds", "speedup",      "rank"};
 
 /// Strict numeric cell parsers: the whole cell must convert, and failures
 /// surface as TeaError like every other malformed-input path.
@@ -366,11 +379,12 @@ std::vector<std::string> SweepReport::to_csv_lines() const {
     const char* status =
         c.skipped ? "skipped" : (!c.fail_reason.empty() ? "failed" : "ok");
     csv.row(c.config.solver, to_string(c.config.precon), c.config.halo_depth,
-            c.config.mesh_n, c.config.threads, c.config.fused ? 1 : 0, ranks,
-            steps, status, c.converged ? 1 : 0, c.iterations, c.inner_steps,
-            c.spmv, c.reductions, c.exchanges, c.messages, c.message_bytes,
-            fmt_double(c.final_norm), fmt_double(c.solve_seconds),
-            fmt_double(c.comm_seconds), fmt_double(speedup[i]), rank_of[i]);
+            c.config.mesh_n, c.config.threads, c.config.fused ? 1 : 0,
+            c.config.tile_rows, ranks, steps, status, c.converged ? 1 : 0,
+            c.iterations, c.inner_steps, c.spmv, c.reductions, c.exchanges,
+            c.messages, c.message_bytes, fmt_double(c.final_norm),
+            fmt_double(c.solve_seconds), fmt_double(c.comm_seconds),
+            fmt_double(speedup[i]), rank_of[i]);
   }
   return csv.lines();
 }
@@ -407,23 +421,24 @@ SweepReport SweepReport::from_csv_lines(
     out.config.mesh_n = csv_int(f[3], "mesh");
     out.config.threads = csv_int(f[4], "threads");
     out.config.fused = csv_int(f[5], "fused") != 0;
-    report.ranks = csv_int(f[6], "sweep_ranks");
-    report.steps = csv_int(f[7], "sweep_steps");
-    out.skipped = f[8] == "skipped";
+    out.config.tile_rows = csv_int(f[6], "tile_rows");
+    report.ranks = csv_int(f[7], "sweep_ranks");
+    report.steps = csv_int(f[8], "sweep_steps");
+    out.skipped = f[9] == "skipped";
     // The CSV form reduces fail_reason to the status keyword (free-text
     // reasons may contain commas); JSON carries the full text.
-    if (f[8] == "failed") out.fail_reason = "failed";
-    out.converged = csv_int(f[9], "converged") != 0;
-    out.iterations = csv_int(f[10], "iterations");
-    out.inner_steps = csv_ll(f[11], "inner_steps");
-    out.spmv = csv_ll(f[12], "spmv");
-    out.reductions = csv_ll(f[13], "reductions");
-    out.exchanges = csv_ll(f[14], "exchanges");
-    out.messages = csv_ll(f[15], "messages");
-    out.message_bytes = csv_ll(f[16], "message_bytes");
-    out.final_norm = csv_double(f[17], "final_norm");
-    out.solve_seconds = csv_double(f[18], "solve_seconds");
-    out.comm_seconds = csv_double(f[19], "comm_seconds");
+    if (f[9] == "failed") out.fail_reason = "failed";
+    out.converged = csv_int(f[10], "converged") != 0;
+    out.iterations = csv_int(f[11], "iterations");
+    out.inner_steps = csv_ll(f[12], "inner_steps");
+    out.spmv = csv_ll(f[13], "spmv");
+    out.reductions = csv_ll(f[14], "reductions");
+    out.exchanges = csv_ll(f[15], "exchanges");
+    out.messages = csv_ll(f[16], "messages");
+    out.message_bytes = csv_ll(f[17], "message_bytes");
+    out.final_norm = csv_double(f[18], "final_norm");
+    out.solve_seconds = csv_double(f[19], "solve_seconds");
+    out.comm_seconds = csv_double(f[20], "comm_seconds");
     // The last two columns (speedup, rank) are derived; recomputed on
     // demand from the parsed cells.
     report.cells.push_back(std::move(out));
@@ -446,6 +461,7 @@ io::JsonValue SweepReport::to_json() const {
     cell.set("mesh", c.config.mesh_n);
     cell.set("threads", c.config.threads);
     cell.set("fused", c.config.fused);
+    cell.set("tile_rows", c.config.tile_rows);
     cell.set("skipped", c.skipped);
     if (c.skipped) cell.set("skip_reason", c.skip_reason);
     if (!c.fail_reason.empty()) cell.set("fail_reason", c.fail_reason);
@@ -494,6 +510,10 @@ SweepReport SweepReport::from_json(const io::JsonValue& doc) {
     out.config.threads = static_cast<int>(cell.at("threads").as_number());
     if (cell.contains("fused")) {
       out.config.fused = cell.at("fused").as_bool();
+    }
+    if (cell.contains("tile_rows")) {
+      out.config.tile_rows =
+          static_cast<int>(cell.at("tile_rows").as_number());
     }
     out.skipped = cell.at("skipped").as_bool();
     if (cell.contains("skip_reason")) {

@@ -17,9 +17,10 @@ struct SweepCase {
   int mesh_n = 0;      ///< square mesh edge of this run
   int threads = 0;     ///< worker threads (0 = runtime default)
   bool fused = false;  ///< run through the fused kernel execution engine
+  int tile_rows = 0;   ///< fused-engine row-block height (0 = untiled)
 
   /// Compact identifier, e.g. "ppcg/jac_diag/d4/n64/t2" (fused cells
-  /// carry a trailing "/fused").
+  /// carry a trailing "/fused", tiled cells "/fused/b<rows>").
   [[nodiscard]] std::string label() const;
 };
 
@@ -86,9 +87,9 @@ struct SweepReport {
 };
 
 /// Expand the axes into the full cross-product in deterministic order:
-/// solvers → preconditioners → halo depths → mesh sizes → threads, each
-/// axis in its declared order.  `base_mesh` substitutes for an empty
-/// mesh-size axis.
+/// solvers → preconditioners → halo depths → mesh sizes → threads →
+/// fused → tile rows, each axis in its declared order.  `base_mesh`
+/// substitutes for an empty mesh-size axis.
 [[nodiscard]] std::vector<SweepCase> enumerate_cases(const SweepSpec& spec,
                                                      int base_mesh);
 

@@ -13,6 +13,7 @@ Chunk2D::Chunk2D(const ChunkExtent& extent, const GlobalMesh2D& mesh,
   for (auto& f : fields_) {
     f = Field2D<double>(extent.nx, extent.ny, halo_depth, 0.0);
   }
+  row_scratch_.assign(2 * static_cast<std::size_t>(extent.ny), 0.0);
 }
 
 Field2D<double>& Chunk2D::field(FieldId id) { return fields_[idx(id)]; }

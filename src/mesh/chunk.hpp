@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "mesh/decomposition.hpp"
 #include "mesh/field2d.hpp"
@@ -88,6 +89,16 @@ class Chunk2D {
   /// True when this chunk touches the physical domain boundary on `face`.
   [[nodiscard]] bool at_boundary(Face face) const;
 
+  /// Per-row reduction scratch of the tiled execution engine: two double
+  /// slots per interior row (slot [2k] and [2k+1] for row k).  Row-blocked
+  /// kernels deposit per-row partials here and the engine combines them in
+  /// row order, so the sum is independent of the tile decomposition and of
+  /// which thread computed which block.
+  [[nodiscard]] double* row_scratch() { return row_scratch_.data(); }
+  [[nodiscard]] const double* row_scratch() const {
+    return row_scratch_.data();
+  }
+
  private:
   static std::size_t idx(FieldId id) { return static_cast<std::size_t>(id); }
 
@@ -95,6 +106,7 @@ class Chunk2D {
   GlobalMesh2D mesh_;
   int halo_depth_;
   std::array<Field2D<double>, kNumFieldIds> fields_;
+  std::vector<double> row_scratch_;
 };
 
 }  // namespace tealeaf

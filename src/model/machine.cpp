@@ -1,5 +1,22 @@
 #include "model/machine.hpp"
 
+#include <algorithm>
+
+namespace tealeaf {
+
+int auto_tile_rows(const MachineSpec& machine, int chunk_nx,
+                   int halo_depth) {
+  constexpr int kFallbackRows = 64;
+  const int row_cells = chunk_nx + 2 * std::max(0, halo_depth);
+  if (machine.l2_kb <= 0.0 || row_cells <= 0) return kFallbackRows;
+  const double row_bytes =
+      static_cast<double>(kTileWorkingSetFields) * 8.0 * row_cells;
+  const double budget = machine.l2_kb * 1024.0 / 2.0;
+  return std::clamp(static_cast<int>(budget / row_bytes), 1, 1 << 20);
+}
+
+}  // namespace tealeaf
+
 namespace tealeaf::machines {
 
 // Constants are calibrated once against the paper's headline numbers
@@ -47,6 +64,7 @@ MachineSpec spruce_hybrid() {
   m.mem_bw_gbs = 80.0;
   m.cache_mb = 50.0;  // 2 sockets × 25 MB LLC
   m.cache_bw_mult = 3.0;
+  m.l2_kb = 256.0;  // E5-2680v2: 256 KB private L2 per core
   m.kernel_launch_us = 1.8;  // OpenMP region fork/join + barrier
   m.net_alpha_us = 1.2;
   m.net_bw_gbs = 5.6;  // FDR InfiniBand

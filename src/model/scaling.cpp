@@ -46,7 +46,8 @@ ScalingSeries measured_series(std::string label,
 /// implementations sweep-for-sweep and exchange-for-exchange.
 class ScalingModel::Cost {
  public:
-  Cost(const MachineSpec& spec, const GlobalMesh2D& mesh, int nodes)
+  Cost(const MachineSpec& spec, const GlobalMesh2D& mesh, int nodes,
+       int tile_rows = 0)
       : spec_(spec), nodes_(nodes) {
     const long long want_ranks =
         static_cast<long long>(nodes) * spec.ranks_per_node;
@@ -70,6 +71,19 @@ class ScalingModel::Cost {
     // bandwidth.
     rank_bw_ = spec.mem_bw_gbs * 1.0e9 / spec.ranks_per_node;
     if (in_cache) rank_bw_ *= spec.cache_bw_mult;
+
+    // Tiled execution engine (ROADMAP "cache blocking"): a row-block
+    // whose working set fits the per-core L2 keeps a fused kernel's
+    // intermediate field resident between its phases, so those sweeps
+    // stream the blocked bytes/cell variant instead.  An `auto` height
+    // (-1) resolves here, where the modelled chunk width is known —
+    // mirroring what solve_linear_system does with the real chunk.
+    if (tile_rows < 0) tile_rows = auto_tile_rows(spec, cnx_, 2);
+    if (tile_rows > 0 && spec.l2_kb > 0.0) {
+      const double tile_bytes = static_cast<double>(tile_rows) * cnx_ *
+                                kTileWorkingSetFields * 8.0;
+      blocked_ = tile_bytes <= spec.l2_kb * 1024.0;
+    }
   }
 
   /// One kernel sweep over every cell (with `ext` halo extension).
@@ -78,6 +92,14 @@ class ScalingModel::Cost {
         static_cast<double>(cnx_ + 2 * ext) * (cny_ + 2 * ext);
     seconds_ += spec_.kernel_launch_us * 1.0e-6 +
                 cells * bytes_per_cell / rank_bw_;
+  }
+
+  /// A sweep with a blocked-cache bytes/cell variant: `blocked_bytes`
+  /// applies when the configured row-block fits in L2, `streaming_bytes`
+  /// otherwise (untiled, or tiles too tall for the cache).
+  void sweep_blocked(double streaming_bytes, double blocked_bytes,
+                     int ext = 0) {
+    sweep(blocked_ ? blocked_bytes : streaming_bytes, ext);
   }
 
   /// One halo exchange of `nfields` fields at `depth` (two phases).
@@ -140,6 +162,7 @@ class ScalingModel::Cost {
   int py_ = 1;
   double rank_bw_ = 1.0;
   double seconds_ = 0.0;
+  bool blocked_ = false;
 };
 
 ScalingModel::ScalingModel(MachineSpec spec, GlobalMesh2D mesh,
@@ -164,11 +187,19 @@ constexpr double kBytesChebyInit = 16.0;  // res, dir (+16 with diag)
 constexpr double kBytesChebyFused = 56.0; // res rw, w, dir rw, acc rw
 constexpr double kBytesJacobi = 56.0;     // copy sweep + main sweep
 
+// Blocked-cache variants (tiled execution engine): when the row-block
+// fits in the per-core L2 the intermediate field of the fused sweep —
+// w between the stencil and update phases of cheby_step, the old-iterate
+// copy between Jacobi's save and update phases — never round-trips DRAM,
+// saving its 16 bytes/cell of write+read traffic.
+constexpr double kBytesChebyFusedBlocked = 40.0;
+constexpr double kBytesJacobiBlocked = 40.0;
+
 }  // namespace
 
 double ScalingModel::run_seconds(const SolverRunSummary& run,
                                  int nodes) const {
-  Cost cost(spec_, mesh_, nodes);
+  Cost cost(spec_, mesh_, nodes, run.tile_rows);
   const bool diag = run.precon == PreconType::kJacobiDiag;
   const bool block = run.precon == PreconType::kJacobiBlock;
   const double precon_bytes = block ? kBytesBlockApply : kBytesDiagApply;
@@ -205,7 +236,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
     case SolverType::kJacobi: {
       for (int i = 0; i < run.outer_iters; ++i) {
         cost.exchange(1, 1);
-        cost.sweep(kBytesJacobi);
+        cost.sweep_blocked(kBytesJacobi, kBytesJacobiBlocked);
         cost.reduce();
       }
       break;
@@ -237,7 +268,8 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
       for (int i = 0; i < run.outer_iters; ++i) {
         cost.exchange(1, 1);
         cost.sweep(kBytesSmvp);
-        cost.sweep(kBytesChebyFused + (diag ? 16.0 : 0.0));
+        cost.sweep_blocked(kBytesChebyFused + (diag ? 16.0 : 0.0),
+                           kBytesChebyFusedBlocked + (diag ? 16.0 : 0.0));
         if ((i + 1) % run.cheby_check_interval == 0) cost.reduce();
       }
       break;
@@ -264,7 +296,9 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
             cost.sweep(24.0, ext);        // sd update
             cost.sweep(24.0, ext);        // z += sd
           } else {
-            cost.sweep(kBytesChebyFused + (diag ? 16.0 : 0.0), ext);
+            cost.sweep_blocked(kBytesChebyFused + (diag ? 16.0 : 0.0),
+                               kBytesChebyFusedBlocked + (diag ? 16.0 : 0.0),
+                               ext);
           }
         }
       };

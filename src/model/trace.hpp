@@ -20,6 +20,13 @@ struct SolverRunSummary {
   int inner_steps = 10;    ///< PPCG inner Chebyshev steps per outer
   int cheby_check_interval = 20;
   bool fused_cg = false;   ///< Chronopoulos-Gear single-reduction CG
+  /// Row-block height the tiled execution engine actually ran with
+  /// (0 = untiled — including any tile knob under the unfused engine;
+  /// -1 = auto, resolved by the scaling model against the modelled
+  /// machine's L2).  The communication structure is unchanged by tiling;
+  /// the scaling model uses this to pick the blocked-cache bytes/cell
+  /// variants.
+  int tile_rows = 0;
 
   int outer_iters = 0;     ///< iterations after the eigenvalue presteps
   int eigen_cg_iters = 0;  ///< CG presteps (Chebyshev / PPCG)

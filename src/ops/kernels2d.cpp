@@ -86,6 +86,158 @@ inline double apply_stencil(const Chunk2D& c, const Field2D<double>& src,
          (kx(j + 1, k) * src(j + 1, k) + kx(j, k) * src(j - 1, k));
 }
 
+// ---- per-row reduction cores --------------------------------------------
+// Every reducing kernel accumulates one partial per row and combines the
+// rows in row order; the full kernels and the row-blocked (tiled) variants
+// call the SAME cores, so the sum is a pure function of the row
+// decomposition — never of tile size or thread assignment.
+
+inline double dot_row(const Field2D<double>& a, const Field2D<double>& b,
+                      int nx, int k) {
+  double acc = 0.0;
+  for (int j = 0; j < nx; ++j) acc += a(j, k) * b(j, k);
+  return acc;
+}
+
+/// One row of smvp_dot: dst = A·src over [b.jlo, b.jhi), returning the
+/// interior part of Σ src·dst (0.0 when row k is outside the interior).
+inline double smvp_dot_row(Chunk2D& c, const Field2D<double>& src,
+                           Field2D<double>& dst, const Bounds& b,
+                           const Bounds& in, int k) {
+  const bool k_in = (k >= in.klo && k < in.khi);
+  double acc = 0.0;
+  for (int j = b.jlo; j < b.jhi; ++j) {
+    const double w = apply_stencil(c, src, j, k);
+    dst(j, k) = w;
+    if (k_in && j >= in.jlo && j < in.jhi) acc += src(j, k) * w;
+  }
+  return acc;
+}
+
+/// One row of smvp_dot2: writes the pair (Σ other·src, Σ dst·src).
+inline void smvp_dot2_row(Chunk2D& c, const Field2D<double>& src,
+                          Field2D<double>& dst,
+                          const Field2D<double>& other, const Bounds& b,
+                          const Bounds& in, int k, double* pair_out) {
+  const bool k_in = (k >= in.klo && k < in.khi);
+  double dot_other = 0.0;
+  double dot_dst = 0.0;
+  for (int j = b.jlo; j < b.jhi; ++j) {
+    const double w = apply_stencil(c, src, j, k);
+    dst(j, k) = w;
+    if (k_in && j >= in.jlo && j < in.jhi) {
+      dot_other += other(j, k) * src(j, k);
+      dot_dst += w * src(j, k);
+    }
+  }
+  pair_out[0] = dot_other;
+  pair_out[1] = dot_dst;
+}
+
+/// One row of calc_ur_dot for the local preconditioners.
+inline double calc_ur_dot_row(Chunk2D& c, double alpha, bool diag, int k) {
+  auto& u = c.u();
+  auto& r = c.r();
+  const auto& p = c.p();
+  const auto& w = c.w();
+  double acc = 0.0;
+  if (diag) {
+    auto& z = c.z();
+    for (int j = 0; j < c.nx(); ++j) {
+      u(j, k) += alpha * p(j, k);
+      const double rv = r(j, k) - alpha * w(j, k);
+      r(j, k) = rv;
+      const double zv = rv / diag_at(c, j, k);
+      z(j, k) = zv;
+      acc += rv * zv;
+    }
+  } else {
+    for (int j = 0; j < c.nx(); ++j) {
+      u(j, k) += alpha * p(j, k);
+      const double rv = r(j, k) - alpha * w(j, k);
+      r(j, k) = rv;
+      acc += rv * rv;
+    }
+  }
+  return acc;
+}
+
+/// One row of cg_calc_ur.
+inline void cg_calc_ur_row(Chunk2D& c, double alpha, int k) {
+  auto& u = c.u();
+  auto& r = c.r();
+  const auto& p = c.p();
+  const auto& w = c.w();
+  for (int j = 0; j < c.nx(); ++j) {
+    u(j, k) += alpha * p(j, k);
+    r(j, k) -= alpha * w(j, k);
+  }
+}
+
+/// One row of the pointwise Chronopoulos-Gear update.
+inline void cg_chrono_update_row(Chunk2D& c, double alpha, double beta,
+                                 bool diag, bool local, int k) {
+  auto& u = c.u();
+  auto& r = c.r();
+  auto& p = c.p();
+  auto& sd = c.sd();
+  auto& z = c.z();
+  const auto& w = c.w();
+  for (int j = 0; j < c.nx(); ++j) {
+    const double pv = z(j, k) + beta * p(j, k);
+    p(j, k) = pv;
+    const double sv = w(j, k) + beta * sd(j, k);
+    sd(j, k) = sv;
+    u(j, k) += alpha * pv;
+    r(j, k) -= alpha * sv;
+    if (local) {
+      z(j, k) = diag ? r(j, k) / diag_at(c, j, k) : r(j, k);
+    }
+  }
+}
+
+/// One row of the Jacobi save phase (r = u, halo columns included).
+inline void jacobi_save_row(Chunk2D& c, int k) {
+  auto& r = c.r();
+  const auto& u = c.u();
+  for (int j = -1; j < c.nx() + 1; ++j) r(j, k) = u(j, k);
+}
+
+/// One row of the Jacobi update sweep; returns Σ|u_new − u_old|.
+inline double jacobi_update_row(Chunk2D& c, int k) {
+  auto& u = c.u();
+  const auto& r = c.r();
+  const auto& u0 = c.u0();
+  const auto& kx = c.kx();
+  const auto& ky = c.ky();
+  double err = 0.0;
+  for (int j = 0; j < c.nx(); ++j) {
+    const double diag =
+        1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k));
+    u(j, k) = (u0(j, k) +
+               (ky(j, k + 1) * r(j, k + 1) + ky(j, k) * r(j, k - 1)) +
+               (kx(j + 1, k) * r(j + 1, k) + kx(j, k) * r(j - 1, k))) /
+              diag;
+    err += std::fabs(u(j, k) - r(j, k));
+  }
+  return err;
+}
+
+/// One row of the fused Chebyshev update (shared by the untiled lagged
+/// pass, the in-block lagged pass and the deferred edge pass).
+inline void cheby_update_row(Chunk2D& c, Field2D<double>& res,
+                             Field2D<double>& dir, Field2D<double>& acc,
+                             const Field2D<double>& w, double alpha,
+                             double beta, bool diag_precon, const Bounds& b,
+                             int k) {
+  for (int j = b.jlo; j < b.jhi; ++j) {
+    res(j, k) -= w(j, k);
+    const double m_inv = diag_precon ? 1.0 / diag_at(c, j, k) : 1.0;
+    dir(j, k) = alpha * dir(j, k) + beta * m_inv * res(j, k);
+    acc(j, k) += dir(j, k);
+  }
+}
+
 }  // namespace
 
 void smvp(Chunk2D& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
@@ -105,12 +257,7 @@ double smvp_dot(Chunk2D& c, FieldId src_id, FieldId dst_id,
   const Bounds in = interior_bounds(c);
   double acc = 0.0;
   for (int k = b.klo; k < b.khi; ++k) {
-    const bool k_in = (k >= in.klo && k < in.khi);
-    for (int j = b.jlo; j < b.jhi; ++j) {
-      const double w = apply_stencil(c, src, j, k);
-      dst(j, k) = w;
-      if (k_in && j >= in.jlo && j < in.jhi) acc += src(j, k) * w;
-    }
+    acc += smvp_dot_row(c, src, dst, b, in, k);
   }
   return acc;
 }
@@ -157,8 +304,7 @@ double dot(const Chunk2D& c, FieldId a_id, FieldId b_id) {
   const auto& a = c.field(a_id);
   const auto& b = c.field(b_id);
   double acc = 0.0;
-  for (int k = 0; k < c.ny(); ++k)
-    for (int j = 0; j < c.nx(); ++j) acc += a(j, k) * b(j, k);
+  for (int k = 0; k < c.ny(); ++k) acc += dot_row(a, b, c.nx(), k);
   return acc;
 }
 
@@ -181,40 +327,14 @@ double calc_residual(Chunk2D& c) {
 }
 
 void cg_calc_ur(Chunk2D& c, double alpha) {
-  auto& u = c.u();
-  auto& r = c.r();
-  const auto& p = c.p();
-  const auto& w = c.w();
-  for (int k = 0; k < c.ny(); ++k) {
-    for (int j = 0; j < c.nx(); ++j) {
-      u(j, k) += alpha * p(j, k);
-      r(j, k) -= alpha * w(j, k);
-    }
-  }
+  for (int k = 0; k < c.ny(); ++k) cg_calc_ur_row(c, alpha, k);
 }
 
 double jacobi_iterate(Chunk2D& c) {
-  auto& u = c.u();
-  auto& r = c.r();
-  const auto& u0 = c.u0();
-  const auto& kx = c.kx();
-  const auto& ky = c.ky();
-  const int h = 1;
   // Save the previous iterate (halo included: neighbours' u arrives there).
-  for (int k = -h; k < c.ny() + h; ++k)
-    for (int j = -h; j < c.nx() + h; ++j) r(j, k) = u(j, k);
+  for (int k = -1; k < c.ny() + 1; ++k) jacobi_save_row(c, k);
   double err = 0.0;
-  for (int k = 0; k < c.ny(); ++k) {
-    for (int j = 0; j < c.nx(); ++j) {
-      const double diag =
-          1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k));
-      u(j, k) = (u0(j, k) +
-                 (ky(j, k + 1) * r(j, k + 1) + ky(j, k) * r(j, k - 1)) +
-                 (kx(j + 1, k) * r(j + 1, k) + kx(j, k) * r(j - 1, k))) /
-                diag;
-      err += std::fabs(u(j, k) - r(j, k));
-    }
-  }
+  for (int k = 0; k < c.ny(); ++k) err += jacobi_update_row(c, k);
   return err;
 }
 
@@ -249,34 +369,13 @@ void cheby_fused_update(Chunk2D& c, FieldId res_id, FieldId dir_id,
 }
 
 double calc_ur_dot(Chunk2D& c, double alpha, PreconType precon) {
-  auto& u = c.u();
-  auto& r = c.r();
-  const auto& p = c.p();
-  const auto& w = c.w();
-  double acc = 0.0;
   switch (precon) {
-    case PreconType::kNone: {
-      for (int k = 0; k < c.ny(); ++k) {
-        for (int j = 0; j < c.nx(); ++j) {
-          u(j, k) += alpha * p(j, k);
-          const double rv = r(j, k) - alpha * w(j, k);
-          r(j, k) = rv;
-          acc += rv * rv;
-        }
-      }
-      return acc;
-    }
+    case PreconType::kNone:
     case PreconType::kJacobiDiag: {
-      auto& z = c.z();
+      const bool diag = (precon == PreconType::kJacobiDiag);
+      double acc = 0.0;
       for (int k = 0; k < c.ny(); ++k) {
-        for (int j = 0; j < c.nx(); ++j) {
-          u(j, k) += alpha * p(j, k);
-          const double rv = r(j, k) - alpha * w(j, k);
-          r(j, k) = rv;
-          const double zv = rv / diag_at(c, j, k);
-          z(j, k) = zv;
-          acc += rv * zv;
-        }
+        acc += calc_ur_dot_row(c, alpha, diag, k);
       }
       return acc;
     }
@@ -298,14 +397,6 @@ void cheby_step(Chunk2D& c, FieldId res_id, FieldId dir_id, FieldId acc_id,
   auto& dir = c.field(dir_id);
   auto& acc = c.field(acc_id);
   auto& w = c.w();
-  const auto update_row = [&](int k) {
-    for (int j = b.jlo; j < b.jhi; ++j) {
-      res(j, k) -= w(j, k);
-      const double m_inv = diag_precon ? 1.0 / diag_at(c, j, k) : 1.0;
-      dir(j, k) = alpha * dir(j, k) + beta * m_inv * res(j, k);
-      acc(j, k) += dir(j, k);
-    }
-  };
   // Row-lagged fusion: the stencil of row k reads dir rows k-1..k+1, so
   // row k-1 may be updated as soon as w row k is in place — dir values
   // feeding every stencil are pristine, as in the two-pass form.
@@ -313,33 +404,23 @@ void cheby_step(Chunk2D& c, FieldId res_id, FieldId dir_id, FieldId acc_id,
     for (int j = b.jlo; j < b.jhi; ++j) {
       w(j, k) = apply_stencil(c, dir, j, k);
     }
-    if (k > b.klo) update_row(k - 1);
+    if (k > b.klo) {
+      cheby_update_row(c, res, dir, acc, w, alpha, beta, diag_precon, b,
+                       k - 1);
+    }
   }
-  if (b.khi > b.klo) update_row(b.khi - 1);
+  if (b.khi > b.klo) {
+    cheby_update_row(c, res, dir, acc, w, alpha, beta, diag_precon, b,
+                     b.khi - 1);
+  }
 }
 
 void cg_chrono_update(Chunk2D& c, double alpha, double beta,
                       PreconType precon) {
-  auto& u = c.u();
-  auto& r = c.r();
-  auto& p = c.p();
-  auto& sd = c.sd();
-  auto& z = c.z();
-  const auto& w = c.w();
   const bool diag = (precon == PreconType::kJacobiDiag);
   const bool local = (precon != PreconType::kJacobiBlock);
   for (int k = 0; k < c.ny(); ++k) {
-    for (int j = 0; j < c.nx(); ++j) {
-      const double pv = z(j, k) + beta * p(j, k);
-      p(j, k) = pv;
-      const double sv = w(j, k) + beta * sd(j, k);
-      sd(j, k) = sv;
-      u(j, k) += alpha * pv;
-      r(j, k) -= alpha * sv;
-      if (local) {
-        z(j, k) = diag ? r(j, k) / diag_at(c, j, k) : r(j, k);
-      }
-    }
+    cg_chrono_update_row(c, alpha, beta, diag, local, k);
   }
   if (!local) block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
 }
@@ -354,17 +435,141 @@ std::pair<double, double> smvp_dot2(Chunk2D& c, FieldId src_id,
   double dot_other = 0.0;
   double dot_dst = 0.0;
   for (int k = b.klo; k < b.khi; ++k) {
-    const bool k_in = (k >= in.klo && k < in.khi);
-    for (int j = b.jlo; j < b.jhi; ++j) {
-      const double w = apply_stencil(c, src, j, k);
-      dst(j, k) = w;
-      if (k_in && j >= in.jlo && j < in.jhi) {
-        dot_other += other(j, k) * src(j, k);
-        dot_dst += w * src(j, k);
-      }
-    }
+    double pair[2];
+    smvp_dot2_row(c, src, dst, other, b, in, k, pair);
+    dot_other += pair[0];
+    dot_dst += pair[1];
   }
   return {dot_other, dot_dst};
+}
+
+// ---- row-blocked (tiled) variants ---------------------------------------
+
+void dot_rows(const Chunk2D& c, FieldId a_id, FieldId b_id, int k0, int k1,
+              double* row_sums) {
+  const auto& a = c.field(a_id);
+  const auto& b = c.field(b_id);
+  for (int k = k0; k < k1; ++k) row_sums[k] = dot_row(a, b, c.nx(), k);
+}
+
+void smvp_dot_rows(Chunk2D& c, FieldId src_id, FieldId dst_id,
+                   const Bounds& b, int k0, int k1, double* row_sums) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  const Bounds in = interior_bounds(c);
+  for (int k = k0; k < k1; ++k) {
+    const double s = smvp_dot_row(c, src, dst, b, in, k);
+    if (k >= in.klo && k < in.khi) row_sums[k] = s;
+  }
+}
+
+void smvp_dot2_rows(Chunk2D& c, FieldId src_id, FieldId dst_id,
+                    FieldId other_id, const Bounds& b, int k0, int k1,
+                    double* row_sums) {
+  const auto& src = c.field(src_id);
+  const auto& other = c.field(other_id);
+  auto& dst = c.field(dst_id);
+  const Bounds in = interior_bounds(c);
+  for (int k = k0; k < k1; ++k) {
+    double pair[2];
+    smvp_dot2_row(c, src, dst, other, b, in, k, pair);
+    if (k >= in.klo && k < in.khi) {
+      row_sums[2 * k] = pair[0];
+      row_sums[2 * k + 1] = pair[1];
+    }
+  }
+}
+
+void cg_calc_ur_rows(Chunk2D& c, double alpha, int k0, int k1) {
+  for (int k = k0; k < k1; ++k) cg_calc_ur_row(c, alpha, k);
+}
+
+void calc_ur_dot_rows(Chunk2D& c, double alpha, PreconType precon, int k0,
+                      int k1, double* row_sums) {
+  TEA_ASSERT(precon != PreconType::kJacobiBlock,
+             "block-Jacobi strips do not row-tile; compose via "
+             "cg_calc_ur_rows + block_jacobi_solve + dot_rows");
+  const bool diag = (precon == PreconType::kJacobiDiag);
+  for (int k = k0; k < k1; ++k) {
+    row_sums[k] = calc_ur_dot_row(c, alpha, diag, k);
+  }
+}
+
+void cg_chrono_update_rows(Chunk2D& c, double alpha, double beta,
+                           PreconType precon, int k0, int k1) {
+  const bool diag = (precon == PreconType::kJacobiDiag);
+  const bool local = (precon != PreconType::kJacobiBlock);
+  for (int k = k0; k < k1; ++k) {
+    cg_chrono_update_row(c, alpha, beta, diag, local, k);
+  }
+}
+
+void cheby_step_tile(Chunk2D& c, FieldId res_id, FieldId dir_id,
+                     FieldId acc_id, double alpha, double beta,
+                     bool diag_precon, const Bounds& b, int k0, int k1) {
+  auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  auto& acc = c.field(acc_id);
+  auto& w = c.w();
+  // In-block row-lagged fusion, as in the untiled cheby_step, except rows
+  // k0 and k1-1 stay un-updated: a neighbouring block's stencil reads
+  // dir(k0-1..k0) / dir(k1-1..k1), so those rows must keep their pristine
+  // values until every block's stencil sweep is done (team barrier), after
+  // which cheby_step_tile_edges finishes them.
+  for (int k = k0; k < k1; ++k) {
+    for (int j = b.jlo; j < b.jhi; ++j) {
+      w(j, k) = apply_stencil(c, dir, j, k);
+    }
+    // Lagged update of row k-1 (its w is in place and no later stencil of
+    // this block reads its dir), skipping the deferred edge rows.  At
+    // k = k1-1 this covers the block's last in-pass row k1-2, so no
+    // post-loop update is needed.
+    if (k - 1 > k0 && k - 1 < k1 - 1) {
+      cheby_update_row(c, res, dir, acc, w, alpha, beta, diag_precon, b,
+                       k - 1);
+    }
+  }
+}
+
+void cheby_step_tile_edges(Chunk2D& c, FieldId res_id, FieldId dir_id,
+                           FieldId acc_id, double alpha, double beta,
+                           bool diag_precon, const Bounds& b, int k0,
+                           int k1) {
+  auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  auto& acc = c.field(acc_id);
+  auto& w = c.w();
+  if (k1 <= k0) return;
+  cheby_update_row(c, res, dir, acc, w, alpha, beta, diag_precon, b, k0);
+  if (k1 - 1 > k0) {
+    cheby_update_row(c, res, dir, acc, w, alpha, beta, diag_precon, b,
+                     k1 - 1);
+  }
+}
+
+void jacobi_save_rows(Chunk2D& c, int k0, int k1) {
+  for (int k = k0; k < k1; ++k) jacobi_save_row(c, k);
+}
+
+void jacobi_update_rows(Chunk2D& c, int k0, int k1, double* row_sums) {
+  for (int k = k0; k < k1; ++k) row_sums[k] = jacobi_update_row(c, k);
+}
+
+void jacobi_tile(Chunk2D& c, int k0, int k1, double* row_sums) {
+  // The first/last interior block also saves the −1/ny halo row its edge
+  // stencils read; interior blocks save exactly their own rows.
+  const int s0 = (k0 == 0) ? -1 : k0;
+  const int s1 = (k1 == c.ny()) ? c.ny() + 1 : k1;
+  for (int k = s0; k < s1; ++k) {
+    jacobi_save_row(c, k);
+    // Lagged update: row k-1's stencil reads saved rows k-2..k (all in
+    // place), and the rows another block reads are deferred to the edge
+    // pass.  Updates write u rows this block's later saves never read.
+    const int lag = k - 1;
+    if (lag >= k0 + 1 && lag <= k1 - 2) {
+      row_sums[lag] = jacobi_update_row(c, lag);
+    }
+  }
 }
 
 }  // namespace tealeaf::kernels

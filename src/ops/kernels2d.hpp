@@ -164,4 +164,88 @@ void cg_chrono_update(Chunk2D& c, double alpha, double beta,
                                                   FieldId dst, FieldId other,
                                                   const Bounds& bounds);
 
+// ---- row-blocked (tiled) kernel variants --------------------------------
+// The tiled execution engine (SolverConfig::tile_rows) cuts every sweep
+// into row-blocks so the per-block working set fits in L2, and workshares
+// the (rank, row-block) pairs over the whole thread team.  Each variant
+// below processes only rows [k0, k1) of its kernel's sweep and is built on
+// the SAME per-row core as the full kernel, so any tiling of the row range
+// — and any assignment of blocks to threads — produces bitwise-identical
+// fields.  Reducing variants deposit one partial per interior row into
+// `row_sums` (indexed by absolute row k, the chunk's `row_scratch`); the
+// engine then combines rows in row order followed by ranks in rank order,
+// which is exactly the accumulation order of the full kernels.  Kernels
+// whose preconditioner couples rows (block-Jacobi strip solves) do not
+// row-tile; the engine composes them from the pointwise parts plus a
+// per-rank strip pass, matching the full kernels' internal composition.
+
+/// Rows [k0, k1) of `dot` (use a == b for norm²).
+void dot_rows(const Chunk2D& c, FieldId a, FieldId b, int k0, int k1,
+              double* row_sums);
+
+/// Rows [k0, k1) of `smvp_dot` over `bounds` (row_sums written for
+/// interior rows only; halo-extension rows just sweep).
+void smvp_dot_rows(Chunk2D& c, FieldId src, FieldId dst, const Bounds& bounds,
+                   int k0, int k1, double* row_sums);
+
+/// Rows [k0, k1) of `smvp_dot2`: two partials per row, row_sums[2k] =
+/// Σ other·src and row_sums[2k+1] = Σ dst·src over row k.
+void smvp_dot2_rows(Chunk2D& c, FieldId src, FieldId dst, FieldId other,
+                    const Bounds& bounds, int k0, int k1, double* row_sums);
+
+/// Rows [k0, k1) of `cg_calc_ur` (u += α·p, r −= α·w).
+void cg_calc_ur_rows(Chunk2D& c, double alpha, int k0, int k1);
+
+/// Rows [k0, k1) of `calc_ur_dot` for the LOCAL preconditioners only
+/// (kNone / kJacobiDiag); block-Jacobi is composed by the engine from
+/// cg_calc_ur_rows + block_jacobi_solve + dot_rows.
+void calc_ur_dot_rows(Chunk2D& c, double alpha, PreconType precon, int k0,
+                      int k1, double* row_sums);
+
+/// Rows [k0, k1) of the pointwise part of `cg_chrono_update` (for local
+/// preconditioners the whole kernel; for block-Jacobi the engine runs the
+/// strip solve as a separate per-rank pass, as the full kernel does).
+void cg_chrono_update_rows(Chunk2D& c, double alpha, double beta,
+                           PreconType precon, int k0, int k1);
+
+/// Row-block [k0, k1) of the fused Chebyshev step: computes w = A·dir for
+/// all rows of the block and applies the row-lagged update to the block's
+/// INTERIOR rows [k0+1, k1-2].  The first and last row of every block are
+/// left un-updated because a neighbouring block's stencil still reads
+/// their pristine `dir` values; after a team barrier,
+/// `cheby_step_tile_edges` finishes them.  The per-cell arithmetic is the
+/// untiled `cheby_step`'s, so tiled and untiled iterates are bitwise
+/// identical.
+void cheby_step_tile(Chunk2D& c, FieldId res, FieldId dir, FieldId acc,
+                     double alpha, double beta, bool diag_precon,
+                     const Bounds& bounds, int k0, int k1);
+
+/// Deferred edge-row updates of `cheby_step_tile`: rows k0 and k1-1 of the
+/// same block decomposition (pointwise — safe once all blocks' stencil
+/// sweeps have completed).
+void cheby_step_tile_edges(Chunk2D& c, FieldId res, FieldId dir, FieldId acc,
+                           double alpha, double beta, bool diag_precon,
+                           const Bounds& bounds, int k0, int k1);
+
+/// Rows [k0, k1) of the Jacobi save phase (r = u, including the ±1 halo
+/// columns and rows; pass absolute rows within [-1, ny+1)).
+void jacobi_save_rows(Chunk2D& c, int k0, int k1);
+
+/// Rows [k0, k1) of the Jacobi update sweep (row_sums[k] = Σ|u_new −
+/// u_old| over row k).  Requires the save phase complete for rows
+/// k0-1..k1 — in the tiled engine a team barrier sits between the phases.
+void jacobi_update_rows(Chunk2D& c, int k0, int k1, double* row_sums);
+
+/// Row-block [k0, k1) of the interior for a CACHE-FUSED Jacobi sweep:
+/// saves the block's rows (r = u, extending to the −1/ny halo rows on the
+/// first/last block) with the update row-lagged one row behind, so the
+/// just-saved r rows are still in L2 when the stencil consumes them —
+/// this is where row tiling beats the untiled save-then-update sweep even
+/// single-threaded.  Rows k0 and k1-1 stay un-updated (a neighbouring
+/// block's lagged update still reads their pristine save inputs only, but
+/// their OWN stencils need the neighbour block's saves); after a team
+/// barrier, jacobi_update_rows finishes them.  Per-cell arithmetic is
+/// jacobi_iterate's — bitwise identical for any tiling.
+void jacobi_tile(Chunk2D& c, int k0, int k1, double* row_sums);
+
 }  // namespace tealeaf::kernels

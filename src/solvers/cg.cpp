@@ -184,14 +184,33 @@ SolveStats CGSolver::solve_chrono_fused_kernels(SimCluster2D& cl,
   // one hoisted parallel region per iteration containing the single-pass
   // vector update (cg_chrono_update), the team-aware z exchange and the
   // operator apply with both dot products folded in (smvp_dot2).
-  // Arithmetic is bitwise identical to solve_fused.
+  // Arithmetic is bitwise identical to solve_fused.  With cfg.tile_rows
+  // > 0 both sweeps run row-blocked through the tiled engine — bitwise
+  // identical again (shared per-row kernel cores, ordered combination).
   Timer timer;
   SolveStats st;
+  const int tile = cfg.tile_rows;
+  const bool block = (cfg.precon == PreconType::kJacobiBlock);
+  const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
+  const auto smvp_dot2_pair = [&](const Team* t) {
+    if (tile > 0) {
+      return cl.sum2_rows_over_chunks(
+          t, tile, [](int, Chunk2D& c, int k0, int k1) {
+            kernels::smvp_dot2_rows(c, FieldId::kZ, FieldId::kW, FieldId::kR,
+                                    interior_bounds(c), k0, k1,
+                                    c.row_scratch());
+          });
+    }
+    return cl.sum2_over_chunks(t, [](int, Chunk2D& c) {
+      return kernels::smvp_dot2(c, FieldId::kZ, FieldId::kW, FieldId::kR,
+                                interior_bounds(c));
+    });
+  };
 
   cl.exchange({FieldId::kU}, 1);
   cl.for_each_chunk([&](int, Chunk2D& c) {
     kernels::calc_residual(c);
-    if (cfg.precon == PreconType::kJacobiBlock) kernels::block_jacobi_init(c);
+    if (block) kernels::block_jacobi_init(c);
   });
   double gamma = 0.0;
   double delta = 0.0;
@@ -200,10 +219,7 @@ SolveStats CGSolver::solve_chrono_fused_kernels(SimCluster2D& cl,
       kernels::apply_preconditioner(c, cfg.precon, FieldId::kR, FieldId::kZ);
     });
     cl.exchange(&t, {FieldId::kZ}, 1);
-    const auto gd = cl.sum2_over_chunks(&t, [](int, Chunk2D& c) {
-      return kernels::smvp_dot2(c, FieldId::kZ, FieldId::kW, FieldId::kR,
-                                interior_bounds(c));
-    });
+    const auto gd = smvp_dot2_pair(&t);
     t.single([&] {
       gamma = gd.first;
       delta = gd.second;
@@ -231,14 +247,27 @@ SolveStats CGSolver::solve_chrono_fused_kernels(SimCluster2D& cl,
     double gamma_new = 0.0;
     double delta_new = 0.0;
     parallel_region([&](Team& t) {
-      cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
-        kernels::cg_chrono_update(c, alpha, beta, cfg.precon);
-      });
+      if (tile > 0) {
+        cl.for_each_tile(&t, tile, interior,
+                         [&](int, Chunk2D& c, const Bounds& tb) {
+                           kernels::cg_chrono_update_rows(
+                               c, alpha, beta, cfg.precon, tb.klo, tb.khi);
+                         });
+        if (block) {
+          // The strip solve reads every r row of its rank: order it
+          // against the row-blocked pointwise update.
+          t.barrier();
+          cl.for_each_chunk(&t, [](int, Chunk2D& c) {
+            kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+          });
+        }
+      } else {
+        cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
+          kernels::cg_chrono_update(c, alpha, beta, cfg.precon);
+        });
+      }
       cl.exchange(&t, {FieldId::kZ}, 1);
-      const auto gd = cl.sum2_over_chunks(&t, [](int, Chunk2D& c) {
-        return kernels::smvp_dot2(c, FieldId::kZ, FieldId::kW, FieldId::kR,
-                                  interior_bounds(c));
-      });
+      const auto gd = smvp_dot2_pair(&t);
       t.single([&] {
         gamma_new = gd.first;
         delta_new = gd.second;
@@ -271,9 +300,13 @@ SolveStats CGSolver::solve_classic_fused_kernels(SimCluster2D& cl,
   // Classic CG through the fused execution engine: the ~6 parallel
   // regions per iteration (exchange phases, smvp+dot, update sweeps,
   // direction update) collapse into ONE, and the update/precondition/dot
-  // triple runs as the single-pass calc_ur_dot kernel.
+  // triple runs as the single-pass calc_ur_dot kernel.  With
+  // cfg.tile_rows > 0 every sweep runs row-blocked (and, with more
+  // threads than ranks, 2-D scheduled) — bitwise identical either way.
   Timer timer;
   SolveStats st;
+  const int tile = cfg.tile_rows;
+  const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
 
   double rro = cg_setup(cl, cfg.precon);
   ++st.spmv_applies;
@@ -291,24 +324,66 @@ SolveStats CGSolver::solve_classic_fused_kernels(SimCluster2D& cl,
     double rrn_out = 0.0;
     parallel_region([&](Team& t) {
       cl.exchange(&t, {FieldId::kP}, 1);
-      const double pw = cl.sum_over_chunks(&t, [](int, Chunk2D& c) {
-        return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
-                                 interior_bounds(c));
-      });
+      const double pw =
+          tile > 0
+              ? cl.sum_rows_over_chunks(
+                    &t, tile,
+                    [](int, Chunk2D& c, int k0, int k1) {
+                      kernels::smvp_dot_rows(c, FieldId::kP, FieldId::kW,
+                                             interior_bounds(c), k0, k1,
+                                             c.row_scratch());
+                    })
+              : cl.sum_over_chunks(&t, [](int, Chunk2D& c) {
+                  return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
+                                           interior_bounds(c));
+                });
       t.single([&] { pw_out = pw; });
       // Every thread computed the same rank-ordered sum, so the breakdown
       // branch is uniform across the team.
       if (!(pw > 0.0)) return;
       const double alpha = rro / pw;
-      const double rrn_t = cl.sum_over_chunks(&t, [&](int, Chunk2D& c) {
-        return kernels::calc_ur_dot(c, alpha, cfg.precon);
-      });
+      double rrn_t;
+      if (tile > 0 && cfg.precon == PreconType::kJacobiBlock) {
+        // The strip solve couples rows: row-tile the pointwise update,
+        // run the solve per rank, then the row-tiled ⟨r,z⟩.
+        cl.for_each_tile(&t, tile, interior,
+                         [&](int, Chunk2D& c, const Bounds& tb) {
+                           kernels::cg_calc_ur_rows(c, alpha, tb.klo,
+                                                    tb.khi);
+                         });
+        t.barrier();
+        cl.for_each_chunk(&t, [](int, Chunk2D& c) {
+          kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+        });
+        rrn_t = cl.sum_rows_over_chunks(
+            &t, tile, [](int, Chunk2D& c, int k0, int k1) {
+              kernels::dot_rows(c, FieldId::kR, FieldId::kZ, k0, k1,
+                                c.row_scratch());
+            });
+      } else if (tile > 0) {
+        rrn_t = cl.sum_rows_over_chunks(
+            &t, tile, [&](int, Chunk2D& c, int k0, int k1) {
+              kernels::calc_ur_dot_rows(c, alpha, cfg.precon, k0, k1,
+                                        c.row_scratch());
+            });
+      } else {
+        rrn_t = cl.sum_over_chunks(&t, [&](int, Chunk2D& c) {
+          return kernels::calc_ur_dot(c, alpha, cfg.precon);
+        });
+      }
       const double beta = rrn_t / rro;
       const FieldId zsrc =
           (cfg.precon == PreconType::kNone) ? FieldId::kR : FieldId::kZ;
-      cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
-        kernels::xpby(c, FieldId::kP, zsrc, beta, interior_bounds(c));
-      });
+      if (tile > 0) {
+        cl.for_each_tile(&t, tile, interior,
+                         [&](int, Chunk2D& c, const Bounds& tb) {
+                           kernels::xpby(c, FieldId::kP, zsrc, beta, tb);
+                         });
+      } else {
+        cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
+          kernels::xpby(c, FieldId::kP, zsrc, beta, interior_bounds(c));
+        });
+      }
       t.single([&] { rrn_out = rrn_t; });
     });
     ++st.spmv_applies;

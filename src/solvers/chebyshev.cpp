@@ -56,27 +56,61 @@ void cheby_iteration(SimCluster2D& cl, PreconType precon, double alpha,
 /// the block-Jacobi composition) and — on check iterations — the team
 /// ‖r‖² reduction.  Returns the reduced norm² via `rr_out` when
 /// `check` is set.  Bitwise identical to cheby_iteration.
+///
+/// With tile_rows > 0 the step runs through the tiled engine instead:
+/// row-blocked stencil passes with in-block row lagging, a barrier, then
+/// the deferred block-edge updates — still bitwise identical (same
+/// per-cell arithmetic; see kernels::cheby_step_tile).  Block-Jacobi's
+/// strip solve couples rows, so that composition stays per-rank.
 void cheby_iteration_fused(SimCluster2D& cl, PreconType precon, double alpha,
-                           double beta, bool check, double* rr_out) {
+                           double beta, bool check, double* rr_out,
+                           int tile_rows) {
+  const bool diag = (precon == PreconType::kJacobiDiag);
+  const int tile =
+      (precon == PreconType::kJacobiBlock) ? 0 : tile_rows;
+  const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
   parallel_region([&](Team& t) {
     cl.exchange(&t, {FieldId::kP}, 1);
-    cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
-      const Bounds in = interior_bounds(c);
-      if (precon == PreconType::kJacobiBlock) {
-        kernels::smvp(c, FieldId::kP, FieldId::kW, in);
-        kernels::axpy(c, FieldId::kR, -1.0, FieldId::kW, in);
-        kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
-        kernels::axpby(c, FieldId::kP, alpha, beta, FieldId::kZ, in);
-        kernels::axpy(c, FieldId::kU, 1.0, FieldId::kP, in);
-      } else {
-        kernels::cheby_step(c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
-                            beta, precon == PreconType::kJacobiDiag, in);
-      }
-    });
-    if (check) {
-      const double rr = cl.sum_over_chunks(&t, [](int, const Chunk2D& c) {
-        return kernels::norm2_sq(c, FieldId::kR);
+    if (tile > 0) {
+      cl.for_each_tile(&t, tile, interior,
+                       [&](int, Chunk2D& c, const Bounds& tb) {
+                         kernels::cheby_step_tile(
+                             c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
+                             beta, diag, interior_bounds(c), tb.klo, tb.khi);
+                       });
+      t.barrier();  // edge rows must see every block's stencil pass done
+      cl.for_each_tile(&t, tile, interior,
+                       [&](int, Chunk2D& c, const Bounds& tb) {
+                         kernels::cheby_step_tile_edges(
+                             c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
+                             beta, diag, interior_bounds(c), tb.klo, tb.khi);
+                       });
+    } else {
+      cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
+        const Bounds in = interior_bounds(c);
+        if (precon == PreconType::kJacobiBlock) {
+          kernels::smvp(c, FieldId::kP, FieldId::kW, in);
+          kernels::axpy(c, FieldId::kR, -1.0, FieldId::kW, in);
+          kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+          kernels::axpby(c, FieldId::kP, alpha, beta, FieldId::kZ, in);
+          kernels::axpy(c, FieldId::kU, 1.0, FieldId::kP, in);
+        } else {
+          kernels::cheby_step(c, FieldId::kR, FieldId::kP, FieldId::kU,
+                              alpha, beta, diag, in);
+        }
       });
+    }
+    if (check) {
+      const double rr =
+          tile > 0 ? cl.sum_rows_over_chunks(
+                         &t, tile,
+                         [](int, Chunk2D& c, int k0, int k1) {
+                           kernels::dot_rows(c, FieldId::kR, FieldId::kR, k0,
+                                             k1, c.row_scratch());
+                         })
+                   : cl.sum_over_chunks(&t, [](int, const Chunk2D& c) {
+                       return kernels::norm2_sq(c, FieldId::kR);
+                     });
       t.single([&] { *rr_out = rr; });
     }
   });
@@ -147,7 +181,7 @@ SolveStats ChebyshevSolver::solve(SimCluster2D& cl,
     const bool check = (step + 1) % cfg.cheby_check_interval == 0;
     if (cfg.fuse_kernels) {
       cheby_iteration_fused(cl, cfg.precon, cc.alphas[step], cc.betas[step],
-                            check, &rr);
+                            check, &rr, cfg.tile_rows);
     } else {
       cheby_iteration(cl, cfg.precon, cc.alphas[step], cc.betas[step]);
       if (check) {

@@ -28,8 +28,11 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
   const bool block = (cfg.precon == PreconType::kJacobiBlock);
   // With a Team the caller has already hoisted the parallel region and
   // enabled the fused kernels; without one this is the seed's unfused
-  // path, region-per-kernel.
+  // path, region-per-kernel.  Row tiling (and with it 2-D scheduling) is
+  // a further layer of the fused engine; block-Jacobi's strip solve
+  // couples rows, so that composition never tiles.
   const bool fused = (team != nullptr);
+  const int tile = (fused && !block) ? cfg.tile_rows : 0;
   TEA_ASSERT(!block || d == 1,
              "block-Jacobi with matrix powers rejected by validate()");
 
@@ -37,27 +40,48 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
   // powers the first extended sweep needs it valid through the overlap,
   // which costs one depth-d exchange; at depth 1 no exchange is needed
   // because the bootstrap touches only the interior.
-  cl.for_each_chunk(team, [](int, Chunk2D& c) {
-    kernels::copy(c, FieldId::kRtemp, FieldId::kR, interior_bounds(c));
-  });
+  if (tile > 0) {
+    cl.for_each_tile(team, tile,
+                     [](int, Chunk2D& c) { return interior_bounds(c); },
+                     [](int, Chunk2D& c, const Bounds& tb) {
+                       kernels::copy(c, FieldId::kRtemp, FieldId::kR, tb);
+                     });
+  } else {
+    cl.for_each_chunk(team, [](int, Chunk2D& c) {
+      kernels::copy(c, FieldId::kRtemp, FieldId::kR, interior_bounds(c));
+    });
+  }
   if (d > 1) cl.exchange(team, {FieldId::kRtemp}, d);
 
   // Bootstrap (the degree-0 term): sd = M⁻¹·rtemp/θ, z = sd, computed on
   // bounds extended d-1 cells so the following sweeps can shrink.
   int ext = d - 1;
   if (team != nullptr && d == 1) team->barrier();  // rtemp copy visible
-  cl.for_each_chunk(team, [&](int, Chunk2D& c) {
-    const Bounds b = extended_bounds(c, ext);
-    if (block) {
-      kernels::block_jacobi_solve(c, FieldId::kRtemp, FieldId::kW);
-      kernels::cheby_init_dir(c, FieldId::kW, FieldId::kSd, cc.theta,
-                              /*diag_precon=*/false, b);
-    } else {
-      kernels::cheby_init_dir(c, FieldId::kRtemp, FieldId::kSd, cc.theta,
-                              diag, b);
-    }
-    kernels::copy(c, FieldId::kZ, FieldId::kSd, b);
-  });
+  if (tile > 0) {
+    const auto boot_bounds = [ext](int, Chunk2D& c) {
+      return extended_bounds(c, ext);
+    };
+    cl.for_each_tile(team, tile, boot_bounds,
+                     [&](int, Chunk2D& c, const Bounds& tb) {
+                       kernels::cheby_init_dir(c, FieldId::kRtemp,
+                                               FieldId::kSd, cc.theta, diag,
+                                               tb);
+                       kernels::copy(c, FieldId::kZ, FieldId::kSd, tb);
+                     });
+  } else {
+    cl.for_each_chunk(team, [&](int, Chunk2D& c) {
+      const Bounds b = extended_bounds(c, ext);
+      if (block) {
+        kernels::block_jacobi_solve(c, FieldId::kRtemp, FieldId::kW);
+        kernels::cheby_init_dir(c, FieldId::kW, FieldId::kSd, cc.theta,
+                                /*diag_precon=*/false, b);
+      } else {
+        kernels::cheby_init_dir(c, FieldId::kRtemp, FieldId::kSd, cc.theta,
+                                diag, b);
+      }
+      kernels::copy(c, FieldId::kZ, FieldId::kSd, b);
+    });
+  }
 
   for (int step = 1; step <= cfg.inner_steps; ++step) {
     if (ext == 0) {
@@ -79,23 +103,44 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
     --ext;
     const double alpha = cc.alphas[static_cast<std::size_t>(step - 1)];
     const double beta = cc.betas[static_cast<std::size_t>(step - 1)];
-    cl.for_each_chunk(team, [&](int, Chunk2D& c) {
-      const Bounds b = extended_bounds(c, ext);
-      if (block) {
-        kernels::smvp(c, FieldId::kSd, FieldId::kW, b);
-        kernels::axpy(c, FieldId::kRtemp, -1.0, FieldId::kW, b);
-        kernels::block_jacobi_solve(c, FieldId::kRtemp, FieldId::kW);
-        kernels::axpby(c, FieldId::kSd, alpha, beta, FieldId::kW, b);
-        kernels::axpy(c, FieldId::kZ, 1.0, FieldId::kSd, b);
-      } else if (fused) {
-        kernels::cheby_step(c, FieldId::kRtemp, FieldId::kSd, FieldId::kZ,
-                            alpha, beta, diag, b);
-      } else {
-        kernels::smvp(c, FieldId::kSd, FieldId::kW, b);
-        kernels::cheby_fused_update(c, FieldId::kRtemp, FieldId::kSd,
-                                    FieldId::kZ, alpha, beta, diag, b);
-      }
-    });
+    if (tile > 0) {
+      const auto step_bounds = [ext](int, Chunk2D& c) {
+        return extended_bounds(c, ext);
+      };
+      cl.for_each_tile(team, tile, step_bounds,
+                       [&](int, Chunk2D& c, const Bounds& tb) {
+                         kernels::cheby_step_tile(
+                             c, FieldId::kRtemp, FieldId::kSd, FieldId::kZ,
+                             alpha, beta, diag, extended_bounds(c, ext),
+                             tb.klo, tb.khi);
+                       });
+      team->barrier();  // edge rows wait for every block's stencil pass
+      cl.for_each_tile(team, tile, step_bounds,
+                       [&](int, Chunk2D& c, const Bounds& tb) {
+                         kernels::cheby_step_tile_edges(
+                             c, FieldId::kRtemp, FieldId::kSd, FieldId::kZ,
+                             alpha, beta, diag, extended_bounds(c, ext),
+                             tb.klo, tb.khi);
+                       });
+    } else {
+      cl.for_each_chunk(team, [&](int, Chunk2D& c) {
+        const Bounds b = extended_bounds(c, ext);
+        if (block) {
+          kernels::smvp(c, FieldId::kSd, FieldId::kW, b);
+          kernels::axpy(c, FieldId::kRtemp, -1.0, FieldId::kW, b);
+          kernels::block_jacobi_solve(c, FieldId::kRtemp, FieldId::kW);
+          kernels::axpby(c, FieldId::kSd, alpha, beta, FieldId::kW, b);
+          kernels::axpy(c, FieldId::kZ, 1.0, FieldId::kSd, b);
+        } else if (fused) {
+          kernels::cheby_step(c, FieldId::kRtemp, FieldId::kSd, FieldId::kZ,
+                              alpha, beta, diag, b);
+        } else {
+          kernels::smvp(c, FieldId::kSd, FieldId::kW, b);
+          kernels::cheby_fused_update(c, FieldId::kRtemp, FieldId::kSd,
+                                      FieldId::kZ, alpha, beta, diag, b);
+        }
+      });
+    }
   }
   if (st != nullptr) {
     st->spmv_applies += cfg.inner_steps;
@@ -156,7 +201,8 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
 
   // One body serves both execution engines: team == nullptr runs the
   // seed's standalone collectives (region per kernel); with a Team the
-  // same sequence workshares inside the caller's single hoisted region.
+  // same sequence workshares inside the caller's single hoisted region —
+  // row-blocked through the tiled engine when cfg.tile_rows > 0.
   // `publish` hands a team-reduced value out of the region via thread 0.
   const auto publish = [](const Team* t, double& slot, double value) {
     if (t == nullptr) {
@@ -165,17 +211,37 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
       t->single([&] { slot = value; });
     }
   };
+  const int tile = cfg.fuse_kernels ? cfg.tile_rows : 0;
+  const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
+  /// ⟨r, z⟩ in both engines (row-blocked when tiled; identical value).
+  const auto dot_rz = [&](const Team* t) {
+    if (t != nullptr && tile > 0) {
+      return cl.sum_rows_over_chunks(
+          t, tile, [](int, Chunk2D& c, int k0, int k1) {
+            kernels::dot_rows(c, FieldId::kR, FieldId::kZ, k0, k1,
+                              c.row_scratch());
+          });
+    }
+    return cl.sum_over_chunks(t, [](int, const Chunk2D& c) {
+      return kernels::dot(c, FieldId::kR, FieldId::kZ);
+    });
+  };
 
   // --- restart the outer PCG with the polynomial preconditioner ---------
   double rro_out = 0.0;
   const auto restart_body = [&](const Team* t) {
     apply_inner(cl, cfg, cc, nullptr, t);
-    const double v = cl.sum_over_chunks(t, [](int, const Chunk2D& c) {
-      return kernels::dot(c, FieldId::kR, FieldId::kZ);
-    });
-    cl.for_each_chunk(t, [](int, Chunk2D& c) {
-      kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
-    });
+    const double v = dot_rz(t);
+    if (t != nullptr && tile > 0) {
+      cl.for_each_tile(t, tile, interior,
+                       [](int, Chunk2D& c, const Bounds& tb) {
+                         kernels::copy(c, FieldId::kP, FieldId::kZ, tb);
+                       });
+    } else {
+      cl.for_each_chunk(t, [](int, Chunk2D& c) {
+        kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
+      });
+    }
     publish(t, rro_out, v);
   };
   if (cfg.fuse_kernels) {
@@ -202,24 +268,52 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
     double rrn_out = 0.0;
     const auto iteration_body = [&](const Team* t) {
       cl.exchange(t, {FieldId::kP}, 1);
-      const double pw_t = cl.sum_over_chunks(t, [](int, Chunk2D& c) {
-        return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
-                                 interior_bounds(c));
-      });
+      const double pw_t =
+          (t != nullptr && tile > 0)
+              ? cl.sum_rows_over_chunks(
+                    t, tile,
+                    [](int, Chunk2D& c, int k0, int k1) {
+                      kernels::smvp_dot_rows(c, FieldId::kP, FieldId::kW,
+                                             interior_bounds(c), k0, k1,
+                                             c.row_scratch());
+                    })
+              : cl.sum_over_chunks(t, [](int, Chunk2D& c) {
+                  return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
+                                           interior_bounds(c));
+                });
       publish(t, pw, pw_t);
       // Uniform branch: every thread reduced the same rank-ordered sum.
       if (!(pw_t > 0.0)) return;
       const double alpha = rro / pw_t;
-      cl.for_each_chunk(
-          t, [&](int, Chunk2D& c) { kernels::cg_calc_ur(c, alpha); });
+      if (t != nullptr && tile > 0) {
+        cl.for_each_tile(t, tile, interior,
+                         [&](int, Chunk2D& c, const Bounds& tb) {
+                           kernels::cg_calc_ur_rows(c, alpha, tb.klo,
+                                                    tb.khi);
+                         });
+        // apply_inner's first pass copies r: order it against the
+        // row-blocked update (the 1-D fused path keeps the same
+        // rank→thread mapping, so only the tiled schedule needs this).
+        t->barrier();
+      } else {
+        cl.for_each_chunk(
+            t, [&](int, Chunk2D& c) { kernels::cg_calc_ur(c, alpha); });
+      }
       apply_inner(cl, cfg, cc, nullptr, t);
-      const double rrn_t = cl.sum_over_chunks(t, [](int, const Chunk2D& c) {
-        return kernels::dot(c, FieldId::kR, FieldId::kZ);
-      });
+      const double rrn_t = dot_rz(t);
       const double beta = rrn_t / rro;
-      cl.for_each_chunk(t, [&](int, Chunk2D& c) {
-        kernels::xpby(c, FieldId::kP, FieldId::kZ, beta, interior_bounds(c));
-      });
+      if (t != nullptr && tile > 0) {
+        cl.for_each_tile(t, tile, interior,
+                         [&](int, Chunk2D& c, const Bounds& tb) {
+                           kernels::xpby(c, FieldId::kP, FieldId::kZ, beta,
+                                         tb);
+                         });
+      } else {
+        cl.for_each_chunk(t, [&](int, Chunk2D& c) {
+          kernels::xpby(c, FieldId::kP, FieldId::kZ, beta,
+                        interior_bounds(c));
+        });
+      }
       publish(t, rrn_out, rrn_t);
     };
     if (cfg.fuse_kernels) {

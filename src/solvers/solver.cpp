@@ -1,5 +1,6 @@
 #include "solvers/solver.hpp"
 
+#include "model/machine.hpp"
 #include "solvers/cg.hpp"
 #include "solvers/chebyshev.hpp"
 #include "solvers/jacobi.hpp"
@@ -9,11 +10,19 @@
 namespace tealeaf {
 
 SolveStats solve_linear_system(SimCluster2D& cl, const SolverConfig& cfg) {
-  switch (cfg.type) {
-    case SolverType::kJacobi: return JacobiSolver::solve(cl, cfg);
-    case SolverType::kCG: return CGSolver::solve(cl, cfg);
-    case SolverType::kChebyshev: return ChebyshevSolver::solve(cl, cfg);
-    case SolverType::kPPCG: return PPCGSolver::solve(cl, cfg);
+  SolverConfig resolved = cfg;
+  if (resolved.tile_rows < 0) {
+    // `auto` tiling: size the row-blocks from the default modelled
+    // machine's per-core L2 (spruce_hybrid, the same machine SweepOptions
+    // prices communication against) and this run's chunk width.
+    resolved.tile_rows = auto_tile_rows(machines::spruce_hybrid(),
+                                        cl.chunk(0).nx(), cl.halo_depth());
+  }
+  switch (resolved.type) {
+    case SolverType::kJacobi: return JacobiSolver::solve(cl, resolved);
+    case SolverType::kCG: return CGSolver::solve(cl, resolved);
+    case SolverType::kChebyshev: return ChebyshevSolver::solve(cl, resolved);
+    case SolverType::kPPCG: return PPCGSolver::solve(cl, resolved);
   }
   TEA_ASSERT(false, "invalid solver type");
 }

@@ -32,7 +32,7 @@ PreconType precon_type_from_string(const std::string& s) {
 std::size_t SweepSpec::num_cases() const {
   const std::size_t meshes = mesh_sizes.empty() ? 1 : mesh_sizes.size();
   return solvers.size() * precons.size() * halo_depths.size() * meshes *
-         thread_counts.size() * fused.size();
+         thread_counts.size() * fused.size() * tile_rows.size();
 }
 
 void SweepSpec::validate() const {
@@ -54,6 +54,10 @@ void SweepSpec::validate() const {
   TEA_REQUIRE(!fused.empty(), "sweep: fused axis must be non-empty");
   for (const int f : fused) {
     TEA_REQUIRE(f == 0 || f == 1, "sweep: fused axis values must be 0 or 1");
+  }
+  TEA_REQUIRE(!tile_rows.empty(), "sweep: tile-rows axis must be non-empty");
+  for (const int t : tile_rows) {
+    TEA_REQUIRE(t >= 0, "sweep: tile-rows values must be >= 0 (0 = untiled)");
   }
   TEA_REQUIRE(ranks >= 1, "sweep: need at least one simulated rank");
 }
@@ -80,6 +84,8 @@ void SolverConfig::validate() const {
     TEA_REQUIRE(type == SolverType::kCG,
                 "fused reductions are a CG-only restructuring");
   }
+  TEA_REQUIRE(tile_rows >= -1,
+              "tile_rows must be a row count, 0 (untiled) or -1 (auto)");
 }
 
 }  // namespace tealeaf

@@ -64,6 +64,18 @@ struct SolverConfig {
   /// the sweep engine A/Bs the two modes as a pure-speed design axis.
   bool fuse_kernels = false;
 
+  /// Row-block height of the tiled execution engine (tl_tile_rows).
+  /// > 0: fused sweeps iterate over row-blocks of this many rows so the
+  ///      per-block working set fits in L2, and the engine workshares
+  ///      (rank, row-block) pairs over the whole thread team when there
+  ///      are more threads than simulated ranks.
+  ///   0: untiled (whole-chunk sweeps, one block per rank) — the default.
+  ///  -1: "auto" — derived at solve time from the modelled machine's
+  ///      per-core L2 and the chunk width (see auto_tile_rows).
+  /// Tiling is a layer of the fused engine; the unfused path ignores it.
+  /// Iterates and iteration counts are bitwise identical for every value.
+  int tile_rows = 0;
+
   /// Throws TeaError on inconsistent combinations, e.g. block-Jacobi with
   /// matrix-powers depth > 1 (the strips would need fresh whole-block
   /// data every inner step — paper §IV-C2 last paragraph).
@@ -86,6 +98,11 @@ struct SweepSpec {
   /// Execution-engine axis (0 = unfused, 1 = fused kernels): the sixth
   /// design-space dimension, A/B-ing SolverConfig::fuse_kernels.
   std::vector<int> fused = {0};
+  /// Tile-height axis (SolverConfig::tile_rows; 0 = untiled): the seventh
+  /// design-space dimension.  Non-zero values only combine with fused
+  /// cells — tiling is a layer of the fused engine — so tiled×unfused
+  /// cells are enumerated but skipped.
+  std::vector<int> tile_rows = {0};
   int ranks = 4;                         ///< simulated ranks per run
 
   [[nodiscard]] bool requested() const { return !solvers.empty(); }

@@ -69,6 +69,36 @@ class Team {
     for (std::int64_t i = lo; i < hi; ++i) body(i);
   }
 
+  /// 2-D worksharing over (outer, inner) pairs — the tiled execution
+  /// engine's scheduler.  The iteration space is the concatenation of
+  /// `count_of(o)` inner items for each outer index o in [0, nouter);
+  /// the flattened pairs are partitioned contiguously over the team with
+  /// the same balanced split as `for_range`, so when the inner counts
+  /// are row-blocks of simulated ranks, chunks larger than the rank
+  /// count spread across the whole thread team instead of pinning one
+  /// thread per rank.  `count_of(o)` must be uniform across the team (a
+  /// pure function of o).  No implied barrier.
+  template <class CountFn, class Body>
+  void for_range_2d(std::int64_t nouter, const CountFn& count_of,
+                    const Body& body) const {
+    std::int64_t total = 0;
+    for (std::int64_t o = 0; o < nouter; ++o) total += count_of(o);
+    if (total <= 0) return;
+    const std::int64_t q = total / nthreads_;
+    const std::int64_t rem = total % nthreads_;
+    const std::int64_t tid = tid_;
+    const std::int64_t lo = q * tid + std::min<std::int64_t>(tid, rem);
+    const std::int64_t hi = lo + q + (tid < rem ? 1 : 0);
+    std::int64_t base = 0;
+    for (std::int64_t o = 0; o < nouter && base < hi; ++o) {
+      const std::int64_t n = count_of(o);
+      const std::int64_t s = std::max(base, lo);
+      const std::int64_t e = std::min(base + n, hi);
+      for (std::int64_t f = s; f < e; ++f) body(o, f - base);
+      base += n;
+    }
+  }
+
   /// Team-wide barrier.  Orphaned OpenMP barriers bind to the innermost
   /// enclosing parallel region, so this works from any call depth.
   void barrier() const {
@@ -118,6 +148,25 @@ void parallel_region(const Body& body) {
   Team team(0, 1);
   body(team);
 #endif
+}
+
+/// Row loop shared by serial and Team-workshared code paths: identical
+/// per-row code either way, so a fused/team variant stays bitwise equal
+/// to its serial baseline (the mg-pcg engine pair relies on this).
+/// team == nullptr runs rows 0..ny-1 serially in order; with a Team the
+/// rows workshare via for_range.  No implied barrier.
+template <class Body>
+void for_rows(const Team* team, int ny, const Body& body) {
+  if (team == nullptr) {
+    for (int k = 0; k < ny; ++k) body(k);
+    return;
+  }
+  team->for_range(0, ny, [&](std::int64_t k) { body(static_cast<int>(k)); });
+}
+
+/// Barrier between dependent row phases (no-op serially).
+inline void phase_barrier(const Team* team) {
+  if (team != nullptr) team->barrier();
 }
 
 /// Parallel loop over [begin, end).  `body(i)` must be safe to run

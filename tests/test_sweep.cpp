@@ -337,11 +337,17 @@ TEST(SweepFusedAxis, FusedAndUnfusedCellsConvergeIdentically) {
   const SweepReport rep = run_sweep(base, spec);
   ASSERT_EQ(rep.cells.size(), 6u);
 
-  // mg-pcg has no fused path: its fused cell is skipped, not failed.
+  // mg-pcg's fused path hoists its V-cycle row loops into one team
+  // region per iteration: the sixth axis no longer skips the baseline,
+  // and the engine stays a pure-speed axis (identical iterations).
+  const SweepOutcome& mg_unfused = rep.cells[4];
   const SweepOutcome& mg_fused = rep.cells[5];
   ASSERT_EQ(mg_fused.config.solver, "mg-pcg");
   ASSERT_TRUE(mg_fused.config.fused);
-  EXPECT_TRUE(mg_fused.skipped);
+  EXPECT_FALSE(mg_fused.skipped);
+  EXPECT_TRUE(mg_fused.converged);
+  EXPECT_EQ(mg_fused.iterations, mg_unfused.iterations);
+  EXPECT_EQ(mg_fused.final_norm, mg_unfused.final_norm);
 
   // Native solvers: the engine is a pure-speed axis — identical
   // iteration counts and communication per fused/unfused pair.

@@ -1,0 +1,630 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "driver/decks.hpp"
+#include "driver/deck.hpp"
+#include "driver/sweep.hpp"
+#include "driver/tealeaf_app.hpp"
+#include "model/machine.hpp"
+#include "model/scaling.hpp"
+#include "model/trace.hpp"
+#include "ops/kernels2d.hpp"
+#include "solvers/solver.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+
+#if defined(TEALEAF_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace tealeaf {
+namespace {
+
+using testing::make_test_problem;
+using testing::max_field_diff;
+
+// ---- Team::for_range_2d (the tile scheduler) -----------------------------
+
+TEST(TeamForRange2D, CoversEveryPairExactlyOnce) {
+  const std::vector<std::int64_t> counts = {3, 0, 5, 1, 4};
+  std::vector<std::vector<int>> hits;
+  for (const std::int64_t n : counts) {
+    hits.emplace_back(static_cast<std::size_t>(n), 0);
+  }
+  parallel_region([&](Team& t) {
+    t.for_range_2d(
+        static_cast<std::int64_t>(counts.size()),
+        [&](std::int64_t o) { return counts[static_cast<std::size_t>(o)]; },
+        [&](std::int64_t o, std::int64_t i) {
+          ++hits[static_cast<std::size_t>(o)][static_cast<std::size_t>(i)];
+        });
+  });
+  for (std::size_t o = 0; o < counts.size(); ++o) {
+    for (std::size_t i = 0; i < hits[o].size(); ++i) {
+      ASSERT_EQ(hits[o][i], 1) << "pair (" << o << ", " << i << ")";
+    }
+  }
+}
+
+TEST(TeamForRange2D, HandlesEmptyAndTinyIterationSpaces) {
+  int runs = 0;
+  parallel_region([&](Team& t) {
+    t.for_range_2d(3, [](std::int64_t) { return 0; },
+                   [&](std::int64_t, std::int64_t) { ++runs; });
+    // Fewer pairs than threads: each pair still runs exactly once.
+    t.for_range_2d(1, [](std::int64_t) { return 1; },
+                   [&](std::int64_t, std::int64_t) {
+#if defined(TEALEAF_HAVE_OPENMP)
+#pragma omp atomic
+#endif
+                     ++runs;
+                   });
+  });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(TiledCluster, NumRowTilesEdgeCases) {
+  EXPECT_EQ(SimCluster2D::num_row_tiles(16, 0), 1);   // untiled
+  EXPECT_EQ(SimCluster2D::num_row_tiles(16, 16), 1);  // tile == rows
+  EXPECT_EQ(SimCluster2D::num_row_tiles(16, 100), 1); // tile > rows
+  EXPECT_EQ(SimCluster2D::num_row_tiles(16, 1), 16);  // one-row tiles
+  EXPECT_EQ(SimCluster2D::num_row_tiles(16, 5), 4);   // non-dividing
+  EXPECT_EQ(SimCluster2D::num_row_tiles(0, 4), 0);    // empty range
+}
+
+// ---- tiled kernels vs their untiled forms (bitwise) ----------------------
+
+/// Deterministic non-trivial fill of the solver work fields.
+void fill_work_fields(SimCluster2D& cl, int halo) {
+  cl.for_each_chunk([&](int r, Chunk2D& c) {
+    for (int k = -halo; k < c.ny() + halo; ++k) {
+      for (int j = -halo; j < c.nx() + halo; ++j) {
+        c.p()(j, k) = 0.02 * j - 0.015 * k + 0.1 * r;
+        c.r()(j, k) = 0.5 - 0.003 * j * k;
+        c.z()(j, k) = 0.25 * j + 0.01 * k;
+        c.sd()(j, k) = 0.01 * (j + 2 * k) + r;
+        c.rtemp()(j, k) = 1.0 / (1.0 + 0.1 * (j + k + 2 * halo));
+        c.w()(j, k) = 0.3 * k - 0.02 * j;
+      }
+    }
+  });
+}
+
+TEST(TiledKernels, ChebyStepTileMatchesUntiledForAllTileSizes) {
+  for (const bool diag : {false, true}) {
+    for (const int tile : {1, 2, 3, 5, 14, 100}) {
+      auto a = make_test_problem(28, 2, 3);
+      auto b = make_test_problem(28, 2, 3);
+      fill_work_fields(*a, 3);
+      fill_work_fields(*b, 3);
+      a->for_each_chunk([&](int, Chunk2D& c) {
+        kernels::cheby_step(c, FieldId::kRtemp, FieldId::kSd, FieldId::kZ,
+                            0.37, 1.21, diag, extended_bounds(c, 2));
+      });
+      // Tiled: stencil passes for every block, then the deferred edges —
+      // the order the fused engine runs them in (barrier between).
+      b->for_each_chunk([&](int, Chunk2D& c) {
+        const Bounds bb = extended_bounds(c, 2);
+        const int rows = bb.khi - bb.klo;
+        const int h = tile >= rows ? rows : tile;
+        for (int k0 = bb.klo; k0 < bb.khi; k0 += h) {
+          kernels::cheby_step_tile(c, FieldId::kRtemp, FieldId::kSd,
+                                   FieldId::kZ, 0.37, 1.21, diag, bb, k0,
+                                   std::min(bb.khi, k0 + h));
+        }
+        for (int k0 = bb.klo; k0 < bb.khi; k0 += h) {
+          kernels::cheby_step_tile_edges(c, FieldId::kRtemp, FieldId::kSd,
+                                         FieldId::kZ, 0.37, 1.21, diag, bb,
+                                         k0, std::min(bb.khi, k0 + h));
+        }
+      });
+      for (const FieldId f :
+           {FieldId::kRtemp, FieldId::kSd, FieldId::kZ, FieldId::kW}) {
+        EXPECT_EQ(max_field_diff(*a, *b, f), 0.0)
+            << "diag=" << diag << " tile=" << tile;
+      }
+    }
+  }
+}
+
+TEST(TiledKernels, RowReductionsMatchFullKernelsBitwise) {
+  auto a = make_test_problem(20, 2, 2);
+  auto b = make_test_problem(20, 2, 2);
+  fill_work_fields(*a, 2);
+  fill_work_fields(*b, 2);
+
+  for (int r = 0; r < a->nranks(); ++r) {
+    Chunk2D& ca = a->chunk(r);
+    Chunk2D& cb = b->chunk(r);
+    const Bounds in = interior_bounds(ca);
+
+    // dot
+    const double full_dot = kernels::dot(ca, FieldId::kP, FieldId::kZ);
+    std::vector<double> rows(static_cast<std::size_t>(cb.ny()), 0.0);
+    for (int k0 = 0; k0 < cb.ny(); k0 += 3) {
+      kernels::dot_rows(cb, FieldId::kP, FieldId::kZ, k0,
+                        std::min(cb.ny(), k0 + 3), rows.data());
+    }
+    double tiled_dot = 0.0;
+    for (int k = 0; k < cb.ny(); ++k) tiled_dot += rows[k];
+    EXPECT_EQ(tiled_dot, full_dot);
+
+    // smvp_dot
+    const double full_pw = kernels::smvp_dot(ca, FieldId::kP, FieldId::kW, in);
+    for (int k0 = 0; k0 < cb.ny(); k0 += 4) {
+      kernels::smvp_dot_rows(cb, FieldId::kP, FieldId::kW, in, k0,
+                             std::min(cb.ny(), k0 + 4), rows.data());
+    }
+    double tiled_pw = 0.0;
+    for (int k = 0; k < cb.ny(); ++k) tiled_pw += rows[k];
+    EXPECT_EQ(tiled_pw, full_pw);
+    EXPECT_EQ(max_field_diff(*a, *b, FieldId::kW), 0.0);
+
+    // smvp_dot2
+    const auto full_pair =
+        kernels::smvp_dot2(ca, FieldId::kZ, FieldId::kW, FieldId::kR, in);
+    std::vector<double> rows2(2 * static_cast<std::size_t>(cb.ny()), 0.0);
+    for (int k0 = 0; k0 < cb.ny(); k0 += 5) {
+      kernels::smvp_dot2_rows(cb, FieldId::kZ, FieldId::kW, FieldId::kR, in,
+                              k0, std::min(cb.ny(), k0 + 5), rows2.data());
+    }
+    double t0 = 0.0, t1 = 0.0;
+    for (int k = 0; k < cb.ny(); ++k) {
+      t0 += rows2[2 * k];
+      t1 += rows2[2 * k + 1];
+    }
+    EXPECT_EQ(t0, full_pair.first);
+    EXPECT_EQ(t1, full_pair.second);
+  }
+}
+
+TEST(TiledKernels, CalcUrDotRowsMatchesFullKernel) {
+  for (const PreconType precon :
+       {PreconType::kNone, PreconType::kJacobiDiag}) {
+    auto a = make_test_problem(20, 2, 2);
+    auto b = make_test_problem(20, 2, 2);
+    fill_work_fields(*a, 2);
+    fill_work_fields(*b, 2);
+    const double unfused = a->sum_over_chunks([&](int, Chunk2D& c) {
+      return kernels::calc_ur_dot(c, 0.61, precon);
+    });
+    const double tiled = b->sum_rows_over_chunks(
+        nullptr, 3, [&](int, Chunk2D& c, int k0, int k1) {
+          kernels::calc_ur_dot_rows(c, 0.61, precon, k0, k1,
+                                    c.row_scratch());
+        });
+    EXPECT_EQ(tiled, unfused) << to_string(precon);
+    for (const FieldId f : {FieldId::kU, FieldId::kR}) {
+      EXPECT_EQ(max_field_diff(*a, *b, f), 0.0) << to_string(precon);
+    }
+  }
+}
+
+TEST(TiledKernels, JacobiTwoPhaseMatchesFusedSweep) {
+  auto a = make_test_problem(24, 2, 2);
+  auto b = make_test_problem(24, 2, 2);
+  a->exchange({FieldId::kU}, 1);
+  b->exchange({FieldId::kU}, 1);
+  const double full = a->sum_over_chunks(
+      [](int, Chunk2D& c) { return kernels::jacobi_iterate(c); });
+  const double tiled = [&] {
+    b->for_each_tile(nullptr, 5,
+                     [](int, Chunk2D& c) {
+                       Bounds bb = interior_bounds(c);
+                       bb.klo -= 1;
+                       bb.khi += 1;
+                       return bb;
+                     },
+                     [](int, Chunk2D& c, const Bounds& tb) {
+                       kernels::jacobi_save_rows(c, tb.klo, tb.khi);
+                     });
+    return b->sum_rows_over_chunks(
+        nullptr, 5, [](int, Chunk2D& c, int k0, int k1) {
+          kernels::jacobi_update_rows(c, k0, k1, c.row_scratch());
+        });
+  }();
+  EXPECT_EQ(tiled, full);
+  EXPECT_EQ(max_field_diff(*a, *b, FieldId::kU), 0.0);
+}
+
+TEST(TiledCluster, SumRowsMatchesSumOverChunksBitwise) {
+  auto cl = make_test_problem(24, 5, 2);
+  const double untiled = cl->sum_over_chunks(
+      [](int, const Chunk2D& c) { return kernels::norm2_sq(c, FieldId::kU); });
+  cl->reset_stats();
+  for (const int tile : {1, 3, 24, 0}) {
+    double tiled = 0.0;
+    parallel_region([&](Team& t) {
+      const double v = cl->sum_rows_over_chunks(
+          &t, tile, [](int, Chunk2D& c, int k0, int k1) {
+            kernels::dot_rows(c, FieldId::kU, FieldId::kU, k0, k1,
+                              c.row_scratch());
+          });
+      t.single([&] { tiled = v; });
+    });
+    EXPECT_EQ(tiled, untiled) << "tile=" << tile;
+  }
+  EXPECT_EQ(cl->stats().reductions, 4);
+}
+
+// ---- whole-solver tiled-vs-untiled equivalence ---------------------------
+
+struct TiledCase {
+  SolverType type;
+  PreconType precon;
+  int halo_depth;
+  bool chrono;
+  int tile_rows;
+};
+
+class TiledEngineEquivalence : public ::testing::TestWithParam<TiledCase> {};
+
+TEST_P(TiledEngineEquivalence, BitwiseIdenticalToUntiledFused) {
+  const TiledCase tc = GetParam();
+  SolverConfig cfg;
+  cfg.type = tc.type;
+  cfg.precon = tc.precon;
+  cfg.halo_depth = tc.halo_depth;
+  cfg.fuse_cg_reductions = tc.chrono;
+  cfg.fuse_kernels = true;
+  cfg.eps = (tc.type == SolverType::kJacobi) ? 1e-5 : 1e-10;
+  cfg.max_iters = (tc.type == SolverType::kJacobi) ? 100000 : 10000;
+
+  auto a = make_test_problem(32, 4, std::max(2, tc.halo_depth), 8.0);
+  auto b = make_test_problem(32, 4, std::max(2, tc.halo_depth), 8.0);
+  SolverConfig tiled_cfg = cfg;
+  tiled_cfg.tile_rows = tc.tile_rows;
+  const SolveStats su = solve_linear_system(*a, cfg);
+  const SolveStats st = solve_linear_system(*b, tiled_cfg);
+
+  ASSERT_TRUE(su.converged);
+  ASSERT_TRUE(st.converged);
+  // The tiled engine only re-blocks the row loops: per-row arithmetic and
+  // the row/rank-ordered reductions are shared with the untiled fused
+  // path, so everything must match exactly.
+  EXPECT_EQ(st.outer_iters, su.outer_iters);
+  EXPECT_EQ(st.inner_steps, su.inner_steps);
+  EXPECT_EQ(st.spmv_applies, su.spmv_applies);
+  EXPECT_EQ(st.eigen_cg_iters, su.eigen_cg_iters);
+  EXPECT_EQ(st.initial_norm, su.initial_norm);
+  EXPECT_EQ(st.final_norm, su.final_norm);
+  EXPECT_EQ(max_field_diff(*a, *b, FieldId::kU), 0.0);
+
+  // Tiling changes the schedule, never the data motion.
+  EXPECT_EQ(a->stats().exchange_calls, b->stats().exchange_calls);
+  EXPECT_EQ(a->stats().messages, b->stats().messages);
+  EXPECT_EQ(a->stats().message_bytes, b->stats().message_bytes);
+  EXPECT_EQ(a->stats().reductions, b->stats().reductions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolversAndTileSizes, TiledEngineEquivalence,
+    ::testing::Values(
+        // One-row tiles, non-dividing tiles, tile >= chunk rows.
+        TiledCase{SolverType::kJacobi, PreconType::kNone, 1, false, 1},
+        TiledCase{SolverType::kJacobi, PreconType::kNone, 1, false, 7},
+        TiledCase{SolverType::kCG, PreconType::kNone, 1, false, 1},
+        TiledCase{SolverType::kCG, PreconType::kNone, 1, false, 7},
+        TiledCase{SolverType::kCG, PreconType::kNone, 1, false, 1000},
+        TiledCase{SolverType::kCG, PreconType::kJacobiDiag, 1, false, 5},
+        TiledCase{SolverType::kCG, PreconType::kJacobiBlock, 1, false, 5},
+        TiledCase{SolverType::kCG, PreconType::kNone, 1, true, 7},
+        TiledCase{SolverType::kCG, PreconType::kJacobiDiag, 1, true, 3},
+        TiledCase{SolverType::kCG, PreconType::kJacobiBlock, 1, true, 6},
+        TiledCase{SolverType::kChebyshev, PreconType::kNone, 1, false, 5},
+        TiledCase{SolverType::kChebyshev, PreconType::kJacobiDiag, 1, false,
+                  4},
+        TiledCase{SolverType::kPPCG, PreconType::kNone, 1, false, 5},
+        TiledCase{SolverType::kPPCG, PreconType::kJacobiDiag, 1, false, 3},
+        TiledCase{SolverType::kPPCG, PreconType::kNone, 4, false, 5},
+        TiledCase{SolverType::kPPCG, PreconType::kJacobiDiag, 4, false, 1}),
+    [](const auto& info) {
+      const TiledCase& tc = info.param;
+      std::string name = std::string(to_string(tc.type)) + "_" +
+                         to_string(tc.precon) + "_d" +
+                         std::to_string(tc.halo_depth) + "_b" +
+                         std::to_string(tc.tile_rows);
+      if (tc.chrono) name += "_chrono";
+      return name;
+    });
+
+// ---- 2-D scheduling: more threads than simulated ranks -------------------
+
+TEST(TiledScheduling, MoreThreadsThanRanksStaysBitwiseIdentical) {
+#if defined(TEALEAF_HAVE_OPENMP)
+  // Reference on the current thread count, then rerun tiled with the team
+  // deliberately oversubscribed past the rank count so the (rank,
+  // row-block) 2-D schedule engages.
+  SolverConfig cfg;
+  cfg.type = SolverType::kCG;
+  cfg.fuse_kernels = true;
+  cfg.eps = 1e-10;
+
+  auto a = make_test_problem(32, 2, 2, 8.0);
+  const SolveStats su = solve_linear_system(*a, cfg);
+  ASSERT_TRUE(su.converged);
+
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(5);  // > 2 ranks → flat (rank, block) pairs
+  auto b = make_test_problem(32, 2, 2, 8.0);
+  SolverConfig tiled = cfg;
+  tiled.tile_rows = 3;
+  const SolveStats st = solve_linear_system(*b, tiled);
+  omp_set_num_threads(saved);
+
+  ASSERT_TRUE(st.converged);
+  EXPECT_EQ(st.outer_iters, su.outer_iters);
+  EXPECT_EQ(st.final_norm, su.final_norm);
+  EXPECT_EQ(max_field_diff(*a, *b, FieldId::kU), 0.0);
+#else
+  GTEST_SKIP() << "OpenMP disabled: the team never exceeds one thread";
+#endif
+}
+
+// ---- auto tile derivation ------------------------------------------------
+
+TEST(AutoTile, DerivesFromMachineL2AndFallsBack) {
+  const MachineSpec spruce = machines::spruce_hybrid();
+  ASSERT_GT(spruce.l2_kb, 0.0);
+  const int rows = auto_tile_rows(spruce, 512, 2);
+  EXPECT_GE(rows, 1);
+  // Half of 256 KB over 6 fields × 8 B × (512+4) cells ≈ 5 rows.
+  EXPECT_LT(rows, 64);
+  // Narrower chunks fit more rows per block.
+  EXPECT_GT(auto_tile_rows(spruce, 64, 2), rows);
+  // No modelled L2: the documented 64-row fallback.
+  MachineSpec no_l2 = spruce;
+  no_l2.l2_kb = 0.0;
+  EXPECT_EQ(auto_tile_rows(no_l2, 512, 2), 64);
+}
+
+TEST(AutoTile, AutoConfigSolvesBitwiseIdenticalToUntiled) {
+  SolverConfig cfg;
+  cfg.type = SolverType::kCG;
+  cfg.fuse_kernels = true;
+  cfg.eps = 1e-10;
+  auto a = make_test_problem(32, 4, 2, 8.0);
+  auto b = make_test_problem(32, 4, 2, 8.0);
+  SolverConfig auto_cfg = cfg;
+  auto_cfg.tile_rows = -1;
+  const SolveStats su = solve_linear_system(*a, cfg);
+  const SolveStats st = solve_linear_system(*b, auto_cfg);
+  ASSERT_TRUE(su.converged && st.converged);
+  EXPECT_EQ(st.outer_iters, su.outer_iters);
+  EXPECT_EQ(st.final_norm, su.final_norm);
+  EXPECT_EQ(max_field_diff(*a, *b, FieldId::kU), 0.0);
+}
+
+// ---- batched fused Jacobi ------------------------------------------------
+
+TEST(JacobiBatch, BatchedFusedMatchesUnfusedAcrossBatchBoundaries) {
+  // Enough iterations to cross several 16-sweep batches; the fused path
+  // must stop on exactly the same sweep as the unfused path.
+  SolverConfig cfg;
+  cfg.type = SolverType::kJacobi;
+  cfg.eps = 1e-6;
+  cfg.max_iters = 100000;
+  auto a = make_test_problem(24, 2, 2, 4.0);
+  auto b = make_test_problem(24, 2, 2, 4.0);
+  SolverConfig fused = cfg;
+  fused.fuse_kernels = true;
+  const SolveStats su = solve_linear_system(*a, cfg);
+  const SolveStats sf = solve_linear_system(*b, fused);
+  ASSERT_TRUE(su.converged);
+  ASSERT_TRUE(sf.converged);
+  ASSERT_GT(su.outer_iters, 16) << "problem too easy to cross a batch";
+  EXPECT_EQ(sf.outer_iters, su.outer_iters);
+  EXPECT_EQ(sf.initial_norm, su.initial_norm);
+  EXPECT_EQ(sf.final_norm, su.final_norm);
+  EXPECT_EQ(max_field_diff(*a, *b, FieldId::kU), 0.0);
+  EXPECT_EQ(a->stats().reductions, b->stats().reductions);
+  EXPECT_EQ(a->stats().message_bytes, b->stats().message_bytes);
+}
+
+TEST(JacobiBatch, MaxItersStopsMidBatch) {
+  SolverConfig cfg;
+  cfg.type = SolverType::kJacobi;
+  cfg.eps = 1e-14;
+  cfg.max_iters = 21;  // not a multiple of the 16-sweep batch
+  cfg.fuse_kernels = true;
+  auto cl = make_test_problem(24, 2, 2, 4.0);
+  const SolveStats st = solve_linear_system(*cl, cfg);
+  EXPECT_FALSE(st.converged);
+  EXPECT_EQ(st.outer_iters, 21);
+}
+
+// ---- sweep seventh axis --------------------------------------------------
+
+TEST(SweepTileAxis, EnumeratesAsSeventhInnermostAxis) {
+  SweepSpec spec;
+  spec.solvers = {"cg"};
+  spec.fused = {0, 1};
+  spec.tile_rows = {0, 8};
+  const std::vector<SweepCase> cases = enumerate_cases(spec, 16);
+  ASSERT_EQ(cases.size(), 4u);
+  ASSERT_EQ(spec.num_cases(), 4u);
+  EXPECT_EQ(cases[0].label(), "cg/none/d1/n16/t0");
+  EXPECT_EQ(cases[1].label(), "cg/none/d1/n16/t0/b8");
+  EXPECT_EQ(cases[2].label(), "cg/none/d1/n16/t0/fused");
+  EXPECT_EQ(cases[3].label(), "cg/none/d1/n16/t0/fused/b8");
+  spec.tile_rows = {-2};
+  EXPECT_THROW(spec.validate(), TeaError);
+}
+
+TEST(SweepTileAxis, TiledCellsMatchUntiledAndRoundTrip) {
+  InputDeck base = decks::hot_block(16, 1);
+  base.solver.eps = 1e-8;
+  SweepSpec spec;
+  spec.solvers = {"cg", "mg-pcg"};
+  spec.fused = {0, 1};
+  spec.tile_rows = {0, 4};
+  spec.ranks = 2;
+  const SweepReport rep = run_sweep(base, spec);
+  ASSERT_EQ(rep.cells.size(), 8u);
+
+  // cg: unfused, unfused/b4 (skipped), fused, fused/b4.
+  EXPECT_FALSE(rep.cells[0].skipped);
+  EXPECT_TRUE(rep.cells[1].skipped);  // tiling needs the fused engine
+  EXPECT_FALSE(rep.cells[2].skipped);
+  EXPECT_FALSE(rep.cells[3].skipped);
+  EXPECT_EQ(rep.cells[3].config.tile_rows, 4);
+  EXPECT_TRUE(rep.cells[3].converged);
+  EXPECT_EQ(rep.cells[3].iterations, rep.cells[0].iterations);
+  EXPECT_EQ(rep.cells[3].final_norm, rep.cells[2].final_norm);
+  EXPECT_EQ(rep.cells[3].message_bytes, rep.cells[2].message_bytes);
+
+  // mg-pcg: fused runs now; its tiled cells are skipped.
+  EXPECT_FALSE(rep.cells[4].skipped);
+  EXPECT_TRUE(rep.cells[5].skipped);
+  EXPECT_FALSE(rep.cells[6].skipped);
+  EXPECT_TRUE(rep.cells[7].skipped);
+  EXPECT_TRUE(rep.cells[6].converged);
+  EXPECT_EQ(rep.cells[6].iterations, rep.cells[4].iterations);
+
+  // The tile column survives both serialisation round trips.
+  const SweepReport csv_back = SweepReport::from_csv_lines(rep.to_csv_lines());
+  const SweepReport json_back =
+      SweepReport::from_json_string(rep.to_json().dump(2));
+  for (std::size_t i = 0; i < rep.cells.size(); ++i) {
+    EXPECT_EQ(csv_back.cells[i].config.tile_rows,
+              rep.cells[i].config.tile_rows);
+    EXPECT_EQ(json_back.cells[i].config.tile_rows,
+              rep.cells[i].config.tile_rows);
+    EXPECT_EQ(csv_back.cells[i].config.label(), rep.cells[i].config.label());
+  }
+}
+
+// ---- deck knobs and diagnostics ------------------------------------------
+
+TEST(TileDeck, TileRowsKnobParsesAndRoundTrips) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\nx_cells=16\ny_cells=16\nend_step=1\n"
+      "tl_fuse_kernels\ntl_tile_rows=24\n"
+      "sweep_solvers=cg\nsweep_tile_rows=0,16,64\n"
+      "state 1 density=1.0 energy=1.0\n*endtea\n");
+  EXPECT_EQ(deck.solver.tile_rows, 24);
+  EXPECT_EQ(deck.sweep.tile_rows, (std::vector<int>{0, 16, 64}));
+  const InputDeck back = InputDeck::parse_string(deck.to_string());
+  EXPECT_EQ(back.solver.tile_rows, 24);
+  EXPECT_EQ(back.sweep.tile_rows, deck.sweep.tile_rows);
+}
+
+TEST(TileDeck, AutoTileRowsRoundTrips) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\nx_cells=16\ny_cells=16\nend_step=1\n"
+      "tl_tile_rows=auto\nstate 1 density=1.0 energy=1.0\n*endtea\n");
+  EXPECT_EQ(deck.solver.tile_rows, -1);
+  const InputDeck back = InputDeck::parse_string(deck.to_string());
+  EXPECT_EQ(back.solver.tile_rows, -1);
+}
+
+TEST(TileDeck, MistypedKnobFailsWithSuggestion) {
+  try {
+    InputDeck::parse_string(
+        "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+        "tl_tile_row=16\nstate 1 density=1 energy=1\n*endtea\n");
+    FAIL() << "typo must not be silently ignored";
+  } catch (const TeaError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown key 'tl_tile_row'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("did you mean 'tl_tile_rows'"), std::string::npos)
+        << msg;
+  }
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+                   "sweep_fuse=1\nstate 1 density=1 energy=1\n*endtea\n"),
+               TeaError);
+}
+
+TEST(TileDeck, KnobOutsideTeaBlockIsRejected) {
+  EXPECT_THROW(InputDeck::parse_string(
+                   "tl_tile_rows=16\n*tea\nx_cells=8\ny_cells=8\n"
+                   "end_step=1\nstate 1 density=1 energy=1\n*endtea\n"),
+               TeaError);
+  // A knob trailing the *endtea line must be rejected too, not dropped.
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+                   "state 1 density=1 energy=1\n*endtea\n"
+                   "tl_tile_rows=16\n"),
+               TeaError);
+}
+
+TEST(TileDeck, BooleanFlagsAcceptExplicitValues) {
+  const InputDeck off = InputDeck::parse_string(
+      "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+      "tl_fuse_kernels=0\nstate 1 density=1 energy=1\n*endtea\n");
+  EXPECT_FALSE(off.solver.fuse_kernels);
+  const InputDeck on = InputDeck::parse_string(
+      "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+      "tl_fuse_kernels=true\nstate 1 density=1 energy=1\n*endtea\n");
+  EXPECT_TRUE(on.solver.fuse_kernels);
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+                   "tl_fuse_kernels=maybe\nstate 1 density=1 energy=1\n"
+                   "*endtea\n"),
+               TeaError);
+}
+
+// ---- scaling model: blocked-cache variant --------------------------------
+
+TEST(TiledModel, BlockedBytesVariantSpeedsUpCacheFittingTiles) {
+  SolverConfig cfg;
+  cfg.type = SolverType::kJacobi;
+  SolveStats stats;
+  stats.outer_iters = 200;
+  SolverRunSummary run = SolverRunSummary::from(cfg, stats, 1024);
+  const GlobalMesh2D mesh(1024, 1024);
+  const ScalingModel model(machines::spruce_hybrid(), mesh, 1);
+
+  const double untiled = model.run_seconds(run, 1);
+  run.tile_rows = 4;  // 4 rows × 1024 cells × 6 fields × 8 B ≈ 192 KB < L2
+  const double tiled_fit = model.run_seconds(run, 1);
+  run.tile_rows = 4096;  // taller than L2: streaming bytes again
+  const double tiled_spill = model.run_seconds(run, 1);
+
+  EXPECT_LT(tiled_fit, untiled);
+  EXPECT_EQ(tiled_spill, untiled);
+
+  // A machine with no modelled L2 never takes the blocked variant.
+  MachineSpec no_l2 = machines::spruce_hybrid();
+  no_l2.l2_kb = 0.0;
+  const ScalingModel flat(no_l2, mesh, 1);
+  run.tile_rows = 4;
+  EXPECT_EQ(flat.run_seconds(run, 1), flat.run_seconds([&] {
+    SolverRunSummary u = run;
+    u.tile_rows = 0;
+    return u;
+  }(), 1));
+}
+
+TEST(TiledModel, SummaryRecordsEffectiveTileHeightAndResolvesAuto) {
+  // An unfused config runs untiled whatever the knob says: the summary
+  // must record that, or the model would price phantom cache blocking.
+  SolverConfig cfg;
+  cfg.type = SolverType::kJacobi;
+  cfg.tile_rows = 128;
+  cfg.fuse_kernels = false;
+  SolveStats stats;
+  stats.outer_iters = 100;
+  EXPECT_EQ(SolverRunSummary::from(cfg, stats, 256).tile_rows, 0);
+
+  // `auto` stays symbolic in the summary and resolves inside the model
+  // against the modelled chunk width, like the real engine does.
+  cfg.fuse_kernels = true;
+  cfg.tile_rows = -1;
+  SolverRunSummary run = SolverRunSummary::from(cfg, stats, 1024);
+  EXPECT_EQ(run.tile_rows, -1);
+  const GlobalMesh2D mesh(1024, 1024);
+  const ScalingModel model(machines::spruce_hybrid(), mesh, 1);
+  SolverRunSummary untiled = run;
+  untiled.tile_rows = 0;
+  // spruce L2 fits the auto-derived block → the blocked variant applies.
+  EXPECT_LT(model.run_seconds(run, 1), model.run_seconds(untiled, 1));
+}
+
+}  // namespace
+}  // namespace tealeaf
