@@ -11,7 +11,7 @@
 #include "amg/mg_pcg.hpp"
 #include "bench_common.hpp"
 #include "io/csv.hpp"
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {

@@ -1,7 +1,7 @@
 // Kernel and execution-engine benchmarks — the C++ analogue of Listing 1
 // and the other per-iteration sweeps.
 //
-// Three layers:
+// Four layers:
 //  * A fused-vs-unfused execution-engine comparison that times whole
 //    solver iterations both ways (same problem, same iteration counts —
 //    the engine is bitwise-equivalent) and writes the result as
@@ -16,6 +16,14 @@
 //    numbers (its fused path hosts 16 sweeps per hoisted region).
 //       ./bench/bench_kernels --tile-scan [--mesh 1024] [--ranks 4]
 //                             [--reps 3] [--out BENCH_PR3.json]
+//  * A dimension comparison of the unified core (the tea3d fork is
+//    retired; 3-D runs the same engine): per solver, fixed-iteration
+//    2-D (n²) vs 3-D (m³, similar cell count) solves at unfused /
+//    fused / fused+tiled, reporting the per-dimension engine speedups
+//    and the 3-D-vs-2-D cost per cell·iteration.  Emits BENCH_PR4.json.
+//       ./bench/bench_kernels --dim 3 [--mesh 64] [--mesh3d 16]
+//                             [--ranks 4] [--reps 3] [--tile 8]
+//                             [--out BENCH_PR4.json]
 //  * Google-benchmark microbenchmarks of the individual kernels whose
 //    bytes/cell constants feed the performance model (model/scaling.cpp).
 //    Built only where the library exists; run with --gbench (extra
@@ -34,7 +42,7 @@
 #include "driver/tealeaf_app.hpp"
 #include "io/json.hpp"
 #include "model/machine.hpp"
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "precon/preconditioner.hpp"
 #include "solvers/solver.hpp"
 #include "util/args.hpp"
@@ -550,6 +558,140 @@ int run_tile_scan(const Args& args) {
   return 0;
 }
 
+// ---- 2-D vs 3-D unified-core comparison (BENCH_PR4) ----------------------
+
+/// Fixed-iteration configurations shared by both dimensions, so every
+/// engine and geometry runs exactly the same capped iteration count.
+std::vector<EngineCase> dim_compare_cases() {
+  std::vector<EngineCase> cases;
+  SolverConfig cg;
+  cg.type = SolverType::kCG;
+  cg.eps = 1e-300;
+  cg.max_iters = 30;
+  cases.push_back({"cg", cg});
+  SolverConfig chrono = cg;
+  chrono.fuse_cg_reductions = true;
+  cases.push_back({"cg-chrono", chrono});
+  SolverConfig cheby;
+  cheby.type = SolverType::kChebyshev;
+  cheby.eps = 1e-300;
+  cheby.eigen_cg_iters = 10;
+  cheby.max_iters = 40;
+  cases.push_back({"chebyshev", cheby});
+  SolverConfig ppcg;
+  ppcg.type = SolverType::kPPCG;
+  ppcg.eps = 1e-300;
+  ppcg.eigen_cg_iters = 8;
+  ppcg.max_iters = 16;
+  cases.push_back({"ppcg", ppcg});
+  SolverConfig jacobi;
+  jacobi.type = SolverType::kJacobi;
+  jacobi.eps = 1e-300;
+  jacobi.max_iters = 200;
+  cases.push_back({"jacobi", jacobi});
+  return cases;
+}
+
+int run_dim_compare(const Args& args) {
+  log::set_level(log::Level::kError);  // fixed-iteration runs hit max_iters
+  const int mesh2d = args.get_int("mesh", 64);
+  const int mesh3d = args.get_int("mesh3d", 16);
+  const int ranks = args.get_int("ranks", 4);
+  const int reps = args.get_int("reps", 3);
+  const int tile = args.get_int("tile", 8);
+  const std::string out_path = args.get("out", "BENCH_PR4.json");
+
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("benchmark",
+          "dimension-generic core: 2-D vs 3-D fused/tiled engines (PR4)");
+  doc.set("mesh_2d", mesh2d);
+  doc.set("mesh_3d", mesh3d);
+  doc.set("ranks", ranks);
+  doc.set("threads", num_threads());
+  doc.set("reps", reps);
+  doc.set("tile_rows", tile);
+  io::JsonValue arr = io::JsonValue::array();
+
+  bool all_identical = true;
+  for (const EngineCase& ec : dim_compare_cases()) {
+    io::JsonValue entry = io::JsonValue::object();
+    entry.set("solver", ec.name);
+    for (const int dims : {2, 3}) {
+      InputDeck deck = decks::hot_block(mesh2d, 1);
+      if (dims == 3) {
+        deck.dims = 3;
+        deck.x_cells = deck.y_cells = deck.z_cells = mesh3d;
+        deck.zmin = deck.xmin;
+        deck.zmax = deck.xmax;
+      }
+      deck.solver = ec.cfg;
+
+      struct Config {
+        bool fused;
+        int tile_rows;
+        double best = 0.0;
+        int iters = 0;
+      };
+      std::vector<Config> configs = {{false, 0}, {true, 0}, {true, tile}};
+      for (int rep = -1; rep < reps; ++rep) {  // first round is warmup
+        for (Config& c : configs) {
+          deck.solver.fuse_kernels = c.fused;
+          deck.solver.tile_rows = c.tile_rows;
+          const double s = time_fixed_once(deck, ranks, &c.iters);
+          if (rep <= 0 || s < c.best) c.best = s;
+        }
+      }
+      const bool identical = configs[0].iters == configs[1].iters &&
+                             configs[0].iters == configs[2].iters;
+      all_identical = all_identical && identical;
+      const long long cells = dims == 3
+                                  ? 1LL * mesh3d * mesh3d * mesh3d
+                                  : 1LL * mesh2d * mesh2d;
+      io::JsonValue d = io::JsonValue::object();
+      d.set("cells", cells);
+      d.set("iters", configs[0].iters);
+      d.set("unfused_seconds", configs[0].best);
+      d.set("fused_seconds", configs[1].best);
+      d.set("tiled_seconds", configs[2].best);
+      d.set("fused_speedup_vs_unfused",
+            configs[1].best > 0.0 ? configs[0].best / configs[1].best : 0.0);
+      d.set("tiled_speedup_vs_fused",
+            configs[2].best > 0.0 ? configs[1].best / configs[2].best : 0.0);
+      const double per_cell_iter =
+          configs[0].iters > 0
+              ? configs[1].best /
+                    (static_cast<double>(cells) * configs[0].iters)
+              : 0.0;
+      d.set("fused_seconds_per_cell_iter", per_cell_iter);
+      d.set("identical_iterations", identical);
+      entry.set(dims == 3 ? "3d" : "2d", std::move(d));
+      std::printf("%-10s %dD unfused %.4fs fused %.4fs tiled(b%d) %.4fs "
+                  "(iters %d%s)\n",
+                  ec.name.c_str(), dims, configs[0].best, configs[1].best,
+                  tile, configs[2].best, configs[0].iters,
+                  identical ? "" : " MISMATCH");
+    }
+    const double s2 = entry.at("2d").at("fused_seconds_per_cell_iter")
+                          .as_number();
+    const double s3 = entry.at("3d").at("fused_seconds_per_cell_iter")
+                          .as_number();
+    entry.set("cost_ratio_3d_vs_2d_per_cell_iter",
+              s2 > 0.0 ? s3 / s2 : 0.0);
+    arr.push_back(std::move(entry));
+  }
+  doc.set("solvers", std::move(arr));
+  doc.set("identical_iterations", all_identical);
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("2-D vs 3-D comparison -> %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -563,6 +705,7 @@ int main(int argc, char** argv) {
   try {
     const Args args(argc, argv);
     if (args.has("tile-scan")) return run_tile_scan(args);
+    if (args.get_int("dim", 2) == 3) return run_dim_compare(args);
     return run_engine_comparison(args);
   } catch (const TeaError& e) {
     std::fprintf(stderr, "bench error: %s\n", e.what());

@@ -6,8 +6,8 @@
 // Run:  ./examples/design_space_sweep [--mesh 48] [--ranks 4] [--steps 1]
 //           [--solvers cg,ppcg,chebyshev,mg-pcg] [--precons none,jac_diag]
 //           [--depths 1,4] [--meshes 32,48] [--threads 0] [--fused 0,1]
-//           [--tiles 0,32] [--deck path/to/tea.in] [--csv out.csv]
-//           [--json out.json]
+//           [--tiles 0,32] [--geometry 2d,3d] [--deck path/to/tea.in]
+//           [--csv out.csv] [--json out.json]
 //
 // A deck passed via --deck that carries its own sweep_* section overrides
 // the axis flags — sweeps are declarative deck content first.
@@ -74,6 +74,20 @@ int run(const Args& args) {
                                         "--threads");
     spec.fused = split_int_list(args.get("fused", "0,1"), "--fused");
     spec.tile_rows = split_int_list(args.get("tiles", "0"), "--tiles");
+    spec.geometries.clear();  // empty = inherit the deck's geometry
+    if (args.has("geometry")) {
+      for (const std::string& g :
+           split_list(args.get("geometry", "2d"), "--geometry")) {
+        if (g == "2d") {
+          spec.geometries.push_back(2);
+        } else if (g == "3d") {
+          spec.geometries.push_back(3);
+        } else {
+          throw TeaError("--geometry entries must be '2d' or '3d', got '" +
+                         g + "'");
+        }
+      }
+    }
     spec.ranks = args.get_int("ranks", 4);
   }
 
@@ -85,12 +99,14 @@ int run(const Args& args) {
 
   std::printf("design-space sweep: %zu cells (%zu solvers x %zu precons x "
               "%zu depths x %zu meshes x %zu thread counts x %zu engines x "
-              "%zu tile heights), %d ranks\n\n",
+              "%zu tile heights x %zu geometries), %d ranks\n\n",
               spec.num_cases(), spec.solvers.size(), spec.precons.size(),
               spec.halo_depths.size(),
               spec.mesh_sizes.empty() ? 1 : spec.mesh_sizes.size(),
               spec.thread_counts.size(), spec.fused.size(),
-              spec.tile_rows.size(), spec.ranks);
+              spec.tile_rows.size(),
+              spec.geometries.empty() ? 1 : spec.geometries.size(),
+              spec.ranks);
 
   const SweepReport report = run_sweep(base, spec, opts);
 

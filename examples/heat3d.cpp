@@ -2,13 +2,19 @@
 // spherical inclusion diffusing through a layered 3-D material, solved
 // with CPPCG + matrix powers on the simulated cluster.
 //
+// Since the dimension-generic core retired the tea3d fork, this example
+// runs through exactly the same mesh/comm/solver stack as every 2-D run —
+// including the fused execution engine and row tiling (--fused, --tile).
+//
 // Run:  ./examples/heat3d [--mesh 24] [--ranks 8] [--steps 3] [--depth 2]
+//                         [--fused 1] [--tile 8]
 
 #include <cmath>
 #include <cstdio>
 
-#include "tea3d/kernels3d.hpp"
-#include "tea3d/solvers3d.hpp"
+#include "comm/sim_comm.hpp"
+#include "ops/kernels.hpp"
+#include "solvers/solver.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
@@ -20,18 +26,18 @@ int main(int argc, char** argv) {
   const int depth = args.get_int("depth", 2);
 
   const double dt = 0.04;
-  const GlobalMesh3D mesh(n, n, n, 10.0);
-  SimCluster3D cl(mesh, ranks, std::max(2, depth));
+  const GlobalMesh mesh = GlobalMesh::brick3d(n, n, n, 10.0);
+  SimCluster cl(mesh, ranks, std::max(2, depth));
 
   // Layered density with a light spherical inclusion at the centre (low
   // density = high conduction under the resistivity-mean face formula).
-  cl.for_each_chunk([&](int, Chunk3D& c) {
+  cl.for_each_chunk([&](int, Chunk& c) {
     for (int l = 0; l < c.nz(); ++l) {
       for (int k = 0; k < c.ny(); ++k) {
         for (int j = 0; j < c.nx(); ++j) {
-          const double x = (c.extent().x0 + j + 0.5) * mesh.dx();
-          const double y = (c.extent().y0 + k + 0.5) * mesh.dy();
-          const double z = (c.extent().z0 + l + 0.5) * mesh.dz();
+          const double x = c.cell_x(j);
+          const double y = c.cell_y(k);
+          const double z = c.cell_z(l);
           const double r2 = (x - 5) * (x - 5) + (y - 5) * (y - 5) +
                             (z - 5) * (z - 5);
           c.density()(j, k, l) = (y < 3.0) ? 10.0 : 2.0;
@@ -52,31 +58,34 @@ int main(int argc, char** argv) {
   cfg.eigen_cg_iters = 15;
   cfg.eps = 1e-9;
   cfg.max_iters = 50000;
+  cfg.fuse_kernels = args.get_int("fused", 0) != 0;
+  cfg.tile_rows = args.get_int("tile", 0);
 
   std::printf("heat3d: %d^3 cells on %d simulated ranks (%dx%dx%d), "
-              "PPCG depth %d\n", n, cl.nranks(),
+              "PPCG depth %d%s\n", n, cl.nranks(),
               cl.decomposition().px(), cl.decomposition().py(),
-              cl.decomposition().pz(), depth);
+              cl.decomposition().pz(), depth,
+              cfg.fuse_kernels ? " [fused engine]" : "");
 
   const double rx = dt / (mesh.dx() * mesh.dx());
+  const double ry = dt / (mesh.dy() * mesh.dy());
+  const double rz = dt / (mesh.dz() * mesh.dz());
   for (int s = 1; s <= steps; ++s) {
-    cl.exchange({FieldId3D::kDensity, FieldId3D::kEnergy1},
-                cl.halo_depth());
-    cl.for_each_chunk([&](int, Chunk3D& c) {
-      kernels3d::init_u_u0(c);
-      kernels3d::init_conduction(c, kernels::Coefficient::kConductivity,
-                                 rx, rx, rx);
+    cl.exchange({FieldId::kDensity, FieldId::kEnergy1}, cl.halo_depth());
+    cl.for_each_chunk([&](int, Chunk& c) {
+      kernels::init_u_u0(c);
+      kernels::init_conduction(c, kernels::Coefficient::kConductivity, rx,
+                               ry, rz);
     });
-    const SolveStats st = solve_linear_system_3d(cl, cfg);
-    cl.for_each_chunk([](int, Chunk3D& c) {
+    const SolveStats st = solve_linear_system(cl, cfg);
+    cl.for_each_chunk([](int, Chunk& c) {
       for (int l = 0; l < c.nz(); ++l)
         for (int k = 0; k < c.ny(); ++k)
           for (int j = 0; j < c.nx(); ++j)
             c.energy()(j, k, l) = c.u()(j, k, l) / c.density()(j, k, l);
     });
-    const double total_u = cl.sum_over_chunks([](int, Chunk3D& c) {
-      return c.u().sum_interior();
-    });
+    const double total_u = cl.sum_over_chunks(
+        [](int, Chunk& c) { return c.u().sum_interior(); });
     std::printf("step %d: outer=%4d inner=%5lld spmv=%5lld |r|=%8.2e "
                 "sum(u)=%.6f %s\n", s, st.outer_iters, st.inner_steps,
                 st.spmv_applies, st.final_norm,

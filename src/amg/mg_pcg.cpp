@@ -40,6 +40,8 @@ MGPreconditionedCG::MGPreconditionedCG(const Field2D<double>& kx,
 
 MGPreconditionedCG MGPreconditionedCG::from_chunk(const Chunk2D& chunk,
                                                   const Options& opt) {
+  TEA_REQUIRE(chunk.dims() == 2,
+              "mg-pcg's multigrid hierarchy is 2-D only (unported to 3-D)");
   return MGPreconditionedCG(chunk.kx(), chunk.ky(), chunk.nx(), chunk.ny(),
                             opt);
 }

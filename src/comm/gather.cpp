@@ -2,30 +2,35 @@
 
 namespace tealeaf {
 
-Field2D<double> gather_field(const SimCluster2D& cl, FieldId id) {
-  const GlobalMesh2D& mesh = cl.mesh();
-  Field2D<double> global(mesh.nx, mesh.ny, 0, 0.0);
+Field<double> gather_field(const SimCluster& cl, FieldId id) {
+  const GlobalMesh& mesh = cl.mesh();
+  Field<double> global =
+      mesh.dims == 3
+          ? Field<double>::make3d(mesh.nx, mesh.ny, mesh.nz, 0, 0.0)
+          : Field<double>(mesh.nx, mesh.ny, 0, 0.0);
   for (int r = 0; r < cl.nranks(); ++r) {
-    const Chunk2D& c = cl.chunk(r);
-    const Field2D<double>& f = c.field(id);
+    const Chunk& c = cl.chunk(r);
+    const Field<double>& f = c.field(id);
     const ChunkExtent& e = c.extent();
-    for (int k = 0; k < c.ny(); ++k)
-      for (int j = 0; j < c.nx(); ++j)
-        global(e.x0 + j, e.y0 + k) = f(j, k);
+    for (int l = 0; l < c.nz(); ++l)
+      for (int k = 0; k < c.ny(); ++k)
+        for (int j = 0; j < c.nx(); ++j)
+          global(e.x0 + j, e.y0 + k, e.z0 + l) = f(j, k, l);
   }
   return global;
 }
 
-void scatter_field(SimCluster2D& cl, FieldId id,
-                   const Field2D<double>& global) {
-  TEA_REQUIRE(global.nx() == cl.mesh().nx && global.ny() == cl.mesh().ny,
+void scatter_field(SimCluster& cl, FieldId id, const Field<double>& global) {
+  TEA_REQUIRE(global.nx() == cl.mesh().nx && global.ny() == cl.mesh().ny &&
+                  global.nz() == cl.mesh().nz,
               "global field shape must match the mesh");
-  cl.for_each_chunk([&](int, Chunk2D& c) {
-    Field2D<double>& f = c.field(id);
+  cl.for_each_chunk([&](int, Chunk& c) {
+    Field<double>& f = c.field(id);
     const ChunkExtent& e = c.extent();
-    for (int k = 0; k < c.ny(); ++k)
-      for (int j = 0; j < c.nx(); ++j)
-        f(j, k) = global(e.x0 + j, e.y0 + k);
+    for (int l = 0; l < c.nz(); ++l)
+      for (int k = 0; k < c.ny(); ++k)
+        for (int j = 0; j < c.nx(); ++j)
+          f(j, k, l) = global(e.x0 + j, e.y0 + k, e.z0 + l);
   });
 }
 

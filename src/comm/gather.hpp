@@ -8,12 +8,12 @@ namespace tealeaf {
 /// Assemble the global view of one field from all chunks (the simulated
 /// equivalent of an MPI_Gather to rank 0 for visualisation/IO).  The
 /// returned field has no halo; (j,k) are global cell indices.
-[[nodiscard]] Field2D<double> gather_field(const SimCluster2D& cl,
+[[nodiscard]] Field<double> gather_field(const SimCluster& cl,
                                            FieldId id);
 
 /// Scatter a global field back onto the chunks' interiors (test utility:
 /// lets property tests craft global states independent of decomposition).
-void scatter_field(SimCluster2D& cl, FieldId id,
-                   const Field2D<double>& global);
+void scatter_field(SimCluster& cl, FieldId id,
+                   const Field<double>& global);
 
 }  // namespace tealeaf

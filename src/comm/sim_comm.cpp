@@ -4,10 +4,9 @@
 
 namespace tealeaf {
 
-SimCluster2D::SimCluster2D(const GlobalMesh2D& mesh, int nranks,
-                           int halo_depth)
+SimCluster::SimCluster(const GlobalMesh& mesh, int nranks, int halo_depth)
     : mesh_(mesh),
-      decomp_(Decomposition2D::create(nranks, mesh)),
+      decomp_(Decomposition::create(nranks, mesh)),
       halo_depth_(halo_depth) {
   TEA_REQUIRE(halo_depth >= 1, "halo depth must be >= 1");
   chunks_.resize(static_cast<std::size_t>(nranks));
@@ -18,7 +17,7 @@ SimCluster2D::SimCluster2D(const GlobalMesh2D& mesh, int nranks,
   // process the chunk for the rest of the run.
   parallel_region([&](Team& t) {
     t.for_range(0, nranks, [&](std::int64_t r) {
-      chunks_[static_cast<std::size_t>(r)] = std::make_unique<Chunk2D>(
+      chunks_[static_cast<std::size_t>(r)] = std::make_unique<Chunk>(
           decomp_.extent(static_cast<int>(r)), mesh, halo_depth);
     });
   });
@@ -26,30 +25,28 @@ SimCluster2D::SimCluster2D(const GlobalMesh2D& mesh, int nranks,
   team_partials2_.assign(static_cast<std::size_t>(nranks), {0.0, 0.0});
 }
 
-void SimCluster2D::exchange(std::initializer_list<FieldId> fields,
-                            int depth) {
+void SimCluster::exchange(std::initializer_list<FieldId> fields, int depth) {
   exchange_impl(nullptr, fields.begin(), static_cast<int>(fields.size()),
                 depth);
 }
 
-void SimCluster2D::exchange(const std::vector<FieldId>& fields, int depth) {
+void SimCluster::exchange(const std::vector<FieldId>& fields, int depth) {
   exchange_impl(nullptr, fields.data(), static_cast<int>(fields.size()),
                 depth);
 }
 
-void SimCluster2D::exchange(const Team* team,
-                            std::initializer_list<FieldId> fields,
-                            int depth) {
+void SimCluster::exchange(const Team* team,
+                          std::initializer_list<FieldId> fields, int depth) {
   exchange_impl(team, fields.begin(), static_cast<int>(fields.size()), depth);
 }
 
-void SimCluster2D::exchange(const Team* team,
-                            const std::vector<FieldId>& fields, int depth) {
+void SimCluster::exchange(const Team* team,
+                          const std::vector<FieldId>& fields, int depth) {
   exchange_impl(team, fields.data(), static_cast<int>(fields.size()), depth);
 }
 
-void SimCluster2D::exchange_impl(const Team* team, const FieldId* fields,
-                                 int nfields, int depth) {
+void SimCluster::exchange_impl(const Team* team, const FieldId* fields,
+                               int nfields, int depth) {
   // Contract check.  In the Team path this runs inside the hoisted
   // region, where a throw would terminate the process (see
   // parallel_region's docs) — callers must validate the depth before
@@ -57,8 +54,11 @@ void SimCluster2D::exchange_impl(const Team* team, const FieldId* fields,
   TEA_REQUIRE(depth >= 1 && depth <= halo_depth_,
               "exchange depth exceeds allocated halo");
   if (nfields == 0) return;
+  const bool has_z = (mesh_.dims == 3);
   // Phase ordering matters: x completes for all ranks before y starts so
-  // that the y messages carry fresh corner columns (see class comment).
+  // that the y messages carry fresh corner columns, and (in 3-D) z runs
+  // last carrying the xy-halo rows so edges and corners propagate (see
+  // class comment).
   if (team == nullptr) {
     ++stats_.exchange_calls;
     parallel_for(0, nranks(), [&](std::int64_t r) {
@@ -67,12 +67,17 @@ void SimCluster2D::exchange_impl(const Team* team, const FieldId* fields,
     parallel_for(0, nranks(), [&](std::int64_t r) {
       exchange_y_rank(static_cast<int>(r), fields, nfields, depth);
     });
+    if (has_z) {
+      parallel_for(0, nranks(), [&](std::int64_t r) {
+        exchange_z_rank(static_cast<int>(r), fields, nfields, depth);
+      });
+    }
     account_exchange(nfields, depth);
     return;
   }
   // Team-aware path (hoisted region): explicit barriers replace the
   // implicit joins — producers must finish before the x phase reads
-  // interiors, and the y phase carries the x phase's corner columns.
+  // interiors, and each later phase carries the earlier phases' halos.
   // With more threads than ranks each phase workshares (rank, face)
   // pairs — the per-face copies touch disjoint halo regions.
   team->barrier();
@@ -88,6 +93,14 @@ void SimCluster2D::exchange_impl(const Team* team, const FieldId* fields,
                            (i & 1) ? Face::kTop : Face::kBottom, fields,
                            nfields, depth);
     });
+    if (has_z) {
+      team->barrier();
+      team->for_range(0, 2 * nranks(), [&](std::int64_t i) {
+        exchange_z_rank_face(static_cast<int>(i >> 1),
+                             (i & 1) ? Face::kFront : Face::kBack, fields,
+                             nfields, depth);
+      });
+    }
   } else {
     team->for_range(0, nranks(), [&](std::int64_t r) {
       exchange_x_rank(static_cast<int>(r), fields, nfields, depth);
@@ -96,6 +109,12 @@ void SimCluster2D::exchange_impl(const Team* team, const FieldId* fields,
     team->for_range(0, nranks(), [&](std::int64_t r) {
       exchange_y_rank(static_cast<int>(r), fields, nfields, depth);
     });
+    if (has_z) {
+      team->barrier();
+      team->for_range(0, nranks(), [&](std::int64_t r) {
+        exchange_z_rank(static_cast<int>(r), fields, nfields, depth);
+      });
+    }
   }
   team->single([&] {
     ++stats_.exchange_calls;
@@ -104,46 +123,49 @@ void SimCluster2D::exchange_impl(const Team* team, const FieldId* fields,
   team->barrier();
 }
 
-void SimCluster2D::exchange_x_rank(int rank, const FieldId* fields,
-                                   int nfields, int depth) {
+void SimCluster::exchange_x_rank(int rank, const FieldId* fields,
+                                 int nfields, int depth) {
   exchange_x_rank_face(rank, Face::kLeft, fields, nfields, depth);
   exchange_x_rank_face(rank, Face::kRight, fields, nfields, depth);
 }
 
-void SimCluster2D::exchange_x_rank_face(int rank, Face face,
-                                        const FieldId* fields, int nfields,
-                                        int depth) {
-  Chunk2D& me = *chunks_[static_cast<std::size_t>(rank)];
+void SimCluster::exchange_x_rank_face(int rank, Face face,
+                                      const FieldId* fields, int nfields,
+                                      int depth) {
+  Chunk& me = *chunks_[static_cast<std::size_t>(rank)];
   // Each rank "sends" its edge columns into the neighbour's halo.  In the
   // simulation the copy is done by the receiving side reading the
   // neighbour's interior, which is bitwise the same data motion.
   const int nb = decomp_.neighbor(rank, face);
   if (nb < 0) return;
-  Chunk2D& other = *chunks_[static_cast<std::size_t>(nb)];
-  TEA_ASSERT(other.ny() == me.ny(), "x-neighbours must share rows");
+  Chunk& other = *chunks_[static_cast<std::size_t>(nb)];
+  TEA_ASSERT(other.ny() == me.ny() && other.nz() == me.nz(),
+             "x-neighbours must share rows and planes");
   for (int f = 0; f < nfields; ++f) {
-    Field2D<double>& dst = me.field(fields[f]);
-    const Field2D<double>& src = other.field(fields[f]);
+    Field<double>& dst = me.field(fields[f]);
+    const Field<double>& src = other.field(fields[f]);
     for (int d = 0; d < depth; ++d) {
       // Halo column -1-d maps to the right edge of the left neighbour;
       // column nx+d maps to the left edge of the right neighbour.
       const int dst_j = (face == Face::kLeft) ? -1 - d : me.nx() + d;
       const int src_j = (face == Face::kLeft) ? other.nx() - 1 - d : d;
-      for (int k = 0; k < me.ny(); ++k) dst(dst_j, k) = src(src_j, k);
+      for (int l = 0; l < me.nz(); ++l)
+        for (int k = 0; k < me.ny(); ++k)
+          dst(dst_j, k, l) = src(src_j, k, l);
     }
   }
 }
 
-void SimCluster2D::exchange_y_rank(int rank, const FieldId* fields,
-                                   int nfields, int depth) {
+void SimCluster::exchange_y_rank(int rank, const FieldId* fields,
+                                 int nfields, int depth) {
   exchange_y_rank_face(rank, Face::kBottom, fields, nfields, depth);
   exchange_y_rank_face(rank, Face::kTop, fields, nfields, depth);
 }
 
-void SimCluster2D::exchange_y_rank_face(int rank, Face face,
-                                        const FieldId* fields, int nfields,
-                                        int depth) {
-  Chunk2D& me = *chunks_[static_cast<std::size_t>(rank)];
+void SimCluster::exchange_y_rank_face(int rank, Face face,
+                                      const FieldId* fields, int nfields,
+                                      int depth) {
+  Chunk& me = *chunks_[static_cast<std::size_t>(rank)];
   // Rows travel with their x-halo corner columns so corners propagate —
   // but only columns that actually carry neighbour data: at a physical
   // left/right boundary the x-halo holds no exchanged values, so it is
@@ -154,22 +176,62 @@ void SimCluster2D::exchange_y_rank_face(int rank, Face face,
   const int jhi = me.nx() + (has_right ? depth : 0);
   const int nb = decomp_.neighbor(rank, face);
   if (nb < 0) return;
-  Chunk2D& other = *chunks_[static_cast<std::size_t>(nb)];
-  TEA_ASSERT(other.nx() == me.nx(), "y-neighbours must share columns");
+  Chunk& other = *chunks_[static_cast<std::size_t>(nb)];
+  TEA_ASSERT(other.nx() == me.nx() && other.nz() == me.nz(),
+             "y-neighbours must share columns and planes");
   for (int f = 0; f < nfields; ++f) {
-    Field2D<double>& dst = me.field(fields[f]);
-    const Field2D<double>& src = other.field(fields[f]);
+    Field<double>& dst = me.field(fields[f]);
+    const Field<double>& src = other.field(fields[f]);
     for (int d = 0; d < depth; ++d) {
       const int dst_k = (face == Face::kBottom) ? -1 - d : me.ny() + d;
       const int src_k = (face == Face::kBottom) ? other.ny() - 1 - d : d;
-      for (int j = jlo; j < jhi; ++j) {
-        dst(j, dst_k) = src(j, src_k);
-      }
+      for (int l = 0; l < me.nz(); ++l)
+        for (int j = jlo; j < jhi; ++j)
+          dst(j, dst_k, l) = src(j, src_k, l);
     }
   }
 }
 
-void SimCluster2D::account_exchange(int nfields, int depth) {
+void SimCluster::exchange_z_rank(int rank, const FieldId* fields,
+                                 int nfields, int depth) {
+  exchange_z_rank_face(rank, Face::kBack, fields, nfields, depth);
+  exchange_z_rank_face(rank, Face::kFront, fields, nfields, depth);
+}
+
+void SimCluster::exchange_z_rank_face(int rank, Face face,
+                                      const FieldId* fields, int nfields,
+                                      int depth) {
+  Chunk& me = *chunks_[static_cast<std::size_t>(rank)];
+  // z slabs travel with the x- and y-halo rows the earlier phases filled,
+  // so edges and corners propagate — again only where a neighbour
+  // actually supplied data (physical boundaries send trimmed slabs).
+  const bool has_left = decomp_.neighbor(rank, Face::kLeft) >= 0;
+  const bool has_right = decomp_.neighbor(rank, Face::kRight) >= 0;
+  const bool has_bottom = decomp_.neighbor(rank, Face::kBottom) >= 0;
+  const bool has_top = decomp_.neighbor(rank, Face::kTop) >= 0;
+  const int jlo = has_left ? -depth : 0;
+  const int jhi = me.nx() + (has_right ? depth : 0);
+  const int klo = has_bottom ? -depth : 0;
+  const int khi = me.ny() + (has_top ? depth : 0);
+  const int nb = decomp_.neighbor(rank, face);
+  if (nb < 0) return;
+  Chunk& other = *chunks_[static_cast<std::size_t>(nb)];
+  TEA_ASSERT(other.nx() == me.nx() && other.ny() == me.ny(),
+             "z-neighbours must share columns and rows");
+  for (int f = 0; f < nfields; ++f) {
+    Field<double>& dst = me.field(fields[f]);
+    const Field<double>& src = other.field(fields[f]);
+    for (int d = 0; d < depth; ++d) {
+      const int dst_l = (face == Face::kBack) ? -1 - d : me.nz() + d;
+      const int src_l = (face == Face::kBack) ? other.nz() - 1 - d : d;
+      for (int k = klo; k < khi; ++k)
+        for (int j = jlo; j < jhi; ++j)
+          dst(j, k, dst_l) = src(j, k, src_l);
+    }
+  }
+}
+
+void SimCluster::account_exchange(int nfields, int depth) {
   const int nf = nfields;
   const auto record = [&](std::int64_t bytes) {
     ++stats_.messages;
@@ -178,15 +240,17 @@ void SimCluster2D::account_exchange(int nfields, int depth) {
     stats_.bytes_by_depth[depth] += bytes;
   };
   // One send per rank per populated direction; all fields share the
-  // message.  x payload: depth columns of ny cells per field.  y payload:
-  // depth rows of nx cells per field plus only the corner columns that
-  // carry neighbour data (a rank at a physical left/right boundary sends
-  // shorter rows — see exchange_y_rank).
+  // message.  x payload: depth columns of ny·nz cells per field.  y
+  // payload: depth rows of nx·nz cells per field plus only the corner
+  // columns that carry neighbour data (a rank at a physical left/right
+  // boundary sends shorter rows — see exchange_y_rank).  z payload: depth
+  // planes whose rows and columns are extended the same way by the x and
+  // y neighbours that populated them.
   for (int r = 0; r < nranks(); ++r) {
-    const Chunk2D& me = *chunks_[static_cast<std::size_t>(r)];
+    const Chunk& me = *chunks_[static_cast<std::size_t>(r)];
     for (const Face face : {Face::kLeft, Face::kRight}) {
       if (decomp_.neighbor(r, face) < 0) continue;
-      record(static_cast<std::int64_t>(depth) * me.ny() * nf *
+      record(static_cast<std::int64_t>(depth) * me.ny() * me.nz() * nf *
              static_cast<std::int64_t>(sizeof(double)));
     }
     const int xcorners = (decomp_.neighbor(r, Face::kLeft) >= 0 ? 1 : 0) +
@@ -195,13 +259,25 @@ void SimCluster2D::account_exchange(int nfields, int depth) {
         me.nx() + static_cast<std::int64_t>(xcorners) * depth;
     for (const Face face : {Face::kBottom, Face::kTop}) {
       if (decomp_.neighbor(r, face) < 0) continue;
-      record(static_cast<std::int64_t>(depth) * row_len * nf *
+      record(static_cast<std::int64_t>(depth) * row_len * me.nz() * nf *
              static_cast<std::int64_t>(sizeof(double)));
+    }
+    if (mesh_.dims == 3) {
+      const int ycorners =
+          (decomp_.neighbor(r, Face::kBottom) >= 0 ? 1 : 0) +
+          (decomp_.neighbor(r, Face::kTop) >= 0 ? 1 : 0);
+      const std::int64_t col_len =
+          me.ny() + static_cast<std::int64_t>(ycorners) * depth;
+      for (const Face face : {Face::kBack, Face::kFront}) {
+        if (decomp_.neighbor(r, face) < 0) continue;
+        record(static_cast<std::int64_t>(depth) * row_len * col_len * nf *
+               static_cast<std::int64_t>(sizeof(double)));
+      }
     }
   }
 }
 
-double SimCluster2D::reduce_sum(const std::vector<double>& partials) {
+double SimCluster::reduce_sum(const std::vector<double>& partials) {
   TEA_REQUIRE(static_cast<int>(partials.size()) == nranks(),
               "one partial per rank required");
   ++stats_.reductions;
@@ -210,7 +286,7 @@ double SimCluster2D::reduce_sum(const std::vector<double>& partials) {
   return total;
 }
 
-std::pair<double, double> SimCluster2D::reduce_sum2(
+std::pair<double, double> SimCluster::reduce_sum2(
     const std::vector<std::pair<double, double>>& partials) {
   TEA_REQUIRE(static_cast<int>(partials.size()) == nranks(),
               "one partial per rank required");

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <initializer_list>
 #include <memory>
 #include <utility>
@@ -15,19 +16,23 @@
 namespace tealeaf {
 
 /// Simulated distributed-memory cluster: the substitution for MPI
-/// documented in DESIGN.md §2.1.
+/// documented in DESIGN.md §2.1.  One implementation serves both problem
+/// dimensions — the mesh's `dims` selects the 2-D or 3-D decomposition,
+/// chunk layout and halo-exchange scheme, so every execution-engine
+/// feature (fused regions, team reductions, row tiling) applies to both.
 ///
 /// The global mesh is block-decomposed over `nranks` simulated ranks, one
-/// Chunk2D each.  Solvers drive the chunks SPMD-style through
+/// Chunk each.  Solvers drive the chunks SPMD-style through
 /// `for_each_chunk` / `sum_over_chunks`, and all inter-rank data motion
 /// goes through `exchange` (halo swap, real byte copies) and `reduce_sum`
 /// (global reduction over ordered per-rank partials).  Every message and
 /// byte is recorded in CommStats so the performance model can replay the
 /// run on a modelled machine.
 ///
-/// Halo exchange is two-phase (x first, then y carrying the x-halo
-/// columns), which propagates corner data exactly as upstream TeaLeaf's
-/// staged MPI exchange does — required for matrix-powers halo depths > 1.
+/// Halo exchange is staged per axis (x first, then y carrying the x-halo
+/// columns, then z carrying the xy-halo rows), which propagates corner
+/// and edge data exactly as upstream TeaLeaf's staged MPI exchange does —
+/// required for matrix-powers halo depths > 1.
 ///
 /// Every collective has two forms: the standalone form opens its own
 /// parallel region (one fork/join per call), and a Team-aware form that
@@ -36,23 +41,23 @@ namespace tealeaf {
 /// iteration.  Team forms return/compute identical values (per-rank
 /// partials reduced in rank order) and record identical CommStats, so
 /// fused and unfused runs are bitwise comparable.
-class SimCluster2D {
+class SimCluster {
  public:
   /// Decompose `mesh` over `nranks` ranks, allocating every chunk with
   /// `halo_depth` ghost layers (>= the deepest exchange to be requested).
   /// Chunks are constructed in parallel with the same rank→thread block
   /// mapping the kernels use, so each chunk's fields are first-touched —
   /// and hence NUMA-placed — on the thread that will process them.
-  SimCluster2D(const GlobalMesh2D& mesh, int nranks, int halo_depth);
+  SimCluster(const GlobalMesh& mesh, int nranks, int halo_depth);
 
   [[nodiscard]] int nranks() const { return static_cast<int>(chunks_.size()); }
   [[nodiscard]] int halo_depth() const { return halo_depth_; }
-  [[nodiscard]] const GlobalMesh2D& mesh() const { return mesh_; }
-  [[nodiscard]] const Decomposition2D& decomposition() const {
+  [[nodiscard]] const GlobalMesh& mesh() const { return mesh_; }
+  [[nodiscard]] const Decomposition& decomposition() const {
     return decomp_;
   }
-  [[nodiscard]] Chunk2D& chunk(int rank) { return *chunks_[rank]; }
-  [[nodiscard]] const Chunk2D& chunk(int rank) const {
+  [[nodiscard]] Chunk& chunk(int rank) { return *chunks_[rank]; }
+  [[nodiscard]] const Chunk& chunk(int rank) const {
     return *chunks_[rank];
   }
 
@@ -63,7 +68,7 @@ class SimCluster2D {
 
   /// Team-aware halo exchange for use inside a hoisted parallel region:
   /// same data motion and accounting as the standalone form, worksharing
-  /// over ranks through `team` with barriers between the x and y phases
+  /// over ranks through `team` with barriers between the axis phases
   /// (and entry/exit barriers so neighbouring kernel phases can skip
   /// their own).  Pass team == nullptr to fall back to the standalone
   /// form — lets one code path serve both execution modes.
@@ -106,10 +111,13 @@ class SimCluster2D {
   // ---- tiled execution (cache-blocked fused kernels) ---------------------
   // The tiling layer of the fused execution engine: sweeps cut into
   // row-blocks of `tile_rows` rows (<= 0: whole chunk, one block per rank)
-  // so the per-block working set fits in L2.  Scheduling: with
-  // threads <= ranks each rank's blocks stay on the thread that owns the
-  // rank (the NUMA first-touch mapping); with threads > ranks the
-  // (rank, row-block) pairs spread over the whole team via
+  // so the per-block working set fits in L2.  A "row" is one unit-stride
+  // line of cells; 3-D sweeps tile the flattened (plane, row) space, so
+  // the same knob row-blocks 2-D chunks and plane/row-blocks 3-D ones
+  // (tiles never span plane boundaries — each tile is a single-plane
+  // k-range).  Scheduling: with threads <= ranks each rank's blocks stay
+  // on the thread that owns the rank (the NUMA first-touch mapping); with
+  // threads > ranks the (rank, tile) pairs spread over the whole team via
   // Team::for_range_2d, so chunks larger than the rank count no longer
   // leave cores idle.  Results are bitwise independent of both the tile
   // height and the schedule: non-reducing sweeps are per-cell independent,
@@ -123,25 +131,34 @@ class SimCluster2D {
     return (rows + tile_rows - 1) / tile_rows;
   }
 
-  /// Run `body(rank, chunk, tile)` for every row-block of every rank,
-  /// where `tile` is `bounds_of(rank, chunk)` with its k-range restricted
-  /// to one block.  `bounds_of` must be a pure function of (rank, chunk).
+  /// Tiles covering a bounds box: per plane, its k-range cut into
+  /// row-blocks.
+  [[nodiscard]] static int num_tiles(const Bounds& b, int tile_rows) {
+    return (b.lhi - b.llo) * num_row_tiles(b.khi - b.klo, tile_rows);
+  }
+
+  /// Run `body(rank, chunk, tile)` for every tile of every rank, where
+  /// `tile` is `bounds_of(rank, chunk)` restricted to one plane and one
+  /// row-block.  `bounds_of` must be a pure function of (rank, chunk).
   /// No implied barrier.
   template <class BoundsFn, class Body>
   void for_each_tile(const Team* team, int tile_rows, BoundsFn&& bounds_of,
                      Body&& body) {
-    const auto run_tile = [&](int r, Chunk2D& c, const Bounds& b, int t) {
+    const auto run_tile = [&](int r, Chunk& c, const Bounds& b, int t) {
       const int rows = b.khi - b.klo;
       const int h = (tile_rows <= 0 || tile_rows >= rows) ? rows : tile_rows;
+      const int per_plane = num_row_tiles(rows, tile_rows);
       Bounds tb = b;
-      tb.klo = b.klo + t * h;
+      tb.llo = b.llo + t / per_plane;
+      tb.lhi = tb.llo + 1;
+      tb.klo = b.klo + (t % per_plane) * h;
       tb.khi = std::min(b.khi, tb.klo + h);
       body(r, c, tb);
     };
     const auto run_rank = [&](int r) {
-      Chunk2D& c = *chunks_[static_cast<std::size_t>(r)];
+      Chunk& c = *chunks_[static_cast<std::size_t>(r)];
       const Bounds b = bounds_of(r, c);
-      const int nt = num_row_tiles(b.khi - b.klo, tile_rows);
+      const int nt = num_tiles(b, tile_rows);
       for (int t = 0; t < nt; ++t) run_tile(r, c, b, t);
     };
     if (team == nullptr) {
@@ -159,30 +176,29 @@ class SimCluster2D {
     team->for_range_2d(
         nranks(),
         [&](std::int64_t r) -> std::int64_t {
-          Chunk2D& c = *chunks_[static_cast<std::size_t>(r)];
-          const Bounds b = bounds_of(static_cast<int>(r), c);
-          return num_row_tiles(b.khi - b.klo, tile_rows);
+          Chunk& c = *chunks_[static_cast<std::size_t>(r)];
+          return num_tiles(bounds_of(static_cast<int>(r), c), tile_rows);
         },
         [&](std::int64_t r, std::int64_t t) {
-          Chunk2D& c = *chunks_[static_cast<std::size_t>(r)];
+          Chunk& c = *chunks_[static_cast<std::size_t>(r)];
           const Bounds b = bounds_of(static_cast<int>(r), c);
           run_tile(static_cast<int>(r), c, b, static_cast<int>(t));
         });
   }
 
   /// Combine the per-row partials already deposited in every chunk's
-  /// `row_scratch()[k]` (one slot per interior row): each rank's rows sum
-  /// in row order, then the ranks in rank order — bitwise equal to the
-  /// untiled `sum_over_chunks` over kernels built on the same per-row
-  /// cores, whatever tiling or thread assignment produced the partials.
-  /// Counts ONE allreduce.  Implies barriers, including one on entry so
-  /// the deposits of a preceding (differently-scheduled) tile pass are
-  /// visible.
+  /// `row_scratch()[ρ]` (one slot per interior row, ρ = l·ny + k): each
+  /// rank's rows sum in row order, then the ranks in rank order — bitwise
+  /// equal to the untiled `sum_over_chunks` over kernels built on the
+  /// same per-row cores, whatever tiling or thread assignment produced
+  /// the partials.  Counts ONE allreduce.  Implies barriers, including
+  /// one on entry so the deposits of a preceding (differently-scheduled)
+  /// tile pass are visible.
   double combine_row_partials(const Team* team) {
     const auto rank_total = [&](int r) {
-      const Chunk2D& c = *chunks_[static_cast<std::size_t>(r)];
+      const Chunk& c = *chunks_[static_cast<std::size_t>(r)];
       double p = 0.0;
-      for (int k = 0; k < c.ny(); ++k) p += c.row_scratch()[k];
+      for (int rho = 0; rho < c.num_rows(); ++rho) p += c.row_scratch()[rho];
       return p;
     };
     if (team == nullptr) {
@@ -206,46 +222,40 @@ class SimCluster2D {
     return total;
   }
 
-  /// Tiled team reduction: `body(rank, chunk, k0, k1)` sweeps interior
-  /// rows [k0, k1) and deposits one partial per row into the chunk's
-  /// `row_scratch()[k]`, then the partials combine via
+  /// Tiled team reduction: `body(rank, chunk, tb)` sweeps the interior
+  /// rows of tile `tb` and deposits one partial per row into the chunk's
+  /// `row_scratch()[ρ]`, then the partials combine via
   /// combine_row_partials.  Counts ONE allreduce.  Implies barriers,
   /// including one on entry so the sweep may read fields a preceding
   /// (differently-scheduled) tile pass wrote.
   template <class Body>
   double sum_rows_over_chunks(const Team* team, int tile_rows, Body&& body) {
-    const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
-    const auto tile_body = [&](int r, Chunk2D& c, const Bounds& tb) {
-      body(r, c, tb.klo, tb.khi);
-    };
+    const auto interior = [](int, Chunk& c) { return interior_bounds(c); };
     if (team != nullptr) team->barrier();
-    for_each_tile(team, tile_rows, interior, tile_body);
+    for_each_tile(team, tile_rows, interior, body);
     return combine_row_partials(team);
   }
 
-  /// Tiled analogue of sum2_over_chunks: `body(rank, chunk, k0, k1)`
-  /// deposits the pair (row_scratch[2k], row_scratch[2k+1]) per row.
+  /// Tiled analogue of sum2_over_chunks: `body(rank, chunk, tb)` deposits
+  /// the pair (row_scratch[2ρ], row_scratch[2ρ+1]) per row.
   /// ONE allreduce.
   template <class Body>
   std::pair<double, double> sum2_rows_over_chunks(const Team* team,
                                                   int tile_rows,
                                                   Body&& body) {
-    const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
-    const auto tile_body = [&](int r, Chunk2D& c, const Bounds& tb) {
-      body(r, c, tb.klo, tb.khi);
-    };
+    const auto interior = [](int, Chunk& c) { return interior_bounds(c); };
     const auto rank_pair = [&](int r) {
-      const Chunk2D& c = *chunks_[static_cast<std::size_t>(r)];
+      const Chunk& c = *chunks_[static_cast<std::size_t>(r)];
       double a = 0.0;
       double b = 0.0;
-      for (int k = 0; k < c.ny(); ++k) {
-        a += c.row_scratch()[2 * k];
-        b += c.row_scratch()[2 * k + 1];
+      for (int rho = 0; rho < c.num_rows(); ++rho) {
+        a += c.row_scratch()[2 * rho];
+        b += c.row_scratch()[2 * rho + 1];
       }
       return std::pair<double, double>{a, b};
     };
     if (team == nullptr) {
-      for_each_tile(nullptr, tile_rows, interior, tile_body);
+      for_each_tile(nullptr, tile_rows, interior, body);
       double a = 0.0;
       double b = 0.0;
       for (int r = 0; r < nranks(); ++r) {
@@ -257,7 +267,7 @@ class SimCluster2D {
       return {a, b};
     }
     team->barrier();
-    for_each_tile(team, tile_rows, interior, tile_body);
+    for_each_tile(team, tile_rows, interior, body);
     team->barrier();
     team->for_range(0, nranks(), [&](std::int64_t r) {
       team_partials2_[static_cast<std::size_t>(r)] =
@@ -346,11 +356,11 @@ class SimCluster2D {
   /// per-thread) vector allocation on the hot fused path.
   void exchange_impl(const Team* team, const FieldId* fields, int nfields,
                      int depth);
-  /// Per-rank copy bodies of the two exchange phases (shared by the
-  /// standalone and Team-aware forms).  The per-face splits are the unit
-  /// of 2-D worksharing: when the team has more threads than ranks the
-  /// phases workshare (rank, face) pairs instead of ranks, so the halo
-  /// copies of a wide-and-shallow decomposition also use the whole team.
+  /// Per-rank copy bodies of the axis phases (shared by the standalone
+  /// and Team-aware forms).  The per-face splits are the unit of 2-D
+  /// worksharing: when the team has more threads than ranks the phases
+  /// workshare (rank, face) pairs instead of ranks, so the halo copies of
+  /// a wide-and-shallow decomposition also use the whole team.
   void exchange_x_rank(int rank, const FieldId* fields, int nfields,
                        int depth);
   void exchange_x_rank_face(int rank, Face face, const FieldId* fields,
@@ -359,17 +369,24 @@ class SimCluster2D {
                        int depth);
   void exchange_y_rank_face(int rank, Face face, const FieldId* fields,
                             int nfields, int depth);
-  /// Message/byte accounting of one exchange (both phases, all ranks).
+  void exchange_z_rank(int rank, const FieldId* fields, int nfields,
+                       int depth);
+  void exchange_z_rank_face(int rank, Face face, const FieldId* fields,
+                            int nfields, int depth);
+  /// Message/byte accounting of one exchange (all phases, all ranks).
   void account_exchange(int nfields, int depth);
 
-  GlobalMesh2D mesh_;
-  Decomposition2D decomp_;
+  GlobalMesh mesh_;
+  Decomposition decomp_;
   int halo_depth_;
-  std::vector<std::unique_ptr<Chunk2D>> chunks_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
   CommStats stats_;
   /// Shared scratch for the Team-aware rank-ordered reductions.
   std::vector<double> team_partials_;
   std::vector<std::pair<double, double>> team_partials2_;
 };
+
+/// Compatibility spelling from before the dimension-generic core.
+using SimCluster2D = SimCluster;
 
 }  // namespace tealeaf

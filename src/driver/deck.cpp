@@ -12,19 +12,32 @@
 namespace tealeaf {
 
 bool StateDef::contains(double x, double y, double dx, double dy) const {
+  return contains(x, y, 0.0, dx, dy, 1.0, /*dims=*/2);
+}
+
+bool StateDef::contains(double x, double y, double z, double dx, double dy,
+                        double dz, int dims) const {
   switch (geometry) {
     case Geometry::kBackground:
       return true;
-    case Geometry::kRectangle:
-      return x >= xmin && x < xmax && y >= ymin && y < ymax;
+    case Geometry::kRectangle: {
+      const bool in_plane = x >= xmin && x < xmax && y >= ymin && y < ymax;
+      if (dims != 3 || zmax <= zmin) return in_plane;  // extruded prism
+      return in_plane && z >= zmin && z < zmax;
+    }
     case Geometry::kCircle: {
       const double ddx = x - cx;
       const double ddy = y - cy;
-      return ddx * ddx + ddy * ddy <= radius * radius;
+      if (dims == 3 && has_cz) {  // sphere
+        const double ddz = z - cz;
+        return ddx * ddx + ddy * ddy + ddz * ddz <= radius * radius;
+      }
+      return ddx * ddx + ddy * ddy <= radius * radius;  // cylinder in 3-D
     }
     case Geometry::kPoint:
       // The cell whose centre is nearest the point (within half a cell).
-      return std::fabs(x - px) <= 0.5 * dx && std::fabs(y - py) <= 0.5 * dy;
+      return std::fabs(x - px) <= 0.5 * dx && std::fabs(y - py) <= 0.5 * dy &&
+             (dims != 3 || !has_pz || std::fabs(z - pz) <= 0.5 * dz);
   }
   return false;
 }
@@ -67,21 +80,24 @@ bool to_flag(const std::string& s, const std::string& key) {
 /// unknown-key diagnostics below.
 constexpr const char* kKnownKeys[] = {
     "state",          "x_cells",
-    "y_cells",        "xmin",
+    "y_cells",        "z_cells",
+    "nz",             "xmin",
     "xmax",           "ymin",
-    "ymax",           "initial_timestep",
+    "ymax",           "zmin",
+    "zmax",           "initial_timestep",
     "end_time",       "end_step",
-    "tl_max_iters",   "tl_eps",
-    "tl_use_jacobi",  "tl_use_cg",
-    "tl_use_chebyshev", "tl_use_ppcg",
-    "tl_preconditioner_type", "tl_ppcg_inner_steps",
-    "tl_eigen_cg_iters", "tl_cheby_presteps",
-    "tl_halo_depth",  "tl_cg_fuse_reductions",
-    "tl_fuse_kernels", "tl_tile_rows",
-    "tl_coefficient", "sweep_solvers",
-    "sweep_precons",  "sweep_halo_depths",
-    "sweep_mesh_sizes", "sweep_threads",
-    "sweep_fused",    "sweep_tile_rows",
+    "tl_geometry",    "tl_max_iters",
+    "tl_eps",         "tl_use_jacobi",
+    "tl_use_cg",      "tl_use_chebyshev",
+    "tl_use_ppcg",    "tl_preconditioner_type",
+    "tl_ppcg_inner_steps", "tl_eigen_cg_iters",
+    "tl_cheby_presteps", "tl_halo_depth",
+    "tl_cg_fuse_reductions", "tl_fuse_kernels",
+    "tl_tile_rows",   "tl_coefficient",
+    "sweep_solvers",  "sweep_precons",
+    "sweep_halo_depths", "sweep_mesh_sizes",
+    "sweep_threads",  "sweep_fused",
+    "sweep_tile_rows", "sweep_geometry",
     "sweep_ranks"};
 
 /// Levenshtein distance, small-string edition (deck keys are short).
@@ -124,6 +140,8 @@ StateDef parse_state(std::istringstream& line) {
   int index = 0;
   line >> index;
   TEA_REQUIRE(index >= 1, "deck: state index must be >= 1");
+  bool has_zmin = false;
+  bool has_zmax = false;
   StateDef st;
   st.geometry = (index == 1) ? StateDef::Geometry::kBackground
                              : StateDef::Geometry::kRectangle;
@@ -151,20 +169,39 @@ StateDef parse_state(std::istringstream& line) {
       st.ymin = to_double(value, key);
     } else if (key == "ymax") {
       st.ymax = to_double(value, key);
+    } else if (key == "zmin") {
+      st.zmin = to_double(value, key);
+      has_zmin = true;
+    } else if (key == "zmax") {
+      st.zmax = to_double(value, key);
+      has_zmax = true;
     } else if (key == "xcentre" || key == "xcenter") {
       st.cx = to_double(value, key);
     } else if (key == "ycentre" || key == "ycenter") {
       st.cy = to_double(value, key);
+    } else if (key == "zcentre" || key == "zcenter") {
+      st.cz = to_double(value, key);
+      st.has_cz = true;
     } else if (key == "radius") {
       st.radius = to_double(value, key);
     } else if (key == "x") {
       st.px = to_double(value, key);
     } else if (key == "y") {
       st.py = to_double(value, key);
+    } else if (key == "z") {
+      st.pz = to_double(value, key);
+      st.has_pz = true;
     } else {
       throw TeaError("deck: unknown state key '" + key + "'");
     }
   }
+  // A half-specified z extent would silently fall back to the extruded
+  // (full-z) reading, discarding the bound the user DID give.
+  TEA_REQUIRE(has_zmin == has_zmax,
+              "deck: state needs both zmin and zmax (or neither, for the "
+              "extruded reading)");
+  TEA_REQUIRE(!has_zmin || st.zmax > st.zmin,
+              "deck: state z extent must be non-empty");
   return st;
 }
 
@@ -223,6 +260,17 @@ InputDeck InputDeck::parse(std::istream& in) {
       deck.x_cells = static_cast<int>(to_double(value, key));
     } else if (key == "y_cells") {
       deck.y_cells = static_cast<int>(to_double(value, key));
+    } else if (key == "z_cells" || key == "nz") {
+      deck.z_cells = static_cast<int>(to_double(value, key));
+    } else if (key == "tl_geometry") {
+      if (value == "2d") {
+        deck.dims = 2;
+      } else if (value == "3d") {
+        deck.dims = 3;
+      } else {
+        throw TeaError("deck: tl_geometry must be '2d' or '3d', got '" +
+                       value + "'");
+      }
     } else if (key == "xmin") {
       deck.xmin = to_double(value, key);
     } else if (key == "xmax") {
@@ -231,6 +279,10 @@ InputDeck InputDeck::parse(std::istream& in) {
       deck.ymin = to_double(value, key);
     } else if (key == "ymax") {
       deck.ymax = to_double(value, key);
+    } else if (key == "zmin") {
+      deck.zmin = to_double(value, key);
+    } else if (key == "zmax") {
+      deck.zmax = to_double(value, key);
     } else if (key == "initial_timestep") {
       deck.initial_timestep = to_double(value, key);
     } else if (key == "end_time") {
@@ -281,6 +333,19 @@ InputDeck InputDeck::parse(std::istream& in) {
       deck.sweep.fused = split_int_list(value, key);
     } else if (key == "sweep_tile_rows") {
       deck.sweep.tile_rows = split_int_list(value, key);
+    } else if (key == "sweep_geometry") {
+      deck.sweep.geometries.clear();
+      for (const std::string& g : split_list(value, key)) {
+        if (g == "2d") {
+          deck.sweep.geometries.push_back(2);
+        } else if (g == "3d") {
+          deck.sweep.geometries.push_back(3);
+        } else {
+          throw TeaError(
+              "deck: sweep_geometry entries must be '2d' or '3d', got '" +
+              g + "'");
+        }
+      }
     } else if (key == "sweep_ranks") {
       deck.sweep.ranks = static_cast<int>(to_double(value, key));
     } else if (key == "tl_coefficient") {
@@ -307,10 +372,13 @@ InputDeck InputDeck::parse_string(const std::string& text) {
 std::string InputDeck::to_string() const {
   std::ostringstream os;
   os << "*tea\n";
+  if (dims == 3) os << "tl_geometry=3d\n";
   os << "x_cells=" << x_cells << "\n";
   os << "y_cells=" << y_cells << "\n";
+  if (dims == 3) os << "z_cells=" << z_cells << "\n";
   os << "xmin=" << xmin << "\nxmax=" << xmax << "\nymin=" << ymin
      << "\nymax=" << ymax << "\n";
+  if (dims == 3) os << "zmin=" << zmin << "\nzmax=" << zmax << "\n";
   os << "initial_timestep=" << initial_timestep << "\n";
   if (end_time > 0.0) os << "end_time=" << end_time << "\n";
   if (end_step > 0) os << "end_step=" << end_step << "\n";
@@ -359,6 +427,10 @@ std::string InputDeck::to_string() const {
     join("sweep_threads", sweep.thread_counts, [](int t) { return t; });
     join("sweep_fused", sweep.fused, [](int f) { return f; });
     join("sweep_tile_rows", sweep.tile_rows, [](int t) { return t; });
+    if (!sweep.geometries.empty()) {
+      join("sweep_geometry", sweep.geometries,
+           [](int d) { return d == 3 ? "3d" : "2d"; });
+    }
     os << "sweep_ranks=" << sweep.ranks << "\n";
   }
   os << "tl_coefficient="
@@ -376,13 +448,18 @@ std::string InputDeck::to_string() const {
       case StateDef::Geometry::kRectangle:
         os << " geometry=rectangle xmin=" << st.xmin << " xmax=" << st.xmax
            << " ymin=" << st.ymin << " ymax=" << st.ymax;
+        if (st.zmax > st.zmin) {
+          os << " zmin=" << st.zmin << " zmax=" << st.zmax;
+        }
         break;
       case StateDef::Geometry::kCircle:
-        os << " geometry=circle xcentre=" << st.cx << " ycentre=" << st.cy
-           << " radius=" << st.radius;
+        os << " geometry=circle xcentre=" << st.cx << " ycentre=" << st.cy;
+        if (st.has_cz) os << " zcentre=" << st.cz;
+        os << " radius=" << st.radius;
         break;
       case StateDef::Geometry::kPoint:
         os << " geometry=point x=" << st.px << " y=" << st.py;
+        if (st.has_pz) os << " z=" << st.pz;
         break;
     }
     os << "\n";
@@ -402,8 +479,17 @@ int InputDeck::num_steps() const {
 }
 
 void InputDeck::validate() const {
+  TEA_REQUIRE(dims == 2 || dims == 3, "deck: tl_geometry must be 2d or 3d");
   TEA_REQUIRE(x_cells > 0 && y_cells > 0, "deck: cell counts must be > 0");
   TEA_REQUIRE(xmax > xmin && ymax > ymin, "deck: domain must be non-empty");
+  if (dims == 3) {
+    TEA_REQUIRE(z_cells > 0, "deck: z_cells must be > 0");
+    TEA_REQUIRE(zmax > zmin, "deck: z domain must be non-empty");
+  } else {
+    TEA_REQUIRE(z_cells == 1,
+                "deck: z_cells requires tl_geometry=3d (a 2-D run has "
+                "exactly one z plane)");
+  }
   TEA_REQUIRE(initial_timestep > 0.0, "deck: timestep must be positive");
   TEA_REQUIRE(end_time > 0.0 || end_step > 0,
               "deck: need end_time or end_step");

@@ -4,7 +4,7 @@
 #include <string>
 #include <vector>
 
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "solvers/solver_config.hpp"
 
 namespace tealeaf {
@@ -12,6 +12,12 @@ namespace tealeaf {
 /// One material/energy region, equivalent to a `state` line in an
 /// upstream tea.in deck.  State 1 is the background; later states
 /// overwrite cells whose centres fall inside their geometry.
+///
+/// On a 3-D mesh a state with explicit z information is a box, sphere or
+/// 3-D point; a state WITHOUT z information extrudes through the whole z
+/// extent (rectangle → prism, circle → cylinder, point → column), so
+/// every 2-D deck has a natural 3-D reading — the basis of the sweep's
+/// cross-dimension cells.
 struct StateDef {
   enum class Geometry { kBackground, kRectangle, kCircle, kPoint };
 
@@ -19,24 +25,43 @@ struct StateDef {
   double energy = 1.0;
   Geometry geometry = Geometry::kBackground;
 
-  // kRectangle: [xmin,xmax] × [ymin,ymax].
+  // kRectangle: [xmin,xmax] × [ymin,ymax] (× [zmin,zmax] when zmax > zmin).
   double xmin = 0.0, xmax = 0.0, ymin = 0.0, ymax = 0.0;
-  // kCircle: centre + radius.
-  double cx = 0.0, cy = 0.0, radius = 0.0;
-  // kPoint: the cell containing (px_, py_).
-  double px = 0.0, py = 0.0;
+  double zmin = 0.0, zmax = 0.0;
+  // kCircle: centre + radius (a sphere when has_cz; else a cylinder).
+  double cx = 0.0, cy = 0.0, cz = 0.0, radius = 0.0;
+  bool has_cz = false;
+  // kPoint: the cell containing (px, py[, pz]).
+  double px = 0.0, py = 0.0, pz = 0.0;
+  bool has_pz = false;
 
   [[nodiscard]] bool contains(double x, double y, double dx,
                               double dy) const;
+  /// 3-D form; `dims == 2` ignores every z argument.
+  [[nodiscard]] bool contains(double x, double y, double z, double dx,
+                              double dy, double dz, int dims) const;
 };
 
 /// Complete description of a TeaLeaf run: mesh, physics, timestep control,
 /// material states and the solver configuration.  Parsed from a tea.in
 /// style text deck or built programmatically (see decks.hpp).
 struct InputDeck {
+  /// Problem dimensionality (`tl_geometry = 2d|3d`); 3-D runs the 7-point
+  /// stencil over x_cells × y_cells × z_cells through the same unified
+  /// core.
+  int dims = 2;
   int x_cells = 10;
   int y_cells = 10;
+  int z_cells = 1;
   double xmin = 0.0, xmax = 10.0, ymin = 0.0, ymax = 10.0;
+  double zmin = 0.0, zmax = 10.0;
+
+  /// The GlobalMesh this deck describes.
+  [[nodiscard]] GlobalMesh mesh() const {
+    return dims == 3 ? GlobalMesh::make3d(x_cells, y_cells, z_cells, xmin,
+                                          xmax, ymin, ymax, zmin, zmax)
+                     : GlobalMesh(x_cells, y_cells, xmin, xmax, ymin, ymax);
+  }
 
   double initial_timestep = 0.04;  ///< fixed dt (paper §V-B: 0.04 µs)
   double end_time = 0.0;           ///< stop at this simulated time (if > 0)

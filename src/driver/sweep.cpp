@@ -11,7 +11,7 @@
 #include "driver/tealeaf_app.hpp"
 #include "io/csv.hpp"
 #include "model/scaling.hpp"
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -28,14 +28,20 @@ std::string SweepCase::label() const {
      << mesh_n << "/t" << threads;
   if (fused) os << "/fused";
   if (tile_rows != 0) os << "/b" << tile_rows;
+  if (dims == 3) os << "/3d";
   return os.str();
 }
 
-std::vector<SweepCase> enumerate_cases(const SweepSpec& spec, int base_mesh) {
+std::vector<SweepCase> enumerate_cases(const SweepSpec& spec, int base_mesh,
+                                       int base_dims) {
   spec.validate();
   TEA_REQUIRE(base_mesh >= 4, "sweep: base mesh must be >= 4");
+  TEA_REQUIRE(base_dims == 2 || base_dims == 3,
+              "sweep: base geometry must be 2d or 3d");
   std::vector<int> meshes = spec.mesh_sizes;
   if (meshes.empty()) meshes.push_back(base_mesh);
+  std::vector<int> geometries = spec.geometries;
+  if (geometries.empty()) geometries.push_back(base_dims);
 
   std::vector<SweepCase> cases;
   cases.reserve(spec.num_cases());
@@ -46,8 +52,10 @@ std::vector<SweepCase> enumerate_cases(const SweepSpec& spec, int base_mesh) {
           for (const int threads : spec.thread_counts) {
             for (const int fused : spec.fused) {
               for (const int tile : spec.tile_rows) {
-                cases.push_back(
-                    {solver, precon, depth, mesh, threads, fused != 0, tile});
+                for (const int dims : geometries) {
+                  cases.push_back({solver, precon, depth, mesh, threads,
+                                   fused != 0, tile, dims});
+                }
               }
             }
           }
@@ -194,7 +202,8 @@ std::string fmt_double(double v) {
 SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
                       const SweepOptions& opts) {
   base.validate();
-  const std::vector<SweepCase> cases = enumerate_cases(spec, base.x_cells);
+  const std::vector<SweepCase> cases =
+      enumerate_cases(spec, base.x_cells, base.dims);
   const int steps = opts.steps > 0 ? opts.steps : base.num_steps();
   TEA_REQUIRE(steps >= 1, "sweep: need at least one timestep per cell");
 
@@ -211,6 +220,19 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
     deck.sweep = SweepSpec{};  // cells are single solves
     deck.x_cells = cs.mesh_n;
     deck.y_cells = cs.mesh_n;
+    deck.dims = cs.dims;
+    if (cs.dims == 3) {
+      // 3-D cells run a mesh_n³ brick; a base deck without its own z
+      // extents mirrors the x axis, and 2-D states extrude through z
+      // (see StateDef), so every deck has an honest 3-D reading.
+      deck.z_cells = cs.mesh_n;
+      if (!(base.dims == 3 && base.zmax > base.zmin)) {
+        deck.zmin = base.xmin;
+        deck.zmax = base.xmax;
+      }
+    } else {
+      deck.z_cells = 1;
+    }
     deck.end_time = 0.0;
     deck.end_step = steps;
     deck.solver.precon = cs.precon;
@@ -224,6 +246,14 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
       // would silently measure the untiled path.
       out.skipped = true;
       out.skip_reason = "row tiling requires the fused execution engine";
+    } else if (mg_pcg && cs.dims == 3) {
+      // The four native solvers (and every preconditioner) run in 3-D
+      // through the unified core; the MG baseline's coarsening hierarchy
+      // is the one piece still 2-D only.  Record the cell instead of
+      // throwing so the cross-product stays complete.
+      out.skipped = true;
+      out.skip_reason =
+          "mg-pcg's multigrid hierarchy is 2-D only (unported to 3-D)";
     } else if (mg_pcg) {
       // MG *is* the preconditioner and uses no matrix-powers halo.  Its
       // fused path hoists the V-cycle row loops into one team region per
@@ -325,11 +355,11 @@ namespace {
 
 constexpr const char* kCsvColumns[] = {
     "solver",      "precon",        "halo_depth",  "mesh",
-    "threads",     "fused",         "tile_rows",   "sweep_ranks",
-    "sweep_steps", "status",        "converged",   "iterations",
-    "inner_steps", "spmv",          "reductions",  "exchanges",
-    "messages",    "message_bytes", "final_norm",  "solve_seconds",
-    "comm_seconds", "speedup",      "rank"};
+    "threads",     "fused",         "tile_rows",   "geometry",
+    "sweep_ranks", "sweep_steps",   "status",      "converged",
+    "iterations",  "inner_steps",   "spmv",        "reductions",
+    "exchanges",   "messages",      "message_bytes", "final_norm",
+    "solve_seconds", "comm_seconds", "speedup",    "rank"};
 
 /// Strict numeric cell parsers: the whole cell must convert, and failures
 /// surface as TeaError like every other malformed-input path.
@@ -380,11 +410,11 @@ std::vector<std::string> SweepReport::to_csv_lines() const {
         c.skipped ? "skipped" : (!c.fail_reason.empty() ? "failed" : "ok");
     csv.row(c.config.solver, to_string(c.config.precon), c.config.halo_depth,
             c.config.mesh_n, c.config.threads, c.config.fused ? 1 : 0,
-            c.config.tile_rows, ranks, steps, status, c.converged ? 1 : 0,
-            c.iterations, c.inner_steps, c.spmv, c.reductions, c.exchanges,
-            c.messages, c.message_bytes, fmt_double(c.final_norm),
-            fmt_double(c.solve_seconds), fmt_double(c.comm_seconds),
-            fmt_double(speedup[i]), rank_of[i]);
+            c.config.tile_rows, c.config.dims == 3 ? "3d" : "2d", ranks,
+            steps, status, c.converged ? 1 : 0, c.iterations, c.inner_steps,
+            c.spmv, c.reductions, c.exchanges, c.messages, c.message_bytes,
+            fmt_double(c.final_norm), fmt_double(c.solve_seconds),
+            fmt_double(c.comm_seconds), fmt_double(speedup[i]), rank_of[i]);
   }
   return csv.lines();
 }
@@ -422,23 +452,25 @@ SweepReport SweepReport::from_csv_lines(
     out.config.threads = csv_int(f[4], "threads");
     out.config.fused = csv_int(f[5], "fused") != 0;
     out.config.tile_rows = csv_int(f[6], "tile_rows");
-    report.ranks = csv_int(f[7], "sweep_ranks");
-    report.steps = csv_int(f[8], "sweep_steps");
-    out.skipped = f[9] == "skipped";
+    TEA_REQUIRE(f[7] == "2d" || f[7] == "3d", "sweep csv: bad geometry");
+    out.config.dims = f[7] == "3d" ? 3 : 2;
+    report.ranks = csv_int(f[8], "sweep_ranks");
+    report.steps = csv_int(f[9], "sweep_steps");
+    out.skipped = f[10] == "skipped";
     // The CSV form reduces fail_reason to the status keyword (free-text
     // reasons may contain commas); JSON carries the full text.
-    if (f[9] == "failed") out.fail_reason = "failed";
-    out.converged = csv_int(f[10], "converged") != 0;
-    out.iterations = csv_int(f[11], "iterations");
-    out.inner_steps = csv_ll(f[12], "inner_steps");
-    out.spmv = csv_ll(f[13], "spmv");
-    out.reductions = csv_ll(f[14], "reductions");
-    out.exchanges = csv_ll(f[15], "exchanges");
-    out.messages = csv_ll(f[16], "messages");
-    out.message_bytes = csv_ll(f[17], "message_bytes");
-    out.final_norm = csv_double(f[18], "final_norm");
-    out.solve_seconds = csv_double(f[19], "solve_seconds");
-    out.comm_seconds = csv_double(f[20], "comm_seconds");
+    if (f[10] == "failed") out.fail_reason = "failed";
+    out.converged = csv_int(f[11], "converged") != 0;
+    out.iterations = csv_int(f[12], "iterations");
+    out.inner_steps = csv_ll(f[13], "inner_steps");
+    out.spmv = csv_ll(f[14], "spmv");
+    out.reductions = csv_ll(f[15], "reductions");
+    out.exchanges = csv_ll(f[16], "exchanges");
+    out.messages = csv_ll(f[17], "messages");
+    out.message_bytes = csv_ll(f[18], "message_bytes");
+    out.final_norm = csv_double(f[19], "final_norm");
+    out.solve_seconds = csv_double(f[20], "solve_seconds");
+    out.comm_seconds = csv_double(f[21], "comm_seconds");
     // The last two columns (speedup, rank) are derived; recomputed on
     // demand from the parsed cells.
     report.cells.push_back(std::move(out));
@@ -462,6 +494,7 @@ io::JsonValue SweepReport::to_json() const {
     cell.set("threads", c.config.threads);
     cell.set("fused", c.config.fused);
     cell.set("tile_rows", c.config.tile_rows);
+    cell.set("geometry", c.config.dims == 3 ? "3d" : "2d");
     cell.set("skipped", c.skipped);
     if (c.skipped) cell.set("skip_reason", c.skip_reason);
     if (!c.fail_reason.empty()) cell.set("fail_reason", c.fail_reason);
@@ -514,6 +547,9 @@ SweepReport SweepReport::from_json(const io::JsonValue& doc) {
     if (cell.contains("tile_rows")) {
       out.config.tile_rows =
           static_cast<int>(cell.at("tile_rows").as_number());
+    }
+    if (cell.contains("geometry")) {
+      out.config.dims = cell.at("geometry").as_string() == "3d" ? 3 : 2;
     }
     out.skipped = cell.at("skipped").as_bool();
     if (cell.contains("skip_reason")) {

@@ -18,9 +18,11 @@ struct SweepCase {
   int threads = 0;     ///< worker threads (0 = runtime default)
   bool fused = false;  ///< run through the fused kernel execution engine
   int tile_rows = 0;   ///< fused-engine row-block height (0 = untiled)
+  int dims = 2;        ///< problem geometry: 2 (5-point) or 3 (7-point, n³)
 
   /// Compact identifier, e.g. "ppcg/jac_diag/d4/n64/t2" (fused cells
-  /// carry a trailing "/fused", tiled cells "/fused/b<rows>").
+  /// carry a trailing "/fused", tiled cells "/fused/b<rows>", 3-D cells
+  /// "/3d").
   [[nodiscard]] std::string label() const;
 };
 
@@ -88,10 +90,13 @@ struct SweepReport {
 
 /// Expand the axes into the full cross-product in deterministic order:
 /// solvers → preconditioners → halo depths → mesh sizes → threads →
-/// fused → tile rows, each axis in its declared order.  `base_mesh`
-/// substitutes for an empty mesh-size axis.
+/// fused → tile rows → geometries, each axis in its declared order.
+/// `base_mesh` substitutes for an empty mesh-size axis and `base_dims`
+/// for an empty geometry axis (so sweeping a 3-D deck stays 3-D unless
+/// the deck asks for the cross-dimension comparison).
 [[nodiscard]] std::vector<SweepCase> enumerate_cases(const SweepSpec& spec,
-                                                     int base_mesh);
+                                                     int base_mesh,
+                                                     int base_dims = 2);
 
 struct SweepOptions {
   int steps = 1;       ///< timesteps per cell (0 = the base deck's count)

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "driver/states.hpp"
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "solvers/solver.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -12,42 +12,43 @@ namespace tealeaf {
 
 TeaLeafApp::TeaLeafApp(const InputDeck& deck, int nranks) : deck_(deck) {
   deck_.validate();
-  const GlobalMesh2D mesh(deck_.x_cells, deck_.y_cells, deck_.xmin,
-                          deck_.xmax, deck_.ymin, deck_.ymax);
+  const GlobalMesh mesh = deck_.mesh();
   // Upstream allocates at least two halo layers; matrix powers needs the
   // full configured depth.
   const int halo = std::max(2, deck_.solver.halo_depth);
-  cluster_ = std::make_unique<SimCluster2D>(mesh, nranks, halo);
+  cluster_ = std::make_unique<SimCluster>(mesh, nranks, halo);
   apply_states(*cluster_, deck_);
   // Seed u = ρ·e so a pre-step field_summary reports the initial state.
-  cluster_->for_each_chunk(
-      [](int, Chunk2D& c) { kernels::init_u_u0(c); });
+  cluster_->for_each_chunk([](int, Chunk& c) { kernels::init_u_u0(c); });
 }
 
 SolveStats TeaLeafApp::step() {
-  SimCluster2D& cl = *cluster_;
+  SimCluster& cl = *cluster_;
   const double dt = deck_.initial_timestep;
   const double rx = dt / (cl.mesh().dx() * cl.mesh().dx());
   const double ry = dt / (cl.mesh().dy() * cl.mesh().dy());
+  const double rz =
+      cl.mesh().dims == 3 ? dt / (cl.mesh().dz() * cl.mesh().dz()) : 0.0;
 
   // The matrix-powers extended sweeps and the face-coefficient build both
   // read material fields deep into the halo: one full-depth exchange.
   cl.exchange({FieldId::kDensity, FieldId::kEnergy1}, cl.halo_depth());
-  cl.for_each_chunk([&](int, Chunk2D& c) {
+  cl.for_each_chunk([&](int, Chunk& c) {
     kernels::init_u_u0(c);
-    kernels::init_conduction(c, deck_.coefficient, rx, ry);
+    kernels::init_conduction(c, deck_.coefficient, rx, ry, rz);
   });
 
   SolveStats stats = solve_linear_system(cl, deck_.solver);
 
   // Recover specific energy from the temperature solution.
-  cl.for_each_chunk([](int, Chunk2D& c) {
+  cl.for_each_chunk([](int, Chunk& c) {
     auto& energy = c.energy();
     const auto& u = c.u();
     const auto& density = c.density();
-    for (int k = 0; k < c.ny(); ++k)
-      for (int j = 0; j < c.nx(); ++j)
-        energy(j, k) = u(j, k) / density(j, k);
+    for (int l = 0; l < c.nz(); ++l)
+      for (int k = 0; k < c.ny(); ++k)
+        for (int j = 0; j < c.nx(); ++j)
+          energy(j, k, l) = u(j, k, l) / density(j, k, l);
   });
 
   sim_time_ += dt;
@@ -81,24 +82,26 @@ RunResult TeaLeafApp::run() {
 }
 
 FieldSummary TeaLeafApp::field_summary() {
-  SimCluster2D& cl = *cluster_;
-  const double cell_area = cl.mesh().cell_area();
+  SimCluster& cl = *cluster_;
+  // Cell measure: area in 2-D, volume in 3-D (same weighting role).
+  const double cell_vol = cl.mesh().cell_volume();
   FieldSummary fs;
-  fs.volume = cl.sum_over_chunks([&](int, const Chunk2D& c) {
-    return cell_area * static_cast<double>(c.nx()) * c.ny();
+  fs.volume = cl.sum_over_chunks([&](int, const Chunk& c) {
+    return cell_vol * static_cast<double>(c.nx()) * c.ny() * c.nz();
   });
-  fs.mass = cl.sum_over_chunks([&](int, Chunk2D& c) {
-    return cell_area * c.density().sum_interior();
+  fs.mass = cl.sum_over_chunks([&](int, Chunk& c) {
+    return cell_vol * c.density().sum_interior();
   });
-  fs.ie = cl.sum_over_chunks([&](int, Chunk2D& c) {
+  fs.ie = cl.sum_over_chunks([&](int, Chunk& c) {
     double acc = 0.0;
-    for (int k = 0; k < c.ny(); ++k)
-      for (int j = 0; j < c.nx(); ++j)
-        acc += c.density()(j, k) * c.energy()(j, k);
-    return acc * cell_area;
+    for (int l = 0; l < c.nz(); ++l)
+      for (int k = 0; k < c.ny(); ++k)
+        for (int j = 0; j < c.nx(); ++j)
+          acc += c.density()(j, k, l) * c.energy()(j, k, l);
+    return acc * cell_vol;
   });
-  fs.temp = cl.sum_over_chunks([&](int, Chunk2D& c) {
-    return cell_area * c.u().sum_interior();
+  fs.temp = cl.sum_over_chunks([&](int, Chunk& c) {
+    return cell_vol * c.u().sum_interior();
   });
   return fs;
 }

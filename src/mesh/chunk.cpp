@@ -2,32 +2,52 @@
 
 namespace tealeaf {
 
-Chunk2D::Chunk2D(const ChunkExtent& extent, const GlobalMesh2D& mesh,
-                 int halo_depth)
+Chunk::Chunk(const ChunkExtent& extent, const GlobalMesh& mesh,
+             int halo_depth)
     : extent_(extent), mesh_(mesh), halo_depth_(halo_depth) {
-  TEA_REQUIRE(extent.nx > 0 && extent.ny > 0, "chunk must own cells");
+  TEA_REQUIRE(extent.nx > 0 && extent.ny > 0 && extent.nz > 0,
+              "chunk must own cells");
   TEA_REQUIRE(halo_depth >= 1, "solvers need at least one halo layer");
   // The zero-fill below is the first touch of every field's pages: run
   // this constructor on the thread that owns the rank (see the parallel
-  // construction in SimCluster2D) and the fields are NUMA-local to it.
-  for (auto& f : fields_) {
-    f = Field2D<double>(extent.nx, extent.ny, halo_depth, 0.0);
+  // construction in SimCluster) and the fields are NUMA-local to it.
+  // kKz exists only under the 7-point stencil; 2-D chunks leave it
+  // unallocated rather than carry a dead field through every cache.
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (mesh.dims != 3 && i == idx(FieldId::kKz)) continue;
+    fields_[i] = (mesh.dims == 3)
+                     ? Field<double>::make3d(extent.nx, extent.ny, extent.nz,
+                                             halo_depth, 0.0)
+                     : Field<double>(extent.nx, extent.ny, halo_depth, 0.0);
   }
-  row_scratch_.assign(2 * static_cast<std::size_t>(extent.ny), 0.0);
+  row_scratch_.assign(
+      2 * static_cast<std::size_t>(extent.ny) * extent.nz, 0.0);
 }
 
-Field2D<double>& Chunk2D::field(FieldId id) { return fields_[idx(id)]; }
-
-const Field2D<double>& Chunk2D::field(FieldId id) const {
-  return fields_[idx(id)];
+Field<double>& Chunk::field(FieldId id) {
+  Field<double>& f = fields_[idx(id)];
+  // kKz is never allocated on 2-D chunks; handing out the empty Field
+  // would turn any element access into silent out-of-bounds reads.
+  TEA_REQUIRE(f.size() > 0,
+              "field not allocated for this geometry (kKz is 3-D only)");
+  return f;
 }
 
-bool Chunk2D::at_boundary(Face face) const {
+const Field<double>& Chunk::field(FieldId id) const {
+  const Field<double>& f = fields_[idx(id)];
+  TEA_REQUIRE(f.size() > 0,
+              "field not allocated for this geometry (kKz is 3-D only)");
+  return f;
+}
+
+bool Chunk::at_boundary(Face face) const {
   switch (face) {
     case Face::kLeft: return extent_.x0 == 0;
     case Face::kRight: return extent_.x0 + extent_.nx == mesh_.nx;
     case Face::kBottom: return extent_.y0 == 0;
     case Face::kTop: return extent_.y0 + extent_.ny == mesh_.ny;
+    case Face::kBack: return extent_.z0 == 0;
+    case Face::kFront: return extent_.z0 + extent_.nz == mesh_.nz;
   }
   TEA_ASSERT(false, "invalid face");
 }

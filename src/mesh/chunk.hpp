@@ -4,14 +4,15 @@
 #include <vector>
 
 #include "mesh/decomposition.hpp"
-#include "mesh/field2d.hpp"
+#include "mesh/field.hpp"
 #include "mesh/mesh.hpp"
 
 namespace tealeaf {
 
 /// Identifiers for the per-chunk solver fields (mirrors the field set of
 /// upstream TeaLeaf's `chunk_type`).  Used to select fields for halo
-/// exchanges and generic access.
+/// exchanges and generic access.  kKz exists on every chunk but is only
+/// built/read by the 3-D (7-point) stencil.
 enum class FieldId : int {
   kDensity = 0,  ///< material density ρ
   kEnergy0,      ///< specific energy at step start
@@ -28,72 +29,86 @@ enum class FieldId : int {
   kKy,           ///< y-face conduction coefficient (scaled by ry)
   kCp,           ///< block-Jacobi Thomas forward coefficients
   kBfp,          ///< block-Jacobi Thomas back-substitution factors
+  kKz,           ///< z-face conduction coefficient (3-D only, scaled by rz)
 };
 
-inline constexpr int kNumFieldIds = 15;
+inline constexpr int kNumFieldIds = 16;
 
 /// One simulated rank's subdomain: geometry plus the full set of solver
-/// fields, each allocated with `halo_depth` ghost layers.
+/// fields, each allocated with `halo_depth` ghost layers (in z too for
+/// 3-D meshes).  One class serves both problem dimensions — a 2-D chunk
+/// is the nz == 1 case with no z halo and the classic storage layout.
 ///
 /// `halo_depth` must be at least the deepest matrix-powers halo the solver
 /// configuration will request (upstream: 2 by default, up to 16 for the
 /// communication-avoiding PPCG on GPUs).
-class Chunk2D {
+class Chunk {
  public:
-  Chunk2D(const ChunkExtent& extent, const GlobalMesh2D& mesh,
-          int halo_depth);
+  Chunk(const ChunkExtent& extent, const GlobalMesh& mesh, int halo_depth);
 
   [[nodiscard]] int nx() const { return extent_.nx; }
   [[nodiscard]] int ny() const { return extent_.ny; }
+  [[nodiscard]] int nz() const { return extent_.nz; }
+  [[nodiscard]] int dims() const { return mesh_.dims; }
   [[nodiscard]] int halo_depth() const { return halo_depth_; }
   [[nodiscard]] const ChunkExtent& extent() const { return extent_; }
-  [[nodiscard]] const GlobalMesh2D& mesh() const { return mesh_; }
+  [[nodiscard]] const GlobalMesh& mesh() const { return mesh_; }
 
-  /// Global cell-centre coordinates of local cell (j, k).
+  /// Number of interior rows a flattened (plane, row) sweep visits — the
+  /// unit of the tiled execution engine's row accounting.
+  [[nodiscard]] int num_rows() const { return extent_.ny * extent_.nz; }
+
+  /// Global cell-centre coordinates of local cell (j, k[, l]).
   [[nodiscard]] double cell_x(int j) const {
     return mesh_.cell_x(extent_.x0 + j);
   }
   [[nodiscard]] double cell_y(int k) const {
     return mesh_.cell_y(extent_.y0 + k);
   }
+  [[nodiscard]] double cell_z(int l) const {
+    return mesh_.cell_z(extent_.z0 + l);
+  }
 
-  [[nodiscard]] Field2D<double>& field(FieldId id);
-  [[nodiscard]] const Field2D<double>& field(FieldId id) const;
+  [[nodiscard]] Field<double>& field(FieldId id);
+  [[nodiscard]] const Field<double>& field(FieldId id) const;
 
   // Named accessors for readability in kernels.
-  Field2D<double>& density() { return fields_[idx(FieldId::kDensity)]; }
-  Field2D<double>& energy0() { return fields_[idx(FieldId::kEnergy0)]; }
-  Field2D<double>& energy() { return fields_[idx(FieldId::kEnergy1)]; }
-  Field2D<double>& u() { return fields_[idx(FieldId::kU)]; }
-  Field2D<double>& u0() { return fields_[idx(FieldId::kU0)]; }
-  Field2D<double>& p() { return fields_[idx(FieldId::kP)]; }
-  Field2D<double>& r() { return fields_[idx(FieldId::kR)]; }
-  Field2D<double>& w() { return fields_[idx(FieldId::kW)]; }
-  Field2D<double>& z() { return fields_[idx(FieldId::kZ)]; }
-  Field2D<double>& sd() { return fields_[idx(FieldId::kSd)]; }
-  Field2D<double>& rtemp() { return fields_[idx(FieldId::kRtemp)]; }
-  Field2D<double>& kx() { return fields_[idx(FieldId::kKx)]; }
-  Field2D<double>& ky() { return fields_[idx(FieldId::kKy)]; }
-  Field2D<double>& cp() { return fields_[idx(FieldId::kCp)]; }
-  Field2D<double>& bfp() { return fields_[idx(FieldId::kBfp)]; }
+  Field<double>& density() { return fields_[idx(FieldId::kDensity)]; }
+  Field<double>& energy0() { return fields_[idx(FieldId::kEnergy0)]; }
+  Field<double>& energy() { return fields_[idx(FieldId::kEnergy1)]; }
+  Field<double>& u() { return fields_[idx(FieldId::kU)]; }
+  Field<double>& u0() { return fields_[idx(FieldId::kU0)]; }
+  Field<double>& p() { return fields_[idx(FieldId::kP)]; }
+  Field<double>& r() { return fields_[idx(FieldId::kR)]; }
+  Field<double>& w() { return fields_[idx(FieldId::kW)]; }
+  Field<double>& z() { return fields_[idx(FieldId::kZ)]; }
+  Field<double>& sd() { return fields_[idx(FieldId::kSd)]; }
+  Field<double>& rtemp() { return fields_[idx(FieldId::kRtemp)]; }
+  Field<double>& kx() { return fields_[idx(FieldId::kKx)]; }
+  Field<double>& ky() { return fields_[idx(FieldId::kKy)]; }
+  Field<double>& kz() { return fields_[idx(FieldId::kKz)]; }
+  Field<double>& cp() { return fields_[idx(FieldId::kCp)]; }
+  Field<double>& bfp() { return fields_[idx(FieldId::kBfp)]; }
 
-  const Field2D<double>& density() const {
+  const Field<double>& density() const {
     return fields_[idx(FieldId::kDensity)];
   }
-  const Field2D<double>& u() const { return fields_[idx(FieldId::kU)]; }
-  const Field2D<double>& u0() const { return fields_[idx(FieldId::kU0)]; }
-  const Field2D<double>& r() const { return fields_[idx(FieldId::kR)]; }
-  const Field2D<double>& kx() const { return fields_[idx(FieldId::kKx)]; }
-  const Field2D<double>& ky() const { return fields_[idx(FieldId::kKy)]; }
+  const Field<double>& u() const { return fields_[idx(FieldId::kU)]; }
+  const Field<double>& u0() const { return fields_[idx(FieldId::kU0)]; }
+  const Field<double>& r() const { return fields_[idx(FieldId::kR)]; }
+  const Field<double>& kx() const { return fields_[idx(FieldId::kKx)]; }
+  const Field<double>& ky() const { return fields_[idx(FieldId::kKy)]; }
+  const Field<double>& kz() const { return fields_[idx(FieldId::kKz)]; }
 
   /// True when this chunk touches the physical domain boundary on `face`.
+  /// A 2-D chunk is always at the (degenerate) z boundaries.
   [[nodiscard]] bool at_boundary(Face face) const;
 
   /// Per-row reduction scratch of the tiled execution engine: two double
-  /// slots per interior row (slot [2k] and [2k+1] for row k).  Row-blocked
-  /// kernels deposit per-row partials here and the engine combines them in
-  /// row order, so the sum is independent of the tile decomposition and of
-  /// which thread computed which block.
+  /// slots per interior row (slot [2ρ] and [2ρ+1] for flattened row
+  /// ρ = l·ny + k).  Row-blocked kernels deposit per-row partials here and
+  /// the engine combines them in row order, so the sum is independent of
+  /// the tile decomposition and of which thread computed which block.
   [[nodiscard]] double* row_scratch() { return row_scratch_.data(); }
   [[nodiscard]] const double* row_scratch() const {
     return row_scratch_.data();
@@ -103,10 +118,13 @@ class Chunk2D {
   static std::size_t idx(FieldId id) { return static_cast<std::size_t>(id); }
 
   ChunkExtent extent_;
-  GlobalMesh2D mesh_;
+  GlobalMesh mesh_;
   int halo_depth_;
-  std::array<Field2D<double>, kNumFieldIds> fields_;
+  std::array<Field<double>, kNumFieldIds> fields_;
   std::vector<double> row_scratch_;
 };
+
+/// Compatibility spelling from before the dimension-generic core.
+using Chunk2D = Chunk;
 
 }  // namespace tealeaf

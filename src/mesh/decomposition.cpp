@@ -13,77 +13,111 @@ Face opposite(Face f) {
     case Face::kRight: return Face::kLeft;
     case Face::kBottom: return Face::kTop;
     case Face::kTop: return Face::kBottom;
+    case Face::kBack: return Face::kFront;
+    case Face::kFront: return Face::kBack;
   }
   TEA_ASSERT(false, "invalid face");
 }
 
-Decomposition2D Decomposition2D::create(int nranks,
-                                        const GlobalMesh2D& mesh) {
+namespace {
+
+/// Distribute `cells` over `parts`, remainder to the low-index parts —
+/// the upstream convention (chunks differ by at most one cell per axis).
+void split_axis(int cells, int parts, std::vector<int>& offs,
+                std::vector<int>& sizes) {
+  offs.resize(static_cast<std::size_t>(parts));
+  sizes.resize(static_cast<std::size_t>(parts));
+  const int base = cells / parts;
+  const int extra = cells % parts;
+  int off = 0;
+  for (int i = 0; i < parts; ++i) {
+    offs[i] = off;
+    sizes[i] = base + (i < extra ? 1 : 0);
+    off += sizes[i];
+  }
+}
+
+}  // namespace
+
+Decomposition Decomposition::create(int nranks, const GlobalMesh& mesh) {
   TEA_REQUIRE(nranks >= 1, "need at least one rank");
 
-  // Choose the factor pair px*py == nranks whose chunk aspect ratio is
-  // closest to square, as upstream tea_decompose does.  Ties favour more
-  // ranks along x (unit-stride axis), which shortens packed messages.
-  Decomposition2D d;
-  double best_score = std::numeric_limits<double>::infinity();
-  for (int py = 1; py <= nranks; ++py) {
-    if (nranks % py != 0) continue;
-    const int px = nranks / py;
-    if (px > mesh.nx || py > mesh.ny) continue;  // would create empty chunks
-    const double cx = static_cast<double>(mesh.nx) / px;
-    const double cy = static_cast<double>(mesh.ny) / py;
-    const double score = std::fabs(std::log(cx / cy));
-    if (score < best_score) {
-      best_score = score;
-      d.px_ = px;
-      d.py_ = py;
+  Decomposition d;
+  if (mesh.dims == 2) {
+    // Choose the factor pair px*py == nranks whose chunk aspect ratio is
+    // closest to square, as upstream tea_decompose does.  Ties favour
+    // more ranks along x (unit-stride axis), which shortens packed
+    // messages.
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int py = 1; py <= nranks; ++py) {
+      if (nranks % py != 0) continue;
+      const int px = nranks / py;
+      if (px > mesh.nx || py > mesh.ny) continue;  // would create empty chunks
+      const double cx = static_cast<double>(mesh.nx) / px;
+      const double cy = static_cast<double>(mesh.ny) / py;
+      const double score = std::fabs(std::log(cx / cy));
+      if (score < best_score) {
+        best_score = score;
+        d.px_ = px;
+        d.py_ = py;
+      }
     }
+    TEA_REQUIRE(std::isfinite(best_score),
+                "mesh too small for requested rank count");
+  } else {
+    // 3-D: pick the px·py·pz factorisation with minimal total chunk
+    // surface (ties keep the first triple found: more ranks along x).
+    double best_surface = std::numeric_limits<double>::infinity();
+    for (int pz = 1; pz <= nranks; ++pz) {
+      if (nranks % pz != 0) continue;
+      const int rest = nranks / pz;
+      for (int py = 1; py <= rest; ++py) {
+        if (rest % py != 0) continue;
+        const int px = rest / py;
+        if (px > mesh.nx || py > mesh.ny || pz > mesh.nz) continue;
+        const double cx = static_cast<double>(mesh.nx) / px;
+        const double cy = static_cast<double>(mesh.ny) / py;
+        const double cz = static_cast<double>(mesh.nz) / pz;
+        const double surface = 2.0 * (cx * cy + cy * cz + cx * cz);
+        if (surface < best_surface) {
+          best_surface = surface;
+          d.px_ = px;
+          d.py_ = py;
+          d.pz_ = pz;
+        }
+      }
+    }
+    TEA_REQUIRE(std::isfinite(best_surface),
+                "mesh too small for requested rank count");
   }
-  TEA_REQUIRE(std::isfinite(best_score),
-              "mesh too small for requested rank count");
 
-  // Distribute remainder cells to the low-index columns/rows, matching the
-  // upstream convention (chunks differ by at most one cell per axis).
-  const int base_nx = mesh.nx / d.px_;
-  const int base_ny = mesh.ny / d.py_;
-  const int extra_x = mesh.nx % d.px_;
-  const int extra_y = mesh.ny % d.py_;
-
-  std::vector<int> col_nx(static_cast<std::size_t>(d.px_)),
-      col_x0(static_cast<std::size_t>(d.px_));
-  std::vector<int> row_ny(static_cast<std::size_t>(d.py_)),
-      row_y0(static_cast<std::size_t>(d.py_));
-  int off = 0;
-  for (int cx = 0; cx < d.px_; ++cx) {
-    col_x0[cx] = off;
-    col_nx[cx] = base_nx + (cx < extra_x ? 1 : 0);
-    off += col_nx[cx];
-  }
-  off = 0;
-  for (int cy = 0; cy < d.py_; ++cy) {
-    row_y0[cy] = off;
-    row_ny[cy] = base_ny + (cy < extra_y ? 1 : 0);
-    off += row_ny[cy];
-  }
+  std::vector<int> x0, xn, y0, yn, z0, zn;
+  split_axis(mesh.nx, d.px_, x0, xn);
+  split_axis(mesh.ny, d.py_, y0, yn);
+  split_axis(mesh.nz, d.pz_, z0, zn);
 
   d.extents_.resize(static_cast<std::size_t>(nranks));
+  d.max_nz_ = 0;
   for (int r = 0; r < nranks; ++r) {
-    const int cx = d.coord_x(r), cy = d.coord_y(r);
-    d.extents_[r] = ChunkExtent{col_x0[cx], row_y0[cy], col_nx[cx],
-                                row_ny[cy]};
-    d.max_nx_ = std::max(d.max_nx_, col_nx[cx]);
-    d.max_ny_ = std::max(d.max_ny_, row_ny[cy]);
+    const int cx = d.coord_x(r), cy = d.coord_y(r), cz = d.coord_z(r);
+    d.extents_[r] = ChunkExtent{x0[cx], y0[cy], xn[cx],
+                                yn[cy], z0[cz], zn[cz]};
+    d.max_nx_ = std::max(d.max_nx_, xn[cx]);
+    d.max_ny_ = std::max(d.max_ny_, yn[cy]);
+    d.max_nz_ = std::max(d.max_nz_, zn[cz]);
   }
   return d;
 }
 
-int Decomposition2D::neighbor(int rank, Face face) const {
-  const int cx = coord_x(rank), cy = coord_y(rank);
+int Decomposition::neighbor(int rank, Face face) const {
+  const int cx = coord_x(rank), cy = coord_y(rank), cz = coord_z(rank);
   switch (face) {
-    case Face::kLeft: return cx > 0 ? rank_at(cx - 1, cy) : -1;
-    case Face::kRight: return cx < px_ - 1 ? rank_at(cx + 1, cy) : -1;
-    case Face::kBottom: return cy > 0 ? rank_at(cx, cy - 1) : -1;
-    case Face::kTop: return cy < py_ - 1 ? rank_at(cx, cy + 1) : -1;
+    case Face::kLeft: return cx > 0 ? rank_at(cx - 1, cy, cz) : -1;
+    case Face::kRight: return cx < px_ - 1 ? rank_at(cx + 1, cy, cz) : -1;
+    case Face::kBottom: return cy > 0 ? rank_at(cx, cy - 1, cz) : -1;
+    case Face::kTop: return cy < py_ - 1 ? rank_at(cx, cy + 1, cz) : -1;
+    case Face::kBack: return cz > 0 ? rank_at(cx, cy, cz - 1) : -1;
+    case Face::kFront: return cz < pz_ - 1 ? rank_at(cx, cy, cz + 1) : -1;
   }
   TEA_ASSERT(false, "invalid face");
 }

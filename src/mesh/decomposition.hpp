@@ -6,41 +6,60 @@
 
 namespace tealeaf {
 
-/// Faces of a 2-D chunk, used to address neighbours and halo exchanges.
-enum class Face : int { kLeft = 0, kRight = 1, kBottom = 2, kTop = 3 };
+/// Faces of a chunk, used to address neighbours and halo exchanges.  2-D
+/// chunks use the first four; 3-D chunks add the z pair (kBack = low z,
+/// kFront = high z).
+enum class Face : int {
+  kLeft = 0,
+  kRight = 1,
+  kBottom = 2,
+  kTop = 3,
+  kBack = 4,
+  kFront = 5,
+};
 
 inline constexpr int kNumFaces2D = 4;
+inline constexpr int kNumFaces3D = 6;
 
-/// Opposite face (left<->right, bottom<->top).
+/// Opposite face (left<->right, bottom<->top, back<->front).
 [[nodiscard]] Face opposite(Face f);
 
-/// Extent of one rank's subdomain in global cell coordinates.
+/// Extent of one rank's subdomain in global cell coordinates.  The z
+/// members default to the 2-D degenerate slab (z0 = 0, nz = 1) so the
+/// classic four-field aggregate initialisation keeps working.
 struct ChunkExtent {
   int x0 = 0;  ///< global index of first owned cell in x
   int y0 = 0;  ///< global index of first owned cell in y
   int nx = 0;  ///< owned cells in x
   int ny = 0;  ///< owned cells in y
+  int z0 = 0;  ///< global index of first owned cell in z
+  int nz = 1;  ///< owned cells in z
 };
 
-/// Block decomposition of a global mesh over `nranks` simulated MPI ranks,
-/// reproducing upstream TeaLeaf's `tea_decompose`: the ranks are arranged
-/// in a px × py Cartesian grid chosen so chunks are as square as possible
-/// (minimising halo-exchange surface), with remainder cells distributed to
-/// the low-index rows/columns.
-class Decomposition2D {
+/// Block decomposition of a global mesh over `nranks` simulated MPI ranks.
+/// In 2-D this reproduces upstream TeaLeaf's `tea_decompose`: a px × py
+/// Cartesian grid chosen so chunks are as square as possible (minimising
+/// halo-exchange surface), remainder cells distributed to the low-index
+/// rows/columns.  In 3-D the px × py × pz factorisation minimises total
+/// chunk surface area, the natural generalisation.
+class Decomposition {
  public:
   /// Build the decomposition.  Requires nranks >= 1 and a mesh with at
   /// least one cell per rank along each split axis.
-  static Decomposition2D create(int nranks, const GlobalMesh2D& mesh);
+  static Decomposition create(int nranks, const GlobalMesh& mesh);
 
-  [[nodiscard]] int nranks() const { return px_ * py_; }
+  [[nodiscard]] int nranks() const { return px_ * py_ * pz_; }
   [[nodiscard]] int px() const { return px_; }
   [[nodiscard]] int py() const { return py_; }
+  [[nodiscard]] int pz() const { return pz_; }
 
   /// Cartesian coordinates of a rank in the process grid.
   [[nodiscard]] int coord_x(int rank) const { return rank % px_; }
-  [[nodiscard]] int coord_y(int rank) const { return rank / px_; }
-  [[nodiscard]] int rank_at(int cx, int cy) const { return cy * px_ + cx; }
+  [[nodiscard]] int coord_y(int rank) const { return (rank / px_) % py_; }
+  [[nodiscard]] int coord_z(int rank) const { return rank / (px_ * py_); }
+  [[nodiscard]] int rank_at(int cx, int cy, int cz = 0) const {
+    return (cz * py_ + cy) * px_ + cx;
+  }
 
   /// Neighbour rank across `face`, or -1 at a physical boundary.
   [[nodiscard]] int neighbor(int rank, Face face) const;
@@ -54,13 +73,19 @@ class Decomposition2D {
   /// communication model's worst-case messages).
   [[nodiscard]] int max_chunk_nx() const { return max_nx_; }
   [[nodiscard]] int max_chunk_ny() const { return max_ny_; }
+  [[nodiscard]] int max_chunk_nz() const { return max_nz_; }
 
  private:
   int px_ = 1;
   int py_ = 1;
+  int pz_ = 1;
   int max_nx_ = 0;
   int max_ny_ = 0;
+  int max_nz_ = 1;
   std::vector<ChunkExtent> extents_;
 };
+
+/// Compatibility spelling from before the dimension-generic core.
+using Decomposition2D = Decomposition;
 
 }  // namespace tealeaf

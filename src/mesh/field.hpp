@@ -1,0 +1,147 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+/// A dense field over an (nx × ny × nz) cell block surrounded by a halo of
+/// configurable depth, mirroring the Fortran arrays of upstream TeaLeaf
+/// (`x_min-halo : x_max+halo`).  One implementation serves both problem
+/// dimensions: a 2-D field is the nz == 1 case with no z halo, and its
+/// storage layout is bit-for-bit the classic Field2D layout, so 2-D
+/// kernels pay nothing for the generalisation.
+///
+/// Indexing: `f(j, k)` (2-D sugar for plane 0) or `f(j, k, l)` with
+/// j ∈ [-halo, nx+halo), k ∈ [-halo, ny+halo), l ∈ [-halo_z, nz+halo_z);
+/// (0,0,0) is the first owned (interior) cell.  Storage is row-major with
+/// l the slowest and j the unit-stride axis — the layout the stencil
+/// kernels vectorize over.
+///
+/// NUMA placement: the constructor's zero-fill is the first touch of the
+/// backing pages, so whichever thread constructs the field determines the
+/// NUMA node its pages land on.  SimCluster exploits this by constructing
+/// chunks inside a worksharing loop with the same rank→thread mapping the
+/// kernels use — construct fields on the thread that will process them
+/// (first-touch placement), never on a serial setup thread.
+template <class T = double>
+class Field {
+ public:
+  Field() = default;
+
+  /// 2-D field: nz = 1 and no z halo (the classic Field2D layout).
+  Field(int nx, int ny, int halo, T init = T{})
+      : Field(nx, ny, 1, halo, /*halo_z=*/0, init) {}
+
+  /// 3-D field with the same halo depth on every face (z included).
+  [[nodiscard]] static Field make3d(int nx, int ny, int nz, int halo,
+                                    T init = T{}) {
+    return Field(nx, ny, nz, halo, /*halo_z=*/halo, init);
+  }
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] int halo() const { return halo_; }
+  /// Halo depth along z: equals halo() for 3-D fields, 0 for 2-D ones.
+  [[nodiscard]] int halo_z() const { return halo_z_; }
+
+  /// Total allocated elements including halo.
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] T& operator()(int j, int k) { return data_[index(j, k)]; }
+  [[nodiscard]] const T& operator()(int j, int k) const {
+    return data_[index(j, k)];
+  }
+  [[nodiscard]] T& operator()(int j, int k, int l) {
+    return data_[index(j, k, l)];
+  }
+  [[nodiscard]] const T& operator()(int j, int k, int l) const {
+    return data_[index(j, k, l)];
+  }
+
+  /// Raw storage pointer (for bulk copies / pack-unpack paths).
+  [[nodiscard]] T* data() { return data_.data(); }
+  [[nodiscard]] const T* data() const { return data_.data(); }
+
+  /// Distance in elements between consecutive k rows.
+  [[nodiscard]] std::int64_t stride() const { return stride_; }
+  /// Distance in elements between consecutive l planes.
+  [[nodiscard]] std::int64_t plane_stride() const { return plane_stride_; }
+
+  /// Linear index of (j, k[, l]); bounds are the caller's responsibility on
+  /// the hot path, but debug builds can enable checking via
+  /// TEALEAF_BOUNDS_CHECK.
+  [[nodiscard]] std::size_t index(int j, int k, int l = 0) const {
+#if defined(TEALEAF_BOUNDS_CHECK)
+    TEA_ASSERT(j >= -halo_ && j < nx_ + halo_, "j out of range");
+    TEA_ASSERT(k >= -halo_ && k < ny_ + halo_, "k out of range");
+    TEA_ASSERT(l >= -halo_z_ && l < nz_ + halo_z_, "l out of range");
+#endif
+    return static_cast<std::size_t>(l + halo_z_) * plane_stride_ +
+           static_cast<std::size_t>(k + halo_) * stride_ +
+           static_cast<std::size_t>(j + halo_);
+  }
+
+  /// Set every element (halo included) to `value`.
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Set only the interior (owned cells) to `value`; halo untouched.
+  void fill_interior(T value) {
+    for (int l = 0; l < nz_; ++l)
+      for (int k = 0; k < ny_; ++k)
+        for (int j = 0; j < nx_; ++j) (*this)(j, k, l) = value;
+  }
+
+  /// Copy the interior from another field of identical interior shape
+  /// (halo depths may differ).
+  void copy_interior_from(const Field& other) {
+    TEA_REQUIRE(other.nx_ == nx_ && other.ny_ == ny_ && other.nz_ == nz_,
+                "interior shapes must match");
+    for (int l = 0; l < nz_; ++l)
+      for (int k = 0; k < ny_; ++k)
+        for (int j = 0; j < nx_; ++j) (*this)(j, k, l) = other(j, k, l);
+  }
+
+  /// Sum of interior values (serial, deterministic; used by tests and the
+  /// field summary, not by solver hot loops).
+  [[nodiscard]] T sum_interior() const {
+    T total{};
+    for (int l = 0; l < nz_; ++l)
+      for (int k = 0; k < ny_; ++k)
+        for (int j = 0; j < nx_; ++j) total += (*this)(j, k, l);
+    return total;
+  }
+
+ private:
+  Field(int nx, int ny, int nz, int halo, int halo_z, T init)
+      : nx_(nx), ny_(ny), nz_(nz), halo_(halo), halo_z_(halo_z),
+        stride_(nx + 2 * halo),
+        plane_stride_(static_cast<std::int64_t>(nx + 2 * halo) *
+                      (ny + 2 * halo)),
+        data_(static_cast<std::size_t>(nx + 2 * halo) * (ny + 2 * halo) *
+                  (nz + 2 * halo_z),
+              init) {
+    TEA_REQUIRE(nx > 0 && ny > 0 && nz > 0, "field dims must be positive");
+    TEA_REQUIRE(halo >= 0 && halo_z >= 0, "halo depth must be non-negative");
+  }
+
+  int nx_ = 0;
+  int ny_ = 0;
+  int nz_ = 1;
+  int halo_ = 0;
+  int halo_z_ = 0;
+  std::int64_t stride_ = 0;
+  std::int64_t plane_stride_ = 0;
+  std::vector<T> data_;
+};
+
+/// Compatibility spelling from before the dimension-generic core: a 2-D
+/// field is just the nz == 1 instance.
+template <class T = double>
+using Field2D = Field<T>;
+
+}  // namespace tealeaf

@@ -1,105 +1,7 @@
 #pragma once
 
-#include <algorithm>
-#include <cstdint>
-#include <vector>
+// Compatibility header: the dimension-generic Field (mesh/field.hpp)
+// replaced the 2-D-only Field2D when the tea3d fork was retired; a 2-D
+// field is the nz == 1 instance with an identical storage layout.
 
-#include "util/error.hpp"
-
-namespace tealeaf {
-
-/// A dense 2-D field over an (nx × ny) cell block surrounded by a halo of
-/// configurable depth, mirroring the Fortran arrays of upstream TeaLeaf
-/// (`x_min-halo : x_max+halo`).
-///
-/// Indexing: `f(j, k)` with j ∈ [-halo, nx+halo), k ∈ [-halo, ny+halo);
-/// (0,0) is the first owned (interior) cell.  Storage is row-major with k
-/// as the slow axis, so inner loops over j are unit-stride — the layout
-/// the stencil kernels vectorize over.
-///
-/// NUMA placement: the constructor's zero-fill is the first touch of the
-/// backing pages, so whichever thread constructs the field determines the
-/// NUMA node its pages land on.  SimCluster2D exploits this by
-/// constructing chunks inside a worksharing loop with the same
-/// rank→thread mapping the kernels use — construct fields on the thread
-/// that will process them (first-touch placement), never on a serial
-/// setup thread.
-template <class T = double>
-class Field2D {
- public:
-  Field2D() = default;
-
-  Field2D(int nx, int ny, int halo, T init = T{})
-      : nx_(nx), ny_(ny), halo_(halo), stride_(nx + 2 * halo),
-        data_(static_cast<std::size_t>(nx + 2 * halo) * (ny + 2 * halo),
-              init) {
-    TEA_REQUIRE(nx > 0 && ny > 0, "field dims must be positive");
-    TEA_REQUIRE(halo >= 0, "halo depth must be non-negative");
-  }
-
-  [[nodiscard]] int nx() const { return nx_; }
-  [[nodiscard]] int ny() const { return ny_; }
-  [[nodiscard]] int halo() const { return halo_; }
-
-  /// Total allocated elements including halo.
-  [[nodiscard]] std::size_t size() const { return data_.size(); }
-
-  [[nodiscard]] T& operator()(int j, int k) { return data_[index(j, k)]; }
-  [[nodiscard]] const T& operator()(int j, int k) const {
-    return data_[index(j, k)];
-  }
-
-  /// Raw storage pointer (for bulk copies / pack-unpack paths).
-  [[nodiscard]] T* data() { return data_.data(); }
-  [[nodiscard]] const T* data() const { return data_.data(); }
-
-  /// Distance in elements between consecutive k rows.
-  [[nodiscard]] std::int64_t stride() const { return stride_; }
-
-  /// Linear index of (j, k); bounds are the caller's responsibility on the
-  /// hot path, but debug builds can enable checking via TEALEAF_BOUNDS_CHECK.
-  [[nodiscard]] std::size_t index(int j, int k) const {
-#if defined(TEALEAF_BOUNDS_CHECK)
-    TEA_ASSERT(j >= -halo_ && j < nx_ + halo_, "j out of range");
-    TEA_ASSERT(k >= -halo_ && k < ny_ + halo_, "k out of range");
-#endif
-    return static_cast<std::size_t>(k + halo_) * stride_ +
-           static_cast<std::size_t>(j + halo_);
-  }
-
-  /// Set every element (halo included) to `value`.
-  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
-
-  /// Set only the interior (owned cells) to `value`; halo untouched.
-  void fill_interior(T value) {
-    for (int k = 0; k < ny_; ++k)
-      for (int j = 0; j < nx_; ++j) (*this)(j, k) = value;
-  }
-
-  /// Copy the interior from another field of identical interior shape
-  /// (halo depths may differ).
-  void copy_interior_from(const Field2D& other) {
-    TEA_REQUIRE(other.nx_ == nx_ && other.ny_ == ny_,
-                "interior shapes must match");
-    for (int k = 0; k < ny_; ++k)
-      for (int j = 0; j < nx_; ++j) (*this)(j, k) = other(j, k);
-  }
-
-  /// Sum of interior values (serial, deterministic; used by tests and the
-  /// field summary, not by solver hot loops).
-  [[nodiscard]] T sum_interior() const {
-    T total{};
-    for (int k = 0; k < ny_; ++k)
-      for (int j = 0; j < nx_; ++j) total += (*this)(j, k);
-    return total;
-  }
-
- private:
-  int nx_ = 0;
-  int ny_ = 0;
-  int halo_ = 0;
-  std::int64_t stride_ = 0;
-  std::vector<T> data_;
-};
-
-}  // namespace tealeaf
+#include "mesh/field.hpp"

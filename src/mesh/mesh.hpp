@@ -4,36 +4,78 @@
 
 namespace tealeaf {
 
-/// Geometry of the global 2-D problem domain: a regular grid of
-/// nx × ny square-ish cells over [xmin,xmax] × [ymin,ymax].
+/// Geometry of the global problem domain: a regular grid of nx × ny (× nz)
+/// square-ish cells over [xmin,xmax] × [ymin,ymax] (× [zmin,zmax]).
 /// Temperatures live at cell centres (paper §II).
-struct GlobalMesh2D {
+///
+/// One struct serves both problem dimensions (`dims` ∈ {2, 3}): the 2-D
+/// constructor is unchanged from the classic GlobalMesh2D, and the 3-D
+/// factories set nz/zmin/zmax and flip the stencil from 5-point to
+/// 7-point throughout the chunk/comm/kernel/solver stack.
+struct GlobalMesh {
+  int dims = 2;
   int nx = 0;
   int ny = 0;
+  int nz = 1;
   double xmin = 0.0;
   double xmax = 1.0;
   double ymin = 0.0;
   double ymax = 1.0;
+  double zmin = 0.0;
+  double zmax = 1.0;
 
-  GlobalMesh2D() = default;
-  GlobalMesh2D(int nx_, int ny_, double xmin_ = 0.0, double xmax_ = 1.0,
-               double ymin_ = 0.0, double ymax_ = 1.0)
+  GlobalMesh() = default;
+  GlobalMesh(int nx_, int ny_, double xmin_ = 0.0, double xmax_ = 1.0,
+             double ymin_ = 0.0, double ymax_ = 1.0)
       : nx(nx_), ny(ny_), xmin(xmin_), xmax(xmax_), ymin(ymin_), ymax(ymax_) {
     TEA_REQUIRE(nx > 0 && ny > 0, "mesh dims must be positive");
     TEA_REQUIRE(xmax > xmin && ymax > ymin, "mesh extents must be positive");
   }
 
+  /// General 3-D mesh.
+  [[nodiscard]] static GlobalMesh make3d(int nx, int ny, int nz,
+                                         double xmin = 0.0, double xmax = 1.0,
+                                         double ymin = 0.0, double ymax = 1.0,
+                                         double zmin = 0.0,
+                                         double zmax = 1.0) {
+    GlobalMesh m(nx, ny, xmin, xmax, ymin, ymax);
+    TEA_REQUIRE(nz > 0, "mesh dims must be positive");
+    TEA_REQUIRE(zmax > zmin, "mesh extents must be positive");
+    m.dims = 3;
+    m.nz = nz;
+    m.zmin = zmin;
+    m.zmax = zmax;
+    return m;
+  }
+
+  /// 3-D brick with equal [0, len] extents on every axis (the upstream
+  /// TeaLeaf3D test-problem convention).
+  [[nodiscard]] static GlobalMesh brick3d(int nx, int ny, int nz,
+                                          double len = 10.0) {
+    return make3d(nx, ny, nz, 0.0, len, 0.0, len, 0.0, len);
+  }
+
   [[nodiscard]] double dx() const { return (xmax - xmin) / nx; }
   [[nodiscard]] double dy() const { return (ymax - ymin) / ny; }
+  [[nodiscard]] double dz() const { return (zmax - zmin) / nz; }
 
-  /// Cell-centre coordinates of global cell (j, k).
+  /// Cell-centre coordinates of global cell (j, k[, l]).
   [[nodiscard]] double cell_x(int j) const { return xmin + (j + 0.5) * dx(); }
   [[nodiscard]] double cell_y(int k) const { return ymin + (k + 0.5) * dy(); }
+  [[nodiscard]] double cell_z(int l) const { return zmin + (l + 0.5) * dz(); }
 
   [[nodiscard]] double cell_area() const { return dx() * dy(); }
+  /// Measure of one cell: area in 2-D, volume in 3-D (the field-summary
+  /// weight).
+  [[nodiscard]] double cell_volume() const {
+    return dims == 3 ? dx() * dy() * dz() : dx() * dy();
+  }
   [[nodiscard]] long long cell_count() const {
-    return static_cast<long long>(nx) * ny;
+    return static_cast<long long>(nx) * ny * nz;
   }
 };
+
+/// Compatibility spelling from before the dimension-generic core.
+using GlobalMesh2D = GlobalMesh;
 
 }  // namespace tealeaf

@@ -46,25 +46,28 @@ ScalingSeries measured_series(std::string label,
 /// implementations sweep-for-sweep and exchange-for-exchange.
 class ScalingModel::Cost {
  public:
-  Cost(const MachineSpec& spec, const GlobalMesh2D& mesh, int nodes,
+  Cost(const MachineSpec& spec, const GlobalMesh& mesh, int nodes,
        int tile_rows = 0)
-      : spec_(spec), nodes_(nodes) {
+      : spec_(spec), nodes_(nodes), dims_(mesh.dims) {
     const long long want_ranks =
         static_cast<long long>(nodes) * spec.ranks_per_node;
     // The decomposition cannot exceed one cell per rank per axis; clamp
     // like a user would by leaving excess ranks idle (pure overhead).
-    ranks_ = static_cast<int>(
-        std::min<long long>(want_ranks,
-                            static_cast<long long>(mesh.nx) * mesh.ny));
-    const Decomposition2D decomp = Decomposition2D::create(ranks_, mesh);
+    ranks_ = static_cast<int>(std::min<long long>(
+        want_ranks, static_cast<long long>(mesh.nx) * mesh.ny * mesh.nz));
+    const Decomposition decomp = Decomposition::create(ranks_, mesh);
     cnx_ = decomp.max_chunk_nx();
     cny_ = decomp.max_chunk_ny();
+    cnz_ = decomp.max_chunk_nz();
     px_ = decomp.px();
     py_ = decomp.py();
+    pz_ = decomp.pz();
 
     const double cells_per_node =
-        static_cast<double>(cnx_) * cny_ * spec.ranks_per_node;
-    const double working_set_bytes = cells_per_node * kNumFieldIds * 8.0;
+        static_cast<double>(cnx_) * cny_ * cnz_ * spec.ranks_per_node;
+    // 2-D chunks do not allocate the kKz field (see Chunk's constructor).
+    const int fields = (dims_ == 3) ? kNumFieldIds : kNumFieldIds - 1;
+    const double working_set_bytes = cells_per_node * fields * 8.0;
     const bool in_cache = spec.cache_mb > 0.0 &&
                           working_set_bytes < spec.cache_mb * 1.0e6;
     // Each rank owns an equal share of the node's (possibly cache-boosted)
@@ -86,10 +89,12 @@ class ScalingModel::Cost {
     }
   }
 
-  /// One kernel sweep over every cell (with `ext` halo extension).
+  /// One kernel sweep over every cell (with `ext` halo extension — in z
+  /// too for 3-D meshes, mirroring extended_bounds).
   void sweep(double bytes_per_cell, int ext = 0) {
-    const double cells =
-        static_cast<double>(cnx_ + 2 * ext) * (cny_ + 2 * ext);
+    const double cells = static_cast<double>(cnx_ + 2 * ext) *
+                         (cny_ + 2 * ext) *
+                         (dims_ == 3 ? cnz_ + 2 * ext : cnz_);
     seconds_ += spec_.kernel_launch_us * 1.0e-6 +
                 cells * bytes_per_cell / rank_bw_;
   }
@@ -102,20 +107,28 @@ class ScalingModel::Cost {
     sweep(blocked_ ? blocked_bytes : streaming_bytes, ext);
   }
 
-  /// One halo exchange of `nfields` fields at `depth` (two phases).
-  /// Models the critical-path rank: an interior rank when the process
-  /// grid has one, else the boundary rank.  y rows carry only the corner
-  /// columns that hold neighbour data (consistent with SimCluster2D's
-  /// accounting): px >= 3 gives both corners, px == 2 one, px == 1 none —
-  /// and a phase with no neighbours along its axis costs nothing.
+  /// One halo exchange of `nfields` fields at `depth` (one phase per
+  /// mesh axis).  Models the critical-path rank: an interior rank when
+  /// the process grid has one, else the boundary rank.  Later phases
+  /// carry only the earlier-phase halo strips that hold neighbour data
+  /// (consistent with SimCluster's accounting): p >= 3 along an axis
+  /// gives both corner strips, p == 2 one, p == 1 none — and a phase
+  /// with no neighbours along its axis costs nothing.  3-D meshes add
+  /// the z phase with face-area payloads.
   void exchange(int depth, int nfields) {
-    const double bx = static_cast<double>(depth) * cny_ * 8.0 * nfields;
-    const int xcorners = std::min(px_ - 1, 2);
-    const double by = static_cast<double>(depth) *
-                      (cnx_ + static_cast<double>(xcorners) * depth) * 8.0 *
+    const double bx = static_cast<double>(depth) * cny_ * cnz_ * 8.0 *
                       nfields;
+    const int xcorners = std::min(px_ - 1, 2);
+    const double row_len = cnx_ + static_cast<double>(xcorners) * depth;
+    const double by =
+        static_cast<double>(depth) * row_len * cnz_ * 8.0 * nfields;
+    const int ycorners = std::min(py_ - 1, 2);
+    const double col_len = cny_ + static_cast<double>(ycorners) * depth;
+    const double bz =
+        static_cast<double>(depth) * row_len * col_len * 8.0 * nfields;
     for (const auto& [active, bytes] :
-         {std::pair{px_ > 1, bx}, std::pair{py_ > 1, by}}) {
+         {std::pair{px_ > 1, bx}, std::pair{py_ > 1, by},
+          std::pair{dims_ == 3 && pz_ > 1, bz}}) {
       if (!active) continue;
       // Pack + unpack both directions through node memory.
       seconds_ += 4.0 * bytes / rank_bw_;
@@ -155,11 +168,14 @@ class ScalingModel::Cost {
  private:
   const MachineSpec& spec_;
   int nodes_;
+  int dims_ = 2;
   int ranks_ = 1;
   int cnx_ = 1;
   int cny_ = 1;
+  int cnz_ = 1;
   int px_ = 1;
   int py_ = 1;
+  int pz_ = 1;
   double rank_bw_ = 1.0;
   double seconds_ = 0.0;
   bool blocked_ = false;
@@ -174,7 +190,10 @@ ScalingModel::ScalingModel(MachineSpec spec, GlobalMesh2D mesh,
 namespace {
 
 // Bytes per cell per kernel sweep (8-byte doubles; neighbour reads of the
-// same field amortise through cache).  Keep in sync with ops/kernels2d.
+// same field amortise through cache).  Keep in sync with ops/kernels.
+// The constants are the 2-D (5-point) figures; sweeps that read the face
+// coefficients add one more 8-byte field (Kz) per cell under the 3-D
+// 7-point stencil — the `kface` term in run_seconds.
 constexpr double kBytesSmvp = 32.0;       // p, w, kx, ky
 constexpr double kBytesResidual = 48.0;   // u, u0, w, r, kx, ky
 constexpr double kBytesCalcUr = 48.0;     // u, r rw; p, w reads
@@ -202,18 +221,22 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
   Cost cost(spec_, mesh_, nodes, run.tile_rows);
   const bool diag = run.precon == PreconType::kJacobiDiag;
   const bool block = run.precon == PreconType::kJacobiBlock;
-  const double precon_bytes = block ? kBytesBlockApply : kBytesDiagApply;
+  // 7-point stencil sweeps stream the extra Kz face-coefficient field.
+  const double kface = (mesh_.dims == 3) ? 8.0 : 0.0;
+  const double precon_bytes =
+      block ? kBytesBlockApply : kBytesDiagApply + kface;
+  const double diag_extra = diag ? 16.0 + kface : 0.0;
 
   // --- per-timestep field setup (driver): exchange materials at full
   // halo depth + u/u0 init + conduction build.
   cost.exchange(std::max(2, run.halo_depth), 2);
   cost.sweep(32.0);  // init_u_u0: density, energy, u, u0
-  cost.sweep(24.0);  // init_conduction: density read, kx, ky writes
+  cost.sweep(24.0 + kface);  // init_conduction: density read, face writes
 
   // --- solver setup: exchange(u,1); residual (+ precon init/apply) ------
   cost.exchange(1, 1);
-  cost.sweep(kBytesResidual);
-  if (block) cost.sweep(40.0);  // block_jacobi_init
+  cost.sweep(kBytesResidual + kface);
+  if (block) cost.sweep(40.0 + kface);  // block_jacobi_init
   if (diag || block) {
     cost.sweep(precon_bytes);
     cost.sweep(kBytesCopy);  // p = z
@@ -224,7 +247,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
 
   const auto cg_iteration = [&] {
     cost.exchange(1, 1);
-    cost.sweep(kBytesSmvp);
+    cost.sweep(kBytesSmvp + kface);
     cost.reduce();  // pw
     cost.sweep(kBytesCalcUr);
     if (diag || block) cost.sweep(precon_bytes);
@@ -236,7 +259,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
     case SolverType::kJacobi: {
       for (int i = 0; i < run.outer_iters; ++i) {
         cost.exchange(1, 1);
-        cost.sweep_blocked(kBytesJacobi, kBytesJacobiBlocked);
+        cost.sweep_blocked(kBytesJacobi + kface, kBytesJacobiBlocked + kface);
         cost.reduce();
       }
       break;
@@ -250,7 +273,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
           cost.sweep(24.0);  // r −= αs
           cost.sweep(precon_bytes);
           cost.exchange(1, 1);
-          cost.sweep(kBytesSmvp + 16.0);  // A·z with fused dots
+          cost.sweep(kBytesSmvp + kface + 16.0);  // A·z with fused dots
           cost.reduce();
           cost.sweep(kBytesXpby);  // p update
           cost.sweep(kBytesXpby);  // s update
@@ -264,12 +287,12 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
     case SolverType::kChebyshev: {
       cost.reduce();  // ‖r‖² baseline
       for (int i = 0; i < run.eigen_cg_iters; ++i) cg_iteration();
-      cost.sweep(kBytesChebyInit + (diag ? 16.0 : 0.0));  // bootstrap
+      cost.sweep(kBytesChebyInit + diag_extra);  // bootstrap
       for (int i = 0; i < run.outer_iters; ++i) {
         cost.exchange(1, 1);
-        cost.sweep(kBytesSmvp);
-        cost.sweep_blocked(kBytesChebyFused + (diag ? 16.0 : 0.0),
-                           kBytesChebyFusedBlocked + (diag ? 16.0 : 0.0));
+        cost.sweep(kBytesSmvp + kface);
+        cost.sweep_blocked(kBytesChebyFused + diag_extra,
+                           kBytesChebyFusedBlocked + diag_extra);
         if ((i + 1) % run.cheby_check_interval == 0) cost.reduce();
       }
       break;
@@ -281,7 +304,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
         cost.sweep(kBytesCopy);  // rtemp = r
         if (d > 1) cost.exchange(d, 1);
         int ext = d - 1;
-        cost.sweep(kBytesChebyInit + (diag ? 16.0 : 0.0), ext);
+        cost.sweep(kBytesChebyInit + diag_extra, ext);
         cost.sweep(kBytesCopy, ext);  // z = sd
         for (int s = 1; s <= run.inner_steps; ++s) {
           if (ext == 0) {
@@ -289,15 +312,15 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
             ext = d;
           }
           --ext;
-          cost.sweep(kBytesSmvp, ext);
+          cost.sweep(kBytesSmvp + kface, ext);
           if (block) {
             cost.sweep(24.0, ext);        // rtemp -= w
             cost.sweep(kBytesBlockApply); // block solve (interior only)
             cost.sweep(24.0, ext);        // sd update
             cost.sweep(24.0, ext);        // z += sd
           } else {
-            cost.sweep_blocked(kBytesChebyFused + (diag ? 16.0 : 0.0),
-                               kBytesChebyFusedBlocked + (diag ? 16.0 : 0.0),
+            cost.sweep_blocked(kBytesChebyFused + diag_extra,
+                               kBytesChebyFusedBlocked + diag_extra,
                                ext);
           }
         }
@@ -308,7 +331,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
       cost.sweep(kBytesCopy);  // p = z
       for (int i = 0; i < run.outer_iters; ++i) {
         cost.exchange(1, 1);
-        cost.sweep(kBytesSmvp);
+        cost.sweep(kBytesSmvp + kface);
         cost.reduce();  // pw
         cost.sweep(kBytesCalcUr);
         apply_inner();

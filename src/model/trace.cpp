@@ -39,7 +39,7 @@ SolverRunSummary project_to_mesh(SolverRunSummary run, int target_n) {
   return run;
 }
 
-CommCounts exchange_counts(const Decomposition2D& decomp, int depth,
+CommCounts exchange_counts(const Decomposition& decomp, int depth,
                            int nfields) {
   CommCounts cc;
   cc.exchange_calls = 1;
@@ -48,20 +48,38 @@ CommCounts exchange_counts(const Decomposition2D& decomp, int depth,
     for (const Face face : {Face::kLeft, Face::kRight}) {
       if (decomp.neighbor(r, face) < 0) continue;
       ++cc.messages;
-      cc.message_bytes += static_cast<std::int64_t>(depth) * e.ny * nfields *
-                          static_cast<std::int64_t>(sizeof(double));
+      cc.message_bytes += static_cast<std::int64_t>(depth) * e.ny * e.nz *
+                          nfields * static_cast<std::int64_t>(sizeof(double));
     }
     // y rows carry only the corner columns that hold neighbour data: a
     // rank at a physical left/right boundary sends shorter rows (matches
-    // SimCluster2D::exchange_y_rank / account_exchange).
+    // SimCluster::exchange_y_rank / account_exchange).
     const int xcorners = (decomp.neighbor(r, Face::kLeft) >= 0 ? 1 : 0) +
                          (decomp.neighbor(r, Face::kRight) >= 0 ? 1 : 0);
+    const std::int64_t row_len =
+        e.nx + static_cast<std::int64_t>(xcorners) * depth;
     for (const Face face : {Face::kBottom, Face::kTop}) {
       if (decomp.neighbor(r, face) < 0) continue;
       ++cc.messages;
-      cc.message_bytes += static_cast<std::int64_t>(depth) *
-                          (e.nx + static_cast<std::int64_t>(xcorners) * depth) *
+      cc.message_bytes += static_cast<std::int64_t>(depth) * row_len * e.nz *
                           nfields * static_cast<std::int64_t>(sizeof(double));
+    }
+    // z slabs carry the x- and y-halo edges the earlier phases populated
+    // (face area plus the depth-wide edge strips with real data), again
+    // trimmed at physical boundaries — matching SimCluster's three-phase
+    // exchange byte-for-byte.
+    if (decomp.pz() > 1) {
+      const int ycorners = (decomp.neighbor(r, Face::kBottom) >= 0 ? 1 : 0) +
+                           (decomp.neighbor(r, Face::kTop) >= 0 ? 1 : 0);
+      const std::int64_t col_len =
+          e.ny + static_cast<std::int64_t>(ycorners) * depth;
+      for (const Face face : {Face::kBack, Face::kFront}) {
+        if (decomp.neighbor(r, face) < 0) continue;
+        ++cc.messages;
+        cc.message_bytes += static_cast<std::int64_t>(depth) * row_len *
+                            col_len * nfields *
+                            static_cast<std::int64_t>(sizeof(double));
+      }
     }
   }
   return cc;

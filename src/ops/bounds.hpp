@@ -5,24 +5,31 @@
 namespace tealeaf {
 
 /// Half-open loop bounds for a kernel sweep over a chunk:
-/// j ∈ [jlo, jhi), k ∈ [klo, khi) in local cell coordinates.
+/// j ∈ [jlo, jhi), k ∈ [klo, khi), l ∈ [llo, lhi) in local cell
+/// coordinates.  The z range defaults to the single degenerate plane so
+/// classic four-field 2-D aggregate initialisation keeps working.
 struct Bounds {
   int jlo = 0;
   int jhi = 0;
   int klo = 0;
   int khi = 0;
+  int llo = 0;
+  int lhi = 1;
 
   [[nodiscard]] long long cells() const {
-    return static_cast<long long>(jhi - jlo) * (khi - klo);
+    return static_cast<long long>(jhi - jlo) * (khi - klo) * (lhi - llo);
   }
-  [[nodiscard]] bool contains(int j, int k) const {
-    return j >= jlo && j < jhi && k >= klo && k < khi;
+  /// Rows a flattened (plane, row) sweep of this box visits — the unit of
+  /// the tiled execution engine's row blocking.
+  [[nodiscard]] int rows() const { return (khi - klo) * (lhi - llo); }
+  [[nodiscard]] bool contains(int j, int k, int l = 0) const {
+    return j >= jlo && j < jhi && k >= klo && k < khi && l >= llo && l < lhi;
   }
 };
 
 /// Bounds covering exactly the owned cells of a chunk.
-[[nodiscard]] inline Bounds interior_bounds(const Chunk2D& c) {
-  return Bounds{0, c.nx(), 0, c.ny()};
+[[nodiscard]] inline Bounds interior_bounds(const Chunk& c) {
+  return Bounds{0, c.nx(), 0, c.ny(), 0, c.nz()};
 }
 
 /// Bounds extended `ext` cells into the halo on every face that borders a
@@ -31,14 +38,18 @@ struct Bounds {
 /// range of the matrix-powers kernel (paper §IV-C2, Fig. 2): after a halo
 /// exchange of depth d, sweeps run at ext = d-1, d-2, …, 0, performing
 /// redundant work in the overlap so the exchange happens once per d
-/// operator applications.
-[[nodiscard]] inline Bounds extended_bounds(const Chunk2D& c, int ext) {
+/// operator applications.  3-D chunks extend in z exactly as in x/y.
+[[nodiscard]] inline Bounds extended_bounds(const Chunk& c, int ext) {
   TEA_ASSERT(ext >= 0 && ext <= c.halo_depth(), "invalid extension");
   Bounds b = interior_bounds(c);
   if (!c.at_boundary(Face::kLeft)) b.jlo -= ext;
   if (!c.at_boundary(Face::kRight)) b.jhi += ext;
   if (!c.at_boundary(Face::kBottom)) b.klo -= ext;
   if (!c.at_boundary(Face::kTop)) b.khi += ext;
+  if (c.dims() == 3) {
+    if (!c.at_boundary(Face::kBack)) b.llo -= ext;
+    if (!c.at_boundary(Face::kFront)) b.lhi += ext;
+  }
   return b;
 }
 

@@ -1,0 +1,908 @@
+#include "ops/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <type_traits>
+
+#include "util/error.hpp"
+
+namespace tealeaf::kernels {
+
+namespace {
+
+/// Diagonal of A: the Dims == 2 expression is exactly the classic 5-point
+/// one; Dims == 3 appends the two z-face terms.
+template <int Dims>
+inline double diag_core(const Chunk& c, int j, int k, int l) {
+  const auto& kx = c.kx();
+  const auto& ky = c.ky();
+  if constexpr (Dims == 2) {
+    return 1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k));
+  } else {
+    const auto& kz = c.kz();
+    return 1.0 + (ky(j, k + 1, l) + ky(j, k, l)) +
+           (kx(j + 1, k, l) + kx(j, k, l)) +
+           (kz(j, k, l + 1) + kz(j, k, l));
+  }
+}
+
+/// Core of Listing 1: dst = A·src at one cell (5-point or 7-point).
+template <int Dims>
+inline double apply_stencil(const Chunk& c, const Field<double>& src, int j,
+                            int k, int l) {
+  const auto& kx = c.kx();
+  const auto& ky = c.ky();
+  if constexpr (Dims == 2) {
+    return (1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k))) *
+               src(j, k) -
+           (ky(j, k + 1) * src(j, k + 1) + ky(j, k) * src(j, k - 1)) -
+           (kx(j + 1, k) * src(j + 1, k) + kx(j, k) * src(j - 1, k));
+  } else {
+    const auto& kz = c.kz();
+    return diag_core<3>(c, j, k, l) * src(j, k, l) -
+           (ky(j, k + 1, l) * src(j, k + 1, l) +
+            ky(j, k, l) * src(j, k - 1, l)) -
+           (kx(j + 1, k, l) * src(j + 1, k, l) +
+            kx(j, k, l) * src(j - 1, k, l)) -
+           (kz(j, k, l + 1) * src(j, k, l + 1) +
+            kz(j, k, l) * src(j, k, l - 1));
+  }
+}
+
+/// Iterate the (plane, row) pairs of a box in flattened-row order.
+template <class Fn>
+inline void for_rows(const Bounds& b, Fn&& fn) {
+  for (int l = b.llo; l < b.lhi; ++l)
+    for (int k = b.klo; k < b.khi; ++k) fn(l, k);
+}
+
+/// Invoke `fn` with the chunk's stencil arity as a compile-time constant
+/// (one runtime branch per kernel call, zero per cell): the dispatch every
+/// dimension-dependent kernel entry point shares.
+template <class Fn>
+inline void dims_dispatch(const Chunk& c, Fn&& fn) {
+  if (c.dims() == 3) {
+    fn(std::integral_constant<int, 3>{});
+  } else {
+    fn(std::integral_constant<int, 2>{});
+  }
+}
+
+// ---- per-row reduction cores --------------------------------------------
+// Every reducing kernel accumulates one partial per row and combines the
+// rows in (plane, row) order; the full kernels and the row-blocked (tiled)
+// variants call the SAME cores, so the sum is a pure function of the row
+// decomposition — never of tile size or thread assignment.
+
+inline double dot_row(const Field<double>& a, const Field<double>& b, int nx,
+                      int k, int l) {
+  double acc = 0.0;
+  for (int j = 0; j < nx; ++j) acc += a(j, k, l) * b(j, k, l);
+  return acc;
+}
+
+/// One row of smvp_dot: dst = A·src over [b.jlo, b.jhi), returning the
+/// interior part of Σ src·dst (0.0 when row (l,k) is outside the
+/// interior).
+template <int Dims>
+inline double smvp_dot_row(Chunk& c, const Field<double>& src,
+                           Field<double>& dst, const Bounds& b,
+                           const Bounds& in, int k, int l) {
+  const bool row_in = (k >= in.klo && k < in.khi && l >= in.llo &&
+                       l < in.lhi);
+  double acc = 0.0;
+  for (int j = b.jlo; j < b.jhi; ++j) {
+    const double w = apply_stencil<Dims>(c, src, j, k, l);
+    dst(j, k, l) = w;
+    if (row_in && j >= in.jlo && j < in.jhi) acc += src(j, k, l) * w;
+  }
+  return acc;
+}
+
+/// One row of smvp_dot2: writes the pair (Σ other·src, Σ dst·src).
+template <int Dims>
+inline void smvp_dot2_row(Chunk& c, const Field<double>& src,
+                          Field<double>& dst, const Field<double>& other,
+                          const Bounds& b, const Bounds& in, int k, int l,
+                          double* pair_out) {
+  const bool row_in = (k >= in.klo && k < in.khi && l >= in.llo &&
+                       l < in.lhi);
+  double dot_other = 0.0;
+  double dot_dst = 0.0;
+  for (int j = b.jlo; j < b.jhi; ++j) {
+    const double w = apply_stencil<Dims>(c, src, j, k, l);
+    dst(j, k, l) = w;
+    if (row_in && j >= in.jlo && j < in.jhi) {
+      dot_other += other(j, k, l) * src(j, k, l);
+      dot_dst += w * src(j, k, l);
+    }
+  }
+  pair_out[0] = dot_other;
+  pair_out[1] = dot_dst;
+}
+
+/// One row of calc_ur_dot for the local preconditioners.
+template <int Dims>
+inline double calc_ur_dot_row(Chunk& c, double alpha, bool diag, int k,
+                              int l) {
+  auto& u = c.u();
+  auto& r = c.r();
+  const auto& p = c.p();
+  const auto& w = c.w();
+  double acc = 0.0;
+  if (diag) {
+    auto& z = c.z();
+    for (int j = 0; j < c.nx(); ++j) {
+      u(j, k, l) += alpha * p(j, k, l);
+      const double rv = r(j, k, l) - alpha * w(j, k, l);
+      r(j, k, l) = rv;
+      const double zv = rv / diag_core<Dims>(c, j, k, l);
+      z(j, k, l) = zv;
+      acc += rv * zv;
+    }
+  } else {
+    for (int j = 0; j < c.nx(); ++j) {
+      u(j, k, l) += alpha * p(j, k, l);
+      const double rv = r(j, k, l) - alpha * w(j, k, l);
+      r(j, k, l) = rv;
+      acc += rv * rv;
+    }
+  }
+  return acc;
+}
+
+/// One row of cg_calc_ur.
+inline void cg_calc_ur_row(Chunk& c, double alpha, int k, int l) {
+  auto& u = c.u();
+  auto& r = c.r();
+  const auto& p = c.p();
+  const auto& w = c.w();
+  for (int j = 0; j < c.nx(); ++j) {
+    u(j, k, l) += alpha * p(j, k, l);
+    r(j, k, l) -= alpha * w(j, k, l);
+  }
+}
+
+/// One row of the pointwise Chronopoulos-Gear update.
+template <int Dims>
+inline void cg_chrono_update_row(Chunk& c, double alpha, double beta,
+                                 bool diag, bool local, int k, int l) {
+  auto& u = c.u();
+  auto& r = c.r();
+  auto& p = c.p();
+  auto& sd = c.sd();
+  auto& z = c.z();
+  const auto& w = c.w();
+  for (int j = 0; j < c.nx(); ++j) {
+    const double pv = z(j, k, l) + beta * p(j, k, l);
+    p(j, k, l) = pv;
+    const double sv = w(j, k, l) + beta * sd(j, k, l);
+    sd(j, k, l) = sv;
+    u(j, k, l) += alpha * pv;
+    r(j, k, l) -= alpha * sv;
+    if (local) {
+      z(j, k, l) = diag ? r(j, k, l) / diag_core<Dims>(c, j, k, l)
+                        : r(j, k, l);
+    }
+  }
+}
+
+/// One row of the Jacobi save phase (r = u, halo columns included).
+inline void jacobi_save_row(Chunk& c, int k, int l) {
+  auto& r = c.r();
+  const auto& u = c.u();
+  for (int j = -1; j < c.nx() + 1; ++j) r(j, k, l) = u(j, k, l);
+}
+
+/// One row of the Jacobi update sweep; returns Σ|u_new − u_old|.
+template <int Dims>
+inline double jacobi_update_row(Chunk& c, int k, int l) {
+  auto& u = c.u();
+  const auto& r = c.r();
+  const auto& u0 = c.u0();
+  const auto& kx = c.kx();
+  const auto& ky = c.ky();
+  double err = 0.0;
+  if constexpr (Dims == 2) {
+    for (int j = 0; j < c.nx(); ++j) {
+      const double diag =
+          1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k));
+      u(j, k) = (u0(j, k) +
+                 (ky(j, k + 1) * r(j, k + 1) + ky(j, k) * r(j, k - 1)) +
+                 (kx(j + 1, k) * r(j + 1, k) + kx(j, k) * r(j - 1, k))) /
+                diag;
+      err += std::fabs(u(j, k) - r(j, k));
+    }
+  } else {
+    const auto& kz = c.kz();
+    for (int j = 0; j < c.nx(); ++j) {
+      const double diag = diag_core<3>(c, j, k, l);
+      u(j, k, l) =
+          (u0(j, k, l) +
+           (ky(j, k + 1, l) * r(j, k + 1, l) +
+            ky(j, k, l) * r(j, k - 1, l)) +
+           (kx(j + 1, k, l) * r(j + 1, k, l) +
+            kx(j, k, l) * r(j - 1, k, l)) +
+           (kz(j, k, l + 1) * r(j, k, l + 1) +
+            kz(j, k, l) * r(j, k, l - 1))) /
+          diag;
+      err += std::fabs(u(j, k, l) - r(j, k, l));
+    }
+  }
+  return err;
+}
+
+/// One row of the fused Chebyshev update (shared by the untiled lagged
+/// pass, the in-block lagged pass and the deferred edge pass).
+template <int Dims>
+inline void cheby_update_row(Chunk& c, Field<double>& res,
+                             Field<double>& dir, Field<double>& acc,
+                             const Field<double>& w, double alpha,
+                             double beta, bool diag_precon, const Bounds& b,
+                             int k, int l) {
+  for (int j = b.jlo; j < b.jhi; ++j) {
+    res(j, k, l) -= w(j, k, l);
+    const double m_inv =
+        diag_precon ? 1.0 / diag_core<Dims>(c, j, k, l) : 1.0;
+    dir(j, k, l) = alpha * dir(j, k, l) + beta * m_inv * res(j, k, l);
+    acc(j, k, l) += dir(j, k, l);
+  }
+}
+
+// ---- dimension-dispatched kernel bodies ----------------------------------
+
+template <int Dims>
+double smvp_dot_impl(Chunk& c, const Field<double>& src, Field<double>& dst,
+                     const Bounds& b) {
+  const Bounds in = interior_bounds(c);
+  double acc = 0.0;
+  for_rows(b, [&](int l, int k) {
+    acc += smvp_dot_row<Dims>(c, src, dst, b, in, k, l);
+  });
+  return acc;
+}
+
+template <int Dims>
+double calc_residual_impl(Chunk& c) {
+  const auto& u = c.u();
+  const auto& u0 = c.u0();
+  auto& w = c.w();
+  auto& r = c.r();
+  double acc = 0.0;
+  for_rows(interior_bounds(c), [&](int l, int k) {
+    for (int j = 0; j < c.nx(); ++j) {
+      const double wv = apply_stencil<Dims>(c, u, j, k, l);
+      w(j, k, l) = wv;
+      r(j, k, l) = u0(j, k, l) - wv;
+      acc += r(j, k, l) * r(j, k, l);
+    }
+  });
+  return acc;
+}
+
+template <int Dims>
+double jacobi_iterate_impl(Chunk& c) {
+  // Save the previous iterate (halo included: neighbours' u arrives
+  // there; 3-D chunks also save the z halo planes their stencils read).
+  const int zext = (Dims == 3) ? 1 : 0;
+  for (int l = -zext; l < c.nz() + zext; ++l)
+    for (int k = -1; k < c.ny() + 1; ++k) jacobi_save_row(c, k, l);
+  double err = 0.0;
+  for_rows(interior_bounds(c), [&](int l, int k) {
+    err += jacobi_update_row<Dims>(c, k, l);
+  });
+  return err;
+}
+
+template <int Dims>
+void cheby_init_dir_impl(Chunk& c, const Field<double>& res,
+                         Field<double>& dir, double theta, bool diag_precon,
+                         const Bounds& b) {
+  const double theta_inv = 1.0 / theta;
+  for_rows(b, [&](int l, int k) {
+    for (int j = b.jlo; j < b.jhi; ++j) {
+      const double m_inv =
+          diag_precon ? 1.0 / diag_core<Dims>(c, j, k, l) : 1.0;
+      dir(j, k, l) = m_inv * res(j, k, l) * theta_inv;
+    }
+  });
+}
+
+template <int Dims>
+void cheby_fused_update_impl(Chunk& c, Field<double>& res,
+                             Field<double>& dir, Field<double>& acc,
+                             double alpha, double beta, bool diag_precon,
+                             const Bounds& b) {
+  const auto& w = c.w();
+  for_rows(b, [&](int l, int k) {
+    cheby_update_row<Dims>(c, res, dir, acc, w, alpha, beta, diag_precon, b,
+                           k, l);
+  });
+}
+
+/// Lag distance of the fused Chebyshev pass in flattened rows: how far
+/// ahead the stencil sweep must be before a row's dir may be updated.
+/// 2-D stencils read the k±1 rows (offset 1); 3-D stencils additionally
+/// read the l±1 planes (offset rows-per-plane, which dominates).
+template <int Dims>
+inline int cheby_lag(const Bounds& b) {
+  return (Dims == 3) ? (b.khi - b.klo) : 1;
+}
+
+template <int Dims>
+void cheby_step_impl(Chunk& c, Field<double>& res, Field<double>& dir,
+                     Field<double>& acc, double alpha, double beta,
+                     bool diag_precon, const Bounds& b) {
+  auto& w = c.w();
+  // Row-lagged fusion: the stencil of flattened row ρ reads dir rows up
+  // to ρ+L, so row ρ−L may be updated as soon as w row ρ is in place —
+  // dir values feeding every stencil are pristine, as in the two-pass
+  // form.
+  const int W = b.khi - b.klo;
+  const int nrows = b.rows();
+  const int L = cheby_lag<Dims>(b);
+  const auto row_of = [&](int rho, int* k, int* l) {
+    *l = b.llo + rho / W;
+    *k = b.klo + rho % W;
+  };
+  for (int rho = 0; rho < nrows; ++rho) {
+    int k = 0, l = 0;
+    row_of(rho, &k, &l);
+    for (int j = b.jlo; j < b.jhi; ++j) {
+      w(j, k, l) = apply_stencil<Dims>(c, dir, j, k, l);
+    }
+    if (rho >= L) {
+      row_of(rho - L, &k, &l);
+      cheby_update_row<Dims>(c, res, dir, acc, w, alpha, beta, diag_precon,
+                             b, k, l);
+    }
+  }
+  for (int rho = std::max(0, nrows - L); rho < nrows; ++rho) {
+    int k = 0, l = 0;
+    row_of(rho, &k, &l);
+    cheby_update_row<Dims>(c, res, dir, acc, w, alpha, beta, diag_precon, b,
+                           k, l);
+  }
+}
+
+template <int Dims>
+void cheby_step_tile_impl(Chunk& c, Field<double>& res, Field<double>& dir,
+                          Field<double>& acc, double alpha, double beta,
+                          bool diag_precon, const Bounds& b,
+                          const Bounds& tb) {
+  auto& w = c.w();
+  if constexpr (Dims == 2) {
+    // In-block row-lagged fusion, as in the untiled cheby_step, except
+    // rows tb.klo and tb.khi-1 stay un-updated: a neighbouring block's
+    // stencil reads dir(klo-1..klo) / dir(khi-1..khi), so those rows must
+    // keep their pristine values until every block's stencil sweep is
+    // done (team barrier), after which cheby_step_tile_edges finishes
+    // them.
+    for (int k = tb.klo; k < tb.khi; ++k) {
+      for (int j = b.jlo; j < b.jhi; ++j) {
+        w(j, k) = apply_stencil<2>(c, dir, j, k, 0);
+      }
+      // Lagged update of row k-1 (its w is in place and no later stencil
+      // of this block reads its dir), skipping the deferred edge rows.
+      // At k = khi-1 this covers the block's last in-pass row khi-2, so
+      // no post-loop update is needed.
+      if (k - 1 > tb.klo && k - 1 < tb.khi - 1) {
+        cheby_update_row<2>(c, res, dir, acc, w, alpha, beta, diag_precon,
+                            b, k - 1, 0);
+      }
+    }
+  } else {
+    // 3-D: every row of a plane is read by the adjacent planes' stencils
+    // (which live in other tiles), so no update may run until all tiles'
+    // stencil passes are done — the whole update defers to the edge pass.
+    for_rows(tb, [&](int l, int k) {
+      for (int j = b.jlo; j < b.jhi; ++j) {
+        w(j, k, l) = apply_stencil<3>(c, dir, j, k, l);
+      }
+    });
+  }
+}
+
+template <int Dims>
+void cheby_step_tile_edges_impl(Chunk& c, Field<double>& res,
+                                Field<double>& dir, Field<double>& acc,
+                                double alpha, double beta, bool diag_precon,
+                                const Bounds& b, const Bounds& tb) {
+  auto& w = c.w();
+  if constexpr (Dims == 2) {
+    if (tb.khi <= tb.klo) return;
+    cheby_update_row<2>(c, res, dir, acc, w, alpha, beta, diag_precon, b,
+                        tb.klo, 0);
+    if (tb.khi - 1 > tb.klo) {
+      cheby_update_row<2>(c, res, dir, acc, w, alpha, beta, diag_precon, b,
+                          tb.khi - 1, 0);
+    }
+  } else {
+    for_rows(tb, [&](int l, int k) {
+      cheby_update_row<3>(c, res, dir, acc, w, alpha, beta, diag_precon, b,
+                          k, l);
+    });
+  }
+}
+
+template <int Dims>
+void jacobi_tile_impl(Chunk& c, const Bounds& tb, double* row_sums) {
+  if constexpr (Dims == 2) {
+    // Cache-fused row block: the first/last interior block also saves the
+    // −1/ny halo row its edge stencils read; interior blocks save exactly
+    // their own rows.
+    const int k0 = tb.klo;
+    const int k1 = tb.khi;
+    const int s0 = (k0 == 0) ? -1 : k0;
+    const int s1 = (k1 == c.ny()) ? c.ny() + 1 : k1;
+    for (int k = s0; k < s1; ++k) {
+      jacobi_save_row(c, k, 0);
+      // Lagged update: row k-1's stencil reads saved rows k-2..k (all in
+      // place), and the rows another block reads are deferred to the edge
+      // pass.  Updates write u rows this block's later saves never read.
+      const int lag = k - 1;
+      if (lag >= k0 + 1 && lag <= k1 - 2) {
+        row_sums[lag] = jacobi_update_row<2>(c, lag, 0);
+      }
+    }
+  } else {
+    // 3-D save phase: each tile saves its own rows plus the halo rows and
+    // planes its boundary position uniquely owns, so the union over all
+    // tiles is exactly the halo-extended save set of jacobi_iterate that
+    // the update stencils read.  Updates defer entirely (adjacent planes'
+    // stencils — other tiles — read every saved row).
+    (void)row_sums;
+    for (int l = tb.llo; l < tb.lhi; ++l) {
+      const int s0 = (tb.klo == 0) ? -1 : tb.klo;
+      const int s1 = (tb.khi == c.ny()) ? c.ny() + 1 : tb.khi;
+      for (int k = s0; k < s1; ++k) jacobi_save_row(c, k, l);
+      if (l == 0) {
+        for (int k = tb.klo; k < tb.khi; ++k) jacobi_save_row(c, k, -1);
+      }
+      if (l == c.nz() - 1) {
+        for (int k = tb.klo; k < tb.khi; ++k) jacobi_save_row(c, k, c.nz());
+      }
+    }
+  }
+}
+
+template <int Dims>
+void jacobi_tile_edges_impl(Chunk& c, const Bounds& tb, double* row_sums) {
+  if constexpr (Dims == 2) {
+    if (tb.khi <= tb.klo) return;
+    row_sums[tb.klo] = jacobi_update_row<2>(c, tb.klo, 0);
+    if (tb.khi - 1 > tb.klo) {
+      row_sums[tb.khi - 1] = jacobi_update_row<2>(c, tb.khi - 1, 0);
+    }
+  } else {
+    for_rows(tb, [&](int l, int k) {
+      row_sums[l * c.ny() + k] = jacobi_update_row<3>(c, k, l);
+    });
+  }
+}
+
+template <int Dims>
+void init_conduction_impl(Chunk& c, Coefficient coef, double rx, double ry,
+                          double rz) {
+  auto& kx = c.kx();
+  auto& ky = c.ky();
+  const auto& density = c.density();
+  const int h = c.halo_depth();
+  kx.fill(0.0);
+  ky.fill(0.0);
+
+  const auto face_coeff = [&](int ja, int ka, int la, int jb, int kb,
+                              int lb) {
+    const double da = density(ja, ka, la);
+    const double db = density(jb, kb, lb);
+    const double ca = (coef == Coefficient::kConductivity) ? da : 1.0 / da;
+    const double cb = (coef == Coefficient::kConductivity) ? db : 1.0 / db;
+    // Upstream tea_leaf_common_init: (Ka+Kb)/(2·Ka·Kb) — the reciprocal
+    // of the harmonic mean, keeping flux continuous across the face.
+    return (ca + cb) / (2.0 * ca * cb);
+  };
+
+  // Planes covered by the x/y face builds: the full z halo where a z
+  // neighbour exists (extended sweeps read Kx/Ky through the overlap),
+  // the interior slab otherwise.  2-D chunks have the single degenerate
+  // plane.
+  const int llo =
+      (Dims == 3) ? (c.at_boundary(Face::kBack) ? 0 : -h) : 0;
+  const int lhi =
+      (Dims == 3) ? (c.at_boundary(Face::kFront) ? c.nz() : c.nz() + h) : 1;
+
+  // Face index j couples cells (j-1,k,l) and (j,k,l).  Faces on the
+  // physical boundary are skipped and stay zero (Neumann condition);
+  // faces between chunks use the density halo, which the driver exchanges
+  // to full depth beforehand.
+  const int jlo_x = c.at_boundary(Face::kLeft) ? 1 : -h + 1;
+  const int jhi_x = c.at_boundary(Face::kRight) ? c.nx() : c.nx() + h;
+  const int klo_x = c.at_boundary(Face::kBottom) ? 0 : -h;
+  const int khi_x = c.at_boundary(Face::kTop) ? c.ny() : c.ny() + h;
+  for (int l = llo; l < lhi; ++l)
+    for (int k = klo_x; k < khi_x; ++k)
+      for (int j = jlo_x; j < jhi_x; ++j)
+        kx(j, k, l) = rx * face_coeff(j - 1, k, l, j, k, l);
+
+  const int jlo_y = c.at_boundary(Face::kLeft) ? 0 : -h;
+  const int jhi_y = c.at_boundary(Face::kRight) ? c.nx() : c.nx() + h;
+  const int klo_y = c.at_boundary(Face::kBottom) ? 1 : -h + 1;
+  const int khi_y = c.at_boundary(Face::kTop) ? c.ny() : c.ny() + h;
+  for (int l = llo; l < lhi; ++l)
+    for (int k = klo_y; k < khi_y; ++k)
+      for (int j = jlo_y; j < jhi_y; ++j)
+        ky(j, k, l) = ry * face_coeff(j, k - 1, l, j, k, l);
+
+  if constexpr (Dims == 3) {
+    auto& kz = c.kz();
+    kz.fill(0.0);
+    // Face index l couples cells (j,k,l-1) and (j,k,l).
+    const int llo_z = c.at_boundary(Face::kBack) ? 1 : -h + 1;
+    const int lhi_z = c.at_boundary(Face::kFront) ? c.nz() : c.nz() + h;
+    for (int l = llo_z; l < lhi_z; ++l)
+      for (int k = klo_x; k < khi_x; ++k)
+        for (int j = jlo_y; j < jhi_y; ++j)
+          kz(j, k, l) = rz * face_coeff(j, k, l - 1, j, k, l);
+  } else {
+    (void)rz;
+  }
+}
+
+}  // namespace
+
+double diag_at(const Chunk& c, int j, int k, int l) {
+  return c.dims() == 3 ? diag_core<3>(c, j, k, l)
+                       : diag_core<2>(c, j, k, 0);
+}
+
+void init_u_u0(Chunk& c) {
+  auto& u = c.u();
+  auto& u0 = c.u0();
+  const auto& density = c.density();
+  const auto& energy = c.energy();
+  const int h = c.halo_depth();
+  const int hz = (c.dims() == 3) ? h : 0;
+  // Fill the halo-extended region too: the first operator application
+  // (residual bootstrap) happens before any halo exchange of u in the
+  // driver, and extended sweeps may read u in the overlap.
+  for (int l = -hz; l < c.nz() + hz; ++l) {
+    for (int k = -h; k < c.ny() + h; ++k) {
+      for (int j = -h; j < c.nx() + h; ++j) {
+        const double t = energy(j, k, l) * density(j, k, l);
+        u(j, k, l) = t;
+        u0(j, k, l) = t;
+      }
+    }
+  }
+  for (const FieldId f : {FieldId::kP, FieldId::kR, FieldId::kW, FieldId::kZ,
+                          FieldId::kSd, FieldId::kRtemp}) {
+    c.field(f).fill(0.0);
+  }
+}
+
+void init_conduction(Chunk& c, Coefficient coef, double rx, double ry,
+                     double rz) {
+  if (c.dims() == 3) {
+    init_conduction_impl<3>(c, coef, rx, ry, rz);
+  } else {
+    init_conduction_impl<2>(c, coef, rx, ry, rz);
+  }
+}
+
+void smvp(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  dims_dispatch(c, [&](auto dims) {
+    for_rows(b, [&](int l, int k) {
+      for (int j = b.jlo; j < b.jhi; ++j)
+        dst(j, k, l) =
+            apply_stencil<decltype(dims)::value>(c, src, j, k, l);
+    });
+  });
+}
+
+double smvp_dot(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  return c.dims() == 3 ? smvp_dot_impl<3>(c, src, dst, b)
+                       : smvp_dot_impl<2>(c, src, dst, b);
+}
+
+void copy(Chunk& c, FieldId dst_id, FieldId src_id, const Bounds& b) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  for_rows(b, [&](int l, int k) {
+    for (int j = b.jlo; j < b.jhi; ++j) dst(j, k, l) = src(j, k, l);
+  });
+}
+
+void fill(Chunk& c, FieldId f, double value, const Bounds& b) {
+  auto& dst = c.field(f);
+  for_rows(b, [&](int l, int k) {
+    for (int j = b.jlo; j < b.jhi; ++j) dst(j, k, l) = value;
+  });
+}
+
+void axpy(Chunk& c, FieldId y_id, double a, FieldId x_id, const Bounds& b) {
+  auto& y = c.field(y_id);
+  const auto& x = c.field(x_id);
+  for_rows(b, [&](int l, int k) {
+    for (int j = b.jlo; j < b.jhi; ++j) y(j, k, l) += a * x(j, k, l);
+  });
+}
+
+void xpby(Chunk& c, FieldId y_id, FieldId x_id, double bcoef,
+          const Bounds& b) {
+  auto& y = c.field(y_id);
+  const auto& x = c.field(x_id);
+  for_rows(b, [&](int l, int k) {
+    for (int j = b.jlo; j < b.jhi; ++j)
+      y(j, k, l) = x(j, k, l) + bcoef * y(j, k, l);
+  });
+}
+
+void axpby(Chunk& c, FieldId y_id, double a, double b, FieldId x_id,
+           const Bounds& bnd) {
+  auto& y = c.field(y_id);
+  const auto& x = c.field(x_id);
+  for_rows(bnd, [&](int l, int k) {
+    for (int j = bnd.jlo; j < bnd.jhi; ++j)
+      y(j, k, l) = a * y(j, k, l) + b * x(j, k, l);
+  });
+}
+
+double dot(const Chunk& c, FieldId a_id, FieldId b_id) {
+  const auto& a = c.field(a_id);
+  const auto& b = c.field(b_id);
+  double acc = 0.0;
+  for_rows(interior_bounds(c),
+           [&](int l, int k) { acc += dot_row(a, b, c.nx(), k, l); });
+  return acc;
+}
+
+double norm2_sq(const Chunk& c, FieldId f_id) { return dot(c, f_id, f_id); }
+
+double calc_residual(Chunk& c) {
+  return c.dims() == 3 ? calc_residual_impl<3>(c) : calc_residual_impl<2>(c);
+}
+
+void cg_calc_ur(Chunk& c, double alpha) {
+  for_rows(interior_bounds(c),
+           [&](int l, int k) { cg_calc_ur_row(c, alpha, k, l); });
+}
+
+double jacobi_iterate(Chunk& c) {
+  return c.dims() == 3 ? jacobi_iterate_impl<3>(c) : jacobi_iterate_impl<2>(c);
+}
+
+void cheby_init_dir(Chunk& c, FieldId res_id, FieldId dir_id, double theta,
+                    bool diag_precon, const Bounds& b) {
+  const auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  if (c.dims() == 3) {
+    cheby_init_dir_impl<3>(c, res, dir, theta, diag_precon, b);
+  } else {
+    cheby_init_dir_impl<2>(c, res, dir, theta, diag_precon, b);
+  }
+}
+
+void cheby_fused_update(Chunk& c, FieldId res_id, FieldId dir_id,
+                        FieldId acc_id, double alpha, double beta,
+                        bool diag_precon, const Bounds& b) {
+  auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  auto& acc = c.field(acc_id);
+  if (c.dims() == 3) {
+    cheby_fused_update_impl<3>(c, res, dir, acc, alpha, beta, diag_precon, b);
+  } else {
+    cheby_fused_update_impl<2>(c, res, dir, acc, alpha, beta, diag_precon, b);
+  }
+}
+
+double calc_ur_dot(Chunk& c, double alpha, PreconType precon) {
+  switch (precon) {
+    case PreconType::kNone:
+    case PreconType::kJacobiDiag: {
+      const bool diag = (precon == PreconType::kJacobiDiag);
+      double acc = 0.0;
+      dims_dispatch(c, [&](auto dims) {
+        for_rows(interior_bounds(c), [&](int l, int k) {
+          acc += calc_ur_dot_row<decltype(dims)::value>(c, alpha, diag, k,
+                                                        l);
+        });
+      });
+      return acc;
+    }
+    case PreconType::kJacobiBlock: {
+      // The strip solve couples cells along k; the u/r update still fuses
+      // and the ⟨r,z⟩ accumulation folds into one pass after the solve.
+      cg_calc_ur(c, alpha);
+      block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+      return dot(c, FieldId::kR, FieldId::kZ);
+    }
+  }
+  TEA_ASSERT(false, "invalid preconditioner type");
+}
+
+void cheby_step(Chunk& c, FieldId res_id, FieldId dir_id, FieldId acc_id,
+                double alpha, double beta, bool diag_precon,
+                const Bounds& b) {
+  auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  auto& acc = c.field(acc_id);
+  if (c.dims() == 3) {
+    cheby_step_impl<3>(c, res, dir, acc, alpha, beta, diag_precon, b);
+  } else {
+    cheby_step_impl<2>(c, res, dir, acc, alpha, beta, diag_precon, b);
+  }
+}
+
+void cg_chrono_update(Chunk& c, double alpha, double beta,
+                      PreconType precon) {
+  const bool diag = (precon == PreconType::kJacobiDiag);
+  const bool local = (precon != PreconType::kJacobiBlock);
+  dims_dispatch(c, [&](auto dims) {
+    for_rows(interior_bounds(c), [&](int l, int k) {
+      cg_chrono_update_row<decltype(dims)::value>(c, alpha, beta, diag,
+                                                  local, k, l);
+    });
+  });
+  if (!local) block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+}
+
+std::pair<double, double> smvp_dot2(Chunk& c, FieldId src_id, FieldId dst_id,
+                                    FieldId other_id, const Bounds& b) {
+  const auto& src = c.field(src_id);
+  const auto& other = c.field(other_id);
+  auto& dst = c.field(dst_id);
+  const Bounds in = interior_bounds(c);
+  double dot_other = 0.0;
+  double dot_dst = 0.0;
+  dims_dispatch(c, [&](auto dims) {
+    for_rows(b, [&](int l, int k) {
+      double pair[2];
+      smvp_dot2_row<decltype(dims)::value>(c, src, dst, other, b, in, k, l,
+                                           pair);
+      dot_other += pair[0];
+      dot_dst += pair[1];
+    });
+  });
+  return {dot_other, dot_dst};
+}
+
+// ---- row-blocked (tiled) variants ---------------------------------------
+
+void dot_rows(const Chunk& c, FieldId a_id, FieldId b_id, const Bounds& tb,
+              double* row_sums) {
+  const auto& a = c.field(a_id);
+  const auto& b = c.field(b_id);
+  for_rows(tb, [&](int l, int k) {
+    row_sums[l * c.ny() + k] = dot_row(a, b, c.nx(), k, l);
+  });
+}
+
+void smvp_dot_rows(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b,
+                   const Bounds& tb, double* row_sums) {
+  const auto& src = c.field(src_id);
+  auto& dst = c.field(dst_id);
+  const Bounds in = interior_bounds(c);
+  dims_dispatch(c, [&](auto dims) {
+    for_rows(tb, [&](int l, int k) {
+      const double s =
+          smvp_dot_row<decltype(dims)::value>(c, src, dst, b, in, k, l);
+      if (in.contains(0, k, l)) row_sums[l * c.ny() + k] = s;
+    });
+  });
+}
+
+void smvp_dot2_rows(Chunk& c, FieldId src_id, FieldId dst_id,
+                    FieldId other_id, const Bounds& b, const Bounds& tb,
+                    double* row_sums) {
+  const auto& src = c.field(src_id);
+  const auto& other = c.field(other_id);
+  auto& dst = c.field(dst_id);
+  const Bounds in = interior_bounds(c);
+  dims_dispatch(c, [&](auto dims) {
+    for_rows(tb, [&](int l, int k) {
+      double pair[2];
+      smvp_dot2_row<decltype(dims)::value>(c, src, dst, other, b, in, k, l,
+                                           pair);
+      if (in.contains(0, k, l)) {
+        row_sums[2 * (l * c.ny() + k)] = pair[0];
+        row_sums[2 * (l * c.ny() + k) + 1] = pair[1];
+      }
+    });
+  });
+}
+
+void cg_calc_ur_rows(Chunk& c, double alpha, const Bounds& tb) {
+  for_rows(tb, [&](int l, int k) { cg_calc_ur_row(c, alpha, k, l); });
+}
+
+void calc_ur_dot_rows(Chunk& c, double alpha, PreconType precon,
+                      const Bounds& tb, double* row_sums) {
+  TEA_ASSERT(precon != PreconType::kJacobiBlock,
+             "block-Jacobi strips do not row-tile; compose via "
+             "cg_calc_ur_rows + block_jacobi_solve + dot_rows");
+  const bool diag = (precon == PreconType::kJacobiDiag);
+  dims_dispatch(c, [&](auto dims) {
+    for_rows(tb, [&](int l, int k) {
+      row_sums[l * c.ny() + k] =
+          calc_ur_dot_row<decltype(dims)::value>(c, alpha, diag, k, l);
+    });
+  });
+}
+
+void cg_chrono_update_rows(Chunk& c, double alpha, double beta,
+                           PreconType precon, const Bounds& tb) {
+  const bool diag = (precon == PreconType::kJacobiDiag);
+  const bool local = (precon != PreconType::kJacobiBlock);
+  dims_dispatch(c, [&](auto dims) {
+    for_rows(tb, [&](int l, int k) {
+      cg_chrono_update_row<decltype(dims)::value>(c, alpha, beta, diag,
+                                                  local, k, l);
+    });
+  });
+}
+
+void cheby_step_tile(Chunk& c, FieldId res_id, FieldId dir_id,
+                     FieldId acc_id, double alpha, double beta,
+                     bool diag_precon, const Bounds& b, const Bounds& tb) {
+  auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  auto& acc = c.field(acc_id);
+  if (c.dims() == 3) {
+    cheby_step_tile_impl<3>(c, res, dir, acc, alpha, beta, diag_precon, b,
+                            tb);
+  } else {
+    cheby_step_tile_impl<2>(c, res, dir, acc, alpha, beta, diag_precon, b,
+                            tb);
+  }
+}
+
+void cheby_step_tile_edges(Chunk& c, FieldId res_id, FieldId dir_id,
+                           FieldId acc_id, double alpha, double beta,
+                           bool diag_precon, const Bounds& b,
+                           const Bounds& tb) {
+  auto& res = c.field(res_id);
+  auto& dir = c.field(dir_id);
+  auto& acc = c.field(acc_id);
+  if (c.dims() == 3) {
+    cheby_step_tile_edges_impl<3>(c, res, dir, acc, alpha, beta, diag_precon,
+                                  b, tb);
+  } else {
+    cheby_step_tile_edges_impl<2>(c, res, dir, acc, alpha, beta, diag_precon,
+                                  b, tb);
+  }
+}
+
+void jacobi_save_rows(Chunk& c, const Bounds& tb) {
+  for_rows(tb, [&](int l, int k) { jacobi_save_row(c, k, l); });
+}
+
+void jacobi_update_rows(Chunk& c, const Bounds& tb, double* row_sums) {
+  dims_dispatch(c, [&](auto dims) {
+    for_rows(tb, [&](int l, int k) {
+      row_sums[l * c.ny() + k] =
+          jacobi_update_row<decltype(dims)::value>(c, k, l);
+    });
+  });
+}
+
+void jacobi_tile(Chunk& c, const Bounds& tb, double* row_sums) {
+  if (c.dims() == 3) {
+    jacobi_tile_impl<3>(c, tb, row_sums);
+  } else {
+    jacobi_tile_impl<2>(c, tb, row_sums);
+  }
+}
+
+void jacobi_tile_edges(Chunk& c, const Bounds& tb, double* row_sums) {
+  if (c.dims() == 3) {
+    jacobi_tile_edges_impl<3>(c, tb, row_sums);
+  } else {
+    jacobi_tile_edges_impl<2>(c, tb, row_sums);
+  }
+}
+
+}  // namespace tealeaf::kernels

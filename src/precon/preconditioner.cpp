@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "util/error.hpp"
 
 namespace tealeaf {
@@ -18,66 +18,73 @@ const char* to_string(PreconType t) {
 
 namespace kernels {
 
-void block_jacobi_init(Chunk2D& c) {
+/// The strips run along k within one (j, l) column, so the 3-D blocks are
+/// the per-plane instances of the 2-D ones and never couple planes (or
+/// chunks) — the preconditioner still needs no communication.
+void block_jacobi_init(Chunk& c) {
   auto& cp = c.cp();
   auto& bfp = c.bfp();
   const auto& ky = c.ky();
-  // Per column j, factorise each 4-cell tridiagonal block:
-  //   sub(k)  = -Ky(j,k)     (coupling to the cell below, within-strip only)
+  // Per column (j, l), factorise each 4-cell tridiagonal block:
+  //   sub(k)  = -Ky(j,k,l)   (coupling to the cell below, within-strip only)
   //   diag(k) = 1 + ΣK faces (full operator diagonal)
-  //   sup(k)  = -Ky(j,k+1)
+  //   sup(k)  = -Ky(j,k+1,l)
   // bfp(k) stores the inverted pivot 1/(diag - sub·cp(k-1)); cp(k) stores
   // sup·bfp(k).  Strip truncation at the chunk top falls out naturally.
-  for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
-    const int k1 = std::min(k0 + kJacBlockSize, c.ny());
-    for (int j = 0; j < c.nx(); ++j) {
-      double prev_cp = 0.0;
-      for (int k = k0; k < k1; ++k) {
-        const double sub = (k == k0) ? 0.0 : -ky(j, k);
-        const double sup = (k == k1 - 1) ? 0.0 : -ky(j, k + 1);
-        const double pivot = diag_at(c, j, k) - sub * prev_cp;
-        bfp(j, k) = 1.0 / pivot;
-        cp(j, k) = sup * bfp(j, k);
-        prev_cp = cp(j, k);
+  for (int l = 0; l < c.nz(); ++l) {
+    for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
+      const int k1 = std::min(k0 + kJacBlockSize, c.ny());
+      for (int j = 0; j < c.nx(); ++j) {
+        double prev_cp = 0.0;
+        for (int k = k0; k < k1; ++k) {
+          const double sub = (k == k0) ? 0.0 : -ky(j, k, l);
+          const double sup = (k == k1 - 1) ? 0.0 : -ky(j, k + 1, l);
+          const double pivot = diag_at(c, j, k, l) - sub * prev_cp;
+          bfp(j, k, l) = 1.0 / pivot;
+          cp(j, k, l) = sup * bfp(j, k, l);
+          prev_cp = cp(j, k, l);
+        }
       }
     }
   }
 }
 
-void block_jacobi_solve(Chunk2D& c, FieldId src_id, FieldId dst_id) {
+void block_jacobi_solve(Chunk& c, FieldId src_id, FieldId dst_id) {
   const auto& src = c.field(src_id);
   auto& dst = c.field(dst_id);
   const auto& cp = c.cp();
   const auto& bfp = c.bfp();
   const auto& ky = c.ky();
-  for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
-    const int k1 = std::min(k0 + kJacBlockSize, c.ny());
-    for (int j = 0; j < c.nx(); ++j) {
-      // Thomas forward sweep: y_k = (b_k − sub_k·y_{k−1})·bfp_k.
-      double prev = 0.0;
-      for (int k = k0; k < k1; ++k) {
-        const double sub = (k == k0) ? 0.0 : -ky(j, k);
-        prev = (src(j, k) - sub * prev) * bfp(j, k);
-        dst(j, k) = prev;
-      }
-      // Back substitution: x_k = y_k − cp_k·x_{k+1}.
-      for (int k = k1 - 2; k >= k0; --k) {
-        dst(j, k) -= cp(j, k) * dst(j, k + 1);
+  for (int l = 0; l < c.nz(); ++l) {
+    for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
+      const int k1 = std::min(k0 + kJacBlockSize, c.ny());
+      for (int j = 0; j < c.nx(); ++j) {
+        // Thomas forward sweep: y_k = (b_k − sub_k·y_{k−1})·bfp_k.
+        double prev = 0.0;
+        for (int k = k0; k < k1; ++k) {
+          const double sub = (k == k0) ? 0.0 : -ky(j, k, l);
+          prev = (src(j, k, l) - sub * prev) * bfp(j, k, l);
+          dst(j, k, l) = prev;
+        }
+        // Back substitution: x_k = y_k − cp_k·x_{k+1}.
+        for (int k = k1 - 2; k >= k0; --k) {
+          dst(j, k, l) -= cp(j, k, l) * dst(j, k + 1, l);
+        }
       }
     }
   }
 }
 
-void diag_solve(Chunk2D& c, FieldId src_id, FieldId dst_id,
-                const Bounds& b) {
+void diag_solve(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
   const auto& src = c.field(src_id);
   auto& dst = c.field(dst_id);
-  for (int k = b.klo; k < b.khi; ++k)
-    for (int j = b.jlo; j < b.jhi; ++j)
-      dst(j, k) = src(j, k) / diag_at(c, j, k);
+  for (int l = b.llo; l < b.lhi; ++l)
+    for (int k = b.klo; k < b.khi; ++k)
+      for (int j = b.jlo; j < b.jhi; ++j)
+        dst(j, k, l) = src(j, k, l) / diag_at(c, j, k, l);
 }
 
-void apply_preconditioner(Chunk2D& c, PreconType type, FieldId src,
+void apply_preconditioner(Chunk& c, PreconType type, FieldId src,
                           FieldId dst) {
   switch (type) {
     case PreconType::kNone:

@@ -10,7 +10,8 @@ namespace tealeaf {
 enum class PreconType : int {
   kNone = 0,         ///< identity (plain CG)
   kJacobiDiag = 1,   ///< point-Jacobi: M = diag(A)
-  kJacobiBlock = 2,  ///< block-Jacobi: 4×1 strips, tridiagonal blocks
+  kJacobiBlock = 2,  ///< block-Jacobi: 4×1 strips (per (j,l) column in
+                     ///< 3-D), tridiagonal blocks
                      ///< solved by the Thomas algorithm (paper §IV-C1)
 };
 
@@ -27,18 +28,18 @@ namespace kernels {
 /// block-Jacobi preconditioner from the current Kx/Ky.  Must be re-run
 /// whenever the conduction coefficients change (once per timestep).
 /// Upstream: tea_block_init.
-void block_jacobi_init(Chunk2D& c);
+void block_jacobi_init(Chunk& c);
 
 /// dst = M⁻¹·src over the chunk interior, where M is the block-tridiagonal
 /// approximation of A over 4×1 vertical strips.  Upstream: tea_block_solve.
-void block_jacobi_solve(Chunk2D& c, FieldId src, FieldId dst);
+void block_jacobi_solve(Chunk& c, FieldId src, FieldId dst);
 
 /// dst = diag(A)⁻¹·src over `bounds`.
-void diag_solve(Chunk2D& c, FieldId src, FieldId dst, const Bounds& bounds);
+void diag_solve(Chunk& c, FieldId src, FieldId dst, const Bounds& bounds);
 
 /// Dispatch: dst = M⁻¹·src over the chunk interior for any PreconType
 /// (kNone copies).  Block-Jacobi requires interior bounds by construction.
-void apply_preconditioner(Chunk2D& c, PreconType type, FieldId src,
+void apply_preconditioner(Chunk& c, PreconType type, FieldId src,
                           FieldId dst);
 
 }  // namespace kernels

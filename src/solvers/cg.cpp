@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "precon/preconditioner.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
@@ -195,9 +195,9 @@ SolveStats CGSolver::solve_chrono_fused_kernels(SimCluster2D& cl,
   const auto smvp_dot2_pair = [&](const Team* t) {
     if (tile > 0) {
       return cl.sum2_rows_over_chunks(
-          t, tile, [](int, Chunk2D& c, int k0, int k1) {
+          t, tile, [](int, Chunk2D& c, const Bounds& tb) {
             kernels::smvp_dot2_rows(c, FieldId::kZ, FieldId::kW, FieldId::kR,
-                                    interior_bounds(c), k0, k1,
+                                    interior_bounds(c), tb,
                                     c.row_scratch());
           });
     }
@@ -250,8 +250,8 @@ SolveStats CGSolver::solve_chrono_fused_kernels(SimCluster2D& cl,
       if (tile > 0) {
         cl.for_each_tile(&t, tile, interior,
                          [&](int, Chunk2D& c, const Bounds& tb) {
-                           kernels::cg_chrono_update_rows(
-                               c, alpha, beta, cfg.precon, tb.klo, tb.khi);
+                           kernels::cg_chrono_update_rows(c, alpha, beta,
+                                                          cfg.precon, tb);
                          });
         if (block) {
           // The strip solve reads every r row of its rank: order it
@@ -328,9 +328,9 @@ SolveStats CGSolver::solve_classic_fused_kernels(SimCluster2D& cl,
           tile > 0
               ? cl.sum_rows_over_chunks(
                     &t, tile,
-                    [](int, Chunk2D& c, int k0, int k1) {
+                    [](int, Chunk2D& c, const Bounds& tb) {
                       kernels::smvp_dot_rows(c, FieldId::kP, FieldId::kW,
-                                             interior_bounds(c), k0, k1,
+                                             interior_bounds(c), tb,
                                              c.row_scratch());
                     })
               : cl.sum_over_chunks(&t, [](int, Chunk2D& c) {
@@ -348,22 +348,21 @@ SolveStats CGSolver::solve_classic_fused_kernels(SimCluster2D& cl,
         // run the solve per rank, then the row-tiled ⟨r,z⟩.
         cl.for_each_tile(&t, tile, interior,
                          [&](int, Chunk2D& c, const Bounds& tb) {
-                           kernels::cg_calc_ur_rows(c, alpha, tb.klo,
-                                                    tb.khi);
+                           kernels::cg_calc_ur_rows(c, alpha, tb);
                          });
         t.barrier();
         cl.for_each_chunk(&t, [](int, Chunk2D& c) {
           kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
         });
         rrn_t = cl.sum_rows_over_chunks(
-            &t, tile, [](int, Chunk2D& c, int k0, int k1) {
-              kernels::dot_rows(c, FieldId::kR, FieldId::kZ, k0, k1,
+            &t, tile, [](int, Chunk2D& c, const Bounds& tb) {
+              kernels::dot_rows(c, FieldId::kR, FieldId::kZ, tb,
                                 c.row_scratch());
             });
       } else if (tile > 0) {
         rrn_t = cl.sum_rows_over_chunks(
-            &t, tile, [&](int, Chunk2D& c, int k0, int k1) {
-              kernels::calc_ur_dot_rows(c, alpha, cfg.precon, k0, k1,
+            &t, tile, [&](int, Chunk2D& c, const Bounds& tb) {
+              kernels::calc_ur_dot_rows(c, alpha, cfg.precon, tb,
                                         c.row_scratch());
             });
       } else {

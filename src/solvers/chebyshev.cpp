@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "precon/preconditioner.hpp"
 #include "solvers/cg.hpp"
 #include "solvers/cheby_coef.hpp"
@@ -76,14 +76,14 @@ void cheby_iteration_fused(SimCluster2D& cl, PreconType precon, double alpha,
                        [&](int, Chunk2D& c, const Bounds& tb) {
                          kernels::cheby_step_tile(
                              c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
-                             beta, diag, interior_bounds(c), tb.klo, tb.khi);
+                             beta, diag, interior_bounds(c), tb);
                        });
       t.barrier();  // edge rows must see every block's stencil pass done
       cl.for_each_tile(&t, tile, interior,
                        [&](int, Chunk2D& c, const Bounds& tb) {
                          kernels::cheby_step_tile_edges(
                              c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
-                             beta, diag, interior_bounds(c), tb.klo, tb.khi);
+                             beta, diag, interior_bounds(c), tb);
                        });
     } else {
       cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
@@ -104,9 +104,9 @@ void cheby_iteration_fused(SimCluster2D& cl, PreconType precon, double alpha,
       const double rr =
           tile > 0 ? cl.sum_rows_over_chunks(
                          &t, tile,
-                         [](int, Chunk2D& c, int k0, int k1) {
-                           kernels::dot_rows(c, FieldId::kR, FieldId::kR, k0,
-                                             k1, c.row_scratch());
+                         [](int, Chunk2D& c, const Bounds& tb) {
+                           kernels::dot_rows(c, FieldId::kR, FieldId::kR, tb,
+                                             c.row_scratch());
                          })
                    : cl.sum_over_chunks(&t, [](int, const Chunk2D& c) {
                        return kernels::norm2_sq(c, FieldId::kR);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "util/timer.hpp"
 
 namespace tealeaf {
@@ -28,22 +28,20 @@ SolveStats solve_fused(SimCluster2D& cl, const SolverConfig& cfg) {
   SolveStats st;
   const int tile = cfg.tile_rows;
 
-  // Cache-fused row-blocked sweep: each block saves its rows with the
-  // update lagged one row behind (jacobi_tile), a barrier, then the
-  // deferred block-edge rows.  Both passes — which MUST share one tile
-  // decomposition, since the edge pass finishes exactly the rows the
-  // first deferred — deposit per-row error partials into the chunk's row
-  // scratch, and combine_row_partials reduces them.
+  // Tiled two-phase sweep: each block runs jacobi_tile (2-D: cache-fused
+  // save with the update row-lagged one row behind; 3-D: save-only, since
+  // adjacent planes' stencils — other tiles — read every saved row), a
+  // barrier, then jacobi_tile_edges finishes the deferred rows.  Both
+  // passes — which MUST share one tile decomposition, since the edge pass
+  // finishes exactly the rows the first deferred — deposit per-row error
+  // partials into the chunk's row scratch, and combine_row_partials
+  // reduces them.
   const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
   const auto tile_body = [](int, Chunk2D& c, const Bounds& tb) {
-    kernels::jacobi_tile(c, tb.klo, tb.khi, c.row_scratch());
+    kernels::jacobi_tile(c, tb, c.row_scratch());
   };
   const auto edge_body = [](int, Chunk2D& c, const Bounds& tb) {
-    kernels::jacobi_update_rows(c, tb.klo, std::min(tb.klo + 1, tb.khi),
-                                c.row_scratch());
-    if (tb.khi - 1 > tb.klo) {
-      kernels::jacobi_update_rows(c, tb.khi - 1, tb.khi, c.row_scratch());
-    }
+    kernels::jacobi_tile_edges(c, tb, c.row_scratch());
   };
 
   double initial_err = 0.0;

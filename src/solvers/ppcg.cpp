@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "precon/preconditioner.hpp"
 #include "solvers/cg.hpp"
 #include "util/error.hpp"
@@ -111,16 +111,14 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
                        [&](int, Chunk2D& c, const Bounds& tb) {
                          kernels::cheby_step_tile(
                              c, FieldId::kRtemp, FieldId::kSd, FieldId::kZ,
-                             alpha, beta, diag, extended_bounds(c, ext),
-                             tb.klo, tb.khi);
+                             alpha, beta, diag, extended_bounds(c, ext), tb);
                        });
       team->barrier();  // edge rows wait for every block's stencil pass
       cl.for_each_tile(team, tile, step_bounds,
                        [&](int, Chunk2D& c, const Bounds& tb) {
                          kernels::cheby_step_tile_edges(
                              c, FieldId::kRtemp, FieldId::kSd, FieldId::kZ,
-                             alpha, beta, diag, extended_bounds(c, ext),
-                             tb.klo, tb.khi);
+                             alpha, beta, diag, extended_bounds(c, ext), tb);
                        });
     } else {
       cl.for_each_chunk(team, [&](int, Chunk2D& c) {
@@ -217,8 +215,8 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
   const auto dot_rz = [&](const Team* t) {
     if (t != nullptr && tile > 0) {
       return cl.sum_rows_over_chunks(
-          t, tile, [](int, Chunk2D& c, int k0, int k1) {
-            kernels::dot_rows(c, FieldId::kR, FieldId::kZ, k0, k1,
+          t, tile, [](int, Chunk2D& c, const Bounds& tb) {
+            kernels::dot_rows(c, FieldId::kR, FieldId::kZ, tb,
                               c.row_scratch());
           });
     }
@@ -272,9 +270,9 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
           (t != nullptr && tile > 0)
               ? cl.sum_rows_over_chunks(
                     t, tile,
-                    [](int, Chunk2D& c, int k0, int k1) {
+                    [](int, Chunk2D& c, const Bounds& tb) {
                       kernels::smvp_dot_rows(c, FieldId::kP, FieldId::kW,
-                                             interior_bounds(c), k0, k1,
+                                             interior_bounds(c), tb,
                                              c.row_scratch());
                     })
               : cl.sum_over_chunks(t, [](int, Chunk2D& c) {
@@ -288,8 +286,7 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
       if (t != nullptr && tile > 0) {
         cl.for_each_tile(t, tile, interior,
                          [&](int, Chunk2D& c, const Bounds& tb) {
-                           kernels::cg_calc_ur_rows(c, alpha, tb.klo,
-                                                    tb.khi);
+                           kernels::cg_calc_ur_rows(c, alpha, tb);
                          });
         // apply_inner's first pass copies r: order it against the
         // row-blocked update (the 1-D fused path keeps the same

@@ -31,8 +31,9 @@ PreconType precon_type_from_string(const std::string& s) {
 
 std::size_t SweepSpec::num_cases() const {
   const std::size_t meshes = mesh_sizes.empty() ? 1 : mesh_sizes.size();
+  const std::size_t geoms = geometries.empty() ? 1 : geometries.size();
   return solvers.size() * precons.size() * halo_depths.size() * meshes *
-         thread_counts.size() * fused.size() * tile_rows.size();
+         thread_counts.size() * fused.size() * tile_rows.size() * geoms;
 }
 
 void SweepSpec::validate() const {
@@ -58,6 +59,9 @@ void SweepSpec::validate() const {
   TEA_REQUIRE(!tile_rows.empty(), "sweep: tile-rows axis must be non-empty");
   for (const int t : tile_rows) {
     TEA_REQUIRE(t >= 0, "sweep: tile-rows values must be >= 0 (0 = untiled)");
+  }
+  for (const int d : geometries) {
+    TEA_REQUIRE(d == 2 || d == 3, "sweep: geometry values must be 2d or 3d");
   }
   TEA_REQUIRE(ranks >= 1, "sweep: need at least one simulated rank");
 }

@@ -103,6 +103,13 @@ struct SweepSpec {
   /// cells — tiling is a layer of the fused engine — so tiled×unfused
   /// cells are enumerated but skipped.
   std::vector<int> tile_rows = {0};
+  /// Geometry axis (`sweep_geometry = 2d,3d`): the eighth design-space
+  /// dimension.  A 3-D cell runs the 7-point operator on a mesh_n³ brick
+  /// through the same unified core (labels carry a trailing "/3d", the
+  /// CSV/JSON tables a `geometry` column).  Empty = inherit the base
+  /// deck's geometry, like the mesh-size axis.  mg-pcg × 3d cells are
+  /// enumerated but skipped — the multigrid hierarchy is 2-D only.
+  std::vector<int> geometries;
   int ranks = 4;                         ///< simulated ranks per run
 
   [[nodiscard]] bool requested() const { return !solvers.empty(); }

@@ -5,7 +5,7 @@
 #include "amg/mg_pcg.hpp"
 #include "amg/multigrid.hpp"
 #include "comm/sim_comm.hpp"
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "solvers/cg.hpp"
 #include "test_helpers.hpp"
 

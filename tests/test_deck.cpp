@@ -173,5 +173,130 @@ TEST(BuiltinDecks, OthersValidate) {
   decks::layered_material(32, 2).validate();
 }
 
+// ---- dimension-generic deck keys (tl_geometry / z_cells / zmin / zmax) ---
+
+TEST(GeometryDeck, Parses3DKeysAndRoundTrips) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\ntl_geometry=3d\nx_cells=12\ny_cells=10\nz_cells=8\n"
+      "xmin=0\nxmax=6\nymin=0\nymax=5\nzmin=-1\nzmax=3\nend_step=1\n"
+      "state 1 density=1.0 energy=1.0\n"
+      "state 2 density=0.5 energy=5.0 geometry=rectangle xmin=1 xmax=2 "
+      "ymin=1 ymax=2 zmin=0 zmax=1\n"
+      "state 3 density=0.2 energy=2.0 geometry=circle xcentre=3 ycentre=3 "
+      "zcentre=1 radius=0.5\n*endtea\n");
+  EXPECT_EQ(deck.dims, 3);
+  EXPECT_EQ(deck.z_cells, 8);
+  EXPECT_DOUBLE_EQ(deck.zmin, -1.0);
+  EXPECT_DOUBLE_EQ(deck.zmax, 3.0);
+  EXPECT_EQ(deck.mesh().dims, 3);
+  EXPECT_EQ(deck.mesh().nz, 8);
+  EXPECT_TRUE(deck.states[2].has_cz);
+  const InputDeck back = InputDeck::parse_string(deck.to_string());
+  EXPECT_EQ(back.dims, 3);
+  EXPECT_EQ(back.z_cells, 8);
+  EXPECT_DOUBLE_EQ(back.zmax, 3.0);
+  EXPECT_DOUBLE_EQ(back.states[1].zmax, 1.0);
+  EXPECT_TRUE(back.states[2].has_cz);
+}
+
+TEST(GeometryDeck, NzIsAnAliasForZCells) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\ntl_geometry=3d\nx_cells=8\ny_cells=8\nnz=4\nend_step=1\n"
+      "state 1 density=1 energy=1\n*endtea\n");
+  EXPECT_EQ(deck.z_cells, 4);
+}
+
+TEST(GeometryDeck, MistypedGeometryKeysSuggestTheRealOnes) {
+  const auto expect_suggestion = [](const std::string& body,
+                                    const std::string& typo,
+                                    const std::string& wanted) {
+    try {
+      InputDeck::parse_string("*tea\nx_cells=8\ny_cells=8\nend_step=1\n" +
+                              body +
+                              "\nstate 1 density=1 energy=1\n*endtea\n");
+      FAIL() << typo << " must not be silently ignored";
+    } catch (const TeaError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("unknown key '" + typo + "'"), std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("did you mean '" + wanted + "'?"),
+                std::string::npos)
+          << msg;
+    }
+  };
+  expect_suggestion("tl_geometri=3d", "tl_geometri", "tl_geometry");
+  expect_suggestion("z_cell=4", "z_cell", "z_cells");
+  expect_suggestion("zmaxx=2", "zmaxx", "zmax");
+  expect_suggestion("sweep_geometrys=2d,3d", "sweep_geometrys",
+                    "sweep_geometry");
+}
+
+TEST(GeometryDeck, Invalid3DCombinationsAreRejected) {
+  // z_cells on a 2-D deck would silently describe a mesh the run ignores.
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\nx_cells=8\ny_cells=8\nz_cells=4\nend_step=1\n"
+                   "state 1 density=1 energy=1\n*endtea\n"),
+               TeaError);
+  // Unknown geometry values fail loudly.
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\ntl_geometry=4d\nx_cells=8\ny_cells=8\n"
+                   "end_step=1\nstate 1 density=1 energy=1\n*endtea\n"),
+               TeaError);
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+                   "sweep_solvers=cg\nsweep_geometry=2d,4d\n"
+                   "state 1 density=1 energy=1\n*endtea\n"),
+               TeaError);
+  // Empty z extent on a 3-D deck.
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\ntl_geometry=3d\nx_cells=8\ny_cells=8\nz_cells=4\n"
+                   "zmin=2\nzmax=2\nend_step=1\n"
+                   "state 1 density=1 energy=1\n*endtea\n"),
+               TeaError);
+  // A half-specified state z extent would silently extrude; reject it.
+  EXPECT_THROW(
+      InputDeck::parse_string(
+          "*tea\ntl_geometry=3d\nx_cells=8\ny_cells=8\nz_cells=4\n"
+          "end_step=1\nstate 1 density=1 energy=1\n"
+          "state 2 density=2 energy=1 geometry=rectangle xmin=0 xmax=1 "
+          "ymin=0 ymax=1 zmin=2\n*endtea\n"),
+      TeaError);
+  // As is an explicitly empty one.
+  EXPECT_THROW(
+      InputDeck::parse_string(
+          "*tea\ntl_geometry=3d\nx_cells=8\ny_cells=8\nz_cells=4\n"
+          "end_step=1\nstate 1 density=1 energy=1\n"
+          "state 2 density=2 energy=1 geometry=rectangle xmin=0 xmax=1 "
+          "ymin=0 ymax=1 zmin=3 zmax=3\n*endtea\n"),
+      TeaError);
+}
+
+TEST(GeometryDeck, SweepGeometryAxisParsesAndRoundTrips) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\nx_cells=16\ny_cells=16\nend_step=1\n"
+      "sweep_solvers=cg\nsweep_geometry=2d,3d\n"
+      "state 1 density=1 energy=1\n*endtea\n");
+  EXPECT_EQ(deck.sweep.geometries, (std::vector<int>{2, 3}));
+  const InputDeck back = InputDeck::parse_string(deck.to_string());
+  EXPECT_EQ(back.sweep.geometries, (std::vector<int>{2, 3}));
+}
+
+TEST(GeometryDeck, StatesExtrudeThroughZWhenNoZInfoGiven) {
+  StateDef rect;
+  rect.geometry = StateDef::Geometry::kRectangle;
+  rect.xmin = 0.0;
+  rect.xmax = 1.0;
+  rect.ymin = 0.0;
+  rect.ymax = 1.0;
+  // No z bounds: contained at every z in 3-D (prism).
+  EXPECT_TRUE(rect.contains(0.5, 0.5, 99.0, 0.1, 0.1, 0.1, 3));
+  rect.zmin = 0.0;
+  rect.zmax = 1.0;
+  EXPECT_FALSE(rect.contains(0.5, 0.5, 99.0, 0.1, 0.1, 0.1, 3));
+  EXPECT_TRUE(rect.contains(0.5, 0.5, 0.5, 0.1, 0.1, 0.1, 3));
+  // 2-D reading ignores z entirely.
+  EXPECT_TRUE(rect.contains(0.5, 0.5, 0.1, 0.1));
+}
+
 }  // namespace
 }  // namespace tealeaf

@@ -74,10 +74,26 @@ TEST(DeckFiles, FusedCGDeckHalvesReductions) {
             1 + static_cast<long long>(st.outer_iters));
 }
 
+TEST(DeckFiles, Heat3DDeckRunsThroughTheUnifiedCore) {
+  InputDeck deck = load_deck("tea_3d_heat.in");
+  EXPECT_EQ(deck.dims, 3);
+  EXPECT_EQ(deck.z_cells, 24);
+  EXPECT_EQ(deck.solver.type, SolverType::kPPCG);
+  EXPECT_TRUE(deck.states[2].has_cz);  // sphere, not cylinder
+  // Coarsen all three axes for the smoke run.
+  deck.x_cells = deck.y_cells = deck.z_cells = 10;
+  deck.end_time = 0.0;
+  deck.end_step = 1;
+  deck.solver.eps = 1e-8;
+  TeaLeafApp app(deck, 4);
+  EXPECT_TRUE(app.run().all_converged);
+  EXPECT_GT(app.field_summary().temp, 0.0);
+}
+
 TEST(DeckFiles, AllShippedDecksValidate) {
   for (const char* name :
        {"tea_bm_crooked_pipe.in", "tea_bm_short.in",
-        "tea_bm_block_jacobi.in", "tea_bm_fused_cg.in"}) {
+        "tea_bm_block_jacobi.in", "tea_bm_fused_cg.in", "tea_3d_heat.in"}) {
     EXPECT_NO_THROW(load_deck(name).validate()) << name;
   }
 }

@@ -73,6 +73,95 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(ec.nranks) + "_d" + std::to_string(ec.depth);
     });
 
+/// 3-D property sweep: brick meshes × rank counts × depths.  Every
+/// in-domain halo cell (faces, edges AND corners — the three-phase
+/// exchange must propagate all of them) equals the unique global value,
+/// and the byte accounting matches trace::exchange_counts exactly,
+/// including the depth-dependent edge strips of the y and z phases.
+struct Exchange3DCase {
+  int nx;
+  int ny;
+  int nz;
+  int nranks;
+  int depth;
+};
+
+class Exchange3DProperty : public ::testing::TestWithParam<Exchange3DCase> {
+};
+
+TEST_P(Exchange3DProperty, HaloConsistencyAndAccounting) {
+  const Exchange3DCase ec = GetParam();
+  const GlobalMesh mesh = GlobalMesh::brick3d(ec.nx, ec.ny, ec.nz);
+  SimCluster cl(mesh, ec.nranks, ec.depth);
+
+  cl.for_each_chunk([&](int, Chunk& c) {
+    auto& f = c.field(FieldId::kW);
+    f.fill(-1e30);  // poison: any stale read fails loudly
+    for (int l = 0; l < c.nz(); ++l)
+      for (int k = 0; k < c.ny(); ++k)
+        for (int j = 0; j < c.nx(); ++j)
+          f(j, k, l) = 7.0 * (c.extent().x0 + j) -
+                       3.0 * (c.extent().y0 + k) +
+                       11.0 * (c.extent().z0 + l);
+  });
+  cl.exchange({FieldId::kW}, ec.depth);
+
+  for (int r = 0; r < cl.nranks(); ++r) {
+    const Chunk& c = cl.chunk(r);
+    const auto& f = c.field(FieldId::kW);
+    for (int l = -ec.depth; l < c.nz() + ec.depth; ++l) {
+      for (int k = -ec.depth; k < c.ny() + ec.depth; ++k) {
+        for (int j = -ec.depth; j < c.nx() + ec.depth; ++j) {
+          const int gj = c.extent().x0 + j;
+          const int gk = c.extent().y0 + k;
+          const int gl = c.extent().z0 + l;
+          if (gj < 0 || gj >= mesh.nx || gk < 0 || gk >= mesh.ny ||
+              gl < 0 || gl >= mesh.nz) {
+            continue;
+          }
+          ASSERT_DOUBLE_EQ(f(j, k, l), 7.0 * gj - 3.0 * gk + 11.0 * gl)
+              << "rank " << r << " (" << j << "," << k << "," << l << ")";
+        }
+      }
+    }
+  }
+
+  const CommCounts cc =
+      exchange_counts(cl.decomposition(), ec.depth, /*nfields=*/1);
+  EXPECT_EQ(cc.messages, cl.stats().messages);
+  EXPECT_EQ(cc.message_bytes, cl.stats().message_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes3D, Exchange3DProperty,
+    ::testing::Values(Exchange3DCase{12, 12, 12, 8, 1},  // 2×2×2 grid
+                      Exchange3DCase{12, 12, 12, 8, 3},  // depth > 1
+                      Exchange3DCase{16, 8, 8, 4, 2},    // wide brick
+                      Exchange3DCase{8, 8, 24, 6, 2},    // tall brick
+                      Exchange3DCase{9, 7, 5, 4, 2},     // odd remainders
+                      Exchange3DCase{10, 10, 3, 12, 1},  // thin slab
+                      Exchange3DCase{6, 6, 6, 27, 2},    // 3×3×3 grid
+                      Exchange3DCase{16, 16, 1, 4, 2}),  // degenerate nz=1
+    [](const auto& info) {
+      const Exchange3DCase& ec = info.param;
+      return std::to_string(ec.nx) + "x" + std::to_string(ec.ny) + "x" +
+             std::to_string(ec.nz) + "_r" + std::to_string(ec.nranks) +
+             "_d" + std::to_string(ec.depth);
+    });
+
+TEST(Exchange3DProperty, MultiFieldDeepExchangeSharesMessages) {
+  // All fields travel in one message per direction; bytes scale with the
+  // field count and messages do not — at any depth.
+  const GlobalMesh mesh = GlobalMesh::brick3d(12, 12, 12);
+  SimCluster one(mesh, 8, 3);
+  SimCluster two(mesh, 8, 3);
+  one.exchange({FieldId::kU}, 3);
+  two.exchange({FieldId::kU, FieldId::kP}, 3);
+  EXPECT_EQ(two.stats().messages, one.stats().messages);
+  EXPECT_EQ(two.stats().message_bytes, 2 * one.stats().message_bytes);
+  EXPECT_EQ(two.stats().bytes_by_depth.at(3), two.stats().message_bytes);
+}
+
 TEST(ExchangeProperty, RepeatedExchangeIsIdempotent) {
   // Exchanging twice must not change anything: halos already hold the
   // neighbour values.

@@ -5,7 +5,7 @@
 
 #include "driver/decks.hpp"
 #include "driver/tealeaf_app.hpp"
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "solvers/cg.hpp"
 #include "solvers/solver.hpp"
 #include "test_helpers.hpp"

@@ -1,0 +1,239 @@
+// Dimension-generic core guarantees:
+//  * Cross-dimension consistency — a z-uniform 3-D problem with a single
+//    cell-plane (nz = 1) has Kz ≡ 0, so the 7-point operator degenerates
+//    to the 5-point one and EVERY per-iteration scalar (rro, alpha, beta),
+//    iteration count and iterate must reproduce the 2-D solver's exactly,
+//    for every solver × preconditioner × execution-engine cell.
+//  * 3-D engine equivalence — the fused and tiled execution engines are
+//    bitwise identical to the unfused path in 3-D, enforced exactly the
+//    way test_tiled_engine.cpp enforces it in 2-D.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "solvers/cg.hpp"
+#include "solvers/solver.hpp"
+#include "test_helpers.hpp"
+
+namespace tealeaf {
+namespace {
+
+using testing::make_test_problem;
+using testing::make_test_problem_3d;
+using testing::max_field_diff;
+using testing::test_density;
+using testing::test_energy;
+
+/// A single-plane 3-D cluster carrying exactly the 2-D test problem: same
+/// material per (j, k) cell, same decomposition inputs.
+std::unique_ptr<SimCluster> make_slab_problem(int n, int nranks,
+                                              int halo_depth,
+                                              double rx_ry = 4.0) {
+  const GlobalMesh mesh =
+      GlobalMesh::make3d(n, n, 1, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0);
+  auto cl = std::make_unique<SimCluster>(mesh, nranks, halo_depth);
+  cl->for_each_chunk([&](int, Chunk& c) {
+    for (int k = 0; k < c.ny(); ++k) {
+      for (int j = 0; j < c.nx(); ++j) {
+        const int gj = c.extent().x0 + j;
+        const int gk = c.extent().y0 + k;
+        c.density()(j, k, 0) = test_density(gj, gk);
+        c.energy()(j, k, 0) = test_energy(gj, gk);
+      }
+    }
+  });
+  cl->exchange({FieldId::kDensity, FieldId::kEnergy1}, halo_depth);
+  cl->for_each_chunk([&](int, Chunk& c) {
+    kernels::init_u_u0(c);
+    // rz scales Kz, which is identically zero on a single plane (both z
+    // faces are physical boundaries) — any value gives the same operator.
+    kernels::init_conduction(c, kernels::Coefficient::kConductivity, rx_ry,
+                             rx_ry, rx_ry);
+  });
+  cl->reset_stats();
+  return cl;
+}
+
+TEST(CrossDimension, SlabCGRecurrenceScalarsMatch2DExactly) {
+  // The satellite contract in its sharpest form: rro and every alpha/beta
+  // of the CG recurrence — the scalars that steer the whole solve — are
+  // bitwise equal between the 2-D run and the single-plane 3-D run.
+  for (const PreconType precon :
+       {PreconType::kNone, PreconType::kJacobiDiag,
+        PreconType::kJacobiBlock}) {
+    auto d2 = make_test_problem(16, 2, 2);
+    auto d3 = make_slab_problem(16, 2, 2);
+    double rro2 = cg_setup(*d2, precon);
+    double rro3 = cg_setup(*d3, precon);
+    ASSERT_EQ(rro2, rro3) << to_string(precon);
+    CGRecurrence rec2, rec3;
+    for (int i = 0; i < 8; ++i) {
+      rro2 = cg_iteration(*d2, precon, rro2, &rec2, nullptr);
+      rro3 = cg_iteration(*d3, precon, rro3, &rec3, nullptr);
+      ASSERT_EQ(rro2, rro3) << to_string(precon) << " iter " << i;
+    }
+    ASSERT_EQ(rec2.alphas.size(), rec3.alphas.size());
+    for (std::size_t i = 0; i < rec2.alphas.size(); ++i) {
+      EXPECT_EQ(rec2.alphas[i], rec3.alphas[i])
+          << to_string(precon) << " alpha " << i;
+      EXPECT_EQ(rec2.betas[i], rec3.betas[i])
+          << to_string(precon) << " beta " << i;
+    }
+  }
+}
+
+struct EngineCell {
+  SolverType type;
+  PreconType precon;
+  bool chrono;
+  bool fused;
+  int tile_rows;
+  int halo_depth = 1;
+};
+
+std::string cell_name(const EngineCell& ec) {
+  std::string name = std::string(to_string(ec.type)) + "_" +
+                     to_string(ec.precon) + "_d" +
+                     std::to_string(ec.halo_depth);
+  if (ec.chrono) name += "_chrono";
+  if (ec.fused) name += "_fused";
+  if (ec.tile_rows != 0) name += "_b" + std::to_string(ec.tile_rows);
+  return name;
+}
+
+SolverConfig cell_config(const EngineCell& ec) {
+  SolverConfig cfg;
+  cfg.type = ec.type;
+  cfg.precon = ec.precon;
+  cfg.halo_depth = ec.halo_depth;
+  cfg.fuse_cg_reductions = ec.chrono;
+  cfg.fuse_kernels = ec.fused;
+  cfg.tile_rows = ec.tile_rows;
+  cfg.eps = (ec.type == SolverType::kJacobi) ? 1e-5 : 1e-10;
+  cfg.max_iters = (ec.type == SolverType::kJacobi) ? 100000 : 10000;
+  cfg.eigen_cg_iters = 8;
+  cfg.inner_steps = 6;
+  return cfg;
+}
+
+class CrossDimensionCell : public ::testing::TestWithParam<EngineCell> {};
+
+TEST_P(CrossDimensionCell, SlabSolveMatches2DExactly) {
+  const EngineCell ec = GetParam();
+  const SolverConfig cfg = cell_config(ec);
+  const int halo = std::max(2, ec.halo_depth);
+  auto d2 = make_test_problem(16, 2, halo, 6.0);
+  auto d3 = make_slab_problem(16, 2, halo, 6.0);
+  const SolveStats s2 = solve_linear_system(*d2, cfg);
+  const SolveStats s3 = solve_linear_system(*d3, cfg);
+  ASSERT_TRUE(s2.converged);
+  ASSERT_TRUE(s3.converged);
+  EXPECT_EQ(s3.outer_iters, s2.outer_iters);
+  EXPECT_EQ(s3.inner_steps, s2.inner_steps);
+  EXPECT_EQ(s3.spmv_applies, s2.spmv_applies);
+  EXPECT_EQ(s3.eigen_cg_iters, s2.eigen_cg_iters);
+  EXPECT_EQ(s3.initial_norm, s2.initial_norm);
+  EXPECT_EQ(s3.final_norm, s2.final_norm);
+  // The iterate itself: the 3-D plane equals the 2-D field bitwise.
+  const Field<double> u2 = gather_field(*d2, FieldId::kU);
+  const Field<double> u3 = gather_field(*d3, FieldId::kU);
+  for (int k = 0; k < 16; ++k)
+    for (int j = 0; j < 16; ++j)
+      ASSERT_EQ(u2(j, k), u3(j, k, 0)) << "(" << j << "," << k << ")";
+  // Same reductions; the slab's z phase moves no data, so byte counts
+  // agree too (identical decomposition in the xy plane).
+  EXPECT_EQ(d2->stats().reductions, d3->stats().reductions);
+  EXPECT_EQ(d2->stats().message_bytes, d3->stats().message_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SolverPreconEngine, CrossDimensionCell,
+    ::testing::Values(
+        EngineCell{SolverType::kJacobi, PreconType::kNone, false, false, 0},
+        EngineCell{SolverType::kJacobi, PreconType::kNone, false, true, 0},
+        EngineCell{SolverType::kJacobi, PreconType::kNone, false, true, 3},
+        EngineCell{SolverType::kCG, PreconType::kNone, false, false, 0},
+        EngineCell{SolverType::kCG, PreconType::kNone, false, true, 0},
+        EngineCell{SolverType::kCG, PreconType::kNone, false, true, 3},
+        EngineCell{SolverType::kCG, PreconType::kJacobiDiag, false, true, 3},
+        EngineCell{SolverType::kCG, PreconType::kJacobiBlock, false, true,
+                   3},
+        EngineCell{SolverType::kCG, PreconType::kNone, true, false, 0},
+        EngineCell{SolverType::kCG, PreconType::kJacobiDiag, true, true, 3},
+        EngineCell{SolverType::kChebyshev, PreconType::kNone, false, false,
+                   0},
+        EngineCell{SolverType::kChebyshev, PreconType::kJacobiDiag, false,
+                   true, 3},
+        EngineCell{SolverType::kChebyshev, PreconType::kJacobiBlock, false,
+                   true, 0},
+        EngineCell{SolverType::kPPCG, PreconType::kNone, false, false, 0},
+        EngineCell{SolverType::kPPCG, PreconType::kJacobiDiag, false, true,
+                   3},
+        EngineCell{SolverType::kPPCG, PreconType::kNone, false, true, 3, 3}),
+    [](const auto& info) { return cell_name(info.param); });
+
+// ---- 3-D fused/tiled vs unfused: bitwise ---------------------------------
+
+class Engine3DEquivalence : public ::testing::TestWithParam<EngineCell> {};
+
+TEST_P(Engine3DEquivalence, BitwiseIdenticalToUnfused3D) {
+  const EngineCell ec = GetParam();
+  SolverConfig cfg = cell_config(ec);
+  const int halo = std::max(2, ec.halo_depth);
+  auto a = make_test_problem_3d(10, 4, halo, 6.0);
+  auto b = make_test_problem_3d(10, 4, halo, 6.0);
+  SolverConfig unfused = cfg;
+  unfused.fuse_kernels = false;
+  unfused.tile_rows = 0;
+  const SolveStats su = solve_linear_system(*a, unfused);
+  const SolveStats st = solve_linear_system(*b, cfg);
+  ASSERT_TRUE(su.converged);
+  ASSERT_TRUE(st.converged);
+  EXPECT_EQ(st.outer_iters, su.outer_iters);
+  EXPECT_EQ(st.inner_steps, su.inner_steps);
+  EXPECT_EQ(st.spmv_applies, su.spmv_applies);
+  EXPECT_EQ(st.eigen_cg_iters, su.eigen_cg_iters);
+  EXPECT_EQ(st.initial_norm, su.initial_norm);
+  EXPECT_EQ(st.final_norm, su.final_norm);
+  EXPECT_EQ(max_field_diff(*a, *b, FieldId::kU), 0.0);
+  // The engines change the schedule, never the data motion.
+  EXPECT_EQ(a->stats().exchange_calls, b->stats().exchange_calls);
+  EXPECT_EQ(a->stats().messages, b->stats().messages);
+  EXPECT_EQ(a->stats().message_bytes, b->stats().message_bytes);
+  EXPECT_EQ(a->stats().reductions, b->stats().reductions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolversFusedAndTiled, Engine3DEquivalence,
+    ::testing::Values(
+        EngineCell{SolverType::kJacobi, PreconType::kNone, false, true, 0},
+        EngineCell{SolverType::kJacobi, PreconType::kNone, false, true, 1},
+        EngineCell{SolverType::kJacobi, PreconType::kNone, false, true, 4},
+        EngineCell{SolverType::kCG, PreconType::kNone, false, true, 0},
+        EngineCell{SolverType::kCG, PreconType::kNone, false, true, 1},
+        EngineCell{SolverType::kCG, PreconType::kNone, false, true, 4},
+        EngineCell{SolverType::kCG, PreconType::kNone, false, true, 1000},
+        EngineCell{SolverType::kCG, PreconType::kJacobiDiag, false, true, 3},
+        EngineCell{SolverType::kCG, PreconType::kJacobiBlock, false, true,
+                   3},
+        EngineCell{SolverType::kCG, PreconType::kNone, true, true, 4},
+        EngineCell{SolverType::kCG, PreconType::kJacobiDiag, true, true, 2},
+        EngineCell{SolverType::kCG, PreconType::kJacobiBlock, true, true, 5},
+        EngineCell{SolverType::kChebyshev, PreconType::kNone, false, true,
+                   3},
+        EngineCell{SolverType::kChebyshev, PreconType::kJacobiDiag, false,
+                   true, 2},
+        EngineCell{SolverType::kChebyshev, PreconType::kJacobiBlock, false,
+                   true, 0},
+        EngineCell{SolverType::kPPCG, PreconType::kNone, false, true, 3},
+        EngineCell{SolverType::kPPCG, PreconType::kJacobiDiag, false, true,
+                   2},
+        EngineCell{SolverType::kPPCG, PreconType::kNone, false, true, 3, 3},
+        EngineCell{SolverType::kPPCG, PreconType::kJacobiDiag, false, true,
+                   1, 2}),
+    [](const auto& info) { return cell_name(info.param); });
+
+}  // namespace
+}  // namespace tealeaf

@@ -5,7 +5,7 @@
 
 #include "comm/gather.hpp"
 #include "comm/sim_comm.hpp"
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "util/numeric.hpp"
 
 namespace tealeaf::testing {
@@ -65,16 +65,47 @@ inline double relative_residual(SimCluster2D& cl) {
   return std::sqrt(rr / bb);
 }
 
-/// Max |a − b| over the global views of a field on two clusters.
-inline double max_field_diff(const SimCluster2D& a, const SimCluster2D& b,
+/// Max |a − b| over the global views of a field on two clusters (either
+/// dimension).
+inline double max_field_diff(const SimCluster& a, const SimCluster& b,
                              FieldId id) {
-  const Field2D<double> fa = gather_field(a, id);
-  const Field2D<double> fb = gather_field(b, id);
+  const Field<double> fa = gather_field(a, id);
+  const Field<double> fb = gather_field(b, id);
   double worst = 0.0;
-  for (int k = 0; k < fa.ny(); ++k)
-    for (int j = 0; j < fa.nx(); ++j)
-      worst = std::max(worst, std::fabs(fa(j, k) - fb(j, k)));
+  for (int l = 0; l < fa.nz(); ++l)
+    for (int k = 0; k < fa.ny(); ++k)
+      for (int j = 0; j < fa.nx(); ++j)
+        worst = std::max(worst, std::fabs(fa(j, k, l) - fb(j, k, l)));
   return worst;
+}
+
+/// 3-D companion of make_test_problem: an n³ brick with a deterministic,
+/// decomposition-independent material, ready for any solver.
+inline std::unique_ptr<SimCluster> make_test_problem_3d(
+    int n, int nranks, int halo_depth, double rxyz = 4.0) {
+  auto cl = std::make_unique<SimCluster>(
+      GlobalMesh::brick3d(n, n, n, 10.0), nranks, halo_depth);
+  cl->for_each_chunk([&](int, Chunk& c) {
+    for (int l = 0; l < c.nz(); ++l) {
+      for (int k = 0; k < c.ny(); ++k) {
+        for (int j = 0; j < c.nx(); ++j) {
+          const int gj = c.extent().x0 + j;
+          const int gk = c.extent().y0 + k;
+          const int gl = c.extent().z0 + l;
+          c.density()(j, k, l) = test_density(gj, gk + 31 * gl);
+          c.energy()(j, k, l) = test_energy(gj + 17 * gl, gk);
+        }
+      }
+    }
+  });
+  cl->exchange({FieldId::kDensity, FieldId::kEnergy1}, halo_depth);
+  cl->for_each_chunk([&](int, Chunk& c) {
+    kernels::init_u_u0(c);
+    kernels::init_conduction(c, kernels::Coefficient::kConductivity, rxyz,
+                             rxyz, rxyz);
+  });
+  cl->reset_stats();
+  return cl;
 }
 
 }  // namespace tealeaf::testing

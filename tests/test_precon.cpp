@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "comm/sim_comm.hpp"
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "precon/preconditioner.hpp"
 #include "util/numeric.hpp"
 

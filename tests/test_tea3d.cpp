@@ -1,9 +1,17 @@
+// The TeaLeaf3D surface, running entirely through the dimension-generic
+// unified core (the former src/tea3d fork is retired): 3-D decomposition,
+// three-phase halo exchange, the 7-point operator, and all four native
+// solvers on 3-D bricks — including the facade dispatch that the old fork
+// rejected for Chebyshev.
+
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
-#include "tea3d/kernels3d.hpp"
-#include "tea3d/solvers3d.hpp"
+#include "comm/sim_comm.hpp"
+#include "ops/kernels.hpp"
+#include "solvers/solver.hpp"
 #include "util/numeric.hpp"
 
 namespace tealeaf {
@@ -23,11 +31,11 @@ double energy3d(int gj, int gk, int gl) {
                                        (gl - 4) * (gl - 4)));
 }
 
-std::unique_ptr<SimCluster3D> make_problem_3d(int n, int nranks, int halo,
-                                              double rxyz = 4.0) {
-  auto cl = std::make_unique<SimCluster3D>(GlobalMesh3D(n, n, n), nranks,
-                                           halo);
-  cl->for_each_chunk([&](int, Chunk3D& c) {
+std::unique_ptr<SimCluster> make_problem_3d(int n, int nranks, int halo,
+                                            double rxyz = 4.0) {
+  auto cl = std::make_unique<SimCluster>(GlobalMesh::brick3d(n, n, n),
+                                         nranks, halo);
+  cl->for_each_chunk([&](int, Chunk& c) {
     for (int l = 0; l < c.nz(); ++l)
       for (int k = 0; k < c.ny(); ++k)
         for (int j = 0; j < c.nx(); ++j) {
@@ -38,22 +46,22 @@ std::unique_ptr<SimCluster3D> make_problem_3d(int n, int nranks, int halo,
           c.energy()(j, k, l) = energy3d(gj, gk, gl);
         }
   });
-  cl->exchange({FieldId3D::kDensity, FieldId3D::kEnergy1}, halo);
-  cl->for_each_chunk([&](int, Chunk3D& c) {
-    kernels3d::init_u_u0(c);
-    kernels3d::init_conduction(c, kernels::Coefficient::kConductivity,
-                               rxyz, rxyz, rxyz);
+  cl->exchange({FieldId::kDensity, FieldId::kEnergy1}, halo);
+  cl->for_each_chunk([&](int, Chunk& c) {
+    kernels::init_u_u0(c);
+    kernels::init_conduction(c, kernels::Coefficient::kConductivity, rxyz,
+                             rxyz, rxyz);
   });
   cl->reset_stats();
   return cl;
 }
 
 /// Gather u into a flat global array for cross-decomposition comparison.
-std::vector<double> gather_u(SimCluster3D& cl) {
+std::vector<double> gather_u(SimCluster& cl) {
   const auto& m = cl.mesh();
   std::vector<double> out(static_cast<std::size_t>(m.cell_count()), 0.0);
   for (int r = 0; r < cl.nranks(); ++r) {
-    Chunk3D& c = cl.chunk(r);
+    Chunk& c = cl.chunk(r);
     for (int l = 0; l < c.nz(); ++l)
       for (int k = 0; k < c.ny(); ++k)
         for (int j = 0; j < c.nx(); ++j) {
@@ -69,8 +77,8 @@ std::vector<double> gather_u(SimCluster3D& cl) {
 }
 
 TEST(Decomposition3D, PartitionsAndSurfacesMinimal) {
-  const GlobalMesh3D mesh(24, 24, 24);
-  const auto d = Decomposition3D::create(8, mesh);
+  const GlobalMesh mesh = GlobalMesh::brick3d(24, 24, 24);
+  const auto d = Decomposition::create(8, mesh);
   EXPECT_EQ(d.px(), 2);
   EXPECT_EQ(d.py(), 2);
   EXPECT_EQ(d.pz(), 2);
@@ -80,17 +88,19 @@ TEST(Decomposition3D, PartitionsAndSurfacesMinimal) {
     cells += static_cast<long long>(e.nx) * e.ny * e.nz;
   }
   EXPECT_EQ(cells, mesh.cell_count());
-  // Mutual neighbours.
+  // Mutual neighbours, all six faces.
   for (int r = 0; r < 8; ++r) {
-    const int nb = d.neighbor(r, Face3D::kRight);
-    if (nb >= 0) EXPECT_EQ(d.neighbor(nb, Face3D::kLeft), r);
+    for (const Face f : {Face::kRight, Face::kTop, Face::kFront}) {
+      const int nb = d.neighbor(r, f);
+      if (nb >= 0) EXPECT_EQ(d.neighbor(nb, opposite(f)), r);
+    }
   }
 }
 
 TEST(Exchange3D, CornersAndEdgesPropagate) {
-  const GlobalMesh3D mesh(12, 12, 12);
-  SimCluster3D cl(mesh, 8, 2);
-  cl.for_each_chunk([&](int, Chunk3D& c) {
+  const GlobalMesh mesh = GlobalMesh::brick3d(12, 12, 12);
+  SimCluster cl(mesh, 8, 2);
+  cl.for_each_chunk([&](int, Chunk& c) {
     c.u().fill(-999.0);
     for (int l = 0; l < c.nz(); ++l)
       for (int k = 0; k < c.ny(); ++k)
@@ -98,9 +108,9 @@ TEST(Exchange3D, CornersAndEdgesPropagate) {
           c.u()(j, k, l) = 1e6 * (c.extent().z0 + l) +
                            1e3 * (c.extent().y0 + k) + (c.extent().x0 + j);
   });
-  cl.exchange({FieldId3D::kU}, 2);
+  cl.exchange({FieldId::kU}, 2);
   for (int r = 0; r < cl.nranks(); ++r) {
-    Chunk3D& c = cl.chunk(r);
+    Chunk& c = cl.chunk(r);
     for (int l = -2; l < c.nz() + 2; ++l)
       for (int k = -2; k < c.ny() + 2; ++k)
         for (int j = -2; j < c.nx() + 2; ++j) {
@@ -119,11 +129,10 @@ TEST(Exchange3D, CornersAndEdgesPropagate) {
 
 TEST(Operator3D, SevenPointConservationAndSPD) {
   auto cl = make_problem_3d(8, 1, 2);
-  Chunk3D& c = cl->chunk(0);
+  Chunk& c = cl->chunk(0);
   // A·1 = 1 (unit row sums).
   c.p().fill(1.0);
-  kernels3d::smvp(c, FieldId3D::kP, FieldId3D::kW,
-                  kernels3d::interior_bounds(c));
+  kernels::smvp(c, FieldId::kP, FieldId::kW, interior_bounds(c));
   for (int l = 0; l < 8; ++l)
     for (int k = 0; k < 8; ++k)
       for (int j = 0; j < 8; ++j)
@@ -136,13 +145,11 @@ TEST(Operator3D, SevenPointConservationAndSPD) {
         c.p()(j, k, l) = rng.next_double(-1, 1);
         c.z()(j, k, l) = rng.next_double(-1, 1);
       }
-  kernels3d::smvp(c, FieldId3D::kP, FieldId3D::kW,
-                  kernels3d::interior_bounds(c));
-  const double z_ap = kernels3d::dot(c, FieldId3D::kZ, FieldId3D::kW);
-  const double p_ap = kernels3d::dot(c, FieldId3D::kP, FieldId3D::kW);
-  kernels3d::smvp(c, FieldId3D::kZ, FieldId3D::kW,
-                  kernels3d::interior_bounds(c));
-  const double p_az = kernels3d::dot(c, FieldId3D::kP, FieldId3D::kW);
+  kernels::smvp(c, FieldId::kP, FieldId::kW, interior_bounds(c));
+  const double z_ap = kernels::dot(c, FieldId::kZ, FieldId::kW);
+  const double p_ap = kernels::dot(c, FieldId::kP, FieldId::kW);
+  kernels::smvp(c, FieldId::kZ, FieldId::kW, interior_bounds(c));
+  const double p_az = kernels::dot(c, FieldId::kP, FieldId::kW);
   EXPECT_NEAR(z_ap, p_az, 1e-10 * std::max(1.0, std::fabs(z_ap)));
   EXPECT_GT(p_ap, 0.0);
 }
@@ -152,11 +159,11 @@ TEST(CG3D, SolvesAndIsDecompositionIndependent) {
   cfg.type = SolverType::kCG;
   cfg.eps = 1e-11;
   auto ref = make_problem_3d(12, 1, 2);
-  ASSERT_TRUE(CGSolver3D::solve(*ref, cfg).converged);
+  ASSERT_TRUE(solve_linear_system(*ref, cfg).converged);
   const auto u_ref = gather_u(*ref);
   for (const int nranks : {2, 4, 8}) {
     auto cl = make_problem_3d(12, nranks, 2);
-    const SolveStats st = CGSolver3D::solve(*cl, cfg);
+    const SolveStats st = solve_linear_system(*cl, cfg);
     ASSERT_TRUE(st.converged) << nranks;
     const auto u = gather_u(*cl);
     double worst = 0.0;
@@ -171,7 +178,7 @@ TEST(CG3D, CommunicationStructureMatches2DPattern) {
   SolverConfig cfg;
   cfg.type = SolverType::kCG;
   cfg.eps = 1e-10;
-  const SolveStats st = CGSolver3D::solve(*cl, cfg);
+  const SolveStats st = solve_linear_system(*cl, cfg);
   ASSERT_TRUE(st.converged);
   EXPECT_EQ(cl->stats().reductions, 1 + 2LL * st.outer_iters);
   EXPECT_EQ(cl->stats().exchange_calls,
@@ -184,7 +191,7 @@ TEST(Jacobi3D, ConvergesSlowly) {
   cfg.type = SolverType::kJacobi;
   cfg.eps = 1e-7;
   cfg.max_iters = 100000;
-  const SolveStats st = JacobiSolver3D::solve(*cl, cfg);
+  const SolveStats st = solve_linear_system(*cl, cfg);
   EXPECT_TRUE(st.converged);
   EXPECT_GT(st.outer_iters, 10);
 }
@@ -194,7 +201,7 @@ TEST(PPCG3D, MatchesCGAndCutsReductions) {
   cg.type = SolverType::kCG;
   cg.eps = 1e-11;
   auto a = make_problem_3d(12, 4, 2, 16.0);
-  const SolveStats st_cg = CGSolver3D::solve(*a, cg);
+  const SolveStats st_cg = solve_linear_system(*a, cg);
   ASSERT_TRUE(st_cg.converged);
   const long long red_cg = a->stats().reductions;
 
@@ -204,7 +211,7 @@ TEST(PPCG3D, MatchesCGAndCutsReductions) {
   pp.eigen_cg_iters = 10;
   pp.inner_steps = 8;
   auto b = make_problem_3d(12, 4, 2, 16.0);
-  const SolveStats st_pp = PPCGSolver3D::solve(*b, pp);
+  const SolveStats st_pp = solve_linear_system(*b, pp);
   ASSERT_TRUE(st_pp.converged);
   EXPECT_LT(b->stats().reductions, red_cg);
 
@@ -226,12 +233,12 @@ TEST_P(MatrixPowers3D, DepthEquivalence) {
 
   cfg.halo_depth = 1;
   auto ref = make_problem_3d(12, 8, 2, 8.0);
-  const SolveStats st_ref = PPCGSolver3D::solve(*ref, cfg);
+  const SolveStats st_ref = solve_linear_system(*ref, cfg);
   ASSERT_TRUE(st_ref.converged);
 
   cfg.halo_depth = depth;
   auto cl = make_problem_3d(12, 8, depth, 8.0);
-  const SolveStats st = PPCGSolver3D::solve(*cl, cfg);
+  const SolveStats st = solve_linear_system(*cl, cfg);
   ASSERT_TRUE(st.converged);
   EXPECT_EQ(st.outer_iters, st_ref.outer_iters);
   EXPECT_LT(cl->stats().exchange_calls, ref->stats().exchange_calls);
@@ -252,30 +259,36 @@ INSTANTIATE_TEST_SUITE_P(Depths, MatrixPowers3D, ::testing::Values(2, 3),
 TEST(Slab3D, SingleLayerMatches2DOperator) {
   // A 3-D problem with nz = 1 has zero z-coefficients everywhere, so the
   // 7-point operator degenerates to the 2-D 5-point one.
-  auto cl = std::make_unique<SimCluster3D>(GlobalMesh3D(10, 10, 1), 1, 1);
-  Chunk3D& c = cl->chunk(0);
+  auto cl = std::make_unique<SimCluster>(GlobalMesh::brick3d(10, 10, 1), 1,
+                                         1);
+  Chunk& c = cl->chunk(0);
   c.density().fill(2.0);
   c.energy().fill(1.0);
-  kernels3d::init_u_u0(c);
-  kernels3d::init_conduction(c, kernels::Coefficient::kConductivity, 3.0,
-                             3.0, 3.0);
+  kernels::init_u_u0(c);
+  kernels::init_conduction(c, kernels::Coefficient::kConductivity, 3.0, 3.0,
+                           3.0);
   for (int k = 0; k < 10; ++k)
     for (int j = 0; j < 10; ++j)
       EXPECT_DOUBLE_EQ(c.kz()(j, k, 0), 0.0);
   // diag = 1 + ΣKx + ΣKy only.
   const double expect = 1.0 + 2 * (3.0 * (2.0 + 2.0) / (2 * 2.0 * 2.0)) +
                         2 * (3.0 * 0.5);
-  EXPECT_NEAR(kernels3d::diag_at(c, 5, 5, 0), expect, 1e-12);
+  EXPECT_NEAR(kernels::diag_at(c, 5, 5, 0), expect, 1e-12);
 }
 
-TEST(Facade3D, DispatchAndChebyRejection) {
+TEST(Facade3D, DispatchesEverySolverIncludingChebyshev) {
+  // The retired tea3d fork rejected Chebyshev in 3-D; the unified core
+  // dispatches all four native solvers through the one facade.
   auto cl = make_problem_3d(8, 1, 2, 1.0);
   SolverConfig cfg;
   cfg.type = SolverType::kChebyshev;
-  EXPECT_THROW(solve_linear_system_3d(*cl, cfg), TeaError);
+  cfg.eps = 1e-8;
+  cfg.eigen_cg_iters = 8;
+  EXPECT_TRUE(solve_linear_system(*cl, cfg).converged);
+  cfg = SolverConfig{};
   cfg.type = SolverType::kCG;
   cfg.eps = 1e-9;
-  EXPECT_TRUE(solve_linear_system_3d(*cl, cfg).converged);
+  EXPECT_TRUE(solve_linear_system(*cl, cfg).converged);
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 #include <vector>
 
 #include "comm/sim_comm.hpp"
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "precon/preconditioner.hpp"
 #include "util/numeric.hpp"
 

@@ -11,7 +11,7 @@
 #include "model/machine.hpp"
 #include "model/scaling.hpp"
 #include "model/trace.hpp"
-#include "ops/kernels2d.hpp"
+#include "ops/kernels.hpp"
 #include "solvers/solver.hpp"
 #include "test_helpers.hpp"
 #include "util/parallel.hpp"
@@ -110,15 +110,21 @@ TEST(TiledKernels, ChebyStepTileMatchesUntiledForAllTileSizes) {
         const Bounds bb = extended_bounds(c, 2);
         const int rows = bb.khi - bb.klo;
         const int h = tile >= rows ? rows : tile;
+        const auto block = [&](int k0) {
+          Bounds tb = bb;
+          tb.klo = k0;
+          tb.khi = std::min(bb.khi, k0 + h);
+          return tb;
+        };
         for (int k0 = bb.klo; k0 < bb.khi; k0 += h) {
           kernels::cheby_step_tile(c, FieldId::kRtemp, FieldId::kSd,
-                                   FieldId::kZ, 0.37, 1.21, diag, bb, k0,
-                                   std::min(bb.khi, k0 + h));
+                                   FieldId::kZ, 0.37, 1.21, diag, bb,
+                                   block(k0));
         }
         for (int k0 = bb.klo; k0 < bb.khi; k0 += h) {
           kernels::cheby_step_tile_edges(c, FieldId::kRtemp, FieldId::kSd,
                                          FieldId::kZ, 0.37, 1.21, diag, bb,
-                                         k0, std::min(bb.khi, k0 + h));
+                                         block(k0));
         }
       });
       for (const FieldId f :
@@ -143,10 +149,16 @@ TEST(TiledKernels, RowReductionsMatchFullKernelsBitwise) {
 
     // dot
     const double full_dot = kernels::dot(ca, FieldId::kP, FieldId::kZ);
+    const auto block = [&](int k0, int h) {
+      Bounds tb = in;
+      tb.klo = k0;
+      tb.khi = std::min(cb.ny(), k0 + h);
+      return tb;
+    };
     std::vector<double> rows(static_cast<std::size_t>(cb.ny()), 0.0);
     for (int k0 = 0; k0 < cb.ny(); k0 += 3) {
-      kernels::dot_rows(cb, FieldId::kP, FieldId::kZ, k0,
-                        std::min(cb.ny(), k0 + 3), rows.data());
+      kernels::dot_rows(cb, FieldId::kP, FieldId::kZ, block(k0, 3),
+                        rows.data());
     }
     double tiled_dot = 0.0;
     for (int k = 0; k < cb.ny(); ++k) tiled_dot += rows[k];
@@ -155,8 +167,8 @@ TEST(TiledKernels, RowReductionsMatchFullKernelsBitwise) {
     // smvp_dot
     const double full_pw = kernels::smvp_dot(ca, FieldId::kP, FieldId::kW, in);
     for (int k0 = 0; k0 < cb.ny(); k0 += 4) {
-      kernels::smvp_dot_rows(cb, FieldId::kP, FieldId::kW, in, k0,
-                             std::min(cb.ny(), k0 + 4), rows.data());
+      kernels::smvp_dot_rows(cb, FieldId::kP, FieldId::kW, in, block(k0, 4),
+                             rows.data());
     }
     double tiled_pw = 0.0;
     for (int k = 0; k < cb.ny(); ++k) tiled_pw += rows[k];
@@ -169,7 +181,7 @@ TEST(TiledKernels, RowReductionsMatchFullKernelsBitwise) {
     std::vector<double> rows2(2 * static_cast<std::size_t>(cb.ny()), 0.0);
     for (int k0 = 0; k0 < cb.ny(); k0 += 5) {
       kernels::smvp_dot2_rows(cb, FieldId::kZ, FieldId::kW, FieldId::kR, in,
-                              k0, std::min(cb.ny(), k0 + 5), rows2.data());
+                              block(k0, 5), rows2.data());
     }
     double t0 = 0.0, t1 = 0.0;
     for (int k = 0; k < cb.ny(); ++k) {
@@ -192,9 +204,8 @@ TEST(TiledKernels, CalcUrDotRowsMatchesFullKernel) {
       return kernels::calc_ur_dot(c, 0.61, precon);
     });
     const double tiled = b->sum_rows_over_chunks(
-        nullptr, 3, [&](int, Chunk2D& c, int k0, int k1) {
-          kernels::calc_ur_dot_rows(c, 0.61, precon, k0, k1,
-                                    c.row_scratch());
+        nullptr, 3, [&](int, Chunk2D& c, const Bounds& tb) {
+          kernels::calc_ur_dot_rows(c, 0.61, precon, tb, c.row_scratch());
         });
     EXPECT_EQ(tiled, unfused) << to_string(precon);
     for (const FieldId f : {FieldId::kU, FieldId::kR}) {
@@ -219,11 +230,11 @@ TEST(TiledKernels, JacobiTwoPhaseMatchesFusedSweep) {
                        return bb;
                      },
                      [](int, Chunk2D& c, const Bounds& tb) {
-                       kernels::jacobi_save_rows(c, tb.klo, tb.khi);
+                       kernels::jacobi_save_rows(c, tb);
                      });
     return b->sum_rows_over_chunks(
-        nullptr, 5, [](int, Chunk2D& c, int k0, int k1) {
-          kernels::jacobi_update_rows(c, k0, k1, c.row_scratch());
+        nullptr, 5, [](int, Chunk2D& c, const Bounds& tb) {
+          kernels::jacobi_update_rows(c, tb, c.row_scratch());
         });
   }();
   EXPECT_EQ(tiled, full);
@@ -239,8 +250,8 @@ TEST(TiledCluster, SumRowsMatchesSumOverChunksBitwise) {
     double tiled = 0.0;
     parallel_region([&](Team& t) {
       const double v = cl->sum_rows_over_chunks(
-          &t, tile, [](int, Chunk2D& c, int k0, int k1) {
-            kernels::dot_rows(c, FieldId::kU, FieldId::kU, k0, k1,
+          &t, tile, [](int, Chunk2D& c, const Bounds& tb) {
+            kernels::dot_rows(c, FieldId::kU, FieldId::kU, tb,
                               c.row_scratch());
           });
       t.single([&] { tiled = v; });
