@@ -20,7 +20,9 @@
 //    retired; 3-D runs the same engine): per solver, fixed-iteration
 //    2-D (n²) vs 3-D (m³, similar cell count) solves at unfused /
 //    fused / fused+tiled, reporting the per-dimension engine speedups
-//    and the 3-D-vs-2-D cost per cell·iteration.  Emits BENCH_PR4.json.
+//    and the 3-D-vs-2-D cost per cell·iteration.  The mg-pcg baseline
+//    rides along (unfused vs fused; its dimension-generic multigrid
+//    hierarchy covers both geometries).  Emits BENCH_PR4.json.
 //       ./bench/bench_kernels --dim 3 [--mesh 64] [--mesh3d 16]
 //                             [--ranks 4] [--reps 3] [--tile 8]
 //                             [--out BENCH_PR4.json]
@@ -39,6 +41,7 @@
 
 #include "comm/sim_comm.hpp"
 #include "driver/decks.hpp"
+#include "driver/sweep.hpp"
 #include "driver/tealeaf_app.hpp"
 #include "io/json.hpp"
 #include "model/machine.hpp"
@@ -592,6 +595,26 @@ std::vector<EngineCase> dim_compare_cases() {
   return cases;
 }
 
+/// One fixed-iteration MG-PCG solve (either dimension) on the deck's
+/// undecomposed grid, via the sweep's shared step runner so the bench
+/// always measures exactly the configuration the sweep ranks.  Returns
+/// solve seconds (hierarchy setup excluded — the per-iteration engines
+/// are what the fused/unfused axis A/Bs) and the iteration count.
+double time_mg_pcg_once(const InputDeck& base, bool fused, int max_iters,
+                        int* iters) {
+  InputDeck deck = base;
+  deck.solver.type = SolverType::kCG;  // only sizes the halo allocation
+  deck.solver.halo_depth = 1;
+  TeaLeafApp app(deck, /*nranks=*/1);
+  MGPreconditionedCG::Options opt;
+  opt.eps = 1e-300;  // unreachable: every engine runs max_iters exactly
+  opt.max_iters = max_iters;
+  opt.fused = fused;
+  const MGPCGResult res = mg_pcg_step(app, deck, opt);
+  *iters = res.iterations;
+  return res.solve_seconds;
+}
+
 int run_dim_compare(const Args& args) {
   log::set_level(log::Level::kError);  // fixed-iteration runs hit max_iters
   const int mesh2d = args.get_int("mesh", 64);
@@ -670,6 +693,67 @@ int run_dim_compare(const Args& args) {
                   ec.name.c_str(), dims, configs[0].best, configs[1].best,
                   tile, configs[2].best, configs[0].iters,
                   identical ? "" : " MISMATCH");
+    }
+    const double s2 = entry.at("2d").at("fused_seconds_per_cell_iter")
+                          .as_number();
+    const double s3 = entry.at("3d").at("fused_seconds_per_cell_iter")
+                          .as_number();
+    entry.set("cost_ratio_3d_vs_2d_per_cell_iter",
+              s2 > 0.0 ? s3 / s2 : 0.0);
+    arr.push_back(std::move(entry));
+  }
+
+  // The mg-pcg baseline rides the same comparison now that the multigrid
+  // hierarchy is dimension-generic: fixed-iteration solves per geometry
+  // at unfused vs fused (mg-pcg's engine axis has no row tiling).
+  {
+    const int mg_iters = 8;
+    io::JsonValue entry = io::JsonValue::object();
+    entry.set("solver", "mg-pcg");
+    for (const int dims : {2, 3}) {
+      InputDeck deck = decks::hot_block(mesh2d, 1);
+      if (dims == 3) {
+        deck.dims = 3;
+        deck.x_cells = deck.y_cells = deck.z_cells = mesh3d;
+        deck.zmin = deck.xmin;
+        deck.zmax = deck.xmax;
+      }
+      struct Config {
+        bool fused;
+        double best = 0.0;
+        int iters = 0;
+      };
+      std::vector<Config> configs = {{false}, {true}};
+      for (int rep = -1; rep < reps; ++rep) {  // first round is warmup
+        for (Config& c : configs) {
+          const double s = time_mg_pcg_once(deck, c.fused, mg_iters,
+                                            &c.iters);
+          if (rep <= 0 || s < c.best) c.best = s;
+        }
+      }
+      const bool identical = configs[0].iters == configs[1].iters;
+      all_identical = all_identical && identical;
+      const long long cells = dims == 3
+                                  ? 1LL * mesh3d * mesh3d * mesh3d
+                                  : 1LL * mesh2d * mesh2d;
+      io::JsonValue d = io::JsonValue::object();
+      d.set("cells", cells);
+      d.set("iters", configs[0].iters);
+      d.set("unfused_seconds", configs[0].best);
+      d.set("fused_seconds", configs[1].best);
+      d.set("fused_speedup_vs_unfused",
+            configs[1].best > 0.0 ? configs[0].best / configs[1].best : 0.0);
+      const double per_cell_iter =
+          configs[0].iters > 0
+              ? configs[1].best /
+                    (static_cast<double>(cells) * configs[0].iters)
+              : 0.0;
+      d.set("fused_seconds_per_cell_iter", per_cell_iter);
+      d.set("identical_iterations", identical);
+      entry.set(dims == 3 ? "3d" : "2d", std::move(d));
+      std::printf("%-10s %dD unfused %.4fs fused %.4fs (iters %d%s)\n",
+                  "mg-pcg", dims, configs[0].best, configs[1].best,
+                  configs[0].iters, identical ? "" : " MISMATCH");
     }
     const double s2 = entry.at("2d").at("fused_seconds_per_cell_iter")
                           .as_number();

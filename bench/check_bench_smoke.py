@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Assert the engine-equivalence invariants of a BENCH_*.json artifact.
+
+The bench harnesses record ``identical_iterations`` wherever two execution
+engines solved the same problem (the engines are bitwise equivalent, so
+any mismatch is a correctness bug, not noise).  The old CI check was
+``! grep -q '"identical_iterations": false'`` — which passes vacuously
+when the key is missing or the file is empty.  This script fails on BOTH:
+every solver entry must carry at least one ``identical_iterations`` flag
+(directly or in a nested object) and every flag must be true.
+
+Usage: check_bench_smoke.py BENCH_PR2.json [BENCH_PR3.json ...]
+"""
+
+import json
+import sys
+
+
+def collect_flags(node, out):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key == "identical_iterations":
+                out.append(value)
+            else:
+                collect_flags(value, out)
+    elif isinstance(node, list):
+        for item in node:
+            collect_flags(item, out)
+
+
+def check(path):
+    with open(path) as f:
+        doc = json.load(f)
+    solvers = doc.get("solvers")
+    if not isinstance(solvers, list) or not solvers:
+        raise SystemExit(f"{path}: no 'solvers' array — nothing was benched")
+    for entry in solvers:
+        name = entry.get("solver", "<unnamed>")
+        flags = []
+        collect_flags(entry, flags)
+        if not flags:
+            raise SystemExit(
+                f"{path}: solver '{name}' carries no identical_iterations "
+                f"flag — the equivalence check would pass vacuously"
+            )
+        if not all(flag is True for flag in flags):
+            raise SystemExit(
+                f"{path}: solver '{name}' ran differing iteration counts "
+                f"across engines — the engines must be bitwise equivalent"
+            )
+    print(f"{path}: {len(solvers)} solvers, all engine pairs identical")
+
+
+def main():
+    if len(sys.argv) < 2:
+        raise SystemExit("usage: check_bench_smoke.py BENCH.json [...]")
+    for path in sys.argv[1:]:
+        check(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Assert a design-space sweep smoke produced the rows CI relies on.
+
+Replaces the inline ``python3 - <<EOF`` heredoc the bench-smoke job used
+to carry: runnable locally against any sweep JSON, and every assertion
+fails loudly on MISSING keys instead of passing vacuously.
+
+Checks:
+  * every requested solver contributes >= 1 converged, unskipped row in
+    every requested geometry;
+  * the ranking is non-empty and covers every requested geometry;
+  * no cell of the sweep is skipped (the smoke configurations avoid the
+    legitimately-invalid combinations, so any skip — e.g. a resurrected
+    "mg-pcg x 3d" hole — is a regression).  Pass --allow-skips if the
+    swept axes intentionally include invalid cells.
+
+Usage:
+  check_sweep_smoke.py sweep3d.json \
+      --solvers jacobi,cg,chebyshev,ppcg,mg-pcg --geometries 2d,3d
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_sweep_smoke: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path")
+    ap.add_argument("--solvers", required=True)
+    ap.add_argument("--geometries", default="2d,3d")
+    ap.add_argument(
+        "--allow-skips",
+        action="store_true",
+        help="tolerate skipped cells (swept axes include invalid combos)",
+    )
+    args = ap.parse_args()
+    solvers = [s for s in args.solvers.split(",") if s]
+    geometries = [g for g in args.geometries.split(",") if g]
+
+    try:
+        with open(args.json_path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {args.json_path}: {e}")
+
+    cells = doc.get("cells")
+    ranking = doc.get("ranking")
+    if not isinstance(cells, list) or not cells:
+        fail("document has no 'cells' array")
+    if not isinstance(ranking, list) or not ranking:
+        fail("document has no (non-empty) 'ranking' array")
+
+    for required in ("solver", "geometry", "converged", "skipped"):
+        missing = [i for i, c in enumerate(cells) if required not in c]
+        if missing:
+            fail(f"cells {missing[:5]} lack the '{required}' key")
+
+    skipped = [c for c in cells if c["skipped"]]
+    if skipped and not args.allow_skips:
+        reasons = {c.get("skip_reason", "<no reason>") for c in skipped}
+        fail(
+            f"{len(skipped)} skipped cells (expected none): "
+            + "; ".join(sorted(reasons))
+        )
+
+    for solver in solvers:
+        for geometry in geometries:
+            rows = [
+                c
+                for c in cells
+                if c["solver"] == solver
+                and c["geometry"] == geometry
+                and c["converged"]
+                and not c["skipped"]
+            ]
+            if not rows:
+                fail(f"no converged {geometry} row for solver '{solver}'")
+
+    ranked_geometries = {cells[i]["geometry"] for i in ranking}
+    for geometry in geometries:
+        if geometry not in ranked_geometries:
+            fail(f"ranking contains no {geometry} row")
+
+    converged = [c for c in cells if c["converged"] and not c["skipped"]]
+    print(
+        f"{args.json_path}: {len(converged)}/{len(cells)} cells converged "
+        f"over solvers {sorted({c['solver'] for c in converged})} and "
+        f"geometries {sorted(ranked_geometries)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

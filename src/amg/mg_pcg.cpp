@@ -12,59 +12,88 @@ namespace tealeaf {
 namespace {
 
 /// Row-ordered dot product: per-row partials land in `row_sums`, then
-/// every thread sums the rows in row order — all threads return the same
-/// value, bitwise equal to the serial accumulation.
-double reduce_rows(const Team* team, int ny, std::vector<double>& row_sums) {
+/// every thread sums the rows in flattened (plane, row) order — all
+/// threads return the same value, bitwise equal to the serial
+/// accumulation.
+double reduce_rows(const Team* team, int nrows,
+                   std::vector<double>& row_sums) {
   phase_barrier(team);
   double total = 0.0;
-  for (int k = 0; k < ny; ++k) total += row_sums[k];
+  for (int row = 0; row < nrows; ++row) total += row_sums[row];
   phase_barrier(team);  // row_sums free for the next reduction
   return total;
 }
 
 }  // namespace
 
-MGPreconditionedCG::MGPreconditionedCG(const Field2D<double>& kx,
-                                       const Field2D<double>& ky, int nx,
+MGPreconditionedCG::MGPreconditionedCG(const Field<double>& kx,
+                                       const Field<double>& ky, int nx,
                                        int ny, const Options& opt)
-    : nx_(nx), ny_(ny), opt_(opt) {
+    : nx_(nx), ny_(ny), nz_(1), opt_(opt) {
   Timer t;
-  mg_ = std::make_unique<Multigrid2D>(kx, ky, nx, ny, opt.mg);
+  mg_ = std::make_unique<Multigrid>(kx, ky, nx, ny, opt.mg);
   setup_seconds_ = t.elapsed_s();
 }
 
-MGPreconditionedCG::MGPreconditionedCG(const Field2D<double>& kx,
-                                       const Field2D<double>& ky, int nx,
+MGPreconditionedCG::MGPreconditionedCG(const Field<double>& kx,
+                                       const Field<double>& ky, int nx,
                                        int ny)
     : MGPreconditionedCG(kx, ky, nx, ny, Options{}) {}
 
-MGPreconditionedCG MGPreconditionedCG::from_chunk(const Chunk2D& chunk,
+MGPreconditionedCG::MGPreconditionedCG(const Field<double>& kx,
+                                       const Field<double>& ky,
+                                       const Field<double>& kz, int nx,
+                                       int ny, int nz, const Options& opt)
+    : nx_(nx), ny_(ny), nz_(nz), opt_(opt) {
+  Timer t;
+  mg_ = std::make_unique<Multigrid>(kx, ky, kz, nx, ny, nz, opt.mg);
+  setup_seconds_ = t.elapsed_s();
+}
+
+MGPreconditionedCG::MGPreconditionedCG(const Field<double>& kx,
+                                       const Field<double>& ky,
+                                       const Field<double>& kz, int nx,
+                                       int ny, int nz)
+    : MGPreconditionedCG(kx, ky, kz, nx, ny, nz, Options{}) {}
+
+MGPreconditionedCG MGPreconditionedCG::from_chunk(const Chunk& chunk,
                                                   const Options& opt) {
-  TEA_REQUIRE(chunk.dims() == 2,
-              "mg-pcg's multigrid hierarchy is 2-D only (unported to 3-D)");
+  if (chunk.dims() == 3) {
+    return MGPreconditionedCG(chunk.kx(), chunk.ky(), chunk.kz(),
+                              chunk.nx(), chunk.ny(), chunk.nz(), opt);
+  }
   return MGPreconditionedCG(chunk.kx(), chunk.ky(), chunk.nx(), chunk.ny(),
                             opt);
 }
 
-MGPreconditionedCG MGPreconditionedCG::from_chunk(const Chunk2D& chunk) {
+MGPreconditionedCG MGPreconditionedCG::from_chunk(const Chunk& chunk) {
   return from_chunk(chunk, Options{});
 }
 
-MGPCGResult MGPreconditionedCG::solve(const Field2D<double>& rhs,
-                                      Field2D<double>& u) {
-  TEA_REQUIRE(rhs.nx() == nx_ && rhs.ny() == ny_, "rhs shape mismatch");
-  TEA_REQUIRE(u.nx() == nx_ && u.ny() == ny_ && u.halo() >= 1,
+MGPCGResult MGPreconditionedCG::solve(const Field<double>& rhs,
+                                      Field<double>& u) {
+  TEA_REQUIRE(rhs.nx() == nx_ && rhs.ny() == ny_ && rhs.nz() == nz_,
+              "rhs shape mismatch");
+  TEA_REQUIRE(u.nx() == nx_ && u.ny() == ny_ && u.nz() == nz_ &&
+                  u.halo() >= 1 && (mg_->dims() == 2 || u.halo_z() >= 1),
               "solution field must match the grid and carry a halo");
   Timer timer;
   MGPCGResult res;
   res.setup_seconds = setup_seconds_;
 
-  const MGLevel& lv = mg_->level(0);
-  Field2D<double> r(nx_, ny_, 1, 0.0);
-  Field2D<double> z(nx_, ny_, 1, 0.0);
-  Field2D<double> p(nx_, ny_, 1, 0.0);
-  Field2D<double> w(nx_, ny_, 1, 0.0);
-  std::vector<double> row_sums(static_cast<std::size_t>(ny_), 0.0);
+  const kernels::MGOperatorView A = mg_->level(0).op();
+  const auto work_field = [&] {
+    return mg_->dims() == 3 ? Field<double>::make3d(nx_, ny_, nz_, 1, 0.0)
+                            : Field<double>(nx_, ny_, 1, 0.0);
+  };
+  Field<double> r = work_field();
+  Field<double> z = work_field();
+  Field<double> p = work_field();
+  Field<double> w = work_field();
+  const int nrows = ny_ * nz_;
+  std::vector<double> row_sums(static_cast<std::size_t>(nrows), 0.0);
+  const auto row_k = [this](int row) { return row % ny_; };
+  const auto row_l = [this](int row) { return row / ny_; };
 
   // One body serves both engines (team == nullptr: serial, the Fig. 7
   // baseline; with a Team: every row loop — V-cycle smoothers included —
@@ -77,22 +106,23 @@ MGPCGResult MGPreconditionedCG::solve(const Field2D<double>& rhs,
   bool converged = false;
   double final_metric = 0.0;
   const auto run = [&](const Team* team) {
-    for_rows(team, ny_, [&](int k) {
-      for (int j = 0; j < nx_; ++j)
-        r(j, k) = rhs(j, k) - Multigrid2D::apply_stencil(lv, u, j, k);
+    for_rows(team, nrows, [&](int row) {
+      kernels::mg_residual_row(A, rhs, u, r, row_k(row), row_l(row));
     });
     phase_barrier(team);
 
     mg_->v_cycle(r, z, team);
-    for_rows(team, ny_, [&](int k) {
+    for_rows(team, nrows, [&](int row) {
+      const int k = row_k(row);
+      const int l = row_l(row);
       double acc = 0.0;
       for (int j = 0; j < nx_; ++j) {
-        p(j, k) = z(j, k);
-        acc += r(j, k) * z(j, k);
+        p(j, k, l) = z(j, k, l);
+        acc += r(j, k, l) * z(j, k, l);
       }
-      row_sums[static_cast<std::size_t>(k)] = acc;
+      row_sums[static_cast<std::size_t>(row)] = acc;
     });
-    double rz = reduce_rows(team, ny_, row_sums);
+    double rz = reduce_rows(team, nrows, row_sums);
     const double initial_norm = std::sqrt(std::fabs(rz));
     if (team == nullptr || team->thread_id() == 0) {
       res.initial_norm = initial_norm;
@@ -108,38 +138,41 @@ MGPCGResult MGPreconditionedCG::solve(const Field2D<double>& rhs,
     int it = 0;
     bool conv = false;
     while (it < opt_.max_iters) {
-      for_rows(team, ny_, [&](int k) {
-        double acc = 0.0;
-        for (int j = 0; j < nx_; ++j) {
-          w(j, k) = Multigrid2D::apply_stencil(lv, p, j, k);
-          acc += p(j, k) * w(j, k);
-        }
-        row_sums[static_cast<std::size_t>(k)] = acc;
+      for_rows(team, nrows, [&](int row) {
+        row_sums[static_cast<std::size_t>(row)] =
+            kernels::mg_smvp_dot_row(A, p, w, row_k(row), row_l(row));
       });
-      const double pw = reduce_rows(team, ny_, row_sums);
+      const double pw = reduce_rows(team, nrows, row_sums);
       if (!(pw > 0.0)) {
         // Uniform: every thread saw the same pw; one writes the flag.
         if (team == nullptr || team->thread_id() == 0) breakdown = true;
         break;
       }
       const double alpha = rz / pw;
-      for_rows(team, ny_, [&](int k) {
+      for_rows(team, nrows, [&](int row) {
+        const int k = row_k(row);
+        const int l = row_l(row);
         for (int j = 0; j < nx_; ++j) {
-          u(j, k) += alpha * p(j, k);
-          r(j, k) -= alpha * w(j, k);
+          u(j, k, l) += alpha * p(j, k, l);
+          r(j, k, l) -= alpha * w(j, k, l);
         }
       });
       phase_barrier(team);
       mg_->v_cycle(r, z, team);
-      for_rows(team, ny_, [&](int k) {
+      for_rows(team, nrows, [&](int row) {
+        const int k = row_k(row);
+        const int l = row_l(row);
         double acc = 0.0;
-        for (int j = 0; j < nx_; ++j) acc += r(j, k) * z(j, k);
-        row_sums[static_cast<std::size_t>(k)] = acc;
+        for (int j = 0; j < nx_; ++j) acc += r(j, k, l) * z(j, k, l);
+        row_sums[static_cast<std::size_t>(row)] = acc;
       });
-      const double rz_new = reduce_rows(team, ny_, row_sums);
+      const double rz_new = reduce_rows(team, nrows, row_sums);
       const double beta = rz_new / rz;
-      for_rows(team, ny_, [&](int k) {
-        for (int j = 0; j < nx_; ++j) p(j, k) = z(j, k) + beta * p(j, k);
+      for_rows(team, nrows, [&](int row) {
+        const int k = row_k(row);
+        const int l = row_l(row);
+        for (int j = 0; j < nx_; ++j)
+          p(j, k, l) = z(j, k, l) + beta * p(j, k, l);
       });
       phase_barrier(team);
       rz = rz_new;

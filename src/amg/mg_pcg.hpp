@@ -23,6 +23,11 @@ struct MGPCGResult {
 /// contrasts against CPPCG: near mesh-independent iteration counts and an
 /// expensive setup phase.
 ///
+/// Dimension-generic like the rest of the solver stack: the same CG loop
+/// drives the 2-D 5-point and the 3-D 7-point operator, and a
+/// single-plane 3-D solve (nz = 1, kz ≡ 0) reproduces the 2-D iteration
+/// counts, residual norms and iterates exactly.
+///
 /// Runs on the undecomposed global grid; its distributed communication
 /// cost is modelled analytically in src/model (DESIGN.md §2.3).
 class MGPreconditionedCG {
@@ -37,33 +42,44 @@ class MGPreconditionedCG {
     /// is bitwise identical to the serial baseline — the design-space
     /// sweep A/Bs the two on speed alone, like the native solvers.
     bool fused = false;
-    Multigrid2D::Options mg;
+    Multigrid::Options mg;
   };
 
-  /// Build from face-coefficient fields (same convention as Multigrid2D).
-  MGPreconditionedCG(const Field2D<double>& kx, const Field2D<double>& ky,
+  /// Build a 2-D solver from face-coefficient fields (same convention as
+  /// Multigrid).
+  MGPreconditionedCG(const Field<double>& kx, const Field<double>& ky,
                      int nx, int ny, const Options& opt);
-  MGPreconditionedCG(const Field2D<double>& kx, const Field2D<double>& ky,
+  MGPreconditionedCG(const Field<double>& kx, const Field<double>& ky,
                      int nx, int ny);
 
-  /// Convenience: build from a single-rank TeaLeaf chunk whose Kx/Ky have
-  /// been initialised by kernels::init_conduction.
-  static MGPreconditionedCG from_chunk(const Chunk2D& chunk,
+  /// Build a 3-D (7-point) solver; kz needs a z halo >= 1.
+  MGPreconditionedCG(const Field<double>& kx, const Field<double>& ky,
+                     const Field<double>& kz, int nx, int ny, int nz,
+                     const Options& opt);
+  MGPreconditionedCG(const Field<double>& kx, const Field<double>& ky,
+                     const Field<double>& kz, int nx, int ny, int nz);
+
+  /// Convenience: build from a single-rank TeaLeaf chunk (either
+  /// dimension) whose Kx/Ky(/Kz) have been initialised by
+  /// kernels::init_conduction.
+  static MGPreconditionedCG from_chunk(const Chunk& chunk,
                                        const Options& opt);
-  static MGPreconditionedCG from_chunk(const Chunk2D& chunk);
+  static MGPreconditionedCG from_chunk(const Chunk& chunk);
 
   /// Solve A·u = rhs; `u` provides the initial guess and receives the
-  /// solution (interior-indexed fine-grid fields, halo >= 1).
-  MGPCGResult solve(const Field2D<double>& rhs, Field2D<double>& u);
+  /// solution (interior-indexed fine-grid fields; `u` needs halo >= 1,
+  /// in z too for 3-D solvers).
+  MGPCGResult solve(const Field<double>& rhs, Field<double>& u);
 
-  [[nodiscard]] const Multigrid2D& hierarchy() const { return *mg_; }
+  [[nodiscard]] const Multigrid& hierarchy() const { return *mg_; }
   [[nodiscard]] double setup_seconds() const { return setup_seconds_; }
 
  private:
   int nx_;
   int ny_;
+  int nz_ = 1;
   Options opt_;
-  std::unique_ptr<Multigrid2D> mg_;
+  std::unique_ptr<Multigrid> mg_;
   double setup_seconds_ = 0.0;
 };
 

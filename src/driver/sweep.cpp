@@ -135,56 +135,32 @@ void run_native_cell(const InputDeck& deck, int ranks, int steps,
   out.message_bytes = cs.message_bytes;
 }
 
-/// Run one cell with the MG-preconditioned CG baseline.  It solves on the
-/// undecomposed grid (paper Fig. 7's PETSc+BoomerAMG stand-in), so the
-/// cell always runs on one simulated rank and records no halo traffic;
-/// its cost is dominated by the per-step hierarchy setup.
+/// Run one cell with the MG-preconditioned CG baseline (either
+/// dimension).  It solves on the undecomposed grid (paper Fig. 7's
+/// PETSc+BoomerAMG stand-in), so the cell always runs on one simulated
+/// rank and records no halo traffic; its cost is dominated by the
+/// per-step hierarchy setup.
 void run_mg_pcg_cell(InputDeck deck, int steps, bool fused,
                      SweepOutcome& out) {
   deck.solver.type = SolverType::kCG;  // only sizes the halo allocation
   deck.solver.halo_depth = 1;
   TeaLeafApp app(deck, /*nranks=*/1);
-  SimCluster2D& cl = app.cluster();
-  cl.reset_stats();
-  const double dt = deck.initial_timestep;
-  const double rx = dt / (cl.mesh().dx() * cl.mesh().dx());
-  const double ry = dt / (cl.mesh().dy() * cl.mesh().dy());
-  Chunk2D& c = cl.chunk(0);
+  app.cluster().reset_stats();
+
+  MGPreconditionedCG::Options opt;
+  opt.eps = deck.solver.eps;
+  opt.max_iters = deck.solver.max_iters;
+  opt.fused = fused;
 
   out.converged = true;
   for (int s = 0; s < steps; ++s) {
-    cl.exchange({FieldId::kDensity, FieldId::kEnergy1}, cl.halo_depth());
-    cl.for_each_chunk([&](int, Chunk2D& ch) {
-      kernels::init_u_u0(ch);
-      kernels::init_conduction(ch, deck.coefficient, rx, ry);
-    });
-
-    MGPreconditionedCG::Options opt;
-    opt.eps = deck.solver.eps;
-    opt.max_iters = deck.solver.max_iters;
-    opt.fused = fused;
-    MGPreconditionedCG solver = MGPreconditionedCG::from_chunk(c, opt);
-
-    Field2D<double> rhs(c.nx(), c.ny(), 0, 0.0);
-    for (int k = 0; k < c.ny(); ++k)
-      for (int j = 0; j < c.nx(); ++j) rhs(j, k) = c.u0()(j, k);
-    Field2D<double> u(c.nx(), c.ny(), 1, 0.0);
-    const MGPCGResult res = solver.solve(rhs, u);
-
+    const MGPCGResult res = mg_pcg_step(app, deck, opt);
     out.converged = out.converged && res.converged;
     out.iterations += res.iterations;
     out.final_norm = res.final_norm;
     out.solve_seconds += res.setup_seconds + res.solve_seconds;
-
-    // Write the solution back and recover energy, as the driver does.
-    for (int k = 0; k < c.ny(); ++k) {
-      for (int j = 0; j < c.nx(); ++j) {
-        c.u()(j, k) = u(j, k);
-        c.energy()(j, k) = u(j, k) / c.density()(j, k);
-      }
-    }
   }
-  const CommStats& cs = cl.stats();
+  const CommStats& cs = app.cluster().stats();
   out.reductions = cs.reductions;
   out.exchanges = cs.exchange_calls;
   out.messages = cs.messages;
@@ -198,6 +174,48 @@ std::string fmt_double(double v) {
 }
 
 }  // namespace
+
+MGPCGResult mg_pcg_step(TeaLeafApp& app, const InputDeck& deck,
+                        const MGPreconditionedCG::Options& opt) {
+  SimCluster2D& cl = app.cluster();
+  TEA_REQUIRE(cl.nranks() == 1,
+              "mg_pcg_step: the baseline solves the undecomposed grid");
+  const double dt = deck.initial_timestep;
+  const double rx = dt / (cl.mesh().dx() * cl.mesh().dx());
+  const double ry = dt / (cl.mesh().dy() * cl.mesh().dy());
+  const double rz = cl.mesh().dims == 3
+                        ? dt / (cl.mesh().dz() * cl.mesh().dz())
+                        : 0.0;
+  Chunk& c = cl.chunk(0);
+  const bool is3d = c.dims() == 3;
+
+  cl.exchange({FieldId::kDensity, FieldId::kEnergy1}, cl.halo_depth());
+  kernels::init_u_u0(c);
+  kernels::init_conduction(c, deck.coefficient, rx, ry, rz);
+  MGPreconditionedCG solver = MGPreconditionedCG::from_chunk(c, opt);
+
+  Field<double> rhs =
+      is3d ? Field<double>::make3d(c.nx(), c.ny(), c.nz(), 0, 0.0)
+           : Field<double>(c.nx(), c.ny(), 0, 0.0);
+  for (int l = 0; l < c.nz(); ++l)
+    for (int k = 0; k < c.ny(); ++k)
+      for (int j = 0; j < c.nx(); ++j) rhs(j, k, l) = c.u0()(j, k, l);
+  Field<double> u =
+      is3d ? Field<double>::make3d(c.nx(), c.ny(), c.nz(), 1, 0.0)
+           : Field<double>(c.nx(), c.ny(), 1, 0.0);
+  const MGPCGResult res = solver.solve(rhs, u);
+
+  // Write the solution back and recover energy, as the driver does.
+  for (int l = 0; l < c.nz(); ++l) {
+    for (int k = 0; k < c.ny(); ++k) {
+      for (int j = 0; j < c.nx(); ++j) {
+        c.u()(j, k, l) = u(j, k, l);
+        c.energy()(j, k, l) = u(j, k, l) / c.density()(j, k, l);
+      }
+    }
+  }
+  return res;
+}
 
 SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
                       const SweepOptions& opts) {
@@ -246,14 +264,6 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
       // would silently measure the untiled path.
       out.skipped = true;
       out.skip_reason = "row tiling requires the fused execution engine";
-    } else if (mg_pcg && cs.dims == 3) {
-      // The four native solvers (and every preconditioner) run in 3-D
-      // through the unified core; the MG baseline's coarsening hierarchy
-      // is the one piece still 2-D only.  Record the cell instead of
-      // throwing so the cross-product stays complete.
-      out.skipped = true;
-      out.skip_reason =
-          "mg-pcg's multigrid hierarchy is 2-D only (unported to 3-D)";
     } else if (mg_pcg) {
       // MG *is* the preconditioner and uses no matrix-powers halo.  Its
       // fused path hoists the V-cycle row loops into one team region per

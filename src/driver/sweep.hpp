@@ -3,11 +3,14 @@
 #include <string>
 #include <vector>
 
+#include "amg/mg_pcg.hpp"
 #include "driver/deck.hpp"
 #include "io/json.hpp"
 #include "model/machine.hpp"
 
 namespace tealeaf {
+
+class TeaLeafApp;
 
 /// One resolved cell of the sweep cross-product.
 struct SweepCase {
@@ -115,5 +118,16 @@ struct SweepOptions {
 /// Convenience: run the sweep the deck itself declares (`base.sweep`).
 [[nodiscard]] SweepReport run_sweep(const InputDeck& base,
                                     const SweepOptions& opts = {});
+
+/// One timestep of the MG-preconditioned CG baseline on `app`'s
+/// undecomposed cluster (either dimension): exchange the materials,
+/// rebuild u/u0 and the conduction coefficients from `deck`, solve
+/// A·u = u0 with one V-cycle of preconditioning per iteration, and write
+/// the solution and recovered energy back into the chunk as the driver
+/// does.  `app` must have been constructed with one simulated rank.
+/// Shared by the sweep's mg-pcg cell runner and bench_kernels' mg-pcg
+/// series, so both always measure the same configuration.
+[[nodiscard]] MGPCGResult mg_pcg_step(TeaLeafApp& app, const InputDeck& deck,
+                                      const MGPreconditionedCG::Options& opt);
 
 }  // namespace tealeaf

@@ -362,59 +362,70 @@ ScalingSeries ScalingModel::sweep(const SolverRunSummary& run,
 double ScalingModel::amg_run_seconds(int pcg_iters, int nodes,
                                      double setup_vcycles) const {
   Cost cost(spec_, mesh_, nodes);
+  const bool is3d = mesh_.dims == 3;
+  // 7-point sweeps stream the extra Kz face-coefficient field, exactly
+  // as run_seconds prices the native solvers.
+  const double kface = is3d ? 8.0 : 0.0;
 
   // Per-step field setup, as for the native solvers.
   cost.exchange(2, 2);
   cost.sweep(32.0);
-  cost.sweep(24.0);
+  cost.sweep(24.0 + kface);
 
-  // One V-cycle across the level hierarchy.  Level sizes follow the
-  // multigrid coarsening in amg/multigrid.cpp; per level the smoothers,
-  // residual and transfer each cost a sweep plus a halo exchange.  Two
-  // effects make the baseline flatten early (paper §VIII):
+  // One V-cycle across the level hierarchy.  Level extents follow the
+  // per-axis multigrid coarsening in amg/multigrid.cpp (each axis halves
+  // while above the coarse floor, so 3-D levels shrink 8× per coarsening
+  // against 4× in 2-D); per level the smoothers, residual and transfer
+  // each cost a sweep plus a halo exchange.  Two effects make the
+  // baseline flatten early (paper §VIII):
   //  * message payloads shrink with the level, so coarse levels are pure
   //    latency;
   //  * AMG coarse-grid operators densify (Galerkin RAP stencil growth),
   //    so the number of neighbours — and hence α-costs per exchange —
   //    grows with depth.  This is the well-documented "coarse-grid
-  //    communication problem" of parallel AMG.
+  //    communication problem" of parallel AMG; in 3-D the graph densifies
+  //    8× per coarsening (one factor 2 per axis), so the coarse-level
+  //    latency wall arrives one to two levels sooner.
   const double vcycle = [&] {
     Cost vc(spec_, mesh_, nodes);
     const double total_ranks =
         static_cast<double>(nodes) * spec_.ranks_per_node;
-    int n = std::max(mesh_.nx, mesh_.ny);
-    const double full = static_cast<double>(mesh_.nx) * mesh_.ny;
+    int nx = mesh_.nx;
+    int ny = mesh_.ny;
+    int nz = is3d ? mesh_.nz : 1;
+    const double full = static_cast<double>(mesh_.nx) * mesh_.ny *
+                        (is3d ? mesh_.nz : 1);
+    const double densify = is3d ? 8.0 : 4.0;
     int level = 0;
-    while (n > 4) {
-      const double frac =
-          (static_cast<double>(n) * n) / full;  // level/fine cell ratio
-      // Communication-graph densification: the Galerkin coarse operators
-      // couple geometrically more ranks per level (≈4× per coarsening)
-      // until saturating at the ranks that still own coarse points.
-      // Each extra graph neighbour costs one α per level visit.  This is
-      // the calibrated stand-in for BoomerAMG's coarse-grid
-      // communication problem; it is what pins the baseline's scaling
-      // peak to tens of nodes (paper Fig. 7 / §VIII).
-      const double active_ranks =
-          std::min(total_ranks, static_cast<double>(n) * n);
+    while (nx > 4 || ny > 4 || (is3d && nz > 4)) {
+      const double level_cells =
+          static_cast<double>(nx) * ny * nz;  // per-axis extents
+      const double frac = level_cells / full;  // level/fine cell ratio
+      const double active_ranks = std::min(total_ranks, level_cells);
       const double graph_neighbors =
-          std::min(active_ranks, std::pow(4.0, level));
+          std::min(active_ranks, std::pow(densify, level));
       const double level_alpha_s =
           2.0 * graph_neighbors * spec_.net_alpha_us * 1.0e-6;
       // 2 pre + 2 post smooths (copy + update each), residual, restrict,
-      // prolong: scale the sweep cost by the level's relative size.
+      // prolong: scale the sweep cost by the level's relative size.  The
+      // smoother/residual stencils stream Kz on 3-D levels; the transfer
+      // operators are coefficient-free but the 3-D restriction gathers
+      // 8 children per coarse cell (vs 4) and the prolongation reads the
+      // parent across 8 fine cells, amortising to one extra byte/cell.
       for (int s = 0; s < 4; ++s) {
         vc.sweep(16.0 * frac);
-        vc.sweep(40.0 * frac);
+        vc.sweep((40.0 + kface) * frac);
         vc.exchange(1, 1);  // halo for the next simultaneous sweep
       }
-      vc.sweep(32.0 * frac);  // residual
+      vc.sweep((32.0 + kface) * frac);  // residual
       vc.exchange(1, 1);
-      vc.sweep(8.0 * frac);   // restriction
-      vc.sweep(16.0 * frac);  // prolongation + correction
+      vc.sweep((is3d ? 9.0 : 8.0) * frac);    // restriction
+      vc.sweep((is3d ? 17.0 : 16.0) * frac);  // prolongation + correction
       vc.exchange(1, 1);
       vc.add_seconds(level_alpha_s);
-      n = (n + 1) / 2;
+      if (nx > 4) nx = (nx + 1) / 2;
+      if (ny > 4) ny = (ny + 1) / 2;
+      if (is3d && nz > 4) nz = (nz + 1) / 2;
       ++level;
     }
     return vc.seconds();
@@ -425,7 +436,7 @@ double ScalingModel::amg_run_seconds(int pcg_iters, int nodes,
   for (int i = 0; i < pcg_iters; ++i) {
     Cost it(spec_, mesh_, nodes);
     it.exchange(1, 1);
-    it.sweep(kBytesSmvp);
+    it.sweep(kBytesSmvp + kface);
     it.reduce();
     it.sweep(kBytesCalcUr);
     it.reduce();

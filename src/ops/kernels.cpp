@@ -905,4 +905,161 @@ void jacobi_tile_edges(Chunk& c, const Bounds& tb, double* row_sums) {
   }
 }
 
+// ---- multigrid level cores ----------------------------------------------
+
+namespace {
+
+/// Diagonal of a level's operator; the Dims == 2 expression is exactly
+/// the pre-generalisation 2-D hierarchy's.
+template <int Dims>
+inline double mg_diag_core(const MGOperatorView& A, int j, int k, int l) {
+  const auto& kx = *A.kx;
+  const auto& ky = *A.ky;
+  if constexpr (Dims == 2) {
+    return 1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k));
+  } else {
+    const auto& kz = *A.kz;
+    return 1.0 + (ky(j, k + 1, l) + ky(j, k, l)) +
+           (kx(j + 1, k, l) + kx(j, k, l)) +
+           (kz(j, k, l + 1) + kz(j, k, l));
+  }
+}
+
+template <int Dims>
+inline double mg_stencil_core(const MGOperatorView& A,
+                              const Field<double>& src, int j, int k,
+                              int l) {
+  const auto& kx = *A.kx;
+  const auto& ky = *A.ky;
+  if constexpr (Dims == 2) {
+    return mg_diag_core<2>(A, j, k, l) * src(j, k) -
+           (ky(j, k + 1) * src(j, k + 1) + ky(j, k) * src(j, k - 1)) -
+           (kx(j + 1, k) * src(j + 1, k) + kx(j, k) * src(j - 1, k));
+  } else {
+    const auto& kz = *A.kz;
+    return mg_diag_core<3>(A, j, k, l) * src(j, k, l) -
+           (ky(j, k + 1, l) * src(j, k + 1, l) +
+            ky(j, k, l) * src(j, k - 1, l)) -
+           (kx(j + 1, k, l) * src(j + 1, k, l) +
+            kx(j, k, l) * src(j - 1, k, l)) -
+           (kz(j, k, l + 1) * src(j, k, l + 1) +
+            kz(j, k, l) * src(j, k, l - 1));
+  }
+}
+
+/// Stencil-arity dispatch for the level cores (one branch per row, zero
+/// per cell) — the MGOperatorView analogue of dims_dispatch.
+template <class Fn>
+inline void mg_dispatch(const MGOperatorView& A, Fn&& fn) {
+  if (A.kz != nullptr) {
+    fn(std::integral_constant<int, 3>{});
+  } else {
+    fn(std::integral_constant<int, 2>{});
+  }
+}
+
+}  // namespace
+
+double mg_apply_stencil(const MGOperatorView& A, const Field<double>& src,
+                        int j, int k, int l) {
+  return A.kz != nullptr ? mg_stencil_core<3>(A, src, j, k, l)
+                         : mg_stencil_core<2>(A, src, j, k, l);
+}
+
+void mg_smooth_row(const MGOperatorView& A, const Field<double>& rhs,
+                   const Field<double>& old_u, Field<double>& u,
+                   double omega, int k, int l) {
+  mg_dispatch(A, [&](auto dims) {
+    constexpr int Dims = decltype(dims)::value;
+    for (int j = 0; j < A.nx; ++j) {
+      const double diag = mg_diag_core<Dims>(A, j, k, l);
+      const double r =
+          rhs(j, k, l) - mg_stencil_core<Dims>(A, old_u, j, k, l);
+      u(j, k, l) = old_u(j, k, l) + omega * r / diag;
+    }
+  });
+}
+
+void mg_residual_row(const MGOperatorView& A, const Field<double>& rhs,
+                     const Field<double>& u, Field<double>& res, int k,
+                     int l) {
+  mg_dispatch(A, [&](auto dims) {
+    constexpr int Dims = decltype(dims)::value;
+    for (int j = 0; j < A.nx; ++j) {
+      res(j, k, l) = rhs(j, k, l) - mg_stencil_core<Dims>(A, u, j, k, l);
+    }
+  });
+}
+
+double mg_smvp_dot_row(const MGOperatorView& A, const Field<double>& src,
+                       Field<double>& dst, int k, int l) {
+  double acc = 0.0;
+  mg_dispatch(A, [&](auto dims) {
+    constexpr int Dims = decltype(dims)::value;
+    for (int j = 0; j < A.nx; ++j) {
+      const double w = mg_stencil_core<Dims>(A, src, j, k, l);
+      dst(j, k, l) = w;
+      acc += src(j, k, l) * w;
+    }
+  });
+  return acc;
+}
+
+void mg_restrict_row(const Field<double>& fine_res, int fnx, int fny,
+                     int fnz, Field<double>& coarse_rhs,
+                     Field<double>& coarse_u, int cnx, int cny, int cnz,
+                     int kc, int lc) {
+  // Per-axis coarsening factors: equal extents mean the axis did not
+  // coarsen (single child, identity index map, no 1/2 weight).
+  const bool cx = cnx < fnx;
+  const bool cy = cny < fny;
+  const bool cz = cnz < fnz;
+  const int k0 = cy ? 2 * kc : kc;
+  const int k1 = cy ? std::min(2 * kc + 1, fny - 1) : k0;
+  const int l0 = cz ? 2 * lc : lc;
+  const int l1 = cz ? std::min(2 * lc + 1, fnz - 1) : l0;
+  const double weight =
+      (cx ? 0.5 : 1.0) * (cy ? 0.5 : 1.0) * (cz ? 0.5 : 1.0);
+  for (int jc = 0; jc < cnx; ++jc) {
+    const int j0 = cx ? 2 * jc : jc;
+    const int j1 = cx ? std::min(2 * jc + 1, fnx - 1) : j0;
+    // Child accumulation in the 2-D hierarchy's order — (j0,k0), (j1,k0),
+    // (j0,k1), (j1,k1) per plane — adding a term only when its axis
+    // actually coarsened (a held axis has ONE child; summing its
+    // duplicate index would double the restricted value, since `weight`
+    // carries no 1/2 for held axes).  A fully-coarsened z-degenerate
+    // level walks the same four terms in the same order as the classic
+    // code, bit for bit.  Odd trailing cells in a coarsened axis still
+    // aggregate singly via the duplicated j1/k1/l1 index, weighted like
+    // two children — the 2-D hierarchy's convention.
+    const auto plane_sum = [&](int l) {
+      double s = fine_res(j0, k0, l);
+      if (cx) s += fine_res(j1, k0, l);
+      if (cy) {
+        s += fine_res(j0, k1, l);
+        if (cx) s += fine_res(j1, k1, l);
+      }
+      return s;
+    };
+    double s = plane_sum(l0);
+    if (cz) s += plane_sum(l1);
+    coarse_rhs(jc, kc, lc) = weight * s;
+    coarse_u(jc, kc, lc) = 0.0;
+  }
+}
+
+void mg_prolong_row(const Field<double>& coarse_u, int cnx, int cny,
+                    int cnz, Field<double>& fine_u, int fnx, int fny,
+                    int fnz, int kf, int lf) {
+  const bool cx = cnx < fnx;
+  const bool cy = cny < fny;
+  const bool cz = cnz < fnz;
+  const int kc = cy ? std::min(kf / 2, cny - 1) : kf;
+  const int lc = cz ? std::min(lf / 2, cnz - 1) : lf;
+  for (int jf = 0; jf < fnx; ++jf) {
+    const int jc = cx ? std::min(jf / 2, cnx - 1) : jf;
+    fine_u(jf, kf, lf) += coarse_u(jc, kc, lc);
+  }
+}
+
 }  // namespace tealeaf::kernels

@@ -252,6 +252,75 @@ void jacobi_save_rows(Chunk& c, const Bounds& tb);
 /// the phases.
 void jacobi_update_rows(Chunk& c, const Bounds& tb, double* row_sums);
 
+// ---- multigrid level cores (amg/) ---------------------------------------
+// The geometric multigrid hierarchy (amg/multigrid.cpp) runs on its own
+// per-level grids rather than on a Chunk, but its operator is the same
+// A = identity + K-weighted graph Laplacian, so its per-row cores live
+// here next to the 5-pt/7-pt chunk cores and are templated on the stencil
+// arity the same way: `kz == nullptr` selects the 2-D 5-point core, whose
+// arithmetic (and code) is exactly the pre-generalisation 2-D hierarchy's,
+// and a 3-D level with kz ≡ 0 (a single cell-plane, where both z faces
+// are physical boundaries) produces values equal to the 2-D core's.
+// Every core processes one (k, l) row, so the V-cycle's serial and
+// Team-workshared row loops share it and stay bitwise identical.
+
+/// Non-owning view of one multigrid level's operator: face coefficients
+/// in the TeaLeaf convention (kx(j,k,l) couples cells (j-1,k,l),(j,k,l);
+/// physical-boundary faces zero).
+struct MGOperatorView {
+  const Field<double>* kx = nullptr;
+  const Field<double>* ky = nullptr;
+  const Field<double>* kz = nullptr;  ///< nullptr ⇒ 2-D 5-point operator
+  int nx = 0;
+  int ny = 0;
+  int nz = 1;
+};
+
+/// A·src at one cell of a level (5-point or 7-point on A.kz).
+[[nodiscard]] double mg_apply_stencil(const MGOperatorView& A,
+                                      const Field<double>& src, int j, int k,
+                                      int l = 0);
+
+/// One damped-Jacobi row: u = old_u + ω·(rhs − A·old_u)/diag over row
+/// (k, l).  `old_u` must be a pristine copy of u (simultaneous update).
+void mg_smooth_row(const MGOperatorView& A, const Field<double>& rhs,
+                   const Field<double>& old_u, Field<double>& u,
+                   double omega, int k, int l);
+
+/// One residual row: res = rhs − A·u over row (k, l).
+void mg_residual_row(const MGOperatorView& A, const Field<double>& rhs,
+                     const Field<double>& u, Field<double>& res, int k,
+                     int l);
+
+/// One operator row with the CG dot folded in: dst = A·src over row
+/// (k, l), returning Σ src·dst over the row (mg-pcg's ⟨p, A·p⟩ partial).
+[[nodiscard]] double mg_smvp_dot_row(const MGOperatorView& A,
+                                     const Field<double>& src,
+                                     Field<double>& dst, int k, int l);
+
+/// One coarse row (kc, lc) of the full-weighting residual restriction:
+/// coarse_rhs = average of the fine residual over the 2×2(×2) child
+/// cells — the cell-centred analogue of the vertex-centred 9/27-point
+/// full-weighting operator and the transpose of mg_prolong_row's
+/// piecewise-constant interpolation (R = c·Pᵀ keeps the V-cycle
+/// symmetric for use inside CG).  Per-axis coarsening factors derive
+/// from the extent pairs: an axis with equal fine/coarse extents has a
+/// single child per coarse cell and contributes no 1/2 weight, so a
+/// z-degenerate 3-D level reproduces the 2-D operator exactly.  Odd
+/// trailing cells aggregate singly (the last child duplicates, as in
+/// the 2-D hierarchy).  Also zeroes coarse_u for the coming cycle.
+void mg_restrict_row(const Field<double>& fine_res, int fnx, int fny,
+                     int fnz, Field<double>& coarse_rhs,
+                     Field<double>& coarse_u, int cnx, int cny, int cnz,
+                     int kc, int lc);
+
+/// One fine row (kf, lf) of the piecewise-constant prolongation:
+/// fine_u += coarse_u(parent cell), with the same per-axis factor
+/// derivation as mg_restrict_row.
+void mg_prolong_row(const Field<double>& coarse_u, int cnx, int cny,
+                    int cnz, Field<double>& fine_u, int fnx, int fny,
+                    int fnz, int kf, int lf);
+
 /// Tile `tb` of the interior for the tiled Jacobi sweep's save phase.
 /// 2-D: CACHE-FUSED — saves the block's rows (r = u, extending to the
 /// −1/ny halo rows on the first/last block) with the update row-lagged

@@ -107,8 +107,9 @@ struct SweepSpec {
   /// dimension.  A 3-D cell runs the 7-point operator on a mesh_n³ brick
   /// through the same unified core (labels carry a trailing "/3d", the
   /// CSV/JSON tables a `geometry` column).  Empty = inherit the base
-  /// deck's geometry, like the mesh-size axis.  mg-pcg × 3d cells are
-  /// enumerated but skipped — the multigrid hierarchy is 2-D only.
+  /// deck's geometry, like the mesh-size axis.  Every solver — mg-pcg
+  /// and its dimension-generic multigrid hierarchy included — runs in
+  /// both geometries.
   std::vector<int> geometries;
   int ranks = 4;                         ///< simulated ranks per run
 

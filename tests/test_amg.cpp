@@ -155,5 +155,363 @@ TEST(MGPCG, SetupCostIsRecorded) {
   EXPECT_GE(solver.hierarchy().num_levels(), 3);
 }
 
+// ---- dimension-generic hierarchy (3-D, mirroring test_geometry3d) -------
+
+using testing::make_test_problem;
+using testing::make_test_problem_3d;
+using testing::make_test_problem_slab3d;
+
+TEST(Multigrid3D, HierarchyCoarsensPerAxis) {
+  auto cl = make_test_problem_3d(32, 1, 2, 8.0);
+  const Chunk& c = cl->chunk(0);
+  Multigrid mg(c.kx(), c.ky(), c.kz(), 32, 32, 32);
+  ASSERT_EQ(mg.num_levels(), 4);  // 32³ → 16³ → 8³ → 4³
+  EXPECT_EQ(mg.level(1).nx, 16);
+  EXPECT_EQ(mg.level(1).nz, 16);
+  EXPECT_EQ(mg.level(3).nz, 4);
+  // Coefficients restrict positively on every axis.
+  EXPECT_GT(mg.level(1).kx(1, 1, 1), 0.0);
+  EXPECT_GT(mg.level(1).kz(1, 1, 1), 0.0);
+
+  // Anisotropic brick: short axes hold at the floor while long axes keep
+  // coarsening (per-axis factors from the extents).
+  Field<double> kx = Field<double>::make3d(16, 16, 4, 1, 0.1);
+  Field<double> ky = Field<double>::make3d(16, 16, 4, 1, 0.1);
+  Field<double> kz = Field<double>::make3d(16, 16, 4, 1, 0.1);
+  Multigrid aniso(kx, ky, kz, 16, 16, 4);
+  ASSERT_EQ(aniso.num_levels(), 3);  // (16,16,4) → (8,8,4) → (4,4,4)
+  EXPECT_EQ(aniso.level(1).nx, 8);
+  EXPECT_EQ(aniso.level(1).nz, 4);
+  EXPECT_EQ(aniso.level(2).nx, 4);
+  EXPECT_EQ(aniso.level(2).nz, 4);
+}
+
+TEST(Multigrid3D, TransferOperatorsPreserveConstantsOnHeldAxes) {
+  // Full weighting must average, never sum: restricting a constant-1
+  // residual yields exactly 1 for EVERY combination of coarsened and
+  // held axes (a held axis has a single child; double-counting its
+  // duplicate index would restrict constants to 2).
+  struct Extents {
+    int fnx, fny, fnz, cnx, cny, cnz;
+  };
+  for (const Extents& e : {Extents{4, 4, 1, 2, 2, 1},    // classic 2-D
+                           Extents{4, 2, 2, 2, 2, 1},    // y held
+                           Extents{2, 4, 4, 2, 2, 2},    // x held
+                           Extents{4, 4, 2, 2, 2, 2},    // z held
+                           Extents{4, 4, 4, 2, 2, 2}}) { // full 3-D
+    Field<double> fine =
+        Field<double>::make3d(e.fnx, e.fny, e.fnz, 1, 0.0);
+    fine.fill_interior(1.0);
+    Field<double> coarse_rhs =
+        Field<double>::make3d(e.cnx, e.cny, e.cnz, 1, 0.0);
+    Field<double> coarse_u =
+        Field<double>::make3d(e.cnx, e.cny, e.cnz, 1, 0.0);
+    for (int lc = 0; lc < e.cnz; ++lc)
+      for (int kc = 0; kc < e.cny; ++kc)
+        kernels::mg_restrict_row(fine, e.fnx, e.fny, e.fnz, coarse_rhs,
+                                 coarse_u, e.cnx, e.cny, e.cnz, kc, lc);
+    for (int lc = 0; lc < e.cnz; ++lc)
+      for (int kc = 0; kc < e.cny; ++kc)
+        for (int jc = 0; jc < e.cnx; ++jc)
+          ASSERT_EQ(coarse_rhs(jc, kc, lc), 1.0)
+              << e.fnx << "x" << e.fny << "x" << e.fnz << " -> " << e.cnx
+              << "x" << e.cny << "x" << e.cnz << " at (" << jc << ","
+              << kc << "," << lc << ")";
+
+    // The transpose: prolonging a constant coarse correction adds
+    // exactly that constant to every fine cell.
+    coarse_u.fill_interior(1.0);
+    Field<double> fine_u =
+        Field<double>::make3d(e.fnx, e.fny, e.fnz, 1, 0.0);
+    for (int lf = 0; lf < e.fnz; ++lf)
+      for (int kf = 0; kf < e.fny; ++kf)
+        kernels::mg_prolong_row(coarse_u, e.cnx, e.cny, e.cnz, fine_u,
+                                e.fnx, e.fny, e.fnz, kf, lf);
+    for (int lf = 0; lf < e.fnz; ++lf)
+      for (int kf = 0; kf < e.fny; ++kf)
+        for (int jf = 0; jf < e.fnx; ++jf)
+          ASSERT_EQ(fine_u(jf, kf, lf), 1.0);
+  }
+}
+
+TEST(Multigrid3D, VCycleContractsOnAnisotropic2DGrid) {
+  // Per-axis coarsening makes held-axis levels reachable in 2-D too
+  // (e.g. 32x4: y holds at the floor while x keeps halving); the
+  // restriction must keep averaging there for the V-cycle to contract.
+  const int nx = 32, ny = 4;
+  Field<double> kx(nx, ny, 1, 0.0);
+  Field<double> ky(nx, ny, 1, 0.0);
+  for (int k = 0; k < ny; ++k)
+    for (int j = 1; j < nx; ++j) kx(j, k) = 2.0;  // boundary faces zero
+  for (int k = 1; k < ny; ++k)
+    for (int j = 0; j < nx; ++j) ky(j, k) = 2.0;
+  Multigrid mg(kx, ky, nx, ny);
+  ASSERT_GE(mg.num_levels(), 3);
+  EXPECT_EQ(mg.level(1).nx, 16);
+  EXPECT_EQ(mg.level(1).ny, 4);  // y held at the floor
+
+  Field<double> rhs(nx, ny, 1, 0.0);
+  for (int k = 0; k < ny; ++k)
+    for (int j = 0; j < nx; ++j)
+      rhs(j, k) = std::sin(0.2 * j) * std::cos(0.5 * k);
+  Field<double> z(nx, ny, 1, 0.0);
+  mg.v_cycle(rhs, z);
+  double rr = 0.0, r0 = 0.0;
+  for (int k = 0; k < ny; ++k) {
+    for (int j = 0; j < nx; ++j) {
+      const double r =
+          rhs(j, k) - Multigrid::apply_stencil(mg.level(0), z, j, k);
+      rr += r * r;
+      r0 += rhs(j, k) * rhs(j, k);
+    }
+  }
+  EXPECT_LT(std::sqrt(rr), 0.5 * std::sqrt(r0))
+      << "V-cycle must contract on held-axis hierarchies";
+}
+
+TEST(Multigrid3D, VCycleContractsResidual3D) {
+  const int n = 20;
+  auto cl = make_test_problem_3d(n, 1, 2, 8.0);
+  const Chunk& c = cl->chunk(0);
+  Multigrid mg(c.kx(), c.ky(), c.kz(), n, n, n);
+  const MGLevel& lv = mg.level(0);
+
+  Field<double> rhs = Field<double>::make3d(n, n, n, 1, 0.0);
+  for (int l = 0; l < n; ++l)
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        rhs(j, k, l) =
+            std::sin(0.2 * j) * std::cos(0.15 * k) * std::cos(0.1 * l);
+  Field<double> u = Field<double>::make3d(n, n, n, 1, 0.0);
+
+  const auto resnorm = [&] {
+    double rr = 0.0;
+    for (int l = 0; l < n; ++l) {
+      for (int k = 0; k < n; ++k) {
+        for (int j = 0; j < n; ++j) {
+          const double r =
+              rhs(j, k, l) - Multigrid::apply_stencil(lv, u, j, k, l);
+          rr += r * r;
+        }
+      }
+    }
+    return std::sqrt(rr);
+  };
+
+  const double r0 = resnorm();
+  Field<double> z = Field<double>::make3d(n, n, n, 1, 0.0);
+  mg.v_cycle(rhs, z);
+  for (int l = 0; l < n; ++l)
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j) u(j, k, l) += z(j, k, l);
+  const double r1 = resnorm();
+  EXPECT_LT(r1, 0.5 * r0) << "one V-cycle must contract the residual";
+}
+
+TEST(Multigrid3D, SinglePlaneVCycleMatches2DExactly) {
+  // The tentpole contract at the hierarchy level: a 3-D hierarchy built
+  // over a single cell-plane (Kz ≡ 0) has the same level ladder as the
+  // 2-D hierarchy and its V-cycle output equals the 2-D V-cycle's
+  // bitwise, row for row.
+  const int n = 24;
+  auto d2 = make_test_problem(n, 1, 2, 6.0);
+  auto d3 = make_test_problem_slab3d(n, 1, 2, 6.0);
+  const Chunk& c2 = d2->chunk(0);
+  const Chunk& c3 = d3->chunk(0);
+  Multigrid mg2(c2.kx(), c2.ky(), n, n);
+  Multigrid mg3(c3.kx(), c3.ky(), c3.kz(), n, n, 1);
+  ASSERT_EQ(mg3.num_levels(), mg2.num_levels());
+  for (int lev = 0; lev < mg2.num_levels(); ++lev) {
+    EXPECT_EQ(mg3.level(lev).nx, mg2.level(lev).nx);
+    EXPECT_EQ(mg3.level(lev).ny, mg2.level(lev).ny);
+    EXPECT_EQ(mg3.level(lev).nz, 1);
+  }
+
+  Field<double> rhs2(n, n, 1, 0.0);
+  Field<double> rhs3 = Field<double>::make3d(n, n, 1, 1, 0.0);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      const double v = std::sin(0.2 * j) * std::cos(0.15 * k);
+      rhs2(j, k) = v;
+      rhs3(j, k, 0) = v;
+    }
+  }
+  Field<double> z2(n, n, 1, 0.0);
+  Field<double> z3 = Field<double>::make3d(n, n, 1, 1, 0.0);
+  mg2.v_cycle(rhs2, z2);
+  mg3.v_cycle(rhs3, z3);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      ASSERT_EQ(z2(j, k), z3(j, k, 0)) << "(" << j << "," << k << ")";
+
+  // Residual norms of the corrected iterate agree exactly too.
+  double rr2 = 0.0, rr3 = 0.0;
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      const double r2 =
+          rhs2(j, k) - Multigrid::apply_stencil(mg2.level(0), z2, j, k);
+      const double r3 = rhs3(j, k, 0) - Multigrid::apply_stencil(
+                                            mg3.level(0), z3, j, k, 0);
+      rr2 += r2 * r2;
+      rr3 += r3 * r3;
+    }
+  }
+  EXPECT_EQ(rr2, rr3);
+}
+
+TEST(MGPCG3D, SolvesToTolerance3D) {
+  const int n = 20;
+  auto cl = make_test_problem_3d(n, 1, 2, 8.0);
+  Chunk& c = cl->chunk(0);
+  auto solver = MGPreconditionedCG::from_chunk(c);
+  c.u0().copy_interior_from(c.u());  // u0 = ρe from the fixture
+  Field<double> rhs = Field<double>::make3d(n, n, n, 0, 0.0);
+  for (int l = 0; l < n; ++l)
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j) rhs(j, k, l) = c.u0()(j, k, l);
+  Field<double> u = Field<double>::make3d(n, n, n, 1, 0.0);
+  const MGPCGResult res = solver.solve(rhs, u);
+  EXPECT_TRUE(res.converged);
+  // Independent residual check against the 7-point operator.
+  Multigrid mg(c.kx(), c.ky(), c.kz(), n, n, n);
+  double rr = 0.0, bb = 0.0;
+  for (int l = 0; l < n; ++l) {
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        const double r = rhs(j, k, l) -
+                         Multigrid::apply_stencil(mg.level(0), u, j, k, l);
+        rr += r * r;
+        bb += rhs(j, k, l) * rhs(j, k, l);
+      }
+    }
+  }
+  EXPECT_LT(std::sqrt(rr / bb), 1e-8);
+}
+
+TEST(MGPCG3D, NearMeshIndependentIterations3D) {
+  int iters16 = 0, iters32 = 0;
+  for (const int n : {16, 32}) {
+    auto cl = make_test_problem_3d(n, 1, 2, 16.0);
+    Chunk& c = cl->chunk(0);
+    c.u0().copy_interior_from(c.u());
+    Field<double> rhs = Field<double>::make3d(n, n, n, 0, 0.0);
+    for (int l = 0; l < n; ++l)
+      for (int k = 0; k < n; ++k)
+        for (int j = 0; j < n; ++j) rhs(j, k, l) = c.u0()(j, k, l);
+    auto solver = MGPreconditionedCG::from_chunk(c);
+    Field<double> u = Field<double>::make3d(n, n, n, 1, 0.0);
+    const MGPCGResult res = solver.solve(rhs, u);
+    ASSERT_TRUE(res.converged);
+    (n == 16 ? iters16 : iters32) = res.iterations;
+  }
+  EXPECT_LE(iters32, iters16 + 6) << "MG-PCG should be ~mesh independent";
+}
+
+TEST(MGPCG3D, MatchesTeaLeafCGSolution3D) {
+  const int n = 14;
+  auto cl = make_test_problem_3d(n, 1, 2, 8.0);
+  Chunk& c = cl->chunk(0);
+  Field<double> rhs = Field<double>::make3d(n, n, n, 0, 0.0);
+  for (int l = 0; l < n; ++l)
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j) rhs(j, k, l) = c.u0()(j, k, l);
+
+  auto mg_solver = MGPreconditionedCG::from_chunk(c);
+  Field<double> u_mg = Field<double>::make3d(n, n, n, 1, 0.0);
+  ASSERT_TRUE(mg_solver.solve(rhs, u_mg).converged);
+
+  SolverConfig cfg;
+  cfg.type = SolverType::kCG;
+  cfg.eps = 1e-12;
+  ASSERT_TRUE(CGSolver::solve(*cl, cfg).converged);
+  for (int l = 0; l < n; ++l)
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        EXPECT_NEAR(u_mg(j, k, l), c.u()(j, k, l), 1e-6)
+            << j << "," << k << "," << l;
+}
+
+TEST(MGPCG3D, SinglePlaneSolveMatches2DExactly) {
+  // The satellite contract: the slab solve reproduces the 2-D iteration
+  // count, both residual norms and the iterate itself exactly — in both
+  // execution engines.
+  for (const bool fused : {false, true}) {
+    const int n = 24;
+    auto d2 = make_test_problem(n, 1, 2, 6.0);
+    auto d3 = make_test_problem_slab3d(n, 1, 2, 6.0);
+    Chunk& c2 = d2->chunk(0);
+    Chunk& c3 = d3->chunk(0);
+    MGPreconditionedCG::Options opt;
+    opt.fused = fused;
+    auto s2 = MGPreconditionedCG::from_chunk(c2, opt);
+    auto s3 = MGPreconditionedCG::from_chunk(c3, opt);
+
+    Field<double> rhs2(n, n, 0, 0.0);
+    Field<double> rhs3 = Field<double>::make3d(n, n, 1, 0, 0.0);
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j) {
+        rhs2(j, k) = c2.u0()(j, k);
+        rhs3(j, k, 0) = c3.u0()(j, k, 0);
+        ASSERT_EQ(rhs2(j, k), rhs3(j, k, 0));
+      }
+    Field<double> u2(n, n, 1, 0.0);
+    Field<double> u3 = Field<double>::make3d(n, n, 1, 1, 0.0);
+    const MGPCGResult r2 = s2.solve(rhs2, u2);
+    const MGPCGResult r3 = s3.solve(rhs3, u3);
+    ASSERT_TRUE(r2.converged);
+    ASSERT_TRUE(r3.converged);
+    EXPECT_EQ(r3.iterations, r2.iterations) << "fused=" << fused;
+    EXPECT_EQ(r3.initial_norm, r2.initial_norm) << "fused=" << fused;
+    EXPECT_EQ(r3.final_norm, r2.final_norm) << "fused=" << fused;
+    for (int k = 0; k < n; ++k)
+      for (int j = 0; j < n; ++j)
+        ASSERT_EQ(u2(j, k), u3(j, k, 0))
+            << "fused=" << fused << " (" << j << "," << k << ")";
+  }
+}
+
+TEST(MGPCG3D, FusedBitwiseIdenticalToUnfused) {
+  // Engine equivalence in BOTH dimensions, the way test_geometry3d
+  // enforces it for the native solvers.
+  for (const int dims : {2, 3}) {
+    const int n = dims == 3 ? 12 : 24;
+    auto cl = dims == 3 ? make_test_problem_3d(n, 1, 2, 6.0)
+                        : make_test_problem(n, 1, 2, 6.0);
+    Chunk& c = cl->chunk(0);
+    const auto rhs_field = [&] {
+      Field<double> rhs =
+          dims == 3 ? Field<double>::make3d(n, n, n, 0, 0.0)
+                    : Field<double>(n, n, 0, 0.0);
+      for (int l = 0; l < c.nz(); ++l)
+        for (int k = 0; k < n; ++k)
+          for (int j = 0; j < n; ++j) rhs(j, k, l) = c.u0()(j, k, l);
+      return rhs;
+    };
+    const Field<double> rhs = rhs_field();
+    const auto solve_with = [&](bool fused, Field<double>& u) {
+      MGPreconditionedCG::Options opt;
+      opt.fused = fused;
+      auto solver = MGPreconditionedCG::from_chunk(c, opt);
+      return solver.solve(rhs, u);
+    };
+    Field<double> uu = dims == 3 ? Field<double>::make3d(n, n, n, 1, 0.0)
+                                 : Field<double>(n, n, 1, 0.0);
+    Field<double> uf = dims == 3 ? Field<double>::make3d(n, n, n, 1, 0.0)
+                                 : Field<double>(n, n, 1, 0.0);
+    const MGPCGResult ru = solve_with(false, uu);
+    const MGPCGResult rf = solve_with(true, uf);
+    ASSERT_TRUE(ru.converged) << dims << "D";
+    ASSERT_TRUE(rf.converged) << dims << "D";
+    EXPECT_EQ(rf.iterations, ru.iterations) << dims << "D";
+    EXPECT_EQ(rf.initial_norm, ru.initial_norm) << dims << "D";
+    EXPECT_EQ(rf.final_norm, ru.final_norm) << dims << "D";
+    for (int l = 0; l < c.nz(); ++l)
+      for (int k = 0; k < n; ++k)
+        for (int j = 0; j < n; ++j)
+          ASSERT_EQ(uu(j, k, l), uf(j, k, l))
+              << dims << "D (" << j << "," << k << "," << l << ")";
+  }
+}
+
 }  // namespace
 }  // namespace tealeaf

@@ -23,37 +23,13 @@ namespace {
 using testing::make_test_problem;
 using testing::make_test_problem_3d;
 using testing::max_field_diff;
-using testing::test_density;
-using testing::test_energy;
 
-/// A single-plane 3-D cluster carrying exactly the 2-D test problem: same
-/// material per (j, k) cell, same decomposition inputs.
+/// The single-plane slab now lives in test_helpers (shared with the 3-D
+/// multigrid suite in test_amg.cpp).
 std::unique_ptr<SimCluster> make_slab_problem(int n, int nranks,
                                               int halo_depth,
                                               double rx_ry = 4.0) {
-  const GlobalMesh mesh =
-      GlobalMesh::make3d(n, n, 1, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0);
-  auto cl = std::make_unique<SimCluster>(mesh, nranks, halo_depth);
-  cl->for_each_chunk([&](int, Chunk& c) {
-    for (int k = 0; k < c.ny(); ++k) {
-      for (int j = 0; j < c.nx(); ++j) {
-        const int gj = c.extent().x0 + j;
-        const int gk = c.extent().y0 + k;
-        c.density()(j, k, 0) = test_density(gj, gk);
-        c.energy()(j, k, 0) = test_energy(gj, gk);
-      }
-    }
-  });
-  cl->exchange({FieldId::kDensity, FieldId::kEnergy1}, halo_depth);
-  cl->for_each_chunk([&](int, Chunk& c) {
-    kernels::init_u_u0(c);
-    // rz scales Kz, which is identically zero on a single plane (both z
-    // faces are physical boundaries) — any value gives the same operator.
-    kernels::init_conduction(c, kernels::Coefficient::kConductivity, rx_ry,
-                             rx_ry, rx_ry);
-  });
-  cl->reset_stats();
-  return cl;
+  return testing::make_test_problem_slab3d(n, nranks, halo_depth, rx_ry);
 }
 
 TEST(CrossDimension, SlabCGRecurrenceScalarsMatch2DExactly) {

@@ -79,6 +79,39 @@ inline double max_field_diff(const SimCluster& a, const SimCluster& b,
   return worst;
 }
 
+/// A single-plane 3-D cluster carrying exactly the 2-D test problem: same
+/// material per (j, k) cell, same decomposition inputs.  The slab the
+/// cross-dimension equality tests (test_geometry3d, the 3-D multigrid
+/// suite in test_amg) solve: Kz ≡ 0, so the 7-point operator degenerates
+/// to the 5-point one and every per-iteration scalar must reproduce the
+/// 2-D solver's exactly.
+inline std::unique_ptr<SimCluster> make_test_problem_slab3d(
+    int n, int nranks, int halo_depth, double rx_ry = 4.0) {
+  const GlobalMesh mesh =
+      GlobalMesh::make3d(n, n, 1, 0.0, 10.0, 0.0, 10.0, 0.0, 10.0);
+  auto cl = std::make_unique<SimCluster>(mesh, nranks, halo_depth);
+  cl->for_each_chunk([&](int, Chunk& c) {
+    for (int k = 0; k < c.ny(); ++k) {
+      for (int j = 0; j < c.nx(); ++j) {
+        const int gj = c.extent().x0 + j;
+        const int gk = c.extent().y0 + k;
+        c.density()(j, k, 0) = test_density(gj, gk);
+        c.energy()(j, k, 0) = test_energy(gj, gk);
+      }
+    }
+  });
+  cl->exchange({FieldId::kDensity, FieldId::kEnergy1}, halo_depth);
+  cl->for_each_chunk([&](int, Chunk& c) {
+    kernels::init_u_u0(c);
+    // rz scales Kz, which is identically zero on a single plane (both z
+    // faces are physical boundaries) — any value gives the same operator.
+    kernels::init_conduction(c, kernels::Coefficient::kConductivity, rx_ry,
+                             rx_ry, rx_ry);
+  });
+  cl->reset_stats();
+  return cl;
+}
+
 /// 3-D companion of make_test_problem: an n³ brick with a deterministic,
 /// decomposition-independent material, ready for any solver.
 inline std::unique_ptr<SimCluster> make_test_problem_3d(

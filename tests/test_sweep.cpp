@@ -469,22 +469,17 @@ TEST(SweepGeometryAxis, RanksConverged2DAnd3DRowsAndRoundTrips) {
   const SweepReport rep = run_sweep(base, spec);
   ASSERT_EQ(rep.cells.size(), 10u);
 
-  // Every native solver converges in BOTH geometries; mg-pcg's 3-D cell
-  // is skipped with a reason, never thrown.
+  // EVERY solver — the four natives AND the mg-pcg baseline — converges
+  // in BOTH geometries now that the multigrid hierarchy is
+  // dimension-generic; no cell of the cross-product is skipped.
   int converged_3d = 0;
   for (const SweepOutcome& c : rep.cells) {
-    if (c.config.solver == "mg-pcg" && c.config.dims == 3) {
-      EXPECT_TRUE(c.skipped);
-      EXPECT_NE(c.skip_reason.find("2-D only"), std::string::npos)
-          << c.skip_reason;
-      continue;
-    }
-    EXPECT_FALSE(c.skipped) << c.config.label();
+    EXPECT_FALSE(c.skipped) << c.config.label() << ": " << c.skip_reason;
     EXPECT_TRUE(c.converged) << c.config.label();
     EXPECT_TRUE(c.fail_reason.empty()) << c.config.label();
     if (c.config.dims == 3) ++converged_3d;
   }
-  EXPECT_EQ(converged_3d, 4);  // one per native solver
+  EXPECT_EQ(converged_3d, 5);  // one per solver, mg-pcg included
 
   // 3-D cells move more halo bytes than their 2-D siblings (face-area
   // payloads) and the ranking mixes both geometries.
@@ -506,6 +501,70 @@ TEST(SweepGeometryAxis, RanksConverged2DAnd3DRowsAndRoundTrips) {
     EXPECT_EQ(json_back.cells[i].config.dims, rep.cells[i].config.dims);
     EXPECT_EQ(csv_back.cells[i].config.label(), rep.cells[i].config.label());
   }
+}
+
+TEST(SweepGeometryAxis, NoMgPcg3DCellIsEverSkipped) {
+  // The last hole of the design-space matrix (ROADMAP "3-D mg-pcg"): the
+  // mg-pcg × 3d cross-product contributes zero skipped cells across the
+  // engine and mesh axes, and each cell ranks as a converged row.
+  InputDeck base = decks::hot_block(12, 1);
+  base.solver.eps = 1e-8;
+  SweepSpec spec;
+  spec.solvers = {"mg-pcg"};
+  spec.mesh_sizes = {8, 12};
+  spec.fused = {0, 1};
+  spec.geometries = {3};
+  spec.ranks = 2;
+  const SweepReport rep = run_sweep(base, spec);
+  ASSERT_EQ(rep.cells.size(), 4u);
+  for (const SweepOutcome& c : rep.cells) {
+    EXPECT_FALSE(c.skipped) << c.config.label() << ": " << c.skip_reason;
+    EXPECT_TRUE(c.converged) << c.config.label();
+    EXPECT_GT(c.iterations, 0) << c.config.label();
+  }
+  EXPECT_EQ(rep.ranking().size(), 4u);
+
+  // The engine axis stays pure speed in 3-D: fused and unfused mg-pcg
+  // cells run identical iteration counts and final norms.
+  for (const std::size_t i : {0u, 2u}) {
+    EXPECT_EQ(rep.cells[i + 1].iterations, rep.cells[i].iterations);
+    EXPECT_EQ(rep.cells[i + 1].final_norm, rep.cells[i].final_norm);
+  }
+}
+
+TEST(SweepGeometryAxis, SkipPlumbingStillFiresForInvalidCombos) {
+  // Retiring the mg-pcg × 3d skip must not have loosened the genuinely
+  // invalid combinations: tiled × unfused still records a reasoned skip
+  // (in both geometries), as do mg-pcg's preconditioner/depth/tile
+  // contracts.
+  InputDeck base = decks::hot_block(12, 1);
+  base.solver.eps = 1e-8;
+  SweepSpec spec;
+  spec.solvers = {"cg", "mg-pcg"};
+  spec.fused = {0};
+  spec.tile_rows = {4};
+  spec.geometries = {2, 3};
+  spec.ranks = 2;
+  const SweepReport rep = run_sweep(base, spec);
+  ASSERT_EQ(rep.cells.size(), 4u);
+  for (const SweepOutcome& c : rep.cells) {
+    EXPECT_TRUE(c.skipped) << c.config.label();
+    EXPECT_NE(c.skip_reason.find("row tiling requires the fused"),
+              std::string::npos)
+        << c.skip_reason;
+  }
+
+  SweepSpec mg;
+  mg.solvers = {"mg-pcg"};
+  mg.precons = {PreconType::kJacobiDiag};
+  mg.geometries = {3};
+  mg.ranks = 2;
+  const SweepReport rep2 = run_sweep(base, mg);
+  ASSERT_EQ(rep2.cells.size(), 1u);
+  EXPECT_TRUE(rep2.cells[0].skipped);
+  EXPECT_NE(rep2.cells[0].skip_reason.find("embeds multigrid"),
+            std::string::npos)
+      << rep2.cells[0].skip_reason;
 }
 
 TEST(SweepGeometryAxis, SlabCellMatches2DIterationCounts) {
