@@ -26,6 +26,12 @@
 //       ./bench/bench_kernels --dim 3 [--mesh 64] [--mesh3d 16]
 //                             [--ranks 4] [--reps 3] [--tile 8]
 //                             [--out BENCH_PR4.json]
+//  * A solve-server batching comparison: the same fixed-iteration request
+//    stream drained at max_batch = 1 (solo: whole-team solves, one after
+//    another) vs coalesced into one sub-team batch, checking the batched
+//    results stay bitwise identical.  Emits BENCH_PR6.json.
+//       ./bench/bench_kernels --server [--mesh 96] [--ranks 2] [--reps 3]
+//                             [--requests 8] [--out BENCH_PR6.json]
 //  * Google-benchmark microbenchmarks of the individual kernels whose
 //    bytes/cell constants feed the performance model (model/scaling.cpp).
 //    Built only where the library exists; run with --gbench (extra
@@ -47,7 +53,9 @@
 #include "model/machine.hpp"
 #include "ops/kernels.hpp"
 #include "precon/preconditioner.hpp"
+#include "server/solve_server.hpp"
 #include "solvers/solver.hpp"
+#include "util/timer.hpp"
 #include "util/args.hpp"
 #include "util/log.hpp"
 #include "util/numeric.hpp"
@@ -776,6 +784,130 @@ int run_dim_compare(const Args& args) {
   return 0;
 }
 
+// ---- solve-server batching (BENCH_PR6) ----------------------------------
+
+/// Fixed-iteration fused configurations for the server stream: eps is out
+/// of reach so every request runs the same capped iteration count and the
+/// solo-vs-batched comparison is pure scheduling, not convergence luck.
+std::vector<EngineCase> server_bench_cases() {
+  std::vector<EngineCase> cases;
+  SolverConfig cg;
+  cg.type = SolverType::kCG;
+  cg.eps = 1e-300;
+  cg.max_iters = 30;
+  cg.fuse_kernels = true;
+  cases.push_back({"cg", cg});
+  SolverConfig cheby = cg;
+  cheby.type = SolverType::kChebyshev;
+  cheby.eigen_cg_iters = 10;
+  cheby.max_iters = 40;
+  cases.push_back({"chebyshev", cheby});
+  SolverConfig ppcg = cg;
+  ppcg.type = SolverType::kPPCG;
+  ppcg.eigen_cg_iters = 8;
+  ppcg.max_iters = 16;
+  cases.push_back({"ppcg", ppcg});
+  SolverConfig jacobi = cg;
+  jacobi.type = SolverType::kJacobi;
+  jacobi.max_iters = 200;
+  cases.push_back({"jacobi", jacobi});
+  return cases;
+}
+
+/// Wall seconds to drain `nreq` identical requests at one coalescing
+/// width.  max_batch = 1 is the solo baseline (every request solves with
+/// the full thread team, sequentially); max_batch = nreq coalesces the
+/// whole stream into one sub-team batch.
+double time_server_stream(const InputDeck& deck, int ranks, int nreq,
+                          int max_batch, int* iters, double* norm) {
+  ServerOptions opts;
+  opts.max_batch = max_batch;
+  opts.max_sessions = static_cast<std::size_t>(nreq);
+  SolveServer server(std::move(opts));
+  for (int i = 0; i < nreq; ++i) {
+    SolveRequest req;
+    req.deck = deck;
+    req.nranks = ranks;
+    server.submit(std::move(req));
+  }
+  Timer timer;
+  const std::vector<SolveResult> results = server.drain();
+  const double seconds = timer.elapsed_s();
+  *iters = results.front().stats.outer_iters;
+  *norm = results.front().stats.final_norm;
+  for (const SolveResult& r : results) {
+    if (r.stats.outer_iters != *iters || r.stats.final_norm != *norm) {
+      std::fprintf(stderr, "warning: %s stream results diverged\n",
+                   to_string(deck.solver.type));
+    }
+  }
+  return seconds;
+}
+
+int run_server_bench(const Args& args) {
+  log::set_level(log::Level::kError);  // fixed-iteration runs hit max_iters
+  const int mesh = args.get_int("mesh", 96);
+  const int ranks = args.get_int("ranks", 2);
+  const int reps = args.get_int("reps", 3);
+  const int nreq = args.get_int("requests", 8);
+  const std::string out_path = args.get("out", "BENCH_PR6.json");
+
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("benchmark", "solve-server batched many-solve engine (PR6)");
+  doc.set("mesh", mesh);
+  doc.set("ranks", ranks);
+  doc.set("threads", num_threads());
+  doc.set("reps", reps);
+  doc.set("requests", nreq);
+  io::JsonValue arr = io::JsonValue::array();
+
+  bool all_identical = true;
+  for (const EngineCase& ec : server_bench_cases()) {
+    InputDeck deck = decks::hot_block(mesh, 1);
+    deck.solver = ec.cfg;
+    double solo = 0.0, batched = 0.0;
+    int solo_iters = 0, batched_iters = 0;
+    double solo_norm = 0.0, batched_norm = 0.0;
+    for (int rep = -1; rep < reps; ++rep) {  // first round is warmup
+      const double s =
+          time_server_stream(deck, ranks, nreq, 1, &solo_iters, &solo_norm);
+      const double b = time_server_stream(deck, ranks, nreq, nreq,
+                                          &batched_iters, &batched_norm);
+      if (rep <= 0 || s < solo) solo = s;
+      if (rep <= 0 || b < batched) batched = b;
+    }
+    // The batch ≡ solo invariant, observed where it is load-bearing.
+    const bool identical =
+        solo_iters == batched_iters && solo_norm == batched_norm;
+    all_identical = all_identical && identical;
+    io::JsonValue cell = io::JsonValue::object();
+    cell.set("solver", ec.name);
+    cell.set("cells", 1LL * mesh * mesh);
+    cell.set("iters", solo_iters);
+    cell.set("solo_seconds", solo);
+    cell.set("batched_seconds", batched);
+    cell.set("batch_speedup", batched > 0.0 ? solo / batched : 0.0);
+    cell.set("identical_results", identical);
+    arr.push_back(std::move(cell));
+    std::printf("%-10s %d requests: solo %.4fs batched %.4fs  "
+                "speedup %.2fx  iters %d%s\n",
+                ec.name.c_str(), nreq, solo, batched,
+                batched > 0.0 ? solo / batched : 0.0, solo_iters,
+                identical ? "" : "  MISMATCH");
+  }
+  doc.set("solvers", std::move(arr));
+  doc.set("identical_results", all_identical);
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("solve-server batching -> %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -788,6 +920,7 @@ int main(int argc, char** argv) {
 #endif
   try {
     const Args args(argc, argv);
+    if (args.has("server")) return run_server_bench(args);
     if (args.has("tile-scan")) return run_tile_scan(args);
     if (args.get_int("dim", 2) == 3) return run_dim_compare(args);
     return run_engine_comparison(args);

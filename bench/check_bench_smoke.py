@@ -3,11 +3,13 @@
 
 The bench harnesses record ``identical_iterations`` wherever two execution
 engines solved the same problem (the engines are bitwise equivalent, so
-any mismatch is a correctness bug, not noise).  The old CI check was
+any mismatch is a correctness bug, not noise); the solve-server bench
+records the stronger ``identical_results`` (bitwise-equal solution fields
+between batched and solo solves).  The old CI check was
 ``! grep -q '"identical_iterations": false'`` — which passes vacuously
 when the key is missing or the file is empty.  This script fails on BOTH:
-every solver entry must carry at least one ``identical_iterations`` flag
-(directly or in a nested object) and every flag must be true.
+every solver entry must carry at least one equivalence flag (directly or
+in a nested object) and every flag must be true.
 
 Usage: check_bench_smoke.py BENCH_PR2.json [BENCH_PR3.json ...]
 """
@@ -19,7 +21,7 @@ import sys
 def collect_flags(node, out):
     if isinstance(node, dict):
         for key, value in node.items():
-            if key == "identical_iterations":
+            if key in ("identical_iterations", "identical_results"):
                 out.append(value)
             else:
                 collect_flags(value, out)
@@ -40,12 +42,12 @@ def check(path):
         collect_flags(entry, flags)
         if not flags:
             raise SystemExit(
-                f"{path}: solver '{name}' carries no identical_iterations "
-                f"flag — the equivalence check would pass vacuously"
+                f"{path}: solver '{name}' carries no equivalence flag — "
+                f"the check would pass vacuously"
             )
         if not all(flag is True for flag in flags):
             raise SystemExit(
-                f"{path}: solver '{name}' ran differing iteration counts "
+                f"{path}: solver '{name}' produced differing results "
                 f"across engines — the engines must be bitwise equivalent"
             )
     print(f"{path}: {len(solvers)} solvers, all engine pairs identical")

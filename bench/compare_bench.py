@@ -96,10 +96,29 @@ def extract_pr4(doc):
     return metrics
 
 
+def extract_pr6(doc):
+    """solve-server batching: mesh^2 cells x iters x requests per stream."""
+    cells = doc["mesh"] ** 2
+    requests = doc["requests"]
+    metrics = {}
+    for entry in doc["solvers"]:
+        name = entry["solver"]
+        iters = entry["iters"] * requests
+        for kind, key in (
+            ("solo", "solo_seconds"),
+            ("batched", "batched_seconds"),
+        ):
+            m = per_cell_iter(entry[key], cells, iters)
+            if m is not None:
+                metrics[f"{name}/{kind}"] = m
+    return metrics
+
+
 EXTRACTORS = (
     ("fused-vs-unfused", extract_pr2),
     ("tile-size scan", extract_pr3),
     ("2-D vs 3-D", extract_pr4),
+    ("solve-server", extract_pr6),
 )
 
 

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
       kernels::init_conduction(c, kernels::Coefficient::kConductivity, rx,
                                ry, rz);
     });
-    const SolveStats st = solve_linear_system(cl, cfg);
+    const SolveStats st = run_solver(cl, cfg);
     cl.for_each_chunk([](int, Chunk& c) {
       for (int l = 0; l < c.nz(); ++l)
         for (int k = 0; k < c.ny(); ++k)

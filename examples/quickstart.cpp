@@ -1,15 +1,19 @@
 // Quickstart: the five-minute tour of the TeaLeaf++ public API.
 //
 //   1. describe a problem with an InputDeck (or load a tea.in file),
-//   2. run the implicit heat-conduction driver on a simulated cluster,
+//   2. open a SolveSession — the handle that owns the simulated cluster
+//      and performs one implicit conduction step per solve(),
 //   3. inspect solver statistics and field summaries.
+//
+// (TeaLeafApp still exists as a construct-and-run() facade over the same
+// session; this tour uses the session directly.)
 //
 // Build & run:  ./examples/quickstart [--mesh 64] [--ranks 4] [--steps 5]
 
 #include <cstdio>
 
+#include "api/solve_api.hpp"
 #include "driver/decks.hpp"
-#include "driver/tealeaf_app.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
@@ -28,30 +32,30 @@ int main(int argc, char** argv) {
 
   std::printf("TeaLeaf++ quickstart: %dx%d mesh on %d simulated ranks\n", n,
               n, ranks);
-  tealeaf::TeaLeafApp app(deck, ranks);
+  tealeaf::SolveSession session(deck, ranks);
 
-  const tealeaf::FieldSummary initial = app.field_summary();
+  const tealeaf::FieldSummary initial = session.field_summary();
   std::printf("initial: volume=%.3f mass=%.3f ie=%.6f avg_temp=%.6f\n",
               initial.volume, initial.mass, initial.ie,
               initial.avg_temp());
 
   for (int s = 0; s < steps; ++s) {
-    const tealeaf::SolveStats st = app.step();
+    const tealeaf::SolveStats st = session.solve();
     std::printf(
         "step %2d  t=%5.2fus  outer=%4d  inner=%5lld  spmv=%5lld  "
         "|r|=%9.2e  %s\n",
-        app.steps_taken(), app.sim_time(), st.outer_iters,
+        session.solves_taken(), session.sim_time(), st.outer_iters,
         st.inner_steps, st.spmv_applies, st.final_norm,
         st.converged ? "converged" : "NOT CONVERGED");
   }
 
-  const tealeaf::FieldSummary final = app.field_summary();
+  const tealeaf::FieldSummary final = session.field_summary();
   std::printf("final:   volume=%.3f mass=%.3f ie=%.6f avg_temp=%.6f\n",
               final.volume, final.mass, final.ie, final.avg_temp());
   std::printf("energy conservation drift: %.3e (should be ~1e-10)\n",
               (final.ie - initial.ie) / initial.ie);
 
-  const auto& stats = app.cluster().stats();
+  const auto& stats = session.cluster().stats();
   std::printf(
       "communication: %lld halo exchanges, %lld messages, %.2f MB, "
       "%lld reductions\n",

@@ -1,0 +1,115 @@
+// Solve-server mode: feed a stream of SolveRequests through the batched
+// many-solve engine and report service metrics — throughput, latency
+// quantiles, session-cache reuse and the one-shot breakdown re-route.
+//
+// The stream mixes two problem shapes (so same-shape requests coalesce
+// into sub-team batches while the shapes keep separate session pools)
+// and, unless --no-poison, one request carrying a stale eigenvalue hint
+// that deterministically breaks down and must be re-routed to complete.
+//
+// Run:  ./examples/solve_server [--requests 20] [--mesh 48] [--mesh2 64]
+//           [--ranks 2] [--batch 8] [--routes sweep.json] [--no-poison]
+//
+// Exits non-zero if any request fails to converge — the CI server-smoke
+// job runs exactly this binary.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/decks.hpp"
+#include "server/routing.hpp"
+#include "server/solve_server.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+int run(const tealeaf::Args& args) {
+  using namespace tealeaf;
+  const int requests = args.get_int("requests", 20);
+  const int mesh = args.get_int("mesh", 48);
+  const int mesh2 = args.get_int("mesh2", 64);
+  const int ranks = args.get_int("ranks", 2);
+  const bool poison = !args.has("no-poison");
+
+  ServerOptions opts;
+  opts.max_batch = args.get_int("batch", 8);
+  const std::string routes = args.get("routes", "");
+  if (!routes.empty()) {
+    opts.routes = RoutingTable::from_json_file(routes);
+    std::printf("routing table: %zu measured cells (swept on %d ranks)\n",
+                opts.routes.size(), opts.routes.sweep_ranks());
+  }
+  SolveServer server(std::move(opts));
+
+  // Mixed-shape stream: two meshes interleaved 2:1, so drain() coalesces
+  // each shape into batches while exercising the shape-keyed cache.
+  for (int i = 0; i < requests; ++i) {
+    SolveRequest req;
+    req.deck = decks::layered_material(i % 3 == 2 ? mesh2 : mesh, 1);
+    req.nranks = ranks;
+    req.tag = "req-" + std::to_string(i);
+    if (poison && i == requests / 2) {
+      // A stale eigenvalue estimate: below-spectrum interval with an odd
+      // inner-step count makes the polynomial preconditioner indefinite —
+      // deterministic rz-breakdown, completed only by the re-route.
+      SolverConfig bad = req.deck.solver;
+      bad.type = SolverType::kPPCG;
+      bad.inner_steps = 3;
+      bad.eig_hint_min = 0.1;
+      bad.eig_hint_max = 0.2;
+      req.config = bad;
+      req.tag += "-stale-hint";
+    }
+    server.submit(std::move(req));
+  }
+
+  const std::vector<SolveResult> results = server.drain();
+
+  int failed = 0;
+  for (const SolveResult& r : results) {
+    std::printf("%-18s %-28s outer=%4d |r|=%9.2e %8.3f ms%s%s%s%s\n",
+                r.tag.c_str(),
+                r.route_label.empty() ? "(deck config)"
+                                      : r.route_label.c_str(),
+                r.stats.outer_iters, r.stats.final_norm,
+                r.latency_seconds * 1e3, r.batched ? " [batched]" : "",
+                r.cache_hit ? " [cache]" : "",
+                r.rerouted ? " [re-routed]" : "",
+                r.ok() ? "" : "  FAILED");
+    if (!r.ok()) ++failed;
+  }
+
+  const ServerStats& st = server.stats();
+  std::printf(
+      "\nserver: %lld requests in %lld batches (%lld coalesced), "
+      "%.1f requests/s\n",
+      st.requests, st.batches, st.batched_requests, st.throughput());
+  std::printf("latency: p50 %.3f ms, p99 %.3f ms\n", st.p50() * 1e3,
+              st.p99() * 1e3);
+  std::printf("sessions: %zu live across %zu shapes, %lld hits / %lld "
+              "misses\n",
+              server.sessions().size(), server.sessions().shapes(),
+              st.cache_hits, st.cache_misses);
+  std::printf("re-routes: %lld, failures: %lld\n", st.reroutes, st.failures);
+
+  if (failed > 0) {
+    std::printf("SMOKE FAIL: %d request(s) did not converge\n", failed);
+    return 1;
+  }
+  std::printf("SMOKE OK: all %lld requests converged\n", st.requests);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const tealeaf::Args args(argc, argv);
+  try {
+    return run(args);
+  } catch (const tealeaf::TeaError& e) {
+    std::fprintf(stderr, "solve_server error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -3,27 +3,33 @@
 // preconditioner combination and compare iterations, operator
 // applications and — crucially — global reductions.
 //
+// Every case runs through ONE SolveSession: the problem shape never
+// changes, so the cluster allocation is built once and reset() re-seeds
+// the fields per case — the same reuse the solve server's shape cache
+// performs at scale.
+//
 // Run:  ./examples/solver_comparison [--mesh 96] [--ranks 4]
 
 #include <cstdio>
 
+#include "api/solve_api.hpp"
 #include "driver/decks.hpp"
-#include "driver/tealeaf_app.hpp"
 #include "util/args.hpp"
 
 namespace {
 
-void run_case(const tealeaf::InputDeck& base, int ranks, const char* label,
-              tealeaf::SolverType type, tealeaf::PreconType precon,
-              int halo_depth) {
-  tealeaf::InputDeck deck = base;
-  deck.solver.type = type;
-  deck.solver.precon = precon;
-  deck.solver.halo_depth = halo_depth;
-  deck.solver.max_iters = 200000;
-  tealeaf::TeaLeafApp app(deck, ranks);
-  const tealeaf::SolveStats st = app.step();
-  const auto& cs = app.cluster().stats();
+void run_case(tealeaf::SolveSession& session, const tealeaf::InputDeck& base,
+              const char* label, tealeaf::SolverType type,
+              tealeaf::PreconType precon, int halo_depth) {
+  tealeaf::SolverConfig cfg = base.solver;
+  cfg.type = type;
+  cfg.precon = precon;
+  cfg.halo_depth = halo_depth;
+  cfg.max_iters = 200000;
+  session.reset(base);
+  session.cluster().reset_stats();
+  const tealeaf::SolveStats st = session.solve(cfg);
+  const auto& cs = session.cluster().stats();
   std::printf("%-24s %7d %9lld %11lld %10lld %10lld  %s\n", label,
               st.outer_iters, st.spmv_applies,
               static_cast<long long>(cs.reductions),
@@ -47,18 +53,24 @@ int main(int argc, char** argv) {
 
   using tealeaf::PreconType;
   using tealeaf::SolverType;
-  run_case(base, ranks, "jacobi", SolverType::kJacobi, PreconType::kNone, 1);
-  run_case(base, ranks, "cg", SolverType::kCG, PreconType::kNone, 1);
-  run_case(base, ranks, "cg + diag", SolverType::kCG,
+  // One session, halo sized for the deepest matrix-powers case below.
+  tealeaf::SolveSession session(base, ranks, /*halo_override=*/16);
+  run_case(session, base, "jacobi", SolverType::kJacobi, PreconType::kNone,
+           1);
+  run_case(session, base, "cg", SolverType::kCG, PreconType::kNone, 1);
+  run_case(session, base, "cg + diag", SolverType::kCG,
            PreconType::kJacobiDiag, 1);
-  run_case(base, ranks, "cg + block", SolverType::kCG,
+  run_case(session, base, "cg + block", SolverType::kCG,
            PreconType::kJacobiBlock, 1);
-  run_case(base, ranks, "chebyshev", SolverType::kChebyshev,
+  run_case(session, base, "chebyshev", SolverType::kChebyshev,
            PreconType::kNone, 1);
-  run_case(base, ranks, "ppcg - 1", SolverType::kPPCG, PreconType::kNone, 1);
-  run_case(base, ranks, "ppcg - 4", SolverType::kPPCG, PreconType::kNone, 4);
-  run_case(base, ranks, "ppcg - 8", SolverType::kPPCG, PreconType::kNone, 8);
-  run_case(base, ranks, "ppcg - 16 (GPU sweet spot)", SolverType::kPPCG,
+  run_case(session, base, "ppcg - 1", SolverType::kPPCG, PreconType::kNone,
+           1);
+  run_case(session, base, "ppcg - 4", SolverType::kPPCG, PreconType::kNone,
+           4);
+  run_case(session, base, "ppcg - 8", SolverType::kPPCG, PreconType::kNone,
+           8);
+  run_case(session, base, "ppcg - 16 (GPU sweet spot)", SolverType::kPPCG,
            PreconType::kNone, 16);
 
   std::printf(

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "amg/mg_pcg.hpp"
+#include "api/solve_api.hpp"
 #include "driver/tealeaf_app.hpp"
 #include "io/csv.hpp"
 #include "model/scaling.hpp"
@@ -106,14 +107,15 @@ class ThreadScope {
   int saved_ = 0;
 };
 
-/// Run one cell with a SolverType solver through the normal driver.
+/// Run one cell with a SolverType solver through the SolveSession facade
+/// (the same entry path TeaLeafApp and the solve server use).
 void run_native_cell(const InputDeck& deck, int ranks, int steps,
                      SweepOutcome& out) {
-  TeaLeafApp app(deck, ranks);
-  app.cluster().reset_stats();
+  SolveSession session(deck, ranks);
+  session.cluster().reset_stats();
   out.converged = true;
   for (int s = 0; s < steps; ++s) {
-    const SolveStats st = app.step();
+    const SolveStats st = session.solve();
     out.converged = out.converged && st.converged;
     out.iterations += st.outer_iters;
     out.inner_steps += st.inner_steps;
@@ -128,7 +130,7 @@ void run_native_cell(const InputDeck& deck, int ranks, int steps,
       break;
     }
   }
-  const CommStats& cs = app.cluster().stats();
+  const CommStats& cs = session.cluster().stats();
   out.reductions = cs.reductions;
   out.exchanges = cs.exchange_calls;
   out.messages = cs.messages;
@@ -144,8 +146,8 @@ void run_mg_pcg_cell(InputDeck deck, int steps, bool fused,
                      SweepOutcome& out) {
   deck.solver.type = SolverType::kCG;  // only sizes the halo allocation
   deck.solver.halo_depth = 1;
-  TeaLeafApp app(deck, /*nranks=*/1);
-  app.cluster().reset_stats();
+  SolveSession session(deck, /*nranks=*/1);
+  session.cluster().reset_stats();
 
   MGPreconditionedCG::Options opt;
   opt.eps = deck.solver.eps;
@@ -154,13 +156,13 @@ void run_mg_pcg_cell(InputDeck deck, int steps, bool fused,
 
   out.converged = true;
   for (int s = 0; s < steps; ++s) {
-    const MGPCGResult res = mg_pcg_step(app, deck, opt);
+    const MGPCGResult res = mg_pcg_step(session.cluster(), deck, opt);
     out.converged = out.converged && res.converged;
     out.iterations += res.iterations;
     out.final_norm = res.final_norm;
     out.solve_seconds += res.setup_seconds + res.solve_seconds;
   }
-  const CommStats& cs = app.cluster().stats();
+  const CommStats& cs = session.cluster().stats();
   out.reductions = cs.reductions;
   out.exchanges = cs.exchange_calls;
   out.messages = cs.messages;
@@ -177,7 +179,11 @@ std::string fmt_double(double v) {
 
 MGPCGResult mg_pcg_step(TeaLeafApp& app, const InputDeck& deck,
                         const MGPreconditionedCG::Options& opt) {
-  SimCluster2D& cl = app.cluster();
+  return mg_pcg_step(app.cluster(), deck, opt);
+}
+
+MGPCGResult mg_pcg_step(SimCluster2D& cl, const InputDeck& deck,
+                        const MGPreconditionedCG::Options& opt) {
   TEA_REQUIRE(cl.nranks() == 1,
               "mg_pcg_step: the baseline solves the undecomposed grid");
   const double dt = deck.initial_timestep;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "amg/mg_pcg.hpp"
+#include "comm/sim_comm.hpp"
 #include "driver/deck.hpp"
 #include "io/json.hpp"
 #include "model/machine.hpp"
@@ -119,14 +120,18 @@ struct SweepOptions {
 [[nodiscard]] SweepReport run_sweep(const InputDeck& base,
                                     const SweepOptions& opts = {});
 
-/// One timestep of the MG-preconditioned CG baseline on `app`'s
-/// undecomposed cluster (either dimension): exchange the materials,
-/// rebuild u/u0 and the conduction coefficients from `deck`, solve
-/// A·u = u0 with one V-cycle of preconditioning per iteration, and write
-/// the solution and recovered energy back into the chunk as the driver
-/// does.  `app` must have been constructed with one simulated rank.
-/// Shared by the sweep's mg-pcg cell runner and bench_kernels' mg-pcg
-/// series, so both always measure the same configuration.
+/// One timestep of the MG-preconditioned CG baseline on an undecomposed
+/// cluster (either dimension): exchange the materials, rebuild u/u0 and
+/// the conduction coefficients from `deck`, solve A·u = u0 with one
+/// V-cycle of preconditioning per iteration, and write the solution and
+/// recovered energy back into the chunk as the driver does.  `cl` must
+/// have exactly one simulated rank.  Shared by the sweep's mg-pcg cell
+/// runner, the solve server's mg-pcg route and bench_kernels' mg-pcg
+/// series, so all always measure the same configuration.
+[[nodiscard]] MGPCGResult mg_pcg_step(SimCluster2D& cl, const InputDeck& deck,
+                                      const MGPreconditionedCG::Options& opt);
+
+/// Convenience overload on the app facade (`app.cluster()`).
 [[nodiscard]] MGPCGResult mg_pcg_step(TeaLeafApp& app, const InputDeck& deck,
                                       const MGPreconditionedCG::Options& opt);
 

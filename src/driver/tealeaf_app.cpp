@@ -1,58 +1,16 @@
 #include "driver/tealeaf_app.hpp"
 
-#include <algorithm>
-
-#include "driver/states.hpp"
-#include "ops/kernels.hpp"
-#include "solvers/solver.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace tealeaf {
 
 TeaLeafApp::TeaLeafApp(const InputDeck& deck, int nranks) : deck_(deck) {
-  deck_.validate();
-  const GlobalMesh mesh = deck_.mesh();
-  // Upstream allocates at least two halo layers; matrix powers needs the
-  // full configured depth.
-  const int halo = std::max(2, deck_.solver.halo_depth);
-  cluster_ = std::make_unique<SimCluster>(mesh, nranks, halo);
-  apply_states(*cluster_, deck_);
-  // Seed u = ρ·e so a pre-step field_summary reports the initial state.
-  cluster_->for_each_chunk([](int, Chunk& c) { kernels::init_u_u0(c); });
+  session_ = std::make_unique<SolveSession>(deck_, nranks);
 }
 
 SolveStats TeaLeafApp::step() {
-  SimCluster& cl = *cluster_;
-  const double dt = deck_.initial_timestep;
-  const double rx = dt / (cl.mesh().dx() * cl.mesh().dx());
-  const double ry = dt / (cl.mesh().dy() * cl.mesh().dy());
-  const double rz =
-      cl.mesh().dims == 3 ? dt / (cl.mesh().dz() * cl.mesh().dz()) : 0.0;
-
-  // The matrix-powers extended sweeps and the face-coefficient build both
-  // read material fields deep into the halo: one full-depth exchange.
-  cl.exchange({FieldId::kDensity, FieldId::kEnergy1}, cl.halo_depth());
-  cl.for_each_chunk([&](int, Chunk& c) {
-    kernels::init_u_u0(c);
-    kernels::init_conduction(c, deck_.coefficient, rx, ry, rz);
-  });
-
-  SolveStats stats = solve_linear_system(cl, deck_.solver);
-
-  // Recover specific energy from the temperature solution.
-  cl.for_each_chunk([](int, Chunk& c) {
-    auto& energy = c.energy();
-    const auto& u = c.u();
-    const auto& density = c.density();
-    for (int l = 0; l < c.nz(); ++l)
-      for (int k = 0; k < c.ny(); ++k)
-        for (int j = 0; j < c.nx(); ++j)
-          energy(j, k, l) = u(j, k, l) / density(j, k, l);
-  });
-
-  sim_time_ += dt;
-  ++steps_taken_;
+  const SolveStats stats = session_->solve(deck_.solver);
   history_.push_back(stats);
   return stats;
 }
@@ -68,42 +26,19 @@ RunResult TeaLeafApp::run() {
     result.total_inner_steps += st.inner_steps;
     result.total_spmv += st.spmv_applies;
     if (log::level() <= log::Level::kDebug) {
-      log::debug() << "step " << steps_taken_ << " t=" << sim_time_
+      log::debug() << "step " << steps_taken() << " t=" << sim_time()
                    << " iters=" << st.outer_iters
                    << " norm=" << st.final_norm
                    << (st.converged ? "" : " (NOT CONVERGED)");
     }
   }
-  result.steps = steps_taken_;
-  result.sim_time = sim_time_;
+  result.steps = steps_taken();
+  result.sim_time = sim_time();
   result.final_summary = field_summary();
   result.wall_seconds = timer.elapsed_s();
   return result;
 }
 
-FieldSummary TeaLeafApp::field_summary() {
-  SimCluster& cl = *cluster_;
-  // Cell measure: area in 2-D, volume in 3-D (same weighting role).
-  const double cell_vol = cl.mesh().cell_volume();
-  FieldSummary fs;
-  fs.volume = cl.sum_over_chunks([&](int, const Chunk& c) {
-    return cell_vol * static_cast<double>(c.nx()) * c.ny() * c.nz();
-  });
-  fs.mass = cl.sum_over_chunks([&](int, Chunk& c) {
-    return cell_vol * c.density().sum_interior();
-  });
-  fs.ie = cl.sum_over_chunks([&](int, Chunk& c) {
-    double acc = 0.0;
-    for (int l = 0; l < c.nz(); ++l)
-      for (int k = 0; k < c.ny(); ++k)
-        for (int j = 0; j < c.nx(); ++j)
-          acc += c.density()(j, k, l) * c.energy()(j, k, l);
-    return acc * cell_vol;
-  });
-  fs.temp = cl.sum_over_chunks([&](int, Chunk& c) {
-    return cell_vol * c.u().sum_interior();
-  });
-  return fs;
-}
+FieldSummary TeaLeafApp::field_summary() { return session_->field_summary(); }
 
 }  // namespace tealeaf

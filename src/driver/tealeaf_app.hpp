@@ -3,25 +3,17 @@
 #include <memory>
 #include <vector>
 
+#include "api/solve_api.hpp"
 #include "comm/sim_comm.hpp"
 #include "driver/deck.hpp"
 
 namespace tealeaf {
 
-/// Volume-weighted diagnostics over the whole domain (upstream
-/// field_summary kernel).
-struct FieldSummary {
-  double volume = 0.0;    ///< Σ cell areas
-  double mass = 0.0;      ///< Σ ρ·dA
-  double ie = 0.0;        ///< Σ ρ·e·dA (internal energy)
-  double temp = 0.0;      ///< Σ u·dA
-  /// Domain-average temperature (the quantity of Fig. 4).
-  [[nodiscard]] double avg_temp() const {
-    return volume > 0.0 ? temp / volume : 0.0;
-  }
-};
-
-/// Aggregate outcome of a full run.
+/// Aggregate outcome of a full run.  Iteration totals count each step's
+/// FINAL solve attempt only; iterations burned by attempts that broke
+/// down and were re-routed (the solve-server's retry path) accumulate in
+/// `total_failed_attempt_iters` — keeping total_outer_iters an honest
+/// convergence metric instead of double-counting retried requests.
 struct RunResult {
   int steps = 0;
   double sim_time = 0.0;
@@ -29,17 +21,20 @@ struct RunResult {
   long long total_outer_iters = 0;
   long long total_inner_steps = 0;
   long long total_spmv = 0;
+  long long total_failed_attempt_iters = 0;
+  long long reroutes = 0;
   double wall_seconds = 0.0;
   FieldSummary final_summary;
 };
 
-/// The TeaLeaf application driver: owns the simulated cluster, applies
-/// the deck's material states and marches the implicit heat-conduction
-/// solve through time (upstream diffuse()/timestep loop).
+/// The TeaLeaf application driver: a thin timestep-marching facade over
+/// SolveSession (which owns the simulated cluster and the per-step
+/// solve), kept for the classic "construct + run()" workflow (upstream
+/// diffuse()/timestep loop).
 class TeaLeafApp {
  public:
-  /// Build the cluster (decomposed over `nranks` simulated ranks) and
-  /// initialise fields from the deck.  Halo depth is sized for the
+  /// Build the session (cluster decomposed over `nranks` simulated ranks,
+  /// fields initialised from the deck).  Halo depth is sized for the
   /// solver's matrix-powers configuration.
   TeaLeafApp(const InputDeck& deck, int nranks);
 
@@ -52,19 +47,18 @@ class TeaLeafApp {
 
   [[nodiscard]] FieldSummary field_summary();
 
-  [[nodiscard]] SimCluster2D& cluster() { return *cluster_; }
+  [[nodiscard]] SolveSession& session() { return *session_; }
+  [[nodiscard]] SimCluster2D& cluster() { return session_->cluster(); }
   [[nodiscard]] const InputDeck& deck() const { return deck_; }
-  [[nodiscard]] double sim_time() const { return sim_time_; }
-  [[nodiscard]] int steps_taken() const { return steps_taken_; }
+  [[nodiscard]] double sim_time() const { return session_->sim_time(); }
+  [[nodiscard]] int steps_taken() const { return session_->solves_taken(); }
   [[nodiscard]] const std::vector<SolveStats>& history() const {
     return history_;
   }
 
  private:
   InputDeck deck_;
-  std::unique_ptr<SimCluster2D> cluster_;
-  double sim_time_ = 0.0;
-  int steps_taken_ = 0;
+  std::unique_ptr<SolveSession> session_;
   std::vector<SolveStats> history_;
 };
 

@@ -1,0 +1,157 @@
+#include "server/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "model/scaling.hpp"
+#include "model/trace.hpp"
+#include "precon/preconditioner.hpp"
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+std::string RouteEntry::label() const {
+  std::ostringstream os;
+  if (projected) os << "~";
+  os << solver << "/" << to_string(config.precon) << "/d"
+     << config.halo_depth << "/n" << mesh_n;
+  if (config.fuse_kernels) os << "/fused";
+  if (config.tile_rows != 0) os << "/b" << config.tile_rows;
+  if (dims == 3) os << "/3d";
+  return os.str();
+}
+
+RouteEntry RouteEntry::validated() const {
+  if (!native()) {
+    if (config.precon != PreconType::kNone) {
+      throw TeaError("route " + label() +
+                     ": mg-pcg embeds multigrid as its preconditioner — "
+                     "did you mean precon = none?");
+    }
+    if (config.halo_depth > 1) {
+      throw TeaError("route " + label() +
+                     ": matrix-powers halo depth applies to PPCG only");
+    }
+    if (config.tile_rows != 0) {
+      throw TeaError("route " + label() +
+                     ": mg-pcg's fused path does not row-tile");
+    }
+    return *this;
+  }
+  (void)config.validated();
+  return *this;
+}
+
+RoutingTable RoutingTable::from_sweep(const SweepReport& report) {
+  RoutingTable table;
+  table.ranks_ = report.ranks;
+  table.steps_ = std::max(1, report.steps);
+  for (const SweepOutcome& cell : report.cells) {
+    if (cell.skipped || !cell.converged || !cell.fail_reason.empty()) {
+      continue;
+    }
+    MeasuredCell mc;
+    mc.entry.solver = cell.config.solver;
+    if (cell.config.solver != "mg-pcg") {
+      mc.entry.config.type = solver_type_from_string(cell.config.solver);
+    }
+    mc.entry.config.precon = cell.config.precon;
+    mc.entry.config.halo_depth = cell.config.halo_depth;
+    mc.entry.config.fuse_kernels = cell.config.fused;
+    mc.entry.config.tile_rows = cell.config.tile_rows;
+    mc.entry.threads = cell.config.threads;
+    mc.entry.mesh_n = cell.config.mesh_n;
+    mc.entry.dims = cell.config.dims;
+    // Rank on per-step seconds so tables swept with different step counts
+    // stay comparable.
+    mc.entry.seconds = cell.solve_seconds / table.steps_;
+    mc.iterations = cell.iterations;
+    mc.inner_steps = cell.inner_steps;
+    table.cells_.push_back(std::move(mc));
+  }
+  return table;
+}
+
+RoutingTable RoutingTable::from_json_string(const std::string& text) {
+  return from_sweep(SweepReport::from_json_string(text));
+}
+
+RoutingTable RoutingTable::from_json_file(const std::string& path) {
+  std::ifstream in(path);
+  TEA_REQUIRE(in.is_open(), "routing table: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json_string(buf.str());
+}
+
+std::vector<RouteEntry> RoutingTable::route(int dims, int mesh_n, int nranks,
+                                            const MachineSpec& machine) const {
+  // Exact shape first: cells measured on this (dims, mesh_n).
+  std::vector<RouteEntry> out;
+  const auto viable = [&](const MeasuredCell& mc) {
+    if (mc.entry.dims != dims) return false;
+    if (!mc.entry.native() && nranks > 1) return false;
+    try {
+      (void)mc.entry.validated();
+    } catch (const TeaError&) {
+      return false;
+    }
+    return true;
+  };
+  for (const MeasuredCell& mc : cells_) {
+    if (viable(mc) && mc.entry.mesh_n == mesh_n) out.push_back(mc.entry);
+  }
+  if (out.empty()) {
+    // Unseen mesh: take the nearest measured mesh of this geometry and
+    // re-rank its entries through the scaling model's projection.
+    int nearest = 0;
+    for (const MeasuredCell& mc : cells_) {
+      if (!viable(mc)) continue;
+      if (nearest == 0 || std::abs(mc.entry.mesh_n - mesh_n) <
+                              std::abs(nearest - mesh_n)) {
+        nearest = mc.entry.mesh_n;
+      }
+    }
+    if (nearest == 0) return out;
+    const GlobalMesh source_mesh =
+        dims == 3 ? GlobalMesh::make3d(nearest, nearest, nearest)
+                  : GlobalMesh(nearest, nearest);
+    const GlobalMesh target_mesh =
+        dims == 3 ? GlobalMesh::make3d(mesh_n, mesh_n, mesh_n)
+                  : GlobalMesh(mesh_n, mesh_n);
+    const ScalingModel source_model(machine, source_mesh, /*timesteps=*/1);
+    const ScalingModel target_model(machine, target_mesh, /*timesteps=*/1);
+    for (const MeasuredCell& mc : cells_) {
+      if (!viable(mc) || mc.entry.mesh_n != nearest) continue;
+      RouteEntry e = mc.entry;
+      e.projected = true;
+      if (e.native()) {
+        SolveStats stats;
+        stats.outer_iters = std::max(1, mc.iterations);
+        stats.inner_steps = mc.inner_steps;
+        const SolverRunSummary measured =
+            SolverRunSummary::from(e.config, stats, nearest);
+        const double base = source_model.run_seconds(measured, nranks);
+        const double proj = target_model.run_seconds(
+            project_to_mesh(measured, mesh_n), nranks);
+        if (base > 0.0 && proj > 0.0) e.seconds *= proj / base;
+      } else {
+        // mg-pcg: near mesh-independent iterations, cost ∝ cells.
+        const double cells_ratio =
+            std::pow(static_cast<double>(mesh_n) / nearest, dims);
+        e.seconds *= cells_ratio;
+      }
+      e.mesh_n = mesh_n;
+      out.push_back(std::move(e));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RouteEntry& a, const RouteEntry& b) {
+                     return a.seconds < b.seconds;
+                   });
+  return out;
+}
+
+}  // namespace tealeaf

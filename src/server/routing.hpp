@@ -1,0 +1,80 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "driver/sweep.hpp"
+#include "model/machine.hpp"
+#include "solvers/solver_config.hpp"
+
+namespace tealeaf {
+
+/// One routable configuration: a sweep cell that converged, reduced to
+/// what the server needs to reproduce it — solver × preconditioner ×
+/// matrix-powers depth × execution engine (fused/tile_rows), plus the
+/// evidence (measured or model-projected seconds) that ranked it.
+struct RouteEntry {
+  /// "jacobi" | "cg" | "chebyshev" | "ppcg" | "mg-pcg".  For the four
+  /// native solvers `config.type` agrees with this; "mg-pcg" is the
+  /// undecomposed multigrid baseline, which is not a SolverConfig type —
+  /// `config` then carries only eps/max_iters/fuse_kernels.
+  std::string solver;
+  SolverConfig config;
+  int threads = 0;      ///< thread count the cell was measured with
+  int mesh_n = 0;       ///< mesh edge the evidence comes from
+  int dims = 2;
+  double seconds = 0.0; ///< per-step solve seconds backing the ranking
+  bool projected = false;  ///< seconds came from the scaling model
+
+  [[nodiscard]] bool native() const { return solver != "mg-pcg"; }
+
+  /// Compact identifier in the sweep's label style, e.g.
+  /// "ppcg/jac_diag/d4/n512/fused" ("~" prefix when model-projected).
+  [[nodiscard]] std::string label() const;
+
+  /// Construction-time misuse check, mirroring the sweep's skip rules:
+  /// config.validated() plus the mg-pcg constraints (no preconditioner,
+  /// depth 1, no row tiling).  Returns *this.
+  [[nodiscard]] RouteEntry validated() const;
+};
+
+/// Ranked solver selection per problem shape, built from a design-space
+/// sweep's result table (typically the nightly sweep JSON artifact).
+/// For a shape the sweep measured, ranking is by measured seconds; for an
+/// unseen mesh size, the nearest measured mesh's entries are re-ranked by
+/// the scaling model's projection (iterations ∝ n — model/trace.hpp).
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+
+  /// Keep every converged, non-skipped cell of the report.
+  [[nodiscard]] static RoutingTable from_sweep(const SweepReport& report);
+  [[nodiscard]] static RoutingTable from_json_string(const std::string& text);
+  [[nodiscard]] static RoutingTable from_json_file(const std::string& path);
+
+  /// Ranked viable entries for a shape, best first.  mg-pcg entries are
+  /// filtered out when nranks > 1 (the baseline solves the undecomposed
+  /// grid) and entries whose validated() fails are dropped.  Empty when
+  /// the table holds nothing viable for `dims`.
+  [[nodiscard]] std::vector<RouteEntry> route(
+      int dims, int mesh_n, int nranks,
+      const MachineSpec& machine = machines::spruce_hybrid()) const;
+
+  [[nodiscard]] bool empty() const { return cells_.empty(); }
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] int sweep_ranks() const { return ranks_; }
+
+ private:
+  struct MeasuredCell {
+    RouteEntry entry;
+    /// Iteration structure backing the scaling-model projection.
+    int iterations = 0;
+    long long inner_steps = 0;
+  };
+
+  std::vector<MeasuredCell> cells_;
+  int ranks_ = 0;
+  int steps_ = 1;  ///< timesteps each cell ran (seconds are per cell run)
+};
+
+}  // namespace tealeaf

@@ -1,0 +1,349 @@
+#include "server/solve_server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "driver/sweep.hpp"
+#include "server/batch.hpp"
+#include "solvers/solver.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace tealeaf {
+
+double ServerStats::percentile(double q) const {
+  if (latencies.empty()) return 0.0;
+  std::vector<double> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * (static_cast<double>(sorted.size()) - 1.0);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SolveServer::SolveServer(ServerOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.max_sessions) {
+  TEA_REQUIRE(opts_.max_batch >= 1, "solve server: max_batch must be >= 1");
+}
+
+void SolveServer::submit(SolveRequest req) { queue_.push_back(std::move(req)); }
+
+SolveServer::Routed SolveServer::route_request(const SolveRequest& req,
+                                               int max_halo) const {
+  Routed r;
+  if (req.config.has_value()) {
+    r.config = *req.config;
+    return r;  // explicit override: no routing, no ranked fallbacks
+  }
+  const int mesh_n = std::max(req.deck.x_cells, req.deck.y_cells);
+  std::vector<RouteEntry> ranked =
+      opts_.routes.route(req.deck.dims, mesh_n, req.nranks);
+  if (max_halo > 0) {
+    std::erase_if(ranked, [&](const RouteEntry& e) {
+      return e.config.halo_depth > max_halo;
+    });
+  }
+  if (ranked.empty()) {
+    r.config = req.deck.solver;
+    return r;
+  }
+  const RouteEntry& best = ranked.front();
+  // Overlay the routed structural axes on the deck config so the deck's
+  // tolerances (eps, max_iters, prestep count) still govern the solve.
+  r.config = req.deck.solver;
+  r.is_mg_pcg = !best.native();
+  if (best.native()) r.config.type = best.config.type;
+  r.config.precon = best.config.precon;
+  r.config.halo_depth = best.config.halo_depth;
+  r.config.fuse_kernels = best.config.fuse_kernels;
+  r.config.tile_rows = best.config.tile_rows;
+  r.label = best.label();
+  r.fallbacks.assign(ranked.begin() + 1, ranked.end());
+  return r;
+}
+
+SolveStats SolveServer::solve_solo(SolveSession& session,
+                                   const InputDeck& deck,
+                                   const SolverConfig& cfg,
+                                   bool is_mg_pcg) const {
+  if (is_mg_pcg) {
+    MGPreconditionedCG::Options opt;
+    opt.eps = cfg.eps;
+    opt.max_iters = cfg.max_iters;
+    opt.fused = cfg.fuse_kernels;
+    const MGPCGResult mg = mg_pcg_step(session.cluster(), deck, opt);
+    SolveStats st;
+    st.converged = mg.converged;
+    st.outer_iters = mg.iterations;
+    st.initial_norm = mg.initial_norm;
+    st.final_norm = mg.final_norm;
+    st.solve_seconds = mg.solve_seconds;
+    session.finish_solve(st);
+    return st;
+  }
+  const SolverConfig resolved = cfg.validated();
+  session.prepare();
+  const SolveStats st = run_solver(session.cluster(), resolved);
+  // On breakdown, u is garbage: skip the energy recovery so the session's
+  // energy field stays intact and a retry can rebuild u0 from it.
+  if (!st.breakdown) session.finish_solve(st);
+  return st;
+}
+
+namespace {
+
+/// One request of an in-flight drain group, carrying its routing decision
+/// and borrowed session through batching and the re-route pass.
+struct Pending {
+  std::size_t order = 0;  ///< arrival index (results return in this order)
+  const SolveRequest* req = nullptr;
+  SolveSession* session = nullptr;
+  SolverConfig config;
+  std::string label;
+  bool is_mg_pcg = false;
+  bool hinted = false;
+  std::vector<RouteEntry> fallbacks;
+};
+
+}  // namespace
+
+std::vector<SolveResult> SolveServer::drain() {
+  std::vector<SolveRequest> reqs(queue_.begin(), queue_.end());
+  queue_.clear();
+  std::vector<SolveResult> results(reqs.size());
+  if (reqs.empty()) return results;
+  Timer drain_timer;
+
+  // Route first: the chosen configuration fixes each request's halo
+  // allocation and so its shape key.  Groups keep arrival order.
+  std::vector<Pending> pending(reqs.size());
+  std::map<std::string, std::vector<std::size_t>> groups;
+  std::vector<std::string> group_order;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    Pending& p = pending[i];
+    p.order = i;
+    p.req = &reqs[i];
+    const Routed routed = route_request(reqs[i]);
+    p.config = routed.config;
+    p.label = routed.label;
+    p.is_mg_pcg = routed.is_mg_pcg;
+    p.fallbacks = routed.fallbacks;
+    const int halo = std::max(2, p.config.halo_depth);
+    const std::string key =
+        ProblemShape::of(reqs[i].deck, reqs[i].nranks, halo).key();
+    auto [it, fresh] = groups.try_emplace(key);
+    if (fresh) group_order.push_back(key);
+    it->second.push_back(i);
+  }
+
+  const long long hits_before = cache_.hits();
+  for (const std::string& key : group_order) {
+    const std::vector<std::size_t>& members = groups[key];
+    for (std::size_t at = 0; at < members.size();
+         at += static_cast<std::size_t>(opts_.max_batch)) {
+      const std::size_t chunk = std::min(
+          members.size() - at, static_cast<std::size_t>(opts_.max_batch));
+      const SolveRequest& first = reqs[members[at]];
+      const int halo =
+          std::max(2, pending[members[at]].config.halo_depth);
+      std::vector<SolveSession*> sessions = cache_.acquire(
+          first.deck, first.nranks, halo, static_cast<int>(chunk));
+
+      Timer batch_timer;
+      std::vector<BatchItem> items;
+      std::vector<Pending*> batch;  // non-mg-pcg members, aligned with items
+      for (std::size_t b = 0; b < chunk; ++b) {
+        Pending& p = pending[members[at + b]];
+        p.session = sessions[b];
+        p.session->reset(p.req->deck);
+        if (opts_.reuse_eigen_estimates && !p.is_mg_pcg &&
+            p.session->has_eig_estimate()) {
+          p.config = p.session->with_eig_hints(p.config);
+        }
+        // Explicit-override hints count too: stripping them is a valid
+        // re-route when they turn out stale.
+        p.hinted = p.config.has_eig_hints();
+        if (p.is_mg_pcg) continue;  // mg-pcg runs solo below
+        p.config = p.config.validated();
+        p.session->prepare();
+        items.push_back({&p.session->cluster(), p.config, {}});
+        batch.push_back(&p);
+      }
+      solve_batched(items);
+      for (std::size_t b = 0; b < items.size(); ++b) {
+        // Broken attempts skip the energy recovery (u is garbage), keeping
+        // the session's fields intact for the re-route retry.
+        if (!items[b].stats.breakdown) {
+          batch[b]->session->finish_solve(items[b].stats);
+        }
+      }
+
+      // mg-pcg members (single-rank only) solve solo through the shared
+      // sweep/bench step so every consumer measures the same code path.
+      for (std::size_t b = 0; b < chunk; ++b) {
+        Pending& p = pending[members[at + b]];
+        SolveResult& res = results[p.order];
+        if (p.is_mg_pcg) {
+          res.stats = solve_solo(*p.session, p.req->deck, p.config, true);
+        }
+      }
+      ++stats_.batches;
+      if (items.size() > 1) {
+        stats_.batched_requests += static_cast<long long>(items.size());
+      }
+
+      const double batch_seconds = batch_timer.elapsed_s();
+      for (std::size_t b = 0; b < items.size(); ++b) {
+        results[batch[b]->order].stats = items[b].stats;
+        results[batch[b]->order].batched = items.size() > 1;
+      }
+      for (std::size_t b = 0; b < chunk; ++b) {
+        Pending& p = pending[members[at + b]];
+        SolveResult& res = results[p.order];
+        res.config = p.config;
+        res.route_label = p.label;
+        res.tag = p.req->tag;
+        res.latency_seconds = batch_seconds;
+
+        // One-shot breakdown re-route: hinted solves fall back to the
+        // prestepped form of the same route; otherwise the next-ranked
+        // entry that fits this session's halo runs.
+        if (res.stats.breakdown && opts_.reroute_on_failure) {
+          Timer retry_timer;
+          SolverConfig retry = p.config;
+          std::string retry_label = p.label;
+          bool retry_mg = false;
+          bool have_retry = false;
+          if (p.hinted) {
+            retry.eig_hint_min = retry.eig_hint_max = 0.0;
+            have_retry = true;
+          } else {
+            for (const RouteEntry& e : p.fallbacks) {
+              if (e.config.halo_depth >
+                  p.session->cluster().halo_depth()) {
+                continue;
+              }
+              retry = p.req->deck.solver;
+              retry_mg = !e.native();
+              if (e.native()) retry.type = e.config.type;
+              retry.precon = e.config.precon;
+              retry.halo_depth = e.config.halo_depth;
+              retry.fuse_kernels = e.config.fuse_kernels;
+              retry.tile_rows = e.config.tile_rows;
+              retry_label = e.label();
+              have_retry = true;
+              break;
+            }
+          }
+          if (have_retry) {
+            p.session->forget_eig_estimate();
+            res.failed_attempt_iters =
+                res.stats.outer_iters + res.stats.inner_steps;
+            // The broken attempt skipped finish_solve, so energy is still
+            // the request's input state; the retry's prepare() rebuilds
+            // u/u0 from it.
+            res.stats =
+                solve_solo(*p.session, p.req->deck, retry, retry_mg);
+            res.config = retry;
+            res.route_label = retry_label;
+            res.attempts = 2;
+            res.rerouted = true;
+            ++stats_.reroutes;
+            res.latency_seconds += retry_timer.elapsed_s();
+          }
+        }
+        if (!res.ok()) ++stats_.failures;
+      }
+    }
+  }
+
+  stats_.requests += static_cast<long long>(reqs.size());
+  stats_.busy_seconds += drain_timer.elapsed_s();
+  const long long new_hits = cache_.hits() - hits_before;
+  stats_.cache_hits = cache_.hits();
+  stats_.cache_misses = cache_.misses();
+  for (SolveResult& res : results) {
+    stats_.latencies.push_back(res.latency_seconds);
+  }
+  // cache_hit marks are per-drain approximations: the first `new_hits`
+  // requests of each drain reused pooled sessions.
+  long long mark = new_hits;
+  for (SolveResult& res : results) {
+    if (mark-- <= 0) break;
+    res.cache_hit = true;
+  }
+  return results;
+}
+
+SolveResult SolveServer::solve_one(SolveRequest req) {
+  submit(std::move(req));
+  std::vector<SolveResult> out = drain();
+  TEA_ASSERT(out.size() == 1, "solve_one: expected exactly one result");
+  return out.front();
+}
+
+RunResult SolveServer::run(const InputDeck& deck, int nranks) {
+  Timer timer;
+  RunResult result;
+
+  SolveRequest probe;
+  probe.deck = deck;
+  probe.nranks = nranks;
+  const Routed first = route_request(probe);
+  const int halo = std::max(
+      {2, first.config.halo_depth, deck.solver.halo_depth});
+  SolveSession session(deck, nranks, halo);
+
+  const int steps = deck.num_steps();
+  for (int s = 0; s < steps; ++s) {
+    // Steps share the session (each consumes the previous step's energy),
+    // so re-route candidates must fit the allocated halo.
+    Routed routed = route_request(probe, session.cluster().halo_depth());
+    if (opts_.reuse_eigen_estimates && !routed.is_mg_pcg &&
+        session.has_eig_estimate()) {
+      routed.config = session.with_eig_hints(routed.config);
+    }
+    const bool hinted = routed.config.has_eig_hints();
+    SolveStats st =
+        solve_solo(session, deck, routed.config, routed.is_mg_pcg);
+    if (st.breakdown && opts_.reroute_on_failure &&
+        (hinted || !routed.fallbacks.empty())) {
+      session.forget_eig_estimate();
+      result.total_failed_attempt_iters += st.outer_iters + st.inner_steps;
+      ++result.reroutes;
+      ++stats_.reroutes;
+      SolverConfig retry = routed.config;
+      bool retry_mg = routed.is_mg_pcg;
+      if (hinted) {
+        retry.eig_hint_min = retry.eig_hint_max = 0.0;
+      } else {
+        const RouteEntry& e = routed.fallbacks.front();
+        retry = deck.solver;
+        retry_mg = !e.native();
+        if (e.native()) retry.type = e.config.type;
+        retry.precon = e.config.precon;
+        retry.halo_depth = e.config.halo_depth;
+        retry.fuse_kernels = e.config.fuse_kernels;
+        retry.tile_rows = e.config.tile_rows;
+      }
+      // The broken attempt skipped finish_solve: this step's input energy
+      // is intact and the retry replays the SAME step from it.
+      st = solve_solo(session, deck, retry, retry_mg);
+    }
+    result.all_converged = result.all_converged && st.converged;
+    result.total_outer_iters += st.outer_iters;
+    result.total_inner_steps += st.inner_steps;
+    result.total_spmv += st.spmv_applies;
+  }
+  ++stats_.requests;  // one run() counts as one logical request stream
+  result.steps = steps;
+  result.sim_time = session.sim_time();
+  result.final_summary = session.field_summary();
+  result.wall_seconds = timer.elapsed_s();
+  return result;
+}
+
+}  // namespace tealeaf

@@ -16,38 +16,44 @@ constexpr const char* kPwBreakdown =
 
 }  // namespace
 
-double cg_setup(SimCluster2D& cl, PreconType precon) {
-  cl.exchange({FieldId::kU}, 1);
+double cg_setup(SimCluster2D& cl, PreconType precon, const Team* team) {
+  // team == nullptr: standalone collectives (one region per call).  With
+  // a Team every collective workshares on it; the chunk sweeps between
+  // reductions reuse the same rank→thread mapping, so no extra barriers
+  // are needed (each thread reads only fields it wrote itself).
+  cl.exchange(team, {FieldId::kU}, 1);
   if (precon == PreconType::kNone) {
     // r = u0 − A·u, p = r; rro = ⟨r,r⟩ folded into the residual sweep.
-    return cl.sum_over_chunks([](int, Chunk2D& c) {
+    return cl.sum_over_chunks(team, [](int, Chunk2D& c) {
       const double rr = kernels::calc_residual(c);
       kernels::copy(c, FieldId::kP, FieldId::kR, interior_bounds(c));
       return rr;
     });
   }
-  cl.for_each_chunk([&](int, Chunk2D& c) {
+  cl.for_each_chunk(team, [&](int, Chunk2D& c) {
     kernels::calc_residual(c);
     if (precon == PreconType::kJacobiBlock) kernels::block_jacobi_init(c);
     kernels::apply_preconditioner(c, precon, FieldId::kR, FieldId::kZ);
     kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
   });
-  return cl.sum_over_chunks([](int, const Chunk2D& c) {
+  return cl.sum_over_chunks(team, [](int, const Chunk2D& c) {
     return kernels::dot(c, FieldId::kR, FieldId::kZ);
   });
 }
 
 double cg_iteration(SimCluster2D& cl, PreconType precon, double rro,
-                    CGRecurrence* rec, bool* breakdown) {
-  cl.exchange({FieldId::kP}, 1);
-  const double pw = cl.sum_over_chunks([](int, Chunk2D& c) {
+                    CGRecurrence* rec, bool* breakdown, const Team* team) {
+  cl.exchange(team, {FieldId::kP}, 1);
+  const double pw = cl.sum_over_chunks(team, [](int, Chunk2D& c) {
     return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
                              interior_bounds(c));
   });
   if (!(pw > 0.0)) {
     // Numerical breakdown (pw <= 0 or NaN).  Callers running inside a
     // sweep pass a flag and record the failure; direct library use keeps
-    // the loud contract-violation behaviour.
+    // the loud contract-violation behaviour.  Team callers always pass
+    // the flag (the value is identical on every thread, so the branch is
+    // uniform; a throw would cross the region boundary).
     if (breakdown != nullptr) {
       *breakdown = true;
       return rro;
@@ -58,16 +64,16 @@ double cg_iteration(SimCluster2D& cl, PreconType precon, double rro,
 
   double rrn;
   if (precon == PreconType::kNone) {
-    rrn = cl.sum_over_chunks([&](int, Chunk2D& c) {
+    rrn = cl.sum_over_chunks(team, [&](int, Chunk2D& c) {
       kernels::cg_calc_ur(c, alpha);
       return kernels::norm2_sq(c, FieldId::kR);
     });
   } else {
-    cl.for_each_chunk([&](int, Chunk2D& c) {
+    cl.for_each_chunk(team, [&](int, Chunk2D& c) {
       kernels::cg_calc_ur(c, alpha);
       kernels::apply_preconditioner(c, precon, FieldId::kR, FieldId::kZ);
     });
-    rrn = cl.sum_over_chunks([](int, const Chunk2D& c) {
+    rrn = cl.sum_over_chunks(team, [](int, const Chunk2D& c) {
       return kernels::dot(c, FieldId::kR, FieldId::kZ);
     });
   }
@@ -75,7 +81,7 @@ double cg_iteration(SimCluster2D& cl, PreconType precon, double rro,
   const double beta = rrn / rro;
   const FieldId zsrc =
       (precon == PreconType::kNone) ? FieldId::kR : FieldId::kZ;
-  cl.for_each_chunk([&](int, Chunk2D& c) {
+  cl.for_each_chunk(team, [&](int, Chunk2D& c) {
     kernels::xpby(c, FieldId::kP, zsrc, beta, interior_bounds(c));
   });
 
@@ -178,15 +184,19 @@ SolveStats CGSolver::solve_fused(SimCluster2D& cl,
   return st;
 }
 
-SolveStats CGSolver::solve_chrono_fused_kernels(SimCluster2D& cl,
-                                                const SolverConfig& cfg) {
+SolveStats CGSolver::solve_team_chrono(SimCluster2D& cl,
+                                       const SolverConfig& cfg,
+                                       const Team& team) {
   // The fused-execution-engine form of the Chronopoulos-Gear recurrence:
-  // one hoisted parallel region per iteration containing the single-pass
-  // vector update (cg_chrono_update), the team-aware z exchange and the
-  // operator apply with both dot products folded in (smvp_dot2).
-  // Arithmetic is bitwise identical to solve_fused.  With cfg.tile_rows
-  // > 0 both sweeps run row-blocked through the tiled engine — bitwise
-  // identical again (shared per-row kernel cores, ordered combination).
+  // the WHOLE solve runs on the caller's team — bootstrap, every
+  // iteration's single-pass vector update (cg_chrono_update), the
+  // team-aware z exchange and the operator apply with both dot products
+  // folded in (smvp_dot2).  Arithmetic is bitwise identical to
+  // solve_fused.  With cfg.tile_rows > 0 both sweeps run row-blocked
+  // through the tiled engine — bitwise identical again (shared per-row
+  // kernel cores, ordered combination).  All control scalars derive from
+  // team reductions, so every thread follows the same path and returns
+  // the same stats.
   Timer timer;
   SolveStats st;
   const int tile = cfg.tile_rows;
@@ -207,24 +217,16 @@ SolveStats CGSolver::solve_chrono_fused_kernels(SimCluster2D& cl,
     });
   };
 
-  cl.exchange({FieldId::kU}, 1);
-  cl.for_each_chunk([&](int, Chunk2D& c) {
+  cl.exchange(&team, {FieldId::kU}, 1);
+  cl.for_each_chunk(&team, [&](int, Chunk2D& c) {
     kernels::calc_residual(c);
     if (block) kernels::block_jacobi_init(c);
+    kernels::apply_preconditioner(c, cfg.precon, FieldId::kR, FieldId::kZ);
   });
-  double gamma = 0.0;
-  double delta = 0.0;
-  parallel_region([&](Team& t) {
-    cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
-      kernels::apply_preconditioner(c, cfg.precon, FieldId::kR, FieldId::kZ);
-    });
-    cl.exchange(&t, {FieldId::kZ}, 1);
-    const auto gd = smvp_dot2_pair(&t);
-    t.single([&] {
-      gamma = gd.first;
-      delta = gd.second;
-    });
-  });
+  cl.exchange(&team, {FieldId::kZ}, 1);
+  const auto gd = smvp_dot2_pair(&team);
+  double gamma = gd.first;
+  double delta = gd.second;
   ++st.spmv_applies;
   st.initial_norm = std::sqrt(std::fabs(gamma));
   if (st.initial_norm == 0.0) {
@@ -244,35 +246,29 @@ SolveStats CGSolver::solve_chrono_fused_kernels(SimCluster2D& cl,
   double beta = 0.0;  // first step: p = z, s = w
 
   while (st.outer_iters < cfg.max_iters) {
-    double gamma_new = 0.0;
-    double delta_new = 0.0;
-    parallel_region([&](Team& t) {
-      if (tile > 0) {
-        cl.for_each_tile(&t, tile, interior,
-                         [&](int, Chunk2D& c, const Bounds& tb) {
-                           kernels::cg_chrono_update_rows(c, alpha, beta,
-                                                          cfg.precon, tb);
-                         });
-        if (block) {
-          // The strip solve reads every r row of its rank: order it
-          // against the row-blocked pointwise update.
-          t.barrier();
-          cl.for_each_chunk(&t, [](int, Chunk2D& c) {
-            kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
-          });
-        }
-      } else {
-        cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
-          kernels::cg_chrono_update(c, alpha, beta, cfg.precon);
+    if (tile > 0) {
+      cl.for_each_tile(&team, tile, interior,
+                       [&](int, Chunk2D& c, const Bounds& tb) {
+                         kernels::cg_chrono_update_rows(c, alpha, beta,
+                                                        cfg.precon, tb);
+                       });
+      if (block) {
+        // The strip solve reads every r row of its rank: order it
+        // against the row-blocked pointwise update.
+        team.barrier();
+        cl.for_each_chunk(&team, [](int, Chunk2D& c) {
+          kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
         });
       }
-      cl.exchange(&t, {FieldId::kZ}, 1);
-      const auto gd = smvp_dot2_pair(&t);
-      t.single([&] {
-        gamma_new = gd.first;
-        delta_new = gd.second;
+    } else {
+      cl.for_each_chunk(&team, [&](int, Chunk2D& c) {
+        kernels::cg_chrono_update(c, alpha, beta, cfg.precon);
       });
-    });
+    }
+    cl.exchange(&team, {FieldId::kZ}, 1);
+    const auto gd_it = smvp_dot2_pair(&team);
+    const double gamma_new = gd_it.first;
+    const double delta_new = gd_it.second;
     ++st.spmv_applies;
     ++st.outer_iters;
     if (std::sqrt(std::fabs(gamma_new)) <= target) {
@@ -295,20 +291,21 @@ SolveStats CGSolver::solve_chrono_fused_kernels(SimCluster2D& cl,
   return st;
 }
 
-SolveStats CGSolver::solve_classic_fused_kernels(SimCluster2D& cl,
-                                                 const SolverConfig& cfg) {
-  // Classic CG through the fused execution engine: the ~6 parallel
-  // regions per iteration (exchange phases, smvp+dot, update sweeps,
-  // direction update) collapse into ONE, and the update/precondition/dot
-  // triple runs as the single-pass calc_ur_dot kernel.  With
-  // cfg.tile_rows > 0 every sweep runs row-blocked (and, with more
+SolveStats CGSolver::solve_team_classic(SimCluster2D& cl,
+                                        const SolverConfig& cfg,
+                                        const Team& team) {
+  // Classic CG through the fused execution engine: the whole solve —
+  // setup and every iteration's exchange phases, smvp+dot, the
+  // update/precondition/dot triple (single-pass calc_ur_dot) and the
+  // direction update — runs on the caller's team inside ONE region.
+  // With cfg.tile_rows > 0 every sweep runs row-blocked (and, with more
   // threads than ranks, 2-D scheduled) — bitwise identical either way.
   Timer timer;
   SolveStats st;
   const int tile = cfg.tile_rows;
   const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
 
-  double rro = cg_setup(cl, cfg.precon);
+  double rro = cg_setup(cl, cfg.precon, &team);
   ++st.spmv_applies;
   st.initial_norm = std::sqrt(std::fabs(rro));
   if (st.initial_norm == 0.0) {
@@ -320,78 +317,71 @@ SolveStats CGSolver::solve_classic_fused_kernels(SimCluster2D& cl,
 
   double rrn = rro;
   while (st.outer_iters < cfg.max_iters) {
-    double pw_out = 0.0;
-    double rrn_out = 0.0;
-    parallel_region([&](Team& t) {
-      cl.exchange(&t, {FieldId::kP}, 1);
-      const double pw =
-          tile > 0
-              ? cl.sum_rows_over_chunks(
-                    &t, tile,
-                    [](int, Chunk2D& c, const Bounds& tb) {
-                      kernels::smvp_dot_rows(c, FieldId::kP, FieldId::kW,
-                                             interior_bounds(c), tb,
-                                             c.row_scratch());
-                    })
-              : cl.sum_over_chunks(&t, [](int, Chunk2D& c) {
-                  return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
-                                           interior_bounds(c));
-                });
-      t.single([&] { pw_out = pw; });
-      // Every thread computed the same rank-ordered sum, so the breakdown
-      // branch is uniform across the team.
-      if (!(pw > 0.0)) return;
-      const double alpha = rro / pw;
-      double rrn_t;
-      if (tile > 0 && cfg.precon == PreconType::kJacobiBlock) {
-        // The strip solve couples rows: row-tile the pointwise update,
-        // run the solve per rank, then the row-tiled ⟨r,z⟩.
-        cl.for_each_tile(&t, tile, interior,
-                         [&](int, Chunk2D& c, const Bounds& tb) {
-                           kernels::cg_calc_ur_rows(c, alpha, tb);
-                         });
-        t.barrier();
-        cl.for_each_chunk(&t, [](int, Chunk2D& c) {
-          kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
-        });
-        rrn_t = cl.sum_rows_over_chunks(
-            &t, tile, [](int, Chunk2D& c, const Bounds& tb) {
-              kernels::dot_rows(c, FieldId::kR, FieldId::kZ, tb,
-                                c.row_scratch());
-            });
-      } else if (tile > 0) {
-        rrn_t = cl.sum_rows_over_chunks(
-            &t, tile, [&](int, Chunk2D& c, const Bounds& tb) {
-              kernels::calc_ur_dot_rows(c, alpha, cfg.precon, tb,
-                                        c.row_scratch());
-            });
-      } else {
-        rrn_t = cl.sum_over_chunks(&t, [&](int, Chunk2D& c) {
-          return kernels::calc_ur_dot(c, alpha, cfg.precon);
-        });
-      }
-      const double beta = rrn_t / rro;
-      const FieldId zsrc =
-          (cfg.precon == PreconType::kNone) ? FieldId::kR : FieldId::kZ;
-      if (tile > 0) {
-        cl.for_each_tile(&t, tile, interior,
-                         [&](int, Chunk2D& c, const Bounds& tb) {
-                           kernels::xpby(c, FieldId::kP, zsrc, beta, tb);
-                         });
-      } else {
-        cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
-          kernels::xpby(c, FieldId::kP, zsrc, beta, interior_bounds(c));
-        });
-      }
-      t.single([&] { rrn_out = rrn_t; });
-    });
+    cl.exchange(&team, {FieldId::kP}, 1);
+    const double pw =
+        tile > 0
+            ? cl.sum_rows_over_chunks(
+                  &team, tile,
+                  [](int, Chunk2D& c, const Bounds& tb) {
+                    kernels::smvp_dot_rows(c, FieldId::kP, FieldId::kW,
+                                           interior_bounds(c), tb,
+                                           c.row_scratch());
+                  })
+            : cl.sum_over_chunks(&team, [](int, Chunk2D& c) {
+                return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
+                                         interior_bounds(c));
+              });
     ++st.spmv_applies;
-    if (!(pw_out > 0.0)) {
+    // Every thread computed the same rank-ordered sum, so the breakdown
+    // branch is uniform across the team.
+    if (!(pw > 0.0)) {
       st.breakdown = true;
       st.breakdown_reason = kPwBreakdown;
       break;
     }
-    rrn = rrn_out;
+    const double alpha = rro / pw;
+    double rrn_t;
+    if (tile > 0 && cfg.precon == PreconType::kJacobiBlock) {
+      // The strip solve couples rows: row-tile the pointwise update,
+      // run the solve per rank, then the row-tiled ⟨r,z⟩.
+      cl.for_each_tile(&team, tile, interior,
+                       [&](int, Chunk2D& c, const Bounds& tb) {
+                         kernels::cg_calc_ur_rows(c, alpha, tb);
+                       });
+      team.barrier();
+      cl.for_each_chunk(&team, [](int, Chunk2D& c) {
+        kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+      });
+      rrn_t = cl.sum_rows_over_chunks(
+          &team, tile, [](int, Chunk2D& c, const Bounds& tb) {
+            kernels::dot_rows(c, FieldId::kR, FieldId::kZ, tb,
+                              c.row_scratch());
+          });
+    } else if (tile > 0) {
+      rrn_t = cl.sum_rows_over_chunks(
+          &team, tile, [&](int, Chunk2D& c, const Bounds& tb) {
+            kernels::calc_ur_dot_rows(c, alpha, cfg.precon, tb,
+                                      c.row_scratch());
+          });
+    } else {
+      rrn_t = cl.sum_over_chunks(&team, [&](int, Chunk2D& c) {
+        return kernels::calc_ur_dot(c, alpha, cfg.precon);
+      });
+    }
+    const double beta = rrn_t / rro;
+    const FieldId zsrc =
+        (cfg.precon == PreconType::kNone) ? FieldId::kR : FieldId::kZ;
+    if (tile > 0) {
+      cl.for_each_tile(&team, tile, interior,
+                       [&](int, Chunk2D& c, const Bounds& tb) {
+                         kernels::xpby(c, FieldId::kP, zsrc, beta, tb);
+                       });
+    } else {
+      cl.for_each_chunk(&team, [&](int, Chunk2D& c) {
+        kernels::xpby(c, FieldId::kP, zsrc, beta, interior_bounds(c));
+      });
+    }
+    rrn = rrn_t;
     rro = rrn;
     ++st.outer_iters;
     if (std::sqrt(std::fabs(rrn)) <= target) {
@@ -404,13 +394,25 @@ SolveStats CGSolver::solve_classic_fused_kernels(SimCluster2D& cl,
   return st;
 }
 
+SolveStats CGSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
+                                const Team& team) {
+  return cfg.fuse_cg_reductions ? solve_team_chrono(cl, cfg, team)
+                                : solve_team_classic(cl, cfg, team);
+}
+
 SolveStats CGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
   cfg.validate();
-  if (cfg.fuse_cg_reductions) {
-    return cfg.fuse_kernels ? solve_chrono_fused_kernels(cl, cfg)
-                            : solve_fused(cl, cfg);
+  if (cfg.fuse_kernels) {
+    // Fused execution engine: hoist ONE region around the whole solve and
+    // run the team-injected form on it.
+    SolveStats out;
+    parallel_region([&](Team& t) {
+      const SolveStats st = solve_team(cl, cfg, t);
+      t.single([&] { out = st; });
+    });
+    return out;
   }
-  if (cfg.fuse_kernels) return solve_classic_fused_kernels(cl, cfg);
+  if (cfg.fuse_cg_reductions) return solve_fused(cl, cfg);
   Timer timer;
   SolveStats st;
 

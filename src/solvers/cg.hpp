@@ -11,7 +11,13 @@ namespace tealeaf {
 /// Performs: exchange(u,1); w = A·u; r = u0 − w; block-Jacobi setup when
 /// selected; z = M⁻¹r; p = z (or r).  Returns rro = ⟨r, M⁻¹r⟩ (one global
 /// reduction).  Upstream: tea_leaf_cg_init_kernel.
-double cg_setup(SimCluster2D& cl, PreconType precon);
+///
+/// team == nullptr (the default) runs the standalone collectives; with a
+/// Team the same sequence workshares inside the caller's hoisted region
+/// (every thread returns the identical rank-ordered sum) — this is the
+/// form the team-injected solves and the batch engine use.
+double cg_setup(SimCluster2D& cl, PreconType precon,
+                const Team* team = nullptr);
 
 /// One CG iteration (upstream tea_leaf_cg_calc_* kernels):
 ///   exchange(p,1); w = A·p; pw = ⟨p,w⟩;  α = rro/pw
@@ -23,8 +29,14 @@ double cg_setup(SimCluster2D& cl, PreconType precon);
 /// `breakdown` when supplied — the iteration leaves u/r untouched and
 /// returns rro — so sweep-driven solves can record the failure and
 /// continue; with breakdown == nullptr it throws TeaError instead.
+///
+/// Team-aware like cg_setup.  Callers running inside a region MUST pass
+/// `breakdown` (an exception crossing the region boundary would terminate
+/// the process) and per-thread `rec` storage; the appended (α, β) are
+/// identical on every thread.
 double cg_iteration(SimCluster2D& cl, PreconType precon, double rro,
-                    CGRecurrence* rec, bool* breakdown = nullptr);
+                    CGRecurrence* rec, bool* breakdown = nullptr,
+                    const Team* team = nullptr);
 
 /// The standard conjugate-gradient solver (paper §III-A): the baseline
 /// whose strong-scaling is limited by the two global dot products per
@@ -36,16 +48,30 @@ class CGSolver {
   /// With cfg.fuse_cg_reductions the Chronopoulos-Gear recurrence is
   /// used instead: one fused allreduce per iteration (paper §VII).
   /// With cfg.fuse_kernels either recurrence runs through the fused
-  /// execution engine — one hoisted parallel region and single-pass
-  /// kernels per iteration — with bitwise-identical numerics.
+  /// execution engine — the whole solve inside one hoisted parallel
+  /// region with single-pass kernels — with bitwise-identical numerics.
   static SolveStats solve(SimCluster2D& cl, const SolverConfig& cfg);
+
+  /// Team-injected fused solve: the ENTIRE solve runs on `team` inside
+  /// the caller's already-open parallel region.  Every thread of the
+  /// team must call this with identical arguments; all loop-control
+  /// scalars derive from rank-ordered team reductions, so control flow
+  /// is uniform and the returned stats are identical on every thread
+  /// (up to each thread's own wall-clock).  `team` may be a sub-team —
+  /// the batch engine runs one request per sub-team concurrently.
+  /// cfg must be pre-validated (validation throws; regions cannot).
+  /// Honours cfg.fuse_cg_reductions (Chronopoulos-Gear vs classic).
+  static SolveStats solve_team(SimCluster2D& cl, const SolverConfig& cfg,
+                               const Team& team);
 
  private:
   static SolveStats solve_fused(SimCluster2D& cl, const SolverConfig& cfg);
-  static SolveStats solve_chrono_fused_kernels(SimCluster2D& cl,
-                                               const SolverConfig& cfg);
-  static SolveStats solve_classic_fused_kernels(SimCluster2D& cl,
-                                                const SolverConfig& cfg);
+  static SolveStats solve_team_chrono(SimCluster2D& cl,
+                                      const SolverConfig& cfg,
+                                      const Team& team);
+  static SolveStats solve_team_classic(SimCluster2D& cl,
+                                       const SolverConfig& cfg,
+                                       const Team& team);
 };
 
 }  // namespace tealeaf

@@ -15,9 +15,11 @@ namespace tealeaf {
 namespace {
 
 /// dir = M⁻¹·r / θ on every chunk, then u += dir (the recurrence
-/// bootstrap).  Handles all three preconditioner kinds.
-void cheby_bootstrap(SimCluster2D& cl, PreconType precon, double theta) {
-  cl.for_each_chunk([&](int, Chunk2D& c) {
+/// bootstrap).  Handles all three preconditioner kinds.  Team-aware like
+/// the solver collectives (nullptr = standalone).
+void cheby_bootstrap(SimCluster2D& cl, PreconType precon, double theta,
+                     const Team* team) {
+  cl.for_each_chunk(team, [&](int, Chunk2D& c) {
     const Bounds in = interior_bounds(c);
     if (precon == PreconType::kJacobiBlock) {
       kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
@@ -32,6 +34,7 @@ void cheby_bootstrap(SimCluster2D& cl, PreconType precon, double theta) {
 }
 
 /// One Chebyshev iteration: r −= A·p; p = α·p + β·M⁻¹·r; u += p.
+/// Standalone unfused form (one region per kernel).
 void cheby_iteration(SimCluster2D& cl, PreconType precon, double alpha,
                      double beta) {
   cl.exchange({FieldId::kP}, 1);
@@ -51,80 +54,74 @@ void cheby_iteration(SimCluster2D& cl, PreconType precon, double alpha,
   });
 }
 
-/// The same iteration through the fused execution engine: one hoisted
-/// region containing the team exchange, the single-pass cheby_step (or
-/// the block-Jacobi composition) and — on check iterations — the team
-/// ‖r‖² reduction.  Returns the reduced norm² via `rr_out` when
-/// `check` is set.  Bitwise identical to cheby_iteration.
+/// The same iteration on the caller's team (the fused execution engine):
+/// team exchange, the single-pass cheby_step (or the block-Jacobi
+/// composition) and — on check iterations — the team ‖r‖² reduction,
+/// whose return value is identical on every thread.  Bitwise identical
+/// to cheby_iteration.
 ///
 /// With tile_rows > 0 the step runs through the tiled engine instead:
 /// row-blocked stencil passes with in-block row lagging, a barrier, then
 /// the deferred block-edge updates — still bitwise identical (same
 /// per-cell arithmetic; see kernels::cheby_step_tile).  Block-Jacobi's
 /// strip solve couples rows, so that composition stays per-rank.
-void cheby_iteration_fused(SimCluster2D& cl, PreconType precon, double alpha,
-                           double beta, bool check, double* rr_out,
-                           int tile_rows) {
+double cheby_iteration_team(SimCluster2D& cl, PreconType precon, double alpha,
+                            double beta, bool check, int tile_rows,
+                            const Team& t) {
   const bool diag = (precon == PreconType::kJacobiDiag);
-  const int tile =
-      (precon == PreconType::kJacobiBlock) ? 0 : tile_rows;
+  const int tile = (precon == PreconType::kJacobiBlock) ? 0 : tile_rows;
   const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
-  parallel_region([&](Team& t) {
-    cl.exchange(&t, {FieldId::kP}, 1);
-    if (tile > 0) {
-      cl.for_each_tile(&t, tile, interior,
-                       [&](int, Chunk2D& c, const Bounds& tb) {
-                         kernels::cheby_step_tile(
-                             c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
-                             beta, diag, interior_bounds(c), tb);
-                       });
-      t.barrier();  // edge rows must see every block's stencil pass done
-      cl.for_each_tile(&t, tile, interior,
-                       [&](int, Chunk2D& c, const Bounds& tb) {
-                         kernels::cheby_step_tile_edges(
-                             c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
-                             beta, diag, interior_bounds(c), tb);
-                       });
-    } else {
-      cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
-        const Bounds in = interior_bounds(c);
-        if (precon == PreconType::kJacobiBlock) {
-          kernels::smvp(c, FieldId::kP, FieldId::kW, in);
-          kernels::axpy(c, FieldId::kR, -1.0, FieldId::kW, in);
-          kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
-          kernels::axpby(c, FieldId::kP, alpha, beta, FieldId::kZ, in);
-          kernels::axpy(c, FieldId::kU, 1.0, FieldId::kP, in);
-        } else {
-          kernels::cheby_step(c, FieldId::kR, FieldId::kP, FieldId::kU,
-                              alpha, beta, diag, in);
-        }
-      });
-    }
-    if (check) {
-      const double rr =
-          tile > 0 ? cl.sum_rows_over_chunks(
-                         &t, tile,
-                         [](int, Chunk2D& c, const Bounds& tb) {
-                           kernels::dot_rows(c, FieldId::kR, FieldId::kR, tb,
-                                             c.row_scratch());
-                         })
-                   : cl.sum_over_chunks(&t, [](int, const Chunk2D& c) {
-                       return kernels::norm2_sq(c, FieldId::kR);
+  cl.exchange(&t, {FieldId::kP}, 1);
+  if (tile > 0) {
+    cl.for_each_tile(&t, tile, interior,
+                     [&](int, Chunk2D& c, const Bounds& tb) {
+                       kernels::cheby_step_tile(
+                           c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
+                           beta, diag, interior_bounds(c), tb);
                      });
-      t.single([&] { *rr_out = rr; });
-    }
-  });
+    t.barrier();  // edge rows must see every block's stencil pass done
+    cl.for_each_tile(&t, tile, interior,
+                     [&](int, Chunk2D& c, const Bounds& tb) {
+                       kernels::cheby_step_tile_edges(
+                           c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
+                           beta, diag, interior_bounds(c), tb);
+                     });
+  } else {
+    cl.for_each_chunk(&t, [&](int, Chunk2D& c) {
+      const Bounds in = interior_bounds(c);
+      if (precon == PreconType::kJacobiBlock) {
+        kernels::smvp(c, FieldId::kP, FieldId::kW, in);
+        kernels::axpy(c, FieldId::kR, -1.0, FieldId::kW, in);
+        kernels::block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
+        kernels::axpby(c, FieldId::kP, alpha, beta, FieldId::kZ, in);
+        kernels::axpy(c, FieldId::kU, 1.0, FieldId::kP, in);
+      } else {
+        kernels::cheby_step(c, FieldId::kR, FieldId::kP, FieldId::kU, alpha,
+                            beta, diag, in);
+      }
+    });
+  }
+  if (!check) return 0.0;
+  return tile > 0 ? cl.sum_rows_over_chunks(
+                        &t, tile,
+                        [](int, Chunk2D& c, const Bounds& tb) {
+                          kernels::dot_rows(c, FieldId::kR, FieldId::kR, tb,
+                                            c.row_scratch());
+                        })
+                  : cl.sum_over_chunks(&t, [](int, const Chunk2D& c) {
+                      return kernels::norm2_sq(c, FieldId::kR);
+                    });
 }
 
 }  // namespace
 
-SolveStats ChebyshevSolver::solve(SimCluster2D& cl,
-                                  const SolverConfig& cfg) {
-  cfg.validate();
+SolveStats ChebyshevSolver::solve_team(SimCluster2D& cl,
+                                       const SolverConfig& cfg,
+                                       const Team* team) {
   Timer timer;
   SolveStats st;
 
-  double rro = cg_setup(cl, cfg.precon);
+  double rro = cg_setup(cl, cfg.precon, team);
   ++st.spmv_applies;
   st.initial_norm = std::sqrt(std::fabs(rro));
   if (st.initial_norm == 0.0) {
@@ -135,53 +132,64 @@ SolveStats ChebyshevSolver::solve(SimCluster2D& cl,
 
   // True 2-norm of the initial residual: the Chebyshev phase converges on
   // ‖r‖₂ (it has no ⟨r,z⟩ byproduct), so record the matching baseline.
-  const double bb_rr = cl.sum_over_chunks(
-      [](int, const Chunk2D& c) { return kernels::norm2_sq(c, FieldId::kR); });
+  const double bb_rr = cl.sum_over_chunks(team, [](int, const Chunk2D& c) {
+    return kernels::norm2_sq(c, FieldId::kR);
+  });
   const double target_rr = cfg.eps * std::sqrt(bb_rr);
 
-  // --- CG presteps: eigenvalue estimation (paper §III-D) ----------------
-  CGRecurrence rec;
-  const double cg_target = cfg.eps * st.initial_norm;
-  for (int i = 0; i < cfg.eigen_cg_iters && st.outer_iters + i < cfg.max_iters;
-       ++i) {
-    bool broke = false;
-    rro = cg_iteration(cl, cfg.precon, rro, &rec, &broke);
-    ++st.spmv_applies;
-    if (broke) {
-      st.breakdown = true;
-      st.breakdown_reason = "Chebyshev prestep breakdown: ⟨p, A·p⟩ <= 0";
-      st.outer_iters = st.eigen_cg_iters;
-      st.final_norm = std::sqrt(std::fabs(rro));
-      st.solve_seconds = timer.elapsed_s();
-      return st;
+  EigenEstimate est;
+  if (cfg.has_eig_hints()) {
+    // Hinted interval: skip the CG presteps entirely and build the
+    // polynomial on [hint_min, hint_max] (the session cache's
+    // amortisation path — hints are already safety-widened estimates
+    // from an earlier solve of the same operator).
+    est.eigmin = cfg.eig_hint_min;
+    est.eigmax = cfg.eig_hint_max;
+  } else {
+    // --- CG presteps: eigenvalue estimation (paper §III-D) --------------
+    CGRecurrence rec;
+    const double cg_target = cfg.eps * st.initial_norm;
+    for (int i = 0;
+         i < cfg.eigen_cg_iters && st.outer_iters + i < cfg.max_iters; ++i) {
+      bool broke = false;
+      rro = cg_iteration(cl, cfg.precon, rro, &rec, &broke, team);
+      ++st.spmv_applies;
+      if (broke) {
+        st.breakdown = true;
+        st.breakdown_reason = "Chebyshev prestep breakdown: ⟨p, A·p⟩ <= 0";
+        st.outer_iters = st.eigen_cg_iters;
+        st.final_norm = std::sqrt(std::fabs(rro));
+        st.solve_seconds = timer.elapsed_s();
+        return st;
+      }
+      ++st.eigen_cg_iters;
+      if (std::sqrt(std::fabs(rro)) <= cg_target) {
+        // Converged before Chebyshev even started.
+        st.outer_iters = st.eigen_cg_iters;
+        st.converged = true;
+        st.final_norm = std::sqrt(std::fabs(rro));
+        st.solve_seconds = timer.elapsed_s();
+        return st;
+      }
     }
-    ++st.eigen_cg_iters;
-    if (std::sqrt(std::fabs(rro)) <= cg_target) {
-      // Converged before Chebyshev even started.
-      st.outer_iters = st.eigen_cg_iters;
-      st.converged = true;
-      st.final_norm = std::sqrt(std::fabs(rro));
-      st.solve_seconds = timer.elapsed_s();
-      return st;
-    }
+    est = estimate_eigenvalues(rec, cfg.eig_safety_lo, cfg.eig_safety_hi);
   }
-
-  const EigenEstimate est =
-      estimate_eigenvalues(rec, cfg.eig_safety_lo, cfg.eig_safety_hi);
   st.eigmin = est.eigmin;
   st.eigmax = est.eigmax;
   const ChebyCoefs cc =
       chebyshev_coefficients(est.eigmin, est.eigmax, cfg.max_iters);
 
   // --- Chebyshev phase ---------------------------------------------------
-  cheby_bootstrap(cl, cfg.precon, cc.theta);
+  cheby_bootstrap(cl, cfg.precon, cc.theta, team);
   int step = 0;
   double rr = bb_rr;
   while (st.eigen_cg_iters + step < cfg.max_iters) {
     const bool check = (step + 1) % cfg.cheby_check_interval == 0;
-    if (cfg.fuse_kernels) {
-      cheby_iteration_fused(cl, cfg.precon, cc.alphas[step], cc.betas[step],
-                            check, &rr, cfg.tile_rows);
+    if (team != nullptr) {
+      const double rr_t = cheby_iteration_team(
+          cl, cfg.precon, cc.alphas[step], cc.betas[step], check,
+          cfg.tile_rows, *team);
+      if (check) rr = rr_t;
     } else {
       cheby_iteration(cl, cfg.precon, cc.alphas[step], cc.betas[step]);
       if (check) {
@@ -200,10 +208,24 @@ SolveStats ChebyshevSolver::solve(SimCluster2D& cl,
   st.outer_iters = st.eigen_cg_iters + step;
   st.final_norm = std::sqrt(rr);
   st.solve_seconds = timer.elapsed_s();
-  if (!st.converged) {
+  if (!st.converged && (team == nullptr || team->thread_id() == 0)) {
     log::warn() << "Chebyshev hit max_iters with ‖r‖ = " << st.final_norm;
   }
   return st;
+}
+
+SolveStats ChebyshevSolver::solve(SimCluster2D& cl,
+                                  const SolverConfig& cfg) {
+  cfg.validate();
+  if (cfg.fuse_kernels) {
+    SolveStats out;
+    parallel_region([&](Team& t) {
+      const SolveStats st = solve_team(cl, cfg, &t);
+      t.single([&] { out = st; });
+    });
+    return out;
+  }
+  return solve_team(cl, cfg, nullptr);
 }
 
 }  // namespace tealeaf

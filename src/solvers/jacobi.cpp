@@ -1,6 +1,5 @@
 #include "solvers/jacobi.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "ops/kernels.hpp"
@@ -8,22 +7,14 @@
 
 namespace tealeaf {
 
-namespace {
-
-/// Sweeps hosted per hoisted region on the fused path.  Jacobi's
-/// iteration is a single sweep, so a region per iteration only added
-/// fork/join on top of the unfused path (the PR 2 regression); batching
-/// several sweeps per region amortises it.  Convergence is still checked
-/// after EVERY sweep — the error reduction is a cheap in-region team
-/// reduction and its value is uniform across the team, so the early-exit
-/// branch is region-safe and iteration counts stay bitwise identical to
-/// the unfused path.
-constexpr int kBatchSweeps = 16;
-
-/// The fused execution engine's Jacobi: batched hoisted regions, with the
-/// optional tiled two-phase sweep (save rows, barrier, update rows) when
-/// cfg.tile_rows > 0.
-SolveStats solve_fused(SimCluster2D& cl, const SolverConfig& cfg) {
+SolveStats JacobiSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
+                                    const Team& team) {
+  // The fused execution engine's Jacobi: the whole solve inside the
+  // caller's ONE region, with the optional tiled two-phase sweep (save
+  // rows, barrier, update rows) when cfg.tile_rows > 0.  All loop-control
+  // state is computed identically on every thread (team reductions are
+  // rank/row-ordered), so the sweep loop and its early exits are uniform
+  // across the team.
   Timer timer;
   SolveStats st;
   const int tile = cfg.tile_rows;
@@ -45,75 +36,48 @@ SolveStats solve_fused(SimCluster2D& cl, const SolverConfig& cfg) {
   };
 
   double initial_err = 0.0;
-  bool done = false;
-  while (!done && st.outer_iters < cfg.max_iters) {
-    const int batch = std::min(kBatchSweeps, cfg.max_iters - st.outer_iters);
-    const bool first_batch = (st.outer_iters == 0);
-    int iters_out = 0;
-    double err_out = 0.0;
-    double initial_out = initial_err;
-    bool converged_out = false;
-    parallel_region([&](Team& t) {
-      // All loop-control state below is computed identically on every
-      // thread (team reductions are rank/row-ordered), so the batch loop
-      // and its early exits are uniform across the team.
-      double init = initial_err;
-      double err = 0.0;
-      int iters = 0;
-      bool converged = false;
-      for (int s = 0; s < batch; ++s) {
-        cl.exchange(&t, {FieldId::kU}, 1);
-        if (tile > 0) {
-          cl.for_each_tile(&t, tile, interior, tile_body);
-          t.barrier();  // edge rows read every block's saved rows
-          cl.for_each_tile(&t, tile, interior, edge_body);
-          err = cl.combine_row_partials(&t);
-        } else {
-          err = cl.sum_over_chunks(&t, [](int, Chunk2D& c) {
-            return kernels::jacobi_iterate(c);
-          });
-        }
-        ++iters;
-        if (first_batch && s == 0) {
-          init = err;
-          if (err == 0.0) {
-            converged = true;
-            break;
-          }
-        }
-        if (err <= cfg.eps * init) {
-          converged = true;
-          break;
-        }
+  while (st.outer_iters < cfg.max_iters) {
+    cl.exchange(&team, {FieldId::kU}, 1);
+    double err;
+    if (tile > 0) {
+      cl.for_each_tile(&team, tile, interior, tile_body);
+      team.barrier();  // edge rows read every block's saved rows
+      cl.for_each_tile(&team, tile, interior, edge_body);
+      err = cl.combine_row_partials(&team);
+    } else {
+      err = cl.sum_over_chunks(
+          &team, [](int, Chunk2D& c) { return kernels::jacobi_iterate(c); });
+    }
+    ++st.outer_iters;
+    ++st.spmv_applies;  // one operator-equivalent sweep
+    if (st.outer_iters == 1) {
+      initial_err = err;
+      st.initial_norm = err;
+      if (err == 0.0) {
+        st.converged = true;
+        break;
       }
-      t.single([&] {
-        iters_out = iters;
-        err_out = err;
-        initial_out = init;
-        converged_out = converged;
-      });
-    });
-    st.outer_iters += iters_out;
-    st.spmv_applies += iters_out;
-    if (first_batch) {
-      initial_err = initial_out;
-      st.initial_norm = initial_out;
     }
-    if (!(first_batch && iters_out == 1 && err_out == 0.0)) {
-      st.final_norm = err_out;
+    st.final_norm = err;
+    if (err <= cfg.eps * initial_err) {
+      st.converged = true;
+      break;
     }
-    st.converged = converged_out;
-    done = converged_out;
   }
   st.solve_seconds = timer.elapsed_s();
   return st;
 }
 
-}  // namespace
-
 SolveStats JacobiSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
   cfg.validate();
-  if (cfg.fuse_kernels) return solve_fused(cl, cfg);
+  if (cfg.fuse_kernels) {
+    SolveStats out;
+    parallel_region([&](Team& t) {
+      const SolveStats st = solve_team(cl, cfg, t);
+      t.single([&] { out = st; });
+    });
+    return out;
+  }
   Timer timer;
   SolveStats st;
 

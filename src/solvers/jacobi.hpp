@@ -12,6 +12,14 @@ namespace tealeaf {
 class JacobiSolver {
  public:
   static SolveStats solve(SimCluster2D& cl, const SolverConfig& cfg);
+
+  /// Team-injected fused solve: the ENTIRE solve runs on `team` inside
+  /// the caller's already-open parallel region (see CGSolver::solve_team
+  /// for the contract).  One region for the whole solve strictly reduces
+  /// fork/join versus the per-batch regions of the wrapper path, and the
+  /// iterates/iteration counts stay bitwise identical.
+  static SolveStats solve_team(SimCluster2D& cl, const SolverConfig& cfg,
+                               const Team& team);
 };
 
 }  // namespace tealeaf

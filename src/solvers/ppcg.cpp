@@ -146,14 +146,12 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
   }
 }
 
-SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
-  cfg.validate();
-  TEA_REQUIRE(cfg.halo_depth <= cl.halo_depth(),
-              "cluster halo allocation too shallow for matrix-powers depth");
+SolveStats PPCGSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
+                                  const Team* team) {
   Timer timer;
   SolveStats st;
 
-  double rro = cg_setup(cl, cfg.precon);
+  double rro = cg_setup(cl, cfg.precon, team);
   ++st.spmv_applies;
   st.initial_norm = std::sqrt(std::fabs(rro));
   if (st.initial_norm == 0.0) {
@@ -167,31 +165,42 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
     st.outer_iters += st.eigen_cg_iters;
     st.final_norm = std::sqrt(std::fabs(metric));
     st.solve_seconds = timer.elapsed_s();
-    if (!st.converged && !st.breakdown) {
+    if (!st.converged && !st.breakdown &&
+        (team == nullptr || team->thread_id() == 0)) {
       log::warn() << "PPCG hit max_iters with metric " << st.final_norm;
     }
     return st;
   };
 
-  // --- CG presteps: eigenvalue estimation (paper §III-D) ----------------
-  CGRecurrence rec;
-  for (int i = 0; i < cfg.eigen_cg_iters; ++i) {
-    bool broke = false;
-    rro = cg_iteration(cl, cfg.precon, rro, &rec, &broke);
-    ++st.spmv_applies;
-    if (broke) {
-      st.breakdown = true;
-      st.breakdown_reason = kPwBreakdown;
-      return finish(rro);
+  EigenEstimate est;
+  if (cfg.has_eig_hints()) {
+    // Hinted interval: skip the CG presteps and build the polynomial on
+    // [hint_min, hint_max] directly (the session cache's amortisation
+    // path).  A stale or degenerate hint makes the polynomial indefinite
+    // and surfaces below as the ⟨r, M⁻¹r⟩ breakdown — reported, not
+    // thrown, so the solve-server can answer it with a re-route.
+    est.eigmin = cfg.eig_hint_min;
+    est.eigmax = cfg.eig_hint_max;
+  } else {
+    // --- CG presteps: eigenvalue estimation (paper §III-D) --------------
+    CGRecurrence rec;
+    for (int i = 0; i < cfg.eigen_cg_iters; ++i) {
+      bool broke = false;
+      rro = cg_iteration(cl, cfg.precon, rro, &rec, &broke, team);
+      ++st.spmv_applies;
+      if (broke) {
+        st.breakdown = true;
+        st.breakdown_reason = kPwBreakdown;
+        return finish(rro);
+      }
+      ++st.eigen_cg_iters;
+      if (std::sqrt(std::fabs(rro)) <= target) {
+        st.converged = true;
+        return finish(rro);
+      }
     }
-    ++st.eigen_cg_iters;
-    if (std::sqrt(std::fabs(rro)) <= target) {
-      st.converged = true;
-      return finish(rro);
-    }
+    est = estimate_eigenvalues(rec, cfg.eig_safety_lo, cfg.eig_safety_hi);
   }
-  const EigenEstimate est =
-      estimate_eigenvalues(rec, cfg.eig_safety_lo, cfg.eig_safety_hi);
   st.eigmin = est.eigmin;
   st.eigmax = est.eigmax;
   const ChebyCoefs cc =
@@ -200,16 +209,10 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
   // One body serves both execution engines: team == nullptr runs the
   // seed's standalone collectives (region per kernel); with a Team the
   // same sequence workshares inside the caller's single hoisted region —
-  // row-blocked through the tiled engine when cfg.tile_rows > 0.
-  // `publish` hands a team-reduced value out of the region via thread 0.
-  const auto publish = [](const Team* t, double& slot, double value) {
-    if (t == nullptr) {
-      slot = value;
-    } else {
-      t->single([&] { slot = value; });
-    }
-  };
-  const int tile = cfg.fuse_kernels ? cfg.tile_rows : 0;
+  // row-blocked through the tiled engine when cfg.tile_rows > 0.  Every
+  // scalar below derives from rank/row-ordered team reductions, so its
+  // value — and every branch on it — is identical on every thread.
+  const int tile = (team != nullptr) ? cfg.tile_rows : 0;
   const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
   /// ⟨r, z⟩ in both engines (row-blocked when tiled; identical value).
   const auto dot_rz = [&](const Team* t) {
@@ -226,30 +229,20 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
   };
 
   // --- restart the outer PCG with the polynomial preconditioner ---------
-  double rro_out = 0.0;
-  const auto restart_body = [&](const Team* t) {
-    apply_inner(cl, cfg, cc, nullptr, t);
-    const double v = dot_rz(t);
-    if (t != nullptr && tile > 0) {
-      cl.for_each_tile(t, tile, interior,
-                       [](int, Chunk2D& c, const Bounds& tb) {
-                         kernels::copy(c, FieldId::kP, FieldId::kZ, tb);
-                       });
-    } else {
-      cl.for_each_chunk(t, [](int, Chunk2D& c) {
-        kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
-      });
-    }
-    publish(t, rro_out, v);
-  };
-  if (cfg.fuse_kernels) {
-    parallel_region([&](Team& t) { restart_body(&t); });
+  apply_inner(cl, cfg, cc, nullptr, team);
+  rro = dot_rz(team);
+  if (team != nullptr && tile > 0) {
+    cl.for_each_tile(team, tile, interior,
+                     [](int, Chunk2D& c, const Bounds& tb) {
+                       kernels::copy(c, FieldId::kP, FieldId::kZ, tb);
+                     });
   } else {
-    restart_body(nullptr);
+    cl.for_each_chunk(team, [](int, Chunk2D& c) {
+      kernels::copy(c, FieldId::kP, FieldId::kZ, interior_bounds(c));
+    });
   }
   st.spmv_applies += cfg.inner_steps;
   st.inner_steps += cfg.inner_steps;
-  rro = rro_out;
   if (!(rro > 0.0)) {
     st.breakdown = true;
     st.breakdown_reason = kRzBreakdown;
@@ -258,75 +251,63 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
 
   double rrn = rro;
   while (st.eigen_cg_iters + st.outer_iters < cfg.max_iters) {
-    // With fuse_kernels this whole body is ONE hoisted region: p
-    // exchange, fused smvp+dot, u/r update, the inner Chebyshev
-    // application (including its matrix-powers exchanges) and both
-    // reductions.
-    double pw = 0.0;
-    double rrn_out = 0.0;
-    const auto iteration_body = [&](const Team* t) {
-      cl.exchange(t, {FieldId::kP}, 1);
-      const double pw_t =
-          (t != nullptr && tile > 0)
-              ? cl.sum_rows_over_chunks(
-                    t, tile,
-                    [](int, Chunk2D& c, const Bounds& tb) {
-                      kernels::smvp_dot_rows(c, FieldId::kP, FieldId::kW,
-                                             interior_bounds(c), tb,
-                                             c.row_scratch());
-                    })
-              : cl.sum_over_chunks(t, [](int, Chunk2D& c) {
-                  return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
-                                           interior_bounds(c));
-                });
-      publish(t, pw, pw_t);
-      // Uniform branch: every thread reduced the same rank-ordered sum.
-      if (!(pw_t > 0.0)) return;
-      const double alpha = rro / pw_t;
-      if (t != nullptr && tile > 0) {
-        cl.for_each_tile(t, tile, interior,
-                         [&](int, Chunk2D& c, const Bounds& tb) {
-                           kernels::cg_calc_ur_rows(c, alpha, tb);
-                         });
-        // apply_inner's first pass copies r: order it against the
-        // row-blocked update (the 1-D fused path keeps the same
-        // rank→thread mapping, so only the tiled schedule needs this).
-        t->barrier();
-      } else {
-        cl.for_each_chunk(
-            t, [&](int, Chunk2D& c) { kernels::cg_calc_ur(c, alpha); });
-      }
-      apply_inner(cl, cfg, cc, nullptr, t);
-      const double rrn_t = dot_rz(t);
-      const double beta = rrn_t / rro;
-      if (t != nullptr && tile > 0) {
-        cl.for_each_tile(t, tile, interior,
-                         [&](int, Chunk2D& c, const Bounds& tb) {
-                           kernels::xpby(c, FieldId::kP, FieldId::kZ, beta,
-                                         tb);
-                         });
-      } else {
-        cl.for_each_chunk(t, [&](int, Chunk2D& c) {
-          kernels::xpby(c, FieldId::kP, FieldId::kZ, beta,
-                        interior_bounds(c));
-        });
-      }
-      publish(t, rrn_out, rrn_t);
-    };
-    if (cfg.fuse_kernels) {
-      parallel_region([&](Team& t) { iteration_body(&t); });
-    } else {
-      iteration_body(nullptr);
-    }
+    // With a Team this whole body runs in the caller's ONE hoisted
+    // region: p exchange, fused smvp+dot, u/r update, the inner
+    // Chebyshev application (including its matrix-powers exchanges)
+    // and both reductions.
+    cl.exchange(team, {FieldId::kP}, 1);
+    const double pw =
+        (team != nullptr && tile > 0)
+            ? cl.sum_rows_over_chunks(
+                  team, tile,
+                  [](int, Chunk2D& c, const Bounds& tb) {
+                    kernels::smvp_dot_rows(c, FieldId::kP, FieldId::kW,
+                                           interior_bounds(c), tb,
+                                           c.row_scratch());
+                  })
+            : cl.sum_over_chunks(team, [](int, Chunk2D& c) {
+                return kernels::smvp_dot(c, FieldId::kP, FieldId::kW,
+                                         interior_bounds(c));
+              });
     ++st.spmv_applies;
+    // Uniform branch: every thread reduced the same rank-ordered sum.
     if (!(pw > 0.0)) {
       st.breakdown = true;
       st.breakdown_reason = kPwBreakdown;
       return finish(rrn);
     }
+    const double alpha = rro / pw;
+    if (team != nullptr && tile > 0) {
+      cl.for_each_tile(team, tile, interior,
+                       [&](int, Chunk2D& c, const Bounds& tb) {
+                         kernels::cg_calc_ur_rows(c, alpha, tb);
+                       });
+      // apply_inner's first pass copies r: order it against the
+      // row-blocked update (the 1-D fused path keeps the same
+      // rank→thread mapping, so only the tiled schedule needs this).
+      team->barrier();
+    } else {
+      cl.for_each_chunk(
+          team, [&](int, Chunk2D& c) { kernels::cg_calc_ur(c, alpha); });
+    }
+    apply_inner(cl, cfg, cc, nullptr, team);
+    const double rrn_t = dot_rz(team);
+    const double beta = rrn_t / rro;
+    if (team != nullptr && tile > 0) {
+      cl.for_each_tile(team, tile, interior,
+                       [&](int, Chunk2D& c, const Bounds& tb) {
+                         kernels::xpby(c, FieldId::kP, FieldId::kZ, beta,
+                                       tb);
+                       });
+    } else {
+      cl.for_each_chunk(team, [&](int, Chunk2D& c) {
+        kernels::xpby(c, FieldId::kP, FieldId::kZ, beta,
+                      interior_bounds(c));
+      });
+    }
     st.spmv_applies += cfg.inner_steps;
     st.inner_steps += cfg.inner_steps;
-    rrn = rrn_out;
+    rrn = rrn_t;
     rro = rrn;
     ++st.outer_iters;
     if (std::sqrt(std::fabs(rrn)) <= target) {
@@ -340,6 +321,21 @@ SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
     }
   }
   return finish(rrn);
+}
+
+SolveStats PPCGSolver::solve(SimCluster2D& cl, const SolverConfig& cfg) {
+  cfg.validate();
+  TEA_REQUIRE(cfg.halo_depth <= cl.halo_depth(),
+              "cluster halo allocation too shallow for matrix-powers depth");
+  if (cfg.fuse_kernels) {
+    SolveStats out;
+    parallel_region([&](Team& t) {
+      const SolveStats st = solve_team(cl, cfg, &t);
+      t.single([&] { out = st; });
+    });
+    return out;
+  }
+  return solve_team(cl, cfg, nullptr);
 }
 
 }  // namespace tealeaf

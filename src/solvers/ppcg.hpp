@@ -23,6 +23,17 @@ class PPCGSolver {
  public:
   static SolveStats solve(SimCluster2D& cl, const SolverConfig& cfg);
 
+  /// Nullable-team form: with a Team the ENTIRE solve — presteps, restart
+  /// and outer loop — runs fused on the caller's already-open parallel
+  /// region (see CGSolver::solve_team for the contract); with nullptr it
+  /// runs the standalone unfused path.  Honours cfg.eig_hint_min/max
+  /// (skip the presteps, build the polynomial on the hinted interval); a
+  /// stale hint surfaces as the ⟨r, M⁻¹r⟩ breakdown flag.  Caller must
+  /// pre-check cfg.validate() and the cluster's halo depth against
+  /// cfg.halo_depth — preconditions throw, and regions cannot.
+  static SolveStats solve_team(SimCluster2D& cl, const SolverConfig& cfg,
+                               const Team* team);
+
   /// Apply the inner Chebyshev preconditioner: z = B(A)·r on every chunk.
   /// Exposed for tests (depth-equivalence and trace validation).
   /// Updates `spmv_applies`/`inner_steps` counters in `st` when non-null.

@@ -9,20 +9,43 @@
 
 namespace tealeaf {
 
-SolveStats solve_linear_system(SimCluster2D& cl, const SolverConfig& cfg) {
+namespace {
+
+/// Resolve tile_rows = -1 ("auto"): size the row-blocks from the default
+/// modelled machine's per-core L2 (spruce_hybrid, the same machine
+/// SweepOptions prices communication against) and this run's chunk width.
+SolverConfig resolve(const SimCluster2D& cl, const SolverConfig& cfg) {
   SolverConfig resolved = cfg;
   if (resolved.tile_rows < 0) {
-    // `auto` tiling: size the row-blocks from the default modelled
-    // machine's per-core L2 (spruce_hybrid, the same machine SweepOptions
-    // prices communication against) and this run's chunk width.
     resolved.tile_rows = auto_tile_rows(machines::spruce_hybrid(),
                                         cl.chunk(0).nx(), cl.halo_depth());
   }
+  return resolved;
+}
+
+}  // namespace
+
+SolveStats run_solver(SimCluster2D& cl, const SolverConfig& cfg) {
+  const SolverConfig resolved = resolve(cl, cfg);
   switch (resolved.type) {
     case SolverType::kJacobi: return JacobiSolver::solve(cl, resolved);
     case SolverType::kCG: return CGSolver::solve(cl, resolved);
     case SolverType::kChebyshev: return ChebyshevSolver::solve(cl, resolved);
     case SolverType::kPPCG: return PPCGSolver::solve(cl, resolved);
+  }
+  TEA_ASSERT(false, "invalid solver type");
+}
+
+SolveStats run_solver_team(SimCluster2D& cl, const SolverConfig& cfg,
+                           const Team& team) {
+  const SolverConfig resolved = resolve(cl, cfg);
+  switch (resolved.type) {
+    case SolverType::kJacobi:
+      return JacobiSolver::solve_team(cl, resolved, team);
+    case SolverType::kCG: return CGSolver::solve_team(cl, resolved, team);
+    case SolverType::kChebyshev:
+      return ChebyshevSolver::solve_team(cl, resolved, &team);
+    case SolverType::kPPCG: return PPCGSolver::solve_team(cl, resolved, &team);
   }
   TEA_ASSERT(false, "invalid solver type");
 }

@@ -7,12 +7,42 @@ namespace tealeaf {
 
 /// Dispatch facade: run the configured solver on A·u = u0.
 ///
-/// Preconditions (normally established by the driver's timestep):
+/// Preconditions (normally established by SolveSession / the driver's
+/// timestep):
 ///  * u = u0 = initial temperature on chunk interiors,
 ///  * Kx/Ky built by kernels::init_conduction after a full-depth density
 ///    exchange.
 /// Postcondition: u holds the converged solution on chunk interiors.
-[[nodiscard]] SolveStats solve_linear_system(SimCluster2D& cl,
-                                             const SolverConfig& cfg);
+///
+/// tile_rows < 0 ("auto") is resolved here from the default modelled
+/// machine and the chunk width before dispatch.
+[[nodiscard]] SolveStats run_solver(SimCluster2D& cl,
+                                    const SolverConfig& cfg);
+
+/// Team-injected dispatch: the ENTIRE solve runs on `team` inside the
+/// caller's already-open parallel region.  Every thread of the team must
+/// call with identical arguments; the returned stats are identical on
+/// every thread (up to per-thread wall-clock).  `team` may be a sub-team
+/// — the solve-server's batch engine runs one request per sub-team,
+/// concurrently, inside ONE region.  cfg must be pre-validated and the
+/// cluster's halo deep enough for cfg.halo_depth (preconditions throw,
+/// and exceptions must not escape a parallel region).  Always executes
+/// through the fused engine — the only region-safe engine — which is
+/// bitwise identical to the unfused path.
+[[nodiscard]] SolveStats run_solver_team(SimCluster2D& cl,
+                                         const SolverConfig& cfg,
+                                         const Team& team);
+
+/// Pre-PR6 entry point.  SolveSession (src/api/solve_api.hpp) is the
+/// supported way to run solves now — it owns the cluster set-up this
+/// function assumes the caller did by hand.  See README "Migrating to
+/// SolveSession".
+[[deprecated(
+    "use SolveSession::solve (src/api/solve_api.hpp) or run_solver; see "
+    "README 'Migrating to SolveSession'")]]
+[[nodiscard]] inline SolveStats solve_linear_system(SimCluster2D& cl,
+                                                    const SolverConfig& cfg) {
+  return run_solver(cl, cfg);
+}
 
 }  // namespace tealeaf

@@ -90,6 +90,37 @@ void SolverConfig::validate() const {
   }
   TEA_REQUIRE(tile_rows >= -1,
               "tile_rows must be a row count, 0 (untiled) or -1 (auto)");
+  TEA_REQUIRE(eig_hint_min >= 0.0 && eig_hint_max >= 0.0,
+              "eigenvalue hints must be non-negative (0 = unset)");
+  if (eig_hint_min > 0.0 || eig_hint_max > 0.0) {
+    // Strictly min < max: the Chebyshev coefficients divide by the
+    // interval width, so a collapsed interval is never representable.
+    TEA_REQUIRE(eig_hint_min > 0.0 && eig_hint_max > eig_hint_min,
+                "eigenvalue hints need 0 < eig_hint_min < eig_hint_max");
+  }
+}
+
+SolverConfig SolverConfig::validated() const {
+  validate();
+  if (tile_rows != 0 && !fuse_kernels) {
+    throw TeaError(
+        "tile_rows = " + std::to_string(tile_rows) +
+        " requests the tiled execution engine, but fuse_kernels is off — "
+        "row tiling is a layer of the fused engine and the unfused path "
+        "would silently measure the untiled sweeps.  Did you mean "
+        "tl_fuse_kernels = 1 (run the fused engine) or tl_tile_rows = 0 "
+        "(untiled)?");
+  }
+  if (has_eig_hints() &&
+      (type == SolverType::kJacobi || type == SolverType::kCG)) {
+    throw TeaError(
+        std::string("eigenvalue hints only apply to the Chebyshev-based "
+                    "solvers (they replace the CG presteps), but the solver "
+                    "is '") +
+        to_string(type) +
+        "'.  Did you mean tl_use_chebyshev or tl_use_ppcg?");
+  }
+  return *this;
 }
 
 }  // namespace tealeaf

@@ -45,6 +45,24 @@ struct SolverConfig {
   double eig_safety_lo = 0.95;
   double eig_safety_hi = 1.05;
 
+  /// Externally supplied eigenvalue estimates (Chebyshev/PPCG).  When
+  /// both are set (0 < eig_hint_min <= eig_hint_max) the solver SKIPS its
+  /// CG presteps and builds the Chebyshev polynomial directly on
+  /// [eig_hint_min, eig_hint_max] — the solve-server's session cache uses
+  /// this to amortise eigenvalue estimation across repeat solves of the
+  /// same operator.  The iterate path differs from a prestepped solve (no
+  /// CG iterations run first), so hinted solves are a distinct — faster —
+  /// configuration, not a bitwise-equal one.  A stale or wrong hint makes
+  /// the polynomial indefinite and surfaces as SolveStats::breakdown,
+  /// which the server answers with a re-route.  0 = estimate as usual.
+  double eig_hint_min = 0.0;
+  double eig_hint_max = 0.0;
+
+  /// True when both eigenvalue hints are set (see eig_hint_min).
+  [[nodiscard]] bool has_eig_hints() const {
+    return eig_hint_min > 0.0 && eig_hint_max >= eig_hint_min;
+  }
+
   /// The stand-alone Chebyshev solver has no per-iteration reduction;
   /// it checks the residual norm every this many iterations.
   int cheby_check_interval = 20;
@@ -80,6 +98,17 @@ struct SolverConfig {
   /// matrix-powers depth > 1 (the strips would need fresh whole-block
   /// data every inner step — paper §IV-C2 last paragraph).
   void validate() const;
+
+  /// Construction-time misuse check: everything `validate()` rejects PLUS
+  /// the silently-misleading combinations the solvers historically
+  /// tolerated — e.g. tile_rows != 0 under the unfused engine, which
+  /// would quietly measure the untiled path.  Errors carry did-you-mean
+  /// guidance in the deck parser's style.  Returns *this so call sites
+  /// can build-and-validate in one expression:
+  ///   SolveSession s(deck);  s.solve(cfg.validated());
+  /// The entry-point layers (SolveSession, the solve server, the sweep)
+  /// call this once up front instead of each call site re-checking.
+  [[nodiscard]] SolverConfig validated() const;
 };
 
 /// Declarative design-space sweep axes: the deck's `sweep_*` section

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <thread>
 
 #include "util/error.hpp"
 
@@ -30,6 +32,52 @@ inline bool in_parallel_region() {
 #endif
 }
 
+/// Sense-reversing spin barrier: the synchronisation primitive behind
+/// sub-teams.  An orphaned `#pragma omp barrier` always binds to the
+/// innermost enclosing parallel region — EVERY thread of the region must
+/// arrive — so a subset of the region's threads (a batch sub-team, each
+/// solving its own request) cannot use it without deadlocking against the
+/// other sub-teams' independent control flow.  Classic sense reversal
+/// instead: the last of `nthreads` arrivals resets the count and flips
+/// the shared sense; earlier arrivals spin until they observe the flip.
+/// Each thread keeps its local sense in its Team handle, so one barrier
+/// object serves an unbounded sequence of episodes.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int nthreads) : nthreads_(nthreads) {}
+
+  /// Block until all `nthreads` threads of the sub-team have arrived.
+  /// `local_sense` is the calling thread's episode parity (owned by its
+  /// Team); release/acquire on the shared sense makes every write before
+  /// the barrier visible to every thread after it.
+  void arrive_and_wait(bool& local_sense) {
+    const bool waiting_for = !local_sense;
+    local_sense = waiting_for;
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == nthreads_) {
+      count_.store(0, std::memory_order_relaxed);
+      sense_.store(waiting_for, std::memory_order_release);
+      return;
+    }
+    int spins = 0;
+    while (sense_.load(std::memory_order_acquire) != waiting_for) {
+      // Busy-wait is right when threads == cores (the fused engine's
+      // normal mode); yield periodically so oversubscribed runs (CI
+      // containers, sanitizer jobs) still make progress.
+      if (++spins >= 4096) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  [[nodiscard]] int num_threads() const { return nthreads_; }
+
+ private:
+  std::atomic<int> count_{0};
+  std::atomic<bool> sense_{false};
+  int nthreads_;
+};
+
 /// Handle to one thread of a hoisted parallel region (the fused kernel
 /// execution engine).  A `parallel_region` body receives one Team per
 /// thread; worksharing and synchronisation go through it so a whole
@@ -43,10 +91,23 @@ inline bool in_parallel_region() {
 /// placement stick (the thread that first touched a chunk's fields keeps
 /// processing that chunk).  There is NO implied barrier; call `barrier()`
 /// when a later phase reads what an earlier phase wrote.
+///
+/// A Team may also represent a SUB-TEAM: a contiguous slice of the
+/// region's threads with its own SpinBarrier (see `sub_team_slot`).  The
+/// solve-server's batch engine partitions one region into sub-teams, one
+/// per in-flight request; all worksharing below is a pure function of
+/// (thread_id, num_threads), so a sub-team behaves exactly like a small
+/// region and every Team-parameterised kernel runs unchanged on it.
 class Team {
  public:
   Team(int thread_id, int nthreads)
       : tid_(thread_id), nthreads_(nthreads) {}
+
+  /// Sub-team form: `barrier()` goes through `spin` instead of the
+  /// region-wide OpenMP barrier.  `thread_id` is the LOCAL id within the
+  /// sub-team; `nthreads` its size (== spin->num_threads()).
+  Team(int thread_id, int nthreads, SpinBarrier* spin)
+      : tid_(thread_id), nthreads_(nthreads), spin_(spin) {}
 
   [[nodiscard]] int thread_id() const { return tid_; }
   [[nodiscard]] int num_threads() const { return nthreads_; }
@@ -99,9 +160,15 @@ class Team {
     }
   }
 
-  /// Team-wide barrier.  Orphaned OpenMP barriers bind to the innermost
-  /// enclosing parallel region, so this works from any call depth.
+  /// Team-wide barrier.  A full-region Team uses the orphaned OpenMP
+  /// barrier (binds to the innermost enclosing parallel region, so it
+  /// works from any call depth); a sub-team synchronises only its own
+  /// threads through its SpinBarrier.
   void barrier() const {
+    if (spin_ != nullptr) {
+      spin_->arrive_and_wait(sense_);
+      return;
+    }
 #if defined(TEALEAF_HAVE_OPENMP)
 #pragma omp barrier
 #endif
@@ -118,7 +185,41 @@ class Team {
  private:
   int tid_ = 0;
   int nthreads_ = 1;
+  SpinBarrier* spin_ = nullptr;
+  mutable bool sense_ = false;  ///< this thread's SpinBarrier episode parity
 };
+
+/// Placement of one region thread in a partition of the region into
+/// `ngroups` contiguous sub-teams (the batch engine's thread split).
+struct SubTeamSlot {
+  int group = 0;     ///< which sub-team this thread belongs to
+  int local_id = 0;  ///< thread id within the sub-team
+  int size = 1;      ///< sub-team thread count
+};
+
+/// Balanced contiguous split of `nthreads` region threads into `ngroups`
+/// sub-teams — the same split Team::for_range applies to iteration
+/// ranges (first nthreads % ngroups groups get one extra thread), so the
+/// mapping is a pure function of (tid, nthreads, ngroups) and identical
+/// on every thread.  Requires 1 <= ngroups <= nthreads.
+inline SubTeamSlot sub_team_slot(int tid, int nthreads, int ngroups) {
+  TEA_ASSERT(ngroups >= 1 && ngroups <= nthreads,
+             "sub_team_slot: need 1 <= ngroups <= nthreads");
+  const int q = nthreads / ngroups;
+  const int rem = nthreads % ngroups;
+  SubTeamSlot slot;
+  if (tid < rem * (q + 1)) {
+    slot.group = tid / (q + 1);
+    slot.local_id = tid - slot.group * (q + 1);
+    slot.size = q + 1;
+  } else {
+    const int t = tid - rem * (q + 1);
+    slot.group = rem + t / q;
+    slot.local_id = t - (slot.group - rem) * q;
+    slot.size = q;
+  }
+  return slot;
+}
 
 /// Open ONE parallel region and run `body(team)` on every thread.  This
 /// is the hoisted fork/join of the fused execution engine: kernels and

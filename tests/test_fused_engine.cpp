@@ -195,8 +195,8 @@ TEST_P(FusedEngineEquivalence, SameIterationsResidualsAndCommStats) {
   auto b = make_test_problem(32, 4, std::max(2, ec.halo_depth), 8.0);
   SolverConfig fused_cfg = cfg;
   fused_cfg.fuse_kernels = true;
-  const SolveStats su = solve_linear_system(*a, cfg);
-  const SolveStats sf = solve_linear_system(*b, fused_cfg);
+  const SolveStats su = run_solver(*a, cfg);
+  const SolveStats sf = run_solver(*b, fused_cfg);
 
   ASSERT_TRUE(su.converged);
   ASSERT_TRUE(sf.converged);

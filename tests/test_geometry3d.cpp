@@ -102,8 +102,8 @@ TEST_P(CrossDimensionCell, SlabSolveMatches2DExactly) {
   const int halo = std::max(2, ec.halo_depth);
   auto d2 = make_test_problem(16, 2, halo, 6.0);
   auto d3 = make_slab_problem(16, 2, halo, 6.0);
-  const SolveStats s2 = solve_linear_system(*d2, cfg);
-  const SolveStats s3 = solve_linear_system(*d3, cfg);
+  const SolveStats s2 = run_solver(*d2, cfg);
+  const SolveStats s3 = run_solver(*d3, cfg);
   ASSERT_TRUE(s2.converged);
   ASSERT_TRUE(s3.converged);
   EXPECT_EQ(s3.outer_iters, s2.outer_iters);
@@ -163,8 +163,8 @@ TEST_P(Engine3DEquivalence, BitwiseIdenticalToUnfused3D) {
   SolverConfig unfused = cfg;
   unfused.fuse_kernels = false;
   unfused.tile_rows = 0;
-  const SolveStats su = solve_linear_system(*a, unfused);
-  const SolveStats st = solve_linear_system(*b, cfg);
+  const SolveStats su = run_solver(*a, unfused);
+  const SolveStats st = run_solver(*b, cfg);
   ASSERT_TRUE(su.converged);
   ASSERT_TRUE(st.converged);
   EXPECT_EQ(st.outer_iters, su.outer_iters);

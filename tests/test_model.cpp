@@ -37,7 +37,7 @@ TEST_P(TraceValidation, PredictedCommCountsMatchCountedStats) {
 
   const int n = 36;
   auto cl = make_test_problem(n, tc.nranks, std::max(2, tc.halo_depth), 8.0);
-  const SolveStats st = solve_linear_system(*cl, cfg);
+  const SolveStats st = run_solver(*cl, cfg);
   ASSERT_TRUE(st.converged);
 
   const SolverRunSummary run = SolverRunSummary::from(cfg, st, n);

@@ -44,10 +44,10 @@ TEST_P(SolverCombo, ConvergesToTheCommonSolution) {
   ref_cfg.type = SolverType::kCG;
   ref_cfg.eps = 1e-13;
   ref_cfg.max_iters = 100000;
-  ASSERT_TRUE(solve_linear_system(*ref, ref_cfg).converged);
+  ASSERT_TRUE(run_solver(*ref, ref_cfg).converged);
 
   auto cl = make_test_problem(28, cc.nranks, std::max(2, cc.halo_depth), 8.0);
-  const SolveStats st = solve_linear_system(*cl, cfg);
+  const SolveStats st = run_solver(*cl, cfg);
   EXPECT_TRUE(st.converged);
   const double tol = (cc.type == SolverType::kJacobi) ? 1e-4 : 1e-6;
   EXPECT_LT(max_field_diff(*ref, *cl, FieldId::kU), tol);

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/solve_api.hpp"
+#include "driver/decks.hpp"
+#include "server/batch.hpp"
+#include "server/routing.hpp"
+#include "server/solve_server.hpp"
+#include "solvers/solver.hpp"
+#include "test_helpers.hpp"
+#include "util/error.hpp"
+
+namespace tealeaf {
+namespace {
+
+SolverConfig native_config(SolverType t) {
+  SolverConfig cfg;
+  cfg.type = t;
+  cfg.fuse_kernels = true;
+  cfg.max_iters = 20000;
+  // Jacobi's convergence rate makes tight tolerances impractical on the
+  // test problem; the bitwise comparison does not care about depth.
+  cfg.eps = t == SolverType::kJacobi ? 1e-4 : 1e-8;
+  if (t == SolverType::kPPCG) {
+    cfg.precon = PreconType::kJacobiDiag;
+    cfg.halo_depth = 2;
+  }
+  return cfg;
+}
+
+/// The tentpole invariant: a batch of N requests coalesced through one
+/// parallel region is bitwise identical to solving each alone, for every
+/// native solver, in both geometries.  Sub-team scheduling changes who
+/// computes, never what is computed.
+TEST(BatchEngine, BatchOfNBitwiseEqualsSolo2D) {
+  const double conditioning[] = {2.0, 4.0, 6.0};
+  for (SolverType t : {SolverType::kJacobi, SolverType::kCG,
+                       SolverType::kChebyshev, SolverType::kPPCG}) {
+    std::vector<std::unique_ptr<SimCluster2D>> batched, solo;
+    std::vector<BatchItem> items;
+    for (double rxy : conditioning) {
+      batched.push_back(testing::make_test_problem(24, 2, 2, rxy));
+      solo.push_back(testing::make_test_problem(24, 2, 2, rxy));
+      items.push_back({batched.back().get(), native_config(t), {}});
+    }
+    solve_batched(items);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const SolveStats ref = run_solver(*solo[i], native_config(t));
+      EXPECT_TRUE(items[i].stats.converged);
+      EXPECT_EQ(items[i].stats.outer_iters, ref.outer_iters);
+      EXPECT_EQ(items[i].stats.final_norm, ref.final_norm);
+      EXPECT_EQ(testing::max_field_diff(*batched[i], *solo[i], FieldId::kU),
+                0.0);
+    }
+  }
+}
+
+TEST(BatchEngine, BatchOfNBitwiseEqualsSolo3D) {
+  const double conditioning[] = {2.0, 4.0, 6.0};
+  for (SolverType t : {SolverType::kJacobi, SolverType::kCG,
+                       SolverType::kChebyshev, SolverType::kPPCG}) {
+    std::vector<std::unique_ptr<SimCluster>> batched, solo;
+    std::vector<BatchItem> items;
+    for (double rxyz : conditioning) {
+      batched.push_back(testing::make_test_problem_3d(10, 2, 2, rxyz));
+      solo.push_back(testing::make_test_problem_3d(10, 2, 2, rxyz));
+      items.push_back({batched.back().get(), native_config(t), {}});
+    }
+    solve_batched(items);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      const SolveStats ref = run_solver(*solo[i], native_config(t));
+      EXPECT_TRUE(items[i].stats.converged);
+      EXPECT_EQ(items[i].stats.outer_iters, ref.outer_iters);
+      EXPECT_EQ(items[i].stats.final_norm, ref.final_norm);
+      EXPECT_EQ(testing::max_field_diff(*batched[i], *solo[i], FieldId::kU),
+                0.0);
+    }
+  }
+}
+
+SweepReport synthetic_report() {
+  SweepReport rep;
+  rep.ranks = 2;
+  rep.steps = 1;
+  const auto add = [&](const std::string& solver, PreconType pre, int depth,
+                       bool fused, double seconds, int iters) {
+    SweepOutcome cell;
+    cell.config.solver = solver;
+    cell.config.precon = pre;
+    cell.config.halo_depth = depth;
+    cell.config.mesh_n = 16;
+    cell.config.fused = fused;
+    cell.config.dims = 2;
+    cell.converged = true;
+    cell.iterations = iters;
+    cell.solve_seconds = seconds;
+    rep.cells.push_back(cell);
+  };
+  add("ppcg", PreconType::kJacobiDiag, 2, true, 0.010, 12);
+  add("cg", PreconType::kNone, 1, true, 0.020, 40);
+  add("jacobi", PreconType::kNone, 1, true, 0.300, 900);
+  add("mg-pcg", PreconType::kNone, 1, true, 0.050, 8);
+  return rep;
+}
+
+TEST(RoutingTable, RanksMeasuredCellsFastestFirst) {
+  const RoutingTable table = RoutingTable::from_sweep(synthetic_report());
+  EXPECT_EQ(table.size(), 4u);
+
+  const std::vector<RouteEntry> multi = table.route(2, 16, 2);
+  ASSERT_EQ(multi.size(), 3u);  // mg-pcg needs the undecomposed grid
+  EXPECT_EQ(multi.front().config.type, SolverType::kPPCG);
+  EXPECT_FALSE(multi.front().projected);
+  EXPECT_EQ(multi.front().label(), "ppcg/jac_diag/d2/n16/fused");
+  EXPECT_EQ(multi.back().config.type, SolverType::kJacobi);
+
+  const std::vector<RouteEntry> single = table.route(2, 16, 1);
+  ASSERT_EQ(single.size(), 4u);
+  EXPECT_EQ(single[2].solver, "mg-pcg");  // 0.05 s slots in after cg
+}
+
+TEST(RoutingTable, UnseenMeshFallsBackToModelProjection) {
+  const RoutingTable table = RoutingTable::from_sweep(synthetic_report());
+  const std::vector<RouteEntry> ranked = table.route(2, 48, 2);
+  ASSERT_FALSE(ranked.empty());
+  for (const RouteEntry& e : ranked) {
+    EXPECT_TRUE(e.projected);
+    EXPECT_EQ(e.mesh_n, 48);
+    EXPECT_EQ(e.label().front(), '~');
+    EXPECT_GT(e.seconds, 0.0);
+  }
+  // Nothing measured in 3-D: routing has nothing to offer.
+  EXPECT_TRUE(table.route(3, 16, 2).empty());
+}
+
+TEST(RoutingTable, RoundTripsThroughSweepJson) {
+  const SweepReport rep = synthetic_report();
+  const RoutingTable table =
+      RoutingTable::from_json_string(rep.to_json().dump(2));
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.route(2, 16, 2).front().label(),
+            "ppcg/jac_diag/d2/n16/fused");
+}
+
+TEST(SolveServer, MixedShapeStreamBatchesPerShapeInArrivalOrder) {
+  SolveServer server;
+  for (int i = 0; i < 4; ++i) {
+    SolveRequest req;
+    req.deck = decks::hot_block(24, 1);
+    req.nranks = 2;
+    req.tag = "small-" + std::to_string(i);
+    server.submit(std::move(req));
+  }
+  for (int i = 0; i < 2; ++i) {
+    SolveRequest req;
+    req.deck = decks::hot_block(32, 1);
+    req.nranks = 2;
+    req.tag = "large-" + std::to_string(i);
+    server.submit(std::move(req));
+  }
+  const std::vector<SolveResult> results = server.drain();
+  ASSERT_EQ(results.size(), 6u);
+  for (const SolveResult& r : results) EXPECT_TRUE(r.ok());
+  EXPECT_EQ(results[0].tag, "small-0");
+  EXPECT_EQ(results[5].tag, "large-1");
+  EXPECT_TRUE(results[0].batched);
+  EXPECT_TRUE(results[5].batched);
+
+  // Batched-through-the-server ≡ a lone session solving the same deck.
+  SolveSession solo(decks::hot_block(24, 1), 2);
+  const SolveStats ref = solo.solve();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(results[i].stats.final_norm, ref.final_norm);
+    EXPECT_EQ(results[i].stats.outer_iters, ref.outer_iters);
+  }
+  EXPECT_EQ(server.stats().requests, 6);
+  EXPECT_EQ(server.stats().batched_requests, 6);
+}
+
+TEST(SolveServer, ShapeCacheReusesSessionsAcrossDrains) {
+  SolveServer server;
+  SolveRequest req;
+  req.deck = decks::hot_block(24, 1);
+  req.nranks = 2;
+  const SolveResult first = server.solve_one(req);
+  EXPECT_TRUE(first.ok());
+  EXPECT_EQ(server.sessions().hits(), 0);
+  const SolveResult second = server.solve_one(req);
+  EXPECT_TRUE(second.ok());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(server.sessions().hits(), 1);
+  EXPECT_EQ(server.stats().cache_hits, 1);
+  // Identical request on a reset session: identical solve.
+  EXPECT_EQ(second.stats.final_norm, first.stats.final_norm);
+}
+
+TEST(SolveServer, RoutesRequestsThroughTheTable) {
+  ServerOptions opts;
+  opts.routes = RoutingTable::from_sweep(synthetic_report());
+  SolveServer server(std::move(opts));
+  SolveRequest req;
+  req.deck = decks::hot_block(16, 1);
+  req.nranks = 2;
+  const SolveResult res = server.solve_one(req);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.route_label, "ppcg/jac_diag/d2/n16/fused");
+  EXPECT_EQ(res.config.type, SolverType::kPPCG);
+  EXPECT_EQ(res.config.halo_depth, 2);
+  // The deck's tolerances survive routing; only structure is overlaid.
+  EXPECT_EQ(res.config.eps, decks::hot_block(16, 1).solver.eps);
+}
+
+TEST(SolveServer, StaleHintBreakdownReroutesOnceAndCompletes) {
+  SolveRequest req;
+  req.deck = decks::hot_block(24, 1);
+  req.nranks = 2;
+  SolverConfig stale = req.deck.solver;
+  stale.type = SolverType::kPPCG;
+  // A below-spectrum interval with an odd inner-step count makes the
+  // polynomial preconditioner indefinite: ⟨r, M⁻¹r⟩ < 0 at the restart,
+  // the deterministic rz-breakdown (true spectrum here is ≈ [1, 3]).
+  stale.inner_steps = 3;
+  stale.eig_hint_min = 0.1;
+  stale.eig_hint_max = 0.2;
+  req.config = stale;
+
+  ServerOptions no_retry;
+  no_retry.reroute_on_failure = false;
+  SolveServer failing(std::move(no_retry));
+  const SolveResult broken = failing.solve_one(req);
+  EXPECT_TRUE(broken.stats.breakdown);
+  EXPECT_FALSE(broken.ok());
+
+  SolveServer server;
+  const SolveResult res = server.solve_one(req);
+  EXPECT_TRUE(res.ok());
+  EXPECT_TRUE(res.rerouted);
+  EXPECT_EQ(res.attempts, 2);
+  EXPECT_FALSE(res.config.has_eig_hints());
+  EXPECT_EQ(server.stats().reroutes, 1);
+
+  // The retry replays the request from intact fields: bitwise equal to
+  // never having hinted at all.
+  SolveRequest clean = req;
+  clean.config->eig_hint_min = clean.config->eig_hint_max = 0.0;
+  SolveServer reference;
+  const SolveResult ref = reference.solve_one(clean);
+  EXPECT_EQ(res.stats.final_norm, ref.stats.final_norm);
+  EXPECT_EQ(res.stats.outer_iters, ref.stats.outer_iters);
+}
+
+/// Regression for the re-route double-count: a run whose every step
+/// breaks down once and retries must report the SAME total_outer_iters
+/// as a run that never failed — failed-attempt iterations live in their
+/// own counter.
+TEST(SolveServer, RunCountsFinalAttemptsOnlyAfterReroutes) {
+  InputDeck clean = decks::hot_block(20, 3);
+  clean.solver.type = SolverType::kPPCG;
+  clean.solver.inner_steps = 3;
+  InputDeck stale = clean;
+  stale.solver.eig_hint_min = 0.1;
+  stale.solver.eig_hint_max = 0.2;
+
+  SolveServer s1, s2;
+  const RunResult ref = s1.run(clean, 2);
+  const RunResult rerouted = s2.run(stale, 2);
+  ASSERT_TRUE(ref.all_converged);
+  ASSERT_TRUE(rerouted.all_converged);
+  EXPECT_EQ(rerouted.reroutes, 3);
+  EXPECT_EQ(ref.reroutes, 0);
+  EXPECT_EQ(rerouted.total_outer_iters, ref.total_outer_iters);
+  EXPECT_GT(rerouted.total_failed_attempt_iters, 0);
+  EXPECT_EQ(rerouted.final_summary.temp, ref.final_summary.temp);
+}
+
+}  // namespace
+}  // namespace tealeaf

@@ -194,7 +194,7 @@ TEST(SolverFacade, DispatchesEveryType) {
     SolverConfig cfg = base_config(type);
     cfg.eps = 1e-8;
     cfg.max_iters = 100000;
-    const SolveStats st = solve_linear_system(*cl, cfg);
+    const SolveStats st = run_solver(*cl, cfg);
     EXPECT_TRUE(st.converged) << to_string(type);
     EXPECT_LT(relative_residual(*cl), 1e-4) << to_string(type);
   }

@@ -159,11 +159,11 @@ TEST(CG3D, SolvesAndIsDecompositionIndependent) {
   cfg.type = SolverType::kCG;
   cfg.eps = 1e-11;
   auto ref = make_problem_3d(12, 1, 2);
-  ASSERT_TRUE(solve_linear_system(*ref, cfg).converged);
+  ASSERT_TRUE(run_solver(*ref, cfg).converged);
   const auto u_ref = gather_u(*ref);
   for (const int nranks : {2, 4, 8}) {
     auto cl = make_problem_3d(12, nranks, 2);
-    const SolveStats st = solve_linear_system(*cl, cfg);
+    const SolveStats st = run_solver(*cl, cfg);
     ASSERT_TRUE(st.converged) << nranks;
     const auto u = gather_u(*cl);
     double worst = 0.0;
@@ -178,7 +178,7 @@ TEST(CG3D, CommunicationStructureMatches2DPattern) {
   SolverConfig cfg;
   cfg.type = SolverType::kCG;
   cfg.eps = 1e-10;
-  const SolveStats st = solve_linear_system(*cl, cfg);
+  const SolveStats st = run_solver(*cl, cfg);
   ASSERT_TRUE(st.converged);
   EXPECT_EQ(cl->stats().reductions, 1 + 2LL * st.outer_iters);
   EXPECT_EQ(cl->stats().exchange_calls,
@@ -191,7 +191,7 @@ TEST(Jacobi3D, ConvergesSlowly) {
   cfg.type = SolverType::kJacobi;
   cfg.eps = 1e-7;
   cfg.max_iters = 100000;
-  const SolveStats st = solve_linear_system(*cl, cfg);
+  const SolveStats st = run_solver(*cl, cfg);
   EXPECT_TRUE(st.converged);
   EXPECT_GT(st.outer_iters, 10);
 }
@@ -201,7 +201,7 @@ TEST(PPCG3D, MatchesCGAndCutsReductions) {
   cg.type = SolverType::kCG;
   cg.eps = 1e-11;
   auto a = make_problem_3d(12, 4, 2, 16.0);
-  const SolveStats st_cg = solve_linear_system(*a, cg);
+  const SolveStats st_cg = run_solver(*a, cg);
   ASSERT_TRUE(st_cg.converged);
   const long long red_cg = a->stats().reductions;
 
@@ -211,7 +211,7 @@ TEST(PPCG3D, MatchesCGAndCutsReductions) {
   pp.eigen_cg_iters = 10;
   pp.inner_steps = 8;
   auto b = make_problem_3d(12, 4, 2, 16.0);
-  const SolveStats st_pp = solve_linear_system(*b, pp);
+  const SolveStats st_pp = run_solver(*b, pp);
   ASSERT_TRUE(st_pp.converged);
   EXPECT_LT(b->stats().reductions, red_cg);
 
@@ -233,12 +233,12 @@ TEST_P(MatrixPowers3D, DepthEquivalence) {
 
   cfg.halo_depth = 1;
   auto ref = make_problem_3d(12, 8, 2, 8.0);
-  const SolveStats st_ref = solve_linear_system(*ref, cfg);
+  const SolveStats st_ref = run_solver(*ref, cfg);
   ASSERT_TRUE(st_ref.converged);
 
   cfg.halo_depth = depth;
   auto cl = make_problem_3d(12, 8, depth, 8.0);
-  const SolveStats st = solve_linear_system(*cl, cfg);
+  const SolveStats st = run_solver(*cl, cfg);
   ASSERT_TRUE(st.converged);
   EXPECT_EQ(st.outer_iters, st_ref.outer_iters);
   EXPECT_LT(cl->stats().exchange_calls, ref->stats().exchange_calls);
@@ -284,11 +284,11 @@ TEST(Facade3D, DispatchesEverySolverIncludingChebyshev) {
   cfg.type = SolverType::kChebyshev;
   cfg.eps = 1e-8;
   cfg.eigen_cg_iters = 8;
-  EXPECT_TRUE(solve_linear_system(*cl, cfg).converged);
+  EXPECT_TRUE(run_solver(*cl, cfg).converged);
   cfg = SolverConfig{};
   cfg.type = SolverType::kCG;
   cfg.eps = 1e-9;
-  EXPECT_TRUE(solve_linear_system(*cl, cfg).converged);
+  EXPECT_TRUE(run_solver(*cl, cfg).converged);
 }
 
 }  // namespace

@@ -288,8 +288,8 @@ TEST_P(TiledEngineEquivalence, BitwiseIdenticalToUntiledFused) {
   auto b = make_test_problem(32, 4, std::max(2, tc.halo_depth), 8.0);
   SolverConfig tiled_cfg = cfg;
   tiled_cfg.tile_rows = tc.tile_rows;
-  const SolveStats su = solve_linear_system(*a, cfg);
-  const SolveStats st = solve_linear_system(*b, tiled_cfg);
+  const SolveStats su = run_solver(*a, cfg);
+  const SolveStats st = run_solver(*b, tiled_cfg);
 
   ASSERT_TRUE(su.converged);
   ASSERT_TRUE(st.converged);
@@ -355,7 +355,7 @@ TEST(TiledScheduling, MoreThreadsThanRanksStaysBitwiseIdentical) {
   cfg.eps = 1e-10;
 
   auto a = make_test_problem(32, 2, 2, 8.0);
-  const SolveStats su = solve_linear_system(*a, cfg);
+  const SolveStats su = run_solver(*a, cfg);
   ASSERT_TRUE(su.converged);
 
   const int saved = omp_get_max_threads();
@@ -363,7 +363,7 @@ TEST(TiledScheduling, MoreThreadsThanRanksStaysBitwiseIdentical) {
   auto b = make_test_problem(32, 2, 2, 8.0);
   SolverConfig tiled = cfg;
   tiled.tile_rows = 3;
-  const SolveStats st = solve_linear_system(*b, tiled);
+  const SolveStats st = run_solver(*b, tiled);
   omp_set_num_threads(saved);
 
   ASSERT_TRUE(st.converged);
@@ -401,8 +401,8 @@ TEST(AutoTile, AutoConfigSolvesBitwiseIdenticalToUntiled) {
   auto b = make_test_problem(32, 4, 2, 8.0);
   SolverConfig auto_cfg = cfg;
   auto_cfg.tile_rows = -1;
-  const SolveStats su = solve_linear_system(*a, cfg);
-  const SolveStats st = solve_linear_system(*b, auto_cfg);
+  const SolveStats su = run_solver(*a, cfg);
+  const SolveStats st = run_solver(*b, auto_cfg);
   ASSERT_TRUE(su.converged && st.converged);
   EXPECT_EQ(st.outer_iters, su.outer_iters);
   EXPECT_EQ(st.final_norm, su.final_norm);
@@ -422,8 +422,8 @@ TEST(JacobiBatch, BatchedFusedMatchesUnfusedAcrossBatchBoundaries) {
   auto b = make_test_problem(24, 2, 2, 4.0);
   SolverConfig fused = cfg;
   fused.fuse_kernels = true;
-  const SolveStats su = solve_linear_system(*a, cfg);
-  const SolveStats sf = solve_linear_system(*b, fused);
+  const SolveStats su = run_solver(*a, cfg);
+  const SolveStats sf = run_solver(*b, fused);
   ASSERT_TRUE(su.converged);
   ASSERT_TRUE(sf.converged);
   ASSERT_GT(su.outer_iters, 16) << "problem too easy to cross a batch";
@@ -442,7 +442,7 @@ TEST(JacobiBatch, MaxItersStopsMidBatch) {
   cfg.max_iters = 21;  // not a multiple of the 16-sweep batch
   cfg.fuse_kernels = true;
   auto cl = make_test_problem(24, 2, 2, 4.0);
-  const SolveStats st = solve_linear_system(*cl, cfg);
+  const SolveStats st = run_solver(*cl, cfg);
   EXPECT_FALSE(st.converged);
   EXPECT_EQ(st.outer_iters, 21);
 }
