@@ -32,6 +32,13 @@
 //    results stay bitwise identical.  Emits BENCH_PR6.json.
 //       ./bench/bench_kernels --server [--mesh 96] [--ranks 2] [--reps 3]
 //                             [--requests 8] [--out BENCH_PR6.json]
+//  * An assembled-operator comparison: the same w = A·p sweep through the
+//    matrix-free stencil, assembled CSR and SELL-C-σ views (bitwise
+//    identical by the OperatorView contract), plus fixed-iteration solves
+//    per operator representation.  Emits BENCH_PR7.json.
+//       ./bench/bench_kernels --spmv [--mesh 96] [--spmv-mesh 512]
+//                             [--ranks 2] [--reps 3] [--sweeps 50]
+//                             [--out BENCH_PR7.json]
 //  * Google-benchmark microbenchmarks of the individual kernels whose
 //    bytes/cell constants feed the performance model (model/scaling.cpp).
 //    Built only where the library exists; run with --gbench (extra
@@ -52,6 +59,7 @@
 #include "io/json.hpp"
 #include "model/machine.hpp"
 #include "ops/kernels.hpp"
+#include "ops/sparse_matrix.hpp"
 #include "precon/preconditioner.hpp"
 #include "server/solve_server.hpp"
 #include "solvers/solver.hpp"
@@ -908,6 +916,177 @@ int run_server_bench(const Args& args) {
   return all_identical ? 0 : 1;
 }
 
+// ---- assembled-operator comparison (BENCH_PR7) ---------------------------
+
+/// Single-rank, single-chunk conduction problem with a deterministic p —
+/// the operand of the raw SpMV sweep.  Halo p stays zero, which the kept
+/// boundary-face zeros of the assembled matrices multiply away exactly
+/// like the stencil does.
+std::unique_ptr<SimCluster2D> make_spmv_problem(int n) {
+  auto cl = std::make_unique<SimCluster2D>(
+      GlobalMesh2D(n, n, 0.0, 10.0, 0.0, 10.0), 1, 2);
+  Chunk2D& c = cl->chunk(0);
+  SplitMix64 rng(7);
+  c.density().fill(1.0);
+  c.energy().fill(1.0);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j) c.density()(j, k) = rng.next_double(0.5, 4.0);
+  cl->exchange({FieldId::kDensity, FieldId::kEnergy1}, 2);
+  kernels::init_u_u0(c);
+  kernels::init_conduction(c, kernels::Coefficient::kConductivity, 4.0, 4.0);
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j) c.p()(j, k) = rng.next_double(-1.0, 1.0);
+  return cl;
+}
+
+int run_spmv_bench(const Args& args) {
+  log::set_level(log::Level::kError);  // fixed-iteration runs hit max_iters
+  const int mesh = args.get_int("mesh", 96);
+  const int spmv_mesh = args.get_int("spmv-mesh", 512);
+  const int ranks = args.get_int("ranks", 2);
+  const int reps = args.get_int("reps", 3);
+  const int sweeps = args.get_int("sweeps", 50);
+  const std::string out_path = args.get("out", "BENCH_PR7.json");
+
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("benchmark",
+          "assembled operators: stencil vs CSR vs SELL-C-sigma (PR7)");
+  doc.set("mesh", mesh);
+  doc.set("spmv_mesh", spmv_mesh);
+  doc.set("ranks", ranks);
+  doc.set("threads", num_threads());
+  doc.set("reps", reps);
+  doc.set("sweeps", sweeps);
+  io::JsonValue arr = io::JsonValue::array();
+  bool all_identical = true;
+
+  // Raw SpMV: the same w = A·p sweep through each operator view on one
+  // chunk, bitwise-compared against the stencil result.
+  {
+    auto cl = make_spmv_problem(spmv_mesh);
+    Chunk2D& c = cl->chunk(0);
+    const Bounds bounds = interior_bounds(c);
+    auto csr = std::make_shared<const CsrMatrix>(assemble_from_stencil(c));
+    auto sell = std::make_shared<const SellMatrix>(sell_from_csr(*csr));
+
+    struct OpResult {
+      OperatorKind kind;
+      double best = 0.0;
+      bool identical = true;
+    };
+    std::vector<OpResult> ops = {{OperatorKind::kStencil},
+                                 {OperatorKind::kCsr},
+                                 {OperatorKind::kSellCSigma}};
+    std::vector<double> w_ref;
+    for (OpResult& op : ops) {
+      switch (op.kind) {
+        case OperatorKind::kStencil:
+          c.clear_assembled_operator();
+          break;
+        case OperatorKind::kCsr:
+          c.set_assembled_operator(OperatorKind::kCsr, csr);
+          break;
+        case OperatorKind::kSellCSigma:
+          c.set_assembled_operator(OperatorKind::kSellCSigma, csr, sell);
+          break;
+      }
+      kernels::smvp(c, FieldId::kP, FieldId::kW, bounds);  // warmup
+      std::vector<double> w;
+      w.reserve(static_cast<std::size_t>(spmv_mesh) * spmv_mesh);
+      for (int k = 0; k < spmv_mesh; ++k)
+        for (int j = 0; j < spmv_mesh; ++j) w.push_back(c.w()(j, k));
+      if (w_ref.empty()) {
+        w_ref = std::move(w);
+      } else {
+        op.identical = w == w_ref;  // exact doubles: bitwise on finite data
+      }
+      all_identical = all_identical && op.identical;
+      for (int rep = 0; rep < reps; ++rep) {
+        Timer timer;
+        for (int s = 0; s < sweeps; ++s)
+          kernels::smvp(c, FieldId::kP, FieldId::kW, bounds);
+        const double seconds = timer.elapsed_s();
+        if (rep == 0 || seconds < op.best) op.best = seconds;
+      }
+      std::printf("spmv       %-12s %d sweeps %.4fs%s\n",
+                  to_string(op.kind), sweeps, op.best,
+                  op.identical ? "" : "  MISMATCH");
+    }
+    io::JsonValue entry = io::JsonValue::object();
+    entry.set("solver", "spmv");
+    entry.set("cells", 1LL * spmv_mesh * spmv_mesh);
+    entry.set("iters", sweeps);
+    entry.set("nnz_per_row", csr->nnz_per_row());
+    entry.set("sell_fill_ratio", sell->fill_ratio());
+    entry.set("stencil_seconds", ops[0].best);
+    entry.set("csr_seconds", ops[1].best);
+    entry.set("sell_seconds", ops[2].best);
+    entry.set("csr_cost_vs_stencil",
+              ops[0].best > 0.0 ? ops[1].best / ops[0].best : 0.0);
+    entry.set("sell_cost_vs_csr",
+              ops[1].best > 0.0 ? ops[2].best / ops[1].best : 0.0);
+    entry.set("identical_results", ops[1].identical && ops[2].identical);
+    arr.push_back(std::move(entry));
+  }
+
+  // Whole fixed-iteration solves per operator representation: same capped
+  // iteration counts, so any iteration drift between representations is a
+  // bitwise-equivalence bug, and the timings compare pure SpMV cost in
+  // its solver context.
+  for (const EngineCase& ec : tile_scan_cases()) {
+    InputDeck deck = decks::hot_block(mesh, 1);
+    deck.solver = ec.cfg;
+    deck.solver.fuse_kernels = true;
+
+    struct Config {
+      OperatorKind op;
+      double best = 0.0;
+      int iters = 0;
+    };
+    std::vector<Config> configs = {{OperatorKind::kStencil},
+                                   {OperatorKind::kCsr},
+                                   {OperatorKind::kSellCSigma}};
+    for (int rep = -1; rep < reps; ++rep) {  // first round is warmup
+      for (Config& c : configs) {
+        deck.solver.op = c.op;
+        const double s = time_fixed_once(deck, ranks, &c.iters);
+        if (rep <= 0 || s < c.best) c.best = s;
+      }
+    }
+    const bool identical = configs[0].iters == configs[1].iters &&
+                           configs[0].iters == configs[2].iters;
+    all_identical = all_identical && identical;
+    io::JsonValue entry = io::JsonValue::object();
+    entry.set("solver", ec.name);
+    entry.set("cells", 1LL * mesh * mesh);
+    entry.set("iters", configs[0].iters);
+    entry.set("stencil_seconds", configs[0].best);
+    entry.set("csr_seconds", configs[1].best);
+    entry.set("sell_seconds", configs[2].best);
+    entry.set("csr_cost_vs_stencil",
+              configs[0].best > 0.0 ? configs[1].best / configs[0].best : 0.0);
+    entry.set("sell_cost_vs_csr",
+              configs[1].best > 0.0 ? configs[2].best / configs[1].best : 0.0);
+    entry.set("identical_iterations", identical);
+    arr.push_back(std::move(entry));
+    std::printf("%-10s stencil %.4fs  csr %.4fs  sell %.4fs  iters %d%s\n",
+                ec.name.c_str(), configs[0].best, configs[1].best,
+                configs[2].best, configs[0].iters,
+                identical ? "" : "  MISMATCH");
+  }
+  doc.set("solvers", std::move(arr));
+  doc.set("identical_results", all_identical);
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("assembled-operator comparison -> %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -920,6 +1099,7 @@ int main(int argc, char** argv) {
 #endif
   try {
     const Args args(argc, argv);
+    if (args.has("spmv")) return run_spmv_bench(args);
     if (args.has("server")) return run_server_bench(args);
     if (args.has("tile-scan")) return run_tile_scan(args);
     if (args.get_int("dim", 2) == 3) return run_dim_compare(args);

@@ -114,11 +114,30 @@ def extract_pr6(doc):
     return metrics
 
 
+def extract_pr7(doc):
+    """assembled operators: per-entry cells/iters; one series per view."""
+    metrics = {}
+    for entry in doc["solvers"]:
+        name = entry["solver"]
+        cells = entry["cells"]
+        iters = entry["iters"]
+        for kind, key in (
+            ("stencil", "stencil_seconds"),
+            ("csr", "csr_seconds"),
+            ("sell", "sell_seconds"),
+        ):
+            m = per_cell_iter(entry[key], cells, iters)
+            if m is not None:
+                metrics[f"{name}/{kind}"] = m
+    return metrics
+
+
 EXTRACTORS = (
     ("fused-vs-unfused", extract_pr2),
     ("tile-size scan", extract_pr3),
     ("2-D vs 3-D", extract_pr4),
     ("solve-server", extract_pr6),
+    ("assembled operators", extract_pr7),
 )
 
 

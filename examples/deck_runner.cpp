@@ -37,18 +37,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  tealeaf::TeaLeafApp app(deck, ranks);
-  const int steps = deck.num_steps();
-  std::printf("running %d steps of %dx%d with %s\n", steps, deck.x_cells,
-              deck.y_cells, tealeaf::to_string(deck.solver.type));
-  for (int s = 1; s <= steps; ++s) {
-    const tealeaf::SolveStats st = app.step();
-    if (s % every == 0 || s == steps || !st.converged) {
-      const tealeaf::FieldSummary fs = app.field_summary();
-      std::printf("step %4d t=%8.3f iters=%5d |r|=%8.2e avg_temp=%10.6f%s\n",
-                  s, app.sim_time(), st.outer_iters, st.final_norm,
-                  fs.avg_temp(), st.converged ? "" : "  ** not converged");
+  // Solve-time failures (bad config combinations, matrix_file constraint
+  // violations) share the parse error's idiom rather than terminating.
+  try {
+    tealeaf::TeaLeafApp app(deck, ranks);
+    const int steps = deck.num_steps();
+    std::printf("running %d steps of %dx%d with %s\n", steps, deck.x_cells,
+                deck.y_cells, tealeaf::to_string(deck.solver.type));
+    for (int s = 1; s <= steps; ++s) {
+      const tealeaf::SolveStats st = app.step();
+      if (s % every == 0 || s == steps || !st.converged) {
+        const tealeaf::FieldSummary fs = app.field_summary();
+        std::printf(
+            "step %4d t=%8.3f iters=%5d |r|=%8.2e avg_temp=%10.6f%s\n", s,
+            app.sim_time(), st.outer_iters, st.final_norm, fs.avg_temp(),
+            st.converged ? "" : "  ** not converged");
+      }
     }
+  } catch (const tealeaf::TeaError& e) {
+    std::fprintf(stderr, "deck error: %s\n", e.what());
+    return 1;
   }
   return 0;
 }

@@ -3,12 +3,15 @@
 // quantiles, session-cache reuse and the one-shot breakdown re-route.
 //
 // The stream mixes two problem shapes (so same-shape requests coalesce
-// into sub-team batches while the shapes keep separate session pools)
-// and, unless --no-poison, one request carrying a stale eigenvalue hint
-// that deterministically breaks down and must be re-routed to complete.
+// into sub-team batches while the shapes keep separate session pools),
+// one Matrix-Market-backed request (the example writes a small 5-point
+// SPD system and solves it through the assembled CSR path), and, unless
+// --no-poison, one request carrying a stale eigenvalue hint that
+// deterministically breaks down and must be re-routed to complete.
 //
 // Run:  ./examples/solve_server [--requests 20] [--mesh 48] [--mesh2 64]
 //           [--ranks 2] [--batch 8] [--routes sweep.json] [--no-poison]
+//           [--mtx server_smoke.mtx]
 //
 // Exits non-zero if any request fails to converge — the CI server-smoke
 // job runs exactly this binary.
@@ -18,12 +21,46 @@
 #include <vector>
 
 #include "driver/decks.hpp"
+#include "io/matrix_market.hpp"
 #include "server/routing.hpp"
 #include "server/solve_server.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
 
 namespace {
+
+/// Write a 5-point SPD system (2-D Laplacian + identity on an n × n
+/// grid) as a Matrix Market file and return a single-rank request that
+/// solves it through the assembled CSR path.
+tealeaf::SolveRequest make_mtx_request(int n, const std::string& path) {
+  using namespace tealeaf;
+  io::TripletMatrix m;
+  m.n = static_cast<std::int64_t>(n) * n;
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      const std::int64_t row = static_cast<std::int64_t>(k) * n + j;
+      m.entries.push_back({row, row, 5.0});
+      if (j > 0) m.entries.push_back({row, row - 1, -1.0});
+      if (j < n - 1) m.entries.push_back({row, row + 1, -1.0});
+      if (k > 0) m.entries.push_back({row, row - n, -1.0});
+      if (k < n - 1) m.entries.push_back({row, row + n, -1.0});
+    }
+  }
+  io::save_matrix_market(path, m);
+
+  SolveRequest req;
+  req.deck.x_cells = n;
+  req.deck.y_cells = n;
+  req.deck.end_step = 1;
+  req.deck.matrix_file = path;
+  req.deck.solver.type = SolverType::kCG;
+  req.deck.solver.op = OperatorKind::kCsr;
+  req.deck.states.push_back({});  // unit background: u0 = 1 per row
+  req.deck.validate();
+  req.nranks = 1;  // loaded operators cover the undecomposed mesh
+  req.tag = "req-mtx";
+  return req;
+}
 
 int run(const tealeaf::Args& args) {
   using namespace tealeaf;
@@ -64,6 +101,10 @@ int run(const tealeaf::Args& args) {
     }
     server.submit(std::move(req));
   }
+  // One assembled-operator request rides along: a Matrix Market system
+  // the example writes itself, routed onto the CSR path.
+  server.submit(
+      make_mtx_request(16, args.get("mtx", "server_smoke.mtx")));
 
   const std::vector<SolveResult> results = server.drain();
 

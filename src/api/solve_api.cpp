@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "driver/states.hpp"
+#include "io/matrix_market.hpp"
 #include "ops/kernels.hpp"
+#include "ops/sparse_matrix.hpp"
 #include "solvers/solver.hpp"
 #include "util/error.hpp"
 
@@ -18,6 +20,7 @@ ProblemShape ProblemShape::of(const InputDeck& deck, int nranks, int halo) {
   s.nz = deck.dims == 3 ? deck.z_cells : 1;
   s.nranks = nranks;
   s.halo = halo;
+  s.op = deck.solver.op;
   return s;
 }
 
@@ -25,6 +28,7 @@ std::string ProblemShape::key() const {
   std::ostringstream os;
   os << dims << "d/" << nx << "x" << ny << "x" << nz << "/r" << nranks
      << "/h" << halo;
+  if (op != OperatorKind::kStencil) os << "/" << to_string(op);
   return os.str();
 }
 
@@ -64,7 +68,7 @@ void SolveSession::reset(const InputDeck& deck) {
   solves_taken_ = 0;
 }
 
-void SolveSession::prepare() {
+void SolveSession::prepare(OperatorKind op) {
   SimCluster2D& cl = *cluster_;
   const double dt = deck_.initial_timestep;
   const double rx = dt / (cl.mesh().dx() * cl.mesh().dx());
@@ -77,6 +81,39 @@ void SolveSession::prepare() {
   cl.for_each_chunk([&](int, Chunk& c) {
     kernels::init_u_u0(c);
     kernels::init_conduction(c, deck_.coefficient, rx, ry, rz);
+  });
+  if (op == OperatorKind::kStencil) {
+    cl.for_each_chunk([](int, Chunk& c) { c.clear_assembled_operator(); });
+    return;
+  }
+  if (!deck_.matrix_file.empty()) {
+    // Externally supplied operator: one global matrix, so the whole mesh
+    // must live in one chunk (no halo exchange can refresh loaded rows).
+    TEA_REQUIRE(shape_.nranks == 1,
+                "matrix_file decks run single-rank (the loaded operator "
+                "covers the whole mesh and cannot be decomposed)");
+    if (loaded_matrix_path_ != deck_.matrix_file) {
+      const io::TripletMatrix trips =
+          io::load_matrix_market(deck_.matrix_file);
+      loaded_matrix_ = std::make_shared<const CsrMatrix>(
+          io::csr_from_triplets(trips, cl.chunk(0)));
+      loaded_matrix_path_ = deck_.matrix_file;
+    }
+    auto sell = op == OperatorKind::kSellCSigma
+                    ? std::make_shared<const SellMatrix>(
+                          sell_from_csr(*loaded_matrix_))
+                    : std::shared_ptr<const SellMatrix>{};
+    cl.chunk(0).set_assembled_operator(op, loaded_matrix_, std::move(sell));
+    return;
+  }
+  // Assemble the just-built conduction stencil; coefficients change every
+  // prepare, so this cannot be memoised across resets.
+  cl.for_each_chunk([&](int, Chunk& c) {
+    auto csr = std::make_shared<const CsrMatrix>(assemble_from_stencil(c));
+    auto sell = op == OperatorKind::kSellCSigma
+                    ? std::make_shared<const SellMatrix>(sell_from_csr(*csr))
+                    : std::shared_ptr<const SellMatrix>{};
+    c.set_assembled_operator(op, std::move(csr), std::move(sell));
   });
 }
 
@@ -109,7 +146,7 @@ SolveStats SolveSession::solve(const SolverConfig& cfg) {
   TEA_REQUIRE(std::max(2, checked.halo_depth) <= shape_.halo,
               "SolveSession::solve: config needs a deeper halo than this "
               "session allocated (construct with halo_override)");
-  prepare();
+  prepare(checked.op);
   const SolveStats stats = run_solver(*cluster_, checked);
   finish_solve(stats);
   return stats;

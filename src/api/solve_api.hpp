@@ -12,6 +12,8 @@
 
 namespace tealeaf {
 
+struct CsrMatrix;
+
 /// The cached identity of a solve problem: everything that determines the
 /// size (and so the reusable allocation) of a SimCluster — geometry, cell
 /// counts, decomposition width and halo allocation.  Two requests with
@@ -24,11 +26,17 @@ struct ProblemShape {
   int nz = 1;
   int nranks = 1;
   int halo = 2;  ///< halo allocation depth (max(2, matrix-powers depth))
+  /// Operator representation the deck asks for.  Part of the shape so an
+  /// assembled-operator session (which carries matrix storage) is never
+  /// handed to a stencil request or vice versa.
+  OperatorKind op = OperatorKind::kStencil;
 
   [[nodiscard]] static ProblemShape of(const InputDeck& deck, int nranks,
                                        int halo);
 
-  /// Stable cache key, e.g. "2d/512x512x1/r4/h2".
+  /// Stable cache key, e.g. "2d/512x512x1/r4/h2"; assembled-operator
+  /// shapes append the kind ("…/h2/csr") so legacy stencil keys are
+  /// unchanged.
   [[nodiscard]] std::string key() const;
 
   [[nodiscard]] bool operator==(const ProblemShape&) const = default;
@@ -126,7 +134,14 @@ class SolveSession {
   /// team (every thread, identical args — see run_solver_team);
   /// `finish_solve` recovers energy and advances the session clock.
   /// cfg must already be validated and halo-compatible.
-  void prepare();
+  /// `prepare(op)` additionally installs the operator representation the
+  /// coming solve will traverse: kStencil clears any assembled matrix;
+  /// kCsr / kSellCSigma assemble the freshly built conduction stencil into
+  /// CSR (and SELL-C-σ) per chunk — or, when the deck names a
+  /// matrix_file, load that Matrix Market operator instead (single-rank,
+  /// 2-D; the file is parsed once and memoised by path).
+  void prepare() { prepare(deck_.solver.op); }
+  void prepare(OperatorKind op);
   [[nodiscard]] SolveStats solve_prepared_team(const SolverConfig& cfg,
                                                const Team& team);
   void finish_solve(const SolveStats& stats);
@@ -157,6 +172,10 @@ class SolveSession {
   int solves_taken_ = 0;
   double eig_min_ = 0.0;
   double eig_max_ = 0.0;
+  /// Matrix Market memo: the CSR built from deck_.matrix_file, keyed by
+  /// the path it came from (reloaded only when the path changes).
+  std::string loaded_matrix_path_;
+  std::shared_ptr<const CsrMatrix> loaded_matrix_;
 };
 
 /// Shape-keyed pool of sessions: the solve server's working set.  A batch

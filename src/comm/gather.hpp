@@ -1,7 +1,7 @@
 #pragma once
 
 #include "comm/sim_comm.hpp"
-#include "mesh/field2d.hpp"
+#include "mesh/field.hpp"
 
 namespace tealeaf {
 

@@ -94,11 +94,12 @@ constexpr const char* kKnownKeys[] = {
     "tl_cheby_presteps", "tl_halo_depth",
     "tl_cg_fuse_reductions", "tl_fuse_kernels",
     "tl_tile_rows",   "tl_coefficient",
+    "tl_operator",    "matrix_file",
     "sweep_solvers",  "sweep_precons",
     "sweep_halo_depths", "sweep_mesh_sizes",
     "sweep_threads",  "sweep_fused",
     "sweep_tile_rows", "sweep_geometry",
-    "sweep_ranks"};
+    "sweep_operator", "sweep_ranks"};
 
 /// Levenshtein distance, small-string edition (deck keys are short).
 std::size_t edit_distance(const std::string& a, const std::string& b) {
@@ -316,6 +317,11 @@ InputDeck InputDeck::parse(std::istream& in) {
     } else if (key == "tl_tile_rows") {
       deck.solver.tile_rows =
           (value == "auto") ? -1 : static_cast<int>(to_double(value, key));
+    } else if (key == "tl_operator") {
+      deck.solver.op = operator_kind_from_string(value);
+    } else if (key == "matrix_file") {
+      TEA_REQUIRE(!value.empty(), "deck: matrix_file needs a path");
+      deck.matrix_file = value;
     } else if (key == "sweep_solvers") {
       deck.sweep.solvers = split_list(value, key);
     } else if (key == "sweep_precons") {
@@ -346,6 +352,8 @@ InputDeck InputDeck::parse(std::istream& in) {
               g + "'");
         }
       }
+    } else if (key == "sweep_operator") {
+      deck.sweep.operators = split_list(value, key);
     } else if (key == "sweep_ranks") {
       deck.sweep.ranks = static_cast<int>(to_double(value, key));
     } else if (key == "tl_coefficient") {
@@ -406,6 +414,10 @@ std::string InputDeck::to_string() const {
     }
     os << "\n";
   }
+  if (solver.op != OperatorKind::kStencil) {
+    os << "tl_operator=" << tealeaf::to_string(solver.op) << "\n";
+  }
+  if (!matrix_file.empty()) os << "matrix_file=" << matrix_file << "\n";
   if (sweep.requested()) {
     const auto join = [&os](const char* key, const auto& items,
                             const auto& format) {
@@ -430,6 +442,10 @@ std::string InputDeck::to_string() const {
     if (!sweep.geometries.empty()) {
       join("sweep_geometry", sweep.geometries,
            [](int d) { return d == 3 ? "3d" : "2d"; });
+    }
+    if (sweep.operators != std::vector<std::string>{"stencil"}) {
+      join("sweep_operator", sweep.operators,
+           [](const std::string& o) { return o; });
     }
     os << "sweep_ranks=" << sweep.ranks << "\n";
   }
@@ -491,6 +507,18 @@ void InputDeck::validate() const {
                 "exactly one z plane)");
   }
   TEA_REQUIRE(initial_timestep > 0.0, "deck: timestep must be positive");
+  if (!matrix_file.empty()) {
+    TEA_REQUIRE(dims == 2,
+                "deck: matrix_file decks are 2-D (the Matrix Market rows "
+                "map onto the x_cells x y_cells grid) — drop "
+                "tl_geometry=3d or the matrix_file");
+    if (solver.op == OperatorKind::kStencil) {
+      throw TeaError(
+          "deck: matrix_file needs an assembled operator to hold the "
+          "loaded matrix, but tl_operator is 'stencil' (the matrix-free "
+          "path has no storage for it).  Did you mean tl_operator = csr?");
+    }
+  }
   TEA_REQUIRE(end_time > 0.0 || end_step > 0,
               "deck: need end_time or end_step");
   TEA_REQUIRE(!states.empty(), "deck: need at least the background state");

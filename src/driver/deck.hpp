@@ -68,6 +68,15 @@ struct InputDeck {
   int end_step = 0;                ///< stop after this many steps (if > 0)
 
   kernels::Coefficient coefficient = kernels::Coefficient::kConductivity;
+
+  /// Optional Matrix Market file (`matrix_file = <path>.mtx`): the solve
+  /// runs over this assembled matrix instead of assembling from the
+  /// deck's conduction stencil.  Requires an assembled tl_operator
+  /// (csr or sell-c-sigma), a 2-D deck, and x_cells·y_cells == the
+  /// matrix dimension; the deck's states still provide the right-hand
+  /// side (u0 = density·energy per cell).
+  std::string matrix_file;
+
   SolverConfig solver;
   /// Optional design-space sweep over this deck (driver/sweep.hpp runs
   /// it); populated by the `sweep_*` keys, empty for single-solve decks.
@@ -80,9 +89,11 @@ struct InputDeck {
   /// tl_use_jacobi / tl_use_cg / tl_use_chebyshev / tl_use_ppcg,
   /// tl_preconditioner_type (none|jac_diag|jac_block), tl_ppcg_inner_steps,
   /// tl_eigen_cg_iters, tl_halo_depth (matrix powers),
+  /// tl_operator (stencil|csr|sell-c-sigma), matrix_file (<path>.mtx),
   /// tl_coefficient (conductivity|recip_conductivity), the sweep section
   /// (comma-separated axis lists): sweep_solvers, sweep_precons,
-  /// sweep_halo_depths, sweep_mesh_sizes, sweep_threads, sweep_ranks,
+  /// sweep_halo_depths, sweep_mesh_sizes, sweep_threads, sweep_operator,
+  /// sweep_ranks,
   /// and `state` lines:
   ///   state <n> density=<v> energy=<v> [geometry=rectangle|circle|point
   ///     xmin= xmax= ymin= ymax= | xcentre= ycentre= radius= | x= y=]

@@ -30,6 +30,7 @@ std::string SweepCase::label() const {
   if (fused) os << "/fused";
   if (tile_rows != 0) os << "/b" << tile_rows;
   if (dims == 3) os << "/3d";
+  if (op != "stencil") os << "/" << op;
   return os.str();
 }
 
@@ -43,6 +44,8 @@ std::vector<SweepCase> enumerate_cases(const SweepSpec& spec, int base_mesh,
   if (meshes.empty()) meshes.push_back(base_mesh);
   std::vector<int> geometries = spec.geometries;
   if (geometries.empty()) geometries.push_back(base_dims);
+  std::vector<std::string> operators = spec.operators;
+  if (operators.empty()) operators.push_back("stencil");
 
   std::vector<SweepCase> cases;
   cases.reserve(spec.num_cases());
@@ -54,8 +57,10 @@ std::vector<SweepCase> enumerate_cases(const SweepSpec& spec, int base_mesh,
             for (const int fused : spec.fused) {
               for (const int tile : spec.tile_rows) {
                 for (const int dims : geometries) {
-                  cases.push_back({solver, precon, depth, mesh, threads,
-                                   fused != 0, tile, dims});
+                  for (const std::string& op : operators) {
+                    cases.push_back({solver, precon, depth, mesh, threads,
+                                     fused != 0, tile, dims, op});
+                  }
                 }
               }
             }
@@ -263,6 +268,7 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
     deck.solver.halo_depth = cs.halo_depth;
     deck.solver.fuse_kernels = cs.fused;
     deck.solver.tile_rows = cs.tile_rows;
+    deck.solver.op = operator_kind_from_string(cs.op);
 
     const bool mg_pcg = cs.solver == "mg-pcg";
     if (cs.tile_rows != 0 && !cs.fused) {
@@ -270,6 +276,11 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
       // would silently measure the untiled path.
       out.skipped = true;
       out.skip_reason = "row tiling requires the fused execution engine";
+    } else if (mg_pcg && deck.solver.op != OperatorKind::kStencil) {
+      out.skipped = true;
+      out.skip_reason =
+          "mg-pcg rebuilds its hierarchy from the face coefficients and "
+          "has no assembled-operator form";
     } else if (mg_pcg) {
       // MG *is* the preconditioner and uses no matrix-powers halo.  Its
       // fused path hoists the V-cycle row loops into one team region per
@@ -372,10 +383,11 @@ namespace {
 constexpr const char* kCsvColumns[] = {
     "solver",      "precon",        "halo_depth",  "mesh",
     "threads",     "fused",         "tile_rows",   "geometry",
-    "sweep_ranks", "sweep_steps",   "status",      "converged",
-    "iterations",  "inner_steps",   "spmv",        "reductions",
-    "exchanges",   "messages",      "message_bytes", "final_norm",
-    "solve_seconds", "comm_seconds", "speedup",    "rank"};
+    "operator",    "sweep_ranks",   "sweep_steps", "status",
+    "converged",   "iterations",    "inner_steps", "spmv",
+    "reductions",  "exchanges",     "messages",    "message_bytes",
+    "final_norm",  "solve_seconds", "comm_seconds", "speedup",
+    "rank"};
 
 /// Strict numeric cell parsers: the whole cell must convert, and failures
 /// surface as TeaError like every other malformed-input path.
@@ -426,11 +438,12 @@ std::vector<std::string> SweepReport::to_csv_lines() const {
         c.skipped ? "skipped" : (!c.fail_reason.empty() ? "failed" : "ok");
     csv.row(c.config.solver, to_string(c.config.precon), c.config.halo_depth,
             c.config.mesh_n, c.config.threads, c.config.fused ? 1 : 0,
-            c.config.tile_rows, c.config.dims == 3 ? "3d" : "2d", ranks,
-            steps, status, c.converged ? 1 : 0, c.iterations, c.inner_steps,
-            c.spmv, c.reductions, c.exchanges, c.messages, c.message_bytes,
-            fmt_double(c.final_norm), fmt_double(c.solve_seconds),
-            fmt_double(c.comm_seconds), fmt_double(speedup[i]), rank_of[i]);
+            c.config.tile_rows, c.config.dims == 3 ? "3d" : "2d",
+            c.config.op, ranks, steps, status, c.converged ? 1 : 0,
+            c.iterations, c.inner_steps, c.spmv, c.reductions, c.exchanges,
+            c.messages, c.message_bytes, fmt_double(c.final_norm),
+            fmt_double(c.solve_seconds), fmt_double(c.comm_seconds),
+            fmt_double(speedup[i]), rank_of[i]);
   }
   return csv.lines();
 }
@@ -470,23 +483,25 @@ SweepReport SweepReport::from_csv_lines(
     out.config.tile_rows = csv_int(f[6], "tile_rows");
     TEA_REQUIRE(f[7] == "2d" || f[7] == "3d", "sweep csv: bad geometry");
     out.config.dims = f[7] == "3d" ? 3 : 2;
-    report.ranks = csv_int(f[8], "sweep_ranks");
-    report.steps = csv_int(f[9], "sweep_steps");
-    out.skipped = f[10] == "skipped";
+    operator_kind_from_string(f[8]);  // throws on an unknown kind
+    out.config.op = f[8];
+    report.ranks = csv_int(f[9], "sweep_ranks");
+    report.steps = csv_int(f[10], "sweep_steps");
+    out.skipped = f[11] == "skipped";
     // The CSV form reduces fail_reason to the status keyword (free-text
     // reasons may contain commas); JSON carries the full text.
-    if (f[10] == "failed") out.fail_reason = "failed";
-    out.converged = csv_int(f[11], "converged") != 0;
-    out.iterations = csv_int(f[12], "iterations");
-    out.inner_steps = csv_ll(f[13], "inner_steps");
-    out.spmv = csv_ll(f[14], "spmv");
-    out.reductions = csv_ll(f[15], "reductions");
-    out.exchanges = csv_ll(f[16], "exchanges");
-    out.messages = csv_ll(f[17], "messages");
-    out.message_bytes = csv_ll(f[18], "message_bytes");
-    out.final_norm = csv_double(f[19], "final_norm");
-    out.solve_seconds = csv_double(f[20], "solve_seconds");
-    out.comm_seconds = csv_double(f[21], "comm_seconds");
+    if (f[11] == "failed") out.fail_reason = "failed";
+    out.converged = csv_int(f[12], "converged") != 0;
+    out.iterations = csv_int(f[13], "iterations");
+    out.inner_steps = csv_ll(f[14], "inner_steps");
+    out.spmv = csv_ll(f[15], "spmv");
+    out.reductions = csv_ll(f[16], "reductions");
+    out.exchanges = csv_ll(f[17], "exchanges");
+    out.messages = csv_ll(f[18], "messages");
+    out.message_bytes = csv_ll(f[19], "message_bytes");
+    out.final_norm = csv_double(f[20], "final_norm");
+    out.solve_seconds = csv_double(f[21], "solve_seconds");
+    out.comm_seconds = csv_double(f[22], "comm_seconds");
     // The last two columns (speedup, rank) are derived; recomputed on
     // demand from the parsed cells.
     report.cells.push_back(std::move(out));
@@ -511,6 +526,7 @@ io::JsonValue SweepReport::to_json() const {
     cell.set("fused", c.config.fused);
     cell.set("tile_rows", c.config.tile_rows);
     cell.set("geometry", c.config.dims == 3 ? "3d" : "2d");
+    cell.set("operator", c.config.op);
     cell.set("skipped", c.skipped);
     if (c.skipped) cell.set("skip_reason", c.skip_reason);
     if (!c.fail_reason.empty()) cell.set("fail_reason", c.fail_reason);
@@ -566,6 +582,10 @@ SweepReport SweepReport::from_json(const io::JsonValue& doc) {
     }
     if (cell.contains("geometry")) {
       out.config.dims = cell.at("geometry").as_string() == "3d" ? 3 : 2;
+    }
+    if (cell.contains("operator")) {
+      out.config.op = cell.at("operator").as_string();
+      operator_kind_from_string(out.config.op);  // throws on unknown
     }
     out.skipped = cell.at("skipped").as_bool();
     if (cell.contains("skip_reason")) {

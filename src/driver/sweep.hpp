@@ -23,10 +23,13 @@ struct SweepCase {
   bool fused = false;  ///< run through the fused kernel execution engine
   int tile_rows = 0;   ///< fused-engine row-block height (0 = untiled)
   int dims = 2;        ///< problem geometry: 2 (5-point) or 3 (7-point, n³)
+  /// Operator representation: "stencil" | "csr" | "sell-c-sigma"
+  /// (SolverConfig::op — the ninth design-space axis).
+  std::string op = "stencil";
 
   /// Compact identifier, e.g. "ppcg/jac_diag/d4/n64/t2" (fused cells
   /// carry a trailing "/fused", tiled cells "/fused/b<rows>", 3-D cells
-  /// "/3d").
+  /// "/3d", assembled-operator cells "/csr" or "/sell-c-sigma").
   [[nodiscard]] std::string label() const;
 };
 
@@ -94,7 +97,8 @@ struct SweepReport {
 
 /// Expand the axes into the full cross-product in deterministic order:
 /// solvers → preconditioners → halo depths → mesh sizes → threads →
-/// fused → tile rows → geometries, each axis in its declared order.
+/// fused → tile rows → geometries → operators, each axis in its declared
+/// order.
 /// `base_mesh` substitutes for an empty mesh-size axis and `base_dims`
 /// for an empty geometry axis (so sweeping a 3-D deck stays 3-D unless
 /// the deck asks for the cross-dimension comparison).

@@ -2,7 +2,7 @@
 
 #include <string>
 
-#include "mesh/field2d.hpp"
+#include "mesh/field.hpp"
 
 namespace tealeaf::io {
 

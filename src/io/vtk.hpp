@@ -3,7 +3,7 @@
 #include <map>
 #include <string>
 
-#include "mesh/field2d.hpp"
+#include "mesh/field.hpp"
 #include "mesh/mesh.hpp"
 
 namespace tealeaf::io {

@@ -1,13 +1,19 @@
 #pragma once
 
 #include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "mesh/decomposition.hpp"
 #include "mesh/field.hpp"
 #include "mesh/mesh.hpp"
+#include "ops/operator_kind.hpp"
 
 namespace tealeaf {
+
+struct CsrMatrix;
+struct SellMatrix;
 
 /// Identifiers for the per-chunk solver fields (mirrors the field set of
 /// upstream TeaLeaf's `chunk_type`).  Used to select fields for halo
@@ -104,6 +110,37 @@ class Chunk {
   /// A 2-D chunk is always at the (degenerate) z boundaries.
   [[nodiscard]] bool at_boundary(Face face) const;
 
+  /// Which operator representation the kernels traverse for this chunk.
+  /// Stencil by default; SolveSession::prepare (or a test helper) swaps in
+  /// an assembled matrix, and the kernels dispatch on this the way they
+  /// dispatch on dims().
+  [[nodiscard]] OperatorKind op_kind() const { return op_kind_; }
+  [[nodiscard]] const CsrMatrix* csr() const { return csr_.get(); }
+  [[nodiscard]] const SellMatrix* sell() const { return sell_.get(); }
+
+  /// Install an assembled operator (CSR always required; the SELL-C-σ
+  /// re-layout only for kSellCSigma).  The matrices are shared, immutable
+  /// snapshots — re-assemble after coefficients change.
+  void set_assembled_operator(OperatorKind kind,
+                              std::shared_ptr<const CsrMatrix> csr,
+                              std::shared_ptr<const SellMatrix> sell = {}) {
+    TEA_REQUIRE(kind != OperatorKind::kStencil,
+                "stencil operator carries no assembled matrix");
+    TEA_REQUIRE(csr != nullptr, "assembled operator needs a CSR matrix");
+    TEA_REQUIRE(kind != OperatorKind::kSellCSigma || sell != nullptr,
+                "sell-c-sigma operator needs the SELL re-layout");
+    op_kind_ = kind;
+    csr_ = std::move(csr);
+    sell_ = std::move(sell);
+  }
+
+  /// Back to the matrix-free stencil; drops the assembled matrices.
+  void clear_assembled_operator() {
+    op_kind_ = OperatorKind::kStencil;
+    csr_.reset();
+    sell_.reset();
+  }
+
   /// Per-row reduction scratch of the tiled execution engine: two double
   /// slots per interior row (slot [2ρ] and [2ρ+1] for flattened row
   /// ρ = l·ny + k).  Row-blocked kernels deposit per-row partials here and
@@ -122,6 +159,9 @@ class Chunk {
   int halo_depth_;
   std::array<Field<double>, kNumFieldIds> fields_;
   std::vector<double> row_scratch_;
+  OperatorKind op_kind_ = OperatorKind::kStencil;
+  std::shared_ptr<const CsrMatrix> csr_;
+  std::shared_ptr<const SellMatrix> sell_;
 };
 
 /// Compatibility spelling from before the dimension-generic core.

@@ -223,6 +223,12 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
   const bool block = run.precon == PreconType::kJacobiBlock;
   // 7-point stencil sweeps stream the extra Kz face-coefficient field.
   const double kface = (mesh_.dims == 3) ? 8.0 : 0.0;
+  // Assembled operators (nnz_per_row > 0) stream the stored row — 8-byte
+  // value + 8-byte column index per entry — plus the source read and
+  // destination write, instead of the stencil's fixed coefficient fields.
+  const double bytes_smvp = run.nnz_per_row > 0.0
+                                ? 16.0 * run.nnz_per_row + 16.0
+                                : kBytesSmvp + kface;
   const double precon_bytes =
       block ? kBytesBlockApply : kBytesDiagApply + kface;
   const double diag_extra = diag ? 16.0 + kface : 0.0;
@@ -247,7 +253,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
 
   const auto cg_iteration = [&] {
     cost.exchange(1, 1);
-    cost.sweep(kBytesSmvp + kface);
+    cost.sweep(bytes_smvp);
     cost.reduce();  // pw
     cost.sweep(kBytesCalcUr);
     if (diag || block) cost.sweep(precon_bytes);
@@ -273,7 +279,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
           cost.sweep(24.0);  // r −= αs
           cost.sweep(precon_bytes);
           cost.exchange(1, 1);
-          cost.sweep(kBytesSmvp + kface + 16.0);  // A·z with fused dots
+          cost.sweep(bytes_smvp + 16.0);  // A·z with fused dots
           cost.reduce();
           cost.sweep(kBytesXpby);  // p update
           cost.sweep(kBytesXpby);  // s update
@@ -290,7 +296,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
       cost.sweep(kBytesChebyInit + diag_extra);  // bootstrap
       for (int i = 0; i < run.outer_iters; ++i) {
         cost.exchange(1, 1);
-        cost.sweep(kBytesSmvp + kface);
+        cost.sweep(bytes_smvp);
         cost.sweep_blocked(kBytesChebyFused + diag_extra,
                            kBytesChebyFusedBlocked + diag_extra);
         if ((i + 1) % run.cheby_check_interval == 0) cost.reduce();
@@ -312,7 +318,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
             ext = d;
           }
           --ext;
-          cost.sweep(kBytesSmvp + kface, ext);
+          cost.sweep(bytes_smvp, ext);
           if (block) {
             cost.sweep(24.0, ext);        // rtemp -= w
             cost.sweep(kBytesBlockApply); // block solve (interior only)
@@ -331,7 +337,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
       cost.sweep(kBytesCopy);  // p = z
       for (int i = 0; i < run.outer_iters; ++i) {
         cost.exchange(1, 1);
-        cost.sweep(kBytesSmvp + kface);
+        cost.sweep(bytes_smvp);
         cost.reduce();  // pw
         cost.sweep(kBytesCalcUr);
         apply_inner();

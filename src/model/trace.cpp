@@ -23,6 +23,7 @@ SolverRunSummary SolverRunSummary::from(const SolverConfig& cfg,
   run.eigen_cg_iters = stats.eigen_cg_iters;
   run.outer_iters = stats.outer_iters - stats.eigen_cg_iters;
   run.mesh_n = mesh_n;
+  run.nnz_per_row = stats.nnz_per_row;
   return run;
 }
 

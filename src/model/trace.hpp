@@ -31,6 +31,11 @@ struct SolverRunSummary {
   int outer_iters = 0;     ///< iterations after the eigenvalue presteps
   int eigen_cg_iters = 0;  ///< CG presteps (Chebyshev / PPCG)
   int mesh_n = 0;          ///< square mesh edge the run was measured on
+  /// Measured fill of an assembled operator (SolveStats::nnz_per_row;
+  /// 0 = matrix-free stencil).  When set, the scaling model prices each
+  /// SpMV sweep from the real entry traffic (values + column indices)
+  /// instead of the stencil's fixed bytes/cell.
+  double nnz_per_row = 0.0;
 
   [[nodiscard]] static SolverRunSummary from(const SolverConfig& cfg,
                                              const SolveStats& stats,

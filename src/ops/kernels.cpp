@@ -4,50 +4,12 @@
 #include <cmath>
 #include <type_traits>
 
+#include "ops/operator_view.hpp"
 #include "util/error.hpp"
 
 namespace tealeaf::kernels {
 
 namespace {
-
-/// Diagonal of A: the Dims == 2 expression is exactly the classic 5-point
-/// one; Dims == 3 appends the two z-face terms.
-template <int Dims>
-inline double diag_core(const Chunk& c, int j, int k, int l) {
-  const auto& kx = c.kx();
-  const auto& ky = c.ky();
-  if constexpr (Dims == 2) {
-    return 1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k));
-  } else {
-    const auto& kz = c.kz();
-    return 1.0 + (ky(j, k + 1, l) + ky(j, k, l)) +
-           (kx(j + 1, k, l) + kx(j, k, l)) +
-           (kz(j, k, l + 1) + kz(j, k, l));
-  }
-}
-
-/// Core of Listing 1: dst = A·src at one cell (5-point or 7-point).
-template <int Dims>
-inline double apply_stencil(const Chunk& c, const Field<double>& src, int j,
-                            int k, int l) {
-  const auto& kx = c.kx();
-  const auto& ky = c.ky();
-  if constexpr (Dims == 2) {
-    return (1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k))) *
-               src(j, k) -
-           (ky(j, k + 1) * src(j, k + 1) + ky(j, k) * src(j, k - 1)) -
-           (kx(j + 1, k) * src(j + 1, k) + kx(j, k) * src(j - 1, k));
-  } else {
-    const auto& kz = c.kz();
-    return diag_core<3>(c, j, k, l) * src(j, k, l) -
-           (ky(j, k + 1, l) * src(j, k + 1, l) +
-            ky(j, k, l) * src(j, k - 1, l)) -
-           (kx(j + 1, k, l) * src(j + 1, k, l) +
-            kx(j, k, l) * src(j - 1, k, l)) -
-           (kz(j, k, l + 1) * src(j, k, l + 1) +
-            kz(j, k, l) * src(j, k, l - 1));
-  }
-}
 
 /// Iterate the (plane, row) pairs of a box in flattened-row order.
 template <class Fn>
@@ -56,23 +18,15 @@ inline void for_rows(const Bounds& b, Fn&& fn) {
     for (int k = b.klo; k < b.khi; ++k) fn(l, k);
 }
 
-/// Invoke `fn` with the chunk's stencil arity as a compile-time constant
-/// (one runtime branch per kernel call, zero per cell): the dispatch every
-/// dimension-dependent kernel entry point shares.
-template <class Fn>
-inline void dims_dispatch(const Chunk& c, Fn&& fn) {
-  if (c.dims() == 3) {
-    fn(std::integral_constant<int, 3>{});
-  } else {
-    fn(std::integral_constant<int, 2>{});
-  }
-}
-
 // ---- per-row reduction cores --------------------------------------------
 // Every reducing kernel accumulates one partial per row and combines the
 // rows in (plane, row) order; the full kernels and the row-blocked (tiled)
 // variants call the SAME cores, so the sum is a pure function of the row
-// decomposition — never of tile size or thread assignment.
+// decomposition — never of tile size or thread assignment.  The cores are
+// templated on the OperatorView (stencil / CSR / SELL-C-σ), which replaces
+// the old stencil-arity template: StencilView<Dims> reproduces the classic
+// code paths bit for bit, and the assembled views' pairwise accumulation
+// keeps a stencil-assembled matrix bitwise identical too.
 
 inline double dot_row(const Field<double>& a, const Field<double>& b, int nx,
                       int k, int l) {
@@ -84,15 +38,15 @@ inline double dot_row(const Field<double>& a, const Field<double>& b, int nx,
 /// One row of smvp_dot: dst = A·src over [b.jlo, b.jhi), returning the
 /// interior part of Σ src·dst (0.0 when row (l,k) is outside the
 /// interior).
-template <int Dims>
-inline double smvp_dot_row(Chunk& c, const Field<double>& src,
+template <class View>
+inline double smvp_dot_row(const View& A, const Field<double>& src,
                            Field<double>& dst, const Bounds& b,
                            const Bounds& in, int k, int l) {
   const bool row_in = (k >= in.klo && k < in.khi && l >= in.llo &&
                        l < in.lhi);
   double acc = 0.0;
   for (int j = b.jlo; j < b.jhi; ++j) {
-    const double w = apply_stencil<Dims>(c, src, j, k, l);
+    const double w = A.apply(src, j, k, l);
     dst(j, k, l) = w;
     if (row_in && j >= in.jlo && j < in.jhi) acc += src(j, k, l) * w;
   }
@@ -100,8 +54,8 @@ inline double smvp_dot_row(Chunk& c, const Field<double>& src,
 }
 
 /// One row of smvp_dot2: writes the pair (Σ other·src, Σ dst·src).
-template <int Dims>
-inline void smvp_dot2_row(Chunk& c, const Field<double>& src,
+template <class View>
+inline void smvp_dot2_row(const View& A, const Field<double>& src,
                           Field<double>& dst, const Field<double>& other,
                           const Bounds& b, const Bounds& in, int k, int l,
                           double* pair_out) {
@@ -110,7 +64,7 @@ inline void smvp_dot2_row(Chunk& c, const Field<double>& src,
   double dot_other = 0.0;
   double dot_dst = 0.0;
   for (int j = b.jlo; j < b.jhi; ++j) {
-    const double w = apply_stencil<Dims>(c, src, j, k, l);
+    const double w = A.apply(src, j, k, l);
     dst(j, k, l) = w;
     if (row_in && j >= in.jlo && j < in.jhi) {
       dot_other += other(j, k, l) * src(j, k, l);
@@ -122,9 +76,9 @@ inline void smvp_dot2_row(Chunk& c, const Field<double>& src,
 }
 
 /// One row of calc_ur_dot for the local preconditioners.
-template <int Dims>
-inline double calc_ur_dot_row(Chunk& c, double alpha, bool diag, int k,
-                              int l) {
+template <class View>
+inline double calc_ur_dot_row(Chunk& c, const View& A, double alpha,
+                              bool diag, int k, int l) {
   auto& u = c.u();
   auto& r = c.r();
   const auto& p = c.p();
@@ -136,7 +90,7 @@ inline double calc_ur_dot_row(Chunk& c, double alpha, bool diag, int k,
       u(j, k, l) += alpha * p(j, k, l);
       const double rv = r(j, k, l) - alpha * w(j, k, l);
       r(j, k, l) = rv;
-      const double zv = rv / diag_core<Dims>(c, j, k, l);
+      const double zv = rv / A.diag(j, k, l);
       z(j, k, l) = zv;
       acc += rv * zv;
     }
@@ -164,9 +118,10 @@ inline void cg_calc_ur_row(Chunk& c, double alpha, int k, int l) {
 }
 
 /// One row of the pointwise Chronopoulos-Gear update.
-template <int Dims>
-inline void cg_chrono_update_row(Chunk& c, double alpha, double beta,
-                                 bool diag, bool local, int k, int l) {
+template <class View>
+inline void cg_chrono_update_row(Chunk& c, const View& A, double alpha,
+                                 double beta, bool diag, bool local, int k,
+                                 int l) {
   auto& u = c.u();
   auto& r = c.r();
   auto& p = c.p();
@@ -181,8 +136,7 @@ inline void cg_chrono_update_row(Chunk& c, double alpha, double beta,
     u(j, k, l) += alpha * pv;
     r(j, k, l) -= alpha * sv;
     if (local) {
-      z(j, k, l) = diag ? r(j, k, l) / diag_core<Dims>(c, j, k, l)
-                        : r(j, k, l);
+      z(j, k, l) = diag ? r(j, k, l) / A.diag(j, k, l) : r(j, k, l);
     }
   }
 }
@@ -195,75 +149,51 @@ inline void jacobi_save_row(Chunk& c, int k, int l) {
 }
 
 /// One row of the Jacobi update sweep; returns Σ|u_new − u_old|.
-template <int Dims>
-inline double jacobi_update_row(Chunk& c, int k, int l) {
+template <class View>
+inline double jacobi_update_row(Chunk& c, const View& A, int k, int l) {
   auto& u = c.u();
   const auto& r = c.r();
   const auto& u0 = c.u0();
-  const auto& kx = c.kx();
-  const auto& ky = c.ky();
   double err = 0.0;
-  if constexpr (Dims == 2) {
-    for (int j = 0; j < c.nx(); ++j) {
-      const double diag =
-          1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k));
-      u(j, k) = (u0(j, k) +
-                 (ky(j, k + 1) * r(j, k + 1) + ky(j, k) * r(j, k - 1)) +
-                 (kx(j + 1, k) * r(j + 1, k) + kx(j, k) * r(j - 1, k))) /
-                diag;
-      err += std::fabs(u(j, k) - r(j, k));
-    }
-  } else {
-    const auto& kz = c.kz();
-    for (int j = 0; j < c.nx(); ++j) {
-      const double diag = diag_core<3>(c, j, k, l);
-      u(j, k, l) =
-          (u0(j, k, l) +
-           (ky(j, k + 1, l) * r(j, k + 1, l) +
-            ky(j, k, l) * r(j, k - 1, l)) +
-           (kx(j + 1, k, l) * r(j + 1, k, l) +
-            kx(j, k, l) * r(j - 1, k, l)) +
-           (kz(j, k, l + 1) * r(j, k, l + 1) +
-            kz(j, k, l) * r(j, k, l - 1))) /
-          diag;
-      err += std::fabs(u(j, k, l) - r(j, k, l));
-    }
+  for (int j = 0; j < c.nx(); ++j) {
+    const double uv = A.neigh_plus(u0(j, k, l), r, j, k, l) / A.diag(j, k, l);
+    u(j, k, l) = uv;
+    err += std::fabs(uv - r(j, k, l));
   }
   return err;
 }
 
 /// One row of the fused Chebyshev update (shared by the untiled lagged
 /// pass, the in-block lagged pass and the deferred edge pass).
-template <int Dims>
-inline void cheby_update_row(Chunk& c, Field<double>& res,
+template <class View>
+inline void cheby_update_row(const View& A, Field<double>& res,
                              Field<double>& dir, Field<double>& acc,
                              const Field<double>& w, double alpha,
                              double beta, bool diag_precon, const Bounds& b,
                              int k, int l) {
   for (int j = b.jlo; j < b.jhi; ++j) {
     res(j, k, l) -= w(j, k, l);
-    const double m_inv =
-        diag_precon ? 1.0 / diag_core<Dims>(c, j, k, l) : 1.0;
+    const double m_inv = diag_precon ? 1.0 / A.diag(j, k, l) : 1.0;
     dir(j, k, l) = alpha * dir(j, k, l) + beta * m_inv * res(j, k, l);
     acc(j, k, l) += dir(j, k, l);
   }
 }
 
-// ---- dimension-dispatched kernel bodies ----------------------------------
+// ---- operator-dispatched kernel bodies -----------------------------------
 
-template <int Dims>
-double smvp_dot_impl(Chunk& c, const Field<double>& src, Field<double>& dst,
-                     const Bounds& b) {
+template <class View>
+double smvp_dot_impl(Chunk& c, const View& A, const Field<double>& src,
+                     Field<double>& dst, const Bounds& b) {
   const Bounds in = interior_bounds(c);
   double acc = 0.0;
   for_rows(b, [&](int l, int k) {
-    acc += smvp_dot_row<Dims>(c, src, dst, b, in, k, l);
+    acc += smvp_dot_row(A, src, dst, b, in, k, l);
   });
   return acc;
 }
 
-template <int Dims>
-double calc_residual_impl(Chunk& c) {
+template <class View>
+double calc_residual_impl(Chunk& c, const View& A) {
   const auto& u = c.u();
   const auto& u0 = c.u0();
   auto& w = c.w();
@@ -271,7 +201,7 @@ double calc_residual_impl(Chunk& c) {
   double acc = 0.0;
   for_rows(interior_bounds(c), [&](int l, int k) {
     for (int j = 0; j < c.nx(); ++j) {
-      const double wv = apply_stencil<Dims>(c, u, j, k, l);
+      const double wv = A.apply(u, j, k, l);
       w(j, k, l) = wv;
       r(j, k, l) = u0(j, k, l) - wv;
       acc += r(j, k, l) * r(j, k, l);
@@ -280,67 +210,60 @@ double calc_residual_impl(Chunk& c) {
   return acc;
 }
 
-template <int Dims>
-double jacobi_iterate_impl(Chunk& c) {
+template <class View>
+double jacobi_iterate_impl(Chunk& c, const View& A) {
   // Save the previous iterate (halo included: neighbours' u arrives
   // there; 3-D chunks also save the z halo planes their stencils read).
-  const int zext = (Dims == 3) ? 1 : 0;
+  const int zext = (c.dims() == 3) ? 1 : 0;
   for (int l = -zext; l < c.nz() + zext; ++l)
     for (int k = -1; k < c.ny() + 1; ++k) jacobi_save_row(c, k, l);
   double err = 0.0;
   for_rows(interior_bounds(c), [&](int l, int k) {
-    err += jacobi_update_row<Dims>(c, k, l);
+    err += jacobi_update_row(c, A, k, l);
   });
   return err;
 }
 
-template <int Dims>
-void cheby_init_dir_impl(Chunk& c, const Field<double>& res,
+template <class View>
+void cheby_init_dir_impl(Chunk& c, const View& A, const Field<double>& res,
                          Field<double>& dir, double theta, bool diag_precon,
                          const Bounds& b) {
+  (void)c;
   const double theta_inv = 1.0 / theta;
   for_rows(b, [&](int l, int k) {
     for (int j = b.jlo; j < b.jhi; ++j) {
-      const double m_inv =
-          diag_precon ? 1.0 / diag_core<Dims>(c, j, k, l) : 1.0;
+      const double m_inv = diag_precon ? 1.0 / A.diag(j, k, l) : 1.0;
       dir(j, k, l) = m_inv * res(j, k, l) * theta_inv;
     }
   });
 }
 
-template <int Dims>
-void cheby_fused_update_impl(Chunk& c, Field<double>& res,
+template <class View>
+void cheby_fused_update_impl(Chunk& c, const View& A, Field<double>& res,
                              Field<double>& dir, Field<double>& acc,
                              double alpha, double beta, bool diag_precon,
                              const Bounds& b) {
   const auto& w = c.w();
   for_rows(b, [&](int l, int k) {
-    cheby_update_row<Dims>(c, res, dir, acc, w, alpha, beta, diag_precon, b,
-                           k, l);
+    cheby_update_row(A, res, dir, acc, w, alpha, beta, diag_precon, b, k, l);
   });
 }
 
-/// Lag distance of the fused Chebyshev pass in flattened rows: how far
-/// ahead the stencil sweep must be before a row's dir may be updated.
-/// 2-D stencils read the k±1 rows (offset 1); 3-D stencils additionally
-/// read the l±1 planes (offset rows-per-plane, which dominates).
-template <int Dims>
-inline int cheby_lag(const Bounds& b) {
-  return (Dims == 3) ? (b.khi - b.klo) : 1;
-}
-
-template <int Dims>
-void cheby_step_impl(Chunk& c, Field<double>& res, Field<double>& dir,
-                     Field<double>& acc, double alpha, double beta,
-                     bool diag_precon, const Bounds& b) {
+template <class View>
+void cheby_step_impl(Chunk& c, const View& A, Field<double>& res,
+                     Field<double>& dir, Field<double>& acc, double alpha,
+                     double beta, bool diag_precon, const Bounds& b) {
   auto& w = c.w();
   // Row-lagged fusion: the stencil of flattened row ρ reads dir rows up
   // to ρ+L, so row ρ−L may be updated as soon as w row ρ is in place —
-  // dir values feeding every stencil are pristine, as in the two-pass
-  // form.
+  // dir values feeding every operator application are pristine, as in the
+  // two-pass form.  L comes from the view: 1 for 2-D stencils, the rows-
+  // per-plane for 3-D ones, and the assembled matrices' measured row
+  // reach (which degenerates to a clean two-pass sweep when it spans the
+  // box).
   const int W = b.khi - b.klo;
   const int nrows = b.rows();
-  const int L = cheby_lag<Dims>(b);
+  const int L = A.lag(b);
   const auto row_of = [&](int rho, int* k, int* l) {
     *l = b.llo + rho / W;
     *k = b.klo + rho % W;
@@ -349,29 +272,28 @@ void cheby_step_impl(Chunk& c, Field<double>& res, Field<double>& dir,
     int k = 0, l = 0;
     row_of(rho, &k, &l);
     for (int j = b.jlo; j < b.jhi; ++j) {
-      w(j, k, l) = apply_stencil<Dims>(c, dir, j, k, l);
+      w(j, k, l) = A.apply(dir, j, k, l);
     }
     if (rho >= L) {
       row_of(rho - L, &k, &l);
-      cheby_update_row<Dims>(c, res, dir, acc, w, alpha, beta, diag_precon,
-                             b, k, l);
+      cheby_update_row(A, res, dir, acc, w, alpha, beta, diag_precon, b, k,
+                       l);
     }
   }
   for (int rho = std::max(0, nrows - L); rho < nrows; ++rho) {
     int k = 0, l = 0;
     row_of(rho, &k, &l);
-    cheby_update_row<Dims>(c, res, dir, acc, w, alpha, beta, diag_precon, b,
-                           k, l);
+    cheby_update_row(A, res, dir, acc, w, alpha, beta, diag_precon, b, k, l);
   }
 }
 
-template <int Dims>
-void cheby_step_tile_impl(Chunk& c, Field<double>& res, Field<double>& dir,
-                          Field<double>& acc, double alpha, double beta,
-                          bool diag_precon, const Bounds& b,
-                          const Bounds& tb) {
+template <class View>
+void cheby_step_tile_impl(Chunk& c, const View& A, Field<double>& res,
+                          Field<double>& dir, Field<double>& acc,
+                          double alpha, double beta, bool diag_precon,
+                          const Bounds& b, const Bounds& tb) {
   auto& w = c.w();
-  if constexpr (Dims == 2) {
+  if constexpr (View::kInBlockLag) {
     // In-block row-lagged fusion, as in the untiled cheby_step, except
     // rows tb.klo and tb.khi-1 stay un-updated: a neighbouring block's
     // stencil reads dir(klo-1..klo) / dir(khi-1..khi), so those rows must
@@ -380,54 +302,56 @@ void cheby_step_tile_impl(Chunk& c, Field<double>& res, Field<double>& dir,
     // them.
     for (int k = tb.klo; k < tb.khi; ++k) {
       for (int j = b.jlo; j < b.jhi; ++j) {
-        w(j, k) = apply_stencil<2>(c, dir, j, k, 0);
+        w(j, k, 0) = A.apply(dir, j, k, 0);
       }
       // Lagged update of row k-1 (its w is in place and no later stencil
       // of this block reads its dir), skipping the deferred edge rows.
       // At k = khi-1 this covers the block's last in-pass row khi-2, so
       // no post-loop update is needed.
       if (k - 1 > tb.klo && k - 1 < tb.khi - 1) {
-        cheby_update_row<2>(c, res, dir, acc, w, alpha, beta, diag_precon,
-                            b, k - 1, 0);
+        cheby_update_row(A, res, dir, acc, w, alpha, beta, diag_precon, b,
+                         k - 1, 0);
       }
     }
   } else {
-    // 3-D: every row of a plane is read by the adjacent planes' stencils
-    // (which live in other tiles), so no update may run until all tiles'
-    // stencil passes are done — the whole update defers to the edge pass.
+    // Any operator whose reach may span rows or planes that live in other
+    // tiles (3-D stencils, assembled matrices): no update may run until
+    // all tiles' application passes are done — the whole update defers to
+    // the edge pass.
     for_rows(tb, [&](int l, int k) {
       for (int j = b.jlo; j < b.jhi; ++j) {
-        w(j, k, l) = apply_stencil<3>(c, dir, j, k, l);
+        w(j, k, l) = A.apply(dir, j, k, l);
       }
     });
   }
 }
 
-template <int Dims>
-void cheby_step_tile_edges_impl(Chunk& c, Field<double>& res,
+template <class View>
+void cheby_step_tile_edges_impl(Chunk& c, const View& A, Field<double>& res,
                                 Field<double>& dir, Field<double>& acc,
                                 double alpha, double beta, bool diag_precon,
                                 const Bounds& b, const Bounds& tb) {
   auto& w = c.w();
-  if constexpr (Dims == 2) {
+  if constexpr (View::kInBlockLag) {
     if (tb.khi <= tb.klo) return;
-    cheby_update_row<2>(c, res, dir, acc, w, alpha, beta, diag_precon, b,
-                        tb.klo, 0);
+    cheby_update_row(A, res, dir, acc, w, alpha, beta, diag_precon, b,
+                     tb.klo, 0);
     if (tb.khi - 1 > tb.klo) {
-      cheby_update_row<2>(c, res, dir, acc, w, alpha, beta, diag_precon, b,
-                          tb.khi - 1, 0);
+      cheby_update_row(A, res, dir, acc, w, alpha, beta, diag_precon, b,
+                       tb.khi - 1, 0);
     }
   } else {
     for_rows(tb, [&](int l, int k) {
-      cheby_update_row<3>(c, res, dir, acc, w, alpha, beta, diag_precon, b,
-                          k, l);
+      cheby_update_row(A, res, dir, acc, w, alpha, beta, diag_precon, b, k,
+                       l);
     });
   }
 }
 
-template <int Dims>
-void jacobi_tile_impl(Chunk& c, const Bounds& tb, double* row_sums) {
-  if constexpr (Dims == 2) {
+template <class View>
+void jacobi_tile_impl(Chunk& c, const View& A, const Bounds& tb,
+                      double* row_sums) {
+  if (c.dims() == 2) {
     // Cache-fused row block: the first/last interior block also saves the
     // −1/ny halo row its edge stencils read; interior blocks save exactly
     // their own rows.
@@ -437,13 +361,22 @@ void jacobi_tile_impl(Chunk& c, const Bounds& tb, double* row_sums) {
     const int s1 = (k1 == c.ny()) ? c.ny() + 1 : k1;
     for (int k = s0; k < s1; ++k) {
       jacobi_save_row(c, k, 0);
-      // Lagged update: row k-1's stencil reads saved rows k-2..k (all in
-      // place), and the rows another block reads are deferred to the edge
-      // pass.  Updates write u rows this block's later saves never read.
-      const int lag = k - 1;
-      if (lag >= k0 + 1 && lag <= k1 - 2) {
-        row_sums[lag] = jacobi_update_row<2>(c, lag, 0);
+      if constexpr (View::kInBlockLag) {
+        // Lagged update: row k-1's stencil reads saved rows k-2..k (all
+        // in place), and the rows another block reads are deferred to the
+        // edge pass.  Updates write u rows this block's later saves never
+        // read.
+        const int lag = k - 1;
+        if (lag >= k0 + 1 && lag <= k1 - 2) {
+          row_sums[lag] = jacobi_update_row(c, A, lag, 0);
+        }
       }
+    }
+    if constexpr (!View::kInBlockLag) {
+      // Assembled operators may reach beyond k±1, so every update defers
+      // to the edge pass (all saves complete under the team barrier).
+      (void)row_sums;
+      (void)A;
     }
   } else {
     // 3-D save phase: each tile saves its own rows plus the halo rows and
@@ -452,6 +385,7 @@ void jacobi_tile_impl(Chunk& c, const Bounds& tb, double* row_sums) {
     // the update stencils read.  Updates defer entirely (adjacent planes'
     // stencils — other tiles — read every saved row).
     (void)row_sums;
+    (void)A;
     for (int l = tb.llo; l < tb.lhi; ++l) {
       const int s0 = (tb.klo == 0) ? -1 : tb.klo;
       const int s1 = (tb.khi == c.ny()) ? c.ny() + 1 : tb.khi;
@@ -466,17 +400,18 @@ void jacobi_tile_impl(Chunk& c, const Bounds& tb, double* row_sums) {
   }
 }
 
-template <int Dims>
-void jacobi_tile_edges_impl(Chunk& c, const Bounds& tb, double* row_sums) {
-  if constexpr (Dims == 2) {
+template <class View>
+void jacobi_tile_edges_impl(Chunk& c, const View& A, const Bounds& tb,
+                            double* row_sums) {
+  if constexpr (View::kInBlockLag) {
     if (tb.khi <= tb.klo) return;
-    row_sums[tb.klo] = jacobi_update_row<2>(c, tb.klo, 0);
+    row_sums[tb.klo] = jacobi_update_row(c, A, tb.klo, 0);
     if (tb.khi - 1 > tb.klo) {
-      row_sums[tb.khi - 1] = jacobi_update_row<2>(c, tb.khi - 1, 0);
+      row_sums[tb.khi - 1] = jacobi_update_row(c, A, tb.khi - 1, 0);
     }
   } else {
     for_rows(tb, [&](int l, int k) {
-      row_sums[l * c.ny() + k] = jacobi_update_row<3>(c, k, l);
+      row_sums[l * c.ny() + k] = jacobi_update_row(c, A, k, l);
     });
   }
 }
@@ -551,8 +486,9 @@ void init_conduction_impl(Chunk& c, Coefficient coef, double rx, double ry,
 }  // namespace
 
 double diag_at(const Chunk& c, int j, int k, int l) {
-  return c.dims() == 3 ? diag_core<3>(c, j, k, l)
-                       : diag_core<2>(c, j, k, 0);
+  double d = 0.0;
+  op_dispatch(c, [&](const auto& A) { d = A.diag(j, k, l); });
+  return d;
 }
 
 void init_u_u0(Chunk& c) {
@@ -592,11 +528,9 @@ void init_conduction(Chunk& c, Coefficient coef, double rx, double ry,
 void smvp(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
   const auto& src = c.field(src_id);
   auto& dst = c.field(dst_id);
-  dims_dispatch(c, [&](auto dims) {
+  op_dispatch(c, [&](const auto& A) {
     for_rows(b, [&](int l, int k) {
-      for (int j = b.jlo; j < b.jhi; ++j)
-        dst(j, k, l) =
-            apply_stencil<decltype(dims)::value>(c, src, j, k, l);
+      for (int j = b.jlo; j < b.jhi; ++j) dst(j, k, l) = A.apply(src, j, k, l);
     });
   });
 }
@@ -604,8 +538,10 @@ void smvp(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
 double smvp_dot(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
   const auto& src = c.field(src_id);
   auto& dst = c.field(dst_id);
-  return c.dims() == 3 ? smvp_dot_impl<3>(c, src, dst, b)
-                       : smvp_dot_impl<2>(c, src, dst, b);
+  double acc = 0.0;
+  op_dispatch(c,
+              [&](const auto& A) { acc = smvp_dot_impl(c, A, src, dst, b); });
+  return acc;
 }
 
 void copy(Chunk& c, FieldId dst_id, FieldId src_id, const Bounds& b) {
@@ -663,7 +599,9 @@ double dot(const Chunk& c, FieldId a_id, FieldId b_id) {
 double norm2_sq(const Chunk& c, FieldId f_id) { return dot(c, f_id, f_id); }
 
 double calc_residual(Chunk& c) {
-  return c.dims() == 3 ? calc_residual_impl<3>(c) : calc_residual_impl<2>(c);
+  double acc = 0.0;
+  op_dispatch(c, [&](const auto& A) { acc = calc_residual_impl(c, A); });
+  return acc;
 }
 
 void cg_calc_ur(Chunk& c, double alpha) {
@@ -672,18 +610,18 @@ void cg_calc_ur(Chunk& c, double alpha) {
 }
 
 double jacobi_iterate(Chunk& c) {
-  return c.dims() == 3 ? jacobi_iterate_impl<3>(c) : jacobi_iterate_impl<2>(c);
+  double err = 0.0;
+  op_dispatch(c, [&](const auto& A) { err = jacobi_iterate_impl(c, A); });
+  return err;
 }
 
 void cheby_init_dir(Chunk& c, FieldId res_id, FieldId dir_id, double theta,
                     bool diag_precon, const Bounds& b) {
   const auto& res = c.field(res_id);
   auto& dir = c.field(dir_id);
-  if (c.dims() == 3) {
-    cheby_init_dir_impl<3>(c, res, dir, theta, diag_precon, b);
-  } else {
-    cheby_init_dir_impl<2>(c, res, dir, theta, diag_precon, b);
-  }
+  op_dispatch(c, [&](const auto& A) {
+    cheby_init_dir_impl(c, A, res, dir, theta, diag_precon, b);
+  });
 }
 
 void cheby_fused_update(Chunk& c, FieldId res_id, FieldId dir_id,
@@ -692,11 +630,9 @@ void cheby_fused_update(Chunk& c, FieldId res_id, FieldId dir_id,
   auto& res = c.field(res_id);
   auto& dir = c.field(dir_id);
   auto& acc = c.field(acc_id);
-  if (c.dims() == 3) {
-    cheby_fused_update_impl<3>(c, res, dir, acc, alpha, beta, diag_precon, b);
-  } else {
-    cheby_fused_update_impl<2>(c, res, dir, acc, alpha, beta, diag_precon, b);
-  }
+  op_dispatch(c, [&](const auto& A) {
+    cheby_fused_update_impl(c, A, res, dir, acc, alpha, beta, diag_precon, b);
+  });
 }
 
 double calc_ur_dot(Chunk& c, double alpha, PreconType precon) {
@@ -705,10 +641,9 @@ double calc_ur_dot(Chunk& c, double alpha, PreconType precon) {
     case PreconType::kJacobiDiag: {
       const bool diag = (precon == PreconType::kJacobiDiag);
       double acc = 0.0;
-      dims_dispatch(c, [&](auto dims) {
+      op_dispatch(c, [&](const auto& A) {
         for_rows(interior_bounds(c), [&](int l, int k) {
-          acc += calc_ur_dot_row<decltype(dims)::value>(c, alpha, diag, k,
-                                                        l);
+          acc += calc_ur_dot_row(c, A, alpha, diag, k, l);
         });
       });
       return acc;
@@ -730,21 +665,18 @@ void cheby_step(Chunk& c, FieldId res_id, FieldId dir_id, FieldId acc_id,
   auto& res = c.field(res_id);
   auto& dir = c.field(dir_id);
   auto& acc = c.field(acc_id);
-  if (c.dims() == 3) {
-    cheby_step_impl<3>(c, res, dir, acc, alpha, beta, diag_precon, b);
-  } else {
-    cheby_step_impl<2>(c, res, dir, acc, alpha, beta, diag_precon, b);
-  }
+  op_dispatch(c, [&](const auto& A) {
+    cheby_step_impl(c, A, res, dir, acc, alpha, beta, diag_precon, b);
+  });
 }
 
 void cg_chrono_update(Chunk& c, double alpha, double beta,
                       PreconType precon) {
   const bool diag = (precon == PreconType::kJacobiDiag);
   const bool local = (precon != PreconType::kJacobiBlock);
-  dims_dispatch(c, [&](auto dims) {
+  op_dispatch(c, [&](const auto& A) {
     for_rows(interior_bounds(c), [&](int l, int k) {
-      cg_chrono_update_row<decltype(dims)::value>(c, alpha, beta, diag,
-                                                  local, k, l);
+      cg_chrono_update_row(c, A, alpha, beta, diag, local, k, l);
     });
   });
   if (!local) block_jacobi_solve(c, FieldId::kR, FieldId::kZ);
@@ -758,11 +690,10 @@ std::pair<double, double> smvp_dot2(Chunk& c, FieldId src_id, FieldId dst_id,
   const Bounds in = interior_bounds(c);
   double dot_other = 0.0;
   double dot_dst = 0.0;
-  dims_dispatch(c, [&](auto dims) {
+  op_dispatch(c, [&](const auto& A) {
     for_rows(b, [&](int l, int k) {
       double pair[2];
-      smvp_dot2_row<decltype(dims)::value>(c, src, dst, other, b, in, k, l,
-                                           pair);
+      smvp_dot2_row(A, src, dst, other, b, in, k, l, pair);
       dot_other += pair[0];
       dot_dst += pair[1];
     });
@@ -786,10 +717,9 @@ void smvp_dot_rows(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b,
   const auto& src = c.field(src_id);
   auto& dst = c.field(dst_id);
   const Bounds in = interior_bounds(c);
-  dims_dispatch(c, [&](auto dims) {
+  op_dispatch(c, [&](const auto& A) {
     for_rows(tb, [&](int l, int k) {
-      const double s =
-          smvp_dot_row<decltype(dims)::value>(c, src, dst, b, in, k, l);
+      const double s = smvp_dot_row(A, src, dst, b, in, k, l);
       if (in.contains(0, k, l)) row_sums[l * c.ny() + k] = s;
     });
   });
@@ -802,11 +732,10 @@ void smvp_dot2_rows(Chunk& c, FieldId src_id, FieldId dst_id,
   const auto& other = c.field(other_id);
   auto& dst = c.field(dst_id);
   const Bounds in = interior_bounds(c);
-  dims_dispatch(c, [&](auto dims) {
+  op_dispatch(c, [&](const auto& A) {
     for_rows(tb, [&](int l, int k) {
       double pair[2];
-      smvp_dot2_row<decltype(dims)::value>(c, src, dst, other, b, in, k, l,
-                                           pair);
+      smvp_dot2_row(A, src, dst, other, b, in, k, l, pair);
       if (in.contains(0, k, l)) {
         row_sums[2 * (l * c.ny() + k)] = pair[0];
         row_sums[2 * (l * c.ny() + k) + 1] = pair[1];
@@ -825,10 +754,9 @@ void calc_ur_dot_rows(Chunk& c, double alpha, PreconType precon,
              "block-Jacobi strips do not row-tile; compose via "
              "cg_calc_ur_rows + block_jacobi_solve + dot_rows");
   const bool diag = (precon == PreconType::kJacobiDiag);
-  dims_dispatch(c, [&](auto dims) {
+  op_dispatch(c, [&](const auto& A) {
     for_rows(tb, [&](int l, int k) {
-      row_sums[l * c.ny() + k] =
-          calc_ur_dot_row<decltype(dims)::value>(c, alpha, diag, k, l);
+      row_sums[l * c.ny() + k] = calc_ur_dot_row(c, A, alpha, diag, k, l);
     });
   });
 }
@@ -837,10 +765,9 @@ void cg_chrono_update_rows(Chunk& c, double alpha, double beta,
                            PreconType precon, const Bounds& tb) {
   const bool diag = (precon == PreconType::kJacobiDiag);
   const bool local = (precon != PreconType::kJacobiBlock);
-  dims_dispatch(c, [&](auto dims) {
+  op_dispatch(c, [&](const auto& A) {
     for_rows(tb, [&](int l, int k) {
-      cg_chrono_update_row<decltype(dims)::value>(c, alpha, beta, diag,
-                                                  local, k, l);
+      cg_chrono_update_row(c, A, alpha, beta, diag, local, k, l);
     });
   });
 }
@@ -851,13 +778,10 @@ void cheby_step_tile(Chunk& c, FieldId res_id, FieldId dir_id,
   auto& res = c.field(res_id);
   auto& dir = c.field(dir_id);
   auto& acc = c.field(acc_id);
-  if (c.dims() == 3) {
-    cheby_step_tile_impl<3>(c, res, dir, acc, alpha, beta, diag_precon, b,
-                            tb);
-  } else {
-    cheby_step_tile_impl<2>(c, res, dir, acc, alpha, beta, diag_precon, b,
-                            tb);
-  }
+  op_dispatch(c, [&](const auto& A) {
+    cheby_step_tile_impl(c, A, res, dir, acc, alpha, beta, diag_precon, b,
+                         tb);
+  });
 }
 
 void cheby_step_tile_edges(Chunk& c, FieldId res_id, FieldId dir_id,
@@ -867,13 +791,10 @@ void cheby_step_tile_edges(Chunk& c, FieldId res_id, FieldId dir_id,
   auto& res = c.field(res_id);
   auto& dir = c.field(dir_id);
   auto& acc = c.field(acc_id);
-  if (c.dims() == 3) {
-    cheby_step_tile_edges_impl<3>(c, res, dir, acc, alpha, beta, diag_precon,
-                                  b, tb);
-  } else {
-    cheby_step_tile_edges_impl<2>(c, res, dir, acc, alpha, beta, diag_precon,
-                                  b, tb);
-  }
+  op_dispatch(c, [&](const auto& A) {
+    cheby_step_tile_edges_impl(c, A, res, dir, acc, alpha, beta, diag_precon,
+                               b, tb);
+  });
 }
 
 void jacobi_save_rows(Chunk& c, const Bounds& tb) {
@@ -881,80 +802,38 @@ void jacobi_save_rows(Chunk& c, const Bounds& tb) {
 }
 
 void jacobi_update_rows(Chunk& c, const Bounds& tb, double* row_sums) {
-  dims_dispatch(c, [&](auto dims) {
+  op_dispatch(c, [&](const auto& A) {
     for_rows(tb, [&](int l, int k) {
-      row_sums[l * c.ny() + k] =
-          jacobi_update_row<decltype(dims)::value>(c, k, l);
+      row_sums[l * c.ny() + k] = jacobi_update_row(c, A, k, l);
     });
   });
 }
 
 void jacobi_tile(Chunk& c, const Bounds& tb, double* row_sums) {
-  if (c.dims() == 3) {
-    jacobi_tile_impl<3>(c, tb, row_sums);
-  } else {
-    jacobi_tile_impl<2>(c, tb, row_sums);
-  }
+  op_dispatch(c,
+              [&](const auto& A) { jacobi_tile_impl(c, A, tb, row_sums); });
 }
 
 void jacobi_tile_edges(Chunk& c, const Bounds& tb, double* row_sums) {
-  if (c.dims() == 3) {
-    jacobi_tile_edges_impl<3>(c, tb, row_sums);
-  } else {
-    jacobi_tile_edges_impl<2>(c, tb, row_sums);
-  }
+  op_dispatch(c, [&](const auto& A) {
+    jacobi_tile_edges_impl(c, A, tb, row_sums);
+  });
 }
 
 // ---- multigrid level cores ----------------------------------------------
 
 namespace {
 
-/// Diagonal of a level's operator; the Dims == 2 expression is exactly
-/// the pre-generalisation 2-D hierarchy's.
-template <int Dims>
-inline double mg_diag_core(const MGOperatorView& A, int j, int k, int l) {
-  const auto& kx = *A.kx;
-  const auto& ky = *A.ky;
-  if constexpr (Dims == 2) {
-    return 1.0 + (ky(j, k + 1) + ky(j, k)) + (kx(j + 1, k) + kx(j, k));
-  } else {
-    const auto& kz = *A.kz;
-    return 1.0 + (ky(j, k + 1, l) + ky(j, k, l)) +
-           (kx(j + 1, k, l) + kx(j, k, l)) +
-           (kz(j, k, l + 1) + kz(j, k, l));
-  }
-}
-
-template <int Dims>
-inline double mg_stencil_core(const MGOperatorView& A,
-                              const Field<double>& src, int j, int k,
-                              int l) {
-  const auto& kx = *A.kx;
-  const auto& ky = *A.ky;
-  if constexpr (Dims == 2) {
-    return mg_diag_core<2>(A, j, k, l) * src(j, k) -
-           (ky(j, k + 1) * src(j, k + 1) + ky(j, k) * src(j, k - 1)) -
-           (kx(j + 1, k) * src(j + 1, k) + kx(j, k) * src(j - 1, k));
-  } else {
-    const auto& kz = *A.kz;
-    return mg_diag_core<3>(A, j, k, l) * src(j, k, l) -
-           (ky(j, k + 1, l) * src(j, k + 1, l) +
-            ky(j, k, l) * src(j, k - 1, l)) -
-           (kx(j + 1, k, l) * src(j + 1, k, l) +
-            kx(j, k, l) * src(j - 1, k, l)) -
-           (kz(j, k, l + 1) * src(j, k, l + 1) +
-            kz(j, k, l) * src(j, k, l - 1));
-  }
-}
-
-/// Stencil-arity dispatch for the level cores (one branch per row, zero
-/// per cell) — the MGOperatorView analogue of dims_dispatch.
+/// The level cores run on the same OperatorView surface as the chunk
+/// kernels: a StencilView built over the level's coefficient fields (the
+/// hierarchy is always stencil-shaped — coarse operators are re-built from
+/// face coefficients, never assembled).
 template <class Fn>
 inline void mg_dispatch(const MGOperatorView& A, Fn&& fn) {
   if (A.kz != nullptr) {
-    fn(std::integral_constant<int, 3>{});
+    fn(StencilView<3>(A.kx, A.ky, A.kz));
   } else {
-    fn(std::integral_constant<int, 2>{});
+    fn(StencilView<2>(A.kx, A.ky, nullptr));
   }
 }
 
@@ -962,19 +841,18 @@ inline void mg_dispatch(const MGOperatorView& A, Fn&& fn) {
 
 double mg_apply_stencil(const MGOperatorView& A, const Field<double>& src,
                         int j, int k, int l) {
-  return A.kz != nullptr ? mg_stencil_core<3>(A, src, j, k, l)
-                         : mg_stencil_core<2>(A, src, j, k, l);
+  double v = 0.0;
+  mg_dispatch(A, [&](const auto& V) { v = V.apply(src, j, k, l); });
+  return v;
 }
 
 void mg_smooth_row(const MGOperatorView& A, const Field<double>& rhs,
                    const Field<double>& old_u, Field<double>& u,
                    double omega, int k, int l) {
-  mg_dispatch(A, [&](auto dims) {
-    constexpr int Dims = decltype(dims)::value;
+  mg_dispatch(A, [&](const auto& V) {
     for (int j = 0; j < A.nx; ++j) {
-      const double diag = mg_diag_core<Dims>(A, j, k, l);
-      const double r =
-          rhs(j, k, l) - mg_stencil_core<Dims>(A, old_u, j, k, l);
+      const double diag = V.diag(j, k, l);
+      const double r = rhs(j, k, l) - V.apply(old_u, j, k, l);
       u(j, k, l) = old_u(j, k, l) + omega * r / diag;
     }
   });
@@ -983,10 +861,9 @@ void mg_smooth_row(const MGOperatorView& A, const Field<double>& rhs,
 void mg_residual_row(const MGOperatorView& A, const Field<double>& rhs,
                      const Field<double>& u, Field<double>& res, int k,
                      int l) {
-  mg_dispatch(A, [&](auto dims) {
-    constexpr int Dims = decltype(dims)::value;
+  mg_dispatch(A, [&](const auto& V) {
     for (int j = 0; j < A.nx; ++j) {
-      res(j, k, l) = rhs(j, k, l) - mg_stencil_core<Dims>(A, u, j, k, l);
+      res(j, k, l) = rhs(j, k, l) - V.apply(u, j, k, l);
     }
   });
 }
@@ -994,10 +871,9 @@ void mg_residual_row(const MGOperatorView& A, const Field<double>& rhs,
 double mg_smvp_dot_row(const MGOperatorView& A, const Field<double>& src,
                        Field<double>& dst, int k, int l) {
   double acc = 0.0;
-  mg_dispatch(A, [&](auto dims) {
-    constexpr int Dims = decltype(dims)::value;
+  mg_dispatch(A, [&](const auto& V) {
     for (int j = 0; j < A.nx; ++j) {
-      const double w = mg_stencil_core<Dims>(A, src, j, k, l);
+      const double w = V.apply(src, j, k, l);
       dst(j, k, l) = w;
       acc += src(j, k, l) * w;
     }

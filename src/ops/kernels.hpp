@@ -6,13 +6,15 @@
 #include "ops/bounds.hpp"
 #include "precon/preconditioner.hpp"
 
-/// Matrix-free computational kernels for the heat-conduction system, a
-/// C++ port of upstream TeaLeaf's `tea_leaf_*_kernel` routines and of
-/// Listing 1 in the paper — dimension-generic since the tea3d fork was
-/// retired: every kernel serves both the 2-D 5-point and the 3-D 7-point
-/// operator from ONE implementation, with the stencil arity selected at
-/// compile time (a `Dims` template parameter on the per-row cores,
-/// dispatched once per kernel call on `Chunk::dims()`).
+/// Computational kernels for the heat-conduction system, a C++ port of
+/// upstream TeaLeaf's `tea_leaf_*_kernel` routines and of Listing 1 in
+/// the paper — dimension- and operator-generic: every per-row core is
+/// templated on an `OperatorView` (ops/operator_view.hpp) and serves the
+/// matrix-free 2-D 5-point / 3-D 7-point stencil (`StencilView<Dims>`,
+/// bit-for-bit the classic code paths) as well as assembled CSR and
+/// SELL-C-σ matrices (`CsrView` / `SellView`), with the view selected
+/// once per kernel call by dispatching on `Chunk::op_kind()` and
+/// `Chunk::dims()`.
 ///
 /// The linear system is A·u = u0 with
 ///   (A u)(j,k,l) = [1 + ΣK over the 2·dims faces]·u(j,k,l)

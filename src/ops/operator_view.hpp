@@ -1,0 +1,267 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mesh/chunk.hpp"
+#include "ops/bounds.hpp"
+#include "ops/operator_kind.hpp"
+#include "ops/sparse_matrix.hpp"
+
+namespace tealeaf {
+
+/// OperatorView: the one surface every per-row kernel core traverses the
+/// linear operator through.  Three implementations — the matrix-free
+/// stencil (`StencilView<Dims>`), assembled CSR (`CsrView`) and assembled
+/// SELL-C-σ (`SellView`) — share five primitives:
+///
+///   diag(j,k,l)                  the diagonal entry of the cell's row
+///   apply(src, j,k,l)            (A·src) at the cell
+///   neigh_plus(seed, src, ...)   seed + Σ positive couplings · src(nbr)
+///                                (the Jacobi-update accumulation)
+///   coupling_k(j,k,l,dk)        the *signed* off-diagonal entry toward
+///                                (j, k+dk, l) — block-Jacobi's sub/sup
+///   lag(b)                       rows a deferred-update sweep must trail
+///                                the operator application by
+///
+/// Bitwise contract: a CSR/SELL matrix assembled from the stencil (entry
+/// order diag, ky±, kx±[, kz±]; off-diagonals stored signed; boundary
+/// zeros kept) produces bit-identical results to StencilView because the
+/// assembled paths accumulate entries pairwise in that fixed order, and
+/// IEEE-754 negation/sign-symmetry make (−a)+(−b) ≡ −(a+b) and
+/// acc+(−x) ≡ acc−x exact.
+///
+/// `kInBlockLag` marks the one view/geometry combination (2-D stencil)
+/// whose tiled schedules may update lagged rows inside a tile block; every
+/// other view defers all updates to the post-barrier edge pass.
+
+template <int Dims>
+struct StencilView {
+  static constexpr bool kInBlockLag = (Dims == 2);
+  const Field<double>* kx;
+  const Field<double>* ky;
+  const Field<double>* kz;  // unused when Dims == 2
+
+  explicit StencilView(const Chunk& c)
+      : kx(&c.kx()), ky(&c.ky()), kz(Dims == 3 ? &c.kz() : nullptr) {}
+  StencilView(const Field<double>* kx_in, const Field<double>* ky_in,
+              const Field<double>* kz_in)
+      : kx(kx_in), ky(ky_in), kz(kz_in) {}
+
+  [[nodiscard]] double diag(int j, int k, int l) const {
+    if constexpr (Dims == 3) {
+      return 1.0 + ((*ky)(j, k + 1, l) + (*ky)(j, k, l)) +
+             ((*kx)(j + 1, k, l) + (*kx)(j, k, l)) +
+             ((*kz)(j, k, l + 1) + (*kz)(j, k, l));
+    } else {
+      return 1.0 + ((*ky)(j, k + 1, l) + (*ky)(j, k, l)) +
+             ((*kx)(j + 1, k, l) + (*kx)(j, k, l));
+    }
+  }
+
+  [[nodiscard]] double apply(const Field<double>& src, int j, int k,
+                             int l) const {
+    if constexpr (Dims == 3) {
+      return diag(j, k, l) * src(j, k, l) -
+             ((*ky)(j, k + 1, l) * src(j, k + 1, l) +
+              (*ky)(j, k, l) * src(j, k - 1, l)) -
+             ((*kx)(j + 1, k, l) * src(j + 1, k, l) +
+              (*kx)(j, k, l) * src(j - 1, k, l)) -
+             ((*kz)(j, k, l + 1) * src(j, k, l + 1) +
+              (*kz)(j, k, l) * src(j, k, l - 1));
+    } else {
+      return (1.0 + ((*ky)(j, k + 1, l) + (*ky)(j, k, l)) +
+              ((*kx)(j + 1, k, l) + (*kx)(j, k, l))) *
+                 src(j, k, l) -
+             ((*ky)(j, k + 1, l) * src(j, k + 1, l) +
+              (*ky)(j, k, l) * src(j, k - 1, l)) -
+             ((*kx)(j + 1, k, l) * src(j + 1, k, l) +
+              (*kx)(j, k, l) * src(j - 1, k, l));
+    }
+  }
+
+  [[nodiscard]] double neigh_plus(double seed, const Field<double>& src,
+                                  int j, int k, int l) const {
+    double acc = seed;
+    acc += ((*ky)(j, k + 1, l) * src(j, k + 1, l) +
+            (*ky)(j, k, l) * src(j, k - 1, l));
+    acc += ((*kx)(j + 1, k, l) * src(j + 1, k, l) +
+            (*kx)(j, k, l) * src(j - 1, k, l));
+    if constexpr (Dims == 3) {
+      acc += ((*kz)(j, k, l + 1) * src(j, k, l + 1) +
+              (*kz)(j, k, l) * src(j, k, l - 1));
+    }
+    return acc;
+  }
+
+  [[nodiscard]] double coupling_k(int j, int k, int l, int dk) const {
+    return dk < 0 ? -(*ky)(j, k, l) : -(*ky)(j, k + 1, l);
+  }
+
+  [[nodiscard]] int lag(const Bounds& b) const {
+    return Dims == 3 ? b.khi - b.klo : 1;
+  }
+};
+
+namespace detail {
+
+/// Cursor over one assembled row: n entries, val(i)/col(i) in stored
+/// order.  The two accumulations below define the assembled arithmetic —
+/// entry 0 (the diagonal), then strict pairs, then a possible odd tail —
+/// which is what makes stencil-assembled matrices bitwise-reproduce the
+/// matrix-free grouping.
+template <class Cursor>
+[[nodiscard]] inline double row_apply(const Cursor& c, const double* s) {
+  double acc = c.val(0) * s[c.col(0)];
+  int i = 1;
+  for (; i + 1 < c.n; i += 2)
+    acc += (c.val(i) * s[c.col(i)] + c.val(i + 1) * s[c.col(i + 1)]);
+  if (i < c.n) acc += c.val(i) * s[c.col(i)];
+  return acc;
+}
+
+template <class Cursor>
+[[nodiscard]] inline double row_neigh_plus(const Cursor& c, double seed,
+                                           const double* s) {
+  double acc = seed;
+  int i = 1;
+  for (; i + 1 < c.n; i += 2)
+    acc += ((-c.val(i)) * s[c.col(i)] + (-c.val(i + 1)) * s[c.col(i + 1)]);
+  if (i < c.n) acc += (-c.val(i)) * s[c.col(i)];
+  return acc;
+}
+
+template <class Cursor>
+[[nodiscard]] inline double row_coupling(const Cursor& c,
+                                         std::int64_t target_col) {
+  for (int i = 0; i < c.n; ++i)
+    if (c.col(i) == target_col) return c.val(i);
+  return 0.0;
+}
+
+struct CsrCursor {
+  const double* v;
+  const std::int64_t* c;
+  int n;
+  [[nodiscard]] double val(int i) const { return v[i]; }
+  [[nodiscard]] std::int64_t col(int i) const { return c[i]; }
+};
+
+struct SellCursor {
+  const double* v;
+  const std::int64_t* c;
+  int stride;  // slice height C
+  int n;
+  [[nodiscard]] double val(int i) const {
+    return v[static_cast<std::int64_t>(i) * stride];
+  }
+  [[nodiscard]] std::int64_t col(int i) const {
+    return c[static_cast<std::int64_t>(i) * stride];
+  }
+};
+
+}  // namespace detail
+
+struct CsrView {
+  static constexpr bool kInBlockLag = false;
+  const CsrMatrix* m;
+  int nx, ny;
+
+  explicit CsrView(const Chunk& c) : m(c.csr()), nx(c.nx()), ny(c.ny()) {
+    TEA_ASSERT(m != nullptr, "chunk has no assembled CSR operator");
+  }
+
+  [[nodiscard]] std::int64_t row(int j, int k, int l) const {
+    return (static_cast<std::int64_t>(l) * ny + k) * nx + j;
+  }
+  [[nodiscard]] detail::CsrCursor cursor(std::int64_t r) const {
+    const std::int64_t b = m->row_ptr[r];
+    return {m->vals.data() + b, m->cols.data() + b,
+            static_cast<int>(m->row_ptr[r + 1] - b)};
+  }
+
+  [[nodiscard]] double diag(int j, int k, int l) const {
+    return m->vals[m->row_ptr[row(j, k, l)]];
+  }
+  [[nodiscard]] double apply(const Field<double>& src, int j, int k,
+                             int l) const {
+    return detail::row_apply(cursor(row(j, k, l)), src.data());
+  }
+  [[nodiscard]] double neigh_plus(double seed, const Field<double>& src,
+                                  int j, int k, int l) const {
+    return detail::row_neigh_plus(cursor(row(j, k, l)), seed, src.data());
+  }
+  [[nodiscard]] double coupling_k(int j, int k, int l, int dk) const {
+    // The neighbour's diagonal column is its cell's storage offset; find
+    // the entry of our row pointing at it (≤ 7 entries for assembled
+    // stencils, short rows for .mtx inputs).
+    const std::int64_t target = m->cols[m->row_ptr[row(j, k + dk, l)]];
+    return detail::row_coupling(cursor(row(j, k, l)), target);
+  }
+  [[nodiscard]] int lag(const Bounds&) const {
+    return std::max(1, m->row_reach);
+  }
+};
+
+struct SellView {
+  static constexpr bool kInBlockLag = false;
+  const SellMatrix* m;
+  int nx, ny;
+
+  explicit SellView(const Chunk& c) : m(c.sell()), nx(c.nx()), ny(c.ny()) {
+    TEA_ASSERT(m != nullptr, "chunk has no assembled SELL-C-σ operator");
+  }
+
+  [[nodiscard]] std::int64_t row(int j, int k, int l) const {
+    return (static_cast<std::int64_t>(l) * ny + k) * nx + j;
+  }
+  [[nodiscard]] detail::SellCursor cursor(std::int64_t r) const {
+    const std::int64_t p = m->slot[r];
+    const std::int64_t base =
+        m->slice_ptr[p / m->chunk_c] + p % m->chunk_c;
+    return {m->vals.data() + base, m->cols.data() + base, m->chunk_c,
+            m->row_len[r]};
+  }
+
+  [[nodiscard]] double diag(int j, int k, int l) const {
+    return cursor(row(j, k, l)).val(0);
+  }
+  [[nodiscard]] double apply(const Field<double>& src, int j, int k,
+                             int l) const {
+    return detail::row_apply(cursor(row(j, k, l)), src.data());
+  }
+  [[nodiscard]] double neigh_plus(double seed, const Field<double>& src,
+                                  int j, int k, int l) const {
+    return detail::row_neigh_plus(cursor(row(j, k, l)), seed, src.data());
+  }
+  [[nodiscard]] double coupling_k(int j, int k, int l, int dk) const {
+    const std::int64_t target = cursor(row(j, k + dk, l)).col(0);
+    return detail::row_coupling(cursor(row(j, k, l)), target);
+  }
+  [[nodiscard]] int lag(const Bounds&) const {
+    return std::max(1, m->row_reach);
+  }
+};
+
+/// Call `fn` with the chunk's operator view — the operator-kind analogue
+/// of the dims() dispatch the kernels already do.
+template <class Fn>
+inline void op_dispatch(const Chunk& c, Fn&& fn) {
+  switch (c.op_kind()) {
+    case OperatorKind::kCsr:
+      fn(CsrView(c));
+      return;
+    case OperatorKind::kSellCSigma:
+      fn(SellView(c));
+      return;
+    case OperatorKind::kStencil:
+      break;
+  }
+  if (c.dims() == 3) {
+    fn(StencilView<3>(c));
+  } else {
+    fn(StencilView<2>(c));
+  }
+}
+
+}  // namespace tealeaf

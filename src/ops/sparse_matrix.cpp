@@ -1,0 +1,127 @@
+#include "ops/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mesh/chunk.hpp"
+#include "util/error.hpp"
+
+namespace tealeaf {
+
+CsrMatrix assemble_from_stencil(const Chunk& c) {
+  const int nx = c.nx(), ny = c.ny(), nz = c.nz();
+  const bool three_d = c.dims() == 3;
+  const Field<double>& kx = c.kx();
+  const Field<double>& ky = c.ky();
+  const Field<double>& kz = c.kz();
+  const Field<double>& geom = c.u();  // any field: all share one geometry
+  const int per_row = three_d ? 7 : 5;
+
+  CsrMatrix m;
+  m.nrows = static_cast<std::int64_t>(nx) * ny * nz;
+  m.row_ptr.resize(m.nrows + 1);
+  m.cols.resize(m.nrows * per_row);
+  m.vals.resize(m.nrows * per_row);
+  // One inter-plane column hop moves the flattened row index by ny; one
+  // inter-row hop moves it by 1.  Boundary-face zeros are kept, so every
+  // row has the full stencil arity and the pairwise accumulation in the
+  // kernels never regroups.
+  m.row_reach = three_d ? ny : 1;
+
+  std::int64_t e = 0;
+  for (std::int64_t r = 0; r <= m.nrows; ++r) m.row_ptr[r] = r * per_row;
+  for (int l = 0; l < nz; ++l) {
+    for (int k = 0; k < ny; ++k) {
+      for (int j = 0; j < nx; ++j) {
+        const double ky_lo = ky(j, k, l), ky_hi = ky(j, k + 1, l);
+        const double kx_lo = kx(j, k, l), kx_hi = kx(j + 1, k, l);
+        // Same association as the matrix-free diagonal:
+        // ((1 + (ky_hi+ky_lo)) + (kx_hi+kx_lo)) [+ (kz_hi+kz_lo)].
+        double diag = 1.0 + (ky_hi + ky_lo) + (kx_hi + kx_lo);
+        if (three_d) diag += kz(j, k, l + 1) + kz(j, k, l);
+        m.cols[e] = static_cast<std::int64_t>(geom.index(j, k, l));
+        m.vals[e++] = diag;
+        m.cols[e] = static_cast<std::int64_t>(geom.index(j, k + 1, l));
+        m.vals[e++] = -ky_hi;
+        m.cols[e] = static_cast<std::int64_t>(geom.index(j, k - 1, l));
+        m.vals[e++] = -ky_lo;
+        m.cols[e] = static_cast<std::int64_t>(geom.index(j + 1, k, l));
+        m.vals[e++] = -kx_hi;
+        m.cols[e] = static_cast<std::int64_t>(geom.index(j - 1, k, l));
+        m.vals[e++] = -kx_lo;
+        if (three_d) {
+          m.cols[e] = static_cast<std::int64_t>(geom.index(j, k, l + 1));
+          m.vals[e++] = -kz(j, k, l + 1);
+          m.cols[e] = static_cast<std::int64_t>(geom.index(j, k, l - 1));
+          m.vals[e++] = -kz(j, k, l);
+        }
+      }
+    }
+  }
+  TEA_ASSERT(e == static_cast<std::int64_t>(m.vals.size()),
+             "assembled entry count mismatch");
+  return m;
+}
+
+double SellMatrix::fill_ratio() const {
+  const std::int64_t padded =
+      slice_ptr.empty() ? 0 : slice_ptr.back();
+  const std::int64_t true_nnz =
+      std::accumulate(row_len.begin(), row_len.end(), std::int64_t{0});
+  return true_nnz > 0 ? static_cast<double>(padded) /
+                            static_cast<double>(true_nnz)
+                      : 1.0;
+}
+
+SellMatrix sell_from_csr(const CsrMatrix& csr, int C, int sigma) {
+  TEA_REQUIRE(C > 0 && sigma > 0, "SELL-C-sigma needs positive C and sigma");
+  SellMatrix s;
+  s.chunk_c = C;
+  s.sigma = sigma;
+  s.nrows = csr.nrows;
+  s.row_reach = csr.row_reach;
+  s.row_len.resize(csr.nrows);
+  for (std::int64_t r = 0; r < csr.nrows; ++r)
+    s.row_len[r] = csr.row_len(r);
+
+  // Sort rows by descending length inside each σ window — a storage
+  // permutation only (stable, so equal-length rows keep sweep order and a
+  // stencil-assembled matrix gets the identity permutation).
+  std::vector<std::int64_t> order(csr.nrows);
+  std::iota(order.begin(), order.end(), std::int64_t{0});
+  for (std::int64_t w = 0; w < csr.nrows; w += sigma) {
+    const std::int64_t hi = std::min<std::int64_t>(w + sigma, csr.nrows);
+    std::stable_sort(order.begin() + w, order.begin() + hi,
+                     [&](std::int64_t a, std::int64_t b) {
+                       return s.row_len[a] > s.row_len[b];
+                     });
+  }
+  s.slot.resize(csr.nrows);
+  for (std::int64_t p = 0; p < csr.nrows; ++p) s.slot[order[p]] = p;
+
+  const std::int64_t nslices = (csr.nrows + C - 1) / C;
+  s.slice_ptr.resize(nslices + 1);
+  s.slice_ptr[0] = 0;
+  for (std::int64_t sl = 0; sl < nslices; ++sl) {
+    int width = 0;
+    for (std::int64_t p = sl * C;
+         p < std::min<std::int64_t>((sl + 1) * C, csr.nrows); ++p)
+      width = std::max(width, s.row_len[order[p]]);
+    s.slice_ptr[sl + 1] =
+        s.slice_ptr[sl] + static_cast<std::int64_t>(width) * C;
+  }
+  s.cols.assign(s.slice_ptr[nslices], 0);
+  s.vals.assign(s.slice_ptr[nslices], 0.0);
+  for (std::int64_t r = 0; r < csr.nrows; ++r) {
+    const std::int64_t p = s.slot[r];
+    const std::int64_t base = s.slice_ptr[p / C] + p % C;
+    const std::int64_t src = csr.row_ptr[r];
+    for (int i = 0; i < s.row_len[r]; ++i) {
+      s.cols[base + static_cast<std::int64_t>(i) * C] = csr.cols[src + i];
+      s.vals[base + static_cast<std::int64_t>(i) * C] = csr.vals[src + i];
+    }
+  }
+  return s;
+}
+
+}  // namespace tealeaf

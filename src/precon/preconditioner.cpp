@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ops/kernels.hpp"
+#include "ops/operator_view.hpp"
 #include "util/error.hpp"
 
 namespace tealeaf {
@@ -24,29 +25,33 @@ namespace kernels {
 void block_jacobi_init(Chunk& c) {
   auto& cp = c.cp();
   auto& bfp = c.bfp();
-  const auto& ky = c.ky();
   // Per column (j, l), factorise each 4-cell tridiagonal block:
-  //   sub(k)  = -Ky(j,k,l)   (coupling to the cell below, within-strip only)
-  //   diag(k) = 1 + ΣK faces (full operator diagonal)
-  //   sup(k)  = -Ky(j,k+1,l)
-  // bfp(k) stores the inverted pivot 1/(diag - sub·cp(k-1)); cp(k) stores
-  // sup·bfp(k).  Strip truncation at the chunk top falls out naturally.
-  for (int l = 0; l < c.nz(); ++l) {
-    for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
-      const int k1 = std::min(k0 + kJacBlockSize, c.ny());
-      for (int j = 0; j < c.nx(); ++j) {
-        double prev_cp = 0.0;
-        for (int k = k0; k < k1; ++k) {
-          const double sub = (k == k0) ? 0.0 : -ky(j, k, l);
-          const double sup = (k == k1 - 1) ? 0.0 : -ky(j, k + 1, l);
-          const double pivot = diag_at(c, j, k, l) - sub * prev_cp;
-          bfp(j, k, l) = 1.0 / pivot;
-          cp(j, k, l) = sup * bfp(j, k, l);
-          prev_cp = cp(j, k, l);
+  //   sub(k)  = the signed k−1 coupling (within-strip only)
+  //   diag(k) = the full operator diagonal
+  //   sup(k)  = the signed k+1 coupling
+  // all read through the chunk's OperatorView (stencil: −Ky faces;
+  // assembled: the stored row entries).  bfp(k) stores the inverted pivot
+  // 1/(diag - sub·cp(k-1)); cp(k) stores sup·bfp(k).  Strip truncation at
+  // the chunk top falls out naturally.
+  op_dispatch(c, [&](const auto& A) {
+    for (int l = 0; l < c.nz(); ++l) {
+      for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
+        const int k1 = std::min(k0 + kJacBlockSize, c.ny());
+        for (int j = 0; j < c.nx(); ++j) {
+          double prev_cp = 0.0;
+          for (int k = k0; k < k1; ++k) {
+            const double sub = (k == k0) ? 0.0 : A.coupling_k(j, k, l, -1);
+            const double sup =
+                (k == k1 - 1) ? 0.0 : A.coupling_k(j, k, l, +1);
+            const double pivot = A.diag(j, k, l) - sub * prev_cp;
+            bfp(j, k, l) = 1.0 / pivot;
+            cp(j, k, l) = sup * bfp(j, k, l);
+            prev_cp = cp(j, k, l);
+          }
         }
       }
     }
-  }
+  });
 }
 
 void block_jacobi_solve(Chunk& c, FieldId src_id, FieldId dst_id) {
@@ -54,34 +59,37 @@ void block_jacobi_solve(Chunk& c, FieldId src_id, FieldId dst_id) {
   auto& dst = c.field(dst_id);
   const auto& cp = c.cp();
   const auto& bfp = c.bfp();
-  const auto& ky = c.ky();
-  for (int l = 0; l < c.nz(); ++l) {
-    for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
-      const int k1 = std::min(k0 + kJacBlockSize, c.ny());
-      for (int j = 0; j < c.nx(); ++j) {
-        // Thomas forward sweep: y_k = (b_k − sub_k·y_{k−1})·bfp_k.
-        double prev = 0.0;
-        for (int k = k0; k < k1; ++k) {
-          const double sub = (k == k0) ? 0.0 : -ky(j, k, l);
-          prev = (src(j, k, l) - sub * prev) * bfp(j, k, l);
-          dst(j, k, l) = prev;
-        }
-        // Back substitution: x_k = y_k − cp_k·x_{k+1}.
-        for (int k = k1 - 2; k >= k0; --k) {
-          dst(j, k, l) -= cp(j, k, l) * dst(j, k + 1, l);
+  op_dispatch(c, [&](const auto& A) {
+    for (int l = 0; l < c.nz(); ++l) {
+      for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
+        const int k1 = std::min(k0 + kJacBlockSize, c.ny());
+        for (int j = 0; j < c.nx(); ++j) {
+          // Thomas forward sweep: y_k = (b_k − sub_k·y_{k−1})·bfp_k.
+          double prev = 0.0;
+          for (int k = k0; k < k1; ++k) {
+            const double sub = (k == k0) ? 0.0 : A.coupling_k(j, k, l, -1);
+            prev = (src(j, k, l) - sub * prev) * bfp(j, k, l);
+            dst(j, k, l) = prev;
+          }
+          // Back substitution: x_k = y_k − cp_k·x_{k+1}.
+          for (int k = k1 - 2; k >= k0; --k) {
+            dst(j, k, l) -= cp(j, k, l) * dst(j, k + 1, l);
+          }
         }
       }
     }
-  }
+  });
 }
 
 void diag_solve(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
   const auto& src = c.field(src_id);
   auto& dst = c.field(dst_id);
-  for (int l = b.llo; l < b.lhi; ++l)
-    for (int k = b.klo; k < b.khi; ++k)
-      for (int j = b.jlo; j < b.jhi; ++j)
-        dst(j, k, l) = src(j, k, l) / diag_at(c, j, k, l);
+  op_dispatch(c, [&](const auto& A) {
+    for (int l = b.llo; l < b.lhi; ++l)
+      for (int k = b.klo; k < b.khi; ++k)
+        for (int j = b.jlo; j < b.jhi; ++j)
+          dst(j, k, l) = src(j, k, l) / A.diag(j, k, l);
+  });
 }
 
 void apply_preconditioner(Chunk& c, PreconType type, FieldId src,

@@ -20,6 +20,9 @@ std::string RouteEntry::label() const {
   if (config.fuse_kernels) os << "/fused";
   if (config.tile_rows != 0) os << "/b" << config.tile_rows;
   if (dims == 3) os << "/3d";
+  if (config.op != OperatorKind::kStencil) {
+    os << "/" << to_string(config.op);
+  }
   return os.str();
 }
 
@@ -37,6 +40,12 @@ RouteEntry RouteEntry::validated() const {
     if (config.tile_rows != 0) {
       throw TeaError("route " + label() +
                      ": mg-pcg's fused path does not row-tile");
+    }
+    if (config.op != OperatorKind::kStencil) {
+      throw TeaError("route " + label() +
+                     ": mg-pcg rebuilds its hierarchy from the face "
+                     "coefficients, so it has no assembled-operator form — "
+                     "did you mean operator = stencil?");
     }
     return *this;
   }
@@ -61,6 +70,7 @@ RoutingTable RoutingTable::from_sweep(const SweepReport& report) {
     mc.entry.config.halo_depth = cell.config.halo_depth;
     mc.entry.config.fuse_kernels = cell.config.fused;
     mc.entry.config.tile_rows = cell.config.tile_rows;
+    mc.entry.config.op = operator_kind_from_string(cell.config.op);
     mc.entry.threads = cell.config.threads;
     mc.entry.mesh_n = cell.config.mesh_n;
     mc.entry.dims = cell.config.dims;
@@ -131,6 +141,11 @@ std::vector<RouteEntry> RoutingTable::route(int dims, int mesh_n, int nranks,
         SolveStats stats;
         stats.outer_iters = std::max(1, mc.iterations);
         stats.inner_steps = mc.inner_steps;
+        if (e.config.op != OperatorKind::kStencil) {
+          // Stencil-assembled fill: the measured nnz/row is not in the
+          // sweep table, but the conduction operator's is exactly this.
+          stats.nnz_per_row = 2.0 * dims + 1.0;
+        }
         const SolverRunSummary measured =
             SolverRunSummary::from(e.config, stats, nearest);
         const double base = source_model.run_seconds(measured, nranks);

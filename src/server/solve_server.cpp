@@ -46,6 +46,13 @@ SolveServer::Routed SolveServer::route_request(const SolveRequest& req,
       return e.config.halo_depth > max_halo;
     });
   }
+  if (!req.deck.matrix_file.empty()) {
+    // A loaded Matrix Market operator only exists on the assembled paths:
+    // stencil-operator routes (mg-pcg included) cannot serve this deck.
+    std::erase_if(ranked, [](const RouteEntry& e) {
+      return !e.native() || e.config.op == OperatorKind::kStencil;
+    });
+  }
   if (ranked.empty()) {
     r.config = req.deck.solver;
     return r;
@@ -60,6 +67,7 @@ SolveServer::Routed SolveServer::route_request(const SolveRequest& req,
   r.config.halo_depth = best.config.halo_depth;
   r.config.fuse_kernels = best.config.fuse_kernels;
   r.config.tile_rows = best.config.tile_rows;
+  r.config.op = best.config.op;
   r.label = best.label();
   r.fallbacks.assign(ranked.begin() + 1, ranked.end());
   return r;
@@ -85,7 +93,7 @@ SolveStats SolveServer::solve_solo(SolveSession& session,
     return st;
   }
   const SolverConfig resolved = cfg.validated();
-  session.prepare();
+  session.prepare(resolved.op);
   const SolveStats st = run_solver(session.cluster(), resolved);
   // On breakdown, u is garbage: skip the energy recovery so the session's
   // energy field stays intact and a retry can rebuild u0 from it.
@@ -168,7 +176,7 @@ std::vector<SolveResult> SolveServer::drain() {
         p.hinted = p.config.has_eig_hints();
         if (p.is_mg_pcg) continue;  // mg-pcg runs solo below
         p.config = p.config.validated();
-        p.session->prepare();
+        p.session->prepare(p.config.op);
         items.push_back({&p.session->cluster(), p.config, {}});
         batch.push_back(&p);
       }
@@ -233,6 +241,7 @@ std::vector<SolveResult> SolveServer::drain() {
               retry.halo_depth = e.config.halo_depth;
               retry.fuse_kernels = e.config.fuse_kernels;
               retry.tile_rows = e.config.tile_rows;
+              retry.op = e.config.op;
               retry_label = e.label();
               have_retry = true;
               break;
@@ -328,6 +337,7 @@ RunResult SolveServer::run(const InputDeck& deck, int nranks) {
         retry.halo_depth = e.config.halo_depth;
         retry.fuse_kernels = e.config.fuse_kernels;
         retry.tile_rows = e.config.tile_rows;
+        retry.op = e.config.op;
       }
       // The broken attempt skipped finish_solve: this step's input energy
       // is intact and the retry replays the SAME step from it.

@@ -1,6 +1,7 @@
 #include "solvers/solver.hpp"
 
 #include "model/machine.hpp"
+#include "ops/sparse_matrix.hpp"
 #include "solvers/cg.hpp"
 #include "solvers/chebyshev.hpp"
 #include "solvers/jacobi.hpp"
@@ -10,6 +11,15 @@
 namespace tealeaf {
 
 namespace {
+
+/// Record the measured fill of an assembled operator so the scaling model
+/// can price SpMV traffic from real nnz instead of the stencil constant.
+void note_operator_fill(const SimCluster2D& cl, SolveStats& stats) {
+  const Chunk& c = cl.chunk(0);
+  if (c.op_kind() != OperatorKind::kStencil && c.csr() != nullptr) {
+    stats.nnz_per_row = c.csr()->nnz_per_row();
+  }
+}
 
 /// Resolve tile_rows = -1 ("auto"): size the row-blocks from the default
 /// modelled machine's per-core L2 (spruce_hybrid, the same machine
@@ -27,27 +37,41 @@ SolverConfig resolve(const SimCluster2D& cl, const SolverConfig& cfg) {
 
 SolveStats run_solver(SimCluster2D& cl, const SolverConfig& cfg) {
   const SolverConfig resolved = resolve(cl, cfg);
+  SolveStats stats;
   switch (resolved.type) {
-    case SolverType::kJacobi: return JacobiSolver::solve(cl, resolved);
-    case SolverType::kCG: return CGSolver::solve(cl, resolved);
-    case SolverType::kChebyshev: return ChebyshevSolver::solve(cl, resolved);
-    case SolverType::kPPCG: return PPCGSolver::solve(cl, resolved);
+    case SolverType::kJacobi: stats = JacobiSolver::solve(cl, resolved); break;
+    case SolverType::kCG: stats = CGSolver::solve(cl, resolved); break;
+    case SolverType::kChebyshev:
+      stats = ChebyshevSolver::solve(cl, resolved);
+      break;
+    case SolverType::kPPCG: stats = PPCGSolver::solve(cl, resolved); break;
+    default: TEA_ASSERT(false, "invalid solver type");
   }
-  TEA_ASSERT(false, "invalid solver type");
+  note_operator_fill(cl, stats);
+  return stats;
 }
 
 SolveStats run_solver_team(SimCluster2D& cl, const SolverConfig& cfg,
                            const Team& team) {
   const SolverConfig resolved = resolve(cl, cfg);
+  SolveStats stats;
   switch (resolved.type) {
     case SolverType::kJacobi:
-      return JacobiSolver::solve_team(cl, resolved, team);
-    case SolverType::kCG: return CGSolver::solve_team(cl, resolved, team);
+      stats = JacobiSolver::solve_team(cl, resolved, team);
+      break;
+    case SolverType::kCG:
+      stats = CGSolver::solve_team(cl, resolved, team);
+      break;
     case SolverType::kChebyshev:
-      return ChebyshevSolver::solve_team(cl, resolved, &team);
-    case SolverType::kPPCG: return PPCGSolver::solve_team(cl, resolved, &team);
+      stats = ChebyshevSolver::solve_team(cl, resolved, &team);
+      break;
+    case SolverType::kPPCG:
+      stats = PPCGSolver::solve_team(cl, resolved, &team);
+      break;
+    default: TEA_ASSERT(false, "invalid solver type");
   }
-  TEA_ASSERT(false, "invalid solver type");
+  note_operator_fill(cl, stats);
+  return stats;
 }
 
 }  // namespace tealeaf

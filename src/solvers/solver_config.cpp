@@ -32,8 +32,10 @@ PreconType precon_type_from_string(const std::string& s) {
 std::size_t SweepSpec::num_cases() const {
   const std::size_t meshes = mesh_sizes.empty() ? 1 : mesh_sizes.size();
   const std::size_t geoms = geometries.empty() ? 1 : geometries.size();
+  const std::size_t ops = operators.empty() ? 1 : operators.size();
   return solvers.size() * precons.size() * halo_depths.size() * meshes *
-         thread_counts.size() * fused.size() * tile_rows.size() * geoms;
+         thread_counts.size() * fused.size() * tile_rows.size() * geoms *
+         ops;
 }
 
 void SweepSpec::validate() const {
@@ -63,6 +65,9 @@ void SweepSpec::validate() const {
   for (const int d : geometries) {
     TEA_REQUIRE(d == 2 || d == 3, "sweep: geometry values must be 2d or 3d");
   }
+  for (const std::string& o : operators) {
+    operator_kind_from_string(o);  // throws if unknown
+  }
   TEA_REQUIRE(ranks >= 1, "sweep: need at least one simulated rank");
 }
 
@@ -87,6 +92,13 @@ void SolverConfig::validate() const {
   if (fuse_cg_reductions) {
     TEA_REQUIRE(type == SolverType::kCG,
                 "fused reductions are a CG-only restructuring");
+  }
+  if (op != OperatorKind::kStencil) {
+    TEA_REQUIRE(halo_depth == 1,
+                "assembled operators (csr, sell-c-sigma) store interior "
+                "rows only, so the matrix-powers extended sweeps of "
+                "halo_depth > 1 cannot run over them — use "
+                "tl_operator = stencil for matrix-powers, or halo depth 1");
   }
   TEA_REQUIRE(tile_rows >= -1,
               "tile_rows must be a row count, 0 (untiled) or -1 (auto)");

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "ops/operator_kind.hpp"
 #include "precon/preconditioner.hpp"
 
 namespace tealeaf {
@@ -94,6 +95,15 @@ struct SolverConfig {
   /// Iterates and iteration counts are bitwise identical for every value.
   int tile_rows = 0;
 
+  /// Operator representation the solve traverses (tl_operator).  kStencil
+  /// is the classic matrix-free path; kCsr / kSellCSigma run the same
+  /// solvers over an assembled sparse matrix (assembled from the stencil
+  /// coefficients at prepare time, or loaded from a Matrix Market deck).
+  /// Assembled operators store interior rows only, so they are limited to
+  /// halo_depth == 1 (the matrix-powers extended sweeps would need
+  /// assembled halo rows).
+  OperatorKind op = OperatorKind::kStencil;
+
   /// Throws TeaError on inconsistent combinations, e.g. block-Jacobi with
   /// matrix-powers depth > 1 (the strips would need fresh whole-block
   /// data every inner step — paper §IV-C2 last paragraph).
@@ -140,6 +150,13 @@ struct SweepSpec {
   /// and its dimension-generic multigrid hierarchy included — runs in
   /// both geometries.
   std::vector<int> geometries;
+  /// Operator-format axis (`sweep_operator = stencil,csr,sell-c-sigma`):
+  /// the ninth design-space dimension, A/B-ing SolverConfig::op — the
+  /// matrix-free stencil against the assembled storage formats.
+  /// Assembled cells only combine with halo depth 1 and the native
+  /// solvers (mg-pcg rebuilds its hierarchy from face coefficients), so
+  /// other combinations are enumerated but skipped.
+  std::vector<std::string> operators = {"stencil"};
   int ranks = 4;                         ///< simulated ranks per run
 
   [[nodiscard]] bool requested() const { return !solvers.empty(); }
@@ -170,6 +187,10 @@ struct SolveStats {
   double initial_norm = 0.0;     ///< sqrt of the initial convergence metric
   double final_norm = 0.0;       ///< sqrt of the final convergence metric
   double solve_seconds = 0.0;    ///< wall-clock of the simulated solve
+  /// Measured fill of the assembled operator (0 = matrix-free stencil).
+  /// The scaling model prices SpMV traffic from this instead of the
+  /// stencil's fixed bytes-per-cell when it is set.
+  double nnz_per_row = 0.0;
 };
 
 }  // namespace tealeaf

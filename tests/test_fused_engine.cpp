@@ -14,6 +14,7 @@
 namespace tealeaf {
 namespace {
 
+using testing::install_operator;
 using testing::make_test_problem;
 using testing::max_field_diff;
 
@@ -177,6 +178,9 @@ struct EngineCase {
   PreconType precon;
   int halo_depth;
   bool chrono;  // fuse_cg_reductions (CG only)
+  // Both configs share the operator kind, so assembled cases check the
+  // fused ≡ unfused contract on the CSR / SELL-C-σ SpMV paths too.
+  OperatorKind op = OperatorKind::kStencil;
 };
 
 class FusedEngineEquivalence : public ::testing::TestWithParam<EngineCase> {};
@@ -188,11 +192,14 @@ TEST_P(FusedEngineEquivalence, SameIterationsResidualsAndCommStats) {
   cfg.precon = ec.precon;
   cfg.halo_depth = ec.halo_depth;
   cfg.fuse_cg_reductions = ec.chrono;
+  cfg.op = ec.op;
   cfg.eps = (ec.type == SolverType::kJacobi) ? 1e-5 : 1e-10;
   cfg.max_iters = (ec.type == SolverType::kJacobi) ? 100000 : 10000;
 
   auto a = make_test_problem(32, 4, std::max(2, ec.halo_depth), 8.0);
   auto b = make_test_problem(32, 4, std::max(2, ec.halo_depth), 8.0);
+  install_operator(*a, ec.op);
+  install_operator(*b, ec.op);
   SolverConfig fused_cfg = cfg;
   fused_cfg.fuse_kernels = true;
   const SolveStats su = run_solver(*a, cfg);
@@ -240,13 +247,38 @@ INSTANTIATE_TEST_SUITE_P(
         EngineCase{SolverType::kPPCG, PreconType::kJacobiDiag, 1, false},
         EngineCase{SolverType::kPPCG, PreconType::kJacobiBlock, 1, false},
         EngineCase{SolverType::kPPCG, PreconType::kNone, 4, false},
-        EngineCase{SolverType::kPPCG, PreconType::kJacobiDiag, 4, false}),
+        EngineCase{SolverType::kPPCG, PreconType::kJacobiDiag, 4, false},
+        // Assembled operators (CSR / SELL-C-σ, halo depth 1 by contract):
+        // the same fused ≡ unfused guarantee holds on the SpMV-from-matrix
+        // paths for every solver family and preconditioner.
+        EngineCase{SolverType::kJacobi, PreconType::kNone, 1, false,
+                   OperatorKind::kCsr},
+        EngineCase{SolverType::kCG, PreconType::kNone, 1, false,
+                   OperatorKind::kCsr},
+        EngineCase{SolverType::kCG, PreconType::kJacobiBlock, 1, false,
+                   OperatorKind::kCsr},
+        EngineCase{SolverType::kCG, PreconType::kJacobiDiag, 1, true,
+                   OperatorKind::kCsr},
+        EngineCase{SolverType::kChebyshev, PreconType::kJacobiDiag, 1, false,
+                   OperatorKind::kCsr},
+        EngineCase{SolverType::kPPCG, PreconType::kNone, 1, false,
+                   OperatorKind::kCsr},
+        EngineCase{SolverType::kCG, PreconType::kNone, 1, false,
+                   OperatorKind::kSellCSigma},
+        EngineCase{SolverType::kCG, PreconType::kJacobiBlock, 1, false,
+                   OperatorKind::kSellCSigma},
+        EngineCase{SolverType::kChebyshev, PreconType::kNone, 1, false,
+                   OperatorKind::kSellCSigma},
+        EngineCase{SolverType::kPPCG, PreconType::kJacobiDiag, 1, false,
+                   OperatorKind::kSellCSigma}),
     [](const auto& info) {
       const EngineCase& ec = info.param;
       std::string name = std::string(to_string(ec.type)) + "_" +
                          to_string(ec.precon) + "_d" +
                          std::to_string(ec.halo_depth);
       if (ec.chrono) name += "_chrono";
+      if (ec.op == OperatorKind::kCsr) name += "_csr";
+      if (ec.op == OperatorKind::kSellCSigma) name += "_sell";
       return name;
     });
 

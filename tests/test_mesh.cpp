@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "mesh/chunk.hpp"
-#include "mesh/field2d.hpp"
+#include "mesh/field.hpp"
 #include "mesh/mesh.hpp"
 
 namespace tealeaf {

@@ -269,6 +269,9 @@ struct TiledCase {
   int halo_depth;
   bool chrono;
   int tile_rows;
+  // Shared by both configs: assembled cases check the tiled row-blocking
+  // against the untiled fused run on the CSR / SELL-C-σ SpMV paths.
+  OperatorKind op = OperatorKind::kStencil;
 };
 
 class TiledEngineEquivalence : public ::testing::TestWithParam<TiledCase> {};
@@ -281,11 +284,14 @@ TEST_P(TiledEngineEquivalence, BitwiseIdenticalToUntiledFused) {
   cfg.halo_depth = tc.halo_depth;
   cfg.fuse_cg_reductions = tc.chrono;
   cfg.fuse_kernels = true;
+  cfg.op = tc.op;
   cfg.eps = (tc.type == SolverType::kJacobi) ? 1e-5 : 1e-10;
   cfg.max_iters = (tc.type == SolverType::kJacobi) ? 100000 : 10000;
 
   auto a = make_test_problem(32, 4, std::max(2, tc.halo_depth), 8.0);
   auto b = make_test_problem(32, 4, std::max(2, tc.halo_depth), 8.0);
+  testing::install_operator(*a, tc.op);
+  testing::install_operator(*b, tc.op);
   SolverConfig tiled_cfg = cfg;
   tiled_cfg.tile_rows = tc.tile_rows;
   const SolveStats su = run_solver(*a, cfg);
@@ -331,7 +337,30 @@ INSTANTIATE_TEST_SUITE_P(
         TiledCase{SolverType::kPPCG, PreconType::kNone, 1, false, 5},
         TiledCase{SolverType::kPPCG, PreconType::kJacobiDiag, 1, false, 3},
         TiledCase{SolverType::kPPCG, PreconType::kNone, 4, false, 5},
-        TiledCase{SolverType::kPPCG, PreconType::kJacobiDiag, 4, false, 1}),
+        TiledCase{SolverType::kPPCG, PreconType::kJacobiDiag, 4, false, 1},
+        // Assembled operators: row-blocked SpMV over CSR / SELL-C-σ must
+        // stay bitwise identical to the untiled fused run, including the
+        // deferred-edge schedule at awkward tile heights.
+        TiledCase{SolverType::kJacobi, PreconType::kNone, 1, false, 3,
+                  OperatorKind::kCsr},
+        TiledCase{SolverType::kCG, PreconType::kNone, 1, false, 1,
+                  OperatorKind::kCsr},
+        TiledCase{SolverType::kCG, PreconType::kJacobiBlock, 1, false, 5,
+                  OperatorKind::kCsr},
+        TiledCase{SolverType::kCG, PreconType::kJacobiDiag, 1, true, 7,
+                  OperatorKind::kCsr},
+        TiledCase{SolverType::kChebyshev, PreconType::kNone, 1, false, 4,
+                  OperatorKind::kCsr},
+        TiledCase{SolverType::kPPCG, PreconType::kJacobiDiag, 1, false, 5,
+                  OperatorKind::kCsr},
+        TiledCase{SolverType::kCG, PreconType::kNone, 1, false, 7,
+                  OperatorKind::kSellCSigma},
+        TiledCase{SolverType::kCG, PreconType::kJacobiBlock, 1, false, 3,
+                  OperatorKind::kSellCSigma},
+        TiledCase{SolverType::kChebyshev, PreconType::kJacobiDiag, 1, false, 5,
+                  OperatorKind::kSellCSigma},
+        TiledCase{SolverType::kPPCG, PreconType::kNone, 1, false, 1000,
+                  OperatorKind::kSellCSigma}),
     [](const auto& info) {
       const TiledCase& tc = info.param;
       std::string name = std::string(to_string(tc.type)) + "_" +
@@ -339,6 +368,8 @@ INSTANTIATE_TEST_SUITE_P(
                          std::to_string(tc.halo_depth) + "_b" +
                          std::to_string(tc.tile_rows);
       if (tc.chrono) name += "_chrono";
+      if (tc.op == OperatorKind::kCsr) name += "_csr";
+      if (tc.op == OperatorKind::kSellCSigma) name += "_sell";
       return name;
     });
 
