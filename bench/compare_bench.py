@@ -132,12 +132,33 @@ def extract_pr7(doc):
     return metrics
 
 
+def extract_pr8(doc):
+    """pipelined engine: per-geometry cells/iters in each solver entry."""
+    metrics = {}
+    for entry in doc["solvers"]:
+        name = entry["solver"]
+        for dims in ("2d", "3d"):
+            d = entry[dims]
+            cells = d["cells"]
+            iters = d["iters"]
+            for kind, key in (
+                ("fused", "fused_seconds"),
+                ("tiled", "tiled_seconds"),
+                ("pipelined", "pipelined_seconds"),
+            ):
+                m = per_cell_iter(d[key], cells, iters)
+                if m is not None:
+                    metrics[f"{name}/{dims}/{kind}"] = m
+    return metrics
+
+
 EXTRACTORS = (
     ("fused-vs-unfused", extract_pr2),
     ("tile-size scan", extract_pr3),
     ("2-D vs 3-D", extract_pr4),
     ("solve-server", extract_pr6),
     ("assembled operators", extract_pr7),
+    ("pipelined execution engine", extract_pr8),
 )
 
 

@@ -119,7 +119,7 @@ void SolveSession::prepare(OperatorKind op) {
 
 SolveStats SolveSession::solve_prepared_team(const SolverConfig& cfg,
                                              const Team& team) {
-  return run_solver_team(*cluster_, cfg, team);
+  return run_solver_team(*cluster_, cfg, team, machine_);
 }
 
 void SolveSession::finish_solve(const SolveStats& stats) {
@@ -147,7 +147,7 @@ SolveStats SolveSession::solve(const SolverConfig& cfg) {
               "SolveSession::solve: config needs a deeper halo than this "
               "session allocated (construct with halo_override)");
   prepare(checked.op);
-  const SolveStats stats = run_solver(*cluster_, checked);
+  const SolveStats stats = run_solver(*cluster_, checked, machine_);
   finish_solve(stats);
   return stats;
 }

@@ -8,6 +8,7 @@
 
 #include "comm/sim_comm.hpp"
 #include "driver/deck.hpp"
+#include "model/machine.hpp"
 #include "solvers/solver_config.hpp"
 
 namespace tealeaf {
@@ -164,6 +165,13 @@ class SolveSession {
   [[nodiscard]] SolverConfig with_eig_hints(SolverConfig cfg) const;
   void forget_eig_estimate() { eig_min_ = eig_max_ = 0.0; }
 
+  /// Machine the session's runs model (default spruce_hybrid): resolves
+  /// `auto` tile heights against ITS per-core L2 instead of always the
+  /// default machine's.  The sweep sets this from SweepOptions::machine
+  /// so a swept auto cell and the comm pricing describe the same system.
+  void set_machine(const MachineSpec& machine) { machine_ = machine; }
+  [[nodiscard]] const MachineSpec& machine() const { return machine_; }
+
  private:
   InputDeck deck_;
   ProblemShape shape_;
@@ -172,6 +180,7 @@ class SolveSession {
   int solves_taken_ = 0;
   double eig_min_ = 0.0;
   double eig_max_ = 0.0;
+  MachineSpec machine_ = machines::spruce_hybrid();
   /// Matrix Market memo: the CSR built from deck_.matrix_file, keyed by
   /// the path it came from (reloaded only when the path changes).
   std::string loaded_matrix_path_;

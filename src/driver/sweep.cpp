@@ -29,6 +29,7 @@ std::string SweepCase::label() const {
      << mesh_n << "/t" << threads;
   if (fused) os << "/fused";
   if (tile_rows != 0) os << "/b" << tile_rows;
+  if (pipeline) os << "/pipe";
   if (dims == 3) os << "/3d";
   if (op != "stencil") os << "/" << op;
   return os.str();
@@ -58,8 +59,10 @@ std::vector<SweepCase> enumerate_cases(const SweepSpec& spec, int base_mesh,
               for (const int tile : spec.tile_rows) {
                 for (const int dims : geometries) {
                   for (const std::string& op : operators) {
-                    cases.push_back({solver, precon, depth, mesh, threads,
-                                     fused != 0, tile, dims, op});
+                    for (const int pipe : spec.pipeline) {
+                      cases.push_back({solver, precon, depth, mesh, threads,
+                                       fused != 0, tile, dims, op, pipe != 0});
+                    }
                   }
                 }
               }
@@ -115,8 +118,11 @@ class ThreadScope {
 /// Run one cell with a SolverType solver through the SolveSession facade
 /// (the same entry path TeaLeafApp and the solve server use).
 void run_native_cell(const InputDeck& deck, int ranks, int steps,
-                     SweepOutcome& out) {
+                     const MachineSpec& machine, SweepOutcome& out) {
   SolveSession session(deck, ranks);
+  // An `auto` tile height resolves against the swept machine's L2, so the
+  // cell's execution and its comm pricing describe the same system.
+  session.set_machine(machine);
   session.cluster().reset_stats();
   out.converged = true;
   for (int s = 0; s < steps; ++s) {
@@ -269,6 +275,7 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
     deck.solver.fuse_kernels = cs.fused;
     deck.solver.tile_rows = cs.tile_rows;
     deck.solver.op = operator_kind_from_string(cs.op);
+    deck.solver.pipeline = cs.pipeline;
 
     const bool mg_pcg = cs.solver == "mg-pcg";
     if (cs.tile_rows != 0 && !cs.fused) {
@@ -276,6 +283,12 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
       // would silently measure the untiled path.
       out.skipped = true;
       out.skip_reason = "row tiling requires the fused execution engine";
+    } else if (cs.pipeline && !cs.fused) {
+      // Likewise the pipelined engine schedules the fused engine's
+      // row-blocks; an unfused×pipelined cell has no pipelined path.
+      out.skipped = true;
+      out.skip_reason =
+          "cross-kernel pipelining requires the fused execution engine";
     } else if (mg_pcg && deck.solver.op != OperatorKind::kStencil) {
       out.skipped = true;
       out.skip_reason =
@@ -294,6 +307,9 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
       } else if (cs.tile_rows != 0) {
         out.skipped = true;
         out.skip_reason = "mg-pcg's fused path does not row-tile";
+      } else if (cs.pipeline) {
+        out.skipped = true;
+        out.skip_reason = "mg-pcg's fused path does not pipeline";
       }
     } else {
       deck.solver.type = solver_type_from_string(cs.solver);
@@ -311,7 +327,7 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
         if (mg_pcg) {
           run_mg_pcg_cell(deck, steps, cs.fused, out);
         } else {
-          run_native_cell(deck, spec.ranks, steps, out);
+          run_native_cell(deck, spec.ranks, steps, opts.machine, out);
         }
       } catch (const TeaError& e) {
         // A solver contract violation mid-run fails this row only; the
@@ -381,13 +397,13 @@ std::vector<double> SweepReport::speedups() const {
 namespace {
 
 constexpr const char* kCsvColumns[] = {
-    "solver",      "precon",        "halo_depth",  "mesh",
-    "threads",     "fused",         "tile_rows",   "geometry",
-    "operator",    "sweep_ranks",   "sweep_steps", "status",
-    "converged",   "iterations",    "inner_steps", "spmv",
-    "reductions",  "exchanges",     "messages",    "message_bytes",
-    "final_norm",  "solve_seconds", "comm_seconds", "speedup",
-    "rank"};
+    "solver",      "precon",        "halo_depth",   "mesh",
+    "threads",     "fused",         "tile_rows",    "pipeline",
+    "geometry",    "operator",      "sweep_ranks",  "sweep_steps",
+    "status",      "converged",     "iterations",   "inner_steps",
+    "spmv",        "reductions",    "exchanges",    "messages",
+    "message_bytes", "final_norm",  "solve_seconds", "comm_seconds",
+    "speedup",     "rank"};
 
 /// Strict numeric cell parsers: the whole cell must convert, and failures
 /// surface as TeaError like every other malformed-input path.
@@ -438,7 +454,8 @@ std::vector<std::string> SweepReport::to_csv_lines() const {
         c.skipped ? "skipped" : (!c.fail_reason.empty() ? "failed" : "ok");
     csv.row(c.config.solver, to_string(c.config.precon), c.config.halo_depth,
             c.config.mesh_n, c.config.threads, c.config.fused ? 1 : 0,
-            c.config.tile_rows, c.config.dims == 3 ? "3d" : "2d",
+            c.config.tile_rows, c.config.pipeline ? 1 : 0,
+            c.config.dims == 3 ? "3d" : "2d",
             c.config.op, ranks, steps, status, c.converged ? 1 : 0,
             c.iterations, c.inner_steps, c.spmv, c.reductions, c.exchanges,
             c.messages, c.message_bytes, fmt_double(c.final_norm),
@@ -481,27 +498,28 @@ SweepReport SweepReport::from_csv_lines(
     out.config.threads = csv_int(f[4], "threads");
     out.config.fused = csv_int(f[5], "fused") != 0;
     out.config.tile_rows = csv_int(f[6], "tile_rows");
-    TEA_REQUIRE(f[7] == "2d" || f[7] == "3d", "sweep csv: bad geometry");
-    out.config.dims = f[7] == "3d" ? 3 : 2;
-    operator_kind_from_string(f[8]);  // throws on an unknown kind
-    out.config.op = f[8];
-    report.ranks = csv_int(f[9], "sweep_ranks");
-    report.steps = csv_int(f[10], "sweep_steps");
-    out.skipped = f[11] == "skipped";
+    out.config.pipeline = csv_int(f[7], "pipeline") != 0;
+    TEA_REQUIRE(f[8] == "2d" || f[8] == "3d", "sweep csv: bad geometry");
+    out.config.dims = f[8] == "3d" ? 3 : 2;
+    operator_kind_from_string(f[9]);  // throws on an unknown kind
+    out.config.op = f[9];
+    report.ranks = csv_int(f[10], "sweep_ranks");
+    report.steps = csv_int(f[11], "sweep_steps");
+    out.skipped = f[12] == "skipped";
     // The CSV form reduces fail_reason to the status keyword (free-text
     // reasons may contain commas); JSON carries the full text.
-    if (f[11] == "failed") out.fail_reason = "failed";
-    out.converged = csv_int(f[12], "converged") != 0;
-    out.iterations = csv_int(f[13], "iterations");
-    out.inner_steps = csv_ll(f[14], "inner_steps");
-    out.spmv = csv_ll(f[15], "spmv");
-    out.reductions = csv_ll(f[16], "reductions");
-    out.exchanges = csv_ll(f[17], "exchanges");
-    out.messages = csv_ll(f[18], "messages");
-    out.message_bytes = csv_ll(f[19], "message_bytes");
-    out.final_norm = csv_double(f[20], "final_norm");
-    out.solve_seconds = csv_double(f[21], "solve_seconds");
-    out.comm_seconds = csv_double(f[22], "comm_seconds");
+    if (f[12] == "failed") out.fail_reason = "failed";
+    out.converged = csv_int(f[13], "converged") != 0;
+    out.iterations = csv_int(f[14], "iterations");
+    out.inner_steps = csv_ll(f[15], "inner_steps");
+    out.spmv = csv_ll(f[16], "spmv");
+    out.reductions = csv_ll(f[17], "reductions");
+    out.exchanges = csv_ll(f[18], "exchanges");
+    out.messages = csv_ll(f[19], "messages");
+    out.message_bytes = csv_ll(f[20], "message_bytes");
+    out.final_norm = csv_double(f[21], "final_norm");
+    out.solve_seconds = csv_double(f[22], "solve_seconds");
+    out.comm_seconds = csv_double(f[23], "comm_seconds");
     // The last two columns (speedup, rank) are derived; recomputed on
     // demand from the parsed cells.
     report.cells.push_back(std::move(out));
@@ -525,6 +543,7 @@ io::JsonValue SweepReport::to_json() const {
     cell.set("threads", c.config.threads);
     cell.set("fused", c.config.fused);
     cell.set("tile_rows", c.config.tile_rows);
+    cell.set("pipeline", c.config.pipeline);
     cell.set("geometry", c.config.dims == 3 ? "3d" : "2d");
     cell.set("operator", c.config.op);
     cell.set("skipped", c.skipped);
@@ -579,6 +598,9 @@ SweepReport SweepReport::from_json(const io::JsonValue& doc) {
     if (cell.contains("tile_rows")) {
       out.config.tile_rows =
           static_cast<int>(cell.at("tile_rows").as_number());
+    }
+    if (cell.contains("pipeline")) {
+      out.config.pipeline = cell.at("pipeline").as_bool();
     }
     if (cell.contains("geometry")) {
       out.config.dims = cell.at("geometry").as_string() == "3d" ? 3 : 2;

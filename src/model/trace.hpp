@@ -27,6 +27,12 @@ struct SolverRunSummary {
   /// the scaling model uses this to pick the blocked-cache bytes/cell
   /// variants.
   int tile_rows = 0;
+  /// Whether the pipelined execution engine ran (cross-kernel row-block
+  /// chaining; false under the unfused engine whatever the knob says).
+  /// Pipelining never changes the communication structure — the scaling
+  /// model uses it to pick the chained bytes/cell variants when the
+  /// row-block also fits the modelled L2.
+  bool pipeline = false;
 
   int outer_iters = 0;     ///< iterations after the eigenvalue presteps
   int eigen_cg_iters = 0;  ///< CG presteps (Chebyshev / PPCG)

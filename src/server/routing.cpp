@@ -19,6 +19,7 @@ std::string RouteEntry::label() const {
      << config.halo_depth << "/n" << mesh_n;
   if (config.fuse_kernels) os << "/fused";
   if (config.tile_rows != 0) os << "/b" << config.tile_rows;
+  if (config.pipeline) os << "/pipe";
   if (dims == 3) os << "/3d";
   if (config.op != OperatorKind::kStencil) {
     os << "/" << to_string(config.op);
@@ -40,6 +41,10 @@ RouteEntry RouteEntry::validated() const {
     if (config.tile_rows != 0) {
       throw TeaError("route " + label() +
                      ": mg-pcg's fused path does not row-tile");
+    }
+    if (config.pipeline) {
+      throw TeaError("route " + label() +
+                     ": mg-pcg's fused path does not pipeline");
     }
     if (config.op != OperatorKind::kStencil) {
       throw TeaError("route " + label() +
@@ -70,6 +75,7 @@ RoutingTable RoutingTable::from_sweep(const SweepReport& report) {
     mc.entry.config.halo_depth = cell.config.halo_depth;
     mc.entry.config.fuse_kernels = cell.config.fused;
     mc.entry.config.tile_rows = cell.config.tile_rows;
+    mc.entry.config.pipeline = cell.config.pipeline;
     mc.entry.config.op = operator_kind_from_string(cell.config.op);
     mc.entry.threads = cell.config.threads;
     mc.entry.mesh_n = cell.config.mesh_n;

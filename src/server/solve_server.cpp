@@ -67,6 +67,7 @@ SolveServer::Routed SolveServer::route_request(const SolveRequest& req,
   r.config.halo_depth = best.config.halo_depth;
   r.config.fuse_kernels = best.config.fuse_kernels;
   r.config.tile_rows = best.config.tile_rows;
+  r.config.pipeline = best.config.pipeline;
   r.config.op = best.config.op;
   r.label = best.label();
   r.fallbacks.assign(ranked.begin() + 1, ranked.end());
@@ -241,6 +242,7 @@ std::vector<SolveResult> SolveServer::drain() {
               retry.halo_depth = e.config.halo_depth;
               retry.fuse_kernels = e.config.fuse_kernels;
               retry.tile_rows = e.config.tile_rows;
+              retry.pipeline = e.config.pipeline;
               retry.op = e.config.op;
               retry_label = e.label();
               have_retry = true;
@@ -337,6 +339,7 @@ RunResult SolveServer::run(const InputDeck& deck, int nranks) {
         retry.halo_depth = e.config.halo_depth;
         retry.fuse_kernels = e.config.fuse_kernels;
         retry.tile_rows = e.config.tile_rows;
+        retry.pipeline = e.config.pipeline;
         retry.op = e.config.op;
       }
       // The broken attempt skipped finish_solve: this step's input energy

@@ -65,13 +65,41 @@ void cheby_iteration(SimCluster2D& cl, PreconType precon, double alpha,
 /// the deferred block-edge updates — still bitwise identical (same
 /// per-cell arithmetic; see kernels::cheby_step_tile).  Block-Jacobi's
 /// strip solve couples rows, so that composition stays per-rank.
+/// With `pipeline` the iterate runs as a ONE-stage chain of the pipelined
+/// engine: the barrier between the stencil pass and the deferred edge
+/// updates becomes per-block tick waits, and on check iterations the
+/// residual's per-row dot partials deposit right inside the edge pass —
+/// block b's rows are final the moment its edge pass ran, so the ‖r‖²
+/// sweep costs no extra pass and no extra barrier (the row/rank-ordered
+/// combine keeps the value bitwise identical).  Block-Jacobi's strip
+/// solve couples rows, so that composition runs the per-rank path.
 double cheby_iteration_team(SimCluster2D& cl, PreconType precon, double alpha,
                             double beta, bool check, int tile_rows,
-                            const Team& t) {
+                            bool pipeline, const Team& t) {
   const bool diag = (precon == PreconType::kJacobiDiag);
   const int tile = (precon == PreconType::kJacobiBlock) ? 0 : tile_rows;
+  const bool pipe = pipeline && precon != PreconType::kJacobiBlock;
   const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
   cl.exchange(&t, {FieldId::kP}, 1);
+  if (pipe) {
+    cl.run_pipeline_chain(
+        &t, tile, /*stages=*/1, interior,
+        [&](int, Chunk2D& c, int, const Bounds& tb) {
+          kernels::cheby_step_tile(c, FieldId::kR, FieldId::kP, FieldId::kU,
+                                   alpha, beta, diag, interior_bounds(c), tb);
+        },
+        [&](int, Chunk2D& c, int, const Bounds& tb) {
+          kernels::cheby_step_tile_edges(c, FieldId::kR, FieldId::kP,
+                                         FieldId::kU, alpha, beta, diag,
+                                         interior_bounds(c), tb);
+          if (check) {
+            kernels::dot_rows(c, FieldId::kR, FieldId::kR, tb,
+                              c.row_scratch());
+          }
+        });
+    if (!check) return 0.0;
+    return cl.combine_row_partials(&t);
+  }
   if (tile > 0) {
     cl.for_each_tile(&t, tile, interior,
                      [&](int, Chunk2D& c, const Bounds& tb) {
@@ -188,7 +216,7 @@ SolveStats ChebyshevSolver::solve_team(SimCluster2D& cl,
     if (team != nullptr) {
       const double rr_t = cheby_iteration_team(
           cl, cfg.precon, cc.alphas[step], cc.betas[step], check,
-          cfg.tile_rows, *team);
+          cfg.tile_rows, cfg.pipeline, *team);
       if (check) rr = rr_t;
     } else {
       cheby_iteration(cl, cfg.precon, cc.alphas[step], cc.betas[step]);

@@ -18,6 +18,7 @@ SolveStats JacobiSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
   Timer timer;
   SolveStats st;
   const int tile = cfg.tile_rows;
+  const bool pipeline = cfg.pipeline;
 
   // Tiled two-phase sweep: each block runs jacobi_tile (2-D: cache-fused
   // save with the update row-lagged one row behind; 3-D: save-only, since
@@ -27,6 +28,11 @@ SolveStats JacobiSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
   // finishes exactly the rows the first deferred — deposit per-row error
   // partials into the chunk's row scratch, and combine_row_partials
   // reduces them.
+  //
+  // The pipelined engine runs the same save+update pair as ONE chain:
+  // the team barrier between the phases becomes per-block tick waits, so
+  // a block's deferred rows update as soon as its neighbours' saves are
+  // done — in 3-D, plane l−1 updates while the saves sweep plane l+1.
   const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
   const auto tile_body = [](int, Chunk2D& c, const Bounds& tb) {
     kernels::jacobi_tile(c, tb, c.row_scratch());
@@ -39,7 +45,16 @@ SolveStats JacobiSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
   while (st.outer_iters < cfg.max_iters) {
     cl.exchange(&team, {FieldId::kU}, 1);
     double err;
-    if (tile > 0) {
+    if (pipeline) {
+      cl.run_pipeline_chain(&team, tile, /*stages=*/1, interior,
+                            [&](int r, Chunk2D& c, int, const Bounds& tb) {
+                              tile_body(r, c, tb);
+                            },
+                            [&](int r, Chunk2D& c, int, const Bounds& tb) {
+                              edge_body(r, c, tb);
+                            });
+      err = cl.combine_row_partials(&team);
+    } else if (tile > 0) {
       cl.for_each_tile(&team, tile, interior, tile_body);
       team.barrier();  // edge rows read every block's saved rows
       cl.for_each_tile(&team, tile, interior, edge_body);

@@ -1,5 +1,6 @@
 #include "solvers/ppcg.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "ops/kernels.hpp"
@@ -18,6 +19,22 @@ constexpr const char* kRzBreakdown =
     "PPCG breakdown: ⟨r, M⁻¹r⟩ <= 0 (indefinite polynomial preconditioner — "
     "eigenvalue estimates too tight?)";
 
+/// Intersection of a chain tile (cut from the widest stage's grid) with a
+/// later stage's shrunken bounds — the pipelined matrix-powers trapezoid.
+Bounds clip_tile(Bounds tb, const Bounds& sb) {
+  tb.jlo = std::max(tb.jlo, sb.jlo);
+  tb.jhi = std::min(tb.jhi, sb.jhi);
+  tb.klo = std::max(tb.klo, sb.klo);
+  tb.khi = std::min(tb.khi, sb.khi);
+  tb.llo = std::max(tb.llo, sb.llo);
+  tb.lhi = std::min(tb.lhi, sb.lhi);
+  return tb;
+}
+
+bool empty_tile(const Bounds& tb) {
+  return tb.jhi <= tb.jlo || tb.khi <= tb.klo || tb.lhi <= tb.llo;
+}
+
 }  // namespace
 
 void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
@@ -30,9 +47,16 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
   // enabled the fused kernels; without one this is the seed's unfused
   // path, region-per-kernel.  Row tiling (and with it 2-D scheduling) is
   // a further layer of the fused engine; block-Jacobi's strip solve
-  // couples rows, so that composition never tiles.
+  // couples rows, so that composition never tiles (nor pipelines).  The
+  // pipelined engine (cfg.pipeline) goes one layer further still: the d
+  // Chebyshev steps between two matrix-powers exchanges become ONE
+  // trapezoidal chain — each row-block runs all d shrinking extended
+  // sweeps back-to-back, waiting on neighbouring blocks' progress ticks
+  // instead of at the per-step team barriers.
   const bool fused = (team != nullptr);
   const int tile = (fused && !block) ? cfg.tile_rows : 0;
+  const bool pipe = fused && !block && cfg.pipeline;
+  const bool blocked = (tile > 0) || pipe;
   TEA_ASSERT(!block || d == 1,
              "block-Jacobi with matrix powers rejected by validate()");
 
@@ -40,7 +64,7 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
   // powers the first extended sweep needs it valid through the overlap,
   // which costs one depth-d exchange; at depth 1 no exchange is needed
   // because the bootstrap touches only the interior.
-  if (tile > 0) {
+  if (blocked) {
     cl.for_each_tile(team, tile,
                      [](int, Chunk2D& c) { return interior_bounds(c); },
                      [](int, Chunk2D& c, const Bounds& tb) {
@@ -57,7 +81,7 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
   // bounds extended d-1 cells so the following sweeps can shrink.
   int ext = d - 1;
   if (team != nullptr && d == 1) team->barrier();  // rtemp copy visible
-  if (tile > 0) {
+  if (blocked) {
     const auto boot_bounds = [ext](int, Chunk2D& c) {
       return extended_bounds(c, ext);
     };
@@ -81,6 +105,66 @@ void PPCGSolver::apply_inner(SimCluster2D& cl, const SolverConfig& cfg,
       }
       kernels::copy(c, FieldId::kZ, FieldId::kSd, b);
     });
+  }
+
+  if (pipe) {
+    // Pipelined engine: every run of steps between two matrix-powers
+    // exchanges is ONE chain.  Stage s of a chain sweeps at extension
+    // ext0 − s; the tile grid is fixed on the chain's widest (first
+    // stage) bounds and each stage clips its tiles to its own shrunken
+    // box, so clipping — not re-gridding — realises the trapezoid.  The
+    // exchange cadence is exactly the barrier path's (same messages,
+    // same bytes); only the per-step team barriers disappear.
+    int step = 1;
+    while (step <= cfg.inner_steps) {
+      if (ext == 0) {
+        if (d == 1) {
+          cl.exchange(team, {FieldId::kSd}, 1);
+        } else {
+          cl.exchange(team, {FieldId::kSd, FieldId::kRtemp}, d);
+        }
+        ext = d;
+      }
+      const int stages = std::min(ext, cfg.inner_steps - step + 1);
+      const int ext0 = ext - 1;  // first stage's sweep extension
+      const int step0 = step;
+      const auto chain_bounds = [ext0](int, Chunk2D& c) {
+        return extended_bounds(c, ext0);
+      };
+      cl.run_pipeline_chain(
+          team, tile, stages, chain_bounds,
+          [&](int, Chunk2D& c, int s, const Bounds& tb) {
+            const Bounds sb = extended_bounds(c, ext0 - s);
+            const Bounds ctb = clip_tile(tb, sb);
+            if (empty_tile(ctb)) return;
+            kernels::cheby_step_tile(c, FieldId::kRtemp, FieldId::kSd,
+                                     FieldId::kZ,
+                                     cc.alphas[static_cast<std::size_t>(
+                                         step0 + s - 1)],
+                                     cc.betas[static_cast<std::size_t>(
+                                         step0 + s - 1)],
+                                     diag, sb, ctb);
+          },
+          [&](int, Chunk2D& c, int s, const Bounds& tb) {
+            const Bounds sb = extended_bounds(c, ext0 - s);
+            const Bounds ctb = clip_tile(tb, sb);
+            if (empty_tile(ctb)) return;
+            kernels::cheby_step_tile_edges(c, FieldId::kRtemp, FieldId::kSd,
+                                           FieldId::kZ,
+                                           cc.alphas[static_cast<std::size_t>(
+                                               step0 + s - 1)],
+                                           cc.betas[static_cast<std::size_t>(
+                                               step0 + s - 1)],
+                                           diag, sb, ctb);
+          });
+      step += stages;
+      ext -= stages;
+    }
+    if (st != nullptr) {
+      st->spmv_applies += cfg.inner_steps;
+      st->inner_steps += cfg.inner_steps;
+    }
+    return;
   }
 
   for (int step = 1; step <= cfg.inner_steps; ++step) {
@@ -213,10 +297,16 @@ SolveStats PPCGSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
   // scalar below derives from rank/row-ordered team reductions, so its
   // value — and every branch on it — is identical on every thread.
   const int tile = (team != nullptr) ? cfg.tile_rows : 0;
+  // The pipelined engine's outer ops run the row-blocked forms even at
+  // tile_rows == 0: the chains of apply_inner end without an exit
+  // barrier, and the row-blocked collectives' entry barriers (plus the
+  // explicit one after cg_calc_ur) are what orders the outer ops against
+  // the chains' block schedule.  Bitwise identical either way.
+  const bool blocked = team != nullptr && (tile > 0 || cfg.pipeline);
   const auto interior = [](int, Chunk2D& c) { return interior_bounds(c); };
   /// ⟨r, z⟩ in both engines (row-blocked when tiled; identical value).
   const auto dot_rz = [&](const Team* t) {
-    if (t != nullptr && tile > 0) {
+    if (t != nullptr && blocked) {
       return cl.sum_rows_over_chunks(
           t, tile, [](int, Chunk2D& c, const Bounds& tb) {
             kernels::dot_rows(c, FieldId::kR, FieldId::kZ, tb,
@@ -231,7 +321,7 @@ SolveStats PPCGSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
   // --- restart the outer PCG with the polynomial preconditioner ---------
   apply_inner(cl, cfg, cc, nullptr, team);
   rro = dot_rz(team);
-  if (team != nullptr && tile > 0) {
+  if (team != nullptr && blocked) {
     cl.for_each_tile(team, tile, interior,
                      [](int, Chunk2D& c, const Bounds& tb) {
                        kernels::copy(c, FieldId::kP, FieldId::kZ, tb);
@@ -257,7 +347,7 @@ SolveStats PPCGSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
     // and both reductions.
     cl.exchange(team, {FieldId::kP}, 1);
     const double pw =
-        (team != nullptr && tile > 0)
+        (team != nullptr && blocked)
             ? cl.sum_rows_over_chunks(
                   team, tile,
                   [](int, Chunk2D& c, const Bounds& tb) {
@@ -277,7 +367,7 @@ SolveStats PPCGSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
       return finish(rrn);
     }
     const double alpha = rro / pw;
-    if (team != nullptr && tile > 0) {
+    if (team != nullptr && blocked) {
       cl.for_each_tile(team, tile, interior,
                        [&](int, Chunk2D& c, const Bounds& tb) {
                          kernels::cg_calc_ur_rows(c, alpha, tb);
@@ -293,7 +383,7 @@ SolveStats PPCGSolver::solve_team(SimCluster2D& cl, const SolverConfig& cfg,
     apply_inner(cl, cfg, cc, nullptr, team);
     const double rrn_t = dot_rz(team);
     const double beta = rrn_t / rro;
-    if (team != nullptr && tile > 0) {
+    if (team != nullptr && blocked) {
       cl.for_each_tile(team, tile, interior,
                        [&](int, Chunk2D& c, const Bounds& tb) {
                          kernels::xpby(c, FieldId::kP, FieldId::kZ, beta,

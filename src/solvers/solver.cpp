@@ -21,22 +21,26 @@ void note_operator_fill(const SimCluster2D& cl, SolveStats& stats) {
   }
 }
 
-/// Resolve tile_rows = -1 ("auto"): size the row-blocks from the default
-/// modelled machine's per-core L2 (spruce_hybrid, the same machine
-/// SweepOptions prices communication against) and this run's chunk width.
-SolverConfig resolve(const SimCluster2D& cl, const SolverConfig& cfg) {
+/// Resolve tile_rows = -1 ("auto"): size the row-blocks from the modelled
+/// machine's per-core L2 and this run's chunk width.  The machine is the
+/// caller's — SolveSession and the sweep pass the one their run models —
+/// so an auto height tracks the machine being studied instead of always
+/// assuming the default.
+SolverConfig resolve(const SimCluster2D& cl, const SolverConfig& cfg,
+                     const MachineSpec& machine) {
   SolverConfig resolved = cfg;
   if (resolved.tile_rows < 0) {
-    resolved.tile_rows = auto_tile_rows(machines::spruce_hybrid(),
-                                        cl.chunk(0).nx(), cl.halo_depth());
+    resolved.tile_rows =
+        auto_tile_rows(machine, cl.chunk(0).nx(), cl.halo_depth());
   }
   return resolved;
 }
 
 }  // namespace
 
-SolveStats run_solver(SimCluster2D& cl, const SolverConfig& cfg) {
-  const SolverConfig resolved = resolve(cl, cfg);
+SolveStats run_solver(SimCluster2D& cl, const SolverConfig& cfg,
+                      const MachineSpec& machine) {
+  const SolverConfig resolved = resolve(cl, cfg, machine);
   SolveStats stats;
   switch (resolved.type) {
     case SolverType::kJacobi: stats = JacobiSolver::solve(cl, resolved); break;
@@ -52,8 +56,8 @@ SolveStats run_solver(SimCluster2D& cl, const SolverConfig& cfg) {
 }
 
 SolveStats run_solver_team(SimCluster2D& cl, const SolverConfig& cfg,
-                           const Team& team) {
-  const SolverConfig resolved = resolve(cl, cfg);
+                           const Team& team, const MachineSpec& machine) {
+  const SolverConfig resolved = resolve(cl, cfg, machine);
   SolveStats stats;
   switch (resolved.type) {
     case SolverType::kJacobi:

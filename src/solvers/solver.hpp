@@ -1,6 +1,7 @@
 #pragma once
 
 #include "comm/sim_comm.hpp"
+#include "model/machine.hpp"
 #include "solvers/solver_config.hpp"
 
 namespace tealeaf {
@@ -14,10 +15,14 @@ namespace tealeaf {
 ///    exchange.
 /// Postcondition: u holds the converged solution on chunk interiors.
 ///
-/// tile_rows < 0 ("auto") is resolved here from the default modelled
-/// machine and the chunk width before dispatch.
-[[nodiscard]] SolveStats run_solver(SimCluster2D& cl,
-                                    const SolverConfig& cfg);
+/// tile_rows < 0 ("auto") is resolved here before dispatch, sizing the
+/// row-blocks from `machine`'s per-core L2 and the chunk width — pass the
+/// machine the run models (SolveSession and the sweep thread theirs
+/// through); the default is the same spruce_hybrid SweepOptions prices
+/// communication against.
+[[nodiscard]] SolveStats run_solver(
+    SimCluster2D& cl, const SolverConfig& cfg,
+    const MachineSpec& machine = machines::spruce_hybrid());
 
 /// Team-injected dispatch: the ENTIRE solve runs on `team` inside the
 /// caller's already-open parallel region.  Every thread of the team must
@@ -29,9 +34,9 @@ namespace tealeaf {
 /// and exceptions must not escape a parallel region).  Always executes
 /// through the fused engine — the only region-safe engine — which is
 /// bitwise identical to the unfused path.
-[[nodiscard]] SolveStats run_solver_team(SimCluster2D& cl,
-                                         const SolverConfig& cfg,
-                                         const Team& team);
+[[nodiscard]] SolveStats run_solver_team(
+    SimCluster2D& cl, const SolverConfig& cfg, const Team& team,
+    const MachineSpec& machine = machines::spruce_hybrid());
 
 /// Pre-PR6 entry point.  SolveSession (src/api/solve_api.hpp) is the
 /// supported way to run solves now — it owns the cluster set-up this

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -29,6 +31,19 @@ inline bool in_parallel_region() {
   return omp_in_parallel() != 0;
 #else
   return false;
+#endif
+}
+
+/// CPU spin-wait hint: tells the core a busy-wait iteration is in flight
+/// (frees pipeline resources for the sibling hyperthread and softens the
+/// memory-order flush when the awaited line finally changes).  `pause` on
+/// x86, `yield` on ARM, nothing elsewhere — purely a hint, never required
+/// for correctness.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
 #endif
 }
 
@@ -63,6 +78,7 @@ class SpinBarrier {
       // Busy-wait is right when threads == cores (the fused engine's
       // normal mode); yield periodically so oversubscribed runs (CI
       // containers, sanitizer jobs) still make progress.
+      cpu_pause();
       if (++spins >= 4096) {
         std::this_thread::yield();
         spins = 0;
@@ -73,9 +89,64 @@ class SpinBarrier {
   [[nodiscard]] int num_threads() const { return nthreads_; }
 
  private:
-  std::atomic<int> count_{0};
-  std::atomic<bool> sense_{false};
+  // The counter absorbs one fetch_add per arrival while the earlier
+  // arrivals poll the sense flag; padding each to its own cache line
+  // keeps every arrival's read-modify-write from invalidating the line
+  // the spinners are polling (the pipelined engine barriers finely
+  // enough for that coherence traffic to show).
+  alignas(64) std::atomic<int> count_{0};
+  alignas(64) std::atomic<bool> sense_{false};
   int nthreads_;
+};
+
+/// Per-block progress counters — the pipelined execution engine's
+/// dependency primitive.  Each row-block of a kernel chain owns one
+/// cache-line-padded atomic "tick" that the owning thread bumps as the
+/// block advances through the chain's stages; a thread about to touch a
+/// neighbouring block's rows waits for that block's tick instead of the
+/// whole team reaching a barrier.  Point-to-point block dependencies
+/// replace O(stages) full barriers per chain.
+///
+/// Protocol: ticks are zeroed (by each block's owner) behind a barrier at
+/// chain entry, then only ever increase during the chain; `publish` is a
+/// release so every field write the stage made is visible to a `wait_for`
+/// acquire that observes the tick.
+class BlockTicks {
+ public:
+  /// Grow to at least `n` blocks.  NOT thread-safe — size before the
+  /// parallel region (re-sizing keeps no old state; the chain protocol
+  /// re-zeroes per chain anyway).
+  void ensure(std::size_t n) {
+    if (ticks_.size() < n) ticks_ = std::vector<PaddedTick>(n);
+  }
+
+  [[nodiscard]] std::size_t size() const { return ticks_.size(); }
+
+  void reset(std::size_t b) {
+    ticks_[b].v.store(0, std::memory_order_relaxed);
+  }
+
+  void publish(std::size_t b, int tick) {
+    ticks_[b].v.store(tick, std::memory_order_release);
+  }
+
+  /// Spin until block `b` has published at least `tick`.
+  void wait_for(std::size_t b, int tick) const {
+    int spins = 0;
+    while (ticks_[b].v.load(std::memory_order_acquire) < tick) {
+      cpu_pause();
+      if (++spins >= 4096) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) PaddedTick {
+    std::atomic<int> v{0};
+  };
+  std::vector<PaddedTick> ticks_;
 };
 
 /// Handle to one thread of a hoisted parallel region (the fused kernel

@@ -1,0 +1,395 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "driver/deck.hpp"
+#include "driver/decks.hpp"
+#include "driver/sweep.hpp"
+#include "model/machine.hpp"
+#include "model/scaling.hpp"
+#include "model/trace.hpp"
+#include "solvers/solver.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+
+#if defined(TEALEAF_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace tealeaf {
+namespace {
+
+using testing::make_test_problem;
+using testing::make_test_problem_3d;
+using testing::max_field_diff;
+
+// ---- chain_block_reach (the pipelined schedule's dependency window) ------
+
+TEST(ChainBlockReach, StencilReachIsOneBlockIn2D) {
+  auto cl = make_test_problem(24, 2, 2);
+  const Chunk& c = cl->chunk(0);
+  const Bounds b = interior_bounds(c);
+  // The 5-point stencil only reads the k±1 rows: one block, whatever the
+  // tile height (including untiled, where the chunk is a single block).
+  for (const int tile : {0, 1, 3, 5, 100}) {
+    EXPECT_EQ(SimCluster2D::chain_block_reach(c, b, tile), 1)
+        << "tile=" << tile;
+  }
+}
+
+TEST(ChainBlockReach, StencilReachIsOnePlaneIn3D) {
+  auto cl = make_test_problem_3d(12, 2, 2);
+  const Chunk& c = cl->chunk(0);
+  const Bounds b = interior_bounds(c);
+  // The 7-point stencil reads the l±1 planes: per_plane blocks away in
+  // the flattened (plane, k-block) grid — the cross-plane lag.
+  for (const int tile : {1, 2, 5}) {
+    const int per_plane =
+        SimCluster2D::num_row_tiles(b.khi - b.klo, tile);
+    EXPECT_EQ(SimCluster2D::chain_block_reach(c, b, tile),
+              std::max(1, per_plane))
+        << "tile=" << tile;
+  }
+}
+
+// ---- whole-solver pipelined-vs-fused equivalence -------------------------
+
+struct PipelinedCase {
+  SolverType type;
+  PreconType precon;
+  int halo_depth;
+  int tile_rows;
+  int dims = 2;
+  // Assembled cases run the chains over the CSR / SELL-C-σ SpMV paths,
+  // where the dependency reach comes from row_reach instead of the
+  // stencil radius.
+  OperatorKind op = OperatorKind::kStencil;
+};
+
+class PipelinedEngineEquivalence
+    : public ::testing::TestWithParam<PipelinedCase> {};
+
+TEST_P(PipelinedEngineEquivalence, BitwiseIdenticalToUntiledFused) {
+  const PipelinedCase tc = GetParam();
+  SolverConfig cfg;
+  cfg.type = tc.type;
+  cfg.precon = tc.precon;
+  cfg.halo_depth = tc.halo_depth;
+  cfg.fuse_kernels = true;
+  cfg.op = tc.op;
+  cfg.eps = (tc.type == SolverType::kJacobi) ? 1e-5 : 1e-10;
+  cfg.max_iters = (tc.type == SolverType::kJacobi) ? 100000 : 10000;
+
+  const int halo = std::max(2, tc.halo_depth);
+  auto make = [&] {
+    return tc.dims == 3 ? make_test_problem_3d(16, 2, halo)
+                        : make_test_problem(32, 4, halo, 8.0);
+  };
+  auto a = make();
+  auto b = make();
+  testing::install_operator(*a, tc.op);
+  testing::install_operator(*b, tc.op);
+  SolverConfig pipe_cfg = cfg;
+  pipe_cfg.tile_rows = tc.tile_rows;
+  pipe_cfg.pipeline = true;
+  const SolveStats su = run_solver(*a, cfg);
+  const SolveStats sp = run_solver(*b, pipe_cfg);
+
+  ASSERT_TRUE(su.converged);
+  ASSERT_TRUE(sp.converged);
+  // The pipelined engine only reorders row-block tasks within the
+  // dependency window: per-row arithmetic and the row/rank-ordered
+  // reductions are shared with the fused path, so everything must match
+  // exactly — in 3-D including the plane-lagged edge schedule.
+  EXPECT_EQ(sp.outer_iters, su.outer_iters);
+  EXPECT_EQ(sp.inner_steps, su.inner_steps);
+  EXPECT_EQ(sp.spmv_applies, su.spmv_applies);
+  EXPECT_EQ(sp.eigen_cg_iters, su.eigen_cg_iters);
+  EXPECT_EQ(sp.initial_norm, su.initial_norm);
+  EXPECT_EQ(sp.final_norm, su.final_norm);
+  EXPECT_EQ(max_field_diff(*a, *b, FieldId::kU), 0.0);
+
+  // Pipelining changes the schedule, never the data motion.
+  EXPECT_EQ(a->stats().exchange_calls, b->stats().exchange_calls);
+  EXPECT_EQ(a->stats().messages, b->stats().messages);
+  EXPECT_EQ(a->stats().message_bytes, b->stats().message_bytes);
+  EXPECT_EQ(a->stats().reductions, b->stats().reductions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSolversAndSchedules, PipelinedEngineEquivalence,
+    ::testing::Values(
+        // Jacobi: the save+update chain, incl. one-row blocks and
+        // non-dividing heights; block-Jacobi has no pipelined form and
+        // must fall back cleanly.
+        PipelinedCase{SolverType::kJacobi, PreconType::kNone, 1, 1},
+        PipelinedCase{SolverType::kJacobi, PreconType::kNone, 1, 7},
+        PipelinedCase{SolverType::kJacobi, PreconType::kNone, 1, 0},
+        // CG ignores the knob (no chainable kernel pair) — trivially
+        // identical, but the dispatch must stay clean.
+        PipelinedCase{SolverType::kCG, PreconType::kNone, 1, 7},
+        PipelinedCase{SolverType::kCG, PreconType::kJacobiBlock, 1, 5},
+        // Chebyshev: the iterate+residual pair, with and without the
+        // diagonal preconditioner; block-Jacobi falls back.
+        PipelinedCase{SolverType::kChebyshev, PreconType::kNone, 1, 5},
+        PipelinedCase{SolverType::kChebyshev, PreconType::kJacobiDiag, 1, 4},
+        PipelinedCase{SolverType::kChebyshev, PreconType::kJacobiBlock, 1, 5},
+        // PPCG: depth-1 runs one-stage chains; depth-4 chains up to four
+        // Chebyshev steps between matrix-powers exchanges (the clipped
+        // shrinking-bounds schedule).
+        PipelinedCase{SolverType::kPPCG, PreconType::kNone, 1, 5},
+        PipelinedCase{SolverType::kPPCG, PreconType::kJacobiDiag, 1, 3},
+        PipelinedCase{SolverType::kPPCG, PreconType::kNone, 4, 5},
+        PipelinedCase{SolverType::kPPCG, PreconType::kNone, 4, 0},
+        PipelinedCase{SolverType::kPPCG, PreconType::kJacobiDiag, 4, 1},
+        // Block-Jacobi (no pipelined form) must fall back cleanly; it is
+        // incompatible with matrix powers, so depth 1 only.
+        PipelinedCase{SolverType::kPPCG, PreconType::kJacobiBlock, 1, 5},
+        // Assembled operators: chained row-blocks over CSR / SELL-C-σ.
+        PipelinedCase{SolverType::kJacobi, PreconType::kNone, 1, 3, 2,
+                      OperatorKind::kCsr},
+        PipelinedCase{SolverType::kChebyshev, PreconType::kNone, 1, 4, 2,
+                      OperatorKind::kCsr},
+        PipelinedCase{SolverType::kPPCG, PreconType::kJacobiDiag, 1, 5, 2,
+                      OperatorKind::kCsr},
+        PipelinedCase{SolverType::kChebyshev, PreconType::kJacobiDiag, 1, 5,
+                      2, OperatorKind::kSellCSigma},
+        PipelinedCase{SolverType::kPPCG, PreconType::kNone, 1, 1000, 2,
+                      OperatorKind::kSellCSigma},
+        // 3-D: the plane-lagged schedule replaces the tiled engine's
+        // post-barrier edge pass, at several tile heights (different
+        // per-plane block counts → different lags).
+        PipelinedCase{SolverType::kJacobi, PreconType::kNone, 1, 1, 3},
+        PipelinedCase{SolverType::kJacobi, PreconType::kNone, 1, 3, 3},
+        PipelinedCase{SolverType::kJacobi, PreconType::kNone, 1, 0, 3},
+        PipelinedCase{SolverType::kChebyshev, PreconType::kNone, 1, 5, 3},
+        PipelinedCase{SolverType::kChebyshev, PreconType::kJacobiDiag, 1, 2,
+                      3},
+        PipelinedCase{SolverType::kPPCG, PreconType::kNone, 1, 3, 3},
+        PipelinedCase{SolverType::kPPCG, PreconType::kNone, 4, 2, 3},
+        PipelinedCase{SolverType::kPPCG, PreconType::kJacobiDiag, 4, 5, 3},
+        // 3-D assembled: row_reach spans whole planes.
+        PipelinedCase{SolverType::kChebyshev, PreconType::kNone, 1, 3, 3,
+                      OperatorKind::kCsr},
+        PipelinedCase{SolverType::kPPCG, PreconType::kNone, 1, 2, 3,
+                      OperatorKind::kSellCSigma}),
+    [](const auto& info) {
+      const PipelinedCase& tc = info.param;
+      std::string name = std::string(to_string(tc.type)) + "_" +
+                         to_string(tc.precon) + "_d" +
+                         std::to_string(tc.halo_depth) + "_b" +
+                         std::to_string(tc.tile_rows);
+      if (tc.dims == 3) name += "_3d";
+      if (tc.op == OperatorKind::kCsr) name += "_csr";
+      if (tc.op == OperatorKind::kSellCSigma) name += "_sell";
+      return name;
+    });
+
+// ---- oversubscribed teams: the tick protocol engages ---------------------
+
+TEST(PipelinedScheduling, MoreThreadsThanRanksStaysBitwiseIdentical) {
+#if defined(TEALEAF_HAVE_OPENMP)
+  // Reference on the current thread count, then rerun pipelined with the
+  // team oversubscribed past the rank count, so row-blocks of one rank
+  // spread over several threads and the cross-thread tick waits engage —
+  // PPCG at depth 4 runs multi-stage chains through them.
+  SolverConfig cfg;
+  cfg.type = SolverType::kPPCG;
+  cfg.halo_depth = 4;
+  cfg.fuse_kernels = true;
+  cfg.eps = 1e-10;
+
+  auto a = make_test_problem(32, 2, 4, 8.0);
+  const SolveStats su = run_solver(*a, cfg);
+  ASSERT_TRUE(su.converged);
+
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(5);  // > 2 ranks → flat (rank, block) ownership
+  auto b = make_test_problem(32, 2, 4, 8.0);
+  SolverConfig pipe = cfg;
+  pipe.tile_rows = 3;
+  pipe.pipeline = true;
+  const SolveStats sp = run_solver(*b, pipe);
+  omp_set_num_threads(saved);
+
+  ASSERT_TRUE(sp.converged);
+  EXPECT_EQ(sp.outer_iters, su.outer_iters);
+  EXPECT_EQ(sp.inner_steps, su.inner_steps);
+  EXPECT_EQ(sp.final_norm, su.final_norm);
+  EXPECT_EQ(max_field_diff(*a, *b, FieldId::kU), 0.0);
+#else
+  GTEST_SKIP() << "OpenMP disabled: the team never exceeds one thread";
+#endif
+}
+
+TEST(PipelinedScheduling, PlaneLagSurvivesOversubscriptionIn3D) {
+#if defined(TEALEAF_HAVE_OPENMP)
+  // 3-D Jacobi: the edge pass of plane l waits on plane l±1's save —
+  // reach R = per_plane blocks.  Oversubscribe so those waits cross
+  // threads, at a tile height that does not divide the plane rows.
+  SolverConfig cfg;
+  cfg.type = SolverType::kJacobi;
+  cfg.fuse_kernels = true;
+  cfg.eps = 1e-5;
+  cfg.max_iters = 100000;
+
+  auto a = make_test_problem_3d(12, 2, 2);
+  const SolveStats su = run_solver(*a, cfg);
+  ASSERT_TRUE(su.converged);
+
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(5);
+  auto b = make_test_problem_3d(12, 2, 2);
+  SolverConfig pipe = cfg;
+  pipe.tile_rows = 5;  // 12 rows → 3 blocks/plane, last one short
+  pipe.pipeline = true;
+  const SolveStats sp = run_solver(*b, pipe);
+  omp_set_num_threads(saved);
+
+  ASSERT_TRUE(sp.converged);
+  EXPECT_EQ(sp.outer_iters, su.outer_iters);
+  EXPECT_EQ(sp.final_norm, su.final_norm);
+  EXPECT_EQ(max_field_diff(*a, *b, FieldId::kU), 0.0);
+#else
+  GTEST_SKIP() << "OpenMP disabled: the team never exceeds one thread";
+#endif
+}
+
+// ---- config validation ---------------------------------------------------
+
+TEST(PipelineConfig, RequiresTheFusedEngine) {
+  SolverConfig cfg;
+  cfg.type = SolverType::kCG;
+  cfg.pipeline = true;
+  cfg.fuse_kernels = false;
+  EXPECT_THROW((void)cfg.validated(), TeaError);
+  cfg.fuse_kernels = true;
+  EXPECT_NO_THROW((void)cfg.validated());
+}
+
+// ---- sweep tenth axis ----------------------------------------------------
+
+TEST(SweepPipelineAxis, EnumeratesAsInnermostAxis) {
+  SweepSpec spec;
+  spec.solvers = {"cg"};
+  spec.fused = {0, 1};
+  spec.tile_rows = {0, 8};
+  spec.pipeline = {0, 1};
+  const std::vector<SweepCase> cases = enumerate_cases(spec, 16);
+  ASSERT_EQ(cases.size(), 8u);
+  ASSERT_EQ(spec.num_cases(), 8u);
+  EXPECT_EQ(cases[0].label(), "cg/none/d1/n16/t0");
+  EXPECT_EQ(cases[1].label(), "cg/none/d1/n16/t0/pipe");
+  EXPECT_EQ(cases[2].label(), "cg/none/d1/n16/t0/b8");
+  EXPECT_EQ(cases[3].label(), "cg/none/d1/n16/t0/b8/pipe");
+  EXPECT_EQ(cases[4].label(), "cg/none/d1/n16/t0/fused");
+  EXPECT_EQ(cases[5].label(), "cg/none/d1/n16/t0/fused/pipe");
+  EXPECT_EQ(cases[6].label(), "cg/none/d1/n16/t0/fused/b8");
+  EXPECT_EQ(cases[7].label(), "cg/none/d1/n16/t0/fused/b8/pipe");
+  spec.pipeline = {2};
+  EXPECT_THROW(spec.validate(), TeaError);
+}
+
+TEST(SweepPipelineAxis, PipelinedCellsMatchFusedAndRoundTrip) {
+  InputDeck base = decks::hot_block(16, 1);
+  base.solver.eps = 1e-8;
+  SweepSpec spec;
+  spec.solvers = {"chebyshev", "mg-pcg"};
+  spec.fused = {0, 1};
+  spec.pipeline = {0, 1};
+  spec.ranks = 2;
+  const SweepReport rep = run_sweep(base, spec);
+  ASSERT_EQ(rep.cells.size(), 8u);
+
+  // chebyshev: unfused, unfused/pipe (skipped), fused, fused/pipe.
+  EXPECT_FALSE(rep.cells[0].skipped);
+  EXPECT_TRUE(rep.cells[1].skipped);  // pipelining needs the fused engine
+  EXPECT_FALSE(rep.cells[2].skipped);
+  EXPECT_FALSE(rep.cells[3].skipped);
+  EXPECT_TRUE(rep.cells[3].config.pipeline);
+  EXPECT_TRUE(rep.cells[3].converged);
+  EXPECT_EQ(rep.cells[3].iterations, rep.cells[2].iterations);
+  EXPECT_EQ(rep.cells[3].final_norm, rep.cells[2].final_norm);
+  EXPECT_EQ(rep.cells[3].message_bytes, rep.cells[2].message_bytes);
+
+  // mg-pcg's fused path does not pipeline: both pipe cells are skipped.
+  EXPECT_FALSE(rep.cells[4].skipped);
+  EXPECT_TRUE(rep.cells[5].skipped);
+  EXPECT_FALSE(rep.cells[6].skipped);
+  EXPECT_TRUE(rep.cells[7].skipped);
+
+  // The pipeline column survives both serialisation round trips.
+  const SweepReport csv_back =
+      SweepReport::from_csv_lines(rep.to_csv_lines());
+  const SweepReport json_back =
+      SweepReport::from_json_string(rep.to_json().dump(2));
+  for (std::size_t i = 0; i < rep.cells.size(); ++i) {
+    EXPECT_EQ(csv_back.cells[i].config.pipeline,
+              rep.cells[i].config.pipeline);
+    EXPECT_EQ(json_back.cells[i].config.pipeline,
+              rep.cells[i].config.pipeline);
+    EXPECT_EQ(csv_back.cells[i].config.label(),
+              rep.cells[i].config.label());
+  }
+}
+
+// ---- deck knobs ----------------------------------------------------------
+
+TEST(PipelineDeck, KnobsParseAndRoundTrip) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\nx_cells=16\ny_cells=16\nend_step=1\n"
+      "tl_fuse_kernels\ntl_pipeline\n"
+      "sweep_solvers=chebyshev\nsweep_pipeline=0,1\n"
+      "state 1 density=1.0 energy=1.0\n*endtea\n");
+  EXPECT_TRUE(deck.solver.pipeline);
+  EXPECT_EQ(deck.sweep.pipeline, (std::vector<int>{0, 1}));
+  const InputDeck back = InputDeck::parse_string(deck.to_string());
+  EXPECT_TRUE(back.solver.pipeline);
+  EXPECT_EQ(back.sweep.pipeline, deck.sweep.pipeline);
+}
+
+// ---- scaling model: chained-bytes variant --------------------------------
+
+TEST(PipelinedModel, ChainedBytesUndercutBlockedForCacheFittingTiles) {
+  SolverConfig cfg;
+  cfg.type = SolverType::kJacobi;
+  SolveStats stats;
+  stats.outer_iters = 200;
+  SolverRunSummary run = SolverRunSummary::from(cfg, stats, 1024);
+  const GlobalMesh2D mesh(1024, 1024);
+  const ScalingModel model(machines::spruce_hybrid(), mesh, 1);
+
+  const double untiled = model.run_seconds(run, 1);
+  run.tile_rows = 4;  // fits the modelled L2 → blocked variant applies
+  const double blocked = model.run_seconds(run, 1);
+  run.pipeline = true;
+  const double chained = model.run_seconds(run, 1);
+  EXPECT_LT(chained, blocked);
+  EXPECT_LT(blocked, untiled);
+
+  // Pipelining without a cache-fitting block prices as streaming: the
+  // chain saves a traversal only when the block is still L2-resident.
+  run.tile_rows = 4096;
+  EXPECT_EQ(model.run_seconds(run, 1), untiled);
+  run.tile_rows = 0;
+  EXPECT_EQ(model.run_seconds(run, 1), untiled);
+}
+
+TEST(PipelinedModel, SummaryRecordsEffectivePipelining) {
+  // An unfused config never pipelines, whatever the knob says — the
+  // summary must record the engine that actually ran.
+  SolverConfig cfg;
+  cfg.type = SolverType::kJacobi;
+  cfg.pipeline = true;
+  cfg.fuse_kernels = false;
+  SolveStats stats;
+  stats.outer_iters = 100;
+  EXPECT_FALSE(SolverRunSummary::from(cfg, stats, 256).pipeline);
+  cfg.fuse_kernels = true;
+  EXPECT_TRUE(SolverRunSummary::from(cfg, stats, 256).pipeline);
+}
+
+}  // namespace
+}  // namespace tealeaf
