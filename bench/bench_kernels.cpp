@@ -47,6 +47,13 @@
 //       ./bench/bench_kernels --pipeline [--mesh 512] [--mesh3d 40]
 //                             [--ranks 4] [--reps 3] [--tile 8]
 //                             [--out BENCH_PR8.json]
+//  * A mixed-precision comparison: fp64 vs fp32 storage at fixed
+//    iteration counts (pure element-size streaming, identical schedules)
+//    plus a convergent mixed (fp32 inner + fp64 refinement guard) rider
+//    per solver, reporting cost per cell·iteration and the iteration/
+//    refinement counts.  Emits BENCH_PR9.json.
+//       ./bench/bench_kernels --precision [--mesh 256] [--conv-mesh 96]
+//                             [--ranks 4] [--reps 3] [--out BENCH_PR9.json]
 //  * Google-benchmark microbenchmarks of the individual kernels whose
 //    bytes/cell constants feed the performance model (model/scaling.cpp).
 //    Built only where the library exists; run with --gbench (extra
@@ -1062,6 +1069,181 @@ int run_pipeline_bench(const Args& args) {
   return all_identical ? 0 : 1;
 }
 
+// ---- mixed-precision execution layer (BENCH_PR9) -------------------------
+
+/// Fixed-iteration configurations for the fp64-vs-fp32 bandwidth A/B: eps
+/// is unreachable so both precisions run exactly the same capped
+/// iteration count and the comparison is pure element-size streaming.
+std::vector<EngineCase> precision_bench_cases() {
+  std::vector<EngineCase> cases;
+  SolverConfig cg;
+  cg.type = SolverType::kCG;
+  cg.eps = 1e-300;
+  cg.max_iters = 30;
+  cg.fuse_kernels = true;
+  cases.push_back({"cg", cg});
+  SolverConfig cheby = cg;
+  cheby.type = SolverType::kChebyshev;
+  cheby.eigen_cg_iters = 10;
+  cheby.max_iters = 40;
+  cases.push_back({"chebyshev", cheby});
+  SolverConfig ppcg = cg;
+  ppcg.type = SolverType::kPPCG;
+  ppcg.eigen_cg_iters = 8;
+  ppcg.max_iters = 16;
+  cases.push_back({"ppcg", ppcg});
+  SolverConfig jacobi = cg;
+  jacobi.type = SolverType::kJacobi;
+  jacobi.max_iters = 200;
+  cases.push_back({"jacobi", jacobi});
+  return cases;
+}
+
+/// One driver timestep, returning the full stats (the mixed rider needs
+/// refine_steps and convergence, not just the iteration count).
+SolveStats step_once(const InputDeck& deck, int ranks) {
+  TeaLeafApp app(deck, ranks);
+  return app.step();
+}
+
+int run_precision_bench(const Args& args) {
+  log::set_level(log::Level::kError);  // fixed-iteration runs hit max_iters
+  // 512² is firmly bandwidth-bound in this container; smaller meshes sit
+  // in cache where fp64's fused loops can out-run fp32's convert-heavy
+  // reductions on some solvers.
+  const int mesh = args.get_int("mesh", 512);
+  const int conv_mesh = args.get_int("conv-mesh", 96);
+  const int ranks = args.get_int("ranks", 4);
+  const int reps = args.get_int("reps", 3);
+  const std::string out_path = args.get("out", "BENCH_PR9.json");
+
+  io::JsonValue doc = io::JsonValue::object();
+  doc.set("benchmark",
+          "mixed-precision execution layer: fp64 vs fp32 vs mixed (PR9)");
+  doc.set("mesh", mesh);
+  doc.set("conv_mesh", conv_mesh);
+  doc.set("ranks", ranks);
+  doc.set("threads", num_threads());
+  doc.set("reps", reps);
+  io::JsonValue arr = io::JsonValue::array();
+
+  bool all_identical = true;
+  double min_gate_speedup = 0.0;  // worst of {jacobi, chebyshev}
+  for (const EngineCase& ec : precision_bench_cases()) {
+    // fp64 vs fp32 at fixed iterations: same solver, same capped count,
+    // only the storage element size differs.
+    InputDeck deck = decks::hot_block(mesh, 1);
+    deck.solver = ec.cfg;
+    struct Config {
+      Precision precision;
+      double best = 0.0;
+      int iters = 0;
+    };
+    std::vector<Config> configs = {{Precision::kDouble},
+                                   {Precision::kSingle}};
+    for (int rep = -1; rep < reps; ++rep) {  // first round is warmup
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        Config& c = configs[(i + static_cast<std::size_t>(rep + 1)) %
+                            configs.size()];
+        deck.solver.precision = c.precision;
+        const double s = time_fixed_once(deck, ranks, &c.iters);
+        if (rep <= 0 || s < c.best) c.best = s;
+      }
+    }
+    const bool identical = configs[0].iters == configs[1].iters;
+    all_identical = all_identical && identical;
+    const long long cells = 1LL * mesh * mesh;
+    const auto per_cell_iter = [&](double seconds, int iters) {
+      return iters > 0 ? seconds / (static_cast<double>(cells) * iters)
+                       : 0.0;
+    };
+    const double fp64_pci = per_cell_iter(configs[0].best, configs[0].iters);
+    const double fp32_pci = per_cell_iter(configs[1].best, configs[1].iters);
+    const double fp32_speedup = fp32_pci > 0.0 ? fp64_pci / fp32_pci : 0.0;
+
+    // The mixed rider: a real convergent solve (fp32 inner solves under
+    // the fp64 refinement guard) against the fp64 solve of the same
+    // problem, normalised per cell and per aggregate iteration.
+    InputDeck conv = decks::hot_block(conv_mesh, 1);
+    conv.solver = ec.cfg;
+    conv.solver.eps = ec.cfg.type == SolverType::kJacobi ? 1e-4 : 1e-8;
+    conv.solver.max_iters = 200000;
+    SolveStats mixed_st, fp64_st;
+    double mixed_best = 0.0, fp64_best = 0.0;
+    for (int rep = -1; rep < reps; ++rep) {
+      conv.solver.precision = Precision::kMixed;
+      mixed_st = step_once(conv, ranks);
+      conv.solver.precision = Precision::kDouble;
+      fp64_st = step_once(conv, ranks);
+      if (rep <= 0 || mixed_st.solve_seconds < mixed_best) {
+        mixed_best = mixed_st.solve_seconds;
+      }
+      if (rep <= 0 || fp64_st.solve_seconds < fp64_best) {
+        fp64_best = fp64_st.solve_seconds;
+      }
+    }
+    const long long conv_cells = 1LL * conv_mesh * conv_mesh;
+    const double mixed_pci =
+        mixed_st.outer_iters > 0
+            ? mixed_best /
+                  (static_cast<double>(conv_cells) * mixed_st.outer_iters)
+            : 0.0;
+    const double conv_fp64_pci =
+        fp64_st.outer_iters > 0
+            ? fp64_best /
+                  (static_cast<double>(conv_cells) * fp64_st.outer_iters)
+            : 0.0;
+
+    io::JsonValue cell = io::JsonValue::object();
+    cell.set("solver", ec.name);
+    cell.set("cells", cells);
+    cell.set("iters", configs[0].iters);
+    cell.set("fp64_seconds", configs[0].best);
+    cell.set("fp32_seconds", configs[1].best);
+    cell.set("fp64_seconds_per_cell_iter", fp64_pci);
+    cell.set("fp32_seconds_per_cell_iter", fp32_pci);
+    cell.set("fp32_speedup_per_cell_iter", fp32_speedup);
+    cell.set("identical_iterations", identical);
+    cell.set("mixed_converged", mixed_st.converged);
+    cell.set("mixed_iters", mixed_st.outer_iters);
+    cell.set("mixed_refine_steps", mixed_st.refine_steps);
+    cell.set("mixed_seconds", mixed_best);
+    cell.set("mixed_seconds_per_cell_iter", mixed_pci);
+    cell.set("fp64_conv_iters", fp64_st.outer_iters);
+    cell.set("fp64_conv_seconds", fp64_best);
+    cell.set("fp64_conv_seconds_per_cell_iter", conv_fp64_pci);
+    cell.set("mixed_cost_vs_fp64_per_cell_iter",
+             conv_fp64_pci > 0.0 ? mixed_pci / conv_fp64_pci : 0.0);
+    arr.push_back(std::move(cell));
+
+    if (ec.name == "jacobi" || ec.name == "chebyshev") {
+      if (min_gate_speedup == 0.0 || fp32_speedup < min_gate_speedup) {
+        min_gate_speedup = fp32_speedup;
+      }
+    }
+    std::printf(
+        "%-10s fp64 %.4fs  fp32 %.4fs  (fp32 %.2fx per cell-iter, "
+        "iters %d%s)  mixed: %d iters, %d refines%s\n",
+        ec.name.c_str(), configs[0].best, configs[1].best, fp32_speedup,
+        configs[0].iters, identical ? "" : " MISMATCH",
+        mixed_st.outer_iters, mixed_st.refine_steps,
+        mixed_st.converged ? "" : " NOT CONVERGED");
+  }
+  doc.set("solvers", std::move(arr));
+  doc.set("identical_iterations", all_identical);
+  doc.set("min_fp32_speedup_jacobi_cheby", min_gate_speedup);
+
+  std::ofstream out(out_path);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc.dump(2) << "\n";
+  std::printf("mixed-precision comparison (gate %.2fx) -> %s\n",
+              min_gate_speedup, out_path.c_str());
+  return 0;
+}
+
 // ---- assembled-operator comparison (BENCH_PR7) ---------------------------
 
 /// Single-rank, single-chunk conduction problem with a deterministic p —
@@ -1245,6 +1427,7 @@ int main(int argc, char** argv) {
 #endif
   try {
     const Args args(argc, argv);
+    if (args.has("precision")) return run_precision_bench(args);
     if (args.has("pipeline")) return run_pipeline_bench(args);
     if (args.has("spmv")) return run_spmv_bench(args);
     if (args.has("server")) return run_server_bench(args);

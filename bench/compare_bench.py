@@ -152,6 +152,29 @@ def extract_pr8(doc):
     return metrics
 
 
+def extract_pr9(doc):
+    """mixed-precision layer: fixed-iteration fp64/fp32 series on mesh^2
+    cells, plus the convergent mixed and fp64 riders on conv_mesh^2."""
+    cells = doc["mesh"] ** 2
+    conv_cells = doc["conv_mesh"] ** 2
+    metrics = {}
+    for entry in doc["solvers"]:
+        name = entry["solver"]
+        iters = entry["iters"]
+        for kind, key in (("fp64", "fp64_seconds"), ("fp32", "fp32_seconds")):
+            m = per_cell_iter(entry[key], cells, iters)
+            if m is not None:
+                metrics[f"{name}/{kind}"] = m
+        for kind, secs_key, iters_key in (
+            ("mixed", "mixed_seconds", "mixed_iters"),
+            ("fp64-conv", "fp64_conv_seconds", "fp64_conv_iters"),
+        ):
+            m = per_cell_iter(entry[secs_key], conv_cells, entry[iters_key])
+            if m is not None:
+                metrics[f"{name}/{kind}"] = m
+    return metrics
+
+
 EXTRACTORS = (
     ("fused-vs-unfused", extract_pr2),
     ("tile-size scan", extract_pr3),
@@ -159,6 +182,7 @@ EXTRACTORS = (
     ("solve-server", extract_pr6),
     ("assembled operators", extract_pr7),
     ("pipelined execution engine", extract_pr8),
+    ("mixed-precision execution layer", extract_pr9),
 )
 
 
@@ -189,7 +213,15 @@ def load(path):
 def warn_config_drift(base, fresh):
     # reps matters too: both sides record best-of-reps, and best-of-3 is
     # stochastically slower than best-of-10 on the same machine.
-    for key in ("mesh", "mesh_2d", "mesh_3d", "ranks", "threads", "reps"):
+    for key in (
+        "mesh",
+        "mesh_2d",
+        "mesh_3d",
+        "conv_mesh",
+        "ranks",
+        "threads",
+        "reps",
+    ):
         if key in base and key in fresh and base[key] != fresh[key]:
             print(
                 f"compare_bench: note: {key} differs "

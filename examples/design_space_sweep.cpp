@@ -7,7 +7,8 @@
 //           [--solvers cg,ppcg,chebyshev,mg-pcg] [--precons none,jac_diag]
 //           [--depths 1,4] [--meshes 32,48] [--threads 0] [--fused 0,1]
 //           [--tiles 0,32] [--pipeline 0,1] [--geometry 2d,3d]
-//           [--operators stencil,csr,sell-c-sigma] [--deck path/to/tea.in]
+//           [--operators stencil,csr,sell-c-sigma]
+//           [--precisions double,single,mixed] [--deck path/to/tea.in]
 //           [--csv out.csv] [--json out.json]
 //
 // A deck passed via --deck that carries its own sweep_* section overrides
@@ -92,6 +93,8 @@ int run(const Args& args) {
     }
     spec.operators = split_list(args.get("operators", "stencil"),
                                 "--operators");
+    spec.precisions = split_list(args.get("precisions", "double"),
+                                 "--precisions");
     spec.ranks = args.get_int("ranks", 4);
   }
 
@@ -104,14 +107,16 @@ int run(const Args& args) {
   std::printf("design-space sweep: %zu cells (%zu solvers x %zu precons x "
               "%zu depths x %zu meshes x %zu thread counts x %zu engines x "
               "%zu tile heights x %zu geometries x %zu operators x "
-              "%zu pipeline modes), %d ranks\n\n",
+              "%zu pipeline modes x %zu precisions), %d ranks\n\n",
               spec.num_cases(), spec.solvers.size(), spec.precons.size(),
               spec.halo_depths.size(),
               spec.mesh_sizes.empty() ? 1 : spec.mesh_sizes.size(),
               spec.thread_counts.size(), spec.fused.size(),
               spec.tile_rows.size(),
               spec.geometries.empty() ? 1 : spec.geometries.size(),
-              spec.operators.size(), spec.pipeline.size(), spec.ranks);
+              spec.operators.size(), spec.pipeline.size(),
+              spec.precisions.empty() ? 1 : spec.precisions.size(),
+              spec.ranks);
 
   const SweepReport report = run_sweep(base, spec, opts);
 

@@ -4,10 +4,13 @@
 //
 // The stream mixes two problem shapes (so same-shape requests coalesce
 // into sub-team batches while the shapes keep separate session pools),
-// one Matrix-Market-backed request (the example writes a small 5-point
-// SPD system and solves it through the assembled CSR path), and, unless
-// --no-poison, one request carrying a stale eigenvalue hint that
-// deterministically breaks down and must be re-routed to complete.
+// a sprinkling of mixed-precision requests (fp32 inner solves under the
+// fp64 refinement guard, served solo from precision-keyed sessions), one
+// Matrix-Market-backed request (the example writes a small 5-point SPD
+// system and solves it through the assembled CSR path), and, unless
+// --no-poison, one mixed-precision request carrying a stale eigenvalue
+// hint that deterministically breaks down and must be re-routed —
+// keeping its precision — to complete.
 //
 // Run:  ./examples/solve_server [--requests 20] [--mesh 48] [--mesh2 64]
 //           [--ranks 2] [--batch 8] [--routes sweep.json] [--no-poison]
@@ -87,17 +90,29 @@ int run(const tealeaf::Args& args) {
     req.deck = decks::layered_material(i % 3 == 2 ? mesh2 : mesh, 1);
     req.nranks = ranks;
     req.tag = "req-" + std::to_string(i);
+    if (i % 5 == 3) {
+      // Mixed-precision rider: fp32 inner solves inside the fp64
+      // iterative-refinement guard, to the same eps as the fp64 stream.
+      // Precision is part of the session shape key, so these never share
+      // (or poison the eigen memos of) the fp64 sessions beside them.
+      req.deck.solver.precision = Precision::kMixed;
+      req.tag += "-mixed";
+    }
     if (poison && i == requests / 2) {
       // A stale eigenvalue estimate: below-spectrum interval with an odd
       // inner-step count makes the polynomial preconditioner indefinite —
-      // deterministic rz-breakdown, completed only by the re-route.
+      // deterministic rz-breakdown, completed only by the re-route.  The
+      // request also asks for mixed precision: the breakdown surfaces
+      // from the fp32 inner solve and the re-route strips the hints while
+      // KEEPING the precision (the session is keyed on it).
       SolverConfig bad = req.deck.solver;
       bad.type = SolverType::kPPCG;
       bad.inner_steps = 3;
       bad.eig_hint_min = 0.1;
       bad.eig_hint_max = 0.2;
+      bad.precision = Precision::kMixed;
       req.config = bad;
-      req.tag += "-stale-hint";
+      req.tag += "-stale-hint-mixed";
     }
     server.submit(std::move(req));
   }
@@ -110,12 +125,17 @@ int run(const tealeaf::Args& args) {
 
   int failed = 0;
   for (const SolveResult& r : results) {
-    std::printf("%-18s %-28s outer=%4d |r|=%9.2e %8.3f ms%s%s%s%s\n",
+    const std::string refines =
+        r.config.precision == Precision::kMixed
+            ? " refine=" + std::to_string(r.stats.refine_steps)
+            : "";
+    std::printf("%-24s %-28s outer=%4d |r|=%9.2e %8.3f ms%s%s%s%s%s\n",
                 r.tag.c_str(),
                 r.route_label.empty() ? "(deck config)"
                                       : r.route_label.c_str(),
                 r.stats.outer_iters, r.stats.final_norm,
-                r.latency_seconds * 1e3, r.batched ? " [batched]" : "",
+                r.latency_seconds * 1e3, refines.c_str(),
+                r.batched ? " [batched]" : "",
                 r.cache_hit ? " [cache]" : "",
                 r.rerouted ? " [re-routed]" : "",
                 r.ok() ? "" : "  FAILED");

@@ -21,6 +21,7 @@ ProblemShape ProblemShape::of(const InputDeck& deck, int nranks, int halo) {
   s.nranks = nranks;
   s.halo = halo;
   s.op = deck.solver.op;
+  s.precision = deck.solver.precision;
   return s;
 }
 
@@ -29,6 +30,8 @@ std::string ProblemShape::key() const {
   os << dims << "d/" << nx << "x" << ny << "x" << nz << "/r" << nranks
      << "/h" << halo;
   if (op != OperatorKind::kStencil) os << "/" << to_string(op);
+  if (precision == Precision::kSingle) os << "/f32";
+  if (precision == Precision::kMixed) os << "/mixed";
   return os.str();
 }
 
@@ -146,6 +149,14 @@ SolveStats SolveSession::solve(const SolverConfig& cfg) {
   TEA_REQUIRE(std::max(2, checked.halo_depth) <= shape_.halo,
               "SolveSession::solve: config needs a deeper halo than this "
               "session allocated (construct with halo_override)");
+  // A loaded Matrix Market operator has no stencil coefficients to
+  // re-assemble in fp32, so the mixed-precision layer cannot build its
+  // fp32 twin — the deck parser rejects the combination too.
+  TEA_REQUIRE(deck_.matrix_file.empty() ||
+                  checked.precision == Precision::kDouble,
+              "tl_precision single/mixed cannot run a matrix_file operator "
+              "(no stencil coefficients to assemble in fp32); use "
+              "tl_precision = double");
   prepare(checked.op);
   const SolveStats stats = run_solver(*cluster_, checked, machine_);
   finish_solve(stats);

@@ -13,8 +13,6 @@
 
 namespace tealeaf {
 
-struct CsrMatrix;
-
 /// The cached identity of a solve problem: everything that determines the
 /// size (and so the reusable allocation) of a SimCluster — geometry, cell
 /// counts, decomposition width and halo allocation.  Two requests with
@@ -31,13 +29,18 @@ struct ProblemShape {
   /// assembled-operator session (which carries matrix storage) is never
   /// handed to a stencil request or vice versa.
   OperatorKind op = OperatorKind::kStencil;
+  /// Storage precision the deck asks for.  Part of the shape so a session
+  /// whose chunks carry (or lack) the fp32 field bank and fp32 assembled
+  /// matrices is never handed to a request of the other precision — and
+  /// so eigenvalue memos never leak between fp64 and fp32 operators.
+  Precision precision = Precision::kDouble;
 
   [[nodiscard]] static ProblemShape of(const InputDeck& deck, int nranks,
                                        int halo);
 
   /// Stable cache key, e.g. "2d/512x512x1/r4/h2"; assembled-operator
-  /// shapes append the kind ("…/h2/csr") so legacy stencil keys are
-  /// unchanged.
+  /// shapes append the kind ("…/h2/csr") and non-double precisions append
+  /// "/f32" or "/mixed", so legacy stencil/double keys are unchanged.
   [[nodiscard]] std::string key() const;
 
   [[nodiscard]] bool operator==(const ProblemShape&) const = default;

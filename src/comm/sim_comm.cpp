@@ -141,9 +141,10 @@ void SimCluster::exchange_x_rank_face(int rank, Face face,
   Chunk& other = *chunks_[static_cast<std::size_t>(nb)];
   TEA_ASSERT(other.ny() == me.ny() && other.nz() == me.nz(),
              "x-neighbours must share rows and planes");
-  for (int f = 0; f < nfields; ++f) {
-    Field<double>& dst = me.field(fields[f]);
-    const Field<double>& src = other.field(fields[f]);
+  // The copy body is generic over the storage bank: an fp32-active solve
+  // moves the fp32 halos (half the bytes — the mixed-precision layer's
+  // communication saving), the default path moves fp64 exactly as before.
+  const auto copy_face = [&](auto& dst, const auto& src) {
     for (int d = 0; d < depth; ++d) {
       // Halo column -1-d maps to the right edge of the left neighbour;
       // column nx+d maps to the left edge of the right neighbour.
@@ -152,6 +153,13 @@ void SimCluster::exchange_x_rank_face(int rank, Face face,
       for (int l = 0; l < me.nz(); ++l)
         for (int k = 0; k < me.ny(); ++k)
           dst(dst_j, k, l) = src(src_j, k, l);
+    }
+  };
+  for (int f = 0; f < nfields; ++f) {
+    if (me.fp32_active()) {
+      copy_face(me.field32(fields[f]), other.field32(fields[f]));
+    } else {
+      copy_face(me.field(fields[f]), other.field(fields[f]));
     }
   }
 }
@@ -179,15 +187,20 @@ void SimCluster::exchange_y_rank_face(int rank, Face face,
   Chunk& other = *chunks_[static_cast<std::size_t>(nb)];
   TEA_ASSERT(other.nx() == me.nx() && other.nz() == me.nz(),
              "y-neighbours must share columns and planes");
-  for (int f = 0; f < nfields; ++f) {
-    Field<double>& dst = me.field(fields[f]);
-    const Field<double>& src = other.field(fields[f]);
+  const auto copy_face = [&](auto& dst, const auto& src) {
     for (int d = 0; d < depth; ++d) {
       const int dst_k = (face == Face::kBottom) ? -1 - d : me.ny() + d;
       const int src_k = (face == Face::kBottom) ? other.ny() - 1 - d : d;
       for (int l = 0; l < me.nz(); ++l)
         for (int j = jlo; j < jhi; ++j)
           dst(j, dst_k, l) = src(j, src_k, l);
+    }
+  };
+  for (int f = 0; f < nfields; ++f) {
+    if (me.fp32_active()) {
+      copy_face(me.field32(fields[f]), other.field32(fields[f]));
+    } else {
+      copy_face(me.field(fields[f]), other.field(fields[f]));
     }
   }
 }
@@ -218,15 +231,20 @@ void SimCluster::exchange_z_rank_face(int rank, Face face,
   Chunk& other = *chunks_[static_cast<std::size_t>(nb)];
   TEA_ASSERT(other.nx() == me.nx() && other.ny() == me.ny(),
              "z-neighbours must share columns and rows");
-  for (int f = 0; f < nfields; ++f) {
-    Field<double>& dst = me.field(fields[f]);
-    const Field<double>& src = other.field(fields[f]);
+  const auto copy_face = [&](auto& dst, const auto& src) {
     for (int d = 0; d < depth; ++d) {
       const int dst_l = (face == Face::kBack) ? -1 - d : me.nz() + d;
       const int src_l = (face == Face::kBack) ? other.nz() - 1 - d : d;
       for (int k = klo; k < khi; ++k)
         for (int j = jlo; j < jhi; ++j)
           dst(j, k, dst_l) = src(j, k, src_l);
+    }
+  };
+  for (int f = 0; f < nfields; ++f) {
+    if (me.fp32_active()) {
+      copy_face(me.field32(fields[f]), other.field32(fields[f]));
+    } else {
+      copy_face(me.field(fields[f]), other.field(fields[f]));
     }
   }
 }
@@ -248,10 +266,14 @@ void SimCluster::account_exchange(int nfields, int depth) {
   // y neighbours that populated them.
   for (int r = 0; r < nranks(); ++r) {
     const Chunk& me = *chunks_[static_cast<std::size_t>(r)];
+    // fp32-active solves move the fp32 bank, so their messages carry half
+    // the bytes — the accounting (and hence the comm model) prices that.
+    const std::int64_t esz = static_cast<std::int64_t>(
+        me.fp32_active() ? sizeof(float) : sizeof(double));
     for (const Face face : {Face::kLeft, Face::kRight}) {
       if (decomp_.neighbor(r, face) < 0) continue;
       record(static_cast<std::int64_t>(depth) * me.ny() * me.nz() * nf *
-             static_cast<std::int64_t>(sizeof(double)));
+             esz);
     }
     const int xcorners = (decomp_.neighbor(r, Face::kLeft) >= 0 ? 1 : 0) +
                          (decomp_.neighbor(r, Face::kRight) >= 0 ? 1 : 0);
@@ -260,7 +282,7 @@ void SimCluster::account_exchange(int nfields, int depth) {
     for (const Face face : {Face::kBottom, Face::kTop}) {
       if (decomp_.neighbor(r, face) < 0) continue;
       record(static_cast<std::int64_t>(depth) * row_len * me.nz() * nf *
-             static_cast<std::int64_t>(sizeof(double)));
+             esz);
     }
     if (mesh_.dims == 3) {
       const int ycorners =
@@ -271,7 +293,7 @@ void SimCluster::account_exchange(int nfields, int depth) {
       for (const Face face : {Face::kBack, Face::kFront}) {
         if (decomp_.neighbor(r, face) < 0) continue;
         record(static_cast<std::int64_t>(depth) * row_len * col_len * nf *
-               static_cast<std::int64_t>(sizeof(double)));
+               esz);
       }
     }
   }

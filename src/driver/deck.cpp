@@ -95,13 +95,15 @@ constexpr const char* kKnownKeys[] = {
     "tl_cg_fuse_reductions", "tl_fuse_kernels",
     "tl_tile_rows",   "tl_pipeline",
     "tl_coefficient",
-    "tl_operator",    "matrix_file",
+    "tl_operator",    "tl_precision",
+    "matrix_file",
     "sweep_solvers",  "sweep_precons",
     "sweep_halo_depths", "sweep_mesh_sizes",
     "sweep_threads",  "sweep_fused",
     "sweep_tile_rows", "sweep_pipeline",
     "sweep_geometry",
-    "sweep_operator", "sweep_ranks"};
+    "sweep_operator", "sweep_precision",
+    "sweep_ranks"};
 
 /// Levenshtein distance, small-string edition (deck keys are short).
 std::size_t edit_distance(const std::string& a, const std::string& b) {
@@ -323,6 +325,8 @@ InputDeck InputDeck::parse(std::istream& in) {
       deck.solver.pipeline = to_flag(value, key);
     } else if (key == "tl_operator") {
       deck.solver.op = operator_kind_from_string(value);
+    } else if (key == "tl_precision") {
+      deck.solver.precision = precision_from_string(value);
     } else if (key == "matrix_file") {
       TEA_REQUIRE(!value.empty(), "deck: matrix_file needs a path");
       deck.matrix_file = value;
@@ -360,6 +364,8 @@ InputDeck InputDeck::parse(std::istream& in) {
       }
     } else if (key == "sweep_operator") {
       deck.sweep.operators = split_list(value, key);
+    } else if (key == "sweep_precision") {
+      deck.sweep.precisions = split_list(value, key);
     } else if (key == "sweep_ranks") {
       deck.sweep.ranks = static_cast<int>(to_double(value, key));
     } else if (key == "tl_coefficient") {
@@ -424,6 +430,9 @@ std::string InputDeck::to_string() const {
   if (solver.op != OperatorKind::kStencil) {
     os << "tl_operator=" << tealeaf::to_string(solver.op) << "\n";
   }
+  if (solver.precision != Precision::kDouble) {
+    os << "tl_precision=" << tealeaf::to_string(solver.precision) << "\n";
+  }
   if (!matrix_file.empty()) os << "matrix_file=" << matrix_file << "\n";
   if (sweep.requested()) {
     const auto join = [&os](const char* key, const auto& items,
@@ -456,6 +465,10 @@ std::string InputDeck::to_string() const {
     if (sweep.operators != std::vector<std::string>{"stencil"}) {
       join("sweep_operator", sweep.operators,
            [](const std::string& o) { return o; });
+    }
+    if (sweep.precisions != std::vector<std::string>{"double"}) {
+      join("sweep_precision", sweep.precisions,
+           [](const std::string& p) { return p; });
     }
     os << "sweep_ranks=" << sweep.ranks << "\n";
   }
@@ -527,6 +540,12 @@ void InputDeck::validate() const {
           "deck: matrix_file needs an assembled operator to hold the "
           "loaded matrix, but tl_operator is 'stencil' (the matrix-free "
           "path has no storage for it).  Did you mean tl_operator = csr?");
+    }
+    if (solver.precision != Precision::kDouble) {
+      throw TeaError(
+          "deck: tl_precision single/mixed cannot be combined with "
+          "matrix_file — a loaded operator has no stencil coefficients to "
+          "re-assemble in fp32.  Use tl_precision = double.");
     }
   }
   TEA_REQUIRE(end_time > 0.0 || end_step > 0,

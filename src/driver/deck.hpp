@@ -90,10 +90,11 @@ struct InputDeck {
   /// tl_preconditioner_type (none|jac_diag|jac_block), tl_ppcg_inner_steps,
   /// tl_eigen_cg_iters, tl_halo_depth (matrix powers),
   /// tl_operator (stencil|csr|sell-c-sigma), matrix_file (<path>.mtx),
+  /// tl_precision (double|single|mixed),
   /// tl_coefficient (conductivity|recip_conductivity), the sweep section
   /// (comma-separated axis lists): sweep_solvers, sweep_precons,
   /// sweep_halo_depths, sweep_mesh_sizes, sweep_threads, sweep_operator,
-  /// sweep_ranks,
+  /// sweep_precision, sweep_ranks,
   /// and `state` lines:
   ///   state <n> density=<v> energy=<v> [geometry=rectangle|circle|point
   ///     xmin= xmax= ymin= ymax= | xcentre= ycentre= radius= | x= y=]

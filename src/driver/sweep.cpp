@@ -32,6 +32,8 @@ std::string SweepCase::label() const {
   if (pipeline) os << "/pipe";
   if (dims == 3) os << "/3d";
   if (op != "stencil") os << "/" << op;
+  if (precision == "single") os << "/f32";
+  if (precision == "mixed") os << "/mixed";
   return os.str();
 }
 
@@ -47,6 +49,13 @@ std::vector<SweepCase> enumerate_cases(const SweepSpec& spec, int base_mesh,
   if (geometries.empty()) geometries.push_back(base_dims);
   std::vector<std::string> operators = spec.operators;
   if (operators.empty()) operators.push_back("stencil");
+  // Canonicalise the precision entries ("fp32" → "single") so labels and
+  // result tables always carry the canonical names.
+  std::vector<std::string> precisions;
+  for (const std::string& p : spec.precisions) {
+    precisions.push_back(to_string(precision_from_string(p)));
+  }
+  if (precisions.empty()) precisions.push_back("double");
 
   std::vector<SweepCase> cases;
   cases.reserve(spec.num_cases());
@@ -60,8 +69,11 @@ std::vector<SweepCase> enumerate_cases(const SweepSpec& spec, int base_mesh,
                 for (const int dims : geometries) {
                   for (const std::string& op : operators) {
                     for (const int pipe : spec.pipeline) {
-                      cases.push_back({solver, precon, depth, mesh, threads,
-                                       fused != 0, tile, dims, op, pipe != 0});
+                      for (const std::string& prec : precisions) {
+                        cases.push_back({solver, precon, depth, mesh,
+                                         threads, fused != 0, tile, dims, op,
+                                         pipe != 0, prec});
+                      }
                     }
                   }
                 }
@@ -276,6 +288,7 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
     deck.solver.tile_rows = cs.tile_rows;
     deck.solver.op = operator_kind_from_string(cs.op);
     deck.solver.pipeline = cs.pipeline;
+    deck.solver.precision = precision_from_string(cs.precision);
 
     const bool mg_pcg = cs.solver == "mg-pcg";
     if (cs.tile_rows != 0 && !cs.fused) {
@@ -294,6 +307,15 @@ SweepReport run_sweep(const InputDeck& base, const SweepSpec& spec,
       out.skip_reason =
           "mg-pcg rebuilds its hierarchy from the face coefficients and "
           "has no assembled-operator form";
+    } else if (mg_pcg && cs.precision != "double") {
+      out.skipped = true;
+      out.skip_reason =
+          "mg-pcg is double-only (the multigrid hierarchy stays fp64)";
+    } else if (!deck.matrix_file.empty() && cs.precision != "double") {
+      out.skipped = true;
+      out.skip_reason =
+          "a loaded matrix_file operator has no stencil coefficients to "
+          "re-assemble in fp32";
     } else if (mg_pcg) {
       // MG *is* the preconditioner and uses no matrix-powers halo.  Its
       // fused path hoists the V-cycle row loops into one team region per
@@ -399,7 +421,8 @@ namespace {
 constexpr const char* kCsvColumns[] = {
     "solver",      "precon",        "halo_depth",   "mesh",
     "threads",     "fused",         "tile_rows",    "pipeline",
-    "geometry",    "operator",      "sweep_ranks",  "sweep_steps",
+    "geometry",    "operator",      "precision",    "sweep_ranks",
+    "sweep_steps",
     "status",      "converged",     "iterations",   "inner_steps",
     "spmv",        "reductions",    "exchanges",    "messages",
     "message_bytes", "final_norm",  "solve_seconds", "comm_seconds",
@@ -456,7 +479,8 @@ std::vector<std::string> SweepReport::to_csv_lines() const {
             c.config.mesh_n, c.config.threads, c.config.fused ? 1 : 0,
             c.config.tile_rows, c.config.pipeline ? 1 : 0,
             c.config.dims == 3 ? "3d" : "2d",
-            c.config.op, ranks, steps, status, c.converged ? 1 : 0,
+            c.config.op, c.config.precision, ranks, steps, status,
+            c.converged ? 1 : 0,
             c.iterations, c.inner_steps, c.spmv, c.reductions, c.exchanges,
             c.messages, c.message_bytes, fmt_double(c.final_norm),
             fmt_double(c.solve_seconds), fmt_double(c.comm_seconds),
@@ -503,23 +527,24 @@ SweepReport SweepReport::from_csv_lines(
     out.config.dims = f[8] == "3d" ? 3 : 2;
     operator_kind_from_string(f[9]);  // throws on an unknown kind
     out.config.op = f[9];
-    report.ranks = csv_int(f[10], "sweep_ranks");
-    report.steps = csv_int(f[11], "sweep_steps");
-    out.skipped = f[12] == "skipped";
+    out.config.precision = to_string(precision_from_string(f[10]));
+    report.ranks = csv_int(f[11], "sweep_ranks");
+    report.steps = csv_int(f[12], "sweep_steps");
+    out.skipped = f[13] == "skipped";
     // The CSV form reduces fail_reason to the status keyword (free-text
     // reasons may contain commas); JSON carries the full text.
-    if (f[12] == "failed") out.fail_reason = "failed";
-    out.converged = csv_int(f[13], "converged") != 0;
-    out.iterations = csv_int(f[14], "iterations");
-    out.inner_steps = csv_ll(f[15], "inner_steps");
-    out.spmv = csv_ll(f[16], "spmv");
-    out.reductions = csv_ll(f[17], "reductions");
-    out.exchanges = csv_ll(f[18], "exchanges");
-    out.messages = csv_ll(f[19], "messages");
-    out.message_bytes = csv_ll(f[20], "message_bytes");
-    out.final_norm = csv_double(f[21], "final_norm");
-    out.solve_seconds = csv_double(f[22], "solve_seconds");
-    out.comm_seconds = csv_double(f[23], "comm_seconds");
+    if (f[13] == "failed") out.fail_reason = "failed";
+    out.converged = csv_int(f[14], "converged") != 0;
+    out.iterations = csv_int(f[15], "iterations");
+    out.inner_steps = csv_ll(f[16], "inner_steps");
+    out.spmv = csv_ll(f[17], "spmv");
+    out.reductions = csv_ll(f[18], "reductions");
+    out.exchanges = csv_ll(f[19], "exchanges");
+    out.messages = csv_ll(f[20], "messages");
+    out.message_bytes = csv_ll(f[21], "message_bytes");
+    out.final_norm = csv_double(f[22], "final_norm");
+    out.solve_seconds = csv_double(f[23], "solve_seconds");
+    out.comm_seconds = csv_double(f[24], "comm_seconds");
     // The last two columns (speedup, rank) are derived; recomputed on
     // demand from the parsed cells.
     report.cells.push_back(std::move(out));
@@ -546,6 +571,7 @@ io::JsonValue SweepReport::to_json() const {
     cell.set("pipeline", c.config.pipeline);
     cell.set("geometry", c.config.dims == 3 ? "3d" : "2d");
     cell.set("operator", c.config.op);
+    cell.set("precision", c.config.precision);
     cell.set("skipped", c.skipped);
     if (c.skipped) cell.set("skip_reason", c.skip_reason);
     if (!c.fail_reason.empty()) cell.set("fail_reason", c.fail_reason);
@@ -608,6 +634,10 @@ SweepReport SweepReport::from_json(const io::JsonValue& doc) {
     if (cell.contains("operator")) {
       out.config.op = cell.at("operator").as_string();
       operator_kind_from_string(out.config.op);  // throws on unknown
+    }
+    if (cell.contains("precision")) {
+      out.config.precision =
+          to_string(precision_from_string(cell.at("precision").as_string()));
     }
     out.skipped = cell.at("skipped").as_bool();
     if (cell.contains("skip_reason")) {

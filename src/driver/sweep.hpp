@@ -29,11 +29,14 @@ struct SweepCase {
   /// Run through the pipelined execution engine (cross-kernel row-block
   /// chaining; SolverConfig::pipeline — the tenth design-space axis).
   bool pipeline = false;
+  /// Storage precision: "double" | "single" | "mixed"
+  /// (SolverConfig::precision — the eleventh design-space axis).
+  std::string precision = "double";
 
   /// Compact identifier, e.g. "ppcg/jac_diag/d4/n64/t2" (fused cells
   /// carry a trailing "/fused", tiled cells "/fused/b<rows>", pipelined
   /// cells "/pipe", 3-D cells "/3d", assembled-operator cells "/csr" or
-  /// "/sell-c-sigma").
+  /// "/sell-c-sigma", reduced-precision cells "/f32" or "/mixed").
   [[nodiscard]] std::string label() const;
 };
 
@@ -101,8 +104,9 @@ struct SweepReport {
 
 /// Expand the axes into the full cross-product in deterministic order:
 /// solvers → preconditioners → halo depths → mesh sizes → threads →
-/// fused → tile rows → geometries → operators → pipeline, each axis in
-/// its declared order.
+/// fused → tile rows → geometries → operators → pipeline → precision,
+/// each axis in its declared order (precision entries are canonicalised,
+/// so "fp32" enumerates as "single").
 /// `base_mesh` substitutes for an empty mesh-size axis and `base_dims`
 /// for an empty geometry axis (so sweeping a 3-D deck stays 3-D unless
 /// the deck asks for the cross-dimension comparison).

@@ -40,6 +40,38 @@ const Field<double>& Chunk::field(FieldId id) const {
   return f;
 }
 
+void Chunk::enable_fp32() {
+  if (fp32_enabled()) return;
+  // Mirror the fp64 ctor allocation exactly (same halo, kKz only in 3-D)
+  // so both banks share one geometry and the assembled-operator column
+  // offsets index either.  The zero-fill is the NUMA first touch.
+  fields32_.resize(kNumFieldIds);
+  for (std::size_t i = 0; i < fields32_.size(); ++i) {
+    if (mesh_.dims != 3 && i == idx(FieldId::kKz)) continue;
+    fields32_[i] = (mesh_.dims == 3)
+                       ? Field<float>::make3d(extent_.nx, extent_.ny,
+                                              extent_.nz, halo_depth_, 0.0f)
+                       : Field<float>(extent_.nx, extent_.ny, halo_depth_,
+                                      0.0f);
+  }
+}
+
+Field<float>& Chunk::field32(FieldId id) {
+  TEA_REQUIRE(fp32_enabled(), "fp32 field bank not enabled on this chunk");
+  Field<float>& f = fields32_[idx(id)];
+  TEA_REQUIRE(f.size() > 0,
+              "field not allocated for this geometry (kKz is 3-D only)");
+  return f;
+}
+
+const Field<float>& Chunk::field32(FieldId id) const {
+  TEA_REQUIRE(fp32_enabled(), "fp32 field bank not enabled on this chunk");
+  const Field<float>& f = fields32_[idx(id)];
+  TEA_REQUIRE(f.size() > 0,
+              "field not allocated for this geometry (kKz is 3-D only)");
+  return f;
+}
+
 bool Chunk::at_boundary(Face face) const {
   switch (face) {
     case Face::kLeft: return extent_.x0 == 0;

@@ -12,8 +12,14 @@
 
 namespace tealeaf {
 
-struct CsrMatrix;
-struct SellMatrix;
+template <class T>
+struct CsrMatrixT;
+template <class T>
+struct SellMatrixT;
+using CsrMatrix = CsrMatrixT<double>;
+using SellMatrix = SellMatrixT<double>;
+using CsrMatrix32 = CsrMatrixT<float>;
+using SellMatrix32 = SellMatrixT<float>;
 
 /// Identifiers for the per-chunk solver fields (mirrors the field set of
 /// upstream TeaLeaf's `chunk_type`).  Used to select fields for halo
@@ -78,6 +84,36 @@ class Chunk {
   [[nodiscard]] Field<double>& field(FieldId id);
   [[nodiscard]] const Field<double>& field(FieldId id) const;
 
+  /// fp32 twin of field(): the second storage bank of the mixed-precision
+  /// execution layer.  Same geometry and halo as the fp64 bank (identical
+  /// strides, so assembled-operator column offsets index both), allocated
+  /// lazily by enable_fp32() — double-only runs never pay for it.
+  [[nodiscard]] Field<float>& field32(FieldId id);
+  [[nodiscard]] const Field<float>& field32(FieldId id) const;
+
+  /// Scalar-generic field access for templated kernel cores:
+  /// field_t<double> is field(), field_t<float> is field32().
+  template <class T>
+  [[nodiscard]] Field<T>& field_t(FieldId id);
+  template <class T>
+  [[nodiscard]] const Field<T>& field_t(FieldId id) const;
+
+  /// Allocate the fp32 field bank (no-op when already allocated).  Like
+  /// the fp64 ctor fill, the zero-fill is the NUMA first touch: call it
+  /// from the thread that owns this rank.
+  void enable_fp32();
+  [[nodiscard]] bool fp32_enabled() const { return !fields32_.empty(); }
+
+  /// When active, op_dispatch routes the kernels over the fp32 views and
+  /// halo exchanges move the fp32 bank.  Flipped by the single/mixed
+  /// drivers in run_solver; never active on the default double path.
+  [[nodiscard]] bool fp32_active() const { return fp32_active_; }
+  void set_fp32_active(bool active) {
+    TEA_REQUIRE(!active || fp32_enabled(),
+                "fp32 bank must be enabled before activation");
+    fp32_active_ = active;
+  }
+
   // Named accessors for readability in kernels.
   Field<double>& density() { return fields_[idx(FieldId::kDensity)]; }
   Field<double>& energy0() { return fields_[idx(FieldId::kEnergy0)]; }
@@ -117,6 +153,8 @@ class Chunk {
   [[nodiscard]] OperatorKind op_kind() const { return op_kind_; }
   [[nodiscard]] const CsrMatrix* csr() const { return csr_.get(); }
   [[nodiscard]] const SellMatrix* sell() const { return sell_.get(); }
+  [[nodiscard]] const CsrMatrix32* csr32() const { return csr32_.get(); }
+  [[nodiscard]] const SellMatrix32* sell32() const { return sell32_.get(); }
 
   /// Install an assembled operator (CSR always required; the SELL-C-σ
   /// re-layout only for kSellCSigma).  The matrices are shared, immutable
@@ -134,11 +172,27 @@ class Chunk {
     sell_ = std::move(sell);
   }
 
+  /// fp32 twins of the assembled matrices (assembled from the fp32
+  /// coefficient bank, NOT downcast).  Installed by the single/mixed
+  /// drivers when op_kind() is an assembled format.
+  void set_assembled_operator32(std::shared_ptr<const CsrMatrix32> csr,
+                                std::shared_ptr<const SellMatrix32> sell = {}) {
+    TEA_REQUIRE(op_kind_ != OperatorKind::kStencil,
+                "stencil operator carries no assembled matrix");
+    TEA_REQUIRE(csr != nullptr, "assembled fp32 operator needs a CSR matrix");
+    TEA_REQUIRE(op_kind_ != OperatorKind::kSellCSigma || sell != nullptr,
+                "sell-c-sigma operator needs the fp32 SELL re-layout");
+    csr32_ = std::move(csr);
+    sell32_ = std::move(sell);
+  }
+
   /// Back to the matrix-free stencil; drops the assembled matrices.
   void clear_assembled_operator() {
     op_kind_ = OperatorKind::kStencil;
     csr_.reset();
     sell_.reset();
+    csr32_.reset();
+    sell32_.reset();
   }
 
   /// Per-row reduction scratch of the tiled execution engine: two double
@@ -158,11 +212,33 @@ class Chunk {
   GlobalMesh mesh_;
   int halo_depth_;
   std::array<Field<double>, kNumFieldIds> fields_;
+  /// Lazily allocated fp32 twin bank (empty until enable_fp32()).
+  std::vector<Field<float>> fields32_;
+  bool fp32_active_ = false;
   std::vector<double> row_scratch_;
   OperatorKind op_kind_ = OperatorKind::kStencil;
   std::shared_ptr<const CsrMatrix> csr_;
   std::shared_ptr<const SellMatrix> sell_;
+  std::shared_ptr<const CsrMatrix32> csr32_;
+  std::shared_ptr<const SellMatrix32> sell32_;
 };
+
+template <>
+inline Field<double>& Chunk::field_t<double>(FieldId id) {
+  return field(id);
+}
+template <>
+inline const Field<double>& Chunk::field_t<double>(FieldId id) const {
+  return field(id);
+}
+template <>
+inline Field<float>& Chunk::field_t<float>(FieldId id) {
+  return field32(id);
+}
+template <>
+inline const Field<float>& Chunk::field_t<float>(FieldId id) const {
+  return field32(id);
+}
 
 /// Compatibility spelling from before the dimension-generic core.
 using Chunk2D = Chunk;

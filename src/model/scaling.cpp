@@ -47,7 +47,7 @@ ScalingSeries measured_series(std::string label,
 class ScalingModel::Cost {
  public:
   Cost(const MachineSpec& spec, const GlobalMesh& mesh, int nodes,
-       int tile_rows = 0, bool pipeline = false)
+       int tile_rows = 0, bool pipeline = false, double elem_scale = 1.0)
       : spec_(spec), nodes_(nodes), dims_(mesh.dims), pipeline_(pipeline) {
     const long long want_ranks =
         static_cast<long long>(nodes) * spec.ranks_per_node;
@@ -83,11 +83,18 @@ class ScalingModel::Cost {
     // mirroring what solve_linear_system does with the real chunk.
     if (tile_rows < 0) tile_rows = auto_tile_rows(spec, cnx_, 2);
     if (tile_rows > 0 && spec.l2_kb > 0.0) {
+      // fp32 solves stream 4-byte elements (elem_scale 0.5), so the same
+      // row-block is half the bytes and fits L2 at twice the height.
       const double tile_bytes = static_cast<double>(tile_rows) * cnx_ *
-                                kTileWorkingSetFields * 8.0;
+                                kTileWorkingSetFields * 8.0 * elem_scale;
       blocked_ = tile_bytes <= spec.l2_kb * 1024.0;
     }
   }
+
+  /// Scale every subsequent sweep's and exchange's byte volume: 1.0 for
+  /// fp64 phases, 0.5 while the solve streams the fp32 bank.  Launch and
+  /// α latencies are element-size independent and stay unscaled.
+  void set_byte_scale(double s) { scale_ = s; }
 
   /// One kernel sweep over every cell (with `ext` halo extension — in z
   /// too for 3-D meshes, mirroring extended_bounds).
@@ -96,7 +103,7 @@ class ScalingModel::Cost {
                          (cny_ + 2 * ext) *
                          (dims_ == 3 ? cnz_ + 2 * ext : cnz_);
     seconds_ += spec_.kernel_launch_us * 1.0e-6 +
-                cells * bytes_per_cell / rank_bw_;
+                cells * bytes_per_cell * scale_ / rank_bw_;
   }
 
   /// A sweep with a blocked-cache bytes/cell variant: `blocked_bytes`
@@ -132,15 +139,16 @@ class ScalingModel::Cost {
   /// the z phase with face-area payloads.
   void exchange(int depth, int nfields) {
     const double bx = static_cast<double>(depth) * cny_ * cnz_ * 8.0 *
-                      nfields;
+                      scale_ * nfields;
     const int xcorners = std::min(px_ - 1, 2);
     const double row_len = cnx_ + static_cast<double>(xcorners) * depth;
     const double by =
-        static_cast<double>(depth) * row_len * cnz_ * 8.0 * nfields;
+        static_cast<double>(depth) * row_len * cnz_ * 8.0 * scale_ * nfields;
     const int ycorners = std::min(py_ - 1, 2);
     const double col_len = cny_ + static_cast<double>(ycorners) * depth;
     const double bz =
-        static_cast<double>(depth) * row_len * col_len * 8.0 * nfields;
+        static_cast<double>(depth) * row_len * col_len * 8.0 * scale_ *
+        nfields;
     for (const auto& [active, bytes] :
          {std::pair{px_ > 1, bx}, std::pair{py_ > 1, by},
           std::pair{dims_ == 3 && pz_ > 1, bz}}) {
@@ -192,6 +200,7 @@ class ScalingModel::Cost {
   int py_ = 1;
   int pz_ = 1;
   double rank_bw_ = 1.0;
+  double scale_ = 1.0;
   double seconds_ = 0.0;
   bool blocked_ = false;
   bool pipeline_ = false;
@@ -242,7 +251,12 @@ constexpr double kBytesJacobiChained = 36.0;
 
 double ScalingModel::run_seconds(const SolverRunSummary& run,
                                  int nodes) const {
-  Cost cost(spec_, mesh_, nodes, run.tile_rows, run.pipeline);
+  // Reduced-precision solves stream 4-byte elements through every
+  // solver-phase sweep and exchange — the mixed-precision layer's whole
+  // bandwidth case.  The per-step field setup, the fp64 refinement guard
+  // and the energy recovery stay at full width.
+  const double fscale = run.precision == Precision::kDouble ? 1.0 : 0.5;
+  Cost cost(spec_, mesh_, nodes, run.tile_rows, run.pipeline, fscale);
   const bool diag = run.precon == PreconType::kJacobiDiag;
   const bool block = run.precon == PreconType::kJacobiBlock;
   // 7-point stencil sweeps stream the extra Kz face-coefficient field.
@@ -264,6 +278,7 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
   cost.sweep(24.0 + kface);  // init_conduction: density read, face writes
 
   // --- solver setup: exchange(u,1); residual (+ precon init/apply) ------
+  cost.set_byte_scale(fscale);
   cost.exchange(1, 1);
   cost.sweep(kBytesResidual + kface);
   if (block) cost.sweep(40.0 + kface);  // block_jacobi_init
@@ -373,6 +388,47 @@ double ScalingModel::run_seconds(const SolverRunSummary& run,
       }
       break;
     }
+  }
+
+  cost.set_byte_scale(1.0);
+
+  if (run.precision != Precision::kDouble) {
+    // One-time fp32 operator build: downcast each face-coefficient field
+    // (8-byte read + 4-byte write per cell).
+    cost.sweep(12.0 * (mesh_.dims == 3 ? 3.0 : 2.0));
+  }
+  if (run.precision == Precision::kSingle) {
+    cost.sweep(28.0);  // clear the fp32 workspace (7 field writes)
+    cost.sweep(24.0);  // downcast u and u0 into the fp32 bank
+    cost.sweep(12.0);  // upcast the converged iterate (4r + 8w)
+  }
+  if (run.precision == Precision::kMixed) {
+    // fp64-guarded iterative refinement: each inner solve clears the fp32
+    // workspace, downcasts the fp64 residual into its right-hand side and
+    // accumulates u += δ in fp64; each guard — the initial true residual
+    // plus one after every inner solve — pays an fp64 u-exchange, the
+    // residual sweep and its norm reduction.  Refinement passes beyond
+    // the first also replay the fp32 solver setup (their iterations are
+    // already inside the aggregated counts above).
+    const int inner_solves = run.refine_steps + 1;
+    for (int i = 0; i < inner_solves; ++i) {
+      cost.sweep(28.0);  // clear the fp32 workspace
+      cost.sweep(12.0);  // downcast the fp64 residual (8r + 4w)
+      cost.sweep(20.0);  // u += δ in fp64 (u rw + 4-byte δ read)
+    }
+    for (int g = 0; g < inner_solves + 1; ++g) {
+      cost.exchange(1, 1);
+      cost.sweep(kBytesResidual + kface);
+      cost.reduce();
+    }
+    cost.set_byte_scale(fscale);
+    for (int i = 0; i < run.refine_steps; ++i) {
+      cost.exchange(1, 1);
+      cost.sweep(kBytesResidual + kface);
+      cost.sweep(kBytesCopy);  // p = z / p = r
+      cost.reduce();
+    }
+    cost.set_byte_scale(1.0);
   }
 
   // Energy recovery sweep at the end of the step.

@@ -21,6 +21,8 @@ SolverRunSummary SolverRunSummary::from(const SolverConfig& cfg,
   // it against the modelled machine's L2 and chunk width.
   run.tile_rows = cfg.fuse_kernels ? cfg.tile_rows : 0;
   run.pipeline = cfg.fuse_kernels && cfg.pipeline;
+  run.precision = cfg.precision;
+  run.refine_steps = stats.refine_steps;
   run.eigen_cg_iters = stats.eigen_cg_iters;
   run.outer_iters = stats.outer_iters - stats.eigen_cg_iters;
   run.mesh_n = mesh_n;
@@ -42,7 +44,7 @@ SolverRunSummary project_to_mesh(SolverRunSummary run, int target_n) {
 }
 
 CommCounts exchange_counts(const Decomposition& decomp, int depth,
-                           int nfields) {
+                           int nfields, int elem_bytes) {
   CommCounts cc;
   cc.exchange_calls = 1;
   for (int r = 0; r < decomp.nranks(); ++r) {
@@ -51,7 +53,7 @@ CommCounts exchange_counts(const Decomposition& decomp, int depth,
       if (decomp.neighbor(r, face) < 0) continue;
       ++cc.messages;
       cc.message_bytes += static_cast<std::int64_t>(depth) * e.ny * e.nz *
-                          nfields * static_cast<std::int64_t>(sizeof(double));
+                          nfields * static_cast<std::int64_t>(elem_bytes);
     }
     // y rows carry only the corner columns that hold neighbour data: a
     // rank at a physical left/right boundary sends shorter rows (matches
@@ -64,7 +66,7 @@ CommCounts exchange_counts(const Decomposition& decomp, int depth,
       if (decomp.neighbor(r, face) < 0) continue;
       ++cc.messages;
       cc.message_bytes += static_cast<std::int64_t>(depth) * row_len * e.nz *
-                          nfields * static_cast<std::int64_t>(sizeof(double));
+                          nfields * static_cast<std::int64_t>(elem_bytes);
     }
     // z slabs carry the x- and y-halo edges the earlier phases populated
     // (face area plus the depth-wide edge strips with real data), again
@@ -80,7 +82,7 @@ CommCounts exchange_counts(const Decomposition& decomp, int depth,
         ++cc.messages;
         cc.message_bytes += static_cast<std::int64_t>(depth) * row_len *
                             col_len * nfields *
-                            static_cast<std::int64_t>(sizeof(double));
+                            static_cast<std::int64_t>(elem_bytes);
       }
     }
   }
@@ -105,16 +107,18 @@ void add(CommCounts& total, const CommCounts& part, std::int64_t times = 1) {
   total.exchange_calls += part.exchange_calls * times;
   total.messages += part.messages * times;
   total.message_bytes += part.message_bytes * times;
+  total.reductions += part.reductions * times;
 }
 
-}  // namespace
-
-CommCounts predict_comm_counts(const SolverRunSummary& run,
-                               const Decomposition2D& decomp,
-                               const GlobalMesh2D& mesh) {
-  (void)mesh;
+/// The native solver's exchange/reduction schedule for one solve with the
+/// given (aggregated) iteration structure, with every halo payload priced
+/// at `elem_bytes` per element — 8 for fp64 solves, 4 when the solve runs
+/// over the fp32 bank.
+CommCounts native_comm_counts(const SolverRunSummary& run,
+                              const Decomposition2D& decomp,
+                              int elem_bytes) {
   CommCounts total;
-  const CommCounts ex1 = exchange_counts(decomp, 1, 1);
+  const CommCounts ex1 = exchange_counts(decomp, 1, 1, elem_bytes);
 
   switch (run.type) {
     case SolverType::kJacobi: {
@@ -162,8 +166,10 @@ CommCounts predict_comm_counts(const SolverRunSummary& run,
       if (run.halo_depth == 1) {
         add(total, ex1, plan.single_field_rounds * applies);
       } else {
-        const CommCounts exd1 = exchange_counts(decomp, run.halo_depth, 1);
-        const CommCounts exd2 = exchange_counts(decomp, run.halo_depth, 2);
+        const CommCounts exd1 =
+            exchange_counts(decomp, run.halo_depth, 1, elem_bytes);
+        const CommCounts exd2 =
+            exchange_counts(decomp, run.halo_depth, 2, elem_bytes);
         add(total, exd1, plan.single_field_rounds * applies);
         add(total, exd2, plan.dual_field_rounds * applies);
       }
@@ -171,6 +177,37 @@ CommCounts predict_comm_counts(const SolverRunSummary& run,
     }
   }
   TEA_ASSERT(false, "invalid solver type");
+}
+
+}  // namespace
+
+CommCounts predict_comm_counts(const SolverRunSummary& run,
+                               const Decomposition2D& decomp,
+                               const GlobalMesh2D& mesh) {
+  (void)mesh;
+  if (run.precision == Precision::kDouble) {
+    return native_comm_counts(run, decomp, 8);
+  }
+  if (run.precision == Precision::kSingle) {
+    // The honest all-fp32 solve issues exactly the fp64 schedule, over
+    // 4-byte elements.
+    return native_comm_counts(run, decomp, 4);
+  }
+  // Mixed iterative refinement: the aggregated iteration counts replay
+  // through the fp32 schedule once, each refinement pass beyond the first
+  // re-pays the solver's zero-iteration setup comm (its iterations are
+  // already in the aggregate), and every fp64 guard — the initial true
+  // residual plus one after each of the refine_steps+1 inner solves —
+  // costs one depth-1 fp64 exchange of u and one reduction.
+  CommCounts total = native_comm_counts(run, decomp, 4);
+  SolverRunSummary setup = run;
+  setup.outer_iters = 0;
+  setup.eigen_cg_iters = 0;
+  add(total, native_comm_counts(setup, decomp, 4), run.refine_steps);
+  const std::int64_t guards = run.refine_steps + 2;
+  add(total, exchange_counts(decomp, 1, 1, 8), guards);
+  total.reductions += guards;
+  return total;
 }
 
 }  // namespace tealeaf

@@ -34,6 +34,15 @@ struct SolverRunSummary {
   /// row-block also fits the modelled L2.
   bool pipeline = false;
 
+  /// Storage precision the solve ran with (SolverConfig::precision).
+  /// single/mixed solves stream 4-byte elements through every solver-loop
+  /// field sweep and halo exchange (half the fp64 bytes); mixed
+  /// additionally pays its fp64 refinement guard — see refine_steps.
+  Precision precision = Precision::kDouble;
+  /// Mixed-precision refinement passes beyond the first inner solve
+  /// (SolveStats::refine_steps; 0 for double/single).
+  int refine_steps = 0;
+
   int outer_iters = 0;     ///< iterations after the eigenvalue presteps
   int eigen_cg_iters = 0;  ///< CG presteps (Chebyshev / PPCG)
   int mesh_n = 0;          ///< square mesh edge the run was measured on
@@ -72,8 +81,11 @@ struct CommCounts {
 
 /// Messages/bytes of a single halo exchange over a decomposition
 /// (helper shared with predict_comm_counts; matches SimCluster2D).
+/// `elem_bytes` is the storage element size on the wire: 8 for fp64
+/// fields, 4 when an fp32-active solve moves the fp32 bank.
 [[nodiscard]] CommCounts exchange_counts(const Decomposition2D& decomp,
-                                         int depth, int nfields);
+                                         int depth, int nfields,
+                                         int elem_bytes = 8);
 
 /// PPCG inner-loop exchange schedule (paper §IV-C2): number of depth-d
 /// exchange rounds issued by one apply_inner with m inner steps.

@@ -18,57 +18,76 @@ inline void for_rows(const Bounds& b, Fn&& fn) {
     for (int k = b.klo; k < b.khi; ++k) fn(l, k);
 }
 
+/// Dispatch on the chunk's active storage scalar for kernels that touch
+/// fields without traversing the operator (copy/fill/axpy/dot/...) — the
+/// scalar analogue of op_dispatch.  The double branch is the historical
+/// code path, bit for bit.
+template <class Fn>
+inline void scalar_dispatch(const Chunk& c, Fn&& fn) {
+  if (c.fp32_active()) {
+    fn(float{});
+  } else {
+    fn(double{});
+  }
+}
+
 // ---- per-row reduction cores --------------------------------------------
 // Every reducing kernel accumulates one partial per row and combines the
 // rows in (plane, row) order; the full kernels and the row-blocked (tiled)
 // variants call the SAME cores, so the sum is a pure function of the row
 // decomposition — never of tile size or thread assignment.  The cores are
-// templated on the OperatorView (stencil / CSR / SELL-C-σ), which replaces
-// the old stencil-arity template: StencilView<Dims> reproduces the classic
-// code paths bit for bit, and the assembled views' pairwise accumulation
-// keeps a stencil-assembled matrix bitwise identical too.
+// templated on the OperatorView (stencil / CSR / SELL-C-σ) and, through
+// View::Scalar, on the storage scalar: elementwise arithmetic runs in the
+// scalar (fp32 under the mixed-precision layer), while every reduction
+// accumulates in double over double-converted operands and every solver
+// scalar (alpha, beta, theta) is cast to the storage scalar exactly once
+// per row core.  The double instantiation compiles to the historical
+// arithmetic — each cast is a no-op — which is the structural guarantee
+// behind the tl_precision=double bitwise-identity contract.
 
-inline double dot_row(const Field<double>& a, const Field<double>& b, int nx,
-                      int k, int l) {
+template <class S>
+inline double dot_row(const Field<S>& a, const Field<S>& b, int nx, int k,
+                      int l) {
   double acc = 0.0;
-  for (int j = 0; j < nx; ++j) acc += a(j, k, l) * b(j, k, l);
+  for (int j = 0; j < nx; ++j)
+    acc += static_cast<double>(a(j, k, l)) * static_cast<double>(b(j, k, l));
   return acc;
 }
 
 /// One row of smvp_dot: dst = A·src over [b.jlo, b.jhi), returning the
 /// interior part of Σ src·dst (0.0 when row (l,k) is outside the
 /// interior).
-template <class View>
-inline double smvp_dot_row(const View& A, const Field<double>& src,
-                           Field<double>& dst, const Bounds& b,
-                           const Bounds& in, int k, int l) {
+template <class View, class S = typename View::Scalar>
+inline double smvp_dot_row(const View& A, const Field<S>& src, Field<S>& dst,
+                           const Bounds& b, const Bounds& in, int k, int l) {
   const bool row_in = (k >= in.klo && k < in.khi && l >= in.llo &&
                        l < in.lhi);
   double acc = 0.0;
   for (int j = b.jlo; j < b.jhi; ++j) {
-    const double w = A.apply(src, j, k, l);
+    const S w = A.apply(src, j, k, l);
     dst(j, k, l) = w;
-    if (row_in && j >= in.jlo && j < in.jhi) acc += src(j, k, l) * w;
+    if (row_in && j >= in.jlo && j < in.jhi)
+      acc += static_cast<double>(src(j, k, l)) * static_cast<double>(w);
   }
   return acc;
 }
 
 /// One row of smvp_dot2: writes the pair (Σ other·src, Σ dst·src).
-template <class View>
-inline void smvp_dot2_row(const View& A, const Field<double>& src,
-                          Field<double>& dst, const Field<double>& other,
-                          const Bounds& b, const Bounds& in, int k, int l,
-                          double* pair_out) {
+template <class View, class S = typename View::Scalar>
+inline void smvp_dot2_row(const View& A, const Field<S>& src, Field<S>& dst,
+                          const Field<S>& other, const Bounds& b,
+                          const Bounds& in, int k, int l, double* pair_out) {
   const bool row_in = (k >= in.klo && k < in.khi && l >= in.llo &&
                        l < in.lhi);
   double dot_other = 0.0;
   double dot_dst = 0.0;
   for (int j = b.jlo; j < b.jhi; ++j) {
-    const double w = A.apply(src, j, k, l);
+    const S w = A.apply(src, j, k, l);
     dst(j, k, l) = w;
     if (row_in && j >= in.jlo && j < in.jhi) {
-      dot_other += other(j, k, l) * src(j, k, l);
-      dot_dst += w * src(j, k, l);
+      const double sv = static_cast<double>(src(j, k, l));
+      dot_other += static_cast<double>(other(j, k, l)) * sv;
+      dot_dst += static_cast<double>(w) * sv;
     }
   }
   pair_out[0] = dot_other;
@@ -79,41 +98,45 @@ inline void smvp_dot2_row(const View& A, const Field<double>& src,
 template <class View>
 inline double calc_ur_dot_row(Chunk& c, const View& A, double alpha,
                               bool diag, int k, int l) {
-  auto& u = c.u();
-  auto& r = c.r();
-  const auto& p = c.p();
-  const auto& w = c.w();
+  using S = typename View::Scalar;
+  auto& u = c.field_t<S>(FieldId::kU);
+  auto& r = c.field_t<S>(FieldId::kR);
+  const auto& p = c.field_t<S>(FieldId::kP);
+  const auto& w = c.field_t<S>(FieldId::kW);
+  const S a = static_cast<S>(alpha);
   double acc = 0.0;
   if (diag) {
-    auto& z = c.z();
+    auto& z = c.field_t<S>(FieldId::kZ);
     for (int j = 0; j < c.nx(); ++j) {
-      u(j, k, l) += alpha * p(j, k, l);
-      const double rv = r(j, k, l) - alpha * w(j, k, l);
+      u(j, k, l) += a * p(j, k, l);
+      const S rv = r(j, k, l) - a * w(j, k, l);
       r(j, k, l) = rv;
-      const double zv = rv / A.diag(j, k, l);
+      const S zv = rv / A.diag(j, k, l);
       z(j, k, l) = zv;
-      acc += rv * zv;
+      acc += static_cast<double>(rv) * static_cast<double>(zv);
     }
   } else {
     for (int j = 0; j < c.nx(); ++j) {
-      u(j, k, l) += alpha * p(j, k, l);
-      const double rv = r(j, k, l) - alpha * w(j, k, l);
+      u(j, k, l) += a * p(j, k, l);
+      const S rv = r(j, k, l) - a * w(j, k, l);
       r(j, k, l) = rv;
-      acc += rv * rv;
+      acc += static_cast<double>(rv) * static_cast<double>(rv);
     }
   }
   return acc;
 }
 
 /// One row of cg_calc_ur.
+template <class S>
 inline void cg_calc_ur_row(Chunk& c, double alpha, int k, int l) {
-  auto& u = c.u();
-  auto& r = c.r();
-  const auto& p = c.p();
-  const auto& w = c.w();
+  auto& u = c.field_t<S>(FieldId::kU);
+  auto& r = c.field_t<S>(FieldId::kR);
+  const auto& p = c.field_t<S>(FieldId::kP);
+  const auto& w = c.field_t<S>(FieldId::kW);
+  const S a = static_cast<S>(alpha);
   for (int j = 0; j < c.nx(); ++j) {
-    u(j, k, l) += alpha * p(j, k, l);
-    r(j, k, l) -= alpha * w(j, k, l);
+    u(j, k, l) += a * p(j, k, l);
+    r(j, k, l) -= a * w(j, k, l);
   }
 }
 
@@ -122,19 +145,22 @@ template <class View>
 inline void cg_chrono_update_row(Chunk& c, const View& A, double alpha,
                                  double beta, bool diag, bool local, int k,
                                  int l) {
-  auto& u = c.u();
-  auto& r = c.r();
-  auto& p = c.p();
-  auto& sd = c.sd();
-  auto& z = c.z();
-  const auto& w = c.w();
+  using S = typename View::Scalar;
+  auto& u = c.field_t<S>(FieldId::kU);
+  auto& r = c.field_t<S>(FieldId::kR);
+  auto& p = c.field_t<S>(FieldId::kP);
+  auto& sd = c.field_t<S>(FieldId::kSd);
+  auto& z = c.field_t<S>(FieldId::kZ);
+  const auto& w = c.field_t<S>(FieldId::kW);
+  const S a = static_cast<S>(alpha);
+  const S bt = static_cast<S>(beta);
   for (int j = 0; j < c.nx(); ++j) {
-    const double pv = z(j, k, l) + beta * p(j, k, l);
+    const S pv = z(j, k, l) + bt * p(j, k, l);
     p(j, k, l) = pv;
-    const double sv = w(j, k, l) + beta * sd(j, k, l);
+    const S sv = w(j, k, l) + bt * sd(j, k, l);
     sd(j, k, l) = sv;
-    u(j, k, l) += alpha * pv;
-    r(j, k, l) -= alpha * sv;
+    u(j, k, l) += a * pv;
+    r(j, k, l) -= a * sv;
     if (local) {
       z(j, k, l) = diag ? r(j, k, l) / A.diag(j, k, l) : r(j, k, l);
     }
@@ -142,48 +168,70 @@ inline void cg_chrono_update_row(Chunk& c, const View& A, double alpha,
 }
 
 /// One row of the Jacobi save phase (r = u, halo columns included).
+template <class S>
 inline void jacobi_save_row(Chunk& c, int k, int l) {
-  auto& r = c.r();
-  const auto& u = c.u();
+  auto& r = c.field_t<S>(FieldId::kR);
+  const auto& u = c.field_t<S>(FieldId::kU);
   for (int j = -1; j < c.nx() + 1; ++j) r(j, k, l) = u(j, k, l);
 }
 
 /// One row of the Jacobi update sweep; returns Σ|u_new − u_old|.
 template <class View>
 inline double jacobi_update_row(Chunk& c, const View& A, int k, int l) {
-  auto& u = c.u();
-  const auto& r = c.r();
-  const auto& u0 = c.u0();
-  double err = 0.0;
-  for (int j = 0; j < c.nx(); ++j) {
-    const double uv = A.neigh_plus(u0(j, k, l), r, j, k, l) / A.diag(j, k, l);
-    u(j, k, l) = uv;
-    err += std::fabs(uv - r(j, k, l));
+  using S = typename View::Scalar;
+  auto& u = c.field_t<S>(FieldId::kU);
+  const auto& r = c.field_t<S>(FieldId::kR);
+  const auto& u0 = c.field_t<S>(FieldId::kU0);
+  if constexpr (std::is_same_v<S, double>) {
+    double err = 0.0;
+    for (int j = 0; j < c.nx(); ++j) {
+      const S uv = A.neigh_plus(u0(j, k, l), r, j, k, l) / A.diag(j, k, l);
+      u(j, k, l) = uv;
+      err += std::fabs(uv - r(j, k, l));
+    }
+    return err;
+  } else {
+    // fp32: run the update store and the error reduction as separate
+    // j-loops.  Per-element arithmetic and the accumulation order are
+    // unchanged (same values in the same order as the fused form), but a
+    // single loop mixing fp32 compute with the fp64 error accumulator
+    // defeats the vectorizer — the scalar divss sweep was SLOWER than
+    // fp64.  The double path keeps its fused single pass, which already
+    // vectorizes and would pay a second pass over the row for nothing.
+    for (int j = 0; j < c.nx(); ++j) {
+      u(j, k, l) = A.neigh_plus(u0(j, k, l), r, j, k, l) / A.diag(j, k, l);
+    }
+    double err = 0.0;
+    for (int j = 0; j < c.nx(); ++j) {
+      err += std::fabs(static_cast<double>(u(j, k, l)) -
+                       static_cast<double>(r(j, k, l)));
+    }
+    return err;
   }
-  return err;
 }
 
 /// One row of the fused Chebyshev update (shared by the untiled lagged
 /// pass, the in-block lagged pass and the deferred edge pass).
-template <class View>
-inline void cheby_update_row(const View& A, Field<double>& res,
-                             Field<double>& dir, Field<double>& acc,
-                             const Field<double>& w, double alpha,
+template <class View, class S = typename View::Scalar>
+inline void cheby_update_row(const View& A, Field<S>& res, Field<S>& dir,
+                             Field<S>& acc, const Field<S>& w, double alpha,
                              double beta, bool diag_precon, const Bounds& b,
                              int k, int l) {
+  const S a = static_cast<S>(alpha);
+  const S bt = static_cast<S>(beta);
   for (int j = b.jlo; j < b.jhi; ++j) {
     res(j, k, l) -= w(j, k, l);
-    const double m_inv = diag_precon ? 1.0 / A.diag(j, k, l) : 1.0;
-    dir(j, k, l) = alpha * dir(j, k, l) + beta * m_inv * res(j, k, l);
+    const S m_inv = diag_precon ? S(1) / A.diag(j, k, l) : S(1);
+    dir(j, k, l) = a * dir(j, k, l) + bt * m_inv * res(j, k, l);
     acc(j, k, l) += dir(j, k, l);
   }
 }
 
 // ---- operator-dispatched kernel bodies -----------------------------------
 
-template <class View>
-double smvp_dot_impl(Chunk& c, const View& A, const Field<double>& src,
-                     Field<double>& dst, const Bounds& b) {
+template <class View, class S = typename View::Scalar>
+double smvp_dot_impl(Chunk& c, const View& A, const Field<S>& src,
+                     Field<S>& dst, const Bounds& b) {
   const Bounds in = interior_bounds(c);
   double acc = 0.0;
   for_rows(b, [&](int l, int k) {
@@ -194,17 +242,19 @@ double smvp_dot_impl(Chunk& c, const View& A, const Field<double>& src,
 
 template <class View>
 double calc_residual_impl(Chunk& c, const View& A) {
-  const auto& u = c.u();
-  const auto& u0 = c.u0();
-  auto& w = c.w();
-  auto& r = c.r();
+  using S = typename View::Scalar;
+  const auto& u = c.field_t<S>(FieldId::kU);
+  const auto& u0 = c.field_t<S>(FieldId::kU0);
+  auto& w = c.field_t<S>(FieldId::kW);
+  auto& r = c.field_t<S>(FieldId::kR);
   double acc = 0.0;
   for_rows(interior_bounds(c), [&](int l, int k) {
     for (int j = 0; j < c.nx(); ++j) {
-      const double wv = A.apply(u, j, k, l);
+      const S wv = A.apply(u, j, k, l);
       w(j, k, l) = wv;
-      r(j, k, l) = u0(j, k, l) - wv;
-      acc += r(j, k, l) * r(j, k, l);
+      const S rv = u0(j, k, l) - wv;
+      r(j, k, l) = rv;
+      acc += static_cast<double>(rv) * static_cast<double>(rv);
     }
   });
   return acc;
@@ -212,11 +262,12 @@ double calc_residual_impl(Chunk& c, const View& A) {
 
 template <class View>
 double jacobi_iterate_impl(Chunk& c, const View& A) {
+  using S = typename View::Scalar;
   // Save the previous iterate (halo included: neighbours' u arrives
   // there; 3-D chunks also save the z halo planes their stencils read).
   const int zext = (c.dims() == 3) ? 1 : 0;
   for (int l = -zext; l < c.nz() + zext; ++l)
-    for (int k = -1; k < c.ny() + 1; ++k) jacobi_save_row(c, k, l);
+    for (int k = -1; k < c.ny() + 1; ++k) jacobi_save_row<S>(c, k, l);
   double err = 0.0;
   for_rows(interior_bounds(c), [&](int l, int k) {
     err += jacobi_update_row(c, A, k, l);
@@ -224,36 +275,35 @@ double jacobi_iterate_impl(Chunk& c, const View& A) {
   return err;
 }
 
-template <class View>
-void cheby_init_dir_impl(Chunk& c, const View& A, const Field<double>& res,
-                         Field<double>& dir, double theta, bool diag_precon,
+template <class View, class S = typename View::Scalar>
+void cheby_init_dir_impl(Chunk& c, const View& A, const Field<S>& res,
+                         Field<S>& dir, double theta, bool diag_precon,
                          const Bounds& b) {
   (void)c;
-  const double theta_inv = 1.0 / theta;
+  const S theta_inv = static_cast<S>(1.0 / theta);
   for_rows(b, [&](int l, int k) {
     for (int j = b.jlo; j < b.jhi; ++j) {
-      const double m_inv = diag_precon ? 1.0 / A.diag(j, k, l) : 1.0;
+      const S m_inv = diag_precon ? S(1) / A.diag(j, k, l) : S(1);
       dir(j, k, l) = m_inv * res(j, k, l) * theta_inv;
     }
   });
 }
 
-template <class View>
-void cheby_fused_update_impl(Chunk& c, const View& A, Field<double>& res,
-                             Field<double>& dir, Field<double>& acc,
-                             double alpha, double beta, bool diag_precon,
-                             const Bounds& b) {
-  const auto& w = c.w();
+template <class View, class S = typename View::Scalar>
+void cheby_fused_update_impl(Chunk& c, const View& A, Field<S>& res,
+                             Field<S>& dir, Field<S>& acc, double alpha,
+                             double beta, bool diag_precon, const Bounds& b) {
+  const auto& w = c.field_t<S>(FieldId::kW);
   for_rows(b, [&](int l, int k) {
     cheby_update_row(A, res, dir, acc, w, alpha, beta, diag_precon, b, k, l);
   });
 }
 
-template <class View>
-void cheby_step_impl(Chunk& c, const View& A, Field<double>& res,
-                     Field<double>& dir, Field<double>& acc, double alpha,
-                     double beta, bool diag_precon, const Bounds& b) {
-  auto& w = c.w();
+template <class View, class S = typename View::Scalar>
+void cheby_step_impl(Chunk& c, const View& A, Field<S>& res, Field<S>& dir,
+                     Field<S>& acc, double alpha, double beta,
+                     bool diag_precon, const Bounds& b) {
+  auto& w = c.field_t<S>(FieldId::kW);
   // Row-lagged fusion: the stencil of flattened row ρ reads dir rows up
   // to ρ+L, so row ρ−L may be updated as soon as w row ρ is in place —
   // dir values feeding every operator application are pristine, as in the
@@ -287,12 +337,12 @@ void cheby_step_impl(Chunk& c, const View& A, Field<double>& res,
   }
 }
 
-template <class View>
-void cheby_step_tile_impl(Chunk& c, const View& A, Field<double>& res,
-                          Field<double>& dir, Field<double>& acc,
-                          double alpha, double beta, bool diag_precon,
-                          const Bounds& b, const Bounds& tb) {
-  auto& w = c.w();
+template <class View, class S = typename View::Scalar>
+void cheby_step_tile_impl(Chunk& c, const View& A, Field<S>& res,
+                          Field<S>& dir, Field<S>& acc, double alpha,
+                          double beta, bool diag_precon, const Bounds& b,
+                          const Bounds& tb) {
+  auto& w = c.field_t<S>(FieldId::kW);
   if constexpr (View::kInBlockLag) {
     // In-block row-lagged fusion, as in the untiled cheby_step, except
     // rows tb.klo and tb.khi-1 stay un-updated: a neighbouring block's
@@ -326,12 +376,12 @@ void cheby_step_tile_impl(Chunk& c, const View& A, Field<double>& res,
   }
 }
 
-template <class View>
-void cheby_step_tile_edges_impl(Chunk& c, const View& A, Field<double>& res,
-                                Field<double>& dir, Field<double>& acc,
-                                double alpha, double beta, bool diag_precon,
+template <class View, class S = typename View::Scalar>
+void cheby_step_tile_edges_impl(Chunk& c, const View& A, Field<S>& res,
+                                Field<S>& dir, Field<S>& acc, double alpha,
+                                double beta, bool diag_precon,
                                 const Bounds& b, const Bounds& tb) {
-  auto& w = c.w();
+  auto& w = c.field_t<S>(FieldId::kW);
   if constexpr (View::kInBlockLag) {
     if (tb.khi <= tb.klo) return;
     cheby_update_row(A, res, dir, acc, w, alpha, beta, diag_precon, b,
@@ -351,6 +401,7 @@ void cheby_step_tile_edges_impl(Chunk& c, const View& A, Field<double>& res,
 template <class View>
 void jacobi_tile_impl(Chunk& c, const View& A, const Bounds& tb,
                       double* row_sums) {
+  using S = typename View::Scalar;
   if (c.dims() == 2) {
     // Cache-fused row block: the first/last interior block also saves the
     // −1/ny halo row its edge stencils read; interior blocks save exactly
@@ -360,7 +411,7 @@ void jacobi_tile_impl(Chunk& c, const View& A, const Bounds& tb,
     const int s0 = (k0 == 0) ? -1 : k0;
     const int s1 = (k1 == c.ny()) ? c.ny() + 1 : k1;
     for (int k = s0; k < s1; ++k) {
-      jacobi_save_row(c, k, 0);
+      jacobi_save_row<S>(c, k, 0);
       if constexpr (View::kInBlockLag) {
         // Lagged update: row k-1's stencil reads saved rows k-2..k (all
         // in place), and the rows another block reads are deferred to the
@@ -389,12 +440,13 @@ void jacobi_tile_impl(Chunk& c, const View& A, const Bounds& tb,
     for (int l = tb.llo; l < tb.lhi; ++l) {
       const int s0 = (tb.klo == 0) ? -1 : tb.klo;
       const int s1 = (tb.khi == c.ny()) ? c.ny() + 1 : tb.khi;
-      for (int k = s0; k < s1; ++k) jacobi_save_row(c, k, l);
+      for (int k = s0; k < s1; ++k) jacobi_save_row<S>(c, k, l);
       if (l == 0) {
-        for (int k = tb.klo; k < tb.khi; ++k) jacobi_save_row(c, k, -1);
+        for (int k = tb.klo; k < tb.khi; ++k) jacobi_save_row<S>(c, k, -1);
       }
       if (l == c.nz() - 1) {
-        for (int k = tb.klo; k < tb.khi; ++k) jacobi_save_row(c, k, c.nz());
+        for (int k = tb.klo; k < tb.khi; ++k)
+          jacobi_save_row<S>(c, k, c.nz());
       }
     }
   }
@@ -487,7 +539,9 @@ void init_conduction_impl(Chunk& c, Coefficient coef, double rx, double ry,
 
 double diag_at(const Chunk& c, int j, int k, int l) {
   double d = 0.0;
-  op_dispatch(c, [&](const auto& A) { d = A.diag(j, k, l); });
+  op_dispatch(c, [&](const auto& A) {
+    d = static_cast<double>(A.diag(j, k, l));
+  });
   return d;
 }
 
@@ -526,9 +580,10 @@ void init_conduction(Chunk& c, Coefficient coef, double rx, double ry,
 }
 
 void smvp(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
-  const auto& src = c.field(src_id);
-  auto& dst = c.field(dst_id);
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    const auto& src = c.field_t<S>(src_id);
+    auto& dst = c.field_t<S>(dst_id);
     for_rows(b, [&](int l, int k) {
       for (int j = b.jlo; j < b.jhi; ++j) dst(j, k, l) = A.apply(src, j, k, l);
     });
@@ -536,63 +591,88 @@ void smvp(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
 }
 
 double smvp_dot(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
-  const auto& src = c.field(src_id);
-  auto& dst = c.field(dst_id);
   double acc = 0.0;
-  op_dispatch(c,
-              [&](const auto& A) { acc = smvp_dot_impl(c, A, src, dst, b); });
+  op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    const auto& src = c.field_t<S>(src_id);
+    auto& dst = c.field_t<S>(dst_id);
+    acc = smvp_dot_impl(c, A, src, dst, b);
+  });
   return acc;
 }
 
 void copy(Chunk& c, FieldId dst_id, FieldId src_id, const Bounds& b) {
-  const auto& src = c.field(src_id);
-  auto& dst = c.field(dst_id);
-  for_rows(b, [&](int l, int k) {
-    for (int j = b.jlo; j < b.jhi; ++j) dst(j, k, l) = src(j, k, l);
+  scalar_dispatch(c, [&](auto tag) {
+    using S = decltype(tag);
+    const auto& src = c.field_t<S>(src_id);
+    auto& dst = c.field_t<S>(dst_id);
+    for_rows(b, [&](int l, int k) {
+      for (int j = b.jlo; j < b.jhi; ++j) dst(j, k, l) = src(j, k, l);
+    });
   });
 }
 
 void fill(Chunk& c, FieldId f, double value, const Bounds& b) {
-  auto& dst = c.field(f);
-  for_rows(b, [&](int l, int k) {
-    for (int j = b.jlo; j < b.jhi; ++j) dst(j, k, l) = value;
+  scalar_dispatch(c, [&](auto tag) {
+    using S = decltype(tag);
+    auto& dst = c.field_t<S>(f);
+    const S v = static_cast<S>(value);
+    for_rows(b, [&](int l, int k) {
+      for (int j = b.jlo; j < b.jhi; ++j) dst(j, k, l) = v;
+    });
   });
 }
 
 void axpy(Chunk& c, FieldId y_id, double a, FieldId x_id, const Bounds& b) {
-  auto& y = c.field(y_id);
-  const auto& x = c.field(x_id);
-  for_rows(b, [&](int l, int k) {
-    for (int j = b.jlo; j < b.jhi; ++j) y(j, k, l) += a * x(j, k, l);
+  scalar_dispatch(c, [&](auto tag) {
+    using S = decltype(tag);
+    auto& y = c.field_t<S>(y_id);
+    const auto& x = c.field_t<S>(x_id);
+    const S av = static_cast<S>(a);
+    for_rows(b, [&](int l, int k) {
+      for (int j = b.jlo; j < b.jhi; ++j) y(j, k, l) += av * x(j, k, l);
+    });
   });
 }
 
 void xpby(Chunk& c, FieldId y_id, FieldId x_id, double bcoef,
           const Bounds& b) {
-  auto& y = c.field(y_id);
-  const auto& x = c.field(x_id);
-  for_rows(b, [&](int l, int k) {
-    for (int j = b.jlo; j < b.jhi; ++j)
-      y(j, k, l) = x(j, k, l) + bcoef * y(j, k, l);
+  scalar_dispatch(c, [&](auto tag) {
+    using S = decltype(tag);
+    auto& y = c.field_t<S>(y_id);
+    const auto& x = c.field_t<S>(x_id);
+    const S bv = static_cast<S>(bcoef);
+    for_rows(b, [&](int l, int k) {
+      for (int j = b.jlo; j < b.jhi; ++j)
+        y(j, k, l) = x(j, k, l) + bv * y(j, k, l);
+    });
   });
 }
 
 void axpby(Chunk& c, FieldId y_id, double a, double b, FieldId x_id,
            const Bounds& bnd) {
-  auto& y = c.field(y_id);
-  const auto& x = c.field(x_id);
-  for_rows(bnd, [&](int l, int k) {
-    for (int j = bnd.jlo; j < bnd.jhi; ++j)
-      y(j, k, l) = a * y(j, k, l) + b * x(j, k, l);
+  scalar_dispatch(c, [&](auto tag) {
+    using S = decltype(tag);
+    auto& y = c.field_t<S>(y_id);
+    const auto& x = c.field_t<S>(x_id);
+    const S av = static_cast<S>(a);
+    const S bv = static_cast<S>(b);
+    for_rows(bnd, [&](int l, int k) {
+      for (int j = bnd.jlo; j < bnd.jhi; ++j)
+        y(j, k, l) = av * y(j, k, l) + bv * x(j, k, l);
+    });
   });
 }
 
 double dot(const Chunk& c, FieldId a_id, FieldId b_id) {
-  const auto& a = c.field(a_id);
-  const auto& b = c.field(b_id);
   double acc = 0.0;
-  for_rows(interior_bounds(c),
-           [&](int l, int k) { acc += dot_row(a, b, c.nx(), k, l); });
+  scalar_dispatch(c, [&](auto tag) {
+    using S = decltype(tag);
+    const auto& a = c.field_t<S>(a_id);
+    const auto& b = c.field_t<S>(b_id);
+    for_rows(interior_bounds(c),
+             [&](int l, int k) { acc += dot_row(a, b, c.nx(), k, l); });
+  });
   return acc;
 }
 
@@ -605,8 +685,11 @@ double calc_residual(Chunk& c) {
 }
 
 void cg_calc_ur(Chunk& c, double alpha) {
-  for_rows(interior_bounds(c),
-           [&](int l, int k) { cg_calc_ur_row(c, alpha, k, l); });
+  scalar_dispatch(c, [&](auto tag) {
+    using S = decltype(tag);
+    for_rows(interior_bounds(c),
+             [&](int l, int k) { cg_calc_ur_row<S>(c, alpha, k, l); });
+  });
 }
 
 double jacobi_iterate(Chunk& c) {
@@ -617,9 +700,10 @@ double jacobi_iterate(Chunk& c) {
 
 void cheby_init_dir(Chunk& c, FieldId res_id, FieldId dir_id, double theta,
                     bool diag_precon, const Bounds& b) {
-  const auto& res = c.field(res_id);
-  auto& dir = c.field(dir_id);
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    const auto& res = c.field_t<S>(res_id);
+    auto& dir = c.field_t<S>(dir_id);
     cheby_init_dir_impl(c, A, res, dir, theta, diag_precon, b);
   });
 }
@@ -627,10 +711,11 @@ void cheby_init_dir(Chunk& c, FieldId res_id, FieldId dir_id, double theta,
 void cheby_fused_update(Chunk& c, FieldId res_id, FieldId dir_id,
                         FieldId acc_id, double alpha, double beta,
                         bool diag_precon, const Bounds& b) {
-  auto& res = c.field(res_id);
-  auto& dir = c.field(dir_id);
-  auto& acc = c.field(acc_id);
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    auto& res = c.field_t<S>(res_id);
+    auto& dir = c.field_t<S>(dir_id);
+    auto& acc = c.field_t<S>(acc_id);
     cheby_fused_update_impl(c, A, res, dir, acc, alpha, beta, diag_precon, b);
   });
 }
@@ -662,10 +747,11 @@ double calc_ur_dot(Chunk& c, double alpha, PreconType precon) {
 void cheby_step(Chunk& c, FieldId res_id, FieldId dir_id, FieldId acc_id,
                 double alpha, double beta, bool diag_precon,
                 const Bounds& b) {
-  auto& res = c.field(res_id);
-  auto& dir = c.field(dir_id);
-  auto& acc = c.field(acc_id);
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    auto& res = c.field_t<S>(res_id);
+    auto& dir = c.field_t<S>(dir_id);
+    auto& acc = c.field_t<S>(acc_id);
     cheby_step_impl(c, A, res, dir, acc, alpha, beta, diag_precon, b);
   });
 }
@@ -684,13 +770,14 @@ void cg_chrono_update(Chunk& c, double alpha, double beta,
 
 std::pair<double, double> smvp_dot2(Chunk& c, FieldId src_id, FieldId dst_id,
                                     FieldId other_id, const Bounds& b) {
-  const auto& src = c.field(src_id);
-  const auto& other = c.field(other_id);
-  auto& dst = c.field(dst_id);
   const Bounds in = interior_bounds(c);
   double dot_other = 0.0;
   double dot_dst = 0.0;
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    const auto& src = c.field_t<S>(src_id);
+    const auto& other = c.field_t<S>(other_id);
+    auto& dst = c.field_t<S>(dst_id);
     for_rows(b, [&](int l, int k) {
       double pair[2];
       smvp_dot2_row(A, src, dst, other, b, in, k, l, pair);
@@ -705,19 +792,23 @@ std::pair<double, double> smvp_dot2(Chunk& c, FieldId src_id, FieldId dst_id,
 
 void dot_rows(const Chunk& c, FieldId a_id, FieldId b_id, const Bounds& tb,
               double* row_sums) {
-  const auto& a = c.field(a_id);
-  const auto& b = c.field(b_id);
-  for_rows(tb, [&](int l, int k) {
-    row_sums[l * c.ny() + k] = dot_row(a, b, c.nx(), k, l);
+  scalar_dispatch(c, [&](auto tag) {
+    using S = decltype(tag);
+    const auto& a = c.field_t<S>(a_id);
+    const auto& b = c.field_t<S>(b_id);
+    for_rows(tb, [&](int l, int k) {
+      row_sums[l * c.ny() + k] = dot_row(a, b, c.nx(), k, l);
+    });
   });
 }
 
 void smvp_dot_rows(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b,
                    const Bounds& tb, double* row_sums) {
-  const auto& src = c.field(src_id);
-  auto& dst = c.field(dst_id);
   const Bounds in = interior_bounds(c);
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    const auto& src = c.field_t<S>(src_id);
+    auto& dst = c.field_t<S>(dst_id);
     for_rows(tb, [&](int l, int k) {
       const double s = smvp_dot_row(A, src, dst, b, in, k, l);
       if (in.contains(0, k, l)) row_sums[l * c.ny() + k] = s;
@@ -728,11 +819,12 @@ void smvp_dot_rows(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b,
 void smvp_dot2_rows(Chunk& c, FieldId src_id, FieldId dst_id,
                     FieldId other_id, const Bounds& b, const Bounds& tb,
                     double* row_sums) {
-  const auto& src = c.field(src_id);
-  const auto& other = c.field(other_id);
-  auto& dst = c.field(dst_id);
   const Bounds in = interior_bounds(c);
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    const auto& src = c.field_t<S>(src_id);
+    const auto& other = c.field_t<S>(other_id);
+    auto& dst = c.field_t<S>(dst_id);
     for_rows(tb, [&](int l, int k) {
       double pair[2];
       smvp_dot2_row(A, src, dst, other, b, in, k, l, pair);
@@ -745,7 +837,10 @@ void smvp_dot2_rows(Chunk& c, FieldId src_id, FieldId dst_id,
 }
 
 void cg_calc_ur_rows(Chunk& c, double alpha, const Bounds& tb) {
-  for_rows(tb, [&](int l, int k) { cg_calc_ur_row(c, alpha, k, l); });
+  scalar_dispatch(c, [&](auto tag) {
+    using S = decltype(tag);
+    for_rows(tb, [&](int l, int k) { cg_calc_ur_row<S>(c, alpha, k, l); });
+  });
 }
 
 void calc_ur_dot_rows(Chunk& c, double alpha, PreconType precon,
@@ -775,10 +870,11 @@ void cg_chrono_update_rows(Chunk& c, double alpha, double beta,
 void cheby_step_tile(Chunk& c, FieldId res_id, FieldId dir_id,
                      FieldId acc_id, double alpha, double beta,
                      bool diag_precon, const Bounds& b, const Bounds& tb) {
-  auto& res = c.field(res_id);
-  auto& dir = c.field(dir_id);
-  auto& acc = c.field(acc_id);
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    auto& res = c.field_t<S>(res_id);
+    auto& dir = c.field_t<S>(dir_id);
+    auto& acc = c.field_t<S>(acc_id);
     cheby_step_tile_impl(c, A, res, dir, acc, alpha, beta, diag_precon, b,
                          tb);
   });
@@ -788,17 +884,21 @@ void cheby_step_tile_edges(Chunk& c, FieldId res_id, FieldId dir_id,
                            FieldId acc_id, double alpha, double beta,
                            bool diag_precon, const Bounds& b,
                            const Bounds& tb) {
-  auto& res = c.field(res_id);
-  auto& dir = c.field(dir_id);
-  auto& acc = c.field(acc_id);
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    auto& res = c.field_t<S>(res_id);
+    auto& dir = c.field_t<S>(dir_id);
+    auto& acc = c.field_t<S>(acc_id);
     cheby_step_tile_edges_impl(c, A, res, dir, acc, alpha, beta, diag_precon,
                                b, tb);
   });
 }
 
 void jacobi_save_rows(Chunk& c, const Bounds& tb) {
-  for_rows(tb, [&](int l, int k) { jacobi_save_row(c, k, l); });
+  scalar_dispatch(c, [&](auto tag) {
+    using S = decltype(tag);
+    for_rows(tb, [&](int l, int k) { jacobi_save_row<S>(c, k, l); });
+  });
 }
 
 void jacobi_update_rows(Chunk& c, const Bounds& tb, double* row_sums) {
@@ -827,7 +927,9 @@ namespace {
 /// The level cores run on the same OperatorView surface as the chunk
 /// kernels: a StencilView built over the level's coefficient fields (the
 /// hierarchy is always stencil-shaped — coarse operators are re-built from
-/// face coefficients, never assembled).
+/// face coefficients, never assembled).  The hierarchy stays fp64: the
+/// mixed-precision layer treats mg-pcg as double-only (an fp32 V-cycle
+/// inside an fp64 outer CG is a ROADMAP follow-on).
 template <class Fn>
 inline void mg_dispatch(const MGOperatorView& A, Fn&& fn) {
   if (A.kz != nullptr) {

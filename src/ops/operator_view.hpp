@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <type_traits>
 
 #include "mesh/chunk.hpp"
 #include "ops/bounds.hpp"
@@ -24,43 +25,51 @@ namespace tealeaf {
 ///   lag(b)                       rows a deferred-update sweep must trail
 ///                                the operator application by
 ///
+/// Every view is additionally templated on the storage scalar `T`
+/// (exposed as `View::Scalar`): elementwise arithmetic runs in T, so the
+/// double instantiation is bit-for-bit the historical code and the float
+/// instantiation is the fp32 execution layer.  Reductions over view
+/// results always accumulate in double (the kernels' contract).
+///
 /// Bitwise contract: a CSR/SELL matrix assembled from the stencil (entry
 /// order diag, ky±, kx±[, kz±]; off-diagonals stored signed; boundary
 /// zeros kept) produces bit-identical results to StencilView because the
 /// assembled paths accumulate entries pairwise in that fixed order, and
 /// IEEE-754 negation/sign-symmetry make (−a)+(−b) ≡ −(a+b) and
-/// acc+(−x) ≡ acc−x exact.
+/// acc+(−x) ≡ acc−x exact — in either scalar.
 ///
 /// `kInBlockLag` marks the one view/geometry combination (2-D stencil)
 /// whose tiled schedules may update lagged rows inside a tile block; every
 /// other view defers all updates to the post-barrier edge pass.
 
-template <int Dims>
+template <int Dims, class T = double>
 struct StencilView {
+  using Scalar = T;
   static constexpr bool kInBlockLag = (Dims == 2);
-  const Field<double>* kx;
-  const Field<double>* ky;
-  const Field<double>* kz;  // unused when Dims == 2
+  const Field<T>* kx;
+  const Field<T>* ky;
+  const Field<T>* kz;  // unused when Dims == 2
 
   explicit StencilView(const Chunk& c)
-      : kx(&c.kx()), ky(&c.ky()), kz(Dims == 3 ? &c.kz() : nullptr) {}
-  StencilView(const Field<double>* kx_in, const Field<double>* ky_in,
-              const Field<double>* kz_in)
+      : kx(&c.field_t<T>(FieldId::kKx)),
+        ky(&c.field_t<T>(FieldId::kKy)),
+        kz(Dims == 3 ? &c.field_t<T>(FieldId::kKz) : nullptr) {}
+  StencilView(const Field<T>* kx_in, const Field<T>* ky_in,
+              const Field<T>* kz_in)
       : kx(kx_in), ky(ky_in), kz(kz_in) {}
 
-  [[nodiscard]] double diag(int j, int k, int l) const {
+  [[nodiscard]] T diag(int j, int k, int l) const {
     if constexpr (Dims == 3) {
-      return 1.0 + ((*ky)(j, k + 1, l) + (*ky)(j, k, l)) +
+      return T(1) + ((*ky)(j, k + 1, l) + (*ky)(j, k, l)) +
              ((*kx)(j + 1, k, l) + (*kx)(j, k, l)) +
              ((*kz)(j, k, l + 1) + (*kz)(j, k, l));
     } else {
-      return 1.0 + ((*ky)(j, k + 1, l) + (*ky)(j, k, l)) +
+      return T(1) + ((*ky)(j, k + 1, l) + (*ky)(j, k, l)) +
              ((*kx)(j + 1, k, l) + (*kx)(j, k, l));
     }
   }
 
-  [[nodiscard]] double apply(const Field<double>& src, int j, int k,
-                             int l) const {
+  [[nodiscard]] T apply(const Field<T>& src, int j, int k, int l) const {
     if constexpr (Dims == 3) {
       return diag(j, k, l) * src(j, k, l) -
              ((*ky)(j, k + 1, l) * src(j, k + 1, l) +
@@ -70,7 +79,7 @@ struct StencilView {
              ((*kz)(j, k, l + 1) * src(j, k, l + 1) +
               (*kz)(j, k, l) * src(j, k, l - 1));
     } else {
-      return (1.0 + ((*ky)(j, k + 1, l) + (*ky)(j, k, l)) +
+      return (T(1) + ((*ky)(j, k + 1, l) + (*ky)(j, k, l)) +
               ((*kx)(j + 1, k, l) + (*kx)(j, k, l))) *
                  src(j, k, l) -
              ((*ky)(j, k + 1, l) * src(j, k + 1, l) +
@@ -80,9 +89,9 @@ struct StencilView {
     }
   }
 
-  [[nodiscard]] double neigh_plus(double seed, const Field<double>& src,
-                                  int j, int k, int l) const {
-    double acc = seed;
+  [[nodiscard]] T neigh_plus(T seed, const Field<T>& src, int j, int k,
+                             int l) const {
+    T acc = seed;
     acc += ((*ky)(j, k + 1, l) * src(j, k + 1, l) +
             (*ky)(j, k, l) * src(j, k - 1, l));
     acc += ((*kx)(j + 1, k, l) * src(j + 1, k, l) +
@@ -94,7 +103,7 @@ struct StencilView {
     return acc;
   }
 
-  [[nodiscard]] double coupling_k(int j, int k, int l, int dk) const {
+  [[nodiscard]] T coupling_k(int j, int k, int l, int dk) const {
     return dk < 0 ? -(*ky)(j, k, l) : -(*ky)(j, k + 1, l);
   }
 
@@ -109,10 +118,10 @@ namespace detail {
 /// order.  The two accumulations below define the assembled arithmetic —
 /// entry 0 (the diagonal), then strict pairs, then a possible odd tail —
 /// which is what makes stencil-assembled matrices bitwise-reproduce the
-/// matrix-free grouping.
-template <class Cursor>
-[[nodiscard]] inline double row_apply(const Cursor& c, const double* s) {
-  double acc = c.val(0) * s[c.col(0)];
+/// matrix-free grouping, per scalar.
+template <class Cursor, class T>
+[[nodiscard]] inline T row_apply(const Cursor& c, const T* s) {
+  T acc = c.val(0) * s[c.col(0)];
   int i = 1;
   for (; i + 1 < c.n; i += 2)
     acc += (c.val(i) * s[c.col(i)] + c.val(i + 1) * s[c.col(i + 1)]);
@@ -120,10 +129,9 @@ template <class Cursor>
   return acc;
 }
 
-template <class Cursor>
-[[nodiscard]] inline double row_neigh_plus(const Cursor& c, double seed,
-                                           const double* s) {
-  double acc = seed;
+template <class Cursor, class T>
+[[nodiscard]] inline T row_neigh_plus(const Cursor& c, T seed, const T* s) {
+  T acc = seed;
   int i = 1;
   for (; i + 1 < c.n; i += 2)
     acc += ((-c.val(i)) * s[c.col(i)] + (-c.val(i + 1)) * s[c.col(i + 1)]);
@@ -132,27 +140,30 @@ template <class Cursor>
 }
 
 template <class Cursor>
-[[nodiscard]] inline double row_coupling(const Cursor& c,
-                                         std::int64_t target_col) {
+[[nodiscard]] inline auto row_coupling(const Cursor& c,
+                                       std::int64_t target_col)
+    -> decltype(c.val(0)) {
   for (int i = 0; i < c.n; ++i)
     if (c.col(i) == target_col) return c.val(i);
-  return 0.0;
+  return decltype(c.val(0))(0);
 }
 
+template <class T>
 struct CsrCursor {
-  const double* v;
+  const T* v;
   const std::int64_t* c;
   int n;
-  [[nodiscard]] double val(int i) const { return v[i]; }
+  [[nodiscard]] T val(int i) const { return v[i]; }
   [[nodiscard]] std::int64_t col(int i) const { return c[i]; }
 };
 
+template <class T>
 struct SellCursor {
-  const double* v;
+  const T* v;
   const std::int64_t* c;
   int stride;  // slice height C
   int n;
-  [[nodiscard]] double val(int i) const {
+  [[nodiscard]] T val(int i) const {
     return v[static_cast<std::int64_t>(i) * stride];
   }
   [[nodiscard]] std::int64_t col(int i) const {
@@ -160,38 +171,58 @@ struct SellCursor {
   }
 };
 
+/// Select the chunk's assembled matrices by scalar.
+template <class T>
+[[nodiscard]] inline const CsrMatrixT<T>* csr_of(const Chunk& c) {
+  if constexpr (std::is_same_v<T, float>) {
+    return c.csr32();
+  } else {
+    return c.csr();
+  }
+}
+template <class T>
+[[nodiscard]] inline const SellMatrixT<T>* sell_of(const Chunk& c) {
+  if constexpr (std::is_same_v<T, float>) {
+    return c.sell32();
+  } else {
+    return c.sell();
+  }
+}
+
 }  // namespace detail
 
-struct CsrView {
+template <class T = double>
+struct CsrViewT {
+  using Scalar = T;
   static constexpr bool kInBlockLag = false;
-  const CsrMatrix* m;
+  const CsrMatrixT<T>* m;
   int nx, ny;
 
-  explicit CsrView(const Chunk& c) : m(c.csr()), nx(c.nx()), ny(c.ny()) {
+  explicit CsrViewT(const Chunk& c)
+      : m(detail::csr_of<T>(c)), nx(c.nx()), ny(c.ny()) {
     TEA_ASSERT(m != nullptr, "chunk has no assembled CSR operator");
   }
 
   [[nodiscard]] std::int64_t row(int j, int k, int l) const {
     return (static_cast<std::int64_t>(l) * ny + k) * nx + j;
   }
-  [[nodiscard]] detail::CsrCursor cursor(std::int64_t r) const {
+  [[nodiscard]] detail::CsrCursor<T> cursor(std::int64_t r) const {
     const std::int64_t b = m->row_ptr[r];
     return {m->vals.data() + b, m->cols.data() + b,
             static_cast<int>(m->row_ptr[r + 1] - b)};
   }
 
-  [[nodiscard]] double diag(int j, int k, int l) const {
+  [[nodiscard]] T diag(int j, int k, int l) const {
     return m->vals[m->row_ptr[row(j, k, l)]];
   }
-  [[nodiscard]] double apply(const Field<double>& src, int j, int k,
-                             int l) const {
+  [[nodiscard]] T apply(const Field<T>& src, int j, int k, int l) const {
     return detail::row_apply(cursor(row(j, k, l)), src.data());
   }
-  [[nodiscard]] double neigh_plus(double seed, const Field<double>& src,
-                                  int j, int k, int l) const {
+  [[nodiscard]] T neigh_plus(T seed, const Field<T>& src, int j, int k,
+                             int l) const {
     return detail::row_neigh_plus(cursor(row(j, k, l)), seed, src.data());
   }
-  [[nodiscard]] double coupling_k(int j, int k, int l, int dk) const {
+  [[nodiscard]] T coupling_k(int j, int k, int l, int dk) const {
     // The neighbour's diagonal column is its cell's storage offset; find
     // the entry of our row pointing at it (≤ 7 entries for assembled
     // stencils, short rows for .mtx inputs).
@@ -203,19 +234,24 @@ struct CsrView {
   }
 };
 
-struct SellView {
+using CsrView = CsrViewT<double>;
+
+template <class T = double>
+struct SellViewT {
+  using Scalar = T;
   static constexpr bool kInBlockLag = false;
-  const SellMatrix* m;
+  const SellMatrixT<T>* m;
   int nx, ny;
 
-  explicit SellView(const Chunk& c) : m(c.sell()), nx(c.nx()), ny(c.ny()) {
+  explicit SellViewT(const Chunk& c)
+      : m(detail::sell_of<T>(c)), nx(c.nx()), ny(c.ny()) {
     TEA_ASSERT(m != nullptr, "chunk has no assembled SELL-C-σ operator");
   }
 
   [[nodiscard]] std::int64_t row(int j, int k, int l) const {
     return (static_cast<std::int64_t>(l) * ny + k) * nx + j;
   }
-  [[nodiscard]] detail::SellCursor cursor(std::int64_t r) const {
+  [[nodiscard]] detail::SellCursor<T> cursor(std::int64_t r) const {
     const std::int64_t p = m->slot[r];
     const std::int64_t base =
         m->slice_ptr[p / m->chunk_c] + p % m->chunk_c;
@@ -223,18 +259,17 @@ struct SellView {
             m->row_len[r]};
   }
 
-  [[nodiscard]] double diag(int j, int k, int l) const {
+  [[nodiscard]] T diag(int j, int k, int l) const {
     return cursor(row(j, k, l)).val(0);
   }
-  [[nodiscard]] double apply(const Field<double>& src, int j, int k,
-                             int l) const {
+  [[nodiscard]] T apply(const Field<T>& src, int j, int k, int l) const {
     return detail::row_apply(cursor(row(j, k, l)), src.data());
   }
-  [[nodiscard]] double neigh_plus(double seed, const Field<double>& src,
-                                  int j, int k, int l) const {
+  [[nodiscard]] T neigh_plus(T seed, const Field<T>& src, int j, int k,
+                             int l) const {
     return detail::row_neigh_plus(cursor(row(j, k, l)), seed, src.data());
   }
-  [[nodiscard]] double coupling_k(int j, int k, int l, int dk) const {
+  [[nodiscard]] T coupling_k(int j, int k, int l, int dk) const {
     const std::int64_t target = cursor(row(j, k + dk, l)).col(0);
     return detail::row_coupling(cursor(row(j, k, l)), target);
   }
@@ -243,10 +278,33 @@ struct SellView {
   }
 };
 
+using SellView = SellViewT<double>;
+
 /// Call `fn` with the chunk's operator view — the operator-kind analogue
-/// of the dims() dispatch the kernels already do.
+/// of the dims() dispatch the kernels already do, with the storage scalar
+/// as the third dispatched axis: a chunk whose fp32 bank is active gets
+/// the float instantiation of the same view, so every kernel (and with
+/// them every engine) runs on either scalar without a second code path.
 template <class Fn>
 inline void op_dispatch(const Chunk& c, Fn&& fn) {
+  if (c.fp32_active()) {
+    switch (c.op_kind()) {
+      case OperatorKind::kCsr:
+        fn(CsrViewT<float>(c));
+        return;
+      case OperatorKind::kSellCSigma:
+        fn(SellViewT<float>(c));
+        return;
+      case OperatorKind::kStencil:
+        break;
+    }
+    if (c.dims() == 3) {
+      fn(StencilView<3, float>(c));
+    } else {
+      fn(StencilView<2, float>(c));
+    }
+    return;
+  }
   switch (c.op_kind()) {
     case OperatorKind::kCsr:
       fn(CsrView(c));

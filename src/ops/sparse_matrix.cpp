@@ -8,16 +8,21 @@
 
 namespace tealeaf {
 
-CsrMatrix assemble_from_stencil(const Chunk& c) {
+template <class T>
+CsrMatrixT<T> assemble_from_stencil_t(const Chunk& c) {
   const int nx = c.nx(), ny = c.ny(), nz = c.nz();
   const bool three_d = c.dims() == 3;
-  const Field<double>& kx = c.kx();
-  const Field<double>& ky = c.ky();
-  const Field<double>& kz = c.kz();
-  const Field<double>& geom = c.u();  // any field: all share one geometry
+  // The float instantiation assembles from the fp32 coefficient bank in
+  // float arithmetic, preserving the stencil's entry order and diagonal
+  // association — the bitwise stencil ≡ CSR contract, per scalar.
+  const Field<T>& kx = c.field_t<T>(FieldId::kKx);
+  const Field<T>& ky = c.field_t<T>(FieldId::kKy);
+  const Field<T>& kz =
+      three_d ? c.field_t<T>(FieldId::kKz) : c.field_t<T>(FieldId::kKx);
+  const Field<T>& geom = kx;  // any field: all share one geometry
   const int per_row = three_d ? 7 : 5;
 
-  CsrMatrix m;
+  CsrMatrixT<T> m;
   m.nrows = static_cast<std::int64_t>(nx) * ny * nz;
   m.row_ptr.resize(m.nrows + 1);
   m.cols.resize(m.nrows * per_row);
@@ -33,11 +38,11 @@ CsrMatrix assemble_from_stencil(const Chunk& c) {
   for (int l = 0; l < nz; ++l) {
     for (int k = 0; k < ny; ++k) {
       for (int j = 0; j < nx; ++j) {
-        const double ky_lo = ky(j, k, l), ky_hi = ky(j, k + 1, l);
-        const double kx_lo = kx(j, k, l), kx_hi = kx(j + 1, k, l);
+        const T ky_lo = ky(j, k, l), ky_hi = ky(j, k + 1, l);
+        const T kx_lo = kx(j, k, l), kx_hi = kx(j + 1, k, l);
         // Same association as the matrix-free diagonal:
         // ((1 + (ky_hi+ky_lo)) + (kx_hi+kx_lo)) [+ (kz_hi+kz_lo)].
-        double diag = 1.0 + (ky_hi + ky_lo) + (kx_hi + kx_lo);
+        T diag = T(1) + (ky_hi + ky_lo) + (kx_hi + kx_lo);
         if (three_d) diag += kz(j, k, l + 1) + kz(j, k, l);
         m.cols[e] = static_cast<std::int64_t>(geom.index(j, k, l));
         m.vals[e++] = diag;
@@ -63,7 +68,15 @@ CsrMatrix assemble_from_stencil(const Chunk& c) {
   return m;
 }
 
-double SellMatrix::fill_ratio() const {
+template CsrMatrixT<double> assemble_from_stencil_t<double>(const Chunk&);
+template CsrMatrixT<float> assemble_from_stencil_t<float>(const Chunk&);
+
+CsrMatrix assemble_from_stencil(const Chunk& c) {
+  return assemble_from_stencil_t<double>(c);
+}
+
+template <class T>
+double SellMatrixT<T>::fill_ratio() const {
   const std::int64_t padded =
       slice_ptr.empty() ? 0 : slice_ptr.back();
   const std::int64_t true_nnz =
@@ -73,9 +86,13 @@ double SellMatrix::fill_ratio() const {
                       : 1.0;
 }
 
-SellMatrix sell_from_csr(const CsrMatrix& csr, int C, int sigma) {
+template double SellMatrixT<double>::fill_ratio() const;
+template double SellMatrixT<float>::fill_ratio() const;
+
+template <class T>
+SellMatrixT<T> sell_from_csr_t(const CsrMatrixT<T>& csr, int C, int sigma) {
   TEA_REQUIRE(C > 0 && sigma > 0, "SELL-C-sigma needs positive C and sigma");
-  SellMatrix s;
+  SellMatrixT<T> s;
   s.chunk_c = C;
   s.sigma = sigma;
   s.nrows = csr.nrows;
@@ -111,7 +128,7 @@ SellMatrix sell_from_csr(const CsrMatrix& csr, int C, int sigma) {
         s.slice_ptr[sl] + static_cast<std::int64_t>(width) * C;
   }
   s.cols.assign(s.slice_ptr[nslices], 0);
-  s.vals.assign(s.slice_ptr[nslices], 0.0);
+  s.vals.assign(s.slice_ptr[nslices], T(0));
   for (std::int64_t r = 0; r < csr.nrows; ++r) {
     const std::int64_t p = s.slot[r];
     const std::int64_t base = s.slice_ptr[p / C] + p % C;
@@ -122,6 +139,15 @@ SellMatrix sell_from_csr(const CsrMatrix& csr, int C, int sigma) {
     }
   }
   return s;
+}
+
+template SellMatrixT<double> sell_from_csr_t<double>(const CsrMatrixT<double>&,
+                                                     int, int);
+template SellMatrixT<float> sell_from_csr_t<float>(const CsrMatrixT<float>&,
+                                                   int, int);
+
+SellMatrix sell_from_csr(const CsrMatrix& csr, int C, int sigma) {
+  return sell_from_csr_t<double>(csr, C, sigma);
 }
 
 }  // namespace tealeaf

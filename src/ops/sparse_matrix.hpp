@@ -7,25 +7,31 @@ namespace tealeaf {
 
 class Chunk;
 
-/// Assembled sparse matrix over one chunk's interior cells, CSR layout.
+/// Assembled sparse matrix over one chunk's interior cells, CSR layout,
+/// templated on the storage scalar (double for the classic path, float
+/// for the fp32 execution layer — same structure, half the val bytes).
 ///
 /// Rows are interior cells in flattened sweep order, row = (l·ny + k)·nx + j.
 /// Column indices are *storage offsets into the chunk's Field arrays* (all
-/// solver fields of a chunk share one geometry), so SpMV gathers straight
-/// from any field's backing store — halo cells included, which is what makes
-/// the assembled path work unchanged under multi-rank halo exchange.
+/// solver fields of a chunk share one geometry — the fp32 field bank uses
+/// the same halo, so the same offsets index both banks), so SpMV gathers
+/// straight from any field's backing store — halo cells included, which is
+/// what makes the assembled path work unchanged under multi-rank halo
+/// exchange.
 ///
 /// Entry order within a row is significant: the kernels accumulate entries
 /// pairwise (entry 0, then (1,2), (3,4), ... and a possible odd tail), so a
 /// matrix assembled from the stencil — entry order diag, ky(k+1), ky(k−1),
 /// kx(j+1), kx(j−1)[, kz(l+1), kz(l−1)], off-diagonals stored *signed*
 /// (negative) and boundary-face zeros kept — reproduces the matrix-free
-/// arithmetic bit for bit.  Entry 0 of every row must be the diagonal.
-struct CsrMatrix {
+/// arithmetic bit for bit, in either scalar.  Entry 0 of every row must be
+/// the diagonal.
+template <class T>
+struct CsrMatrixT {
   std::int64_t nrows = 0;
   std::vector<std::int64_t> row_ptr;  ///< nrows + 1 offsets into cols/vals
   std::vector<std::int64_t> cols;     ///< Field storage offsets
-  std::vector<double> vals;           ///< signed entry values, diag first
+  std::vector<T> vals;                ///< signed entry values, diag first
 
   /// Greatest |Δ(l·ny + k)| between a row and any column it references —
   /// the row lag a Chebyshev-style deferred-update sweep must respect.
@@ -43,6 +49,9 @@ struct CsrMatrix {
   }
 };
 
+using CsrMatrix = CsrMatrixT<double>;
+using CsrMatrix32 = CsrMatrixT<float>;
+
 /// SELL-C-σ layout of the same matrix: rows are grouped into slices of C,
 /// rows within each σ-row sorting window are ordered by descending length
 /// (a storage permutation only), and each slice stores its entries
@@ -50,7 +59,8 @@ struct CsrMatrix {
 /// friendly layout of Kreutzer et al.).  Per-row true lengths are kept so
 /// padding never enters the arithmetic: entry i of row r has the same value
 /// and column as in the source CSR, which keeps SELL bitwise equal to CSR.
-struct SellMatrix {
+template <class T>
+struct SellMatrixT {
   int chunk_c = 8;    ///< slice height C
   int sigma = 64;     ///< sorting window σ (rows)
   std::int64_t nrows = 0;
@@ -58,18 +68,31 @@ struct SellMatrix {
   std::vector<std::int64_t> slot;       ///< row → slice·C + lane (post-sort)
   std::vector<int> row_len;             ///< row → true entry count
   std::vector<std::int64_t> cols;       ///< padded, slice-column-major
-  std::vector<double> vals;             ///< padded, slice-column-major
+  std::vector<T> vals;                  ///< padded, slice-column-major
   int row_reach = 1;
 
   [[nodiscard]] double fill_ratio() const;  ///< padded / true nnz
 };
 
+using SellMatrix = SellMatrixT<double>;
+using SellMatrix32 = SellMatrixT<float>;
+
 /// Assemble the chunk's conduction stencil into CSR with the exact entry
 /// layout the bitwise-equivalence contract requires (diag computed with the
-/// stencil's association, signed off-diagonals, boundary zeros kept).
+/// stencil's association, signed off-diagonals, boundary zeros kept).  The
+/// float instantiation reads the chunk's fp32 coefficient bank and computes
+/// the diagonal in float arithmetic — NOT a downcast of double-assembled
+/// values — so the stencil ≡ CSR contract carries to the second scalar.
+template <class T>
+[[nodiscard]] CsrMatrixT<T> assemble_from_stencil_t(const Chunk& c);
+
 [[nodiscard]] CsrMatrix assemble_from_stencil(const Chunk& c);
 
 /// Re-layout a CSR matrix as SELL-C-σ.  Entry order per row is preserved.
+template <class T>
+[[nodiscard]] SellMatrixT<T> sell_from_csr_t(const CsrMatrixT<T>& csr,
+                                             int C = 8, int sigma = 64);
+
 [[nodiscard]] SellMatrix sell_from_csr(const CsrMatrix& csr, int C = 8,
                                        int sigma = 64);
 

@@ -1,6 +1,7 @@
 #include "precon/preconditioner.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "ops/kernels.hpp"
 #include "ops/operator_view.hpp"
@@ -23,8 +24,6 @@ namespace kernels {
 /// the per-plane instances of the 2-D ones and never couple planes (or
 /// chunks) — the preconditioner still needs no communication.
 void block_jacobi_init(Chunk& c) {
-  auto& cp = c.cp();
-  auto& bfp = c.bfp();
   // Per column (j, l), factorise each 4-cell tridiagonal block:
   //   sub(k)  = the signed k−1 coupling (within-strip only)
   //   diag(k) = the full operator diagonal
@@ -32,21 +31,26 @@ void block_jacobi_init(Chunk& c) {
   // all read through the chunk's OperatorView (stencil: −Ky faces;
   // assembled: the stored row entries).  bfp(k) stores the inverted pivot
   // 1/(diag - sub·cp(k-1)); cp(k) stores sup·bfp(k).  Strip truncation at
-  // the chunk top falls out naturally.
+  // the chunk top falls out naturally.  Under the mixed-precision layer
+  // the factorisation runs entirely in the view's scalar — the strip
+  // recurrences are elementwise work, not reductions.
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    auto& cp_s = c.field_t<S>(FieldId::kCp);
+    auto& bfp_s = c.field_t<S>(FieldId::kBfp);
     for (int l = 0; l < c.nz(); ++l) {
       for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
         const int k1 = std::min(k0 + kJacBlockSize, c.ny());
         for (int j = 0; j < c.nx(); ++j) {
-          double prev_cp = 0.0;
+          S prev_cp = S(0);
           for (int k = k0; k < k1; ++k) {
-            const double sub = (k == k0) ? 0.0 : A.coupling_k(j, k, l, -1);
-            const double sup =
-                (k == k1 - 1) ? 0.0 : A.coupling_k(j, k, l, +1);
-            const double pivot = A.diag(j, k, l) - sub * prev_cp;
-            bfp(j, k, l) = 1.0 / pivot;
-            cp(j, k, l) = sup * bfp(j, k, l);
-            prev_cp = cp(j, k, l);
+            const S sub = (k == k0) ? S(0) : A.coupling_k(j, k, l, -1);
+            const S sup =
+                (k == k1 - 1) ? S(0) : A.coupling_k(j, k, l, +1);
+            const S pivot = A.diag(j, k, l) - sub * prev_cp;
+            bfp_s(j, k, l) = S(1) / pivot;
+            cp_s(j, k, l) = sup * bfp_s(j, k, l);
+            prev_cp = cp_s(j, k, l);
           }
         }
       }
@@ -55,19 +59,20 @@ void block_jacobi_init(Chunk& c) {
 }
 
 void block_jacobi_solve(Chunk& c, FieldId src_id, FieldId dst_id) {
-  const auto& src = c.field(src_id);
-  auto& dst = c.field(dst_id);
-  const auto& cp = c.cp();
-  const auto& bfp = c.bfp();
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    const auto& src = c.field_t<S>(src_id);
+    auto& dst = c.field_t<S>(dst_id);
+    const auto& cp = c.field_t<S>(FieldId::kCp);
+    const auto& bfp = c.field_t<S>(FieldId::kBfp);
     for (int l = 0; l < c.nz(); ++l) {
       for (int k0 = 0; k0 < c.ny(); k0 += kJacBlockSize) {
         const int k1 = std::min(k0 + kJacBlockSize, c.ny());
         for (int j = 0; j < c.nx(); ++j) {
           // Thomas forward sweep: y_k = (b_k − sub_k·y_{k−1})·bfp_k.
-          double prev = 0.0;
+          S prev = S(0);
           for (int k = k0; k < k1; ++k) {
-            const double sub = (k == k0) ? 0.0 : A.coupling_k(j, k, l, -1);
+            const S sub = (k == k0) ? S(0) : A.coupling_k(j, k, l, -1);
             prev = (src(j, k, l) - sub * prev) * bfp(j, k, l);
             dst(j, k, l) = prev;
           }
@@ -82,9 +87,10 @@ void block_jacobi_solve(Chunk& c, FieldId src_id, FieldId dst_id) {
 }
 
 void diag_solve(Chunk& c, FieldId src_id, FieldId dst_id, const Bounds& b) {
-  const auto& src = c.field(src_id);
-  auto& dst = c.field(dst_id);
   op_dispatch(c, [&](const auto& A) {
+    using S = typename std::decay_t<decltype(A)>::Scalar;
+    const auto& src = c.field_t<S>(src_id);
+    auto& dst = c.field_t<S>(dst_id);
     for (int l = b.llo; l < b.lhi; ++l)
       for (int k = b.klo; k < b.khi; ++k)
         for (int j = b.jlo; j < b.jhi; ++j)

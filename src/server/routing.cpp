@@ -24,6 +24,8 @@ std::string RouteEntry::label() const {
   if (config.op != OperatorKind::kStencil) {
     os << "/" << to_string(config.op);
   }
+  if (config.precision == Precision::kSingle) os << "/f32";
+  if (config.precision == Precision::kMixed) os << "/mixed";
   return os.str();
 }
 
@@ -52,6 +54,11 @@ RouteEntry RouteEntry::validated() const {
                      "coefficients, so it has no assembled-operator form — "
                      "did you mean operator = stencil?");
     }
+    if (config.precision != Precision::kDouble) {
+      throw TeaError("route " + label() +
+                     ": mg-pcg is double-only (the multigrid hierarchy "
+                     "stays fp64) — did you mean precision = double?");
+    }
     return *this;
   }
   (void)config.validated();
@@ -77,6 +84,7 @@ RoutingTable RoutingTable::from_sweep(const SweepReport& report) {
     mc.entry.config.tile_rows = cell.config.tile_rows;
     mc.entry.config.pipeline = cell.config.pipeline;
     mc.entry.config.op = operator_kind_from_string(cell.config.op);
+    mc.entry.config.precision = precision_from_string(cell.config.precision);
     mc.entry.threads = cell.config.threads;
     mc.entry.mesh_n = cell.config.mesh_n;
     mc.entry.dims = cell.config.dims;

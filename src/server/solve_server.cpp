@@ -48,9 +48,12 @@ SolveServer::Routed SolveServer::route_request(const SolveRequest& req,
   }
   if (!req.deck.matrix_file.empty()) {
     // A loaded Matrix Market operator only exists on the assembled paths:
-    // stencil-operator routes (mg-pcg included) cannot serve this deck.
+    // stencil-operator routes (mg-pcg included) cannot serve this deck,
+    // and neither can reduced precision (no stencil coefficients to
+    // re-assemble in fp32).
     std::erase_if(ranked, [](const RouteEntry& e) {
-      return !e.native() || e.config.op == OperatorKind::kStencil;
+      return !e.native() || e.config.op == OperatorKind::kStencil ||
+             e.config.precision != Precision::kDouble;
     });
   }
   if (ranked.empty()) {
@@ -69,6 +72,7 @@ SolveServer::Routed SolveServer::route_request(const SolveRequest& req,
   r.config.tile_rows = best.config.tile_rows;
   r.config.pipeline = best.config.pipeline;
   r.config.op = best.config.op;
+  r.config.precision = best.config.precision;
   r.label = best.label();
   r.fallbacks.assign(ranked.begin() + 1, ranked.end());
   return r;
@@ -140,6 +144,12 @@ std::vector<SolveResult> SolveServer::drain() {
     p.label = routed.label;
     p.is_mg_pcg = routed.is_mg_pcg;
     p.fallbacks = routed.fallbacks;
+    // The routed (or override) precision is part of the session shape:
+    // write it back into this drain's copy of the deck so the group key,
+    // the cache acquire and the session reset all agree, and an fp64
+    // request can never share a session — or its eigenvalue memo — with a
+    // single/mixed one of the same geometry.
+    reqs[i].deck.solver.precision = p.config.precision;
     const int halo = std::max(2, p.config.halo_depth);
     const std::string key =
         ProblemShape::of(reqs[i].deck, reqs[i].nranks, halo).key();
@@ -176,6 +186,9 @@ std::vector<SolveResult> SolveServer::drain() {
         // re-route when they turn out stale.
         p.hinted = p.config.has_eig_hints();
         if (p.is_mg_pcg) continue;  // mg-pcg runs solo below
+        if (p.config.precision != Precision::kDouble) {
+          continue;  // the team engine is fp64-only: solo below
+        }
         p.config = p.config.validated();
         p.session->prepare(p.config.op);
         items.push_back({&p.session->cluster(), p.config, {}});
@@ -191,12 +204,16 @@ std::vector<SolveResult> SolveServer::drain() {
       }
 
       // mg-pcg members (single-rank only) solve solo through the shared
-      // sweep/bench step so every consumer measures the same code path.
+      // sweep/bench step so every consumer measures the same code path;
+      // single/mixed members solve solo too (run_solver dispatches the
+      // fp32 storage and the iterative-refinement outer loop itself).
       for (std::size_t b = 0; b < chunk; ++b) {
         Pending& p = pending[members[at + b]];
         SolveResult& res = results[p.order];
         if (p.is_mg_pcg) {
           res.stats = solve_solo(*p.session, p.req->deck, p.config, true);
+        } else if (p.config.precision != Precision::kDouble) {
+          res.stats = solve_solo(*p.session, p.req->deck, p.config, false);
         }
       }
       ++stats_.batches;
@@ -244,6 +261,9 @@ std::vector<SolveResult> SolveServer::drain() {
               retry.tile_rows = e.config.tile_rows;
               retry.pipeline = e.config.pipeline;
               retry.op = e.config.op;
+              // The session's shape was keyed on the first route's
+              // precision, so the retry keeps it rather than adopting the
+              // fallback's (a precision flip would need a new session).
               retry_label = e.label();
               have_retry = true;
               break;
@@ -341,6 +361,7 @@ RunResult SolveServer::run(const InputDeck& deck, int nranks) {
         retry.tile_rows = e.config.tile_rows;
         retry.pipeline = e.config.pipeline;
         retry.op = e.config.op;
+        retry.precision = e.config.precision;
       }
       // The broken attempt skipped finish_solve: this step's input energy
       // is intact and the retry replays the SAME step from it.

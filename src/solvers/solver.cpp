@@ -1,12 +1,18 @@
 #include "solvers/solver.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
 #include "model/machine.hpp"
+#include "ops/kernels.hpp"
 #include "ops/sparse_matrix.hpp"
 #include "solvers/cg.hpp"
 #include "solvers/chebyshev.hpp"
 #include "solvers/jacobi.hpp"
 #include "solvers/ppcg.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace tealeaf {
 
@@ -36,20 +42,223 @@ SolverConfig resolve(const SimCluster2D& cl, const SolverConfig& cfg,
   return resolved;
 }
 
+/// Dispatch one native solve at the chunks' CURRENT precision activation
+/// (the solvers are precision-oblivious: every field access and every
+/// operator traversal goes through the kernels' scalar dispatch).
+SolveStats dispatch_native(SimCluster2D& cl, const SolverConfig& resolved) {
+  switch (resolved.type) {
+    case SolverType::kJacobi: return JacobiSolver::solve(cl, resolved);
+    case SolverType::kCG: return CGSolver::solve(cl, resolved);
+    case SolverType::kChebyshev: return ChebyshevSolver::solve(cl, resolved);
+    case SolverType::kPPCG: return PPCGSolver::solve(cl, resolved);
+  }
+  TEA_ASSERT(false, "invalid solver type");
+}
+
+// ---- mixed-precision execution layer ------------------------------------
+// Storage orchestration for Precision::kSingle / kMixed.  The fp32 bank is
+// a per-chunk twin of the fp64 fields (Chunk::enable_fp32); activation
+// flips Chunk::fp32_active(), which routes op_dispatch, the scalar
+// kernels and the halo exchanges over the fp32 bank.  The fp64 fields are
+// never touched by an active-fp32 solve, so the outer refinement loop can
+// read them back untouched.
+
+void downcast_field(Chunk& c, FieldId dst32, FieldId src64) {
+  const Field<double>& s = c.field(src64);
+  Field<float>& d = c.field32(dst32);
+  const double* sp = s.data();
+  float* dp = d.data();
+  const std::size_t n = s.size();
+  for (std::size_t i = 0; i < n; ++i) dp[i] = static_cast<float>(sp[i]);
+}
+
+/// Allocate the fp32 bank and build the fp32 operator: coefficient fields
+/// by storage downcast of the freshly built fp64 Kx/Ky/Kz (the direct
+/// analogue of downcasting the solve's inputs), assembled CSR/SELL-C-σ by
+/// re-assembling from those fp32 coefficients IN fp32 arithmetic — never
+/// by downcasting fp64-assembled values — so the fp32 stencil and the
+/// fp32 assembled formats stay bitwise equal to each other.
+void build_fp32_operator(SimCluster2D& cl) {
+  cl.for_each_chunk([&](int, Chunk& c) {
+    c.enable_fp32();
+    downcast_field(c, FieldId::kKx, FieldId::kKx);
+    downcast_field(c, FieldId::kKy, FieldId::kKy);
+    if (c.dims() == 3) downcast_field(c, FieldId::kKz, FieldId::kKz);
+    if (c.op_kind() != OperatorKind::kStencil) {
+      auto csr32 =
+          std::make_shared<CsrMatrix32>(assemble_from_stencil_t<float>(c));
+      std::shared_ptr<const SellMatrix32> sell32;
+      if (c.op_kind() == OperatorKind::kSellCSigma) {
+        sell32 = std::make_shared<SellMatrix32>(sell_from_csr_t<float>(
+            *csr32, c.sell()->chunk_c, c.sell()->sigma));
+      }
+      c.set_assembled_operator32(std::move(csr32), std::move(sell32));
+    }
+  });
+}
+
+/// Zero the fp32 iterate and work vectors ahead of an inner solve (the
+/// refinement loop re-enters with a dirty bank).
+void clear_fp32_workspace(Chunk& c) {
+  c.field32(FieldId::kU).fill(0.0f);
+  for (const FieldId f : {FieldId::kP, FieldId::kR, FieldId::kW, FieldId::kZ,
+                          FieldId::kSd, FieldId::kRtemp}) {
+    c.field32(f).fill(0.0f);
+  }
+}
+
+void set_fp32_active(SimCluster2D& cl, bool active) {
+  cl.for_each_chunk([&](int, Chunk& c) { c.set_fp32_active(active); });
+}
+
+/// fp64 true residual r = u0 − A·u on the fp64 bank (fp32 must be
+/// inactive).  Exchanges u to depth 1 first; returns ‖r‖².
+double fp64_true_residual(SimCluster2D& cl) {
+  cl.exchange({FieldId::kU}, 1);
+  return cl.sum_over_chunks(
+      [](int, Chunk& c) { return kernels::calc_residual(c); });
+}
+
+/// Fold one inner solve's work counters into the aggregate the caller
+/// reports (iterations are real work wherever they ran).
+void accumulate_inner(SolveStats& agg, const SolveStats& inner) {
+  agg.outer_iters += inner.outer_iters;
+  agg.inner_steps += inner.inner_steps;
+  agg.spmv_applies += inner.spmv_applies;
+  agg.eigen_cg_iters += inner.eigen_cg_iters;
+  if (inner.eigmax > 0.0) {
+    agg.eigmin = inner.eigmin;
+    agg.eigmax = inner.eigmax;
+  }
+}
+
+/// Precision::kSingle — the honest all-fp32 mode: downcast the operator
+/// and the solve's inputs, run the configured solver entirely over the
+/// fp32 bank (same eps; it may stall before a tight tolerance, which is
+/// recorded honestly for the sweep to price), upcast the iterate.
+SolveStats solve_single(SimCluster2D& cl, const SolverConfig& resolved) {
+  build_fp32_operator(cl);
+  cl.for_each_chunk([&](int, Chunk& c) {
+    clear_fp32_workspace(c);
+    downcast_field(c, FieldId::kU, FieldId::kU);
+    downcast_field(c, FieldId::kU0, FieldId::kU0);
+  });
+  set_fp32_active(cl, true);
+  SolveStats stats = dispatch_native(cl, resolved);
+  set_fp32_active(cl, false);
+  cl.for_each_chunk([&](int, Chunk& c) {
+    Field<double>& u = c.u();
+    const Field<float>& u32 = c.field32(FieldId::kU);
+    const Bounds b = interior_bounds(c);
+    for (int l = b.llo; l < b.lhi; ++l)
+      for (int k = b.klo; k < b.khi; ++k)
+        for (int j = b.jlo; j < b.jhi; ++j)
+          u(j, k, l) = static_cast<double>(u32(j, k, l));
+  });
+  return stats;
+}
+
+/// Precision::kMixed — fp64-guarded iterative refinement: each pass
+/// recomputes the TRUE residual in fp64 (r = u0 − A·u on the fp64 bank),
+/// re-solves the correction A·δ = r entirely in fp32 at a loose inner
+/// tolerance, and accumulates u += δ in fp64.  Refinement converges when
+/// the fp64 residual meets the caller's eps relative to the INITIAL fp64
+/// residual — the same contract as a double solve — and reports
+/// breakdown when it stalls (the server answers that with a re-route).
+SolveStats solve_mixed(SimCluster2D& cl, const SolverConfig& resolved) {
+  // The native solvers time their own iteration loops; the refinement
+  // wrapper times the WHOLE mixed solve — inner solves, downcasts and the
+  // fp64 guard residuals — so the sweep and bench price its true cost.
+  Timer timer;
+  constexpr int kMaxRefines = 12;
+  // fp32 has ~7.2 decimal digits; pushing an inner solve past ~1e-5
+  // relative buys nothing the next fp64 refinement pass doesn't redo.
+  SolverConfig inner_cfg = resolved;
+  inner_cfg.eps = std::max(resolved.eps, 1e-5);
+
+  SolveStats stats;
+  const double rr0 = fp64_true_residual(cl);
+  stats.initial_norm = std::sqrt(std::fabs(rr0));
+  if (stats.initial_norm == 0.0) {
+    stats.converged = true;
+    return stats;
+  }
+  const double target = resolved.eps * stats.initial_norm;
+
+  build_fp32_operator(cl);
+  double norm = stats.initial_norm;
+  int stalls = 0;
+  for (int ref = 0; ref <= kMaxRefines; ++ref) {
+    // Correction system: fp32 right-hand side = the current fp64
+    // residual; zero fp32 initial guess.
+    cl.for_each_chunk([&](int, Chunk& c) {
+      clear_fp32_workspace(c);
+      downcast_field(c, FieldId::kU0, FieldId::kR);
+    });
+    set_fp32_active(cl, true);
+    const SolveStats inner = dispatch_native(cl, inner_cfg);
+    set_fp32_active(cl, false);
+    accumulate_inner(stats, inner);
+    stats.refine_steps = ref;
+    if (inner.breakdown) {
+      stats.breakdown = true;
+      stats.breakdown_reason =
+          "mixed: fp32 inner solve broke down (" + inner.breakdown_reason +
+          ")";
+      break;
+    }
+    // u += δ in fp64, then the fp64 truth test.
+    cl.for_each_chunk([&](int, Chunk& c) {
+      Field<double>& u = c.u();
+      const Field<float>& du = c.field32(FieldId::kU);
+      const Bounds b = interior_bounds(c);
+      for (int l = b.llo; l < b.lhi; ++l)
+        for (int k = b.klo; k < b.khi; ++k)
+          for (int j = b.jlo; j < b.jhi; ++j)
+            u(j, k, l) += static_cast<double>(du(j, k, l));
+    });
+    const double prev = norm;
+    norm = std::sqrt(std::fabs(fp64_true_residual(cl)));
+    if (norm <= target) {
+      stats.converged = true;
+      break;
+    }
+    // Reuse the inner solve's eigenvalue estimates: the fp32 operator
+    // does not change between refinement passes, so later inner solves
+    // skip their CG presteps.
+    if (inner.eigmax > 0.0 && !inner_cfg.has_eig_hints()) {
+      inner_cfg.eig_hint_min = inner.eigmin;
+      inner_cfg.eig_hint_max = inner.eigmax;
+    }
+    // Stall guard: refinement contracts the residual by ~the inner
+    // tolerance per pass; two consecutive passes without meaningful
+    // contraction mean fp32 has hit its floor above the caller's eps.
+    stalls = (norm > 0.5 * prev) ? stalls + 1 : 0;
+    if (stalls >= 2) {
+      stats.breakdown = true;
+      stats.breakdown_reason = "mixed: refinement stalled above tl_eps";
+      break;
+    }
+  }
+  if (!stats.converged && !stats.breakdown) {
+    stats.breakdown = true;
+    stats.breakdown_reason = "mixed: refinement cap reached above tl_eps";
+  }
+  stats.final_norm = norm;
+  stats.solve_seconds = timer.elapsed_s();
+  return stats;
+}
+
 }  // namespace
 
 SolveStats run_solver(SimCluster2D& cl, const SolverConfig& cfg,
                       const MachineSpec& machine) {
   const SolverConfig resolved = resolve(cl, cfg, machine);
   SolveStats stats;
-  switch (resolved.type) {
-    case SolverType::kJacobi: stats = JacobiSolver::solve(cl, resolved); break;
-    case SolverType::kCG: stats = CGSolver::solve(cl, resolved); break;
-    case SolverType::kChebyshev:
-      stats = ChebyshevSolver::solve(cl, resolved);
-      break;
-    case SolverType::kPPCG: stats = PPCGSolver::solve(cl, resolved); break;
-    default: TEA_ASSERT(false, "invalid solver type");
+  switch (resolved.precision) {
+    case Precision::kDouble: stats = dispatch_native(cl, resolved); break;
+    case Precision::kSingle: stats = solve_single(cl, resolved); break;
+    case Precision::kMixed: stats = solve_mixed(cl, resolved); break;
   }
   note_operator_fill(cl, stats);
   return stats;
@@ -57,6 +266,13 @@ SolveStats run_solver(SimCluster2D& cl, const SolverConfig& cfg,
 
 SolveStats run_solver_team(SimCluster2D& cl, const SolverConfig& cfg,
                            const Team& team, const MachineSpec& machine) {
+  // The batch engine's sub-team path is double-only: the refinement
+  // loop's storage orchestration (bank activation, fp64 truth tests)
+  // opens and closes parallel work and cannot run inside the caller's
+  // region.  The server diverts non-double requests to the solo path.
+  TEA_REQUIRE(cfg.precision == Precision::kDouble,
+              "run_solver_team is double-only; route single/mixed solves "
+              "through run_solver");
   const SolverConfig resolved = resolve(cl, cfg, machine);
   SolveStats stats;
   switch (resolved.type) {

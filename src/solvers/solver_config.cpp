@@ -29,13 +29,30 @@ PreconType precon_type_from_string(const std::string& s) {
   throw TeaError("unknown preconditioner type: " + s);
 }
 
+const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::kDouble: return "double";
+    case Precision::kSingle: return "single";
+    case Precision::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+Precision precision_from_string(const std::string& s) {
+  if (s == "double" || s == "fp64") return Precision::kDouble;
+  if (s == "single" || s == "fp32" || s == "float") return Precision::kSingle;
+  if (s == "mixed") return Precision::kMixed;
+  throw TeaError("unknown precision: " + s);
+}
+
 std::size_t SweepSpec::num_cases() const {
   const std::size_t meshes = mesh_sizes.empty() ? 1 : mesh_sizes.size();
   const std::size_t geoms = geometries.empty() ? 1 : geometries.size();
   const std::size_t ops = operators.empty() ? 1 : operators.size();
+  const std::size_t precs = precisions.empty() ? 1 : precisions.size();
   return solvers.size() * precons.size() * halo_depths.size() * meshes *
          thread_counts.size() * fused.size() * tile_rows.size() *
-         pipeline.size() * geoms * ops;
+         pipeline.size() * geoms * ops * precs;
 }
 
 void SweepSpec::validate() const {
@@ -72,6 +89,9 @@ void SweepSpec::validate() const {
   }
   for (const std::string& o : operators) {
     operator_kind_from_string(o);  // throws if unknown
+  }
+  for (const std::string& p : precisions) {
+    precision_from_string(p);  // throws if unknown
   }
   TEA_REQUIRE(ranks >= 1, "sweep: need at least one simulated rank");
 }

@@ -20,6 +20,23 @@ enum class SolverType : int {
 [[nodiscard]] SolverType solver_type_from_string(const std::string& s);
 [[nodiscard]] PreconType precon_type_from_string(const std::string& s);
 
+/// Storage/arithmetic precision of one solve (tl_precision).  The solvers
+/// are bandwidth-bound, so fp32 field and operator storage halves the
+/// dominant traffic term; reductions and solver-scalar recurrences
+/// (alpha/beta, Chebyshev coefficients, eigenvalue estimates) stay fp64
+/// in every mode — only elementwise storage and arithmetic change.
+enum class Precision : int {
+  kDouble = 0,  ///< all-fp64, the default — bitwise identical to pre-axis
+  kSingle = 1,  ///< honest all-fp32: may stall above tight tolerances
+  /// fp32 inner solves wrapped in an fp64 iterative-refinement outer
+  /// loop: recompute the true residual in fp64, re-solve the correction
+  /// in fp32, repeat (bounded) until the fp64 residual meets tl_eps.
+  kMixed = 2,
+};
+
+[[nodiscard]] const char* to_string(Precision p);
+[[nodiscard]] Precision precision_from_string(const std::string& s);
+
 /// Full configuration of one linear solve; mirrors the `tl_*` options of
 /// an upstream tea.in deck.
 struct SolverConfig {
@@ -120,6 +137,14 @@ struct SolverConfig {
   /// assembled halo rows).
   OperatorKind op = OperatorKind::kStencil;
 
+  /// Storage/arithmetic precision (tl_precision = double|single|mixed).
+  /// kDouble is the default and bitwise identical to the pre-axis code;
+  /// kMixed converges to the same eps through fp64 iterative refinement
+  /// around fp32 inner solves; kSingle is the honest all-fp32 mode for
+  /// the sweep to price.  mg-pcg and loaded Matrix Market operators stay
+  /// double-only (validated()).
+  Precision precision = Precision::kDouble;
+
   /// Throws TeaError on inconsistent combinations, e.g. block-Jacobi with
   /// matrix-powers depth > 1 (the strips would need fresh whole-block
   /// data every inner step — paper §IV-C2 last paragraph).
@@ -180,6 +205,12 @@ struct SweepSpec {
   /// solvers (mg-pcg rebuilds its hierarchy from face coefficients), so
   /// other combinations are enumerated but skipped.
   std::vector<std::string> operators = {"stencil"};
+  /// Precision axis (`sweep_precision = double,single,mixed`): the
+  /// eleventh design-space dimension, A/B-ing SolverConfig::precision
+  /// (labels carry `/f32` or `/mixed`, CSV/JSON a `precision` column).
+  /// mg-pcg cells stay double-only, so other combinations are enumerated
+  /// but skipped.
+  std::vector<std::string> precisions = {"double"};
   int ranks = 4;                         ///< simulated ranks per run
 
   [[nodiscard]] bool requested() const { return !solvers.empty(); }
@@ -205,6 +236,9 @@ struct SolveStats {
   long long inner_steps = 0;     ///< PPCG inner Chebyshev steps in total
   long long spmv_applies = 0;    ///< total A·x applications (any bounds)
   int eigen_cg_iters = 0;        ///< CG presteps used for eigen estimation
+  /// Mixed mode only: fp64 iterative-refinement outer steps taken (the
+  /// number of fp32 inner solves beyond the first).  0 for double/single.
+  int refine_steps = 0;
   double eigmin = 0.0;           ///< widened eigenvalue estimates (0 if n/a)
   double eigmax = 0.0;
   double initial_norm = 0.0;     ///< sqrt of the initial convergence metric

@@ -298,5 +298,97 @@ TEST(GeometryDeck, StatesExtrudeThroughZWhenNoZInfoGiven) {
   EXPECT_TRUE(rect.contains(0.5, 0.5, 0.1, 0.1));
 }
 
+TEST(PrecisionDeck, ParsesAndRoundTrips) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\nx_cells=16\ny_cells=16\nend_step=1\n"
+      "tl_use_cg\ntl_precision=mixed\n"
+      "state 1 density=1 energy=1\n*endtea\n");
+  EXPECT_EQ(deck.solver.precision, Precision::kMixed);
+  const InputDeck back = InputDeck::parse_string(deck.to_string());
+  EXPECT_EQ(back.solver.precision, Precision::kMixed);
+  // The default stays double AND stays out of the serialised deck, so
+  // pre-precision decks round-trip byte-identically.
+  const InputDeck plain = InputDeck::parse_string(
+      "*tea\nx_cells=16\ny_cells=16\nend_step=1\n"
+      "state 1 density=1 energy=1\n*endtea\n");
+  EXPECT_EQ(plain.solver.precision, Precision::kDouble);
+  EXPECT_EQ(plain.to_string().find("tl_precision"), std::string::npos);
+}
+
+TEST(PrecisionDeck, SweepPrecisionAxisParsesAndRoundTrips) {
+  const InputDeck deck = InputDeck::parse_string(
+      "*tea\nx_cells=16\ny_cells=16\nend_step=1\n"
+      "sweep_solvers=cg\nsweep_precision=double,single,mixed\n"
+      "state 1 density=1 energy=1\n*endtea\n");
+  EXPECT_EQ(deck.sweep.precisions,
+            (std::vector<std::string>{"double", "single", "mixed"}));
+  const InputDeck back = InputDeck::parse_string(deck.to_string());
+  EXPECT_EQ(back.sweep.precisions,
+            (std::vector<std::string>{"double", "single", "mixed"}));
+}
+
+TEST(PrecisionDeck, MistypedPrecisionKeysSuggestTheRealOnes) {
+  const auto expect_suggestion = [](const std::string& body,
+                                    const std::string& typo,
+                                    const std::string& wanted) {
+    try {
+      InputDeck::parse_string("*tea\nx_cells=8\ny_cells=8\nend_step=1\n" +
+                              body +
+                              "\nstate 1 density=1 energy=1\n*endtea\n");
+      FAIL() << typo << " must not be silently ignored";
+    } catch (const TeaError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("unknown key '" + typo + "'"), std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("did you mean '" + wanted + "'?"),
+                std::string::npos)
+          << msg;
+    }
+  };
+  expect_suggestion("tl_precison=mixed", "tl_precison", "tl_precision");
+  expect_suggestion("tl_precisions=single", "tl_precisions", "tl_precision");
+  expect_suggestion("sweep_precisions=double,mixed", "sweep_precisions",
+                    "sweep_precision");
+}
+
+TEST(PrecisionDeck, RejectsBadValuesAndUnsupportedCombos) {
+  // A mistyped value must not silently fall back to double.
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+                   "tl_precision=half\n"
+                   "state 1 density=1 energy=1\n*endtea\n"),
+               TeaError);
+  // "fp64"/"fp32"/"float" are accepted aliases, not errors.
+  EXPECT_EQ(InputDeck::parse_string(
+                "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+                "tl_precision=fp32\n"
+                "state 1 density=1 energy=1\n*endtea\n")
+                .solver.precision,
+            Precision::kSingle);
+  // A loaded operator has no stencil coefficients to re-assemble in fp32.
+  try {
+    InputDeck::parse_string(
+        "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+        "tl_operator=csr\nmatrix_file=system.mtx\ntl_precision=single\n"
+        "state 1 density=1 energy=1\n*endtea\n");
+    FAIL() << "tl_precision=single with matrix_file must be rejected";
+  } catch (const TeaError& e) {
+    EXPECT_NE(std::string(e.what()).find("matrix_file"), std::string::npos)
+        << e.what();
+  }
+  // Precision keys outside the *tea block must fail loudly, not vanish.
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+                   "state 1 density=1 energy=1\n*endtea\n"
+                   "tl_precision=mixed\n"),
+               TeaError);
+  // Unknown sweep-axis entries surface at deck validation.
+  EXPECT_THROW(InputDeck::parse_string(
+                   "*tea\nx_cells=8\ny_cells=8\nend_step=1\n"
+                   "sweep_solvers=cg\nsweep_precision=double,half\n"
+                   "state 1 density=1 energy=1\n*endtea\n"),
+               TeaError);
+}
+
 }  // namespace
 }  // namespace tealeaf

@@ -71,6 +71,72 @@ INSTANTIATE_TEST_SUITE_P(
              "_r" + std::to_string(tc.nranks);
     });
 
+/// The substitution argument extends to the precision axis: fp32-active
+/// solves move 4-byte halos and the mixed refinement loop adds its fp64
+/// guard exchanges — the analytic trace must reproduce both byte-exactly.
+TEST(TraceValidationPrecision, ReducedPrecisionCommCountsMatchCountedStats) {
+  struct Case {
+    SolverType type;
+    Precision precision;
+    int halo_depth;
+    double eps;
+  };
+  const Case cases[] = {
+      {SolverType::kCG, Precision::kSingle, 1, 1e-4},
+      {SolverType::kJacobi, Precision::kSingle, 1, 1e-4},
+      {SolverType::kCG, Precision::kMixed, 1, 1e-8},
+      {SolverType::kPPCG, Precision::kMixed, 2, 1e-8},
+  };
+  for (const Case& c : cases) {
+    SolverConfig cfg;
+    cfg.type = c.type;
+    cfg.precision = c.precision;
+    cfg.halo_depth = c.halo_depth;
+    cfg.eps = c.eps;
+    cfg.max_iters = 100000;
+    cfg.eigen_cg_iters = 10;
+    cfg.inner_steps = 9;
+
+    const int n = 36;
+    auto cl = make_test_problem(n, 4, std::max(2, c.halo_depth), 8.0);
+    const SolveStats st = run_solver(*cl, cfg);
+    ASSERT_TRUE(st.converged) << to_string(c.type);
+
+    const SolverRunSummary run = SolverRunSummary::from(cfg, st, n);
+    const CommCounts predicted =
+        predict_comm_counts(run, cl->decomposition(), cl->mesh());
+    const CommStats& counted = cl->stats();
+    EXPECT_EQ(predicted.exchange_calls, counted.exchange_calls)
+        << to_string(c.type);
+    EXPECT_EQ(predicted.messages, counted.messages) << to_string(c.type);
+    EXPECT_EQ(predicted.message_bytes, counted.message_bytes)
+        << to_string(c.type);
+    EXPECT_EQ(predicted.reductions, counted.reductions) << to_string(c.type);
+  }
+}
+
+TEST(ScalingModelTest, ReducedPrecisionPricesBelowFp64PerIteration) {
+  SolverRunSummary run;
+  run.type = SolverType::kCG;
+  run.outer_iters = 4000;
+  run.mesh_n = 4000;
+  const ScalingModel model(machines::titan(),
+                           GlobalMesh2D(4000, 4000, 0, 10, 0, 10), 10);
+  const double fp64 = model.run_seconds(run, 4);
+  run.precision = Precision::kSingle;
+  const double fp32 = model.run_seconds(run, 4);
+  run.precision = Precision::kMixed;
+  run.refine_steps = 2;
+  const double mixed = model.run_seconds(run, 4);
+  // Bandwidth-bound at this scale: halved element size must show, but the
+  // per-sweep launch overheads keep it under a full 2x.
+  EXPECT_LT(fp32, 0.75 * fp64);
+  EXPECT_GT(fp32, 0.4 * fp64);
+  // The refinement guard costs something, but far less than it saves.
+  EXPECT_GT(mixed, fp32);
+  EXPECT_LT(mixed, fp64);
+}
+
 TEST(ExchangeCounts, MatchesSingleExchange) {
   const GlobalMesh2D mesh(30, 30);
   for (const int nranks : {1, 2, 4, 6, 9}) {

@@ -276,5 +276,132 @@ TEST(SolveServer, RunCountsFinalAttemptsOnlyAfterReroutes) {
   EXPECT_EQ(rerouted.final_summary.temp, ref.final_summary.temp);
 }
 
+/// The precision-safety regression: an fp64 request and a mixed request of
+/// the SAME geometry submitted through the server must never share a
+/// session — the shape key carries the precision, so the fp64 stream stays
+/// bitwise identical to a server that never saw reduced precision (no
+/// shared fp32 bank, no cross-precision eigenvalue memo).
+TEST(ServerPrecision, SessionsNeverSharedAcrossPrecisions) {
+  InputDeck base = decks::hot_block(24, 1);
+  base.solver.type = SolverType::kChebyshev;
+  InputDeck mixed = base;
+  mixed.solver.precision = Precision::kMixed;
+  const auto make = [](const InputDeck& d, const std::string& tag) {
+    SolveRequest r;
+    r.deck = d;
+    r.nranks = 2;
+    r.tag = tag;
+    return r;
+  };
+
+  SolveServer server, reference;
+  server.submit(make(base, "d0"));
+  server.submit(make(mixed, "m0"));
+  server.submit(make(base, "d1"));
+  const std::vector<SolveResult> first = server.drain();
+  ASSERT_EQ(first.size(), 3u);
+  for (const SolveResult& r : first) EXPECT_TRUE(r.ok());
+
+  reference.submit(make(base, "d0"));
+  reference.submit(make(base, "d1"));
+  const std::vector<SolveResult> ref_first = reference.drain();
+
+  // The fp64 members batch together exactly as if the mixed request were
+  // never submitted; the mixed member solves solo in its own session.
+  EXPECT_TRUE(first[0].batched);
+  EXPECT_EQ(first[0].stats.final_norm, ref_first[0].stats.final_norm);
+  EXPECT_EQ(first[0].stats.outer_iters, ref_first[0].stats.outer_iters);
+  EXPECT_FALSE(first[1].batched);
+  EXPECT_EQ(first[1].config.precision, Precision::kMixed);
+  EXPECT_TRUE(first[1].stats.converged);
+  EXPECT_LE(first[1].stats.refine_steps, 12);
+
+  // Second drain: the fp64 request reuses the fp64 session's eigenvalue
+  // memo, not the mixed one's — still bitwise equal to the clean server.
+  const SolveResult second = server.solve_one(make(base, "d2"));
+  const SolveResult ref_second = reference.solve_one(make(base, "d2"));
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.stats.final_norm, ref_second.stats.final_norm);
+  EXPECT_EQ(second.stats.outer_iters, ref_second.stats.outer_iters);
+  EXPECT_EQ(second.stats.eigen_cg_iters, ref_second.stats.eigen_cg_iters);
+}
+
+/// run_solver_team is fp64-only, so reduced-precision members of a drain
+/// group bypass the team engine and solve solo — bitwise identical to a
+/// lone session solving the same deck.
+TEST(ServerPrecision, ReducedPrecisionMembersBypassTheTeamEngine) {
+  InputDeck deck = decks::hot_block(24, 1);
+  deck.solver.precision = Precision::kMixed;
+  SolveServer server;
+  for (int i = 0; i < 2; ++i) {
+    SolveRequest req;
+    req.deck = deck;
+    req.nranks = 2;
+    req.tag = "mixed-" + std::to_string(i);
+    server.submit(std::move(req));
+  }
+  const std::vector<SolveResult> results = server.drain();
+  ASSERT_EQ(results.size(), 2u);
+  SolveSession solo(deck, 2);
+  const SolveStats ref = solo.solve();
+  for (const SolveResult& r : results) {
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.batched);
+    EXPECT_EQ(r.config.precision, Precision::kMixed);
+    EXPECT_EQ(r.stats.final_norm, ref.final_norm);
+    EXPECT_EQ(r.stats.outer_iters, ref.outer_iters);
+    EXPECT_EQ(r.stats.refine_steps, ref.refine_steps);
+  }
+  EXPECT_EQ(server.stats().batched_requests, 0);
+}
+
+/// A sweep-measured mixed cell routes like any other: the routed config
+/// carries the precision, the label carries the "/mixed" suffix, and an
+/// (invalid) mg-pcg reduced-precision cell is filtered by validation.
+TEST(ServerPrecision, RoutesMixedCellsAndFiltersDoubleOnlyBaselines) {
+  SweepReport rep = synthetic_report();
+  SweepOutcome cell;
+  cell.config.solver = "cg";
+  cell.config.mesh_n = 16;
+  cell.config.fused = true;
+  cell.config.dims = 2;
+  cell.config.precision = "mixed";
+  cell.converged = true;
+  cell.iterations = 30;
+  cell.solve_seconds = 0.005;  // fastest measured cell of this shape
+  rep.cells.push_back(cell);
+  SweepOutcome bad = cell;
+  bad.config.solver = "mg-pcg";
+  bad.config.precision = "single";
+  bad.solve_seconds = 0.001;
+  rep.cells.push_back(bad);
+
+  RoutingTable table = RoutingTable::from_sweep(rep);
+  const std::vector<RouteEntry> ranked = table.route(2, 16, 1);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front().label(), "cg/none/d1/n16/fused/mixed");
+  EXPECT_EQ(ranked.front().config.precision, Precision::kMixed);
+  for (const RouteEntry& e : ranked) {
+    if (e.solver == "mg-pcg") {
+      EXPECT_EQ(e.config.precision, Precision::kDouble);
+    }
+  }
+
+  ServerOptions opts;
+  opts.routes = std::move(table);
+  SolveServer server(std::move(opts));
+  SolveRequest req;
+  req.deck = decks::hot_block(16, 1);
+  req.nranks = 2;
+  const SolveResult res = server.solve_one(req);
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(res.route_label, "cg/none/d1/n16/fused/mixed");
+  EXPECT_EQ(res.config.type, SolverType::kCG);
+  EXPECT_EQ(res.config.precision, Precision::kMixed);
+  EXPECT_FALSE(res.batched);
+  EXPECT_LE(res.stats.final_norm,
+            res.config.eps * res.stats.initial_norm);
+}
+
 }  // namespace
 }  // namespace tealeaf

@@ -589,5 +589,66 @@ TEST(SweepGeometryAxis, SlabCellMatches2DIterationCounts) {
             rep.cells[0].iterations);  // same order of magnitude
 }
 
+
+TEST(SweepPrecisionAxis, EnumeratesAsEleventhInnermostAxis) {
+  SweepSpec spec;
+  spec.solvers = {"cg"};
+  spec.fused = {0, 1};
+  spec.precisions = {"double", "fp32", "mixed"};  // alias canonicalises
+  const std::vector<SweepCase> cases = enumerate_cases(spec, 16);
+  ASSERT_EQ(cases.size(), 6u);
+  ASSERT_EQ(spec.num_cases(), 6u);
+  // Precision is the innermost axis and its label suffix comes last.
+  EXPECT_EQ(cases[0].label(), "cg/none/d1/n16/t0");
+  EXPECT_EQ(cases[1].label(), "cg/none/d1/n16/t0/f32");
+  EXPECT_EQ(cases[2].label(), "cg/none/d1/n16/t0/mixed");
+  EXPECT_EQ(cases[3].label(), "cg/none/d1/n16/t0/fused");
+  EXPECT_EQ(cases[4].label(), "cg/none/d1/n16/t0/fused/f32");
+  EXPECT_EQ(cases[5].label(), "cg/none/d1/n16/t0/fused/mixed");
+  EXPECT_EQ(cases[1].precision, "single");  // canonical name, not the alias
+  spec.precisions = {"half"};
+  EXPECT_THROW(spec.validate(), TeaError);
+}
+
+TEST(SweepPrecisionAxis, RanksConvergedCellsAndRoundTrips) {
+  InputDeck base = decks::hot_block(16, 1);
+  base.solver.eps = 1e-8;
+  SweepSpec spec;
+  spec.solvers = {"cg", "mg-pcg"};
+  spec.precisions = {"double", "mixed"};
+  spec.ranks = 2;
+  const SweepReport rep = run_sweep(base, spec);
+  ASSERT_EQ(rep.cells.size(), 4u);
+
+  // cg runs in both precisions and both converge to the deck's tl_eps;
+  // the double and mixed rows agree on the physics (same operator, same
+  // target) while taking their own iteration counts.
+  EXPECT_FALSE(rep.cells[0].skipped);
+  EXPECT_FALSE(rep.cells[1].skipped);
+  EXPECT_TRUE(rep.cells[0].converged) << rep.cells[0].config.label();
+  EXPECT_TRUE(rep.cells[1].converged) << rep.cells[1].config.label();
+  EXPECT_EQ(rep.cells[1].config.label(), "cg/none/d1/n16/t0/mixed");
+
+  // mg-pcg stays double-only: the mixed cell is a reasoned skip, the
+  // double cell runs.
+  EXPECT_FALSE(rep.cells[2].skipped);
+  EXPECT_TRUE(rep.cells[3].skipped);
+  EXPECT_NE(rep.cells[3].skip_reason.find("double-only"), std::string::npos);
+
+  // The precision column survives both serialisation round trips.
+  const std::vector<std::string> lines = rep.to_csv_lines();
+  EXPECT_NE(lines.front().find(",precision,"), std::string::npos);
+  const SweepReport csv_back = SweepReport::from_csv_lines(lines);
+  const SweepReport json_back =
+      SweepReport::from_json_string(rep.to_json().dump(2));
+  for (std::size_t i = 0; i < rep.cells.size(); ++i) {
+    EXPECT_EQ(csv_back.cells[i].config.precision,
+              rep.cells[i].config.precision);
+    EXPECT_EQ(json_back.cells[i].config.precision,
+              rep.cells[i].config.precision);
+    EXPECT_EQ(csv_back.cells[i].config.label(), rep.cells[i].config.label());
+  }
+}
+
 }  // namespace
 }  // namespace tealeaf
