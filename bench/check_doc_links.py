@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in markdown docs.
+
+Scans the given markdown files / directories (directories recurse over
+``*.md``) for inline links and images, resolves every RELATIVE target
+against the containing file's directory, and exits non-zero listing each
+target that does not exist on disk.  Absolute URLs (``http://``,
+``https://``, ``mailto:``) and pure in-page anchors (``#section``) are
+skipped — this guards the repo's own cross-references (README ↔ docs/),
+not the wider internet.
+
+A ``path#fragment`` target is checked for the ``path`` part only;
+fragment validity inside the target file is out of scope.
+
+Usage:
+  check_doc_links.py README.md docs
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links/images: [text](target) / ![alt](target).
+# Targets never contain whitespace in this repo's docs, which keeps the
+# pattern from swallowing prose parentheses.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files(args):
+    files = []
+    for arg in args:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"check_doc_links: FAIL: no such file or directory: {arg}")
+            sys.exit(1)
+    return files
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    dead = []
+    checked = 0
+    for md in markdown_files(argv[1:]):
+        text = md.read_text(encoding="utf-8")
+        # Fenced code blocks hold shell examples, not navigation — strip
+        # them so `foo(bar)` inside ``` fences can't false-positive.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(EXTERNAL) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            if not (md.parent / path).exists():
+                dead.append(f"{md}: dead link -> {target}")
+    for line in dead:
+        print(f"check_doc_links: FAIL: {line}")
+    if dead:
+        return 1
+    print(f"check_doc_links: OK ({checked} relative links resolved)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

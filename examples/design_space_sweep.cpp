@@ -9,7 +9,11 @@
 //           [--tiles 0,32] [--pipeline 0,1] [--geometry 2d,3d]
 //           [--operators stencil,csr,sell-c-sigma]
 //           [--precisions double,single,mixed] [--deck path/to/tea.in]
-//           [--csv out.csv] [--json out.json]
+//           [--csv out.csv] [--json out.json] [--route-db route_db.json]
+//
+// --route-db additionally emits a RouteDatabase seed: every converged
+// cell becomes one observation priming a solve server's online routing
+// statistics (the nightly sweep uploads these as artifacts).
 //
 // A deck passed via --deck that carries its own sweep_* section overrides
 // the axis flags — sweeps are declarative deck content first.
@@ -22,6 +26,7 @@
 #include "driver/decks.hpp"
 #include "driver/sweep.hpp"
 #include "model/scaling.hpp"
+#include "server/routing.hpp"
 #include "util/args.hpp"
 
 namespace {
@@ -180,6 +185,18 @@ int run(const Args& args) {
   }
 
   std::printf("\nwrote %s and %s\n", csv_path.c_str(), json_path.c_str());
+
+  // Seed database for the solve server's online refinement: each
+  // converged cell primes its (shape, route) statistic with one
+  // observation at the measured seconds.
+  const std::string db_path = args.get("route-db", "");
+  if (!db_path.empty()) {
+    const RouteDatabase seed =
+        RoutingTable::from_sweep(report).seed_database();
+    seed.save(db_path);
+    std::printf("wrote route-db seed %s (%zu cells over %zu shapes)\n",
+                db_path.c_str(), seed.size(), seed.shapes());
+  }
   return 0;
 }
 

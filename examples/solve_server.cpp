@@ -1,6 +1,7 @@
 // Solve-server mode: feed a stream of SolveRequests through the batched
 // many-solve engine and report service metrics — throughput, latency
-// quantiles, session-cache reuse and the one-shot breakdown re-route.
+// quantiles, session-cache reuse, the one-shot breakdown re-route, and
+// (with --learn) the online routing-refinement loop.
 //
 // The stream mixes two problem shapes (so same-shape requests coalesce
 // into sub-team batches while the shapes keep separate session pools),
@@ -15,11 +16,26 @@
 // Run:  ./examples/solve_server [--requests 20] [--mesh 48] [--mesh2 64]
 //           [--ranks 2] [--batch 8] [--routes sweep.json] [--no-poison]
 //           [--mtx server_smoke.mtx]
+//           [--learn] [--db route_db.json] [--waves 1] [--adversarial]
+//
+// Learning mode (--learn): each converged request's measured latency is
+// fed back into the routing table (EWMA + demotion — docs/routing.md);
+// --waves N drains the stream in N slices so what wave k learns re-routes
+// wave k+1; --db persists the accumulated RouteDatabase across runs
+// (merge-on-load); --adversarial seeds the table with a deliberately
+// mislabeled best route (an unfused chebyshev entry "measured" at 0.1 µs)
+// so the run demonstrates online demotion converging onto the genuinely
+// fastest route.  Promotion/demotion events and a per-route attribution
+// table (requests, p50, observed-vs-predicted ratio, demotions) make the
+// learning legible.
 //
 // Exits non-zero if any request fails to converge — the CI server-smoke
-// job runs exactly this binary.
+// job runs exactly this binary (twice, for the learning half).
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -65,6 +81,73 @@ tealeaf::SolveRequest make_mtx_request(int n, const std::string& path) {
   return req;
 }
 
+/// An adversarially WRONG seed table: an unfused chebyshev entry claims
+/// to be absurdly fast (0.1 µs — no solve on any machine is), while the
+/// honest cg/ppcg entries carry pessimistically slow predictions.  With
+/// learning on, the measured latencies expose the lie: the chebyshev
+/// route's observed/predicted ratio explodes past the demotion threshold
+/// and the next-ranked entry takes over.
+tealeaf::RoutingTable adversarial_table(int mesh, int mesh2, int ranks) {
+  using namespace tealeaf;
+  SweepReport report;
+  report.ranks = ranks;
+  report.steps = 1;
+  const auto add = [&report](const std::string& solver, PreconType precon,
+                             int depth, bool fused, int mesh_n,
+                             double seconds, int iters) {
+    SweepOutcome cell;
+    cell.config.solver = solver;
+    cell.config.precon = precon;
+    cell.config.halo_depth = depth;
+    cell.config.fused = fused;
+    cell.config.mesh_n = mesh_n;
+    cell.converged = true;
+    cell.iterations = iters;
+    cell.solve_seconds = seconds;
+    report.cells.push_back(cell);
+  };
+  for (const int n : {mesh, mesh2}) {
+    add("chebyshev", PreconType::kNone, 1, false, n, 1e-7, 50);  // the lie
+    add("cg", PreconType::kNone, 1, true, n, 5.0, 60);
+    add("ppcg", PreconType::kJacobiDiag, 2, true, n, 6.0, 40);
+  }
+  return RoutingTable::from_sweep(report);
+}
+
+/// Demotion state per (shape, route) cell — diffed across drain waves to
+/// print promotion/demotion events.
+std::map<std::string, bool> demotion_snapshot(
+    const tealeaf::RouteDatabase& db) {
+  std::map<std::string, bool> snap;
+  for (const auto& [shape, routes] : db.cells()) {
+    for (const auto& [route, obs] : routes) {
+      snap[shape + "  " + route] = obs.demoted;
+    }
+  }
+  return snap;
+}
+
+void print_events(const tealeaf::RouteDatabase& db,
+                  std::map<std::string, bool>& prev) {
+  const std::map<std::string, bool> now = demotion_snapshot(db);
+  for (const auto& [cell, demoted] : now) {
+    const auto it = prev.find(cell);
+    const bool was = it != prev.end() && it->second;
+    if (demoted && !was) {
+      std::printf("event: DEMOTED   %s\n", cell.c_str());
+    } else if (!demoted && was) {
+      std::printf("event: PROMOTED  %s\n", cell.c_str());
+    }
+  }
+  prev = now;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
 int run(const tealeaf::Args& args) {
   using namespace tealeaf;
   const int requests = args.get_int("requests", 20);
@@ -72,19 +155,39 @@ int run(const tealeaf::Args& args) {
   const int mesh2 = args.get_int("mesh2", 64);
   const int ranks = args.get_int("ranks", 2);
   const bool poison = !args.has("no-poison");
+  const bool learn = args.has("learn");
+  const int waves = std::max(1, args.get_int("waves", 1));
+  const std::string db_path = args.get("db", "");
 
   ServerOptions opts;
   opts.max_batch = args.get_int("batch", 8);
+  opts.learn_routes = learn;
+  opts.route_db_path = db_path;
   const std::string routes = args.get("routes", "");
   if (!routes.empty()) {
     opts.routes = RoutingTable::from_json_file(routes);
     std::printf("routing table: %zu measured cells (swept on %d ranks)\n",
                 opts.routes.size(), opts.routes.sweep_ranks());
+  } else if (args.has("adversarial")) {
+    opts.routes = adversarial_table(mesh, mesh2, ranks);
+    std::printf("routing table: adversarial seed (%zu cells, best route "
+                "mislabeled at 0.1 us)\n",
+                opts.routes.size());
+  }
+  if (!db_path.empty()) {
+    const RouteDatabase existing = RouteDatabase::load_if_exists(db_path);
+    if (existing.empty()) {
+      std::printf("route db: starting fresh at %s\n", db_path.c_str());
+    } else {
+      std::printf("route db: loaded %zu cells over %zu shapes from %s\n",
+                  existing.size(), existing.shapes(), db_path.c_str());
+    }
   }
   SolveServer server(std::move(opts));
 
   // Mixed-shape stream: two meshes interleaved 2:1, so drain() coalesces
   // each shape into batches while exercising the shape-keyed cache.
+  std::vector<SolveRequest> stream;
   for (int i = 0; i < requests; ++i) {
     SolveRequest req;
     req.deck = decks::layered_material(i % 3 == 2 ? mesh2 : mesh, 1);
@@ -114,14 +217,31 @@ int run(const tealeaf::Args& args) {
       req.config = bad;
       req.tag += "-stale-hint-mixed";
     }
-    server.submit(std::move(req));
+    stream.push_back(std::move(req));
   }
   // One assembled-operator request rides along: a Matrix Market system
   // the example writes itself, routed onto the CSR path.
-  server.submit(
+  stream.push_back(
       make_mtx_request(16, args.get("mtx", "server_smoke.mtx")));
 
-  const std::vector<SolveResult> results = server.drain();
+  // Drain in waves: each wave's measured latencies are already folded
+  // into the table when the next wave routes, so a demotion learned early
+  // re-routes the rest of the stream within this run.
+  std::vector<SolveResult> results;
+  std::map<std::string, bool> demoted_before =
+      demotion_snapshot(server.routes().database());
+  const std::size_t per_wave =
+      (stream.size() + static_cast<std::size_t>(waves) - 1) /
+      static_cast<std::size_t>(waves);
+  for (std::size_t at = 0; at < stream.size(); at += per_wave) {
+    const std::size_t end = std::min(stream.size(), at + per_wave);
+    for (std::size_t i = at; i < end; ++i) {
+      server.submit(std::move(stream[i]));
+    }
+    std::vector<SolveResult> wave_results = server.drain();
+    for (SolveResult& r : wave_results) results.push_back(std::move(r));
+    if (learn) print_events(server.routes().database(), demoted_before);
+  }
 
   int failed = 0;
   for (const SolveResult& r : results) {
@@ -142,6 +262,41 @@ int run(const tealeaf::Args& args) {
     if (!r.ok()) ++failed;
   }
 
+  // Per-route attribution: which configurations actually served the
+  // stream, at what latency, and how observation compared to prediction.
+  struct RouteAgg {
+    std::vector<double> latencies;
+    double predicted = 0.0;
+    long long observations = 0;
+    bool demoted = false;
+  };
+  std::map<std::string, RouteAgg> by_route;
+  for (const SolveResult& r : results) {
+    RouteAgg& a = by_route[r.route_label.empty() ? "(deck config)"
+                                                 : r.route_label];
+    a.latencies.push_back(r.latency_seconds);
+    if (r.predicted_route_seconds > 0.0) {
+      a.predicted = r.predicted_route_seconds;
+    }
+    a.observations = std::max(a.observations, r.route_observations);
+    a.demoted = a.demoted || r.route_demoted;
+  }
+  std::printf("\nper-route attribution:\n");
+  std::printf("%-34s %8s %10s %10s %6s %8s\n", "route", "requests",
+              "p50 ms", "obs/pred", "obs", "demoted");
+  for (const auto& [label, a] : by_route) {
+    const double p50 = median(a.latencies);
+    char ratio[32];
+    if (a.predicted > 0.0) {
+      std::snprintf(ratio, sizeof ratio, "%.2g", p50 / a.predicted);
+    } else {
+      std::snprintf(ratio, sizeof ratio, "-");
+    }
+    std::printf("%-34s %8zu %10.3f %10s %6lld %8s\n", label.c_str(),
+                a.latencies.size(), p50 * 1e3, ratio, a.observations,
+                a.demoted ? "yes" : "no");
+  }
+
   const ServerStats& st = server.stats();
   std::printf(
       "\nserver: %lld requests in %lld batches (%lld coalesced), "
@@ -154,6 +309,20 @@ int run(const tealeaf::Args& args) {
               server.sessions().size(), server.sessions().shapes(),
               st.cache_hits, st.cache_misses);
   std::printf("re-routes: %lld, failures: %lld\n", st.reroutes, st.failures);
+  if (learn || !db_path.empty()) {
+    const RouteDatabase& db = server.routes().database();
+    std::printf("learning: %lld observations fed back, %lld demotions, "
+                "%lld promotions\n",
+                st.route_observations, st.demotions, st.promotions);
+    std::printf("learned routes: %lld (>= %d observations), "
+                "%lld demoted cells\n",
+                db.learned(server.options().learn.min_observations),
+                server.options().learn.min_observations, db.demotions());
+  }
+  if (learn && !db_path.empty()) {
+    server.save_route_db();
+    std::printf("route db: saved %s\n", db_path.c_str());
+  }
 
   if (failed > 0) {
     std::printf("SMOKE FAIL: %d request(s) did not converge\n", failed);

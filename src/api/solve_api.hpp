@@ -79,6 +79,16 @@ struct SolveResult {
   /// Wall time from batch start to this result (batched requests share
   /// their batch's wall time; a re-routed request adds its retry).
   double latency_seconds = 0.0;
+  /// Online-refinement view of the final route (zero / false when the
+  /// request ran an explicit override or the server has no table).
+  /// `route_observations` counts the measured latencies behind the
+  /// route's database cell AFTER this request's own observation (when
+  /// learning is on); `predicted_route_seconds` is the raw sweep/model
+  /// prediction the demotion ratio divides by.
+  long long route_observations = 0;
+  bool route_learned = false;   ///< cell reached min_observations
+  bool route_demoted = false;   ///< final route is currently demoted
+  double predicted_route_seconds = 0.0;
   std::string tag;
 
   [[nodiscard]] bool ok() const { return stats.converged; }

@@ -12,20 +12,37 @@
 
 namespace tealeaf {
 
+namespace {
+
+/// Shared tail of label() and route_key(): every axis past the mesh size.
+void append_axis_suffixes(std::ostringstream& os, const RouteEntry& e) {
+  if (e.config.fuse_kernels) os << "/fused";
+  if (e.config.tile_rows != 0) os << "/b" << e.config.tile_rows;
+  if (e.config.pipeline) os << "/pipe";
+  if (e.dims == 3) os << "/3d";
+  if (e.config.op != OperatorKind::kStencil) {
+    os << "/" << to_string(e.config.op);
+  }
+  if (e.config.precision == Precision::kSingle) os << "/f32";
+  if (e.config.precision == Precision::kMixed) os << "/mixed";
+}
+
+}  // namespace
+
 std::string RouteEntry::label() const {
   std::ostringstream os;
   if (projected) os << "~";
   os << solver << "/" << to_string(config.precon) << "/d"
      << config.halo_depth << "/n" << mesh_n;
-  if (config.fuse_kernels) os << "/fused";
-  if (config.tile_rows != 0) os << "/b" << config.tile_rows;
-  if (config.pipeline) os << "/pipe";
-  if (dims == 3) os << "/3d";
-  if (config.op != OperatorKind::kStencil) {
-    os << "/" << to_string(config.op);
-  }
-  if (config.precision == Precision::kSingle) os << "/f32";
-  if (config.precision == Precision::kMixed) os << "/mixed";
+  append_axis_suffixes(os, *this);
+  return os.str();
+}
+
+std::string RouteEntry::route_key() const {
+  std::ostringstream os;
+  os << solver << "/" << to_string(config.precon) << "/d"
+     << config.halo_depth;
+  append_axis_suffixes(os, *this);
   return os.str();
 }
 
@@ -176,11 +193,106 @@ std::vector<RouteEntry> RoutingTable::route(int dims, int mesh_n, int nranks,
       out.push_back(std::move(e));
     }
   }
+  // Overlay the online evidence.  Blending is gradual — the measured EWMA
+  // only takes over as observations accumulate — so one noisy sample
+  // cannot flip a ranking the sweep backed with a full measurement.
+  const std::string shape = shape_key(dims, mesh_n, nranks);
+  for (RouteEntry& e : out) {
+    e.predicted_seconds = e.seconds;
+    const RouteObservation* obs = db_.find(shape, e.route_key());
+    if (obs == nullptr) continue;
+    e.observations = obs->observations;
+    e.demoted = obs->demoted;
+    e.learned = obs->observations >= learn_.min_observations;
+    if (obs->observations > 0) {
+      const double w =
+          static_cast<double>(obs->observations) /
+          static_cast<double>(obs->observations + learn_.min_observations);
+      e.seconds = (1.0 - w) * e.predicted_seconds + w * obs->ewma_seconds;
+    }
+  }
+  // Demoted entries fall below every non-demoted viable entry but keep
+  // their relative order by blended seconds, so if everything for a shape
+  // demotes the server still picks the fastest-observed of them.
   std::stable_sort(out.begin(), out.end(),
                    [](const RouteEntry& a, const RouteEntry& b) {
+                     if (a.demoted != b.demoted) return !a.demoted;
                      return a.seconds < b.seconds;
                    });
   return out;
+}
+
+std::string RoutingTable::shape_key(int dims, int mesh_n, int nranks) {
+  std::ostringstream os;
+  os << dims << "d/n" << mesh_n << "/r" << nranks;
+  return os.str();
+}
+
+void RoutingTable::set_learning(RouteLearnOptions opts) {
+  TEA_REQUIRE(opts.min_observations >= 1,
+              "route learning: min_observations must be >= 1");
+  TEA_REQUIRE(opts.demote_ratio > 1.0,
+              "route learning: demote_ratio must exceed 1 (a route cannot "
+              "be demoted for matching its prediction)");
+  TEA_REQUIRE(opts.ewma_alpha > 0.0 && opts.ewma_alpha <= 1.0,
+              "route learning: ewma_alpha must be in (0, 1]");
+  learn_ = opts;
+}
+
+ObserveOutcome RoutingTable::observe(int dims, int mesh_n, int nranks,
+                                     const std::string& route_key,
+                                     double measured_seconds,
+                                     double predicted_seconds) {
+  const std::string shape = shape_key(dims, mesh_n, nranks);
+  RouteObservation& obs = db_.record(shape, route_key, measured_seconds,
+                                     predicted_seconds, learn_.ewma_alpha);
+  ObserveOutcome out;
+  out.shape = shape;
+  out.observations = obs.observations;
+  out.ewma_seconds = obs.ewma_seconds;
+  const bool was_demoted = obs.demoted;
+  if (obs.observations >= learn_.min_observations &&
+      predicted_seconds > 0.0) {
+    const double ratio = obs.ewma_seconds / predicted_seconds;
+    if (ratio > learn_.demote_ratio) {
+      obs.demoted = true;
+    } else if (obs.breakdowns == 0) {
+      // Fresh evidence back inside the ratio clears a latency demotion;
+      // a breakdown demotion stays until the database is rebuilt.
+      obs.demoted = false;
+    }
+  }
+  out.demoted = obs.demoted;
+  out.newly_demoted = obs.demoted && !was_demoted;
+  out.newly_promoted = !obs.demoted && was_demoted;
+  return out;
+}
+
+ObserveOutcome RoutingTable::observe_breakdown(int dims, int mesh_n,
+                                               int nranks,
+                                               const std::string& route_key) {
+  const std::string shape = shape_key(dims, mesh_n, nranks);
+  const RouteObservation* before = db_.find(shape, route_key);
+  const bool was_demoted = before != nullptr && before->demoted;
+  const RouteObservation& obs = db_.record_breakdown(shape, route_key);
+  ObserveOutcome out;
+  out.shape = shape;
+  out.observations = obs.observations;
+  out.ewma_seconds = obs.ewma_seconds;
+  out.demoted = true;
+  out.newly_demoted = !was_demoted;
+  return out;
+}
+
+RouteDatabase RoutingTable::seed_database() const {
+  RouteDatabase db;
+  for (const MeasuredCell& mc : cells_) {
+    const std::string shape =
+        shape_key(mc.entry.dims, mc.entry.mesh_n, std::max(1, ranks_));
+    db.record(shape, mc.entry.route_key(), mc.entry.seconds,
+              mc.entry.seconds, /*alpha=*/1.0);
+  }
+  return db;
 }
 
 }  // namespace tealeaf

@@ -27,6 +27,19 @@ double ServerStats::percentile(double q) const {
 SolveServer::SolveServer(ServerOptions opts)
     : opts_(std::move(opts)), cache_(opts_.max_sessions) {
   TEA_REQUIRE(opts_.max_batch >= 1, "solve server: max_batch must be >= 1");
+  opts_.routes.set_learning(opts_.learn);  // validates the policy
+  if (!opts_.route_db_path.empty()) {
+    // Merge-on-load: evidence from earlier runs (or other servers writing
+    // the same path) compounds with whatever the table already holds.
+    opts_.routes.merge_database(
+        RouteDatabase::load_if_exists(opts_.route_db_path));
+  }
+}
+
+void SolveServer::save_route_db() const {
+  TEA_REQUIRE(!opts_.route_db_path.empty(),
+              "solve server: save_route_db needs ServerOptions::route_db_path");
+  opts_.routes.database().save(opts_.route_db_path);
 }
 
 void SolveServer::submit(SolveRequest req) { queue_.push_back(std::move(req)); }
@@ -74,6 +87,11 @@ SolveServer::Routed SolveServer::route_request(const SolveRequest& req,
   r.config.op = best.config.op;
   r.config.precision = best.config.precision;
   r.label = best.label();
+  r.route_key = best.route_key();
+  r.predicted_seconds = best.predicted_seconds;
+  r.observations = best.observations;
+  r.learned = best.learned;
+  r.demoted = best.demoted;
   r.fallbacks.assign(ranked.begin() + 1, ranked.end());
   return r;
 }
@@ -119,6 +137,13 @@ struct Pending {
   bool is_mg_pcg = false;
   bool hinted = false;
   std::vector<RouteEntry> fallbacks;
+  /// Refinement identity of the route being run ("" = override/fallback);
+  /// the re-route pass rewrites these when it switches entries.
+  std::string route_key;
+  double predicted_seconds = 0.0;
+  long long observations = 0;
+  bool learned = false;
+  bool demoted = false;
 };
 
 }  // namespace
@@ -144,6 +169,11 @@ std::vector<SolveResult> SolveServer::drain() {
     p.label = routed.label;
     p.is_mg_pcg = routed.is_mg_pcg;
     p.fallbacks = routed.fallbacks;
+    p.route_key = routed.route_key;
+    p.predicted_seconds = routed.predicted_seconds;
+    p.observations = routed.observations;
+    p.learned = routed.learned;
+    p.demoted = routed.demoted;
     // The routed (or override) precision is part of the session shape:
     // write it back into this drain's copy of the deck so the group key,
     // the cache acquire and the session reset all agree, and an fp64
@@ -241,8 +271,11 @@ std::vector<SolveResult> SolveServer::drain() {
           Timer retry_timer;
           SolverConfig retry = p.config;
           std::string retry_label = p.label;
+          std::string retry_route_key = p.route_key;
+          double retry_predicted = p.predicted_seconds;
           bool retry_mg = false;
           bool have_retry = false;
+          bool switched_route = false;
           if (p.hinted) {
             retry.eig_hint_min = retry.eig_hint_max = 0.0;
             have_retry = true;
@@ -265,11 +298,29 @@ std::vector<SolveResult> SolveServer::drain() {
               // precision, so the retry keeps it rather than adopting the
               // fallback's (a precision flip would need a new session).
               retry_label = e.label();
+              retry_route_key = e.route_key();
+              retry_predicted = e.predicted_seconds;
               have_retry = true;
+              switched_route = true;
               break;
             }
           }
           if (have_retry) {
+            // A breakdown that forces a route switch is the strongest
+            // negative evidence there is: demote the broken route before
+            // running the fallback.  A hint-strip retry stays on the same
+            // route — the stale hints were at fault, not the entry.
+            if (opts_.learn_routes && switched_route &&
+                !p.route_key.empty()) {
+              const ObserveOutcome o = opts_.routes.observe_breakdown(
+                  p.req->deck.dims,
+                  std::max(p.req->deck.x_cells, p.req->deck.y_cells),
+                  p.req->nranks, p.route_key);
+              ++stats_.route_observations;
+              if (o.newly_demoted) ++stats_.demotions;
+            }
+            p.route_key = retry_route_key;
+            p.predicted_seconds = retry_predicted;
             p.session->forget_eig_estimate();
             res.failed_attempt_iters =
                 res.stats.outer_iters + res.stats.inner_steps;
@@ -284,6 +335,42 @@ std::vector<SolveResult> SolveServer::drain() {
             res.rerouted = true;
             ++stats_.reroutes;
             res.latency_seconds += retry_timer.elapsed_s();
+          }
+        }
+
+        // Close the routing loop: feed the measured latency of the final
+        // attempt back into the table.  Non-converged (but not broken)
+        // attempts still observe — running to max_iters is an honest
+        // measurement of at least how slow the route is here.
+        if (!p.route_key.empty()) {
+          res.predicted_route_seconds = p.predicted_seconds;
+          res.route_observations = p.observations;
+          res.route_learned = p.learned;
+          res.route_demoted = p.demoted;
+          if (opts_.learn_routes) {
+            const int mesh_n =
+                std::max(p.req->deck.x_cells, p.req->deck.y_cells);
+            ObserveOutcome o;
+            if (res.stats.breakdown) {
+              // Final attempt broke down (no viable re-route): demote.
+              o = opts_.routes.observe_breakdown(
+                  p.req->deck.dims, mesh_n, p.req->nranks, p.route_key);
+            } else {
+              double measured = res.latency_seconds;
+              if (opts_.learn_latency_hook) {
+                measured = opts_.learn_latency_hook(p.route_key, measured);
+              }
+              o = opts_.routes.observe(p.req->deck.dims, mesh_n,
+                                       p.req->nranks, p.route_key, measured,
+                                       p.predicted_seconds);
+            }
+            ++stats_.route_observations;
+            if (o.newly_demoted) ++stats_.demotions;
+            if (o.newly_promoted) ++stats_.promotions;
+            res.route_observations = o.observations;
+            res.route_demoted = o.demoted;
+            res.route_learned =
+                o.observations >= opts_.learn.min_observations;
           }
         }
         if (!res.ok()) ++stats_.failures;
@@ -320,6 +407,19 @@ RunResult SolveServer::run(const InputDeck& deck, int nranks) {
   Timer timer;
   RunResult result;
 
+  // Deck-driven learning: tl_route_db merges a persisted database in (and
+  // receives the accumulated one at the end when learning), tl_route_learn
+  // turns latency feedback on for this run, tl_route_demote_ratio
+  // overrides the demotion threshold.
+  if (!deck.route_db.empty()) {
+    opts_.routes.merge_database(RouteDatabase::load_if_exists(deck.route_db));
+  }
+  if (deck.route_demote_ratio > 0.0) {
+    opts_.learn.demote_ratio = deck.route_demote_ratio;
+    opts_.routes.set_learning(opts_.learn);
+  }
+  const bool learn = opts_.learn_routes || deck.route_learn;
+
   SolveRequest probe;
   probe.deck = deck;
   probe.nranks = nranks;
@@ -327,12 +427,17 @@ RunResult SolveServer::run(const InputDeck& deck, int nranks) {
   const int halo = std::max(
       {2, first.config.halo_depth, deck.solver.halo_depth});
   SolveSession session(deck, nranks, halo);
+  const int mesh_n = std::max(deck.x_cells, deck.y_cells);
 
   const int steps = deck.num_steps();
   for (int s = 0; s < steps; ++s) {
     // Steps share the session (each consumes the previous step's energy),
-    // so re-route candidates must fit the allocated halo.
+    // so re-route candidates must fit the allocated halo.  Routing runs
+    // fresh every step, so a demotion learned on step s re-routes step
+    // s+1 — within-run convergence onto the fastest route.
     Routed routed = route_request(probe, session.cluster().halo_depth());
+    std::string route_key = routed.route_key;
+    double predicted = routed.predicted_seconds;
     if (opts_.reuse_eigen_estimates && !routed.is_mg_pcg &&
         session.has_eig_estimate()) {
       routed.config = session.with_eig_hints(routed.config);
@@ -352,6 +457,12 @@ RunResult SolveServer::run(const InputDeck& deck, int nranks) {
         retry.eig_hint_min = retry.eig_hint_max = 0.0;
       } else {
         const RouteEntry& e = routed.fallbacks.front();
+        if (learn && !route_key.empty()) {
+          const ObserveOutcome o = opts_.routes.observe_breakdown(
+              deck.dims, mesh_n, nranks, route_key);
+          ++stats_.route_observations;
+          if (o.newly_demoted) ++stats_.demotions;
+        }
         retry = deck.solver;
         retry_mg = !e.native();
         if (e.native()) retry.type = e.config.type;
@@ -362,15 +473,31 @@ RunResult SolveServer::run(const InputDeck& deck, int nranks) {
         retry.pipeline = e.config.pipeline;
         retry.op = e.config.op;
         retry.precision = e.config.precision;
+        route_key = e.route_key();
+        predicted = e.predicted_seconds;
       }
       // The broken attempt skipped finish_solve: this step's input energy
       // is intact and the retry replays the SAME step from it.
       st = solve_solo(session, deck, retry, retry_mg);
     }
+    if (learn && !route_key.empty() && !st.breakdown) {
+      double measured = st.solve_seconds;
+      if (opts_.learn_latency_hook) {
+        measured = opts_.learn_latency_hook(route_key, measured);
+      }
+      const ObserveOutcome o = opts_.routes.observe(
+          deck.dims, mesh_n, nranks, route_key, measured, predicted);
+      ++stats_.route_observations;
+      if (o.newly_demoted) ++stats_.demotions;
+      if (o.newly_promoted) ++stats_.promotions;
+    }
     result.all_converged = result.all_converged && st.converged;
     result.total_outer_iters += st.outer_iters;
     result.total_inner_steps += st.inner_steps;
     result.total_spmv += st.spmv_applies;
+  }
+  if (learn && !deck.route_db.empty()) {
+    opts_.routes.database().save(deck.route_db);
   }
   ++stats_.requests;  // one run() counts as one logical request stream
   result.steps = steps;

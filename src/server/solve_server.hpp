@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,23 @@ struct ServerOptions {
   /// Ranked configuration table (e.g. from the nightly sweep JSON).
   /// Empty ⇒ every request runs its deck's own solver config.
   RoutingTable routes;
+  /// Feed each converged request's measured latency back into the table
+  /// (RoutingTable::observe): routes whose observed seconds disagree with
+  /// the prediction beyond learn.demote_ratio are demoted online, and
+  /// breakdown re-routes demote the broken route immediately.
+  bool learn_routes = false;
+  /// Online-refinement policy (min observations, demotion ratio, EWMA
+  /// weight).  Validated at construction via RoutingTable::set_learning.
+  RouteLearnOptions learn;
+  /// Versioned RouteDatabase path: merged into the table at construction
+  /// when the file exists (merge-on-load — multiple servers compound),
+  /// written back by save_route_db().
+  std::string route_db_path;
+  /// Test hook: when set, replaces the measured seconds handed to
+  /// observe() with its return value (arguments: route key, measured
+  /// seconds).  Lets tests drive deterministic latencies through the
+  /// real learning path.  Never affects latency_seconds reporting.
+  std::function<double(const std::string&, double)> learn_latency_hook;
 };
 
 /// Service-side counters.  Latency quantiles are per-request wall times
@@ -40,6 +58,9 @@ struct ServerStats {
   long long cache_misses = 0;
   long long reroutes = 0;           ///< breakdown-triggered retries
   long long failures = 0;           ///< requests whose final attempt failed
+  long long route_observations = 0; ///< latencies fed back into the table
+  long long demotions = 0;          ///< routes newly demoted this server
+  long long promotions = 0;         ///< demotions cleared by fresh evidence
   double busy_seconds = 0.0;        ///< wall time spent solving in drain()
   std::vector<double> latencies;    ///< per-request seconds, arrival order
 
@@ -89,6 +110,14 @@ class SolveServer {
   [[nodiscard]] const ServerOptions& options() const { return opts_; }
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// The live routing table, including whatever the server has learned so
+  /// far (its RouteDatabase grows as drain()/run() observe latencies).
+  [[nodiscard]] const RoutingTable& routes() const { return opts_.routes; }
+
+  /// Persist the accumulated RouteDatabase to options().route_db_path.
+  /// Throws TeaError when no path was configured.
+  void save_route_db() const;
+
  private:
   /// The configuration a request will run: its explicit override, else
   /// the best viable routing entry (label reported), else the deck's own
@@ -102,6 +131,13 @@ class SolveServer {
     bool is_mg_pcg = false;
     /// Ranked alternatives for the breakdown re-route (excludes `config`).
     std::vector<RouteEntry> fallbacks;
+    /// Online-refinement identity of the chosen entry ("" = explicit
+    /// override or deck fallback — nothing to learn against).
+    std::string route_key;
+    double predicted_seconds = 0.0;  ///< raw sweep/model prediction
+    long long observations = 0;
+    bool learned = false;
+    bool demoted = false;
   };
   [[nodiscard]] Routed route_request(const SolveRequest& req,
                                      int max_halo = 0) const;
